@@ -1,0 +1,84 @@
+//===- bench/AblationUnroll.cpp - Unrolling vs software pipelining ---------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 1: software pipelining "provides a direct way of exploiting
+// parallelism across loop iterations without loop unrolling" and
+// "results in highly compact object codes".  This ablation quantifies
+// the alternative: unroll the body by U, re-run the whole Petri-net
+// pipeline, and report per-original-iteration rate, body size, storage,
+// and frustum detection effort.  The rate column is flat; every cost
+// column grows linearly — the paper's compactness argument.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/Frustum.h"
+#include "core/RateAnalysis.h"
+#include "dataflow/Unroll.h"
+#include "support/TextTable.h"
+
+using namespace sdsp;
+using namespace sdsp::benchutil;
+
+namespace {
+
+void printSweep(std::ostream &OS) {
+  OS << "=== Ablation: loop unrolling vs software pipelining ===\n\n";
+  TextTable T;
+  T.startRow();
+  for (const char *H :
+       {"Loop", "U", "body n", "storage", "macro rate",
+        "rate/orig-iter", "repeat time"})
+    T.cell(H);
+
+  for (const std::string &Id : {std::string("l2"), std::string("loop5"),
+                                std::string("loop7")}) {
+    const LivermoreKernel *K = findKernel(Id);
+    DataflowGraph G = compileKernel(Id);
+    for (uint32_t U : {1u, 2u, 4u, 8u}) {
+      DataflowGraph Unrolled = unrollLoop(G, U);
+      Sdsp S = Sdsp::standard(Unrolled);
+      SdspPn Pn = buildSdspPn(S);
+      RateReport R = analyzeRate(Pn);
+      auto F = detectFrustum(Pn.Net);
+      T.startRow();
+      T.cell(K->Name);
+      T.cell(static_cast<int64_t>(U));
+      T.cell(Pn.Net.numTransitions());
+      T.cell(static_cast<int64_t>(S.storageLocations()));
+      T.cell(R.OptimalRate.str());
+      T.cell((R.OptimalRate * Rational(U)).str());
+      T.cell(F ? std::to_string(F->RepeatTime) : "-");
+    }
+  }
+  T.print(OS);
+  OS << "\nRecurrence-bound loops (L2, loop5): per-original-iteration\n"
+        "rate is invariant in U while body size and storage grow —\n"
+        "pipelining gets the same throughput from 1/U of the code.\n"
+        "DOALL loops (loop7): unrolling does raise throughput, but only\n"
+        "because each copy brings its own one-token-per-arc buffers; a\n"
+        "capacity-2 buffer (ablation_capacity) achieves rate 1 with the\n"
+        "original body, i.e. the same effect at 1/U of the code.\n\n";
+}
+
+void benchUnrollPipeline(benchmark::State &State) {
+  DataflowGraph G = compileKernel("l2");
+  uint32_t U = static_cast<uint32_t>(State.range(0));
+  for (auto _ : State) {
+    DataflowGraph Unrolled = unrollLoop(G, U);
+    SdspPn Pn = buildSdspPn(Sdsp::standard(Unrolled));
+    auto F = detectFrustum(Pn.Net);
+    benchmark::DoNotOptimize(F);
+  }
+}
+
+} // namespace
+
+BENCHMARK(benchUnrollPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+SDSP_BENCH_MAIN(printSweep)

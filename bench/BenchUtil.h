@@ -1,0 +1,67 @@
+//===- bench/BenchUtil.h - Shared benchmark plumbing ------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Each bench binary first prints its table/figure reproduction (the
+/// part that mirrors the paper), then runs google-benchmark timings of
+/// the underlying algorithms.  SDSP_BENCH_MAIN wires that order up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_BENCH_BENCHUTIL_H
+#define SDSP_BENCH_BENCHUTIL_H
+
+#include "core/SdspPn.h"
+#include "livermore/Livermore.h"
+#include "loopir/Lowering.h"
+
+#include "benchmark/benchmark.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace sdsp {
+namespace benchutil {
+
+/// Compiles a kernel by id; aborts loudly on failure (bench inputs are
+/// fixed and must compile).
+inline DataflowGraph compileKernel(const std::string &Id) {
+  const LivermoreKernel *K = findKernel(Id);
+  if (!K) {
+    std::cerr << "error: unknown kernel '" << Id << "'\n";
+    std::abort();
+  }
+  DiagnosticEngine Diags;
+  auto G = compileLoop(K->Source, Diags);
+  if (!G) {
+    Diags.print(std::cerr);
+    std::abort();
+  }
+  return std::move(*G);
+}
+
+/// The six Livermore ids of Section 5, in the paper's order.
+inline std::vector<std::string> livermoreIds() {
+  return {"loop1", "loop7", "loop12", "loop3", "loop5", "loop9lcd"};
+}
+
+} // namespace benchutil
+} // namespace sdsp
+
+/// Prints the reproduction, then runs registered benchmarks.
+#define SDSP_BENCH_MAIN(PrintFn)                                          \
+  int main(int argc, char **argv) {                                      \
+    PrintFn(std::cout);                                                  \
+    ::benchmark::Initialize(&argc, argv);                                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))            \
+      return 1;                                                          \
+    ::benchmark::RunSpecifiedBenchmarks();                               \
+    ::benchmark::Shutdown();                                             \
+    return 0;                                                            \
+  }
+
+#endif // SDSP_BENCH_BENCHUTIL_H

@@ -1,0 +1,107 @@
+//===- bench/ScalingFrustum.cpp - O(n) frustum detection claim -------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 5's headline claim: "the cyclic frustum for both the SDSP-PN
+// and the SDSP-SCP-PN can be determined at compile-time in O(n) time,
+// where n is the number of instructions in the loop body."  We sweep
+// synthetic SDSP families (parallel chains with one recurrence, the
+// shape of real loop bodies) from n = 8 to n = 2048 and report the
+// repeat time of the frustum; repeat/n should stay flat.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/Frustum.h"
+#include "dataflow/GraphBuilder.h"
+#include "support/TextTable.h"
+
+using namespace sdsp;
+using namespace sdsp::benchutil;
+
+namespace {
+
+/// A synthetic loop body of ~n ops: W parallel chains of depth D fed by
+/// one input each, summed pairwise, with one loop-carried recurrence of
+/// length R at the root (so the net has a unique critical cycle).
+DataflowGraph buildSyntheticLoop(size_t Chains, size_t Depth,
+                                 size_t RecurrenceLen) {
+  GraphBuilder B;
+  std::vector<GraphBuilder::Value> Tops;
+  for (size_t C = 0; C < Chains; ++C) {
+    GraphBuilder::Value V = B.input("x" + std::to_string(C));
+    for (size_t D = 0; D < Depth; ++D)
+      V = B.add(V, B.constant(1.0),
+                "c" + std::to_string(C) + "_" + std::to_string(D));
+    Tops.push_back(V);
+  }
+  GraphBuilder::Value Sum = Tops[0];
+  for (size_t C = 1; C < Tops.size(); ++C)
+    Sum = B.add(Sum, Tops[C], "s" + std::to_string(C));
+
+  // Recurrence tail: r0 = ... = f(sum, r_last[i-1]).
+  GraphBuilder::Delayed Prev = B.delayed({0.0});
+  GraphBuilder::Value R = B.add(Sum, Prev.value(), "r0");
+  for (size_t I = 1; I < RecurrenceLen; ++I)
+    R = B.add(R, B.constant(0.0), "r" + std::to_string(I));
+  Prev.bind(R);
+  B.outputValue("y", R);
+  return B.take();
+}
+
+void printSweep(std::ostream &OS) {
+  OS << "=== Section 5 claim: frustum found in O(n) time steps ===\n\n";
+  TextTable T;
+  T.startRow();
+  for (const char *H : {"n (transitions)", "places", "start", "repeat",
+                        "frustum", "repeat/n", "rate"})
+    T.cell(H);
+
+  for (size_t Scale : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    size_t Chains = 2 * Scale;
+    DataflowGraph G = buildSyntheticLoop(Chains, 2, 4);
+    SdspPn Pn = buildSdspPn(Sdsp::standard(G));
+    auto F = detectFrustum(Pn.Net);
+    if (!F) {
+      OS << "frustum not found at scale " << Scale << "\n";
+      continue;
+    }
+    T.startRow();
+    size_t N = Pn.Net.numTransitions();
+    T.cell(N);
+    T.cell(Pn.Net.numPlaces());
+    T.cell(static_cast<int64_t>(F->StartTime));
+    T.cell(static_cast<int64_t>(F->RepeatTime));
+    T.cell(static_cast<int64_t>(F->length()));
+    T.cell(static_cast<double>(F->RepeatTime) / static_cast<double>(N),
+           3);
+    T.cell(F->computationRate(TransitionId(0u)).str());
+  }
+  T.print(OS);
+  OS << "\nrepeat/n staying bounded as n grows is the paper's O(n)\n"
+        "observation (their Livermore data sit within 2n).\n\n";
+}
+
+void benchFrustumAtScale(benchmark::State &State) {
+  size_t Chains = static_cast<size_t>(State.range(0));
+  DataflowGraph G = buildSyntheticLoop(Chains, 2, 4);
+  SdspPn Pn = buildSdspPn(Sdsp::standard(G));
+  for (auto _ : State) {
+    auto F = detectFrustum(Pn.Net);
+    benchmark::DoNotOptimize(F);
+  }
+  State.SetComplexityN(static_cast<int64_t>(Pn.Net.numTransitions()));
+}
+
+} // namespace
+
+BENCHMARK(benchFrustumAtScale)
+    ->RangeMultiplier(2)
+    ->Range(2, 256)
+    ->Complexity();
+
+SDSP_BENCH_MAIN(printSweep)

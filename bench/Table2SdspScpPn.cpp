@@ -1,0 +1,92 @@
+//===- bench/Table2SdspScpPn.cpp - Reproduction of Table 2 -----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 2, "Single Clean Pipeline with Eight Stages": the SDSP-SCP-PN
+// results for the same Livermore set with l = 8 and the FIFO decision
+// mechanism of Section 5.2, adding the processor-usage column.  The
+// checks: the frustum exists (Lemma 5.2.1), appears within ~BD = 2 n l
+// steps, the rate never exceeds 1/n (Theorem 5.2.2), and usage = n *
+// rate (every iteration issues each of the n instructions once).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/Frustum.h"
+#include "core/RateAnalysis.h"
+#include "core/ScpModel.h"
+#include "support/TextTable.h"
+
+using namespace sdsp;
+using namespace sdsp::benchutil;
+
+namespace {
+
+constexpr uint32_t PipelineDepth = 8;
+
+void printTable(std::ostream &OS) {
+  OS << "=== Table 2: Single Clean Pipeline with Eight Stages ===\n"
+     << "(SDSP-SCP-PN, l = " << PipelineDepth
+     << ", FIFO conflict resolution)\n\n";
+  TextTable T;
+  T.startRow();
+  for (const char *H : {"Loop", "n", "start", "repeat", "frustum",
+                        "count", "rate", "usage", "1/n bound",
+                        "BD=2nl", "within BD"})
+    T.cell(H);
+
+  for (const std::string &Id : livermoreIds()) {
+    const LivermoreKernel *K = findKernel(Id);
+    SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel(Id)));
+    ScpPn Scp = buildScpPn(Pn, PipelineDepth);
+    auto Policy = Scp.makeFifoPolicy();
+    auto F = detectFrustum(Scp.Net, Policy.get());
+    if (!F) {
+      OS << "frustum not found for " << Id << "\n";
+      continue;
+    }
+    size_t N = Scp.numSdspTransitions();
+    uint64_t Bd = boundBdScpPn(N, PipelineDepth);
+    Rational Rate = F->computationRate(Scp.SdspTransitions.front());
+    T.startRow();
+    T.cell(K->Name);
+    T.cell(N);
+    T.cell(static_cast<int64_t>(F->StartTime));
+    T.cell(static_cast<int64_t>(F->RepeatTime));
+    T.cell(static_cast<int64_t>(F->length()));
+    T.cell(static_cast<int64_t>(
+        F->transitionCount(Scp.SdspTransitions.front())));
+    T.cell(Rate.str());
+    T.cell(processorUsage(Scp, *F).str());
+    T.cell(Rational(1, static_cast<int64_t>(N)).str());
+    T.cell(static_cast<int64_t>(Bd));
+    T.cell(F->RepeatTime <= Bd ? "yes" : "NO");
+  }
+  T.print(OS);
+  OS << "\nRates are bounded by 1/n (Thm 5.2.2) and by the ack round\n"
+        "trip 2l of the one-token-per-arc buffers, whichever bites.\n\n";
+}
+
+void benchScpFrustum(benchmark::State &State, const std::string &Id,
+                     uint32_t Depth) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel(Id)));
+  ScpPn Scp = buildScpPn(Pn, Depth);
+  for (auto _ : State) {
+    auto Policy = Scp.makeFifoPolicy();
+    auto F = detectFrustum(Scp.Net, Policy.get());
+    benchmark::DoNotOptimize(F);
+  }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchScpFrustum, loop1_l8, std::string("loop1"), 8u);
+BENCHMARK_CAPTURE(benchScpFrustum, loop7_l8, std::string("loop7"), 8u);
+BENCHMARK_CAPTURE(benchScpFrustum, loop5_l8, std::string("loop5"), 8u);
+BENCHMARK_CAPTURE(benchScpFrustum, loop7_l2, std::string("loop7"), 2u);
+
+SDSP_BENCH_MAIN(printTable)

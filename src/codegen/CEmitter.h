@@ -1,0 +1,66 @@
+//===- codegen/CEmitter.h - Pipelined loops as C source ---------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a LoopProgram as a self-contained C99 function whose control
+/// structure *is* the software pipeline:
+///
+///   - the start-up transient (all events before the first steady
+///     period) as straight-line code, one guarded statement per event;
+///   - then one loop iteration per kernel period, each cycle slot
+///     committing the writes that land there before issuing the reads
+///     that start there (the engine's completions-before-firings
+///     order), with per-op "in-flight" temporaries carrying results
+///     across period boundaries exactly like pipeline latches;
+///   - registers R[0..numRegisters) are the SDSP's storage locations,
+///     ring-indexed by iteration for multi-slot buffers.
+///
+/// The emitted function has the signature
+///
+///   void NAME(size_t n, const double *in_A, ..., double *out_B, ...)
+///
+/// with streams in sorted name order (names sanitized to C
+/// identifiers; the mapping is emitted as a comment).  Iterations are
+/// guarded by `m < n`, so any trip count works, including ones shorter
+/// than the prologue.
+///
+/// Limitation: outputs must be dummy-free (conditionals are fine —
+/// merge results are always real; routing a raw switch port to an
+/// output is rejected by the code generator already).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CODEGEN_CEMITTER_H
+#define SDSP_CODEGEN_CEMITTER_H
+
+#include "codegen/LoopProgram.h"
+
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// The emitted unit plus its interface description.
+struct CEmission {
+  /// Complete C99 translation unit (function only, no main).
+  std::string Source;
+  /// Input stream names in parameter order (original spellings).
+  std::vector<std::string> Inputs;
+  /// Output stream names in parameter order (original spellings).
+  std::vector<std::string> Outputs;
+  /// Function name.
+  std::string FunctionName;
+};
+
+/// Emits \p Program as C.  \p FunctionName must be a valid C
+/// identifier.
+CEmission emitC(const LoopProgram &Program,
+                const std::string &FunctionName);
+
+} // namespace sdsp
+
+#endif // SDSP_CODEGEN_CEMITTER_H

@@ -1,0 +1,104 @@
+//===- codegen/Codegen.cpp - Schedule to program lowering ------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+LoopProgram sdsp::generateLoopProgram(const Sdsp &S, const SdspPn &Pn,
+                                      const SoftwarePipelineSchedule &Sched) {
+  const DataflowGraph &G = S.graph();
+
+  // Register allocation: a ring per acknowledgement buffer, shared by
+  // every arc the acknowledgement covers.
+  struct RingInfo {
+    uint32_t Base = 0;
+    uint32_t Capacity = 1;
+  };
+  std::vector<RingInfo> ArcRing(G.numArcs());
+  std::vector<bool> HasRing(G.numArcs(), false);
+  uint32_t NextReg = 0;
+
+  for (const Sdsp::Ack &Ack : S.acks()) {
+    uint64_t Resident = 0;
+    for (ArcId A : Ack.Path)
+      Resident += G.arc(A).Distance;
+    uint32_t Capacity = Ack.Slots + static_cast<uint32_t>(Resident);
+    assert((Ack.Path.size() == 1 || Capacity == 1) &&
+           "chain acknowledgements are single-slot by construction");
+    RingInfo Info{NextReg, Capacity};
+    NextReg += Capacity;
+    for (ArcId A : Ack.Path) {
+      ArcRing[A.index()] = Info;
+      HasRing[A.index()] = true;
+    }
+  }
+  // Self-feedback windows: a ring of `distance` registers, no ack.
+  for (ArcId A : G.arcIds()) {
+    const DataflowGraph::Arc &Arc = G.arc(A);
+    if (!S.isInteriorArc(A) || Arc.From != Arc.To)
+      continue;
+    ArcRing[A.index()] = RingInfo{NextReg, Arc.Distance};
+    HasRing[A.index()] = true;
+    NextReg += Arc.Distance;
+  }
+  assert(NextReg == S.storageLocations() &&
+         "register count must equal the Section 6 storage accounting");
+
+  // One VmOp per transition, in transition order.
+  std::vector<VmOp> Ops;
+  Ops.reserve(Pn.Net.numTransitions());
+  for (NodeId N : Pn.TransitionToNode) {
+    const DataflowGraph::Node &Node = G.node(N);
+    VmOp Op;
+    Op.Kind = Node.Kind;
+    Op.Name = Node.Name;
+    Op.ExecTime = Node.ExecTime;
+
+    for (ArcId AI : Node.Operands) {
+      const DataflowGraph::Arc &Arc = G.arc(AI);
+      const DataflowGraph::Node &Src = G.node(Arc.From);
+      if (Src.Kind == OpKind::Input) {
+        Op.Operands.push_back(OperandRef::stream(Src.Name));
+        continue;
+      }
+      if (Src.Kind == OpKind::Const) {
+        Op.Operands.push_back(OperandRef::immediate(Src.ConstValue));
+        continue;
+      }
+      assert(HasRing[AI.index()] && "interior operand without a buffer");
+      const RingInfo &Ring = ArcRing[AI.index()];
+      Op.Operands.push_back(OperandRef::ring(
+          Ring.Base, Ring.Capacity, Arc.Distance, Arc.InitialValues));
+    }
+
+    for (ArcId AI : Node.Fanout) {
+      const DataflowGraph::Arc &Arc = G.arc(AI);
+      const DataflowGraph::Node &Dst = G.node(Arc.To);
+      if (Dst.Kind == OpKind::Output) {
+        assert(Arc.FromPort == 0 &&
+               "outputs from switch ports are not supported yet");
+        Op.Captures.push_back(Dst.Name);
+        continue;
+      }
+      if (isBoundaryOp(Dst.Kind))
+        continue;
+      assert(HasRing[AI.index()] && "interior fanout without a buffer");
+      const RingInfo &Ring = ArcRing[AI.index()];
+      WriteRef W;
+      W.Base = Ring.Base;
+      W.Capacity = Ring.Capacity;
+      W.Port = Arc.FromPort;
+      Op.Writes.push_back(W);
+    }
+    Ops.push_back(std::move(Op));
+  }
+
+  return LoopProgram(std::move(Ops), Sched, NextReg);
+}

@@ -1,0 +1,77 @@
+//===- codegen/LoopProgram.cpp - Pipelined loop programs -------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/LoopProgram.h"
+
+#include <ostream>
+
+using namespace sdsp;
+
+OperandRef OperandRef::ring(uint32_t Base, uint32_t Capacity,
+                            uint32_t Distance,
+                            std::vector<double> InitialValues) {
+  OperandRef R;
+  R.K = Kind::Ring;
+  R.Base = Base;
+  R.Capacity = Capacity;
+  R.Distance = Distance;
+  R.InitialValues = std::move(InitialValues);
+  return R;
+}
+
+OperandRef OperandRef::stream(std::string Name) {
+  OperandRef R;
+  R.K = Kind::Stream;
+  R.StreamName = std::move(Name);
+  return R;
+}
+
+OperandRef OperandRef::immediate(double Value) {
+  OperandRef R;
+  R.K = Kind::Immediate;
+  R.Value = Value;
+  return R;
+}
+
+void LoopProgram::print(std::ostream &OS) const {
+  OS << "loop program: " << Ops.size() << " ops, " << NumRegisters
+     << " registers, kernel p=" << Sched.kernelLength()
+     << " k=" << Sched.iterationsPerKernel() << "\n";
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    const VmOp &Op = Ops[I];
+    OS << "  " << Op.Name << ": " << opName(Op.Kind) << " ";
+    for (size_t P = 0; P < Op.Operands.size(); ++P) {
+      if (P)
+        OS << ", ";
+      const OperandRef &O = Op.Operands[P];
+      switch (O.K) {
+      case OperandRef::Kind::Ring:
+        OS << "r" << O.Base;
+        if (O.Capacity > 1)
+          OS << "[(m-" << O.Distance << ")%" << O.Capacity << "]";
+        else if (O.Distance > 0)
+          OS << "@m-" << O.Distance;
+        break;
+      case OperandRef::Kind::Stream:
+        OS << O.StreamName << "[m]";
+        break;
+      case OperandRef::Kind::Immediate:
+        OS << "#" << O.Value;
+        break;
+      }
+    }
+    OS << " ->";
+    for (const WriteRef &W : Op.Writes) {
+      OS << " r" << W.Base;
+      if (W.Capacity > 1)
+        OS << "[m%" << W.Capacity << "]";
+    }
+    for (const std::string &C : Op.Captures)
+      OS << " out(" << C << ")";
+    OS << "   ; slot " << Sched.startTime(TransitionId(I), 0) << "+\n";
+  }
+}

@@ -1,0 +1,119 @@
+//===- codegen/LoopProgram.h - Pipelined loop programs ----------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code generator's target: a register-transfer program that
+/// realizes a software-pipelined loop on a simple in-order machine.
+/// Each buffer of the SDSP (one storage location per acknowledgement
+/// slot, Section 6) becomes a VM register ring; a chain-covering
+/// acknowledgement becomes a *shared* register — producing executable
+/// evidence that the storage optimizer's allocation really suffices.
+///
+/// One VmOp per compute node of the loop body; start times come from
+/// the embedded SoftwarePipelineSchedule, so the same program object
+/// describes prologue, kernel, and the infinite unrolling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CODEGEN_LOOPPROGRAM_H
+#define SDSP_CODEGEN_LOOPPROGRAM_H
+
+#include "core/Schedule.h"
+#include "dataflow/Ops.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// Where an operand's value comes from at iteration m.
+struct OperandRef {
+  enum class Kind : uint8_t {
+    /// A register ring: slot Base + ((m - Distance) mod Capacity),
+    /// or InitialValues[m] while m < Distance.
+    Ring,
+    /// The named input stream, element m.
+    Stream,
+    /// A literal.
+    Immediate,
+  };
+
+  Kind K = Kind::Immediate;
+  // Ring fields.
+  uint32_t Base = 0;
+  uint32_t Capacity = 1;
+  uint32_t Distance = 0;
+  std::vector<double> InitialValues;
+  // Stream field.
+  std::string StreamName;
+  // Immediate field.
+  double Value = 0.0;
+
+  static OperandRef ring(uint32_t Base, uint32_t Capacity,
+                         uint32_t Distance,
+                         std::vector<double> InitialValues);
+  static OperandRef stream(std::string Name);
+  static OperandRef immediate(double Value);
+};
+
+/// A register ring written by an op: slot Base + (m mod Capacity),
+/// receiving the op's result port \p Port (switch has two ports).
+struct WriteRef {
+  uint32_t Base = 0;
+  uint32_t Capacity = 1;
+  uint32_t Port = 0;
+};
+
+/// One loop-body operation.
+struct VmOp {
+  /// The dataflow operator to apply.
+  OpKind Kind = OpKind::Identity;
+  std::string Name;
+  /// Execution time (write lands at start + ExecTime).
+  uint32_t ExecTime = 1;
+  /// Operands in port order.
+  std::vector<OperandRef> Operands;
+  /// Register rings receiving the result (one per interior fanout arc;
+  /// chain-sharing may alias them).
+  std::vector<WriteRef> Writes;
+  /// Output streams capturing the result.
+  std::vector<std::string> Captures;
+};
+
+/// A compiled software-pipelined loop.
+class LoopProgram {
+public:
+  LoopProgram(std::vector<VmOp> Ops, SoftwarePipelineSchedule Sched,
+              uint32_t NumRegisters)
+      : Ops(std::move(Ops)), Sched(std::move(Sched)),
+        NumRegisters(NumRegisters) {}
+
+  const std::vector<VmOp> &ops() const { return Ops; }
+  const SoftwarePipelineSchedule &schedule() const { return Sched; }
+
+  /// Total value registers — equals the SDSP's storage locations.
+  uint32_t numRegisters() const { return NumRegisters; }
+
+  /// Start time of op \p Index at iteration \p M (ops are indexed like
+  /// the SDSP-PN's transitions).
+  TimeStep startTime(size_t Index, uint64_t M) const {
+    return Sched.startTime(TransitionId(Index), M);
+  }
+
+  /// Pretty-prints an assembly-like listing.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<VmOp> Ops;
+  SoftwarePipelineSchedule Sched;
+  uint32_t NumRegisters;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_CODEGEN_LOOPPROGRAM_H

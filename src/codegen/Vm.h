@@ -1,0 +1,49 @@
+//===- codegen/Vm.h - Cycle-accurate loop-program execution -----*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a LoopProgram cycle-accurately: op (i, m) reads its
+/// operands at schedule start time and commits its result registers at
+/// start + exec time, with all writes of a cycle preceding its reads
+/// (matching the engine's completions-before-firings phase order).  If
+/// the schedule or the register allocation were wrong — a value read
+/// before it lands, or a shared chain register clobbered early — the
+/// outputs would diverge from the functional interpreter; the tests
+/// compare them on every kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CODEGEN_VM_H
+#define SDSP_CODEGEN_VM_H
+
+#include "codegen/LoopProgram.h"
+#include "dataflow/Interpreter.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// Result of a VM run.
+struct VmResult {
+  /// Output streams, one value per iteration (dummies as 0).
+  StreamMap Outputs;
+  /// Dummy flags per output stream.
+  std::map<std::string, std::vector<bool>> DummyMask;
+  /// Total cycles from time 0 to the last write.
+  TimeStep Cycles = 0;
+};
+
+/// Runs \p Iterations loop iterations of \p Program on \p Inputs.
+VmResult executeLoopProgram(const LoopProgram &Program,
+                            const StreamMap &Inputs, size_t Iterations);
+
+} // namespace sdsp
+
+#endif // SDSP_CODEGEN_VM_H

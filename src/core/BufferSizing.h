@@ -1,0 +1,65 @@
+//===- core/BufferSizing.h - Minimum capacity for a target rate -*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inverse of Section 6's storage minimization: instead of
+/// shrinking buffers at the *current* rate, grow per-arc buffer
+/// capacities just enough to reach a *target* rate — by default the
+/// loop-carried bound, the best any amount of buffering can achieve
+/// (Section 6: cycles made entirely of data arcs are immutable).  This
+/// is the quantitative version of the paper's FIFO-queued extension
+/// (Section 7): uniform deep buffers waste storage; only arcs on
+/// binding acknowledgement cycles need slack.
+///
+/// Algorithm: start at capacity 1 everywhere; while the cycle time
+/// exceeds the target, take a critical-cycle witness and add one slot
+/// to an acknowledgement on it (the structural bottleneck); stop when
+/// the target holds or a witness contains no acknowledgement (purely
+/// data-bound: infeasible to improve).  Each step strictly raises the
+/// witness cycle's token sum, so the loop terminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_BUFFERSIZING_H
+#define SDSP_CORE_BUFFERSIZING_H
+
+#include "core/Sdsp.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <vector>
+
+namespace sdsp {
+
+/// The sized SDSP and its accounting.
+struct BufferSizingResult {
+  /// Per-arc acknowledgements with the chosen slot counts.
+  Sdsp Sized;
+  /// Cycle time actually achieved (== the target when feasible).
+  Rational AchievedCycleTime;
+  /// The target that was requested.
+  Rational TargetCycleTime;
+  /// Total storage locations used.
+  uint64_t Storage = 0;
+  /// True when the target was met.
+  bool Feasible = false;
+};
+
+/// The best cycle time any buffering can achieve for \p G: the
+/// loop-carried (data-arcs + self-loop) bound.
+Rational dataOnlyCycleTime(const DataflowGraph &G);
+
+/// Sizes per-arc buffers of \p G to reach \p TargetCycleTime
+/// (std::nullopt = the dataOnlyCycleTime bound).  Returns the sized
+/// SDSP; Feasible is false if the target beats the data-only bound.
+BufferSizingResult
+sizeBuffers(const DataflowGraph &G,
+            std::optional<Rational> TargetCycleTime = std::nullopt);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_BUFFERSIZING_H

@@ -1,0 +1,60 @@
+//===- core/Frustum.cpp - Cyclic frustum detection -------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frustum.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace sdsp;
+
+bool FrustumInfo::hasUniformCount(const std::vector<TransitionId> &Ts) const {
+  if (Ts.empty())
+    return true;
+  uint32_t First = FiringCounts[Ts.front().index()];
+  for (TransitionId T : Ts)
+    if (FiringCounts[T.index()] != First)
+      return false;
+  return true;
+}
+
+Rational FrustumInfo::computationRate(TransitionId T) const {
+  assert(length() > 0 && "empty frustum");
+  return Rational(transitionCount(T), static_cast<int64_t>(length()));
+}
+
+std::optional<FrustumInfo>
+sdsp::detectFrustum(const PetriNet &Net, FiringPolicy *Policy,
+                    TimeStep MaxSteps) {
+  EarliestFiringEngine Engine(Net, Policy);
+  std::unordered_map<InstantaneousState, TimeStep> Seen;
+  std::vector<StepRecord> Trace;
+
+  for (TimeStep Step = 0; Step <= MaxSteps; ++Step) {
+    Engine.prepare();
+    InstantaneousState S = Engine.state();
+    auto [It, Inserted] = Seen.emplace(std::move(S), Engine.now());
+    if (!Inserted) {
+      FrustumInfo Info;
+      Info.StartTime = It->second;
+      Info.RepeatTime = Engine.now();
+      Info.State = It->first;
+      Info.Trace = std::move(Trace);
+      Info.FiringCounts.assign(Net.numTransitions(), 0);
+      for (const StepRecord &Rec : Info.Trace)
+        if (Rec.Time >= Info.StartTime)
+          for (TransitionId T : Rec.Fired)
+            ++Info.FiringCounts[T.index()];
+      return Info;
+    }
+    if (Engine.isQuiescent())
+      return std::nullopt; // Dead net: the state would repeat forever
+                           // without firing anything.
+    Trace.push_back(Engine.fireAndAdvance());
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,76 @@
+//===- core/Frustum.h - Cyclic frustum detection ----------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Definition 3.3.1: the *cyclic frustum* is the portion of the behavior
+/// graph between two consecutive occurrences of a repeated instantaneous
+/// state; the surrounding states are the initial and terminal
+/// instantaneous states.  Because a live safe timed marked graph under
+/// the earliest firing rule visits finitely many instantaneous states,
+/// the frustum always exists (Lemma 3.3.2), and Section 4 bounds how
+/// soon: O(n^4) time steps for a single critical cycle.  In practice
+/// (Section 5) it appears within about 2n steps.
+///
+/// Detection hashes every sampled instantaneous state (marking, residual
+/// firing times, and machine condition for conflict policies) and stops
+/// at the first recurrence.  The recorded trace covers [0, RepeatTime)
+/// so schedule derivation and behavior-graph rendering can replay it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_FRUSTUM_H
+#define SDSP_CORE_FRUSTUM_H
+
+#include "petri/EarliestFiring.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <vector>
+
+namespace sdsp {
+
+/// A detected cyclic frustum and the trace leading to it.
+struct FrustumInfo {
+  /// First occurrence of the repeated state ("start time" in Table 1).
+  TimeStep StartTime = 0;
+  /// Second occurrence ("repeat time" in Table 1).
+  TimeStep RepeatTime = 0;
+  /// The repeated instantaneous state.
+  InstantaneousState State;
+  /// The full earliest-firing trace over [0, RepeatTime).
+  std::vector<StepRecord> Trace;
+  /// Firings of each transition within [StartTime, RepeatTime).
+  std::vector<uint32_t> FiringCounts;
+
+  /// "Length of frustum" p.
+  TimeStep length() const { return RepeatTime - StartTime; }
+
+  /// The paper's "transition count" column: occurrences of transition
+  /// \p T in the frustum.
+  uint32_t transitionCount(TransitionId T) const {
+    return FiringCounts[T.index()];
+  }
+
+  /// True if all listed transitions fire equally often in the frustum
+  /// (guaranteed for marked graphs by Thm A.5.3).
+  bool hasUniformCount(const std::vector<TransitionId> &Ts) const;
+
+  /// "Computation rate": average firing rate of \p T, i.e.
+  /// transitionCount / length.
+  Rational computationRate(TransitionId T) const;
+};
+
+/// Runs \p Net under the earliest firing rule (with optional conflict
+/// policy) until an instantaneous state repeats or \p MaxSteps elapse.
+/// Returns std::nullopt on timeout or if the net dies (quiescence).
+std::optional<FrustumInfo> detectFrustum(const PetriNet &Net,
+                                         FiringPolicy *Policy = nullptr,
+                                         TimeStep MaxSteps = 1 << 22);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_FRUSTUM_H

@@ -1,0 +1,83 @@
+//===- core/MaxPlus.cpp - Lemma 4.1.1 firing-time recurrences --------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MaxPlus.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sdsp;
+
+FiringTimeTable sdsp::computeFiringTimes(const PetriNet &Net,
+                                         uint64_t Horizon) {
+  assert(isMarkedGraph(Net) && "max-plus recurrence needs a marked graph");
+  size_t N = Net.numTransitions();
+  FiringTimeTable Table;
+  Table.Times.assign(Horizon, std::vector<TimeStep>(N, 0));
+
+  // Iterating h outward, every referenced entry (h - m, with m >= 1,
+  // or same-h entries via token-free places) is available if we
+  // process transitions in a token-free-topological order per level.
+  // Token-free places form a DAG in a live marked graph.
+  std::vector<TransitionId> Order;
+  {
+    std::vector<uint32_t> InDeg(N, 0);
+    for (PlaceId P : Net.placeIds())
+      if (Net.place(P).InitialTokens == 0)
+        ++InDeg[Net.place(P).Consumers.front().index()];
+    std::vector<TransitionId> Ready;
+    for (size_t I = 0; I < N; ++I)
+      if (InDeg[I] == 0)
+        Ready.push_back(TransitionId(I));
+    while (!Ready.empty()) {
+      TransitionId T = Ready.back();
+      Ready.pop_back();
+      Order.push_back(T);
+      for (PlaceId P : Net.transition(T).OutputPlaces) {
+        if (Net.place(P).InitialTokens != 0)
+          continue;
+        TransitionId W = Net.place(P).Consumers.front();
+        if (--InDeg[W.index()] == 0)
+          Ready.push_back(W);
+      }
+    }
+    assert(Order.size() == N && "token-free cycle: net is not live");
+  }
+
+  for (uint64_t H = 0; H < Horizon; ++H) {
+    for (TransitionId V : Order) {
+      TimeStep T = 0;
+      // Non-reentrancy (the implicit self-loop of Assumption A.6.1).
+      if (H > 0)
+        T = std::max(T, Table.Times[H - 1][V.index()] +
+                            Net.transition(V).ExecTime);
+      for (PlaceId P : Net.transition(V).InputPlaces) {
+        uint32_t M = Net.place(P).InitialTokens;
+        if (M > H)
+          continue; // Served by an initial token: no constraint.
+        TransitionId U = Net.place(P).Producers.front();
+        T = std::max(T, Table.Times[H - M][U.index()] +
+                            Net.transition(U).ExecTime);
+      }
+      Table.Times[H][V.index()] = T;
+    }
+  }
+  return Table;
+}
+
+bool sdsp::isPeriodicFrom(const FiringTimeTable &Table,
+                          const std::vector<TransitionId> &Transitions,
+                          uint64_t FromFiring, uint64_t K, TimeStep P) {
+  assert(K >= 1 && "period must cover at least one firing");
+  if (Table.horizon() < FromFiring + K)
+    return false;
+  for (uint64_t H = FromFiring; H + K < Table.horizon(); ++H)
+    for (TransitionId T : Transitions)
+      if (Table.at(H + K, T) != Table.at(H, T) + P)
+        return false;
+  return true;
+}

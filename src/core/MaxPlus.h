@@ -1,0 +1,61 @@
+//===- core/MaxPlus.h - Lemma 4.1.1 firing-time recurrences -----*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The max-plus view of earliest firing (Chretienne; the paper's Lemma
+/// 4.1.1): in a timed marked graph, the start time of transition v's
+/// (h+1)-th firing is
+///
+///   X_v^h = max over input places p = (u -> v) with m tokens of
+///             X_u^{h - m} + tau(u)                    (h >= m)
+///           and X_v^{h-1} + tau(v)                    (non-reentrancy)
+///
+/// with X = 0 whenever the history runs out (initially enabled).  This
+/// computes firing times *without simulating token flow*, which gives
+/// an independent oracle for the engine (they must agree exactly,
+/// tested in tests/MaxPlusTest.cpp) and a direct way to check Theorems
+/// 4.1.1/4.2.1's periodicity constraint X^{h+k} - X^h = p.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_MAXPLUS_H
+#define SDSP_CORE_MAXPLUS_H
+
+#include "petri/EarliestFiring.h"
+#include "petri/MarkedGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sdsp {
+
+/// Firing-time table: Times[h][t] = start time of transition t's
+/// (h+1)-th firing under the earliest firing rule.
+struct FiringTimeTable {
+  std::vector<std::vector<TimeStep>> Times;
+
+  TimeStep at(uint64_t H, TransitionId T) const {
+    return Times[H][T.index()];
+  }
+  uint64_t horizon() const { return Times.size(); }
+};
+
+/// Computes the first \p Horizon firings of every transition of the
+/// marked graph \p Net by the Lemma 4.1.1 recurrence.  \p Net must be
+/// a live marked graph.
+FiringTimeTable computeFiringTimes(const PetriNet &Net, uint64_t Horizon);
+
+/// Checks Theorem 4.1.1 / 4.2.1's constraint on \p Table: for every
+/// listed transition and every h in [FromFiring, horizon - K), the
+/// firing times satisfy X^{h+K} - X^h = P.
+bool isPeriodicFrom(const FiringTimeTable &Table,
+                    const std::vector<TransitionId> &Transitions,
+                    uint64_t FromFiring, uint64_t K, TimeStep P);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_MAXPLUS_H

@@ -1,0 +1,73 @@
+//===- core/MultiFu.h - Heterogeneous function-unit machines ----*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 7 surveys resource-constrained software pipelining with
+/// *general* resource constraints ([17], [29]); the paper's own case
+/// study keeps a single clean pipeline.  This extension pushes the
+/// unified-model idea one step further: a machine with several function
+/// unit *classes* (e.g. 1 adder + 1 multiplier), each class a run place
+/// with `count` tokens, each operation competing only for its class.
+/// Everything else — series expansion, FIFO arbitration, frustum
+/// detection — is unchanged, which is exactly the selling point of the
+/// Petri-net formulation: new resource shapes are new places, not new
+/// algorithms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_MULTIFU_H
+#define SDSP_CORE_MULTIFU_H
+
+#include "core/SdspPn.h"
+#include "petri/EarliestFiring.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// One function-unit class.
+struct FuClass {
+  std::string Name;
+  /// Units of this class (tokens on its run place).
+  uint32_t Count = 1;
+  /// Pipeline depth of this class (issue costs 1 cycle; results appear
+  /// after Depth cycles via series expansion of output places).
+  uint32_t Depth = 1;
+  /// Which operations execute on this class.
+  std::function<bool(OpKind)> Accepts;
+};
+
+/// The unified net for a heterogeneous machine.
+struct MultiFuPn {
+  PetriNet Net;
+  /// Run place per class (index-aligned with the spec).
+  std::vector<PlaceId> RunPlaces;
+  /// SDSP transitions in the new net, indexed like the SDSP-PN's.
+  std::vector<TransitionId> SdspTransitions;
+  std::vector<TransitionId> DummyTransitions;
+  /// Per new-net transition: true if it competes for some run place.
+  std::vector<bool> IsSdspTransition;
+  /// Per SDSP-PN transition index: its class index.
+  std::vector<uint32_t> ClassOf;
+
+  /// FIFO policy covering all run places.
+  std::unique_ptr<FifoPolicy> makeFifoPolicy() const;
+};
+
+/// Builds the heterogeneous-machine net.  Every operation must be
+/// accepted by exactly one class (the first that matches wins; a
+/// missing match asserts).  Place series expansion uses the *producer*
+/// class's depth (the producing unit's latency).
+MultiFuPn buildMultiFuPn(const SdspPn &Pn, const Sdsp &S,
+                         const std::vector<FuClass> &Classes);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_MULTIFU_H

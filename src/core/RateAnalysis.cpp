@@ -1,0 +1,68 @@
+//===- core/RateAnalysis.cpp - Optimal computation rates -------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RateAnalysis.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+RateReport sdsp::analyzeRate(const SdspPn &Pn) {
+  MarkedGraphView View(Pn.Net);
+  std::optional<CriticalCycleInfo> Info = criticalCycle(View);
+
+  // Implicit self-loop bound: max execution time.
+  Rational SelfLoop(0);
+  for (TransitionId T : Pn.Net.transitionIds())
+    SelfLoop = std::max(
+        SelfLoop, Rational(static_cast<int64_t>(Pn.Net.transition(T).ExecTime)));
+
+  RateReport Report;
+  if (Info && Info->CycleTime >= SelfLoop) {
+    Report.CycleTime = Info->CycleTime;
+    Report.CriticalTransitions = std::move(Info->CriticalTransitions);
+    Report.NumCriticalCycles = Info->NumCriticalCycles;
+  } else {
+    Report.CycleTime = SelfLoop;
+    for (TransitionId T : Pn.Net.transitionIds())
+      if (Rational(static_cast<int64_t>(Pn.Net.transition(T).ExecTime)) ==
+          SelfLoop)
+        Report.CriticalTransitions.push_back(T);
+    Report.NumCriticalCycles = 0; // Bounded by self-loops, not cycles.
+  }
+  Report.OptimalRate = Report.CycleTime.isZero()
+                           ? Rational(0)
+                           : Report.CycleTime.reciprocal();
+  return Report;
+}
+
+Rational sdsp::balancingRatio(const SimpleCycle &C) {
+  assert(C.ValueSum > 0 && "cycle with zero value sum");
+  return Rational(static_cast<int64_t>(C.TokenSum),
+                  static_cast<int64_t>(C.ValueSum));
+}
+
+uint64_t sdsp::boundBdSdspPn(size_t NumTransitions) {
+  return 2 * static_cast<uint64_t>(NumTransitions);
+}
+
+uint64_t sdsp::boundBdScpPn(size_t NumSdspTransitions,
+                            uint32_t PipelineDepth) {
+  return 2 * static_cast<uint64_t>(NumSdspTransitions) * PipelineDepth;
+}
+
+Rational sdsp::processorUsage(const ScpPn &Scp, const FrustumInfo &Frustum) {
+  uint64_t Issues = 0;
+  for (TransitionId T : Scp.SdspTransitions)
+    Issues += Frustum.transitionCount(T);
+  assert(Frustum.length() > 0 && "empty frustum");
+  // Fraction of issue slots used: each of the NumPipelines pipelines
+  // offers one slot per cycle.
+  return Rational(static_cast<int64_t>(Issues),
+                  static_cast<int64_t>(Frustum.length() *
+                                       Scp.NumPipelines));
+}

@@ -1,0 +1,101 @@
+//===- core/ScheduleDerivation.cpp - Frustum -> schedule -------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ScheduleDerivation.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+SoftwarePipelineSchedule sdsp::deriveSchedule(const SdspPn &Pn,
+                                              const FrustumInfo &Frustum) {
+  size_t N = Pn.Net.numTransitions();
+  uint32_t K = 0;
+  for (TransitionId T : Pn.Net.transitionIds()) {
+    uint32_t C = Frustum.transitionCount(T);
+    assert(C >= 1 && "transition absent from the frustum");
+    if (K == 0)
+      K = C;
+    assert(C == K && "non-uniform transition counts; not a marked graph?");
+  }
+
+  SoftwarePipelineSchedule Sched(N, Frustum.StartTime, Frustum.length(), K);
+  std::vector<uint64_t> Occurrence(N, 0);
+  for (const StepRecord &Rec : Frustum.Trace) {
+    for (TransitionId T : Rec.Fired) {
+      uint64_t Iter = Occurrence[T.index()]++;
+      if (Rec.Time < Frustum.StartTime)
+        Sched.addPrologueOp(Rec.Time, T, Iter);
+      else
+        Sched.addKernelOp(static_cast<uint32_t>(Rec.Time - Frustum.StartTime),
+                          T, Iter);
+    }
+  }
+  return Sched;
+}
+
+bool sdsp::validateSchedule(const Sdsp &S, const SdspPn &Pn,
+                            const SoftwarePipelineSchedule &Sched,
+                            uint64_t CheckIterations, std::string *Error) {
+  const DataflowGraph &G = S.graph();
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+
+  auto Tau = [&](TransitionId T) -> uint64_t {
+    return Pn.Net.transition(T).ExecTime;
+  };
+
+  // Non-reentrancy: firings of one transition are serialized.
+  for (TransitionId T : Pn.Net.transitionIds()) {
+    for (uint64_t M = 1; M < CheckIterations; ++M) {
+      TimeStep Prev = Sched.startTime(T, M - 1);
+      TimeStep Cur = Sched.startTime(T, M);
+      if (Cur < Prev + Tau(T))
+        return Fail("transition " + Pn.Net.transition(T).Name +
+                    " iterations " + std::to_string(M - 1) + "/" +
+                    std::to_string(M) + " overlap");
+    }
+  }
+
+  // Data dependences.
+  for (ArcId A : G.arcIds()) {
+    if (!S.isInteriorArc(A))
+      continue;
+    const DataflowGraph::Arc &Arc = G.arc(A);
+    TransitionId U = Pn.NodeToTransition[Arc.From.index()];
+    TransitionId V = Pn.NodeToTransition[Arc.To.index()];
+    for (uint64_t M = Arc.Distance; M < CheckIterations; ++M) {
+      TimeStep Produced =
+          Sched.startTime(U, M - Arc.Distance) + Tau(U);
+      if (Sched.startTime(V, M) < Produced)
+        return Fail("dependence violated on arc " +
+                    G.node(Arc.From).Name + " -> " + G.node(Arc.To).Name +
+                    " at iteration " + std::to_string(M));
+    }
+  }
+
+  // Buffer capacities: the producer at the head of each ack chain must
+  // wait for the chain consumer's acknowledgement.
+  for (const Sdsp::Ack &Ack : S.acks()) {
+    const DataflowGraph::Arc &Head = G.arc(Ack.Path.front());
+    const DataflowGraph::Arc &Tail = G.arc(Ack.Path.back());
+    TransitionId U = Pn.NodeToTransition[Head.From.index()];
+    TransitionId V = Pn.NodeToTransition[Tail.To.index()];
+    for (uint64_t M = Ack.Slots; M < CheckIterations; ++M) {
+      TimeStep AckReady = Sched.startTime(V, M - Ack.Slots) + Tau(V);
+      if (Sched.startTime(U, M) < AckReady)
+        return Fail("capacity violated on ack " + G.node(Tail.To).Name +
+                    " -> " + G.node(Head.From).Name + " at iteration " +
+                    std::to_string(M));
+    }
+  }
+
+  return true;
+}

@@ -1,0 +1,78 @@
+//===- core/ScpModel.cpp - Single clean pipeline model ---------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ScpModel.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+std::unique_ptr<FifoPolicy> ScpPn::makeFifoPolicy() const {
+  return std::make_unique<FifoPolicy>(IsSdspTransition,
+                                      std::vector<PlaceId>{RunPlace});
+}
+
+std::unique_ptr<LifoPolicy> ScpPn::makeLifoPolicy() const {
+  return std::make_unique<LifoPolicy>(IsSdspTransition,
+                                      std::vector<PlaceId>{RunPlace});
+}
+
+ScpPn sdsp::buildScpPn(const SdspPn &Pn, uint32_t PipelineDepth,
+                       uint32_t NumPipelines) {
+  assert(PipelineDepth >= 1 && "pipeline needs at least one stage");
+  assert(NumPipelines >= 1 && "machine needs at least one pipeline");
+  const PetriNet &Src = Pn.Net;
+
+  ScpPn Scp;
+  Scp.PipelineDepth = PipelineDepth;
+  Scp.NumPipelines = NumPipelines;
+
+  // SDSP transitions, execution time 1 (issue slot).
+  for (TransitionId T : Src.transitionIds()) {
+    TransitionId NewT = Scp.Net.addTransition(Src.transition(T).Name, 1);
+    Scp.SdspTransitions.push_back(NewT);
+  }
+
+  // Series expansion of every place.  The original producer writes into
+  // the pre-place, the dummy (time l-1) moves tokens to the post-place,
+  // the consumer reads the post-place.  Initial tokens land on the
+  // post-place: they model already-computed values.
+  for (PlaceId P : Src.placeIds()) {
+    const PetriNet::Place &Pl = Src.place(P);
+    TransitionId Producer = Scp.SdspTransitions[Pl.Producers.front().index()];
+    TransitionId Consumer = Scp.SdspTransitions[Pl.Consumers.front().index()];
+    if (PipelineDepth == 1) {
+      // l = 1: no dummy transitions remain in the final model.
+      PlaceId NewP = Scp.Net.addPlace(Pl.Name, Pl.InitialTokens);
+      Scp.Net.addArc(Producer, NewP);
+      Scp.Net.addArc(NewP, Consumer);
+      continue;
+    }
+    PlaceId Pre = Scp.Net.addPlace(Pl.Name + ".pre", 0);
+    TransitionId Dummy =
+        Scp.Net.addTransition("d:" + Pl.Name, PipelineDepth - 1);
+    PlaceId Post = Scp.Net.addPlace(Pl.Name + ".post", Pl.InitialTokens);
+    Scp.Net.addArc(Producer, Pre);
+    Scp.Net.addArc(Pre, Dummy);
+    Scp.Net.addArc(Dummy, Post);
+    Scp.Net.addArc(Post, Consumer);
+    Scp.DummyTransitions.push_back(Dummy);
+  }
+
+  // Run place: one issue slot per pipeline, shared by all SDSP
+  // transitions.
+  Scp.RunPlace = Scp.Net.addPlace("p_run", NumPipelines);
+  for (TransitionId T : Scp.SdspTransitions) {
+    Scp.Net.addArc(Scp.RunPlace, T);
+    Scp.Net.addArc(T, Scp.RunPlace);
+  }
+
+  Scp.IsSdspTransition.assign(Scp.Net.numTransitions(), false);
+  for (TransitionId T : Scp.SdspTransitions)
+    Scp.IsSdspTransition[T.index()] = true;
+  return Scp;
+}

@@ -1,0 +1,84 @@
+//===- core/ScpModel.h - Single clean pipeline model ------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 5.2: the unified SDSP-SCP-PN models an SDSP executing on a
+/// dataflow machine with a single clean execution pipeline of l stages
+/// (no structural hazards: once an instruction issues it runs to
+/// completion).  Construction from the SDSP-PN:
+///
+///   Series expansion — every place p of the SDSP-PN is split
+///   p -> dummy -> p', where the new dummy transition has execution
+///   time l-1, so a producer-to-consumer traversal costs 1 (issue) +
+///   (l-1) = l cycles.  SDSP transitions keep execution time 1.  With
+///   l = 1 no dummies are created.  Initial tokens sit on the
+///   post-dummy place (they represent values already computed).
+///
+///   Run place introduction — a place p_r with one token is both input
+///   and output of every SDSP transition: the single issue slot.  The
+///   run place has n consumers, the model's only structural conflict;
+///   Assumption 5.2.1 resolves it with a deterministic, never-idling
+///   choice mechanism (the FIFO queue of petri/EarliestFiring.h).
+///
+/// Theorem 5.2.1: the result is live, safe, persistent-up-to-the-run-
+/// place whenever the SDSP-PN is.  Theorem 5.2.2: no SDSP transition
+/// can run faster than 1/n.  Both are exercised by the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_SCPMODEL_H
+#define SDSP_CORE_SCPMODEL_H
+
+#include "core/SdspPn.h"
+#include "petri/EarliestFiring.h"
+
+#include <memory>
+#include <vector>
+
+namespace sdsp {
+
+/// The unified net plus its bookkeeping.
+struct ScpPn {
+  PetriNet Net;
+  /// Pipeline depth l.
+  uint32_t PipelineDepth = 1;
+  /// Number of identical clean pipelines (run-place tokens).
+  uint32_t NumPipelines = 1;
+  /// The run place p_r.
+  PlaceId RunPlace;
+  /// SDSP transitions in the new net, indexed like the SDSP-PN's
+  /// transitions.
+  std::vector<TransitionId> SdspTransitions;
+  /// Dummy transitions created by series expansion.
+  std::vector<TransitionId> DummyTransitions;
+  /// Per new-net transition: true if it is an SDSP transition
+  /// (competes for the run place).
+  std::vector<bool> IsSdspTransition;
+
+  /// Number of SDSP transitions n (Thm 5.2.2's bound is 1/n).
+  size_t numSdspTransitions() const { return SdspTransitions.size(); }
+
+  /// A FIFO conflict policy wired to this net's run place (Assumption
+  /// 5.2.1 with the paper's FIFO queue decision mechanism).
+  std::unique_ptr<FifoPolicy> makeFifoPolicy() const;
+
+  /// A LIFO policy for the choice-policy ablation.
+  std::unique_ptr<LifoPolicy> makeLifoPolicy() const;
+};
+
+/// Builds the SDSP-SCP-PN from \p Pn with an l-stage pipeline.
+/// \p PipelineDepth must be >= 1.  \p NumPipelines generalizes the
+/// paper's single clean pipeline to a machine with several identical
+/// clean pipelines (the run place carries that many tokens); Theorem
+/// 5.2.2's bound becomes NumPipelines / n, and NumPipelines -> n
+/// recovers the unconstrained SDSP-PN behavior.
+ScpPn buildScpPn(const SdspPn &Pn, uint32_t PipelineDepth,
+                 uint32_t NumPipelines = 1);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_SCPMODEL_H

@@ -1,0 +1,146 @@
+//===- core/Sdsp.cpp - Static dataflow software pipelines ------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Sdsp.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+bool sdsp::isBoundaryOp(OpKind Kind) {
+  return Kind == OpKind::Input || Kind == OpKind::Const ||
+         Kind == OpKind::Output;
+}
+
+bool Sdsp::isInteriorArc(ArcId A) const {
+  const DataflowGraph::Arc &Arc = G.arc(A);
+  return !isBoundaryOp(G.node(Arc.From).Kind) &&
+         !isBoundaryOp(G.node(Arc.To).Kind);
+}
+
+std::vector<ArcId> Sdsp::interiorArcs() const {
+  std::vector<ArcId> Result;
+  for (ArcId A : G.arcIds())
+    if (isInteriorArc(A))
+      Result.push_back(A);
+  return Result;
+}
+
+size_t Sdsp::loopBodySize() const {
+  size_t N = 0;
+  for (NodeId Id : G.nodeIds())
+    if (!isBoundaryOp(G.node(Id).Kind))
+      ++N;
+  return N;
+}
+
+uint64_t Sdsp::storageLocations() const {
+  uint64_t Total = 0;
+  for (const Ack &A : Acks) {
+    uint64_t Resident = 0;
+    for (ArcId Arc : A.Path)
+      Resident += G.arc(Arc).Distance;
+    Total += A.Slots + Resident;
+  }
+  // Self-feedback arcs carry no acknowledgement (non-reentrancy
+  // serializes the producer-consumer) but still occupy their window.
+  for (ArcId A : G.arcIds()) {
+    const DataflowGraph::Arc &Arc = G.arc(A);
+    if (isInteriorArc(A) && Arc.From == Arc.To)
+      Total += Arc.Distance;
+  }
+  return Total;
+}
+
+namespace {
+
+/// Forward-reachability (over distance-0 arcs, boundary nodes
+/// excluded) of \p To from \p From.
+bool forwardReaches(const DataflowGraph &G, NodeId From, NodeId To) {
+  std::vector<bool> Seen(G.numNodes(), false);
+  std::vector<NodeId> Work{From};
+  Seen[From.index()] = true;
+  while (!Work.empty()) {
+    NodeId V = Work.back();
+    Work.pop_back();
+    if (V == To)
+      return true;
+    for (ArcId AI : G.node(V).Fanout) {
+      const DataflowGraph::Arc &A = G.arc(AI);
+      if (A.isFeedback() || Seen[A.To.index()])
+        continue;
+      if (isBoundaryOp(G.node(A.To).Kind))
+        continue;
+      Seen[A.To.index()] = true;
+      Work.push_back(A.To);
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+Sdsp Sdsp::standard(DataflowGraph Graph, uint32_t Capacity) {
+  assert(Capacity >= 1 && "buffers need at least one slot");
+  Sdsp S(std::move(Graph));
+  for (ArcId A : S.G.arcIds()) {
+    if (!S.isInteriorArc(A))
+      continue;
+    const DataflowGraph::Arc &Arc = S.G.arc(A);
+    // A self-feedback arc (q = q[i-1] + ...) needs no acknowledgement:
+    // the producer is its own consumer, so non-reentrant firing already
+    // guarantees the slot is free, and an ack place would form a
+    // token-free self-cycle that deadlocks the net.
+    if (Arc.From == Arc.To)
+      continue;
+    uint32_t Cap = std::max(Capacity, Arc.Distance);
+    // A feedback arc whose consumer is also forward-reachable from the
+    // producer (the consumer reads both u[i] and u[i-d]) deadlocks at
+    // capacity d: the producer cannot emit iteration i into a full
+    // window whose oldest entry is consumed only after iteration i's
+    // forward value arrives.  One spare slot breaks the token-free
+    // ack/forward cycle.
+    if (Arc.isFeedback() && Cap == Arc.Distance &&
+        forwardReaches(S.G, Arc.From, Arc.To))
+      ++Cap;
+    Ack Ak;
+    Ak.Path = {A};
+    Ak.Slots = Cap - Arc.Distance;
+    S.Acks.push_back(std::move(Ak));
+  }
+  return S;
+}
+
+Sdsp Sdsp::withAcks(DataflowGraph Graph, std::vector<Ack> Acks) {
+  Sdsp S(std::move(Graph));
+  S.Acks = std::move(Acks);
+#ifndef NDEBUG
+  // Every interior arc covered exactly once; paths chain head-to-tail.
+  std::vector<unsigned> Covered(S.G.numArcs(), 0);
+  for (const Ack &A : S.Acks) {
+    assert(!A.Path.empty() && "empty acknowledgement path");
+    for (size_t I = 0; I < A.Path.size(); ++I) {
+      assert(S.isInteriorArc(A.Path[I]) && "ack covers a boundary arc");
+      assert(S.G.arc(A.Path[I]).From != S.G.arc(A.Path[I]).To &&
+             "self-feedback arcs must not be acknowledged");
+      ++Covered[A.Path[I].index()];
+      if (I + 1 < A.Path.size())
+        assert(S.G.arc(A.Path[I]).To == S.G.arc(A.Path[I + 1]).From &&
+               "ack path is not a chain");
+    }
+    uint64_t Resident = 0;
+    for (ArcId Arc : A.Path)
+      Resident += S.G.arc(Arc).Distance;
+    assert(A.Slots + Resident >= 1 && "ack cycle would be token-free");
+  }
+  for (ArcId A : S.G.arcIds())
+    if (S.isInteriorArc(A) && S.G.arc(A).From != S.G.arc(A).To)
+      assert(Covered[A.index()] == 1 &&
+             "interior arc not covered exactly once");
+#endif
+  return S;
+}

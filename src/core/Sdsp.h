@@ -1,0 +1,101 @@
+//===- core/Sdsp.h - Static dataflow software pipelines ---------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SDSP of Section 3.2: a loop dataflow graph G = (V, E, E~, F, F~)
+/// equipped with acknowledgement arcs that enforce bounded buffering.
+/// This class adds the F / F~ structure to a DataflowGraph.
+///
+/// Acknowledgement structure.  Each *interior* data arc (both endpoints
+/// compute nodes; Input/Const/Output nodes are loop boundary and never
+/// constrain the schedule) is covered by exactly one acknowledgement
+/// arc.  The standard construction pairs every data arc with its own
+/// reverse ack — the textbook static-dataflow one-token-per-arc rule,
+/// and exactly what Figures 1(d)/2(d) draw.  The storage optimizer of
+/// Section 6 instead lets one ack cover a *chain* of data arcs (Fig. 4
+/// replaces the acks B->A and D->B with a single D->A), so the Ack
+/// record holds the covered path.
+///
+/// Storage accounting follows Section 6: one storage location per
+/// data/ack pair per buffer slot; storageLocations() is what Table "Fig
+/// 4" compares before/after optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_SDSP_H
+#define SDSP_CORE_SDSP_H
+
+#include "dataflow/DataflowGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sdsp {
+
+/// True if \p Kind marks a loop-boundary node (array fetch/store or
+/// literal): such nodes are always ready and are omitted from the
+/// Petri-net model, matching the paper's simplified graphs.
+bool isBoundaryOp(OpKind Kind);
+
+/// A dataflow graph plus acknowledgement arcs: the unit the Petri-net
+/// translation consumes.
+class Sdsp {
+public:
+  /// One acknowledgement arc covering a directed chain of interior data
+  /// arcs.  The ack runs from the consumer of Path.back() to the
+  /// producer of Path.front().
+  struct Ack {
+    /// Covered data arcs, head to tail (consecutive: arc[i].To ==
+    /// arc[i+1].From).  A single-element path is the standard per-arc
+    /// acknowledgement.
+    std::vector<ArcId> Path;
+    /// Initially free buffer slots (ack tokens).  For a forward chain
+    /// with capacity c this is c; for a feedback arc with distance d
+    /// and capacity c it is c - d (the d slots holding initial values
+    /// are occupied).
+    uint32_t Slots = 1;
+  };
+
+  /// Builds the standard SDSP: one ack per interior data arc, capacity
+  /// \p Capacity per buffer (1 = the paper's static dataflow rule;
+  /// larger values model the FIFO-queued extension of Section 7).
+  /// Feedback arcs get capacity max(Capacity, Distance).
+  static Sdsp standard(DataflowGraph G, uint32_t Capacity = 1);
+
+  /// Builds an SDSP with an explicit acknowledgement structure (used by
+  /// the storage optimizer).  Every interior data arc must be covered
+  /// exactly once.
+  static Sdsp withAcks(DataflowGraph G, std::vector<Ack> Acks);
+
+  const DataflowGraph &graph() const { return G; }
+  const std::vector<Ack> &acks() const { return Acks; }
+
+  /// True if arc \p A connects two compute nodes (is part of the
+  /// Petri-net model).
+  bool isInteriorArc(ArcId A) const;
+
+  /// All interior data arcs.
+  std::vector<ArcId> interiorArcs() const;
+
+  /// Number of compute (non-boundary) nodes: the paper's "size of loop
+  /// body" n.
+  size_t loopBodySize() const;
+
+  /// Total storage locations (Section 6): per ack, slots plus the
+  /// tokens initially resident on the covered chain.
+  uint64_t storageLocations() const;
+
+private:
+  DataflowGraph G;
+  std::vector<Ack> Acks;
+
+  explicit Sdsp(DataflowGraph G) : G(std::move(G)) {}
+};
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_SDSP_H

@@ -1,0 +1,58 @@
+//===- core/SdspPn.cpp - SDSP to Petri-net translation ---------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SdspPn.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+SdspPn sdsp::buildSdspPn(const Sdsp &S) {
+  const DataflowGraph &G = S.graph();
+  SdspPn Pn;
+  Pn.NodeToTransition.assign(G.numNodes(), TransitionId::invalid());
+  Pn.ArcToPlace.assign(G.numArcs(), PlaceId::invalid());
+
+  // Transitions: one per compute node.
+  for (NodeId N : G.nodeIds()) {
+    const DataflowGraph::Node &Node = G.node(N);
+    if (isBoundaryOp(Node.Kind))
+      continue;
+    TransitionId T = Pn.Net.addTransition(Node.Name, Node.ExecTime);
+    Pn.NodeToTransition[N.index()] = T;
+    Pn.TransitionToNode.push_back(N);
+  }
+
+  // Data places: one per interior data arc, marked with the arc's
+  // initial-value window (d tokens on a distance-d feedback arc).
+  for (ArcId A : G.arcIds()) {
+    if (!S.isInteriorArc(A))
+      continue;
+    const DataflowGraph::Arc &Arc = G.arc(A);
+    PlaceId P = Pn.Net.addPlace(
+        G.node(Arc.From).Name + "->" + G.node(Arc.To).Name, Arc.Distance);
+    Pn.ArcToPlace[A.index()] = P;
+    Pn.Net.addArc(Pn.NodeToTransition[Arc.From.index()], P);
+    Pn.Net.addArc(P, Pn.NodeToTransition[Arc.To.index()]);
+  }
+
+  // Ack places: from the consumer of the covered chain's tail back to
+  // the producer of its head, marked with the free slots.
+  for (const Sdsp::Ack &Ack : S.acks()) {
+    const DataflowGraph::Arc &Head = G.arc(Ack.Path.front());
+    const DataflowGraph::Arc &Tail = G.arc(Ack.Path.back());
+    PlaceId P = Pn.Net.addPlace("ack:" + G.node(Tail.To).Name + "->" +
+                                    G.node(Head.From).Name,
+                                Ack.Slots);
+    Pn.AckPlaces.push_back(P);
+    Pn.Net.addArc(Pn.NodeToTransition[Tail.To.index()], P);
+    Pn.Net.addArc(P, Pn.NodeToTransition[Head.From.index()]);
+  }
+
+  assert(Pn.TransitionToNode.size() == Pn.Net.numTransitions());
+  return Pn;
+}

@@ -1,0 +1,57 @@
+//===- core/SdspPn.h - SDSP to Petri-net translation ------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.2's translation: "to convert a SDSP to a Petri net, we
+/// insert a place on each arc; for any arc that initially holds a token
+/// in the SDSP, a token is assigned to the corresponding place."
+///
+/// Concretely: one transition per compute node (execution time = the
+/// node's), one *data place* per interior data arc (initial tokens = the
+/// arc's iteration distance, i.e. its initial value window), and one
+/// *ack place* per acknowledgement arc (initial tokens = free buffer
+/// slots).  Boundary nodes (Input/Const/Output) are always available and
+/// are omitted, as in the paper's simplified figures.
+///
+/// The two properties claimed in Section 3.2 — the initial marking is
+/// live and safe (for capacity 1), and the result is a marked graph —
+/// are verified by the test suite via petri/MarkedGraph.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_SDSPPN_H
+#define SDSP_CORE_SDSPPN_H
+
+#include "core/Sdsp.h"
+#include "petri/PetriNet.h"
+
+#include <vector>
+
+namespace sdsp {
+
+/// The SDSP-PN plus the correspondence back to the dataflow graph.
+struct SdspPn {
+  PetriNet Net;
+  /// Per dataflow NodeId: the transition, or invalid for boundary nodes.
+  std::vector<TransitionId> NodeToTransition;
+  /// Per transition index: the originating dataflow node.
+  std::vector<NodeId> TransitionToNode;
+  /// Per dataflow ArcId: the data place, or invalid for boundary arcs.
+  std::vector<PlaceId> ArcToPlace;
+  /// Ack place per Sdsp::Ack (same order as Sdsp::acks()).
+  std::vector<PlaceId> AckPlaces;
+
+  /// Number of transitions, the paper's n.
+  size_t numTransitions() const { return Net.numTransitions(); }
+};
+
+/// Translates \p S into its SDSP-PN.
+SdspPn buildSdspPn(const Sdsp &S);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_SDSPPN_H

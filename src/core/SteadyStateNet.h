@@ -1,0 +1,53 @@
+//===- core/SteadyStateNet.h - Steady-state equivalent nets -----*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.3 / Figure 1(f): instead of extending the behavior graph
+/// indefinitely, the cyclic frustum is extracted and the initial and
+/// terminal instantaneous states are coalesced, yielding a
+/// strongly-connected *steady-state equivalent net* whose execution
+/// repeats the kernel forever.
+///
+/// Construction (for marked-graph SDSP-PNs): each transition t firing k
+/// times per frustum becomes k instance transitions t#0..t#k-1.  A place
+/// u -> v holding m tokens in the repeated state becomes k instance
+/// places; v#j consumes the token produced by u#((j - m) mod k), and the
+/// instance place carries one token per period boundary the dependence
+/// crosses (so the total token count m is preserved).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_STEADYSTATENET_H
+#define SDSP_CORE_STEADYSTATENET_H
+
+#include "core/Frustum.h"
+#include "petri/PetriNet.h"
+
+#include <vector>
+
+namespace sdsp {
+
+/// The coalesced repetitive-pattern net.
+struct SteadyStateNet {
+  PetriNet Net;
+  /// Instance[t][j] = transition of the j-th occurrence of original
+  /// transition t.
+  std::vector<std::vector<TransitionId>> Instance;
+  /// Occurrences per original transition (the uniform k for connected
+  /// marked graphs).
+  std::vector<uint32_t> Occurrences;
+};
+
+/// Builds the steady-state equivalent net of \p Frustum over \p Net.
+/// \p Net must be a marked graph and every transition must fire at
+/// least once in the frustum.
+SteadyStateNet buildSteadyStateNet(const PetriNet &Net,
+                                   const FrustumInfo &Frustum);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_STEADYSTATENET_H

@@ -1,0 +1,40 @@
+//===- core/StorageExact.h - Optimal chain covers ---------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact minimum-storage allocation, for paper-scale loops: a
+/// branch-and-bound search over partitions of the forward interior
+/// arcs into acknowledgement chains, each chain's cycle bounded by the
+/// critical ratio (Omega(chain nodes) <= alpha* for a one-slot chain),
+/// with a final whole-net rate verification per candidate (chain
+/// *interactions* can create new critical cycles the local bound does
+/// not see).  Exponential in the worst case; intended as the oracle
+/// that bounds how far the greedy optimizer (StorageOptimizer.h) is
+/// from optimal — the ablation bench reports both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_STORAGEEXACT_H
+#define SDSP_CORE_STORAGEEXACT_H
+
+#include "core/StorageOptimizer.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace sdsp {
+
+/// Finds a rate-preserving acknowledgement structure of minimum
+/// storage by exhaustive chain-cover search.  \p S must use per-arc
+/// acknowledgements (Sdsp::standard).  \p NodeBudget caps the search
+/// (std::nullopt on exhaustion — fall back to the greedy optimizer).
+std::optional<StorageOptResult>
+minimizeStorageExact(const Sdsp &S, uint64_t NodeBudget = 1 << 20);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_STORAGEEXACT_H

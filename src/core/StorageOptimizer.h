@@ -1,0 +1,55 @@
+//===- core/StorageOptimizer.h - Minimum storage allocation -----*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6: minimize the storage a loop needs while keeping its
+/// time-optimal computation rate.  One storage location backs each
+/// data/acknowledgement arc pair; cycles made of data arcs have fixed
+/// balancing ratios, so the critical cycles bound the rate from above —
+/// but acknowledgement arcs on *non-critical* cycles are negotiable.
+/// Figure 4's transformation replaces per-arc acknowledgements along a
+/// chain with one chain-covering acknowledgement: the chain A -> B -> D
+/// needs one location instead of two, and the new cycle A B D A has
+/// balancing ratio 1/3 — still no worse than the critical cycle's.
+///
+/// The optimizer greedily grows acknowledgement chains over forward
+/// interior arcs subject to Omega(chain cycle) <= alpha* (the chain
+/// cycle carries exactly one token), then *verifies* the rebuilt
+/// SDSP-PN: if interactions between chains ever lowered the rate (they
+/// cannot for trees/chains, but verification beats belief), offending
+/// chains are split until the optimal rate is restored.  Feedback arcs
+/// keep their own acknowledgements: their data tokens are the loop
+/// state and their cycles are usually the critical ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_STORAGEOPTIMIZER_H
+#define SDSP_CORE_STORAGEOPTIMIZER_H
+
+#include "core/Sdsp.h"
+#include "support/Rational.h"
+
+namespace sdsp {
+
+/// The outcome of storage minimization.
+struct StorageOptResult {
+  /// The rate-preserving, storage-reduced SDSP.
+  Sdsp Optimized;
+  uint64_t StorageBefore = 0;
+  uint64_t StorageAfter = 0;
+  /// Optimal rate of the input (and, verified, of the output).
+  Rational OptimalRate;
+};
+
+/// Minimizes storage of \p S (which must use per-arc acknowledgements,
+/// i.e. come from Sdsp::standard) without reducing its optimal
+/// computation rate.
+StorageOptResult minimizeStorage(const Sdsp &S);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_STORAGEOPTIMIZER_H

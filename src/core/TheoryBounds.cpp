@@ -1,0 +1,51 @@
+//===- core/TheoryBounds.cpp - Section 4's polynomial bounds ---------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TheoryBounds.h"
+
+#include "petri/CycleRatio.h"
+#include "petri/MarkedGraph.h"
+#include "petri/SimpleCycles.h"
+
+using namespace sdsp;
+
+std::optional<BoundsReport> sdsp::computeBounds(const SdspPn &Pn) {
+  MarkedGraphView View(Pn.Net);
+  std::vector<SimpleCycle> Cycles = enumerateSimpleCycles(View);
+  if (Cycles.empty())
+    return std::nullopt;
+
+  Rational Best(-1), Second(-1);
+  size_t CriticalCount = 0;
+  for (const SimpleCycle &C : Cycles) {
+    Rational Ratio(static_cast<int64_t>(C.ValueSum),
+                   static_cast<int64_t>(C.TokenSum));
+    if (Ratio > Best) {
+      Second = Best;
+      Best = Ratio;
+      CriticalCount = 1;
+    } else if (Ratio == Best) {
+      ++CriticalCount;
+    } else if (Ratio > Second) {
+      Second = Ratio;
+    }
+  }
+
+  BoundsReport Report;
+  Report.N = Pn.Net.numTransitions();
+  Report.SingleCriticalCycle = (CriticalCount == 1);
+  uint64_t N = Report.N;
+  if (Report.SingleCriticalCycle) {
+    Report.IterationBound = N * N * N;
+    Report.TimeStepBound = N * N * N * N;
+  } else {
+    Report.IterationBound = N * N;
+    Report.TimeStepBound = N * N * N;
+  }
+  Report.EpsilonGap = (Second < Rational(0)) ? Rational(0) : Best - Second;
+  return Report;
+}

@@ -1,0 +1,61 @@
+//===- core/TheoryBounds.h - Section 4's polynomial bounds ------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's convergence bounds, made checkable:
+///
+///   Thm 4.1.1/4.1.2 (one critical cycle): the periodic regime
+///   X_t^{h+k} - X_t^h = p (k = M(C*), p = Omega(C*)) holds for every
+///   transition after O(n^3) iterations, i.e. O(n^4) time steps.
+///
+///   Thm 4.2.1/4.2.2 (multiple critical cycles): the same constraint is
+///   guaranteed after O(n^2) iterations / O(n^3) time steps, but only
+///   for transitions on critical cycles; off-cycle transitions are the
+///   paper's open problem.
+///
+/// The proofs hinge on epsilon, the gap between the critical cycle time
+/// and the second-largest cycle time (Lemma 4.1.2's "cycle time
+/// difference"); epsilonGap() computes it exactly so tests can confirm
+/// measured convergence sits far inside the bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_THEORYBOUNDS_H
+#define SDSP_CORE_THEORYBOUNDS_H
+
+#include "core/SdspPn.h"
+#include "support/Rational.h"
+
+#include <optional>
+
+namespace sdsp {
+
+/// The bound set for one net.
+struct BoundsReport {
+  /// Number of transitions n.
+  size_t N = 0;
+  /// True when exactly one critical simple cycle exists.
+  bool SingleCriticalCycle = false;
+  /// Iterations until the periodic constraint provably holds: n^3 for
+  /// the single-critical case, n^2 for transitions on critical cycles
+  /// otherwise.
+  uint64_t IterationBound = 0;
+  /// Time steps: n^4 resp. n^3.
+  uint64_t TimeStepBound = 0;
+  /// alpha* minus the second-largest distinct cycle ratio; 0 when all
+  /// cycles are critical.
+  Rational EpsilonGap;
+};
+
+/// Computes the theoretical bound set for \p Pn by simple-cycle
+/// enumeration (intended for paper-scale nets).  Returns std::nullopt
+/// for acyclic nets.
+std::optional<BoundsReport> computeBounds(const SdspPn &Pn);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_THEORYBOUNDS_H

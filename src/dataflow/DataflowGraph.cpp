@@ -1,0 +1,154 @@
+//===- dataflow/DataflowGraph.cpp - Static dataflow graph IR ---------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/DataflowGraph.h"
+
+#include "support/Dot.h"
+
+#include <cassert>
+#include <ostream>
+
+using namespace sdsp;
+
+NodeId DataflowGraph::addNode(OpKind Kind, const std::string &Name) {
+  NodeId N(Nodes.size());
+  Node Nd;
+  Nd.Kind = Kind;
+  Nd.Name = Name.empty() ? std::string(opName(Kind)) + std::to_string(N.index())
+                         : Name;
+  Nd.Operands.assign(opArity(Kind), ArcId::invalid());
+  Nodes.push_back(std::move(Nd));
+  return N;
+}
+
+NodeId DataflowGraph::addConst(double Value, const std::string &Name) {
+  NodeId N = addNode(OpKind::Const,
+                     Name.empty() ? std::to_string(Value) : Name);
+  Nodes[N.index()].ConstValue = Value;
+  return N;
+}
+
+ArcId DataflowGraph::addArc(Arc A) {
+  assert(A.FromPort < opResults(Nodes[A.From.index()].Kind) &&
+         "result port out of range");
+  assert(A.ToPort < opArity(Nodes[A.To.index()].Kind) &&
+         "operand port out of range");
+  assert(!Nodes[A.To.index()].Operands[A.ToPort].isValid() &&
+         "operand port already connected");
+  ArcId Id(Arcs.size());
+  Nodes[A.From.index()].Fanout.push_back(Id);
+  Nodes[A.To.index()].Operands[A.ToPort] = Id;
+  Arcs.push_back(std::move(A));
+  return Id;
+}
+
+ArcId DataflowGraph::connect(NodeId From, uint32_t FromPort, NodeId To,
+                             uint32_t ToPort) {
+  Arc A;
+  A.From = From;
+  A.FromPort = FromPort;
+  A.To = To;
+  A.ToPort = ToPort;
+  A.Distance = 0;
+  return addArc(std::move(A));
+}
+
+ArcId DataflowGraph::connectFeedback(NodeId From, uint32_t FromPort,
+                                     NodeId To, uint32_t ToPort,
+                                     std::vector<double> InitialValues) {
+  assert(!InitialValues.empty() && "feedback arc needs initial values");
+  Arc A;
+  A.From = From;
+  A.FromPort = FromPort;
+  A.To = To;
+  A.ToPort = ToPort;
+  A.Distance = static_cast<uint32_t>(InitialValues.size());
+  A.InitialValues = std::move(InitialValues);
+  return addArc(std::move(A));
+}
+
+void DataflowGraph::setExecTime(NodeId N, uint32_t Cycles) {
+  assert(Cycles >= 1 && "execution times must be positive");
+  Nodes[N.index()].ExecTime = Cycles;
+}
+
+void DataflowGraph::setName(NodeId N, const std::string &Name) {
+  Nodes[N.index()].Name = Name;
+}
+
+std::vector<NodeId> DataflowGraph::nodeIds() const {
+  std::vector<NodeId> Ids;
+  Ids.reserve(Nodes.size());
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    Ids.push_back(NodeId(I));
+  return Ids;
+}
+
+std::vector<ArcId> DataflowGraph::arcIds() const {
+  std::vector<ArcId> Ids;
+  Ids.reserve(Arcs.size());
+  for (size_t I = 0; I < Arcs.size(); ++I)
+    Ids.push_back(ArcId(I));
+  return Ids;
+}
+
+bool DataflowGraph::hasLoopCarriedDependence() const {
+  for (const Arc &A : Arcs)
+    if (A.isFeedback())
+      return true;
+  return false;
+}
+
+std::vector<NodeId> DataflowGraph::forwardTopoOrder() const {
+  std::vector<uint32_t> InDegree(Nodes.size(), 0);
+  for (const Arc &A : Arcs)
+    if (!A.isFeedback())
+      ++InDegree[A.To.index()];
+
+  std::vector<NodeId> Order;
+  Order.reserve(Nodes.size());
+  std::vector<size_t> Ready;
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    if (InDegree[I] == 0)
+      Ready.push_back(I);
+  while (!Ready.empty()) {
+    size_t V = Ready.back();
+    Ready.pop_back();
+    Order.push_back(NodeId(V));
+    for (ArcId AI : Nodes[V].Fanout) {
+      const Arc &A = Arcs[AI.index()];
+      if (A.isFeedback())
+        continue;
+      if (--InDegree[A.To.index()] == 0)
+        Ready.push_back(A.To.index());
+    }
+  }
+  assert(Order.size() == Nodes.size() &&
+         "forward subgraph has a cycle; run validate()");
+  return Order;
+}
+
+void DataflowGraph::printDot(std::ostream &OS,
+                             const std::string &GraphName) const {
+  DotWriter Dot(OS, GraphName);
+  Dot.graphAttr("rankdir", "TB");
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    const Node &N = Nodes[I];
+    std::string Label = N.Name;
+    if (N.Kind != OpKind::Const && N.Name != opName(N.Kind))
+      Label += "\\n" + std::string(opName(N.Kind));
+    Dot.node("n" + std::to_string(I), Label, "shape=ellipse");
+  }
+  for (const Arc &A : Arcs) {
+    std::string Attrs = A.isFeedback() ? "style=dashed" : "";
+    std::string Label;
+    if (A.isFeedback())
+      Label = "d=" + std::to_string(A.Distance);
+    Dot.edge("n" + std::to_string(A.From.index()),
+             "n" + std::to_string(A.To.index()), Label, Attrs);
+  }
+}

@@ -1,0 +1,132 @@
+//===- dataflow/DataflowGraph.h - Static dataflow graph IR ------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program representation of Section 3.2: a loop body as a static
+/// dataflow graph G = (V, E, E~, F, F~).  This IR stores the node set V
+/// and the data arcs — E (forward, within one iteration) and E~
+/// (feedback, carrying loop-carried dependences to later iterations).
+/// The acknowledgement arc sets F and F~ are not stored here: they are
+/// derived by SDSP construction (core/Sdsp.h), where the storage
+/// discipline (one-token-per-arc, or deeper FIFO buffers) is chosen.
+///
+/// Each arc has a *distance*: forward arcs have distance 0; a feedback
+/// arc with distance d carries the producer's value from iteration i to
+/// iteration i + d and holds d initial values.  The paper fixes d = 1
+/// ("loop-carried dependences are from one iteration to the next");
+/// d > 1 is supported as a documented extension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_DATAFLOW_DATAFLOWGRAPH_H
+#define SDSP_DATAFLOW_DATAFLOWGRAPH_H
+
+#include "dataflow/Ops.h"
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+struct NodeTag {};
+using NodeId = Id<NodeTag>;
+struct ArcTag {};
+using ArcId = Id<ArcTag>;
+
+/// A single-assignment dataflow graph for a loop body.
+class DataflowGraph {
+public:
+  /// One operator instance.
+  struct Node {
+    OpKind Kind;
+    /// Display name; also the stream name for Input/Output nodes.
+    std::string Name;
+    /// Constant payload (Const nodes only).
+    double ConstValue = 0.0;
+    /// Execution time in cycles (tau_i); the paper uses 1.
+    uint32_t ExecTime = 1;
+    /// Incoming data arc per operand port (size == opArity(Kind)).
+    std::vector<ArcId> Operands;
+    /// Outgoing data arcs, any order.
+    std::vector<ArcId> Fanout;
+  };
+
+  /// One data arc.
+  struct Arc {
+    NodeId From;
+    /// Producing result port of From (only Switch has port 1).
+    uint32_t FromPort = 0;
+    NodeId To;
+    /// Operand port of To.
+    uint32_t ToPort = 0;
+    /// Iteration distance: 0 = forward arc (E), >= 1 = feedback arc
+    /// (E~) carrying that many initial values.
+    uint32_t Distance = 0;
+    /// Initial values on a feedback arc (size == Distance).
+    std::vector<double> InitialValues;
+
+    bool isFeedback() const { return Distance > 0; }
+  };
+
+  /// Creates a node; its operand ports start unconnected.
+  NodeId addNode(OpKind Kind, const std::string &Name = "");
+
+  /// Creates a Const node producing \p Value.
+  NodeId addConst(double Value, const std::string &Name = "");
+
+  /// Connects result port \p FromPort of \p From to operand port
+  /// \p ToPort of \p To as a forward arc.
+  ArcId connect(NodeId From, uint32_t FromPort, NodeId To, uint32_t ToPort);
+
+  /// Connects as a feedback arc with distance InitialValues.size().
+  ArcId connectFeedback(NodeId From, uint32_t FromPort, NodeId To,
+                        uint32_t ToPort, std::vector<double> InitialValues);
+
+  void setExecTime(NodeId N, uint32_t Cycles);
+
+  /// Renames \p N (display name / stream name).
+  void setName(NodeId N, const std::string &Name);
+
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numArcs() const { return Arcs.size(); }
+
+  const Node &node(NodeId N) const { return Nodes[N.index()]; }
+  const Arc &arc(ArcId A) const { return Arcs[A.index()]; }
+
+  std::vector<NodeId> nodeIds() const;
+  std::vector<ArcId> arcIds() const;
+
+  /// Number of nodes that execute repeatedly, i.e. the paper's "size of
+  /// loop body" n.  All nodes in this IR are repetitive, so this is
+  /// numNodes().
+  size_t loopBodySize() const { return Nodes.size(); }
+
+  /// True if the loop has at least one feedback arc, i.e. a
+  /// loop-carried dependence (a DO loop as opposed to a DOALL loop).
+  bool hasLoopCarriedDependence() const;
+
+  /// Nodes in a topological order of the forward (distance-0) subgraph.
+  /// The forward subgraph must be acyclic (checked by validate()).
+  std::vector<NodeId> forwardTopoOrder() const;
+
+  /// Renders the graph in DOT syntax: solid arcs for forward data,
+  /// dashed for feedback.
+  void printDot(std::ostream &OS, const std::string &GraphName) const;
+
+private:
+  std::vector<Node> Nodes;
+  std::vector<Arc> Arcs;
+
+  ArcId addArc(Arc A);
+};
+
+} // namespace sdsp
+
+#endif // SDSP_DATAFLOW_DATAFLOWGRAPH_H

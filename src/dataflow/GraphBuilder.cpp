@@ -1,0 +1,123 @@
+//===- dataflow/GraphBuilder.cpp - Fluent dataflow construction ------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/GraphBuilder.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+DataflowGraph GraphBuilder::take() {
+  assert(PendingDelayed == 0 && "unbound delayed value");
+  return std::move(G);
+}
+
+GraphBuilder::Value GraphBuilder::input(const std::string &StreamName) {
+  return {G.addNode(OpKind::Input, StreamName), 0};
+}
+
+GraphBuilder::Value GraphBuilder::constant(double V,
+                                           const std::string &Name) {
+  return {G.addConst(V, Name), 0};
+}
+
+NodeId GraphBuilder::outputValue(const std::string &StreamName, Value V) {
+  NodeId N = G.addNode(OpKind::Output, StreamName);
+  G.connect(V.N, V.Port, N, 0);
+  return N;
+}
+
+GraphBuilder::Value GraphBuilder::binary(OpKind K, Value A, Value B,
+                                         const std::string &Name) {
+  NodeId N = G.addNode(K, Name);
+  G.connect(A.N, A.Port, N, 0);
+  G.connect(B.N, B.Port, N, 1);
+  return {N, 0};
+}
+
+GraphBuilder::Value GraphBuilder::unary(OpKind K, Value A,
+                                        const std::string &Name) {
+  NodeId N = G.addNode(K, Name);
+  G.connect(A.N, A.Port, N, 0);
+  return {N, 0};
+}
+
+GraphBuilder::Value GraphBuilder::add(Value A, Value B,
+                                      const std::string &Name) {
+  return binary(OpKind::Add, A, B, Name);
+}
+GraphBuilder::Value GraphBuilder::sub(Value A, Value B,
+                                      const std::string &Name) {
+  return binary(OpKind::Sub, A, B, Name);
+}
+GraphBuilder::Value GraphBuilder::mul(Value A, Value B,
+                                      const std::string &Name) {
+  return binary(OpKind::Mul, A, B, Name);
+}
+GraphBuilder::Value GraphBuilder::div(Value A, Value B,
+                                      const std::string &Name) {
+  return binary(OpKind::Div, A, B, Name);
+}
+GraphBuilder::Value GraphBuilder::neg(Value A, const std::string &Name) {
+  return unary(OpKind::Neg, A, Name);
+}
+GraphBuilder::Value GraphBuilder::min(Value A, Value B,
+                                      const std::string &Name) {
+  return binary(OpKind::Min, A, B, Name);
+}
+GraphBuilder::Value GraphBuilder::max(Value A, Value B,
+                                      const std::string &Name) {
+  return binary(OpKind::Max, A, B, Name);
+}
+GraphBuilder::Value GraphBuilder::lt(Value A, Value B,
+                                     const std::string &Name) {
+  return binary(OpKind::CmpLt, A, B, Name);
+}
+GraphBuilder::Value GraphBuilder::le(Value A, Value B,
+                                     const std::string &Name) {
+  return binary(OpKind::CmpLe, A, B, Name);
+}
+GraphBuilder::Value GraphBuilder::eq(Value A, Value B,
+                                     const std::string &Name) {
+  return binary(OpKind::CmpEq, A, B, Name);
+}
+GraphBuilder::Value GraphBuilder::identity(Value A, const std::string &Name) {
+  return unary(OpKind::Identity, A, Name);
+}
+
+std::pair<GraphBuilder::Value, GraphBuilder::Value>
+GraphBuilder::switchOn(Value Ctrl, Value Data, const std::string &Name) {
+  NodeId N = G.addNode(OpKind::Switch, Name);
+  G.connect(Ctrl.N, Ctrl.Port, N, 0);
+  G.connect(Data.N, Data.Port, N, 1);
+  return {Value{N, 0}, Value{N, 1}};
+}
+
+GraphBuilder::Value GraphBuilder::merge(Value Ctrl, Value T, Value F,
+                                        const std::string &Name) {
+  NodeId N = G.addNode(OpKind::Merge, Name);
+  G.connect(Ctrl.N, Ctrl.Port, N, 0);
+  G.connect(T.N, T.Port, N, 1);
+  G.connect(F.N, F.Port, N, 2);
+  return {N, 0};
+}
+
+GraphBuilder::Delayed GraphBuilder::delayed(std::vector<double> Init,
+                                            const std::string &Name) {
+  assert(!Init.empty() && "delayed value needs at least one initial value");
+  NodeId N = G.addNode(OpKind::Identity,
+                       Name.empty() ? "delay" : Name);
+  ++PendingDelayed;
+  return Delayed(*this, std::move(Init), Value{N, 0});
+}
+
+void GraphBuilder::Delayed::bind(Value Producer) {
+  assert(!Bound && "delayed value bound twice");
+  Bound = true;
+  B->G.connectFeedback(Producer.N, Producer.Port, Use.N, 0, Init);
+  --B->PendingDelayed;
+}

@@ -1,0 +1,108 @@
+//===- dataflow/GraphBuilder.h - Fluent dataflow construction ---*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small expression-oriented builder over DataflowGraph.  Values are
+/// (node, result port) handles; operators allocate nodes and wire
+/// forward arcs.  Loop-carried values are expressed with delayed(),
+/// which wires a feedback arc once the producing value is known:
+///
+///   GraphBuilder B;
+///   Value Y = B.input("Y");
+///   Delayed XPrev = B.delayed({0.0});   // x[i-1], x[0] = 0
+///   Value X = B.mul(B.input("Z"), B.sub(Y, XPrev.value()));
+///   XPrev.bind(X);                      // close the recurrence
+///   B.outputValue("X", X);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_DATAFLOW_GRAPHBUILDER_H
+#define SDSP_DATAFLOW_GRAPHBUILDER_H
+
+#include "dataflow/DataflowGraph.h"
+
+#include <utility>
+#include <vector>
+
+namespace sdsp {
+
+/// Builds DataflowGraphs expression-style.
+class GraphBuilder {
+public:
+  /// A (node, result port) handle.
+  struct Value {
+    NodeId N;
+    uint32_t Port = 0;
+  };
+
+  GraphBuilder() = default;
+
+  DataflowGraph &graph() { return G; }
+
+  /// Takes the finished graph.  All delayed values must be bound.
+  DataflowGraph take();
+
+  Value input(const std::string &StreamName);
+  Value constant(double V, const std::string &Name = "");
+  NodeId outputValue(const std::string &StreamName, Value V);
+
+  Value add(Value A, Value B, const std::string &Name = "");
+  Value sub(Value A, Value B, const std::string &Name = "");
+  Value mul(Value A, Value B, const std::string &Name = "");
+  Value div(Value A, Value B, const std::string &Name = "");
+  Value neg(Value A, const std::string &Name = "");
+  Value min(Value A, Value B, const std::string &Name = "");
+  Value max(Value A, Value B, const std::string &Name = "");
+  Value lt(Value A, Value B, const std::string &Name = "");
+  Value le(Value A, Value B, const std::string &Name = "");
+  Value eq(Value A, Value B, const std::string &Name = "");
+  Value identity(Value A, const std::string &Name = "");
+
+  /// switch(ctrl, data) -> (true branch value, false branch value).
+  std::pair<Value, Value> switchOn(Value Ctrl, Value Data,
+                                   const std::string &Name = "");
+  /// merge(ctrl, t, f).
+  Value merge(Value Ctrl, Value T, Value F, const std::string &Name = "");
+
+  /// A loop-carried use whose producer is not built yet.
+  class Delayed {
+  public:
+    /// The consumable value (an Identity node fed by the future
+    /// feedback arc).
+    Value value() const { return Use; }
+
+    /// Closes the recurrence: wires Producer -> identity node as a
+    /// feedback arc carrying the initial values.
+    void bind(Value Producer);
+
+  private:
+    friend class GraphBuilder;
+    Delayed(GraphBuilder &B, std::vector<double> Init, Value Use)
+        : B(&B), Init(std::move(Init)), Use(Use) {}
+    GraphBuilder *B;
+    std::vector<double> Init;
+    Value Use;
+    bool Bound = false;
+  };
+
+  /// Creates a delayed (loop-carried) value with the given initial
+  /// window; distance = Init.size().
+  Delayed delayed(std::vector<double> Init, const std::string &Name = "");
+
+private:
+  DataflowGraph G;
+  unsigned PendingDelayed = 0;
+
+  Value binary(OpKind K, Value A, Value B, const std::string &Name);
+  Value unary(OpKind K, Value A, const std::string &Name);
+
+  friend class Delayed;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_DATAFLOW_GRAPHBUILDER_H

@@ -1,0 +1,53 @@
+//===- dataflow/Interpreter.h - Functional reference execution --*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A functional, schedule-independent interpreter for dataflow loop
+/// graphs: iteration by iteration, nodes evaluate in forward topological
+/// order; feedback operands read the value produced d iterations ago (or
+/// the arc's initial window for the first d iterations).  Because any
+/// legal schedule of an SDSP computes the same values (determinacy of
+/// dataflow), this interpreter is the semantic oracle that derived
+/// schedules and the Livermore reference kernels are checked against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_DATAFLOW_INTERPRETER_H
+#define SDSP_DATAFLOW_INTERPRETER_H
+
+#include "dataflow/DataflowGraph.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// Named input streams, one element per iteration.
+using StreamMap = std::map<std::string, std::vector<double>>;
+
+/// The result of interpreting a loop graph.
+struct InterpResult {
+  /// Output streams by name; one value per iteration (dummies rendered
+  /// as quiet NaN would be surprising, so dummy outputs are reported in
+  /// DummyMask instead and the value is 0).
+  StreamMap Outputs;
+  /// Per output stream, flags of iterations whose value was a dummy
+  /// token (possible only for outputs fed from unselected conditional
+  /// branches).
+  std::map<std::string, std::vector<bool>> DummyMask;
+};
+
+/// Runs \p G for \p Iterations iterations.  Every Input node's stream
+/// must be present in \p Inputs with at least \p Iterations elements.
+/// \p G must be well formed (dataflow/Validate.h).
+InterpResult interpret(const DataflowGraph &G, const StreamMap &Inputs,
+                       size_t Iterations);
+
+} // namespace sdsp
+
+#endif // SDSP_DATAFLOW_INTERPRETER_H

@@ -1,0 +1,146 @@
+//===- dataflow/Ops.cpp - Dataflow operator kinds --------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Ops.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+unsigned sdsp::opArity(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Const:
+  case OpKind::Input:
+    return 0;
+  case OpKind::Output:
+  case OpKind::Identity:
+  case OpKind::Neg:
+  case OpKind::Not:
+    return 1;
+  case OpKind::Add:
+  case OpKind::Sub:
+  case OpKind::Mul:
+  case OpKind::Div:
+  case OpKind::Min:
+  case OpKind::Max:
+  case OpKind::CmpLt:
+  case OpKind::CmpLe:
+  case OpKind::CmpEq:
+  case OpKind::CmpNe:
+  case OpKind::And:
+  case OpKind::Or:
+  case OpKind::Switch:
+    return 2;
+  case OpKind::Merge:
+    return 3;
+  }
+  assert(false && "unknown op kind");
+  return 0;
+}
+
+unsigned sdsp::opResults(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Output:
+    return 0;
+  case OpKind::Switch:
+    return 2;
+  default:
+    return 1;
+  }
+}
+
+const char *sdsp::opName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Const:
+    return "const";
+  case OpKind::Input:
+    return "input";
+  case OpKind::Output:
+    return "output";
+  case OpKind::Identity:
+    return "id";
+  case OpKind::Add:
+    return "add";
+  case OpKind::Sub:
+    return "sub";
+  case OpKind::Mul:
+    return "mul";
+  case OpKind::Div:
+    return "div";
+  case OpKind::Neg:
+    return "neg";
+  case OpKind::Min:
+    return "min";
+  case OpKind::Max:
+    return "max";
+  case OpKind::CmpLt:
+    return "lt";
+  case OpKind::CmpLe:
+    return "le";
+  case OpKind::CmpEq:
+    return "eq";
+  case OpKind::CmpNe:
+    return "ne";
+  case OpKind::And:
+    return "and";
+  case OpKind::Or:
+    return "or";
+  case OpKind::Not:
+    return "not";
+  case OpKind::Switch:
+    return "switch";
+  case OpKind::Merge:
+    return "merge";
+  }
+  return "?";
+}
+
+TokenValue sdsp::evalSimpleOp(OpKind Kind, const TokenValue *Ops) {
+  unsigned Arity = opArity(Kind);
+  for (unsigned I = 0; I < Arity; ++I)
+    if (Ops[I].IsDummy)
+      return TokenValue::dummy();
+
+  auto B = [](bool V) { return TokenValue::real(V ? 1.0 : 0.0); };
+  switch (Kind) {
+  case OpKind::Identity:
+    return Ops[0];
+  case OpKind::Neg:
+    return TokenValue::real(-Ops[0].Num);
+  case OpKind::Not:
+    return B(Ops[0].Num == 0.0);
+  case OpKind::Add:
+    return TokenValue::real(Ops[0].Num + Ops[1].Num);
+  case OpKind::Sub:
+    return TokenValue::real(Ops[0].Num - Ops[1].Num);
+  case OpKind::Mul:
+    return TokenValue::real(Ops[0].Num * Ops[1].Num);
+  case OpKind::Div:
+    return TokenValue::real(Ops[0].Num / Ops[1].Num);
+  case OpKind::Min:
+    return TokenValue::real(Ops[0].Num < Ops[1].Num ? Ops[0].Num
+                                                    : Ops[1].Num);
+  case OpKind::Max:
+    return TokenValue::real(Ops[0].Num > Ops[1].Num ? Ops[0].Num
+                                                    : Ops[1].Num);
+  case OpKind::CmpLt:
+    return B(Ops[0].Num < Ops[1].Num);
+  case OpKind::CmpLe:
+    return B(Ops[0].Num <= Ops[1].Num);
+  case OpKind::CmpEq:
+    return B(Ops[0].Num == Ops[1].Num);
+  case OpKind::CmpNe:
+    return B(Ops[0].Num != Ops[1].Num);
+  case OpKind::And:
+    return B(Ops[0].Num != 0.0 && Ops[1].Num != 0.0);
+  case OpKind::Or:
+    return B(Ops[0].Num != 0.0 || Ops[1].Num != 0.0);
+  default:
+    assert(false && "evalSimpleOp on a control or nullary operator");
+    return TokenValue::dummy();
+  }
+}

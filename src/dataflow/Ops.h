@@ -1,0 +1,90 @@
+//===- dataflow/Ops.h - Dataflow operator kinds -----------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operator kinds of the static dataflow graph.  Besides ordinary
+/// arithmetic, the set includes the switch and merge control nodes of
+/// well-formed conditional subgraphs.  Following Section 3.2 (and [24]),
+/// their firing rules are altered to produce and consume *dummy tokens*
+/// on unselected branches so that they behave exactly like regular
+/// nodes; a conditional dataflow graph is then an ordinary SDSP.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_DATAFLOW_OPS_H
+#define SDSP_DATAFLOW_OPS_H
+
+#include <cstdint>
+#include <string>
+
+namespace sdsp {
+
+/// Operator kinds.
+enum class OpKind : uint8_t {
+  /// Produces one constant token per iteration (arity 0).
+  Const,
+  /// Produces the next element of a named input stream (arity 0).
+  Input,
+  /// Consumes one token per iteration into a named output stream.
+  Output,
+  /// Forwards its operand unchanged.
+  Identity,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  Min,
+  Max,
+  CmpLt,
+  CmpLe,
+  CmpEq,
+  CmpNe,
+  And,
+  Or,
+  Not,
+  /// switch(ctrl, data): routes data to output port 0 when ctrl is
+  /// true, port 1 otherwise; the unselected port gets a dummy token.
+  Switch,
+  /// merge(ctrl, t, f): yields t when ctrl is true, f otherwise; the
+  /// unselected operand (a dummy token) is consumed and discarded.
+  Merge,
+};
+
+/// Number of operand ports of \p Kind.
+unsigned opArity(OpKind Kind);
+
+/// Number of result ports of \p Kind (2 for Switch, 0 for Output,
+/// 1 otherwise).
+unsigned opResults(OpKind Kind);
+
+/// Mnemonic spelling, e.g. "add".
+const char *opName(OpKind Kind);
+
+/// A token value: a number plus the dummy flag used by the altered
+/// switch/merge firing rules.  Any strict operator with a dummy operand
+/// yields a dummy result.
+struct TokenValue {
+  double Num = 0.0;
+  bool IsDummy = false;
+
+  static TokenValue real(double V) { return TokenValue{V, false}; }
+  static TokenValue dummy() { return TokenValue{0.0, true}; }
+
+  friend bool operator==(const TokenValue &A, const TokenValue &B) {
+    return A.IsDummy == B.IsDummy && (A.IsDummy || A.Num == B.Num);
+  }
+};
+
+/// Applies a non-control operator (arity 1 or 2) to operand values,
+/// with dummy propagation.  \p Kind must not be Switch/Merge/Const/
+/// Input/Output.
+TokenValue evalSimpleOp(OpKind Kind, const TokenValue *Operands);
+
+} // namespace sdsp
+
+#endif // SDSP_DATAFLOW_OPS_H

@@ -1,0 +1,76 @@
+//===- dataflow/Transforms.h - Dataflow graph optimizations -----*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classical cleanup passes over the loop dataflow IR, run before SDSP
+/// construction.  Smaller bodies mean fewer transitions, fewer storage
+/// locations, and often a better issue bound (Thm 5.2.2's 1/n grows as
+/// n shrinks):
+///
+///   foldConstants  evaluates operators whose operands are all
+///                  constants (dummy-free by construction);
+///   eliminateCommonSubexpressions
+///                  hash-conses structurally identical compute nodes
+///                  (same kind, execution time, operand sources;
+///                  loop-carried operands must match arc-for-arc);
+///   eliminateDeadCode
+///                  drops compute nodes with no path to any Output
+///                  (including nodes orphaned by the other passes);
+///   optimize       runs the trio to a fixed point.
+///
+/// All passes preserve the loop's input/output semantics (checked by
+/// interpreter equivalence in the tests) and never touch Output nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_DATAFLOW_TRANSFORMS_H
+#define SDSP_DATAFLOW_TRANSFORMS_H
+
+#include "dataflow/DataflowGraph.h"
+
+namespace sdsp {
+
+/// Statistics from one optimize() run.
+struct TransformStats {
+  size_t ConstantsFolded = 0;
+  size_t SubexpressionsMerged = 0;
+  size_t DeadNodesRemoved = 0;
+  size_t AlgebraicRewrites = 0;
+  size_t NodesBefore = 0;
+  size_t NodesAfter = 0;
+
+  bool changedAnything() const {
+    return ConstantsFolded || SubexpressionsMerged ||
+           DeadNodesRemoved || AlgebraicRewrites;
+  }
+};
+
+/// Folds constant operators once; returns the rewritten graph and adds
+/// to \p Stats.
+DataflowGraph foldConstants(const DataflowGraph &G, TransformStats &Stats);
+
+/// Merges structurally identical compute nodes once.
+DataflowGraph eliminateCommonSubexpressions(const DataflowGraph &G,
+                                            TransformStats &Stats);
+
+/// Removes compute nodes unreachable (forward) from every Output.
+DataflowGraph eliminateDeadCode(const DataflowGraph &G,
+                                TransformStats &Stats);
+
+/// Rewrites x+0, 0+x, x-0, x*1, 1*x, x/1 to x (as identity-forwarding,
+/// cleaned up by CSE/DCE).  Only dummy-preserving identities are
+/// applied: x*0 -> 0 would turn a dummy token into a real zero inside
+/// an unselected conditional branch, so it is deliberately NOT done.
+DataflowGraph simplifyAlgebra(const DataflowGraph &G,
+                              TransformStats &Stats);
+
+/// Runs fold + CSE + DCE to a fixed point.
+DataflowGraph optimize(const DataflowGraph &G, TransformStats &Stats);
+
+} // namespace sdsp
+
+#endif // SDSP_DATAFLOW_TRANSFORMS_H

@@ -1,0 +1,111 @@
+//===- dataflow/Unroll.cpp - Loop unrolling transform ----------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Unroll.h"
+
+#include "dataflow/Validate.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+DataflowGraph sdsp::unrollLoop(const DataflowGraph &G, uint32_t Factor) {
+  assert(Factor >= 1 && "unroll factor must be positive");
+  assert(isWellFormed(G) && "unrolling a malformed graph");
+
+  DataflowGraph Out;
+  // Clone[j][n] = copy j of original node n.
+  std::vector<std::vector<NodeId>> Clone(
+      Factor, std::vector<NodeId>(G.numNodes()));
+
+  for (uint32_t J = 0; J < Factor; ++J) {
+    for (NodeId N : G.nodeIds()) {
+      const DataflowGraph::Node &Node = G.node(N);
+      std::string Name = Node.Name;
+      if (Factor > 1)
+        Name += "@" + std::to_string(J);
+      NodeId C = Node.Kind == OpKind::Const
+                     ? Out.addConst(Node.ConstValue, Name)
+                     : Out.addNode(Node.Kind, Name);
+      Out.setExecTime(C, Node.ExecTime);
+      Clone[J][N.index()] = C;
+    }
+  }
+
+  for (uint32_t J = 0; J < Factor; ++J) {
+    for (ArcId AI : G.arcIds()) {
+      const DataflowGraph::Arc &A = G.arc(AI);
+      NodeId To = Clone[J][A.To.index()];
+      if (!A.isFeedback()) {
+        Out.connect(Clone[J][A.From.index()], A.FromPort, To, A.ToPort);
+        continue;
+      }
+      // Copy j of macro-iteration i consumes original iteration
+      // U*i + j - d, i.e. copy (j - d) mod U of macro-iteration i - q.
+      int64_t D = A.Distance;
+      int64_t SrcJ = ((static_cast<int64_t>(J) - D) % Factor + Factor) %
+                     Factor;
+      int64_t Q = (SrcJ - static_cast<int64_t>(J) + D) / Factor;
+      NodeId From = Clone[static_cast<size_t>(SrcJ)][A.From.index()];
+      if (Q == 0) {
+        Out.connect(From, A.FromPort, To, A.ToPort);
+        continue;
+      }
+      // Initial values: macro-iteration i < q corresponds to original
+      // iteration U*i + j < d.
+      std::vector<double> Init(static_cast<size_t>(Q));
+      for (int64_t I = 0; I < Q; ++I) {
+        size_t Orig = static_cast<size_t>(I) * Factor + J;
+        assert(Orig < A.InitialValues.size() &&
+               "initial window slice out of range");
+        Init[static_cast<size_t>(I)] = A.InitialValues[Orig];
+      }
+      Out.connectFeedback(From, A.FromPort, To, A.ToPort,
+                          std::move(Init));
+    }
+  }
+
+  assert(isWellFormed(Out) && "unrolling broke well-formedness");
+  return Out;
+}
+
+StreamMap sdsp::stridedStreams(const StreamMap &Inputs, uint32_t Factor,
+                               size_t MacroIterations) {
+  if (Factor == 1)
+    return Inputs;
+  StreamMap Out;
+  for (const auto &[Name, Values] : Inputs) {
+    assert(Values.size() >= MacroIterations * Factor &&
+           "stream too short for the unrolled view");
+    for (uint32_t J = 0; J < Factor; ++J) {
+      std::vector<double> Sub(MacroIterations);
+      for (size_t I = 0; I < MacroIterations; ++I)
+        Sub[I] = Values[I * Factor + J];
+      Out[Name + "@" + std::to_string(J)] = std::move(Sub);
+    }
+  }
+  return Out;
+}
+
+StreamMap sdsp::interleaveOutputs(const StreamMap &PerCopy,
+                                  uint32_t Factor) {
+  if (Factor == 1)
+    return PerCopy;
+  StreamMap Out;
+  for (const auto &[Name, Values] : PerCopy) {
+    size_t At = Name.rfind('@');
+    assert(At != std::string::npos && "per-copy stream without @j");
+    std::string Base = Name.substr(0, At);
+    uint32_t J = static_cast<uint32_t>(std::stoul(Name.substr(At + 1)));
+    std::vector<double> &Merged = Out[Base];
+    if (Merged.size() < Values.size() * Factor)
+      Merged.resize(Values.size() * Factor, 0.0);
+    for (size_t I = 0; I < Values.size(); ++I)
+      Merged[I * Factor + J] = Values[I];
+  }
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- dataflow/Unroll.h - Loop unrolling transform -------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unrolls a loop dataflow graph by a factor U: the body is replicated
+/// U times (copy j handles original iteration U*i + j of macro-
+/// iteration i); a feedback arc of distance d becomes, for consumer
+/// copy j, either a forward arc from copy (j - d) mod U (same macro-
+/// iteration) or a feedback arc with distance ceil((d - j)/U) and the
+/// corresponding slice of the initial window.
+///
+/// Why it's here: the paper motivates software pipelining as exploiting
+/// cross-iteration parallelism *without* unrolling (Section 1, Section
+/// 7).  The transform makes that claim measurable: unrolling multiplies
+/// the body size and storage while the per-original-iteration optimal
+/// rate stays exactly the same (bench/ablation_unroll).
+///
+/// Input and Output nodes are replicated per copy with "@j" suffixes:
+/// copy j's stream "X@j" is the strided sub-stream X[U*i + j].
+/// stridedStreams()/interleaveOutputs() convert between the views.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_DATAFLOW_UNROLL_H
+#define SDSP_DATAFLOW_UNROLL_H
+
+#include "dataflow/DataflowGraph.h"
+#include "dataflow/Interpreter.h"
+
+namespace sdsp {
+
+/// Unrolls \p G by \p Factor (>= 1; 1 returns a copy).  \p G must be
+/// well formed.
+DataflowGraph unrollLoop(const DataflowGraph &G, uint32_t Factor);
+
+/// Splits original input streams into the strided per-copy streams the
+/// unrolled graph reads ("X" -> "X@0".."X@U-1").  Streams must hold at
+/// least MacroIterations * Factor elements.
+StreamMap stridedStreams(const StreamMap &Inputs, uint32_t Factor,
+                         size_t MacroIterations);
+
+/// Re-interleaves per-copy output streams ("E@j") into the original
+/// iteration order.
+StreamMap interleaveOutputs(const StreamMap &PerCopy, uint32_t Factor);
+
+} // namespace sdsp
+
+#endif // SDSP_DATAFLOW_UNROLL_H

@@ -1,0 +1,40 @@
+//===- dataflow/Validate.h - Well-formedness checks -------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validation of dataflow graphs before SDSP construction.
+/// A graph is well formed when every operand port is connected, every
+/// feedback arc carries its initial window, the forward subgraph is
+/// acyclic (every dependence cycle crosses an iteration boundary), and
+/// execution times are positive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_DATAFLOW_VALIDATE_H
+#define SDSP_DATAFLOW_VALIDATE_H
+
+#include "dataflow/DataflowGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// One validation failure, human readable.
+struct ValidationError {
+  std::string Message;
+};
+
+/// Checks \p G; returns the (possibly empty) list of problems.
+std::vector<ValidationError> validate(const DataflowGraph &G);
+
+/// Convenience: true iff validate(G) is empty.
+bool isWellFormed(const DataflowGraph &G);
+
+} // namespace sdsp
+
+#endif // SDSP_DATAFLOW_VALIDATE_H

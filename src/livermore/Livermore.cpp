@@ -1,0 +1,355 @@
+//===- livermore/Livermore.cpp - The paper's benchmark loops ----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "livermore/Livermore.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+namespace {
+
+/// Fills a random stream of \p N values in [-1, 1).
+std::vector<double> randomStream(Rng &R, size_t N) {
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = R.uniform() * 2.0 - 1.0;
+  return V;
+}
+
+/// A loop-invariant scalar as a constant stream.
+std::vector<double> scalarStream(Rng &R, size_t N) {
+  return std::vector<double>(N, R.uniform() * 2.0 - 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// L1 / L2: the paper's running examples (Figures 1 and 2)
+//===----------------------------------------------------------------------===//
+
+const char *L1Source = R"(# Paper Figure 1(a): DOALL loop L1
+doall i {
+  A = X[i] + 5;
+  B = Y[i] + A;
+  C = A + Z[i];
+  D = B + C;
+  E = W[i] + D;
+  out E;
+})";
+
+StreamMap l1Inputs(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  StreamMap M;
+  M["X"] = randomStream(R, N);
+  M["Y"] = randomStream(R, N);
+  M["Z"] = randomStream(R, N);
+  M["W"] = randomStream(R, N);
+  return M;
+}
+
+StreamMap l1Reference(const StreamMap &In, size_t N) {
+  StreamMap Out;
+  std::vector<double> &E = Out["E"];
+  for (size_t I = 0; I < N; ++I) {
+    double A = In.at("X")[I] + 5;
+    double B = In.at("Y")[I] + A;
+    double C = A + In.at("Z")[I];
+    double D = B + C;
+    E.push_back(In.at("W")[I] + D);
+  }
+  return Out;
+}
+
+const char *L2Source = R"(# Paper Figure 2(a): loop L2 with loop-carried dependence
+do i {
+  init E = 0;
+  A = X[i] + 5;
+  B = Y[i] + A;
+  C = A + E[i-1];
+  D = B + C;
+  E = W[i] + D;
+  out E;
+})";
+
+StreamMap l2Reference(const StreamMap &In, size_t N) {
+  StreamMap Out;
+  std::vector<double> &E = Out["E"];
+  double Prev = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    double A = In.at("X")[I] + 5;
+    double B = In.at("Y")[I] + A;
+    double C = A + Prev;
+    double D = B + C;
+    Prev = In.at("W")[I] + D;
+    E.push_back(Prev);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Livermore Loop 1: Hydro Fragment
+//===----------------------------------------------------------------------===//
+
+const char *Loop1Source = R"(# Livermore Loop 1: hydro fragment
+doall k {
+  x = q + y[k] * (r * z[k+10] + t * z[k+11]);
+  out x;
+})";
+
+StreamMap loop1Inputs(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  StreamMap M;
+  M["q"] = scalarStream(R, N);
+  M["r"] = scalarStream(R, N);
+  M["t"] = scalarStream(R, N);
+  M["y"] = randomStream(R, N);
+  M["z+10"] = randomStream(R, N);
+  M["z+11"] = randomStream(R, N);
+  return M;
+}
+
+StreamMap loop1Reference(const StreamMap &In, size_t N) {
+  StreamMap Out;
+  std::vector<double> &X = Out["x"];
+  for (size_t I = 0; I < N; ++I)
+    X.push_back(In.at("q")[I] +
+                In.at("y")[I] * (In.at("r")[I] * In.at("z+10")[I] +
+                                 In.at("t")[I] * In.at("z+11")[I]));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Livermore Loop 7: Equation of State Fragment
+//===----------------------------------------------------------------------===//
+
+const char *Loop7Source = R"(# Livermore Loop 7: equation of state fragment
+doall k {
+  x = u[k] + r * (z[k] + r * y[k])
+      + t * (u[k+3] + r * (u[k+2] + r * u[k+1])
+             + t * (u[k+6] + q * (u[k+5] + q * u[k+4])));
+  out x;
+})";
+
+StreamMap loop7Inputs(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  StreamMap M;
+  M["q"] = scalarStream(R, N);
+  M["r"] = scalarStream(R, N);
+  M["t"] = scalarStream(R, N);
+  M["u"] = randomStream(R, N);
+  M["u+1"] = randomStream(R, N);
+  M["u+2"] = randomStream(R, N);
+  M["u+3"] = randomStream(R, N);
+  M["u+4"] = randomStream(R, N);
+  M["u+5"] = randomStream(R, N);
+  M["u+6"] = randomStream(R, N);
+  M["y"] = randomStream(R, N);
+  M["z"] = randomStream(R, N);
+  return M;
+}
+
+StreamMap loop7Reference(const StreamMap &In, size_t N) {
+  StreamMap Out;
+  std::vector<double> &X = Out["x"];
+  for (size_t I = 0; I < N; ++I) {
+    double Q = In.at("q")[I], R = In.at("r")[I], T = In.at("t")[I];
+    X.push_back(In.at("u")[I] + R * (In.at("z")[I] + R * In.at("y")[I]) +
+                T * (In.at("u+3")[I] +
+                     R * (In.at("u+2")[I] + R * In.at("u+1")[I]) +
+                     T * (In.at("u+6")[I] +
+                          Q * (In.at("u+5")[I] + Q * In.at("u+4")[I]))));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Livermore Loop 12: First Difference
+//===----------------------------------------------------------------------===//
+
+const char *Loop12Source = R"(# Livermore Loop 12: first difference
+doall k {
+  x = y[k+1] - y[k];
+  out x;
+})";
+
+StreamMap loop12Inputs(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  StreamMap M;
+  M["y"] = randomStream(R, N);
+  M["y+1"] = randomStream(R, N);
+  return M;
+}
+
+StreamMap loop12Reference(const StreamMap &In, size_t N) {
+  StreamMap Out;
+  std::vector<double> &X = Out["x"];
+  for (size_t I = 0; I < N; ++I)
+    X.push_back(In.at("y+1")[I] - In.at("y")[I]);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Livermore Loop 3: Inner Product (LCD)
+//===----------------------------------------------------------------------===//
+
+const char *Loop3Source = R"(# Livermore Loop 3: inner product
+do k {
+  init q = 0;
+  q = q[k-1] + z[k] * x[k];
+  out q;
+})";
+
+StreamMap loop3Inputs(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  StreamMap M;
+  M["z"] = randomStream(R, N);
+  M["x"] = randomStream(R, N);
+  return M;
+}
+
+StreamMap loop3Reference(const StreamMap &In, size_t N) {
+  StreamMap Out;
+  std::vector<double> &Q = Out["q"];
+  double Acc = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    Acc += In.at("z")[I] * In.at("x")[I];
+    Q.push_back(Acc);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Livermore Loop 5: Tri-Diagonal Elimination, Below the Diagonal (LCD)
+//===----------------------------------------------------------------------===//
+
+const char *Loop5Source = R"(# Livermore Loop 5: tri-diagonal elimination
+do i {
+  init x = 0;
+  x = z[i] * (y[i] - x[i-1]);
+  out x;
+})";
+
+StreamMap loop5Inputs(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  StreamMap M;
+  M["z"] = randomStream(R, N);
+  M["y"] = randomStream(R, N);
+  return M;
+}
+
+StreamMap loop5Reference(const StreamMap &In, size_t N) {
+  StreamMap Out;
+  std::vector<double> &X = Out["x"];
+  double Prev = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    Prev = In.at("z")[I] * (In.at("y")[I] - Prev);
+    X.push_back(Prev);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Livermore Loop 9: Integrate Predictors
+//===----------------------------------------------------------------------===//
+// The paper (footnote 5) examines loop 9 both as a DOALL (after
+// subscript analysis exposes its parallelism) and conservatively with a
+// loop-carried dependence.  The DOALL variant reads the predictor
+// columns as independent streams; the LCD variant threads px0 through
+// iterations.
+
+const char *Loop9Source = R"(# Livermore Loop 9: integrate predictors (DOALL)
+doall i {
+  px0 = dm28 * px12[i] + dm27 * px11[i] + dm26 * px10[i]
+      + dm25 * px9[i] + dm24 * px8[i] + dm23 * px7[i]
+      + dm22 * px6[i] + c0 * (px4[i] + px5[i]) + px2[i];
+  out px0;
+})";
+
+const char *Loop9LcdSource = R"(# Livermore Loop 9: integrate predictors (conservative LCD)
+do i {
+  init px0 = 0;
+  px0 = dm28 * px12[i] + dm27 * px11[i] + dm26 * px10[i]
+      + dm25 * px9[i] + dm24 * px8[i] + dm23 * px7[i]
+      + dm22 * px6[i] + c0 * (px4[i] + px5[i]) + px0[i-1];
+  out px0;
+})";
+
+StreamMap loop9Inputs(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  StreamMap M;
+  for (const char *S : {"dm22", "dm23", "dm24", "dm25", "dm26", "dm27",
+                        "dm28", "c0"})
+    M[S] = scalarStream(R, N);
+  for (const char *S : {"px2", "px4", "px5", "px6", "px7", "px8", "px9",
+                        "px10", "px11", "px12"})
+    M[S] = randomStream(R, N);
+  return M;
+}
+
+double loop9Term(const StreamMap &In, size_t I) {
+  return In.at("dm28")[I] * In.at("px12")[I] +
+         In.at("dm27")[I] * In.at("px11")[I] +
+         In.at("dm26")[I] * In.at("px10")[I] +
+         In.at("dm25")[I] * In.at("px9")[I] +
+         In.at("dm24")[I] * In.at("px8")[I] +
+         In.at("dm23")[I] * In.at("px7")[I] +
+         In.at("dm22")[I] * In.at("px6")[I] +
+         In.at("c0")[I] * (In.at("px4")[I] + In.at("px5")[I]);
+}
+
+StreamMap loop9Reference(const StreamMap &In, size_t N) {
+  StreamMap Out;
+  std::vector<double> &P = Out["px0"];
+  for (size_t I = 0; I < N; ++I)
+    P.push_back(loop9Term(In, I) + In.at("px2")[I]);
+  return Out;
+}
+
+StreamMap loop9LcdReference(const StreamMap &In, size_t N) {
+  StreamMap Out;
+  std::vector<double> &P = Out["px0"];
+  double Prev = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    Prev = loop9Term(In, I) + Prev;
+    P.push_back(Prev);
+  }
+  return Out;
+}
+
+} // namespace
+
+const std::vector<LivermoreKernel> &sdsp::livermoreKernels() {
+  static const std::vector<LivermoreKernel> Kernels = {
+      {"L1: paper's DOALL example", "l1", L1Source, false, l1Inputs,
+       l1Reference},
+      {"L2: paper's LCD example", "l2", L2Source, true, l1Inputs,
+       l2Reference},
+      {"Loop1: Hydro Fragment", "loop1", Loop1Source, false, loop1Inputs,
+       loop1Reference},
+      {"Loop7: Equation of State", "loop7", Loop7Source, false, loop7Inputs,
+       loop7Reference},
+      {"Loop12: First Difference", "loop12", Loop12Source, false,
+       loop12Inputs, loop12Reference},
+      {"Loop3: Inner Product", "loop3", Loop3Source, true, loop3Inputs,
+       loop3Reference},
+      {"Loop5: Tri-Diagonal Elimination", "loop5", Loop5Source, true,
+       loop5Inputs, loop5Reference},
+      {"Loop9: Integrate Predictors", "loop9", Loop9Source, false,
+       loop9Inputs, loop9Reference},
+      {"Loop9-LCD: Integrate Predictors", "loop9lcd", Loop9LcdSource, true,
+       loop9Inputs, loop9LcdReference},
+  };
+  return Kernels;
+}
+
+const LivermoreKernel *sdsp::findKernel(const std::string &Id) {
+  for (const LivermoreKernel &K : livermoreKernels())
+    if (K.Id == Id)
+      return &K;
+  return nullptr;
+}

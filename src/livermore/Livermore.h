@@ -1,0 +1,59 @@
+//===- livermore/Livermore.h - The paper's benchmark loops ------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Livermore loops of Section 5 (plus the paper's L1/L2 examples),
+/// each as loop-language source, with a plain-C++ reference
+/// implementation used to check schedules and the interpreter end to
+/// end:
+///
+///   without loop-carried dependence: Loop 1 (hydro fragment),
+///   Loop 7 (equation of state), Loop 12 (first difference);
+///   with LCD: Loop 3 (inner product), Loop 5 (tri-diagonal
+///   elimination), Loop 9 (integrate predictors, the paper's
+///   "examined both ways" case — provided in both variants).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_LIVERMORE_LIVERMORE_H
+#define SDSP_LIVERMORE_LIVERMORE_H
+
+#include "dataflow/Interpreter.h"
+
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// One benchmark kernel.
+struct LivermoreKernel {
+  /// Display name, e.g. "Loop1: Hydro Fragment".
+  std::string Name;
+  /// Short id, e.g. "loop1".
+  std::string Id;
+  /// Loop-language source.
+  std::string Source;
+  /// True if the kernel has a loop-carried dependence.
+  bool HasLcd = false;
+  /// Generates the input streams for \p Iterations iterations with a
+  /// deterministic seed.
+  StreamMap (*MakeInputs)(size_t Iterations, uint64_t Seed);
+  /// Computes the expected output streams from those inputs.
+  StreamMap (*Reference)(const StreamMap &Inputs, size_t Iterations);
+};
+
+/// All kernels, in the paper's order: L1, L2, then Livermore 1, 7, 12,
+/// 3, 5, 9 (both variants of 9).
+const std::vector<LivermoreKernel> &livermoreKernels();
+
+/// Looks a kernel up by Id ("l1", "l2", "loop1", "loop3", ...).
+/// Returns nullptr if unknown.
+const LivermoreKernel *findKernel(const std::string &Id);
+
+} // namespace sdsp
+
+#endif // SDSP_LIVERMORE_LIVERMORE_H

@@ -1,0 +1,20 @@
+//===- loopir/Ast.cpp - Loop-language abstract syntax ----------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loopir/Ast.h"
+
+using namespace sdsp;
+
+ExprAST::~ExprAST() = default;
+
+std::string StreamRefExpr::streamName() const {
+  if (Offset == 0)
+    return Array;
+  if (Offset > 0)
+    return Array + "+" + std::to_string(Offset);
+  return Array + std::to_string(Offset);
+}

@@ -1,0 +1,180 @@
+//===- loopir/Ast.h - Loop-language abstract syntax -------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the loop language.  A program is a single (non-nested) loop,
+/// matching the paper's scope ("for nested loops, our technique applies
+/// to the innermost loop").  Expressions use an LLVM-style Kind tag with
+/// isa/cast-free downcasting via classof-like helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_LOOPIR_AST_H
+#define SDSP_LOOPIR_AST_H
+
+#include "loopir/Diagnostics.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// Base of all expression nodes.
+class ExprAST {
+public:
+  enum class Kind : uint8_t {
+    Number,
+    VarRef,
+    StreamRef,
+    Binary,
+    Cond,
+  };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+  virtual ~ExprAST();
+
+protected:
+  ExprAST(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<ExprAST>;
+
+/// A numeric literal.
+class NumberExpr : public ExprAST {
+public:
+  NumberExpr(SourceLoc Loc, double Value)
+      : ExprAST(Kind::Number, Loc), Value(Value) {}
+  double value() const { return Value; }
+  static bool classof(const ExprAST *E) { return E->kind() == Kind::Number; }
+
+private:
+  double Value;
+};
+
+/// A reference to a loop-local variable, possibly from an earlier
+/// iteration: `A` (offset 0) or `A[i-2]` (offset -2).
+class VarRefExpr : public ExprAST {
+public:
+  VarRefExpr(SourceLoc Loc, std::string Name, int32_t Offset)
+      : ExprAST(Kind::VarRef, Loc), Name(std::move(Name)), Offset(Offset) {}
+  const std::string &name() const { return Name; }
+  /// 0 = this iteration; negative = loop-carried distance.
+  int32_t offset() const { return Offset; }
+  static bool classof(const ExprAST *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+  int32_t Offset;
+};
+
+/// A reference to an input array element: `X[i]`, `Z[i+10]`.
+class StreamRefExpr : public ExprAST {
+public:
+  StreamRefExpr(SourceLoc Loc, std::string Array, int32_t Offset)
+      : ExprAST(Kind::StreamRef, Loc), Array(std::move(Array)),
+        Offset(Offset) {}
+  const std::string &array() const { return Array; }
+  int32_t offset() const { return Offset; }
+  /// The normalized stream name, e.g. "Z+10" or just "X".
+  std::string streamName() const;
+  static bool classof(const ExprAST *E) {
+    return E->kind() == Kind::StreamRef;
+  }
+
+private:
+  std::string Array;
+  int32_t Offset;
+};
+
+/// Binary operator application.
+class BinaryExpr : public ExprAST {
+public:
+  enum class Op : uint8_t {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+  };
+
+  BinaryExpr(SourceLoc Loc, Op O, ExprPtr Lhs, ExprPtr Rhs)
+      : ExprAST(Kind::Binary, Loc), O(O), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  Op op() const { return O; }
+  const ExprAST &lhs() const { return *Lhs; }
+  const ExprAST &rhs() const { return *Rhs; }
+  static bool classof(const ExprAST *E) { return E->kind() == Kind::Binary; }
+
+private:
+  Op O;
+  ExprPtr Lhs, Rhs;
+};
+
+/// `if c then a else b`, lowered to switch/merge with dummy tokens.
+class CondExpr : public ExprAST {
+public:
+  CondExpr(SourceLoc Loc, ExprPtr Cond, ExprPtr Then, ExprPtr Else)
+      : ExprAST(Kind::Cond, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  const ExprAST &cond() const { return *Cond; }
+  const ExprAST &thenExpr() const { return *Then; }
+  const ExprAST &elseExpr() const { return *Else; }
+  static bool classof(const ExprAST *E) { return E->kind() == Kind::Cond; }
+
+private:
+  ExprPtr Cond, Then, Else;
+};
+
+/// `name = expr;`
+struct AssignStmt {
+  SourceLoc Loc;
+  std::string Name;
+  ExprPtr Value;
+};
+
+/// `init name = v0, v1, ...;` — the initial window for loop-carried
+/// references to `name`, oldest value first.
+struct InitStmt {
+  SourceLoc Loc;
+  std::string Name;
+  std::vector<double> Values;
+};
+
+/// `out name;` — exposes a local as an output stream.
+struct OutStmt {
+  SourceLoc Loc;
+  std::string Name;
+};
+
+/// The whole program: one loop.
+struct LoopAST {
+  SourceLoc Loc;
+  /// True for `doall` (asserts no loop-carried dependence).
+  bool IsDoall = false;
+  std::string IndexName;
+  std::vector<InitStmt> Inits;
+  std::vector<AssignStmt> Assigns;
+  std::vector<OutStmt> Outs;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_LOOPIR_AST_H

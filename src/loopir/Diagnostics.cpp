@@ -1,0 +1,22 @@
+//===- loopir/Diagnostics.cpp - Frontend diagnostics -----------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loopir/Diagnostics.h"
+
+#include <ostream>
+
+using namespace sdsp;
+
+void DiagnosticEngine::error(SourceLoc Loc, const std::string &Message) {
+  Diags.push_back(Diagnostic{Loc, Message});
+}
+
+void DiagnosticEngine::print(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags)
+    OS << D.Loc.Line << ":" << D.Loc.Col << ": error: " << D.Message
+       << "\n";
+}

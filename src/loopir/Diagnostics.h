@@ -1,0 +1,57 @@
+//===- loopir/Diagnostics.h - Frontend diagnostics --------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the loop-language frontend.  Library code
+/// never prints or aborts on user input errors; it records diagnostics
+/// here and the caller decides what to do (LLVM's recoverable-error
+/// discipline, sized for this project).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_LOOPIR_DIAGNOSTICS_H
+#define SDSP_LOOPIR_DIAGNOSTICS_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// A source location: 1-based line and column.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// One diagnostic message.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics across frontend phases.
+class DiagnosticEngine {
+public:
+  /// Reports an error at \p Loc.  Messages follow the LLVM style:
+  /// lowercase first letter, no trailing period.
+  void error(SourceLoc Loc, const std::string &Message);
+
+  bool hasErrors() const { return !Diags.empty(); }
+  size_t numErrors() const { return Diags.size(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Prints "line:col: error: message" per diagnostic.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_LOOPIR_DIAGNOSTICS_H

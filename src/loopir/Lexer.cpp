@@ -1,0 +1,266 @@
+//===- loopir/Lexer.cpp - Loop-language tokenizer ---------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loopir/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace sdsp;
+
+const char *sdsp::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::KwDoall:
+    return "'doall'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwInit:
+    return "'init'";
+  case TokenKind::KwOut:
+    return "'out'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwMin:
+    return "'min'";
+  case TokenKind::KwMax:
+    return "'max'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  }
+  return "?";
+}
+
+namespace {
+
+TokenKind keywordKind(const std::string &Text) {
+  if (Text == "doall")
+    return TokenKind::KwDoall;
+  if (Text == "do")
+    return TokenKind::KwDo;
+  if (Text == "init")
+    return TokenKind::KwInit;
+  if (Text == "out")
+    return TokenKind::KwOut;
+  if (Text == "if")
+    return TokenKind::KwIf;
+  if (Text == "then")
+    return TokenKind::KwThen;
+  if (Text == "else")
+    return TokenKind::KwElse;
+  if (Text == "min")
+    return TokenKind::KwMin;
+  if (Text == "max")
+    return TokenKind::KwMax;
+  return TokenKind::Identifier;
+}
+
+} // namespace
+
+std::vector<Token> sdsp::tokenize(const std::string &Source,
+                                  DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens;
+  size_t I = 0, N = Source.size();
+  unsigned Line = 1, Col = 1;
+
+  auto Advance = [&]() {
+    if (Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    SourceLoc Loc{Line, Col};
+
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Line comments: '#' to end of line.
+    if (C == '#') {
+      while (I < N && Source[I] != '\n')
+        Advance();
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_')) {
+        Text.push_back(Source[I]);
+        Advance();
+      }
+      Token T;
+      T.Kind = keywordKind(Text);
+      T.Loc = Loc;
+      T.Text = std::move(Text);
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Source[I + 1])))) {
+      std::string Text;
+      while (I < N && (std::isdigit(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '.' || Source[I] == 'e' ||
+                       Source[I] == 'E' ||
+                       ((Source[I] == '+' || Source[I] == '-') && !Text.empty() &&
+                        (Text.back() == 'e' || Text.back() == 'E')))) {
+        Text.push_back(Source[I]);
+        Advance();
+      }
+      Token T;
+      T.Kind = TokenKind::Number;
+      T.Loc = Loc;
+      T.Value = std::strtod(Text.c_str(), nullptr);
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    auto Single = [&](TokenKind K) {
+      Token T;
+      T.Kind = K;
+      T.Loc = Loc;
+      Tokens.push_back(std::move(T));
+      Advance();
+    };
+    auto Pair = [&](char Next, TokenKind Two, TokenKind One) {
+      if (I + 1 < N && Source[I + 1] == Next) {
+        Token T;
+        T.Kind = Two;
+        T.Loc = Loc;
+        Tokens.push_back(std::move(T));
+        Advance();
+        Advance();
+      } else {
+        Single(One);
+      }
+    };
+
+    switch (C) {
+    case '=':
+      Pair('=', TokenKind::EqualEqual, TokenKind::Equal);
+      break;
+    case '<':
+      Pair('=', TokenKind::LessEqual, TokenKind::Less);
+      break;
+    case '>':
+      Pair('=', TokenKind::GreaterEqual, TokenKind::Greater);
+      break;
+    case '!':
+      if (I + 1 < N && Source[I + 1] == '=') {
+        Token T;
+        T.Kind = TokenKind::BangEqual;
+        T.Loc = Loc;
+        Tokens.push_back(std::move(T));
+        Advance();
+        Advance();
+      } else {
+        Diags.error(Loc, "unexpected character '!'");
+        Advance();
+      }
+      break;
+    case '+':
+      Single(TokenKind::Plus);
+      break;
+    case '-':
+      Single(TokenKind::Minus);
+      break;
+    case '*':
+      Single(TokenKind::Star);
+      break;
+    case '/':
+      Single(TokenKind::Slash);
+      break;
+    case '(':
+      Single(TokenKind::LParen);
+      break;
+    case ')':
+      Single(TokenKind::RParen);
+      break;
+    case '[':
+      Single(TokenKind::LBracket);
+      break;
+    case ']':
+      Single(TokenKind::RBracket);
+      break;
+    case '{':
+      Single(TokenKind::LBrace);
+      break;
+    case '}':
+      Single(TokenKind::RBrace);
+      break;
+    case ';':
+      Single(TokenKind::Semicolon);
+      break;
+    case ',':
+      Single(TokenKind::Comma);
+      break;
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      Advance();
+      break;
+    }
+  }
+
+  Token Eof;
+  Eof.Kind = TokenKind::Eof;
+  Eof.Loc = SourceLoc{Line, Col};
+  Tokens.push_back(std::move(Eof));
+  return Tokens;
+}

@@ -1,0 +1,85 @@
+//===- loopir/Lexer.h - Loop-language tokenizer -----------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the small loop language used to express the paper's
+/// example loops and Livermore kernels (a SISAL-flavored stand-in for
+/// the McGill testbed's frontend):
+///
+///   doall i { A = X[i] + 5; B = Y[i] + A; ... out E; }
+///   do i  { init E = 0; C = A + E[i-1]; ... }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_LOOPIR_LEXER_H
+#define SDSP_LOOPIR_LEXER_H
+
+#include "loopir/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// Token kinds of the loop language.
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  Number,
+  // Keywords.
+  KwDoall,
+  KwDo,
+  KwInit,
+  KwOut,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwMin,
+  KwMax,
+  // Punctuation and operators.
+  Equal,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Semicolon,
+  Comma,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+};
+
+/// Printable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+/// One token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  /// Identifier spelling.
+  std::string Text;
+  /// Number payload.
+  double Value = 0.0;
+};
+
+/// Tokenizes \p Source.  Unknown characters are reported to \p Diags
+/// and skipped.  The result always ends with an Eof token.
+std::vector<Token> tokenize(const std::string &Source,
+                            DiagnosticEngine &Diags);
+
+} // namespace sdsp
+
+#endif // SDSP_LOOPIR_LEXER_H

@@ -1,0 +1,248 @@
+//===- loopir/Lowering.cpp - AST to dataflow graph --------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loopir/Lowering.h"
+
+#include "dataflow/Validate.h"
+#include "loopir/Parser.h"
+
+#include <cassert>
+#include <map>
+
+using namespace sdsp;
+
+namespace {
+
+/// A (node, result port) pair during lowering.
+struct LoweredValue {
+  NodeId N;
+  uint32_t Port = 0;
+};
+
+class Lowerer {
+public:
+  Lowerer(const LoopAST &Loop, DiagnosticEngine &Diags)
+      : Loop(Loop), Diags(Diags) {
+    for (const InitStmt &I : Loop.Inits)
+      Inits[I.Name] = I.Values;
+  }
+
+  std::optional<DataflowGraph> run();
+
+private:
+  const LoopAST &Loop;
+  DiagnosticEngine &Diags;
+  DataflowGraph G;
+
+  std::map<std::string, LoweredValue> Defs;
+  std::map<std::string, NodeId> InputNodes;
+  std::map<double, NodeId> ConstNodes;
+  std::map<std::string, std::vector<double>> Inits;
+
+  /// Operand connections that wait for their producer's definition.
+  struct Pending {
+    NodeId Consumer;
+    uint32_t Port;
+    std::string Name;
+    uint32_t Distance;
+    SourceLoc Loc;
+  };
+  std::vector<Pending> Pendings;
+
+  LoweredValue lowerConst(double V) {
+    auto [It, Inserted] = ConstNodes.try_emplace(V, NodeId::invalid());
+    if (Inserted)
+      It->second = G.addConst(V);
+    return {It->second, 0};
+  }
+
+  LoweredValue lowerStream(const StreamRefExpr &E) {
+    std::string Name = E.streamName();
+    auto [It, Inserted] = InputNodes.try_emplace(Name, NodeId::invalid());
+    if (Inserted)
+      It->second = G.addNode(OpKind::Input, Name);
+    return {It->second, 0};
+  }
+
+  /// Connects the operand \p Port of \p Consumer to expression \p E,
+  /// either immediately or via the pending list for variable refs.
+  void connectOperand(NodeId Consumer, uint32_t Port, const ExprAST &E) {
+    if (E.kind() == ExprAST::Kind::VarRef) {
+      const auto &Ref = static_cast<const VarRefExpr &>(E);
+      Pendings.push_back(Pending{Consumer, Port, Ref.name(),
+                                 static_cast<uint32_t>(-Ref.offset()),
+                                 Ref.loc()});
+      return;
+    }
+    LoweredValue V = lowerExpr(E);
+    G.connect(V.N, V.Port, Consumer, Port);
+  }
+
+  LoweredValue lowerExpr(const ExprAST &E) {
+    switch (E.kind()) {
+    case ExprAST::Kind::Number:
+      return lowerConst(static_cast<const NumberExpr &>(E).value());
+    case ExprAST::Kind::StreamRef:
+      return lowerStream(static_cast<const StreamRefExpr &>(E));
+    case ExprAST::Kind::VarRef: {
+      // A variable ref in a non-operand position (assignment alias
+      // handled by the caller); wire through an identity so the pending
+      // mechanism has a port to fill.
+      NodeId N = G.addNode(OpKind::Identity);
+      connectOperand(N, 0, E);
+      return {N, 0};
+    }
+    case ExprAST::Kind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      OpKind K = OpKind::Add;
+      bool Swap = false;
+      switch (B.op()) {
+      case BinaryExpr::Op::Add:
+        K = OpKind::Add;
+        break;
+      case BinaryExpr::Op::Sub:
+        K = OpKind::Sub;
+        break;
+      case BinaryExpr::Op::Mul:
+        K = OpKind::Mul;
+        break;
+      case BinaryExpr::Op::Div:
+        K = OpKind::Div;
+        break;
+      case BinaryExpr::Op::Min:
+        K = OpKind::Min;
+        break;
+      case BinaryExpr::Op::Max:
+        K = OpKind::Max;
+        break;
+      case BinaryExpr::Op::Lt:
+        K = OpKind::CmpLt;
+        break;
+      case BinaryExpr::Op::Le:
+        K = OpKind::CmpLe;
+        break;
+      case BinaryExpr::Op::Gt:
+        K = OpKind::CmpLt;
+        Swap = true;
+        break;
+      case BinaryExpr::Op::Ge:
+        K = OpKind::CmpLe;
+        Swap = true;
+        break;
+      case BinaryExpr::Op::Eq:
+        K = OpKind::CmpEq;
+        break;
+      case BinaryExpr::Op::Ne:
+        K = OpKind::CmpNe;
+        break;
+      }
+      NodeId N = G.addNode(K);
+      connectOperand(N, Swap ? 1u : 0u, B.lhs());
+      connectOperand(N, Swap ? 0u : 1u, B.rhs());
+      return {N, 0};
+    }
+    case ExprAST::Kind::Cond: {
+      const auto &C = static_cast<const CondExpr &>(E);
+      LoweredValue Ctrl = lowerExpr(C.cond());
+      NodeId SwT = G.addNode(OpKind::Switch);
+      G.connect(Ctrl.N, Ctrl.Port, SwT, 0);
+      connectOperand(SwT, 1, C.thenExpr());
+      NodeId SwF = G.addNode(OpKind::Switch);
+      G.connect(Ctrl.N, Ctrl.Port, SwF, 0);
+      connectOperand(SwF, 1, C.elseExpr());
+      NodeId M = G.addNode(OpKind::Merge);
+      G.connect(Ctrl.N, Ctrl.Port, M, 0);
+      G.connect(SwT, 0, M, 1); // true branch of the then-switch
+      G.connect(SwF, 1, M, 2); // false branch of the else-switch
+      return {M, 0};
+    }
+    }
+    assert(false && "unknown expression kind");
+    return {NodeId::invalid(), 0};
+  }
+};
+
+std::optional<DataflowGraph> Lowerer::run() {
+  // Lower assignments; name the root node after the variable.
+  for (const AssignStmt &A : Loop.Assigns) {
+    const ExprAST &E = *A.Value;
+    if (E.kind() == ExprAST::Kind::VarRef) {
+      // Pure alias: `B = A;` or `B = A[i-1];` — wire an identity so the
+      // alias is a real (schedulable) move operation.
+      NodeId N = G.addNode(OpKind::Identity, A.Name);
+      connectOperand(N, 0, E);
+      Defs[A.Name] = {N, 0};
+      continue;
+    }
+    if (E.kind() == ExprAST::Kind::Number) {
+      Defs[A.Name] =
+          lowerConst(static_cast<const NumberExpr &>(E).value());
+      continue;
+    }
+    if (E.kind() == ExprAST::Kind::StreamRef) {
+      Defs[A.Name] = lowerStream(static_cast<const StreamRefExpr &>(E));
+      continue;
+    }
+    LoweredValue V = lowerExpr(E);
+    // Rename the freshly created root after the defined variable.
+    G.setName(V.N, A.Name);
+    Defs[A.Name] = V;
+  }
+
+  // Resolve pending operand connections.
+  for (const Pending &P : Pendings) {
+    auto It = Defs.find(P.Name);
+    assert(It != Defs.end() && "sema should have rejected undefined refs");
+    if (P.Distance == 0) {
+      G.connect(It->second.N, It->second.Port, P.Consumer, P.Port);
+      continue;
+    }
+    const std::vector<double> &Window = Inits.at(P.Name);
+    assert(Window.size() >= P.Distance && "sema checked the init depth");
+    // Window is oldest-first: value consumed at iteration j (< d) is
+    // Name[j - d] = Window[size - d + j].
+    std::vector<double> Values(P.Distance);
+    for (uint32_t J = 0; J < P.Distance; ++J)
+      Values[J] = Window[Window.size() - P.Distance + J];
+    G.connectFeedback(It->second.N, It->second.Port, P.Consumer, P.Port,
+                      std::move(Values));
+  }
+
+  // Outputs.
+  for (const OutStmt &O : Loop.Outs) {
+    auto It = Defs.find(O.Name);
+    assert(It != Defs.end() && "sema checked outputs");
+    NodeId N = G.addNode(OpKind::Output, O.Name);
+    G.connect(It->second.N, It->second.Port, N, 0);
+  }
+
+  // Final structural validation (catches same-iteration cycles).
+  std::vector<ValidationError> Errors = validate(G);
+  for (const ValidationError &Err : Errors)
+    Diags.error(Loop.Loc, Err.Message);
+  if (!Errors.empty())
+    return std::nullopt;
+  return std::move(G);
+}
+
+} // namespace
+
+std::optional<DataflowGraph> sdsp::lowerLoop(const LoopAST &Loop,
+                                             DiagnosticEngine &Diags) {
+  Lowerer L(Loop, Diags);
+  return L.run();
+}
+
+std::optional<DataflowGraph> sdsp::compileLoop(const std::string &Source,
+                                               DiagnosticEngine &Diags) {
+  std::optional<LoopAST> Ast = parseLoop(Source, Diags);
+  if (!Ast)
+    return std::nullopt;
+  if (!analyze(*Ast, Diags))
+    return std::nullopt;
+  return lowerLoop(*Ast, Diags);
+}

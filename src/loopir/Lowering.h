@@ -1,0 +1,47 @@
+//===- loopir/Lowering.h - AST to dataflow graph ----------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a checked loop AST to a static dataflow graph:
+///   - one operator node per expression operator, named after the
+///     variable it defines when it is an assignment root;
+///   - input streams and constants deduplicated into boundary nodes;
+///   - same-iteration references become forward arcs, loop-carried
+///     references become feedback arcs carrying their init window;
+///   - `if c then a else b` becomes the switch/merge schema with dummy
+///     tokens on unselected branches (Section 3.2 and [24]):
+///     switch(c, a).true and switch(c, b).false feed merge(c, ., .).
+///
+/// compileLoop() is the one-call frontend: parse, analyze, lower,
+/// validate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_LOOPIR_LOWERING_H
+#define SDSP_LOOPIR_LOWERING_H
+
+#include "dataflow/DataflowGraph.h"
+#include "loopir/Ast.h"
+#include "loopir/Sema.h"
+
+#include <optional>
+
+namespace sdsp {
+
+/// Lowers \p Loop (already checked by analyze()) to a dataflow graph.
+/// Reports lowering-time problems (e.g. same-iteration dependence
+/// cycles) to \p Diags.
+std::optional<DataflowGraph> lowerLoop(const LoopAST &Loop,
+                                       DiagnosticEngine &Diags);
+
+/// Full frontend: source text -> validated dataflow graph.
+std::optional<DataflowGraph> compileLoop(const std::string &Source,
+                                         DiagnosticEngine &Diags);
+
+} // namespace sdsp
+
+#endif // SDSP_LOOPIR_LOWERING_H

@@ -1,0 +1,458 @@
+//===- loopir/Parser.cpp - Loop-language parser ----------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loopir/Parser.h"
+
+#include <set>
+
+using namespace sdsp;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {
+    // Pre-scan: statement-level `IDENT =` defines a local.  Assignment
+    // is not an expression, so any IDENT directly followed by `=` is a
+    // definition.
+    for (size_t I = 0; I + 1 < this->Tokens.size(); ++I)
+      if (this->Tokens[I].Kind == TokenKind::Identifier &&
+          this->Tokens[I + 1].Kind == TokenKind::Equal)
+        Locals.insert(this->Tokens[I].Text);
+  }
+
+  std::optional<LoopAST> parse();
+
+private:
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  std::set<std::string> Locals;
+  std::string IndexName;
+
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &advance() { return Tokens[Pos == Tokens.size() - 1 ? Pos : Pos++]; }
+
+  bool check(TokenKind K) const { return peek().Kind == K; }
+
+  bool match(TokenKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokenKind K) {
+    if (match(K))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + tokenKindName(K) +
+                                ", found " + tokenKindName(peek().Kind));
+    return false;
+  }
+
+  /// Skips to the next ';' (inclusive) or '}' to resynchronize.
+  void synchronize() {
+    while (!check(TokenKind::Eof) && !check(TokenKind::RBrace)) {
+      if (match(TokenKind::Semicolon))
+        return;
+      advance();
+    }
+  }
+
+  double parseSignedNumber(bool &Ok);
+  std::optional<int32_t> parseSubscript();
+  ExprPtr parsePrimary();
+  ExprPtr parseUnary();
+  ExprPtr parseMulDiv();
+  ExprPtr parseAddSub();
+  ExprPtr parseExpr();
+  bool parseIfStatement(LoopAST &Loop);
+  unsigned NextSyntheticId = 0;
+};
+
+/// Parses an `if (c) { a = ...; } else { a = ...; }` statement by
+/// desugaring: the condition binds to a synthetic local evaluated once,
+/// and each variable assigned by the branches becomes
+/// `v = if __cond then <then-expr> else <else-expr>`.  Both branches
+/// must assign exactly the same variables (single assignment has no
+/// "previous value" to fall back on).
+bool Parser::parseIfStatement(LoopAST &Loop) {
+  SourceLoc Loc = Tokens[Pos - 1].Loc; // The consumed 'if'.
+  if (!expect(TokenKind::LParen))
+    return false;
+  ExprPtr Cond = parseExpr();
+  if (!Cond || !expect(TokenKind::RParen))
+    return false;
+
+  std::string CondName =
+      "__cond" + std::to_string(NextSyntheticId++);
+  Locals.insert(CondName);
+  AssignStmt CondAssign;
+  CondAssign.Loc = Loc;
+  CondAssign.Name = CondName;
+  CondAssign.Value = std::move(Cond);
+  Loop.Assigns.push_back(std::move(CondAssign));
+
+  auto ParseBranch =
+      [&](std::vector<std::pair<std::string, ExprPtr>> &Out) -> bool {
+    if (!expect(TokenKind::LBrace))
+      return false;
+    while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(peek().Loc,
+                    "expected assignment inside conditional branch");
+        return false;
+      }
+      std::string Name = advance().Text;
+      if (!expect(TokenKind::Equal))
+        return false;
+      ExprPtr Value = parseExpr();
+      if (!Value || !expect(TokenKind::Semicolon))
+        return false;
+      Out.emplace_back(std::move(Name), std::move(Value));
+    }
+    return expect(TokenKind::RBrace);
+  };
+
+  std::vector<std::pair<std::string, ExprPtr>> Then, Else;
+  if (!ParseBranch(Then))
+    return false;
+  if (match(TokenKind::KwElse) && !ParseBranch(Else))
+    return false;
+
+  // Both branches must define the same variable set, in any order.
+  auto FindIn = [](std::vector<std::pair<std::string, ExprPtr>> &Vec,
+                   const std::string &Name)
+      -> std::pair<std::string, ExprPtr> * {
+    for (auto &Entry : Vec)
+      if (Entry.first == Name)
+        return &Entry;
+    return nullptr;
+  };
+  for (auto &[Name, Value] : Else)
+    if (!FindIn(Then, Name)) {
+      Diags.error(Loc, "'" + Name +
+                           "' assigned only in the else branch; both "
+                           "branches must assign the same variables");
+      return false;
+    }
+
+  for (auto &[Name, ThenValue] : Then) {
+    auto *ElseEntry = FindIn(Else, Name);
+    if (!ElseEntry) {
+      Diags.error(Loc, "'" + Name +
+                           "' assigned only in the then branch; both "
+                           "branches must assign the same variables");
+      return false;
+    }
+    AssignStmt Merged;
+    Merged.Loc = Loc;
+    Merged.Name = Name;
+    Merged.Value = std::make_unique<CondExpr>(
+        Loc, std::make_unique<VarRefExpr>(Loc, CondName, 0),
+        std::move(ThenValue), std::move(ElseEntry->second));
+    Loop.Assigns.push_back(std::move(Merged));
+  }
+  return true;
+}
+
+double Parser::parseSignedNumber(bool &Ok) {
+  bool Negative = match(TokenKind::Minus);
+  if (!check(TokenKind::Number)) {
+    Diags.error(peek().Loc, "expected number");
+    Ok = false;
+    return 0.0;
+  }
+  double V = advance().Value;
+  return Negative ? -V : V;
+}
+
+/// Parses "[ i ]" / "[ i + N ]" / "[ i - N ]"; returns the offset.
+std::optional<int32_t> Parser::parseSubscript() {
+  if (!expect(TokenKind::LBracket))
+    return std::nullopt;
+  if (!check(TokenKind::Identifier) || peek().Text != IndexName) {
+    Diags.error(peek().Loc,
+                "subscript must use the loop index '" + IndexName + "'");
+    return std::nullopt;
+  }
+  advance();
+  int32_t Offset = 0;
+  if (match(TokenKind::Plus)) {
+    if (!check(TokenKind::Number)) {
+      Diags.error(peek().Loc, "expected number after '+' in subscript");
+      return std::nullopt;
+    }
+    Offset = static_cast<int32_t>(advance().Value);
+  } else if (match(TokenKind::Minus)) {
+    if (!check(TokenKind::Number)) {
+      Diags.error(peek().Loc, "expected number after '-' in subscript");
+      return std::nullopt;
+    }
+    Offset = -static_cast<int32_t>(advance().Value);
+  }
+  if (!expect(TokenKind::RBracket))
+    return std::nullopt;
+  return Offset;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+
+  if (check(TokenKind::Number))
+    return std::make_unique<NumberExpr>(Loc, advance().Value);
+
+  if (match(TokenKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen);
+    return E;
+  }
+
+  if (match(TokenKind::KwIf)) {
+    ExprPtr C = parseExpr();
+    if (!expect(TokenKind::KwThen))
+      return nullptr;
+    ExprPtr T = parseExpr();
+    if (!expect(TokenKind::KwElse))
+      return nullptr;
+    ExprPtr F = parseExpr();
+    if (!C || !T || !F)
+      return nullptr;
+    return std::make_unique<CondExpr>(Loc, std::move(C), std::move(T),
+                                      std::move(F));
+  }
+
+  if (check(TokenKind::KwMin) || check(TokenKind::KwMax)) {
+    bool IsMin = advance().Kind == TokenKind::KwMin;
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    ExprPtr A = parseExpr();
+    if (!expect(TokenKind::Comma))
+      return nullptr;
+    ExprPtr B = parseExpr();
+    expect(TokenKind::RParen);
+    if (!A || !B)
+      return nullptr;
+    return std::make_unique<BinaryExpr>(
+        Loc, IsMin ? BinaryExpr::Op::Min : BinaryExpr::Op::Max, std::move(A),
+        std::move(B));
+  }
+
+  if (check(TokenKind::Identifier)) {
+    std::string Name = advance().Text;
+    bool IsLocal = Locals.count(Name) > 0;
+    if (check(TokenKind::LBracket)) {
+      std::optional<int32_t> Offset = parseSubscript();
+      if (!Offset)
+        return nullptr;
+      if (IsLocal) {
+        if (*Offset > 0) {
+          Diags.error(Loc, "reference to future value of '" + Name + "'");
+          return nullptr;
+        }
+        return std::make_unique<VarRefExpr>(Loc, Name, *Offset);
+      }
+      return std::make_unique<StreamRefExpr>(Loc, Name, *Offset);
+    }
+    if (IsLocal)
+      return std::make_unique<VarRefExpr>(Loc, Name, 0);
+    // Unsubscripted non-local: a scalar input stream.
+    return std::make_unique<StreamRefExpr>(Loc, Name, 0);
+  }
+
+  Diags.error(Loc, std::string("expected expression, found ") +
+                       tokenKindName(peek().Kind));
+  return nullptr;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr E = parseUnary();
+    if (!E)
+      return nullptr;
+    // Lower unary minus as 0 - e at the AST level.
+    return std::make_unique<BinaryExpr>(
+        Loc, BinaryExpr::Op::Sub, std::make_unique<NumberExpr>(Loc, 0.0),
+        std::move(E));
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parseMulDiv() {
+  ExprPtr Lhs = parseUnary();
+  while (Lhs && (check(TokenKind::Star) || check(TokenKind::Slash))) {
+    SourceLoc Loc = peek().Loc;
+    BinaryExpr::Op Op = advance().Kind == TokenKind::Star
+                            ? BinaryExpr::Op::Mul
+                            : BinaryExpr::Op::Div;
+    ExprPtr Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, Op, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseAddSub() {
+  ExprPtr Lhs = parseMulDiv();
+  while (Lhs && (check(TokenKind::Plus) || check(TokenKind::Minus))) {
+    SourceLoc Loc = peek().Loc;
+    BinaryExpr::Op Op = advance().Kind == TokenKind::Plus
+                            ? BinaryExpr::Op::Add
+                            : BinaryExpr::Op::Sub;
+    ExprPtr Rhs = parseMulDiv();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, Op, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr Lhs = parseAddSub();
+  if (!Lhs)
+    return nullptr;
+  BinaryExpr::Op Op;
+  switch (peek().Kind) {
+  case TokenKind::Less:
+    Op = BinaryExpr::Op::Lt;
+    break;
+  case TokenKind::LessEqual:
+    Op = BinaryExpr::Op::Le;
+    break;
+  case TokenKind::Greater:
+    Op = BinaryExpr::Op::Gt;
+    break;
+  case TokenKind::GreaterEqual:
+    Op = BinaryExpr::Op::Ge;
+    break;
+  case TokenKind::EqualEqual:
+    Op = BinaryExpr::Op::Eq;
+    break;
+  case TokenKind::BangEqual:
+    Op = BinaryExpr::Op::Ne;
+    break;
+  default:
+    return Lhs;
+  }
+  SourceLoc Loc = advance().Loc;
+  ExprPtr Rhs = parseAddSub();
+  if (!Rhs)
+    return nullptr;
+  return std::make_unique<BinaryExpr>(Loc, Op, std::move(Lhs),
+                                      std::move(Rhs));
+}
+
+std::optional<LoopAST> Parser::parse() {
+  LoopAST Loop;
+  Loop.Loc = peek().Loc;
+
+  if (match(TokenKind::KwDoall)) {
+    Loop.IsDoall = true;
+  } else if (!match(TokenKind::KwDo)) {
+    Diags.error(peek().Loc, "expected 'doall' or 'do'");
+    return std::nullopt;
+  }
+
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected loop index name");
+    return std::nullopt;
+  }
+  Loop.IndexName = advance().Text;
+  IndexName = Loop.IndexName;
+
+  if (!expect(TokenKind::LBrace))
+    return std::nullopt;
+
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    SourceLoc Loc = peek().Loc;
+    if (match(TokenKind::KwInit)) {
+      InitStmt Init;
+      Init.Loc = Loc;
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected variable name after 'init'");
+        synchronize();
+        continue;
+      }
+      Init.Name = advance().Text;
+      if (!expect(TokenKind::Equal)) {
+        synchronize();
+        continue;
+      }
+      bool Ok = true;
+      Init.Values.push_back(parseSignedNumber(Ok));
+      while (Ok && match(TokenKind::Comma))
+        Init.Values.push_back(parseSignedNumber(Ok));
+      if (!Ok || !expect(TokenKind::Semicolon)) {
+        synchronize();
+        continue;
+      }
+      Loop.Inits.push_back(std::move(Init));
+      continue;
+    }
+    if (match(TokenKind::KwIf)) {
+      if (!parseIfStatement(Loop))
+        synchronize();
+      continue;
+    }
+    if (match(TokenKind::KwOut)) {
+      OutStmt Out;
+      Out.Loc = Loc;
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected variable name after 'out'");
+        synchronize();
+        continue;
+      }
+      Out.Name = advance().Text;
+      if (!expect(TokenKind::Semicolon)) {
+        synchronize();
+        continue;
+      }
+      Loop.Outs.push_back(std::move(Out));
+      continue;
+    }
+    if (check(TokenKind::Identifier)) {
+      AssignStmt Assign;
+      Assign.Loc = Loc;
+      Assign.Name = advance().Text;
+      if (!expect(TokenKind::Equal)) {
+        synchronize();
+        continue;
+      }
+      Assign.Value = parseExpr();
+      if (!Assign.Value || !expect(TokenKind::Semicolon)) {
+        synchronize();
+        continue;
+      }
+      Loop.Assigns.push_back(std::move(Assign));
+      continue;
+    }
+    Diags.error(Loc, std::string("expected statement, found ") +
+                         tokenKindName(peek().Kind));
+    synchronize();
+  }
+
+  expect(TokenKind::RBrace);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Loop;
+}
+
+} // namespace
+
+std::optional<LoopAST> sdsp::parseLoop(const std::string &Source,
+                                       DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = tokenize(Source, Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  Parser P(std::move(Tokens), Diags);
+  return P.parse();
+}

@@ -1,0 +1,34 @@
+//===- loopir/Parser.h - Loop-language parser -------------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the loop language (see Lexer.h for a
+/// sample).  Reference classification (loop-local vs input stream) uses
+/// a pre-scan for statement-level `IDENT =` occurrences, so `A` and
+/// `A[i-1]` parse to VarRefExpr while `X[i]` parses to StreamRefExpr
+/// without a separate resolution pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_LOOPIR_PARSER_H
+#define SDSP_LOOPIR_PARSER_H
+
+#include "loopir/Ast.h"
+#include "loopir/Lexer.h"
+
+#include <optional>
+
+namespace sdsp {
+
+/// Parses \p Source into a LoopAST.  Returns std::nullopt and fills
+/// \p Diags on error.
+std::optional<LoopAST> parseLoop(const std::string &Source,
+                                 DiagnosticEngine &Diags);
+
+} // namespace sdsp
+
+#endif // SDSP_LOOPIR_PARSER_H

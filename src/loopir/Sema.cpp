@@ -1,0 +1,94 @@
+//===- loopir/Sema.cpp - Semantic analysis ---------------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loopir/Sema.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace sdsp;
+
+std::optional<SemaInfo> sdsp::analyze(const LoopAST &Loop,
+                                      DiagnosticEngine &Diags) {
+  SemaInfo Info;
+
+  std::set<std::string> Locals;
+  for (const AssignStmt &A : Loop.Assigns) {
+    if (!Locals.insert(A.Name).second)
+      Diags.error(A.Loc, "variable '" + A.Name +
+                             "' assigned more than once (the loop body is "
+                             "single-assignment)");
+  }
+
+  std::map<std::string, size_t> InitDepth;
+  for (const InitStmt &I : Loop.Inits) {
+    if (!Locals.count(I.Name))
+      Diags.error(I.Loc,
+                  "init for '" + I.Name + "', which is never assigned");
+    if (InitDepth.count(I.Name))
+      Diags.error(I.Loc, "duplicate init for '" + I.Name + "'");
+    InitDepth[I.Name] = I.Values.size();
+  }
+
+  for (const OutStmt &O : Loop.Outs)
+    if (!Locals.count(O.Name))
+      Diags.error(O.Loc, "output of undefined variable '" + O.Name + "'");
+
+  std::function<void(const ExprAST &)> Visit = [&](const ExprAST &E) {
+    switch (E.kind()) {
+    case ExprAST::Kind::Number:
+    case ExprAST::Kind::StreamRef:
+      break;
+    case ExprAST::Kind::VarRef: {
+      const auto &Ref = static_cast<const VarRefExpr &>(E);
+      if (!Locals.count(Ref.name())) {
+        Diags.error(E.loc(),
+                    "reference to undefined variable '" + Ref.name() + "'");
+        break;
+      }
+      if (Ref.offset() < 0) {
+        Info.HasLoopCarried = true;
+        size_t Distance = static_cast<size_t>(-Ref.offset());
+        auto It = InitDepth.find(Ref.name());
+        if (It == InitDepth.end())
+          Diags.error(E.loc(), "loop-carried reference to '" + Ref.name() +
+                                   "' needs an init statement");
+        else if (It->second < Distance)
+          Diags.error(E.loc(),
+                      "init window for '" + Ref.name() + "' has " +
+                          std::to_string(It->second) +
+                          " values but the reference reaches back " +
+                          std::to_string(Distance));
+        if (Loop.IsDoall)
+          Diags.error(E.loc(), "loop-carried reference to '" + Ref.name() +
+                                   "' in a doall loop");
+      }
+      break;
+    }
+    case ExprAST::Kind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      Visit(B.lhs());
+      Visit(B.rhs());
+      break;
+    }
+    case ExprAST::Kind::Cond: {
+      const auto &C = static_cast<const CondExpr &>(E);
+      Visit(C.cond());
+      Visit(C.thenExpr());
+      Visit(C.elseExpr());
+      break;
+    }
+    }
+  };
+  for (const AssignStmt &A : Loop.Assigns)
+    Visit(*A.Value);
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Info;
+}

@@ -1,0 +1,39 @@
+//===- loopir/Sema.h - Semantic analysis ------------------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic checks on the loop AST: single assignment, defined
+/// references, loop-carried references backed by deep-enough init
+/// windows, `doall` loops free of loop-carried dependence, and outputs
+/// naming locals.  Same-iteration dependence cycles are diagnosed after
+/// lowering (the forward-acyclicity check of dataflow/Validate.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_LOOPIR_SEMA_H
+#define SDSP_LOOPIR_SEMA_H
+
+#include "loopir/Ast.h"
+
+#include <optional>
+
+namespace sdsp {
+
+/// Analysis facts consumed by lowering.
+struct SemaInfo {
+  /// True if any reference is loop-carried (the loop is a DO loop with
+  /// loop-carried dependence in the paper's sense).
+  bool HasLoopCarried = false;
+};
+
+/// Checks \p Loop; reports problems to \p Diags and returns the info on
+/// success.
+std::optional<SemaInfo> analyze(const LoopAST &Loop, DiagnosticEngine &Diags);
+
+} // namespace sdsp
+
+#endif // SDSP_LOOPIR_SEMA_H

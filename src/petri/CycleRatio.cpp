@@ -1,0 +1,242 @@
+//===- petri/CycleRatio.cpp - Critical cycles & cycle time -----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/CycleRatio.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sdsp;
+
+namespace {
+
+Rational cycleRatio(const SimpleCycle &C) {
+  assert(C.TokenSum > 0 && "token-free cycle in a live net");
+  return Rational(static_cast<int64_t>(C.ValueSum),
+                  static_cast<int64_t>(C.TokenSum));
+}
+
+SimpleCycle makeCycle(const MarkedGraphView &G,
+                      const std::vector<uint32_t> &Edges) {
+  SimpleCycle C;
+  C.Edges = Edges;
+  for (uint32_t EI : Edges) {
+    const MarkedGraphView::Edge &E = G.edge(EI);
+    C.ValueSum += G.net().transition(E.From).ExecTime;
+    C.TokenSum += E.Tokens;
+  }
+  return C;
+}
+
+/// Bellman-Ford longest-path relaxation from a virtual source that
+/// reaches every vertex with distance 0.  If a positive-weight cycle
+/// exists, returns its edges; otherwise returns std::nullopt and leaves
+/// the converged potentials in \p Dist.
+std::optional<std::vector<uint32_t>>
+findPositiveCycle(const MarkedGraphView &G,
+                  const std::vector<int64_t> &Weight,
+                  std::vector<int64_t> &Dist) {
+  size_t N = G.numVertices();
+  Dist.assign(N, 0);
+  std::vector<uint32_t> PredEdge(N, UINT32_MAX);
+
+  size_t RelaxedVertex = SIZE_MAX;
+  for (size_t Pass = 0; Pass <= N; ++Pass) {
+    RelaxedVertex = SIZE_MAX;
+    for (size_t EI = 0; EI < G.numEdges(); ++EI) {
+      const MarkedGraphView::Edge &E = G.edge(EI);
+      size_t U = E.From.index(), V = E.To.index();
+      if (Dist[U] + Weight[EI] > Dist[V]) {
+        Dist[V] = Dist[U] + Weight[EI];
+        PredEdge[V] = static_cast<uint32_t>(EI);
+        RelaxedVertex = V;
+      }
+    }
+    if (RelaxedVertex == SIZE_MAX)
+      return std::nullopt; // Converged: no positive cycle.
+  }
+
+  // A relaxation on pass N implies a positive cycle in the predecessor
+  // graph.  Walk back N steps to guarantee we are standing inside it.
+  size_t V = RelaxedVertex;
+  for (size_t I = 0; I < N; ++I) {
+    assert(PredEdge[V] != UINT32_MAX && "broken predecessor chain");
+    V = G.edge(PredEdge[V]).From.index();
+  }
+  std::vector<uint32_t> Cycle;
+  size_t Cursor = V;
+  do {
+    uint32_t EI = PredEdge[Cursor];
+    Cycle.push_back(EI);
+    Cursor = G.edge(EI).From.index();
+  } while (Cursor != V);
+  std::reverse(Cycle.begin(), Cycle.end());
+  return Cycle;
+}
+
+/// With converged potentials Pi for weights w (all cycles <= 0), an edge
+/// is *tight* when Pi[u] + w == Pi[v]; zero-weight (critical) cycles are
+/// exactly the cycles of tight edges.  Returns the vertices lying on
+/// nontrivial SCCs of the tight subgraph.
+std::vector<TransitionId>
+verticesOnTightCycles(const MarkedGraphView &G,
+                      const std::vector<int64_t> &Weight,
+                      const std::vector<int64_t> &Pi) {
+  size_t N = G.numVertices();
+  std::vector<std::vector<uint32_t>> TightOut(N);
+  for (size_t EI = 0; EI < G.numEdges(); ++EI) {
+    const MarkedGraphView::Edge &E = G.edge(EI);
+    if (Pi[E.From.index()] + Weight[EI] == Pi[E.To.index()])
+      TightOut[E.From.index()].push_back(static_cast<uint32_t>(EI));
+  }
+
+  // Tarjan SCC (iterative) over the tight subgraph.
+  std::vector<int64_t> Index(N, -1), Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<size_t> SccId(N, SIZE_MAX);
+  std::vector<size_t> SccSize;
+  std::vector<size_t> Stack;
+  int64_t NextIndex = 0;
+
+  struct Frame {
+    size_t V;
+    size_t EdgePos;
+  };
+  std::vector<Frame> Frames;
+
+  std::vector<bool> HasTightSelfLoop(N, false);
+
+  for (size_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] != -1)
+      continue;
+    Frames.push_back({Root, 0});
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      size_t V = F.V;
+      if (F.EdgePos < TightOut[V].size()) {
+        const MarkedGraphView::Edge &E = G.edge(TightOut[V][F.EdgePos++]);
+        size_t W = E.To.index();
+        if (W == V)
+          HasTightSelfLoop[V] = true;
+        if (Index[W] == -1) {
+          Index[W] = Low[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = true;
+          Frames.push_back({W, 0});
+        } else if (OnStack[W]) {
+          Low[V] = std::min(Low[V], Index[W]);
+        }
+        continue;
+      }
+      if (Low[V] == Index[V]) {
+        size_t Id = SccSize.size();
+        size_t Count = 0;
+        while (true) {
+          size_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SccId[W] = Id;
+          ++Count;
+          if (W == V)
+            break;
+        }
+        SccSize.push_back(Count);
+      }
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().V] = std::min(Low[Frames.back().V], Low[V]);
+    }
+  }
+
+  std::vector<TransitionId> Result;
+  for (size_t V = 0; V < N; ++V)
+    if (SccSize[SccId[V]] > 1 || HasTightSelfLoop[V])
+      Result.push_back(TransitionId(V));
+  return Result;
+}
+
+} // namespace
+
+std::optional<CriticalCycleInfo>
+sdsp::criticalCycleByEnumeration(const MarkedGraphView &G) {
+  std::vector<SimpleCycle> Cycles = enumerateSimpleCycles(G);
+  if (Cycles.empty())
+    return std::nullopt;
+
+  Rational Best(-1);
+  for (const SimpleCycle &C : Cycles)
+    Best = std::max(Best, cycleRatio(C));
+
+  CriticalCycleInfo Info;
+  Info.CycleTime = Best;
+  Info.ComputationRate =
+      Best.isZero() ? Rational(0) : Best.reciprocal();
+
+  std::vector<bool> OnCritical(G.numVertices(), false);
+  for (const SimpleCycle &C : Cycles) {
+    if (cycleRatio(C) != Best)
+      continue;
+    ++Info.NumCriticalCycles;
+    if (Info.Witness.Edges.empty())
+      Info.Witness = C;
+    for (TransitionId T : cycleTransitions(G, C))
+      OnCritical[T.index()] = true;
+  }
+  for (size_t V = 0; V < G.numVertices(); ++V)
+    if (OnCritical[V])
+      Info.CriticalTransitions.push_back(TransitionId(V));
+  return Info;
+}
+
+std::optional<CriticalCycleInfo>
+sdsp::criticalCycleByParametricSearch(const MarkedGraphView &G) {
+  // Start below every possible ratio so the first probe finds any cycle
+  // at all (live nets have M(C) >= 1, so cycle weight Omega + M > 0
+  // under lambda = -1).
+  Rational Lambda(-1);
+  std::optional<SimpleCycle> Witness;
+  std::vector<int64_t> Weight(G.numEdges());
+  std::vector<int64_t> Dist;
+
+  while (true) {
+    // Scale weights to integers: w_e = tau(from) * den - num * tokens.
+    // A cycle has positive weight iff Omega(C)/M(C) > lambda.
+    for (size_t EI = 0; EI < G.numEdges(); ++EI) {
+      const MarkedGraphView::Edge &E = G.edge(EI);
+      int64_t Tau = G.net().transition(E.From).ExecTime;
+      Weight[EI] = Tau * Lambda.den() - Lambda.num() * E.Tokens;
+    }
+    std::optional<std::vector<uint32_t>> Cycle =
+        findPositiveCycle(G, Weight, Dist);
+    if (!Cycle) {
+      if (!Witness)
+        return std::nullopt; // Acyclic graph.
+      CriticalCycleInfo Info;
+      Info.CycleTime = Lambda;
+      Info.ComputationRate =
+          Lambda.isZero() ? Rational(0) : Lambda.reciprocal();
+      Info.Witness = *Witness;
+      Info.CriticalTransitions = verticesOnTightCycles(G, Weight, Dist);
+      return Info;
+    }
+    SimpleCycle C = makeCycle(G, *Cycle);
+    Rational Ratio = cycleRatio(C);
+    assert(Ratio > Lambda && "parametric search failed to make progress");
+    Lambda = Ratio;
+    Witness = std::move(C);
+  }
+}
+
+std::optional<CriticalCycleInfo>
+sdsp::criticalCycle(const MarkedGraphView &G, size_t EnumerationLimit) {
+  if (G.numVertices() <= EnumerationLimit)
+    return criticalCycleByEnumeration(G);
+  return criticalCycleByParametricSearch(G);
+}

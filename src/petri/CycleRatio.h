@@ -1,0 +1,78 @@
+//===- petri/CycleRatio.h - Critical cycles & cycle time --------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle-time analysis of timed marked graphs (Appendix A.7).  The cycle
+/// time of every transition equals
+///
+///     alpha* = max over simple cycles C of Omega(C) / M(C),
+///
+/// the ratio of the cycle's value sum (execution times) to its token sum.
+/// A cycle achieving the maximum is *critical*; the optimal computation
+/// rate is gamma = 1/alpha*.  Cycles with zero tokens make the net dead,
+/// so callers must pass live nets.
+///
+/// Two algorithms are provided:
+///   - enumeration over Johnson's simple cycles (exact, exponential worst
+///     case, fine at the paper's scale and used as the test oracle); and
+///   - Lawler-style parametric search with positive-cycle detection
+///     (polynomial; this is the "more efficient approach" the paper cites
+///     via Magott's linear-programming formulation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_PETRI_CYCLERATIO_H
+#define SDSP_PETRI_CYCLERATIO_H
+
+#include "petri/MarkedGraph.h"
+#include "petri/SimpleCycles.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <vector>
+
+namespace sdsp {
+
+/// The result of a critical-cycle query.
+struct CriticalCycleInfo {
+  /// alpha* = Omega(C*)/M(C*); the cycle time of every transition.
+  Rational CycleTime;
+  /// gamma = 1/alpha*; the optimal computation rate.
+  Rational ComputationRate;
+  /// One witness critical cycle (edge indices into the view).
+  SimpleCycle Witness;
+  /// All transitions lying on *some* critical cycle.
+  std::vector<TransitionId> CriticalTransitions;
+  /// Number of distinct critical simple cycles (only filled by the
+  /// enumeration algorithm; 0 means "not computed").
+  size_t NumCriticalCycles = 0;
+};
+
+/// Computes the critical cycle by enumerating all simple cycles.
+/// Returns std::nullopt if the graph has no cycle at all (e.g. a DOALL
+/// dataflow graph before acknowledgement arcs are added).  \p G must be
+/// live (no token-free cycles).
+std::optional<CriticalCycleInfo>
+criticalCycleByEnumeration(const MarkedGraphView &G);
+
+/// Computes the critical cycle by parametric search: repeatedly tests
+/// whether a cycle with Omega(C) - lambda * M(C) > 0 exists (Bellman-Ford
+/// positive-cycle detection on scaled integer weights) and tightens
+/// lambda to the exact ratio of the witness until none remains.
+/// Returns std::nullopt for acyclic graphs.  \p G must be live.
+std::optional<CriticalCycleInfo>
+criticalCycleByParametricSearch(const MarkedGraphView &G);
+
+/// Convenience dispatcher: parametric search for large graphs,
+/// enumeration (which also fills NumCriticalCycles and the full critical
+/// transition set) below \p EnumerationLimit vertices.
+std::optional<CriticalCycleInfo>
+criticalCycle(const MarkedGraphView &G, size_t EnumerationLimit = 64);
+
+} // namespace sdsp
+
+#endif // SDSP_PETRI_CYCLERATIO_H

@@ -1,0 +1,304 @@
+//===- petri/EarliestFiring.cpp - Earliest-firing-rule engine --------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/EarliestFiring.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sdsp;
+
+//===----------------------------------------------------------------------===//
+// InstantaneousState
+//===----------------------------------------------------------------------===//
+
+size_t InstantaneousState::hashValue() const {
+  size_t Seed = M.hashValue();
+  hashCombineRange(Seed, Residual);
+  hashCombineRange(Seed, PolicyFingerprint);
+  return Seed;
+}
+
+std::string InstantaneousState::str() const {
+  std::string Out = M.str();
+  bool AnyBusy = false;
+  for (TimeUnits R : Residual)
+    AnyBusy |= (R != 0);
+  if (AnyBusy) {
+    Out += " R=(";
+    for (size_t I = 0; I < Residual.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += std::to_string(Residual[I]);
+    }
+    Out += ")";
+  }
+  if (!PolicyFingerprint.empty()) {
+    Out += " Q=(";
+    for (size_t I = 0; I < PolicyFingerprint.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += std::to_string(PolicyFingerprint[I]);
+    }
+    Out += ")";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Policies
+//===----------------------------------------------------------------------===//
+
+FiringPolicy::~FiringPolicy() = default;
+
+FifoPolicy::FifoPolicy(std::vector<bool> IsConflicting,
+                       std::vector<PlaceId> ResourcePlaces)
+    : IsConflicting(std::move(IsConflicting)) {
+  size_t MaxIdx = 0;
+  for (PlaceId P : ResourcePlaces)
+    MaxIdx = std::max(MaxIdx, static_cast<size_t>(P.index()) + 1);
+  IsResourcePlace.assign(MaxIdx, false);
+  for (PlaceId P : ResourcePlaces)
+    IsResourcePlace[P.index()] = true;
+  InQueue.assign(this->IsConflicting.size(), false);
+}
+
+void FifoPolicy::reset() {
+  Queue.clear();
+  std::fill(InQueue.begin(), InQueue.end(), false);
+}
+
+bool FifoPolicy::isDataReady(const PetriNet &Net, const Marking &M,
+                             TransitionId T) const {
+  for (PlaceId P : Net.transition(T).InputPlaces) {
+    if (P.index() < IsResourcePlace.size() && IsResourcePlace[P.index()])
+      continue; // The shared resource does not gate data readiness.
+    if (M.tokens(P) == 0)
+      return false;
+  }
+  return true;
+}
+
+void FifoPolicy::orderCandidates(const PetriNet &Net, const Marking &M,
+                                 std::vector<TransitionId> &Candidates) {
+  // Enqueue newly data-ready conflicting transitions in index order;
+  // index order mirrors the adjacency-list tie-break of Section 5.2.
+  for (size_t I = 0; I < IsConflicting.size(); ++I) {
+    if (!IsConflicting[I] || InQueue[I])
+      continue;
+    TransitionId T(I);
+    if (isDataReady(Net, M, T)) {
+      Queue.push_back(static_cast<uint32_t>(I));
+      InQueue[I] = true;
+    }
+  }
+
+  // Non-conflicting candidates first (their relative order is
+  // irrelevant: they cannot disable each other), then queue order.
+  std::vector<TransitionId> Ordered;
+  Ordered.reserve(Candidates.size());
+  for (TransitionId T : Candidates)
+    if (!IsConflicting[T.index()])
+      Ordered.push_back(T);
+  std::vector<bool> IsCandidate(IsConflicting.size(), false);
+  for (TransitionId T : Candidates)
+    IsCandidate[T.index()] = true;
+  for (uint32_t I : Queue)
+    if (IsCandidate[I])
+      Ordered.push_back(TransitionId(I));
+  Candidates = std::move(Ordered);
+}
+
+void FifoPolicy::noteFired(TransitionId T) {
+  if (T.index() >= InQueue.size() || !InQueue[T.index()])
+    return;
+  InQueue[T.index()] = false;
+  for (auto It = Queue.begin(); It != Queue.end(); ++It) {
+    if (*It == T.index()) {
+      Queue.erase(It);
+      break;
+    }
+  }
+}
+
+std::vector<uint32_t> FifoPolicy::stateFingerprint() const {
+  return std::vector<uint32_t>(Queue.begin(), Queue.end());
+}
+
+LifoPolicy::LifoPolicy(std::vector<bool> IsConflicting,
+                       std::vector<PlaceId> ResourcePlaces)
+    : IsConflicting(std::move(IsConflicting)) {
+  size_t MaxIdx = 0;
+  for (PlaceId P : ResourcePlaces)
+    MaxIdx = std::max(MaxIdx, static_cast<size_t>(P.index()) + 1);
+  IsResourcePlace.assign(MaxIdx, false);
+  for (PlaceId P : ResourcePlaces)
+    IsResourcePlace[P.index()] = true;
+  InStack.assign(this->IsConflicting.size(), false);
+}
+
+void LifoPolicy::reset() {
+  Stack.clear();
+  std::fill(InStack.begin(), InStack.end(), false);
+}
+
+void LifoPolicy::orderCandidates(const PetriNet &Net, const Marking &M,
+                                 std::vector<TransitionId> &Candidates) {
+  auto DataReady = [&](TransitionId T) {
+    for (PlaceId P : Net.transition(T).InputPlaces) {
+      if (P.index() < IsResourcePlace.size() && IsResourcePlace[P.index()])
+        continue;
+      if (M.tokens(P) == 0)
+        return false;
+    }
+    return true;
+  };
+  for (size_t I = 0; I < IsConflicting.size(); ++I) {
+    if (!IsConflicting[I] || InStack[I])
+      continue;
+    if (DataReady(TransitionId(I))) {
+      Stack.push_back(static_cast<uint32_t>(I));
+      InStack[I] = true;
+    }
+  }
+
+  std::vector<TransitionId> Ordered;
+  Ordered.reserve(Candidates.size());
+  for (TransitionId T : Candidates)
+    if (!IsConflicting[T.index()])
+      Ordered.push_back(T);
+  std::vector<bool> IsCandidate(IsConflicting.size(), false);
+  for (TransitionId T : Candidates)
+    IsCandidate[T.index()] = true;
+  for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
+    if (IsCandidate[*It])
+      Ordered.push_back(TransitionId(*It));
+  Candidates = std::move(Ordered);
+}
+
+void LifoPolicy::noteFired(TransitionId T) {
+  if (T.index() >= InStack.size() || !InStack[T.index()])
+    return;
+  InStack[T.index()] = false;
+  for (auto It = Stack.begin(); It != Stack.end(); ++It) {
+    if (*It == T.index()) {
+      Stack.erase(It);
+      break;
+    }
+  }
+}
+
+std::vector<uint32_t> LifoPolicy::stateFingerprint() const { return Stack; }
+
+//===----------------------------------------------------------------------===//
+// EarliestFiringEngine
+//===----------------------------------------------------------------------===//
+
+/// Sentinel finish time for idle transitions.
+static constexpr TimeStep IdleFinish = ~static_cast<TimeStep>(0);
+
+EarliestFiringEngine::EarliestFiringEngine(const PetriNet &Net,
+                                           FiringPolicy *Policy)
+    : Net(Net), Policy(Policy), M(Net.initialMarking()),
+      FinishTime(Net.numTransitions(), IdleFinish) {
+#ifndef NDEBUG
+  for (TransitionId T : Net.transitionIds())
+    assert(Net.transition(T).ExecTime >= 1 &&
+           "engine requires execution times >= 1");
+#endif
+  if (Policy)
+    Policy->reset();
+}
+
+void EarliestFiringEngine::prepare() {
+  if (Prepared)
+    return;
+  Prepared = true;
+  CompletedThisStep.clear();
+
+  // Phase A1: completions.  A transition fired at u with time tau
+  // finishes and produces its output tokens at u + tau.
+  for (size_t I = 0; I < FinishTime.size(); ++I) {
+    if (FinishTime[I] != Now)
+      continue;
+    FinishTime[I] = IdleFinish;
+    TransitionId T(I);
+    for (PlaceId P : Net.transition(T).OutputPlaces)
+      M.produce(P);
+    CompletedThisStep.push_back(T);
+  }
+
+  // Phase A2: candidate set = enabled idle transitions, index order.
+  Ordered.clear();
+  for (TransitionId T : Net.transitionIds())
+    if (FinishTime[T.index()] == IdleFinish && Net.isEnabled(T, M))
+      Ordered.push_back(T);
+
+  // Phase A3: the machine observes the state and orders its choices.
+  if (Policy)
+    Policy->orderCandidates(Net, M, Ordered);
+}
+
+InstantaneousState EarliestFiringEngine::state() const {
+  assert(Prepared && "state sampled before prepare()");
+  InstantaneousState S;
+  S.M = M;
+  S.Residual.assign(Net.numTransitions(), 0);
+  // Residual firing time R_u(t): remaining execution time of busy
+  // transitions at the sample instant (post-completion, pre-firing); a
+  // unit-time net therefore always samples the all-zero vector, matching
+  // the paper's Figure 1(e).
+  for (size_t I = 0; I < FinishTime.size(); ++I)
+    if (FinishTime[I] != IdleFinish)
+      S.Residual[I] = static_cast<TimeUnits>(FinishTime[I] - Now);
+  if (Policy)
+    S.PolicyFingerprint = Policy->stateFingerprint();
+  return S;
+}
+
+const std::vector<TransitionId> &EarliestFiringEngine::candidates() const {
+  assert(Prepared && "candidates requested before prepare()");
+  return Ordered;
+}
+
+StepRecord EarliestFiringEngine::fireAndAdvance() {
+  prepare();
+
+  StepRecord Rec;
+  Rec.Time = Now;
+  Rec.Completed = CompletedThisStep;
+
+  // Greedy maximal firing in policy order.  Consumption happens now;
+  // production is deferred to completion, so firings within one step
+  // cannot cascade (execution times are >= 1).
+  for (TransitionId T : Ordered) {
+    if (!Net.isEnabled(T, M))
+      continue; // An earlier firing consumed a shared token.
+    for (PlaceId P : Net.transition(T).InputPlaces)
+      M.consume(P);
+    FinishTime[T.index()] = Now + Net.transition(T).ExecTime;
+    Rec.Fired.push_back(T);
+    if (Policy)
+      Policy->noteFired(T);
+  }
+
+  ++Now;
+  Prepared = false;
+  return Rec;
+}
+
+bool EarliestFiringEngine::isQuiescent() const {
+  for (TimeStep F : FinishTime)
+    if (F != IdleFinish)
+      return false;
+  for (TransitionId T : Net.transitionIds())
+    if (Net.isEnabled(T, M))
+      return false;
+  return true;
+}

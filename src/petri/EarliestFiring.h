@@ -1,0 +1,206 @@
+//===- petri/EarliestFiring.h - Earliest-firing-rule engine -----*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Discrete-time execution of a timed Petri net under the earliest
+/// firing rule (Assumption A.6.2): every enabled transition fires as
+/// soon as it is enabled.  Time advances in unit steps; a transition
+/// fired at time u with execution time tau produces its output tokens at
+/// time u + tau.  Assumption A.6.1 (non-reentrant transitions) is
+/// enforced by keeping a residual firing time per transition.
+///
+/// Nets with structural conflicts (the run place of the SDSP-SCP-PN)
+/// need a choice mechanism.  Assumption 5.2.1 requires only that the
+/// machine never idles while something is enabled and that its choices
+/// are a deterministic function of the instantaneous state; the
+/// FiringPolicy interface captures exactly that, and the policy's own
+/// state (e.g. the FIFO queue) is folded into the instantaneous state so
+/// frustum detection stays sound.
+///
+/// Each step has two phases:
+///   prepare()        completions at the current instant, then the
+///                    policy observes the marking; the instantaneous
+///                    state (Definition in A.6: marking + residual
+///                    firing time vector, plus machine condition) is
+///                    sampled here;
+///   fireAndAdvance() fires the candidates greedily in policy order
+///                    (re-checking enablement after each consumption)
+///                    and advances the clock by one unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_PETRI_EARLIESTFIRING_H
+#define SDSP_PETRI_EARLIESTFIRING_H
+
+#include "petri/PetriNet.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// Discrete simulation time.
+using TimeStep = uint64_t;
+
+/// The state of a timed net at an instant: the marking plus the residual
+/// firing time vector R (remaining execution time per busy transition),
+/// plus an opaque fingerprint of the choice mechanism's state.
+struct InstantaneousState {
+  Marking M;
+  std::vector<TimeUnits> Residual;
+  std::vector<uint32_t> PolicyFingerprint;
+
+  size_t hashValue() const;
+  std::string str() const;
+
+  friend bool operator==(const InstantaneousState &A,
+                         const InstantaneousState &B) {
+    return A.M == B.M && A.Residual == B.Residual &&
+           A.PolicyFingerprint == B.PolicyFingerprint;
+  }
+};
+
+/// Resolves structural conflicts.  The default policy (nullptr) fires
+/// candidates in transition-index order, which is the unique maximal
+/// step for persistent nets.
+class FiringPolicy {
+public:
+  virtual ~FiringPolicy();
+
+  /// Returns to the initial machine condition.
+  virtual void reset() = 0;
+
+  /// Called once per step after completions.  \p Candidates holds the
+  /// enabled idle transitions in index order; the policy reorders them
+  /// into its preferred firing order.
+  virtual void orderCandidates(const PetriNet &Net, const Marking &M,
+                               std::vector<TransitionId> &Candidates) = 0;
+
+  /// Notifies the policy that \p T actually fired this step.
+  virtual void noteFired(TransitionId T) = 0;
+
+  /// Serializes the machine condition for state equality.
+  virtual std::vector<uint32_t> stateFingerprint() const = 0;
+};
+
+/// The FIFO decision mechanism of Section 5.2: transitions enter a queue
+/// when they first become data-ready (ties broken by index, mirroring
+/// the paper's adjacency-list order) and the queue head wins conflicts.
+/// \p ConflictTransitions marks the transitions competing for the shared
+/// resource; others (the dummy transitions of the series expansion) are
+/// fired ahead of the queue.
+class FifoPolicy : public FiringPolicy {
+public:
+  /// \p IsConflicting flags, per transition index, whether the
+  /// transition competes for the shared resource place.
+  /// \p ResourcePlaces lists the shared places to ignore when deciding
+  /// data-readiness.
+  FifoPolicy(std::vector<bool> IsConflicting,
+             std::vector<PlaceId> ResourcePlaces);
+
+  void reset() override;
+  void orderCandidates(const PetriNet &Net, const Marking &M,
+                       std::vector<TransitionId> &Candidates) override;
+  void noteFired(TransitionId T) override;
+  std::vector<uint32_t> stateFingerprint() const override;
+
+private:
+  std::vector<bool> IsConflicting;
+  std::vector<bool> IsResourcePlace;
+  std::deque<uint32_t> Queue;
+  std::vector<bool> InQueue;
+
+  bool isDataReady(const PetriNet &Net, const Marking &M,
+                   TransitionId T) const;
+};
+
+/// A LIFO variant used by the choice-policy ablation: newest data-ready
+/// transition wins.  Everything else matches FifoPolicy.
+class LifoPolicy : public FiringPolicy {
+public:
+  LifoPolicy(std::vector<bool> IsConflicting,
+             std::vector<PlaceId> ResourcePlaces);
+
+  void reset() override;
+  void orderCandidates(const PetriNet &Net, const Marking &M,
+                       std::vector<TransitionId> &Candidates) override;
+  void noteFired(TransitionId T) override;
+  std::vector<uint32_t> stateFingerprint() const override;
+
+private:
+  std::vector<bool> IsConflicting;
+  std::vector<bool> IsResourcePlace;
+  std::vector<uint32_t> Stack;
+  std::vector<bool> InStack;
+};
+
+/// What happened during one clock step.
+struct StepRecord {
+  TimeStep Time = 0;
+  /// Transitions whose firing completed (produced tokens) at this step.
+  std::vector<TransitionId> Completed;
+  /// Transitions that started firing (consumed tokens) at this step.
+  std::vector<TransitionId> Fired;
+};
+
+/// The execution engine.
+class EarliestFiringEngine {
+public:
+  /// \p Policy may be null (index-order maximal steps); it is borrowed,
+  /// not owned, and is reset() on construction.  All execution times in
+  /// \p Net must be >= 1.
+  explicit EarliestFiringEngine(const PetriNet &Net,
+                                FiringPolicy *Policy = nullptr);
+
+  /// Phase A of the current step; idempotent until fireAndAdvance().
+  void prepare();
+
+  /// The instantaneous state at the current instant.  prepare() must
+  /// have run.
+  InstantaneousState state() const;
+
+  /// The enabled idle transitions, in the policy's firing order.
+  /// prepare() must have run.
+  const std::vector<TransitionId> &candidates() const;
+
+  /// Phase B: fires and advances the clock.  Returns the step record
+  /// (completions observed during prepare + firings performed here).
+  StepRecord fireAndAdvance();
+
+  TimeStep now() const { return Now; }
+  const Marking &marking() const { return M; }
+  const PetriNet &net() const { return Net; }
+
+  /// True if nothing is in flight and nothing can fire: the net is dead
+  /// from this state.
+  bool isQuiescent() const;
+
+private:
+  const PetriNet &Net;
+  FiringPolicy *Policy;
+  Marking M;
+  /// Absolute completion time per busy transition; ~0 when idle.
+  std::vector<TimeStep> FinishTime;
+  TimeStep Now = 0;
+  bool Prepared = false;
+  std::vector<TransitionId> Ordered;
+  std::vector<TransitionId> CompletedThisStep;
+};
+
+} // namespace sdsp
+
+namespace std {
+template <> struct hash<sdsp::InstantaneousState> {
+  size_t operator()(const sdsp::InstantaneousState &S) const {
+    return S.hashValue();
+  }
+};
+} // namespace std
+
+#endif // SDSP_PETRI_EARLIESTFIRING_H

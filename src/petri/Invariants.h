@@ -1,0 +1,58 @@
+//===- petri/Invariants.h - P/T-invariants and consistency ------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear-algebraic structure theory.  The incidence matrix C has one
+/// row per transition and one column per place, C[t][p] = (tokens t
+/// produces into p) - (tokens t consumes from p).  A P-invariant is a
+/// place weighting y with C y = 0 (weighted token count is preserved by
+/// every firing); a T-invariant is a firing-count vector x with
+/// C^T x = 0 (executing x reproduces the marking).  Consistency
+/// (A.4, Ramchandani) asks for a strictly positive T-invariant; for the
+/// marked graphs of this paper the all-ones vector works iff the net is
+/// a marked graph, which is also Theorem A.5.3 in disguise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_PETRI_INVARIANTS_H
+#define SDSP_PETRI_INVARIANTS_H
+
+#include "petri/PetriNet.h"
+#include "support/Rational.h"
+
+#include <vector>
+
+namespace sdsp {
+
+/// Dense rational matrix, row-major.
+using RationalMatrix = std::vector<std::vector<Rational>>;
+
+/// Builds the |T| x |P| incidence matrix of \p Net.
+RationalMatrix incidenceMatrix(const PetriNet &Net);
+
+/// Returns a basis of the right nullspace { x : A x = 0 } via Gaussian
+/// elimination over exact rationals.
+RationalMatrix nullspaceBasis(const RationalMatrix &A);
+
+/// Basis of P-invariants (weight vectors over places).
+RationalMatrix pInvariants(const PetriNet &Net);
+
+/// Basis of T-invariants (firing-count vectors over transitions).
+RationalMatrix tInvariants(const PetriNet &Net);
+
+/// True if \p X satisfies C^T X = 0 for \p Net.
+bool isTInvariant(const PetriNet &Net, const std::vector<Rational> &X);
+
+/// True if the all-ones firing vector is a T-invariant: each firing of
+/// every transition exactly once reproduces any marking.  Holds for
+/// every marked graph (Thm A.5.3) and is the witness we use for
+/// consistency of SDSP-PNs.
+bool hasUniformTInvariant(const PetriNet &Net);
+
+} // namespace sdsp
+
+#endif // SDSP_PETRI_INVARIANTS_H

@@ -1,0 +1,56 @@
+//===- petri/Marking.cpp - Token distributions ----------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/Marking.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace sdsp;
+
+void Marking::consume(PlaceId P) {
+  assert(Tokens[P.index()] > 0 && "consuming from an empty place");
+  --Tokens[P.index()];
+}
+
+uint64_t Marking::totalTokens() const {
+  uint64_t Sum = 0;
+  for (uint32_t N : Tokens)
+    Sum += N;
+  return Sum;
+}
+
+bool Marking::allSafe() const {
+  for (uint32_t N : Tokens)
+    if (N > 1)
+      return false;
+  return true;
+}
+
+std::string Marking::str() const {
+  std::string Out = "[";
+  bool First = true;
+  for (size_t I = 0; I < Tokens.size(); ++I) {
+    if (Tokens[I] == 0)
+      continue;
+    if (!First)
+      Out += " ";
+    First = false;
+    Out += "p" + std::to_string(I);
+    if (Tokens[I] > 1)
+      Out += "x" + std::to_string(Tokens[I]);
+  }
+  Out += "]";
+  return Out;
+}
+
+size_t Marking::hashValue() const {
+  size_t Seed = Tokens.size();
+  hashCombineRange(Seed, Tokens);
+  return Seed;
+}

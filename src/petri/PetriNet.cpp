@@ -1,0 +1,118 @@
+//===- petri/PetriNet.cpp - Timed place/transition nets --------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/PetriNet.h"
+
+#include "support/Dot.h"
+
+#include <cassert>
+#include <ostream>
+
+using namespace sdsp;
+
+PlaceId PetriNet::addPlace(const std::string &Name, uint32_t InitialTokens) {
+  PlaceId P(Places.size());
+  Places.push_back(Place{Name, InitialTokens, {}, {}});
+  return P;
+}
+
+TransitionId PetriNet::addTransition(const std::string &Name,
+                                     TimeUnits ExecTime) {
+  TransitionId T(Transitions.size());
+  Transitions.push_back(Transition{Name, ExecTime, {}, {}});
+  return T;
+}
+
+void PetriNet::addArc(PlaceId P, TransitionId T) {
+  Places[P.index()].Consumers.push_back(T);
+  Transitions[T.index()].InputPlaces.push_back(P);
+}
+
+void PetriNet::addArc(TransitionId T, PlaceId P) {
+  Places[P.index()].Producers.push_back(T);
+  Transitions[T.index()].OutputPlaces.push_back(P);
+}
+
+void PetriNet::setInitialTokens(PlaceId P, uint32_t Tokens) {
+  Places[P.index()].InitialTokens = Tokens;
+}
+
+void PetriNet::setExecTime(TransitionId T, TimeUnits ExecTime) {
+  Transitions[T.index()].ExecTime = ExecTime;
+}
+
+Marking PetriNet::initialMarking() const {
+  Marking M(Places.size());
+  for (size_t I = 0; I < Places.size(); ++I)
+    M.setTokens(PlaceId(I), Places[I].InitialTokens);
+  return M;
+}
+
+uint64_t PetriNet::totalExecTime() const {
+  uint64_t Sum = 0;
+  for (const Transition &T : Transitions)
+    Sum += T.ExecTime;
+  return Sum;
+}
+
+bool PetriNet::isEnabled(TransitionId T, const Marking &M) const {
+  for (PlaceId P : Transitions[T.index()].InputPlaces)
+    if (M.tokens(P) == 0)
+      return false;
+  return true;
+}
+
+void PetriNet::fire(TransitionId T, Marking &M) const {
+  assert(isEnabled(T, M) && "firing a disabled transition");
+  for (PlaceId P : Transitions[T.index()].InputPlaces)
+    M.consume(P);
+  for (PlaceId P : Transitions[T.index()].OutputPlaces)
+    M.produce(P);
+}
+
+std::vector<PlaceId> PetriNet::placeIds() const {
+  std::vector<PlaceId> Ids;
+  Ids.reserve(Places.size());
+  for (size_t I = 0; I < Places.size(); ++I)
+    Ids.push_back(PlaceId(I));
+  return Ids;
+}
+
+std::vector<TransitionId> PetriNet::transitionIds() const {
+  std::vector<TransitionId> Ids;
+  Ids.reserve(Transitions.size());
+  for (size_t I = 0; I < Transitions.size(); ++I)
+    Ids.push_back(TransitionId(I));
+  return Ids;
+}
+
+void PetriNet::printDot(std::ostream &OS, const std::string &GraphName) const {
+  DotWriter Dot(OS, GraphName);
+  Dot.graphAttr("rankdir", "TB");
+  for (size_t I = 0; I < Places.size(); ++I) {
+    const Place &P = Places[I];
+    std::string Label = P.Name;
+    if (P.InitialTokens == 1)
+      Label += " \xE2\x80\xA2"; // bullet marks the token
+    else if (P.InitialTokens > 1)
+      Label += " (" + std::to_string(P.InitialTokens) + ")";
+    Dot.node("p" + std::to_string(I), Label, "shape=circle");
+  }
+  for (size_t I = 0; I < Transitions.size(); ++I) {
+    const Transition &T = Transitions[I];
+    std::string Label = T.Name;
+    if (T.ExecTime != 1)
+      Label += " [" + std::to_string(T.ExecTime) + "]";
+    Dot.node("t" + std::to_string(I), Label, "shape=box,height=0.2");
+  }
+  for (size_t I = 0; I < Transitions.size(); ++I) {
+    for (PlaceId P : Transitions[I].InputPlaces)
+      Dot.edge("p" + std::to_string(P.index()), "t" + std::to_string(I));
+    for (PlaceId P : Transitions[I].OutputPlaces)
+      Dot.edge("t" + std::to_string(I), "p" + std::to_string(P.index()));
+  }
+}

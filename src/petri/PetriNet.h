@@ -1,0 +1,122 @@
+//===- petri/PetriNet.h - Timed place/transition nets -----------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timed Petri net (PN, Omega) of Appendix A: a set of places, a set
+/// of transitions, directed arcs between them, an initial marking, and a
+/// non-negative integer execution time per transition (Ramchandani's
+/// deterministic timing).  Arc multiplicity is 1 throughout, as in the
+/// paper.
+///
+/// Assumption A.6.1 (two firings of one transition never overlap) is
+/// enforced by the execution engine rather than by materializing the
+/// implicit self-loop place, so structural queries see exactly the arcs
+/// the paper draws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_PETRI_PETRINET_H
+#define SDSP_PETRI_PETRINET_H
+
+#include "petri/Marking.h"
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+struct TransitionTag {};
+/// Identifies a transition within one PetriNet.
+using TransitionId = Id<TransitionTag>;
+
+/// Execution (firing) time of a transition, in machine cycles.
+using TimeUnits = uint32_t;
+
+/// A timed place/transition net.  Construction is additive: create places
+/// and transitions, then connect them with arcs.  The class itself holds
+/// no dynamic marking; execution state lives in the engine (see
+/// EarliestFiring.h) so one net can back many simulations.
+class PetriNet {
+public:
+  /// A place and its static connectivity.
+  struct Place {
+    std::string Name;
+    uint32_t InitialTokens = 0;
+    /// Transitions producing into this place (".p" in the paper's dot
+    /// notation).
+    std::vector<TransitionId> Producers;
+    /// Transitions consuming from this place ("p." in the paper).
+    std::vector<TransitionId> Consumers;
+  };
+
+  /// A transition and its static connectivity.
+  struct Transition {
+    std::string Name;
+    TimeUnits ExecTime = 1;
+    std::vector<PlaceId> InputPlaces;
+    std::vector<PlaceId> OutputPlaces;
+  };
+
+  /// Creates a place named \p Name carrying \p InitialTokens initially.
+  PlaceId addPlace(const std::string &Name, uint32_t InitialTokens = 0);
+
+  /// Creates a transition named \p Name with execution time \p ExecTime.
+  TransitionId addTransition(const std::string &Name, TimeUnits ExecTime = 1);
+
+  /// Adds the consumption arc \p P -> \p T.
+  void addArc(PlaceId P, TransitionId T);
+  /// Adds the production arc \p T -> \p P.
+  void addArc(TransitionId T, PlaceId P);
+
+  /// Changes the initial token count of \p P.
+  void setInitialTokens(PlaceId P, uint32_t Tokens);
+
+  /// Changes the execution time of \p T.
+  void setExecTime(TransitionId T, TimeUnits ExecTime);
+
+  size_t numPlaces() const { return Places.size(); }
+  size_t numTransitions() const { return Transitions.size(); }
+
+  const Place &place(PlaceId P) const { return Places[P.index()]; }
+  const Transition &transition(TransitionId T) const {
+    return Transitions[T.index()];
+  }
+
+  /// Builds the initial marking M0 from the per-place token counts.
+  Marking initialMarking() const;
+
+  /// Sum of all execution times; the value sum of any simple path or
+  /// cycle is bounded by this (used by the theoretical bound checks).
+  uint64_t totalExecTime() const;
+
+  /// True if \p T is enabled by \p M (every input place marked).
+  bool isEnabled(TransitionId T, const Marking &M) const;
+
+  /// Fires \p T atomically in \p M: consumes one token per input place
+  /// and produces one per output place.  \p T must be enabled.
+  void fire(TransitionId T, Marking &M) const;
+
+  /// Enumerates all place ids (dense, 0..numPlaces-1).
+  std::vector<PlaceId> placeIds() const;
+  /// Enumerates all transition ids (dense, 0..numTransitions-1).
+  std::vector<TransitionId> transitionIds() const;
+
+  /// Renders the net (structure + initial marking) in DOT syntax:
+  /// circles for places, boxes for transitions, token counts as labels.
+  void printDot(std::ostream &OS, const std::string &GraphName) const;
+
+private:
+  std::vector<Place> Places;
+  std::vector<Transition> Transitions;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_PETRI_PETRINET_H

@@ -1,0 +1,114 @@
+//===- petri/ReachabilityGraph.cpp - Explicit-state reachability -----------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/ReachabilityGraph.h"
+
+#include <deque>
+
+using namespace sdsp;
+
+ReachabilityGraph sdsp::exploreReachability(const PetriNet &Net,
+                                            size_t MaxStates) {
+  ReachabilityGraph G;
+  Marking M0 = Net.initialMarking();
+  G.States.push_back(M0);
+  G.Index.emplace(M0, 0);
+  G.Succ.emplace_back();
+
+  std::deque<size_t> Work{0};
+  while (!Work.empty()) {
+    size_t S = Work.front();
+    Work.pop_front();
+    for (TransitionId T : Net.transitionIds()) {
+      if (!Net.isEnabled(T, G.States[S]))
+        continue;
+      Marking Next = G.States[S];
+      Net.fire(T, Next);
+      auto [It, Inserted] = G.Index.emplace(Next, G.States.size());
+      if (Inserted) {
+        if (G.States.size() >= MaxStates) {
+          G.Index.erase(It);
+          G.Complete = false;
+          return G;
+        }
+        G.States.push_back(std::move(Next));
+        G.Succ.emplace_back();
+        Work.push_back(It->second);
+      }
+      G.Succ[S].push_back({T, It->second});
+    }
+  }
+  return G;
+}
+
+bool sdsp::isBounded(const ReachabilityGraph &G, uint32_t Bound) {
+  for (const Marking &M : G.States)
+    for (size_t P = 0; P < M.size(); ++P)
+      if (M.tokens(PlaceId(P)) > Bound)
+        return false;
+  return true;
+}
+
+bool sdsp::isLive(const PetriNet &Net, const ReachabilityGraph &G) {
+  if (!G.Complete)
+    return false;
+  size_t N = G.States.size();
+
+  // Predecessor adjacency.
+  std::vector<std::vector<size_t>> Pred(N);
+  for (size_t S = 0; S < N; ++S)
+    for (auto [T, D] : G.Succ[S])
+      Pred[D].push_back(S);
+
+  std::vector<bool> CanReach(N);
+  for (TransitionId T : Net.transitionIds()) {
+    std::fill(CanReach.begin(), CanReach.end(), false);
+    std::deque<size_t> Work;
+    for (size_t S = 0; S < N; ++S) {
+      if (Net.isEnabled(T, G.States[S])) {
+        CanReach[S] = true;
+        Work.push_back(S);
+      }
+    }
+    while (!Work.empty()) {
+      size_t S = Work.front();
+      Work.pop_front();
+      for (size_t P : Pred[S]) {
+        if (CanReach[P])
+          continue;
+        CanReach[P] = true;
+        Work.push_back(P);
+      }
+    }
+    for (size_t S = 0; S < N; ++S)
+      if (!CanReach[S])
+        return false;
+  }
+  return true;
+}
+
+bool sdsp::isPersistent(const PetriNet &Net, const ReachabilityGraph &G) {
+  if (!G.Complete)
+    return false;
+  for (const Marking &M : G.States) {
+    std::vector<TransitionId> Enabled;
+    for (TransitionId T : Net.transitionIds())
+      if (Net.isEnabled(T, M))
+        Enabled.push_back(T);
+    for (TransitionId T1 : Enabled) {
+      Marking After = M;
+      Net.fire(T1, After);
+      for (TransitionId T2 : Enabled) {
+        if (T1 == T2)
+          continue;
+        if (!Net.isEnabled(T2, After))
+          return false;
+      }
+    }
+  }
+  return true;
+}

@@ -1,0 +1,62 @@
+//===- petri/ReachabilityGraph.h - Explicit-state reachability --*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explicit-state reachability analysis under interleaving (untimed)
+/// semantics: the forward marking class of Appendix A.2.  Exponential in
+/// general, so it carries a state cap; we use it as the ground-truth
+/// oracle for liveness, boundedness/safety, and persistence (A.3) on
+/// small nets, cross-checking the marked-graph theorems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_PETRI_REACHABILITYGRAPH_H
+#define SDSP_PETRI_REACHABILITYGRAPH_H
+
+#include "petri/PetriNet.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sdsp {
+
+/// The forward marking class of M0, as an explicit graph.
+struct ReachabilityGraph {
+  /// All distinct reachable markings; index 0 is the initial marking.
+  std::vector<Marking> States;
+  /// Marking -> state index.
+  std::unordered_map<Marking, size_t> Index;
+  /// Successors per state: (fired transition, destination state).
+  std::vector<std::vector<std::pair<TransitionId, size_t>>> Succ;
+  /// False if exploration stopped at the state cap; the property
+  /// queries below must not be trusted in that case.
+  bool Complete = true;
+};
+
+/// Explores the forward marking class of \p Net's initial marking,
+/// firing one transition at a time.
+ReachabilityGraph exploreReachability(const PetriNet &Net,
+                                      size_t MaxStates = 1 << 20);
+
+/// A.3: bounded by \p Bound tokens in every place of every reachable
+/// marking.
+bool isBounded(const ReachabilityGraph &G, uint32_t Bound);
+
+/// A.3: safe = bounded by 1.
+inline bool isSafe(const ReachabilityGraph &G) { return isBounded(G, 1); }
+
+/// A.3: live = from every reachable marking, every transition can
+/// eventually fire.  Computed by backward closure per transition.
+bool isLive(const PetriNet &Net, const ReachabilityGraph &G);
+
+/// A.3: persistent = whenever two distinct transitions are enabled,
+/// firing one never disables the other, in every reachable marking.
+bool isPersistent(const PetriNet &Net, const ReachabilityGraph &G);
+
+} // namespace sdsp
+
+#endif // SDSP_PETRI_REACHABILITYGRAPH_H

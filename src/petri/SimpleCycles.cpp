@@ -1,0 +1,123 @@
+//===- petri/SimpleCycles.cpp - Simple cycle enumeration -------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/SimpleCycles.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace sdsp;
+
+namespace {
+
+/// State for Johnson's algorithm restricted to vertices >= Root.
+class JohnsonSearch {
+public:
+  JohnsonSearch(const MarkedGraphView &G, std::vector<SimpleCycle> &Cycles,
+                size_t MaxCycles)
+      : G(G), Cycles(Cycles), MaxCycles(MaxCycles),
+        Blocked(G.numVertices(), false), BlockList(G.numVertices()) {}
+
+  void run() {
+    size_t N = G.numVertices();
+    for (Root = 0; Root < N && Cycles.size() < MaxCycles; ++Root) {
+      for (size_t V = Root; V < N; ++V) {
+        Blocked[V] = false;
+        BlockList[V].clear();
+      }
+      circuit(Root);
+    }
+  }
+
+private:
+  const MarkedGraphView &G;
+  std::vector<SimpleCycle> &Cycles;
+  size_t MaxCycles;
+  size_t Root = 0;
+  std::vector<bool> Blocked;
+  std::vector<std::vector<size_t>> BlockList;
+  std::vector<uint32_t> EdgeStack;
+
+  void unblock(size_t V) {
+    Blocked[V] = false;
+    for (size_t W : BlockList[V])
+      if (Blocked[W])
+        unblock(W);
+    BlockList[V].clear();
+  }
+
+  void emitCycle() {
+    SimpleCycle C;
+    C.Edges = EdgeStack;
+    for (uint32_t EI : EdgeStack) {
+      const MarkedGraphView::Edge &E = G.edge(EI);
+      C.ValueSum += G.net().transition(E.From).ExecTime;
+      C.TokenSum += E.Tokens;
+    }
+    Cycles.push_back(std::move(C));
+  }
+
+  bool circuit(size_t V) {
+    if (Cycles.size() >= MaxCycles)
+      return true;
+    bool Found = false;
+    Blocked[V] = true;
+    for (uint32_t EI : G.outEdges(TransitionId(V))) {
+      const MarkedGraphView::Edge &E = G.edge(EI);
+      size_t W = E.To.index();
+      if (W < Root)
+        continue; // Restricted to the subgraph induced by >= Root.
+      if (W == Root) {
+        EdgeStack.push_back(EI);
+        emitCycle();
+        EdgeStack.pop_back();
+        Found = true;
+        if (Cycles.size() >= MaxCycles)
+          break;
+        continue;
+      }
+      if (!Blocked[W]) {
+        EdgeStack.push_back(EI);
+        if (circuit(W))
+          Found = true;
+        EdgeStack.pop_back();
+        if (Cycles.size() >= MaxCycles)
+          break;
+      }
+    }
+    if (Found) {
+      unblock(V);
+    } else {
+      for (uint32_t EI : G.outEdges(TransitionId(V))) {
+        size_t W = G.edge(EI).To.index();
+        if (W >= Root)
+          BlockList[W].push_back(V);
+      }
+    }
+    return Found;
+  }
+};
+
+} // namespace
+
+std::vector<SimpleCycle>
+sdsp::enumerateSimpleCycles(const MarkedGraphView &G, size_t MaxCycles) {
+  std::vector<SimpleCycle> Cycles;
+  JohnsonSearch Search(G, Cycles, MaxCycles);
+  Search.run();
+  assert(Cycles.size() < MaxCycles && "cycle enumeration hit the cap");
+  return Cycles;
+}
+
+std::vector<TransitionId> sdsp::cycleTransitions(const MarkedGraphView &G,
+                                                 const SimpleCycle &C) {
+  std::vector<TransitionId> Ts;
+  Ts.reserve(C.Edges.size());
+  for (uint32_t EI : C.Edges)
+    Ts.push_back(G.edge(EI).From);
+  return Ts;
+}

@@ -1,0 +1,53 @@
+//===- petri/SimpleCycles.h - Simple cycle enumeration ----------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Johnson's algorithm for enumerating the simple cycles of the marked
+/// graph's transition graph.  The paper needs simple cycles for three
+/// things: the liveness/safety theorems, the critical cycle (max value
+/// sum / token sum), and the balancing ratios of the storage optimizer.
+///
+/// Enumeration is worst-case exponential (Magott's observation, cited in
+/// Appendix A.7), so analyses also have a polynomial parametric-search
+/// path (CycleRatio.h); tests cross-validate the two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_PETRI_SIMPLECYCLES_H
+#define SDSP_PETRI_SIMPLECYCLES_H
+
+#include "petri/MarkedGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sdsp {
+
+/// One simple cycle, stored as the sequence of edge indices into a
+/// MarkedGraphView, plus its two aggregate weights.
+struct SimpleCycle {
+  /// Edge indices, in traversal order.
+  std::vector<uint32_t> Edges;
+  /// Omega(C): sum of execution times of the transitions on the cycle.
+  uint64_t ValueSum = 0;
+  /// M(C): sum of the (initial) tokens on the places of the cycle.
+  uint64_t TokenSum = 0;
+};
+
+/// Enumerates every simple cycle of \p G (Johnson 1975).  \p MaxCycles
+/// bounds the output as a safety valve; hitting the bound asserts in
+/// debug builds and truncates in release builds.
+std::vector<SimpleCycle> enumerateSimpleCycles(const MarkedGraphView &G,
+                                               size_t MaxCycles = 1 << 22);
+
+/// Returns the transitions (deduplicated, in traversal order) on \p C.
+std::vector<TransitionId> cycleTransitions(const MarkedGraphView &G,
+                                           const SimpleCycle &C);
+
+} // namespace sdsp
+
+#endif // SDSP_PETRI_SIMPLECYCLES_H

@@ -1,0 +1,109 @@
+//===- sched/AikenNicolau.cpp - Perfect-pipelining baseline ----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/AikenNicolau.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace sdsp;
+
+std::optional<AikenNicolauResult>
+sdsp::aikenNicolauSchedule(const DepGraph &G, uint64_t MaxIterations) {
+  size_t N = G.size();
+  assert(N > 0 && "empty dependence graph");
+  uint32_t Window = std::max(G.maxDistance(), 1u);
+
+  // Incoming deps per op for the ASAP recurrence.
+  std::vector<std::vector<uint32_t>> In(N);
+  for (uint32_t I = 0; I < G.Deps.size(); ++I)
+    In[G.Deps[I].To].push_back(I);
+
+  // Distance-0 topological order (forward subgraph is acyclic).
+  std::vector<uint32_t> Order;
+  {
+    std::vector<uint32_t> InDeg(N, 0);
+    std::vector<std::vector<uint32_t>> Succ0(N);
+    for (const DepGraph::Dep &D : G.Deps) {
+      if (D.Distance != 0)
+        continue;
+      Succ0[D.From].push_back(D.To);
+      ++InDeg[D.To];
+    }
+    std::vector<uint32_t> Ready;
+    for (uint32_t I = 0; I < N; ++I)
+      if (InDeg[I] == 0)
+        Ready.push_back(I);
+    while (!Ready.empty()) {
+      uint32_t V = Ready.back();
+      Ready.pop_back();
+      Order.push_back(V);
+      for (uint32_t W : Succ0[V])
+        if (--InDeg[W] == 0)
+          Ready.push_back(W);
+    }
+    assert(Order.size() == N && "distance-0 dependence cycle");
+  }
+
+  AikenNicolauResult Result;
+  // Difference-window fingerprint -> window start iteration.  Absolute
+  // windows never recur when an op off the critical cycle keeps firing
+  // at time 0 while critical ops drift (the off-cycle gap Section 4 of
+  // the paper points out), so the pattern is recognized on the profile
+  // of per-op iteration-to-iteration increments instead.
+  std::map<std::vector<uint64_t>, uint64_t> Seen;
+
+  for (uint64_t Iter = 0; Iter < MaxIterations; ++Iter) {
+    std::vector<uint64_t> Times(N, 0);
+    for (uint32_t Op : Order) {
+      uint64_t T = 0;
+      for (uint32_t DI : In[Op]) {
+        const DepGraph::Dep &D = G.Deps[DI];
+        if (D.Distance > Iter)
+          continue; // Initial values satisfy the first D.Distance uses.
+        uint64_t Src =
+            D.Distance == 0
+                ? Times[D.From]
+                : Result.StartTimes[Iter - D.Distance][D.From];
+        T = std::max(T, Src + G.Ops[D.From].Latency);
+      }
+      Times[Op] = T;
+    }
+    Result.StartTimes.push_back(std::move(Times));
+
+    // Fingerprint the per-op increments of the last Window iteration
+    // pairs once available.
+    if (Result.StartTimes.size() < Window + 1)
+      continue;
+    uint64_t First = Result.StartTimes.size() - Window - 1;
+    std::vector<uint64_t> Key;
+    Key.reserve(Window * N);
+    for (uint64_t W = First; W + 1 < Result.StartTimes.size(); ++W)
+      for (size_t Op = 0; Op < N; ++Op)
+        Key.push_back(Result.StartTimes[W + 1][Op] -
+                      Result.StartTimes[W][Op]);
+
+    auto [It, Inserted] = Seen.emplace(std::move(Key), First);
+    if (!Inserted) {
+      uint64_t I1 = It->second, I2 = First;
+      Result.PatternStart = I1;
+      Result.IterationsPerPattern = I2 - I1;
+      // The pattern's period is the largest per-op drift across the
+      // matched windows: ops below it (off every critical cycle) run
+      // unboundedly ahead under the greedy rule.
+      uint64_t P = 0;
+      for (size_t Op = 0; Op < N; ++Op)
+        P = std::max(P, Result.StartTimes[I2][Op] -
+                            Result.StartTimes[I1][Op]);
+      Result.CyclesPerPattern = P;
+      Result.IterationsExamined = Result.StartTimes.size();
+      return Result;
+    }
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,71 @@
+//===- sched/AikenNicolau.h - Perfect-pipelining baseline -------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Aiken-Nicolau "optimal loop parallelization" baseline the paper
+/// compares against in Section 4: greedily ASAP-schedule the unrolled
+/// iterations of the dependence graph (unbounded resources) and detect
+/// the emerging periodic pattern.  The paper's discussion: A-N state an
+/// O(n^2)-iteration bound for pattern detection whose single-critical-
+/// cycle proof the authors tighten to O(n^3) iterations; our detector
+/// reports how many iterations it actually needed, which is the number
+/// the benchmark compares against the frustum's convergence.
+///
+/// Pattern detection: the greedy schedule's future depends only on the
+/// relative start times of the last maxDistance iterations, so we hash
+/// that window (normalized to its minimum) and stop at the first
+/// recurrence; the gap gives iterations-per-pattern k and cycles-per-
+/// pattern p with steady-state rate k/p.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SCHED_AIKENNICOLAU_H
+#define SDSP_SCHED_AIKENNICOLAU_H
+
+#include "sched/DependenceGraph.h"
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sdsp {
+
+/// The detected periodic greedy schedule.
+struct AikenNicolauResult {
+  /// Iteration at which the pattern begins.
+  uint64_t PatternStart = 0;
+  /// Iterations per pattern (k).
+  uint64_t IterationsPerPattern = 0;
+  /// Cycles per pattern (p).
+  uint64_t CyclesPerPattern = 0;
+  /// Iterations unrolled before the pattern was recognized.
+  uint64_t IterationsExamined = 0;
+  /// Start times of every unrolled instance, [iteration][op].
+  std::vector<std::vector<uint64_t>> StartTimes;
+
+  /// With no loop-carried dependence and unbounded resources, greedy
+  /// scheduling starts every iteration at time 0: the pattern advances
+  /// zero cycles and the model's rate is unbounded.
+  bool unboundedRate() const { return CyclesPerPattern == 0; }
+
+  /// Steady-state iterations per cycle; only meaningful when
+  /// !unboundedRate().
+  Rational rate() const {
+    return Rational(static_cast<int64_t>(IterationsPerPattern),
+                    static_cast<int64_t>(CyclesPerPattern));
+  }
+};
+
+/// Runs greedy ASAP scheduling over unrolled iterations of \p G until a
+/// pattern repeats or \p MaxIterations is hit (std::nullopt then).
+std::optional<AikenNicolauResult>
+aikenNicolauSchedule(const DepGraph &G, uint64_t MaxIterations = 1 << 16);
+
+} // namespace sdsp
+
+#endif // SDSP_SCHED_AIKENNICOLAU_H

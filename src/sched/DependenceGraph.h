@@ -1,0 +1,74 @@
+//===- sched/DependenceGraph.h - Scheduler-facing dependences ---*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flow-graph view that classical software pipeliners (Aiken-
+/// Nicolau, list scheduling, modulo scheduling) consume: operations with
+/// latencies and dependences with iteration distances.  Two builders:
+///
+///   fromSdsp()         data dependences only — the unbounded-storage
+///                      idealization classical methods assume;
+///   fromSdspWithAcks() additionally turns each acknowledgement chain
+///                      into a reverse dependence with distance = its
+///                      free slots, making finite storage visible to the
+///                      classical methods for apples-to-apples
+///                      comparison with the Petri-net model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SCHED_DEPENDENCEGRAPH_H
+#define SDSP_SCHED_DEPENDENCEGRAPH_H
+
+#include "core/Sdsp.h"
+#include "support/Rational.h"
+
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// A loop dependence graph for classical schedulers.
+struct DepGraph {
+  struct Op {
+    std::string Name;
+    uint32_t Latency = 1;
+  };
+  struct Dep {
+    uint32_t From = 0;
+    uint32_t To = 0;
+    /// Iteration distance: To's iteration m depends on From's m - Distance.
+    uint32_t Distance = 0;
+  };
+
+  std::vector<Op> Ops;
+  std::vector<Dep> Deps;
+
+  size_t size() const { return Ops.size(); }
+
+  /// Largest dependence distance (>= 1 if any loop-carried dep).
+  uint32_t maxDistance() const;
+
+  /// The recurrence-constrained minimum initiation interval: the
+  /// maximum over dependence cycles of (sum of latencies) / (sum of
+  /// distances), as an exact rational; 0 when acyclic.
+  /// This equals the SDSP-PN cycle time when acks are included.
+  Rational recurrenceMii() const;
+};
+
+/// Data dependences only (interior arcs of \p S).
+DepGraph depGraphFromSdsp(const Sdsp &S);
+
+/// Data dependences plus acknowledgement-induced anti-dependences.
+DepGraph depGraphFromSdspWithAcks(const Sdsp &S);
+
+/// Longest-path height of each op over distance-0 dependences (a
+/// standard list-scheduling priority).
+std::vector<uint64_t> criticalPathHeights(const DepGraph &G);
+
+} // namespace sdsp
+
+#endif // SDSP_SCHED_DEPENDENCEGRAPH_H

@@ -1,0 +1,99 @@
+//===- sched/ListSchedule.cpp - Resource-constrained baseline --------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ListSchedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+using namespace sdsp;
+
+ListScheduleResult sdsp::listSchedule(const DepGraph &G,
+                                      const ListMachine &Machine,
+                                      uint64_t Iterations) {
+  assert(Machine.IssueWidth >= 1 && "machine must issue something");
+  size_t N = G.size();
+  auto Latency = [&](uint32_t Op) -> uint64_t {
+    return Machine.UniformLatency ? Machine.UniformLatency
+                                  : G.Ops[Op].Latency;
+  };
+
+  std::vector<uint64_t> Height = criticalPathHeights(G);
+
+  // Instance = Iter * N + Op.  Count unsatisfied deps per instance;
+  // deps reaching before iteration 0 are satisfied by initial values.
+  auto InstId = [N](uint64_t Iter, uint32_t Op) { return Iter * N + Op; };
+  std::vector<uint32_t> Unsatisfied(Iterations * N, 0);
+  std::vector<std::vector<uint32_t>> OutDeps(N);
+  for (uint32_t I = 0; I < G.Deps.size(); ++I)
+    OutDeps[G.Deps[I].From].push_back(I);
+  for (const DepGraph::Dep &D : G.Deps)
+    for (uint64_t Iter = D.Distance; Iter < Iterations; ++Iter)
+      ++Unsatisfied[InstId(Iter, D.To)];
+
+  // Ready instances ordered by (earliest data-ready time, -height, id).
+  struct ReadyInst {
+    uint64_t ReadyAt;
+    uint64_t Height;
+    uint64_t Id;
+  };
+  auto Worse = [](const ReadyInst &A, const ReadyInst &B) {
+    if (A.ReadyAt != B.ReadyAt)
+      return A.ReadyAt > B.ReadyAt;
+    if (A.Height != B.Height)
+      return A.Height < B.Height;
+    return A.Id > B.Id;
+  };
+  std::priority_queue<ReadyInst, std::vector<ReadyInst>, decltype(Worse)>
+      Ready(Worse);
+  std::vector<uint64_t> DataReadyAt(Iterations * N, 0);
+
+  for (uint64_t Iter = 0; Iter < Iterations; ++Iter)
+    for (uint32_t Op = 0; Op < N; ++Op)
+      if (Unsatisfied[InstId(Iter, Op)] == 0)
+        Ready.push(ReadyInst{0, Height[Op], InstId(Iter, Op)});
+
+  ListScheduleResult Result;
+  Result.StartTimes.assign(Iterations, std::vector<uint64_t>(N, 0));
+
+  uint64_t Cycle = 0;
+  uint64_t Scheduled = 0;
+  uint64_t Total = Iterations * N;
+  while (Scheduled < Total) {
+    assert(!Ready.empty() && "deadlock: nothing ready but work remains");
+    // Fast-forward to the next ready time if the queue head is in the
+    // future.
+    Cycle = std::max(Cycle, Ready.top().ReadyAt);
+    uint32_t Issued = 0;
+    while (Issued < Machine.IssueWidth && !Ready.empty() &&
+           Ready.top().ReadyAt <= Cycle) {
+      ReadyInst Inst = Ready.top();
+      Ready.pop();
+      uint64_t Iter = Inst.Id / N;
+      uint32_t Op = static_cast<uint32_t>(Inst.Id % N);
+      Result.StartTimes[Iter][Op] = Cycle;
+      uint64_t Finish = Cycle + Latency(Op);
+      Result.Makespan = std::max(Result.Makespan, Finish);
+      ++Issued;
+      ++Scheduled;
+      // Release dependents.
+      for (uint32_t DI : OutDeps[Op]) {
+        const DepGraph::Dep &D = G.Deps[DI];
+        uint64_t DstIter = Iter + D.Distance;
+        if (DstIter >= Iterations)
+          continue;
+        uint64_t Dst = InstId(DstIter, D.To);
+        DataReadyAt[Dst] = std::max(DataReadyAt[Dst], Finish);
+        if (--Unsatisfied[Dst] == 0)
+          Ready.push(ReadyInst{DataReadyAt[Dst], Height[D.To], Dst});
+      }
+    }
+    ++Cycle;
+  }
+  return Result;
+}

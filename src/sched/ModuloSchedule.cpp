@@ -1,0 +1,106 @@
+//===- sched/ModuloSchedule.cpp - Modulo-scheduling baseline ---------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ModuloSchedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace sdsp;
+
+bool sdsp::verifyModuloSchedule(const DepGraph &G,
+                                const ModuloScheduleResult &Sched) {
+  for (const DepGraph::Dep &D : G.Deps) {
+    // t(v) + m*II >= t(u) + (m - dist)*II + lat(u) for all m, i.e.:
+    int64_t Lhs = static_cast<int64_t>(Sched.StartTimes[D.To]) +
+                  static_cast<int64_t>(Sched.II) * D.Distance;
+    int64_t Rhs = static_cast<int64_t>(Sched.StartTimes[D.From]) +
+                  G.Ops[D.From].Latency;
+    if (Lhs < Rhs)
+      return false;
+  }
+  return true;
+}
+
+std::optional<ModuloScheduleResult>
+sdsp::moduloSchedule(const DepGraph &G, uint32_t IssueWidth,
+                     uint32_t IiSlack) {
+  size_t N = G.size();
+  assert(N > 0 && "empty dependence graph");
+
+  uint32_t RecMii =
+      static_cast<uint32_t>(std::max<int64_t>(1, G.recurrenceMii().ceil()));
+  uint32_t ResMii =
+      IssueWidth == 0
+          ? 1
+          : static_cast<uint32_t>((N + IssueWidth - 1) / IssueWidth);
+  uint32_t MinIi = std::max(RecMii, ResMii);
+
+  for (uint32_t II = MinIi; II <= MinIi + IiSlack; ++II) {
+    // Bellman-Ford longest-path lower bounds from a virtual source at 0.
+    std::vector<int64_t> Lb(N, 0);
+    bool Feasible = true;
+    for (size_t Pass = 0; Pass <= N; ++Pass) {
+      bool Relaxed = false;
+      for (const DepGraph::Dep &D : G.Deps) {
+        int64_t Cand = Lb[D.From] + G.Ops[D.From].Latency -
+                       static_cast<int64_t>(II) * D.Distance;
+        if (Cand > Lb[D.To]) {
+          Lb[D.To] = Cand;
+          Relaxed = true;
+        }
+      }
+      if (!Relaxed)
+        break;
+      if (Pass == N)
+        Feasible = false; // Positive cycle: II below the recurrence bound.
+    }
+    if (!Feasible)
+      continue;
+
+    // Place in lower-bound order (tie: higher out-degree first is a wash;
+    // use index) scanning the modulo reservation table.
+    std::vector<uint32_t> Ops(N);
+    std::iota(Ops.begin(), Ops.end(), 0);
+    std::sort(Ops.begin(), Ops.end(), [&](uint32_t A, uint32_t B) {
+      if (Lb[A] != Lb[B])
+        return Lb[A] < Lb[B];
+      return A < B;
+    });
+
+    std::vector<uint32_t> SlotUse(II, 0);
+    ModuloScheduleResult Sched;
+    Sched.II = II;
+    Sched.RecMii = RecMii;
+    Sched.ResMii = ResMii;
+    Sched.StartTimes.assign(N, 0);
+    bool Placed = true;
+    for (uint32_t Op : Ops) {
+      int64_t T = Lb[Op];
+      bool Found = false;
+      for (uint32_t Try = 0; Try < II; ++Try, ++T) {
+        if (IssueWidth == 0 || SlotUse[T % II] < IssueWidth) {
+          Sched.StartTimes[Op] = static_cast<uint64_t>(T);
+          ++SlotUse[T % II];
+          Found = true;
+          break;
+        }
+      }
+      if (!Found) {
+        Placed = false;
+        break;
+      }
+    }
+    if (!Placed)
+      continue;
+
+    if (verifyModuloSchedule(G, Sched))
+      return Sched;
+  }
+  return std::nullopt;
+}

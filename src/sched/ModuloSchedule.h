@@ -1,0 +1,65 @@
+//===- sched/ModuloSchedule.h - Modulo-scheduling baseline ------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simplified iterative modulo scheduler (Rau's lineage — the Cydra-5
+/// and polycyclic work the paper cites as "special hardware support"),
+/// included as the method that historically superseded the Petri-net
+/// formalism.  Key contrast probed by the benchmarks: modulo scheduling
+/// forces an integer initiation interval II >= max(RecMII, ResMII), so
+/// a loop whose critical ratio is fractional (e.g. 5/2) pays ceil(5/2)
+/// = 3 cycles per iteration, while the frustum kernel executes k
+/// iterations in p cycles and achieves the exact optimum k/p.
+///
+/// Algorithm per candidate II: Bellman-Ford start-time lower bounds over
+/// the constraint graph (edge u->v, weight lat(u) - II*distance; a
+/// positive cycle means II infeasible), placement in lower-bound order
+/// scanning the modulo reservation table, then a full verification pass;
+/// on any failure II increases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SCHED_MODULOSCHEDULE_H
+#define SDSP_SCHED_MODULOSCHEDULE_H
+
+#include "sched/DependenceGraph.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sdsp {
+
+/// A modulo schedule: one start slot per operation, repeating every II.
+struct ModuloScheduleResult {
+  uint32_t II = 0;
+  /// Start time of iteration 0 of each op; iteration m starts at
+  /// StartTimes[op] + m * II.
+  std::vector<uint64_t> StartTimes;
+  /// The recurrence-constrained lower bound that was computed.
+  uint32_t RecMii = 0;
+  /// The resource-constrained lower bound (ops / issue width).
+  uint32_t ResMii = 0;
+
+  double rate() const { return II ? 1.0 / II : 0.0; }
+};
+
+/// Modulo-schedules \p G on a machine issuing \p IssueWidth ops per
+/// cycle (0 = unbounded resources, isolating the integer-II effect).
+/// Tries II from max(RecMII, ResMII) to that plus \p IiSlack before
+/// giving up (std::nullopt).
+std::optional<ModuloScheduleResult>
+moduloSchedule(const DepGraph &G, uint32_t IssueWidth,
+               uint32_t IiSlack = 64);
+
+/// Checks a modulo schedule against every dependence of \p G.
+bool verifyModuloSchedule(const DepGraph &G,
+                          const ModuloScheduleResult &Sched);
+
+} // namespace sdsp
+
+#endif // SDSP_SCHED_MODULOSCHEDULE_H

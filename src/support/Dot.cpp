@@ -1,0 +1,55 @@
+//===- support/Dot.cpp - Graphviz DOT emission helpers --------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Dot.h"
+
+using namespace sdsp;
+
+DotWriter::DotWriter(std::ostream &OS, const std::string &Name) : OS(OS) {
+  OS << "digraph \"" << escape(Name) << "\" {\n";
+}
+
+DotWriter::~DotWriter() { OS << "}\n"; }
+
+void DotWriter::graphAttr(const std::string &Key, const std::string &Value) {
+  OS << "  " << Key << "=\"" << escape(Value) << "\";\n";
+}
+
+void DotWriter::node(const std::string &Id, const std::string &Label,
+                     const std::string &ExtraAttrs) {
+  OS << "  \"" << escape(Id) << "\" [label=\"" << escape(Label) << "\"";
+  if (!ExtraAttrs.empty())
+    OS << "," << ExtraAttrs;
+  OS << "];\n";
+}
+
+void DotWriter::edge(const std::string &From, const std::string &To,
+                     const std::string &Label,
+                     const std::string &ExtraAttrs) {
+  OS << "  \"" << escape(From) << "\" -> \"" << escape(To) << "\"";
+  if (!Label.empty() || !ExtraAttrs.empty()) {
+    OS << " [";
+    if (!Label.empty()) {
+      OS << "label=\"" << escape(Label) << "\"";
+      if (!ExtraAttrs.empty())
+        OS << ",";
+    }
+    OS << ExtraAttrs << "]";
+  }
+  OS << ";\n";
+}
+
+std::string DotWriter::escape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}

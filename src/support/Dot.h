@@ -1,0 +1,55 @@
+//===- support/Dot.h - Graphviz DOT emission helpers ------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Graphviz writer.  Petri nets, dataflow graphs, and behavior
+/// graphs all render through this so the figures of the paper (Fig. 1 and
+/// Fig. 3 in particular) can be regenerated as .dot files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_DOT_H
+#define SDSP_SUPPORT_DOT_H
+
+#include <ostream>
+#include <string>
+
+namespace sdsp {
+
+/// Streams a digraph in DOT syntax.  Node ids are arbitrary strings and
+/// are quoted/escaped on the way out.
+class DotWriter {
+public:
+  /// Opens "digraph \p Name {".
+  DotWriter(std::ostream &OS, const std::string &Name);
+  ~DotWriter();
+
+  DotWriter(const DotWriter &) = delete;
+  DotWriter &operator=(const DotWriter &) = delete;
+
+  /// Emits a graph-level attribute such as rankdir=LR.
+  void graphAttr(const std::string &Key, const std::string &Value);
+
+  /// Emits node \p Id with a label and optional extra attribute text
+  /// (already in DOT syntax, e.g. "shape=box,style=filled").
+  void node(const std::string &Id, const std::string &Label,
+            const std::string &ExtraAttrs = "");
+
+  /// Emits edge \p From -> \p To with an optional label and attributes.
+  void edge(const std::string &From, const std::string &To,
+            const std::string &Label = "", const std::string &ExtraAttrs = "");
+
+  /// Escapes a string for use inside a DOT quoted id or label.
+  static std::string escape(const std::string &Text);
+
+private:
+  std::ostream &OS;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_SUPPORT_DOT_H

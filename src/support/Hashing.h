@@ -1,0 +1,40 @@
+//===- support/Hashing.h - Hash combinators ---------------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash-combining helpers used to hash instantaneous states
+/// (marking + residual firing times + machine condition) during cyclic
+/// frustum detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_HASHING_H
+#define SDSP_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sdsp {
+
+/// Mixes \p V into the running hash \p Seed (boost::hash_combine style,
+/// with a 64-bit constant).
+inline void hashCombine(size_t &Seed, size_t V) {
+  Seed ^= V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes every element of \p Values into \p Seed.
+template <typename T>
+void hashCombineRange(size_t &Seed, const std::vector<T> &Values) {
+  for (const T &V : Values)
+    hashCombine(Seed, std::hash<T>()(V));
+}
+
+} // namespace sdsp
+
+#endif // SDSP_SUPPORT_HASHING_H

@@ -1,0 +1,72 @@
+//===- support/Ids.h - Strongly typed dense identifiers --------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed wrappers around dense vector indices.  Places,
+/// transitions, dataflow nodes, and arcs are all stored in flat vectors;
+/// wrapping the index in a distinct type per entity kind prevents the
+/// classic bug of indexing the place table with a transition id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_IDS_H
+#define SDSP_SUPPORT_IDS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace sdsp {
+
+/// A dense, strongly typed identifier.  \p Tag is an empty struct that
+/// makes each instantiation a distinct type.
+template <typename Tag> class Id {
+public:
+  using ValueType = uint32_t;
+
+  /// Sentinel for "no entity".
+  static constexpr ValueType InvalidValue =
+      std::numeric_limits<ValueType>::max();
+
+  constexpr Id() : Value(InvalidValue) {}
+  constexpr explicit Id(ValueType V) : Value(V) {}
+  constexpr explicit Id(size_t V) : Value(static_cast<ValueType>(V)) {
+    assert(V < InvalidValue && "id value overflows 32 bits");
+  }
+
+  static constexpr Id invalid() { return Id(); }
+
+  constexpr bool isValid() const { return Value != InvalidValue; }
+
+  /// Returns the raw index.  The id must be valid.
+  constexpr ValueType index() const {
+    assert(isValid() && "indexing with an invalid id");
+    return Value;
+  }
+
+  friend constexpr bool operator==(Id A, Id B) { return A.Value == B.Value; }
+  friend constexpr bool operator!=(Id A, Id B) { return A.Value != B.Value; }
+  friend constexpr bool operator<(Id A, Id B) { return A.Value < B.Value; }
+
+private:
+  ValueType Value;
+};
+
+} // namespace sdsp
+
+namespace std {
+template <typename Tag> struct hash<sdsp::Id<Tag>> {
+  size_t operator()(sdsp::Id<Tag> V) const {
+    return std::hash<uint32_t>()(V.isValid() ? V.index()
+                                             : sdsp::Id<Tag>::InvalidValue);
+  }
+};
+} // namespace std
+
+#endif // SDSP_SUPPORT_IDS_H

@@ -1,0 +1,63 @@
+//===- support/Random.h - Deterministic PRNG -------------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64) used by property tests and
+/// workload generators.  Determinism matters: tests must fail reproducibly
+/// and benchmark workloads must be identical across runs, so we do not use
+/// std::random_device or unseeded engines anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_RANDOM_H
+#define SDSP_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace sdsp {
+
+/// SplitMix64: tiny, fast, and statistically solid for test-case
+/// generation purposes.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 raw bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [Lo, Hi], inclusive on both ends.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Bernoulli draw with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den > 0 && Num <= Den && "malformed probability");
+    return next() % Den < Num;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_SUPPORT_RANDOM_H

@@ -1,0 +1,70 @@
+//===- support/Rational.cpp - Exact rational arithmetic ------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <numeric>
+
+using namespace sdsp;
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = std::gcd(N < 0 ? -N : N, D);
+  if (G == 0)
+    G = 1;
+  Num = N / G;
+  Den = D / G;
+}
+
+Rational Rational::reciprocal() const {
+  assert(Num != 0 && "reciprocal of zero");
+  return Rational(Den, Num);
+}
+
+int64_t Rational::floor() const {
+  if (Num >= 0)
+    return Num / Den;
+  return -((-Num + Den - 1) / Den);
+}
+
+int64_t Rational::ceil() const { return -(-*this).floor(); }
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}
+
+Rational Rational::operator+(Rational B) const {
+  return Rational(Num * B.Den + B.Num * Den, Den * B.Den);
+}
+
+Rational Rational::operator-(Rational B) const {
+  return Rational(Num * B.Den - B.Num * Den, Den * B.Den);
+}
+
+Rational Rational::operator*(Rational B) const {
+  return Rational(Num * B.Num, Den * B.Den);
+}
+
+Rational Rational::operator/(Rational B) const {
+  assert(!B.isZero() && "division by zero rational");
+  return Rational(Num * B.Den, Den * B.Num);
+}
+
+bool sdsp::operator<(Rational A, Rational B) {
+  // Denominators are positive, so cross multiplication preserves order.
+  return A.Num * B.Den < B.Num * A.Den;
+}
+
+std::ostream &sdsp::operator<<(std::ostream &OS, Rational R) {
+  return OS << R.str();
+}

@@ -1,0 +1,94 @@
+//===- support/Rational.h - Exact rational arithmetic ----------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over int64.  Cycle times Omega(C)/M(C) and
+/// computation rates M(C)/Omega(C) are ratios of small integers; comparing
+/// them in floating point risks misclassifying the critical cycle, so all
+/// rate analysis uses this type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_RATIONAL_H
+#define SDSP_SUPPORT_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace sdsp {
+
+/// An exact rational p/q with q > 0, always stored in lowest terms.
+class Rational {
+public:
+  /// Constructs 0/1.
+  constexpr Rational() : Num(0), Den(1) {}
+
+  /// Constructs \p N / 1.
+  constexpr Rational(int64_t N) : Num(N), Den(1) {}
+
+  /// Constructs \p N / \p D.  \p D must be nonzero.
+  Rational(int64_t N, int64_t D);
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isInteger() const { return Den == 1; }
+
+  /// Returns the multiplicative inverse.  The value must be nonzero.
+  Rational reciprocal() const;
+
+  double toDouble() const { return static_cast<double>(Num) / Den; }
+
+  /// Largest integer <= this value.
+  int64_t floor() const;
+  /// Smallest integer >= this value.
+  int64_t ceil() const;
+
+  /// Renders as "p/q", or just "p" when the denominator is 1.
+  std::string str() const;
+
+  Rational operator+(Rational B) const;
+  Rational operator-(Rational B) const;
+  Rational operator*(Rational B) const;
+  Rational operator/(Rational B) const;
+  Rational operator-() const { return Rational(-Num, Den); }
+
+  friend bool operator==(Rational A, Rational B) {
+    return A.Num == B.Num && A.Den == B.Den;
+  }
+  friend bool operator!=(Rational A, Rational B) { return !(A == B); }
+  friend bool operator<(Rational A, Rational B);
+  friend bool operator<=(Rational A, Rational B) { return !(B < A); }
+  friend bool operator>(Rational A, Rational B) { return B < A; }
+  friend bool operator>=(Rational A, Rational B) { return !(A < B); }
+
+  friend std::ostream &operator<<(std::ostream &OS, Rational R);
+
+private:
+  int64_t Num;
+  int64_t Den;
+};
+
+bool operator<(Rational A, Rational B);
+std::ostream &operator<<(std::ostream &OS, Rational R);
+
+} // namespace sdsp
+
+namespace std {
+template <> struct hash<sdsp::Rational> {
+  size_t operator()(const sdsp::Rational &R) const {
+    return std::hash<int64_t>()(R.num()) * 1000003u ^
+           std::hash<int64_t>()(R.den());
+  }
+};
+} // namespace std
+
+#endif // SDSP_SUPPORT_RATIONAL_H

@@ -1,0 +1,61 @@
+//===- support/TextTable.cpp - Aligned plain-text tables ------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace sdsp;
+
+void TextTable::startRow() { Rows.emplace_back(); }
+
+void TextTable::cell(const std::string &Text) {
+  assert(!Rows.empty() && "cell added before startRow");
+  Rows.back().push_back(Text);
+}
+
+void TextTable::cell(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  cell(std::string(Buf));
+}
+
+void TextTable::print(std::ostream &OS) const {
+  if (Rows.empty())
+    return;
+
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+  }
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      OS << Row[I];
+      if (I + 1 == Row.size())
+        break;
+      for (size_t Pad = Row[I].size(); Pad < Widths[I] + 2; ++Pad)
+        OS << ' ';
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Rows.front());
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  for (size_t I = 0; I + 2 < Total; ++I)
+    OS << '-';
+  OS << '\n';
+  for (size_t I = 1; I < Rows.size(); ++I)
+    PrintRow(Rows[I]);
+}

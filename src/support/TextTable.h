@@ -1,0 +1,49 @@
+//===- support/TextTable.h - Aligned plain-text tables ----------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned table printer used by the benchmark harness to emit
+/// reproductions of the paper's Tables 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_TEXTTABLE_H
+#define SDSP_SUPPORT_TEXTTABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// Collects rows of string cells and prints them with columns padded to
+/// the widest cell.  The first row added is treated as the header and is
+/// separated from the body by a dashed rule.
+class TextTable {
+public:
+  /// Starts a new row.
+  void startRow();
+
+  /// Appends a cell to the current row.
+  void cell(const std::string &Text);
+  void cell(int64_t Value) { cell(std::to_string(Value)); }
+  void cell(size_t Value) { cell(std::to_string(Value)); }
+  /// Appends a floating cell rendered with \p Digits fractional digits.
+  void cell(double Value, int Digits);
+
+  /// Renders the table to \p OS.
+  void print(std::ostream &OS) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_SUPPORT_TEXTTABLE_H

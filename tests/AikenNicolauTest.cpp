@@ -1,0 +1,105 @@
+//===- tests/AikenNicolauTest.cpp - A-N baseline tests ---------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/AikenNicolau.h"
+
+#include "TestUtil.h"
+#include "core/RateAnalysis.h"
+#include "core/SdspPn.h"
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+TEST(AikenNicolau, DoallIsUnbounded) {
+  // Without loop-carried deps and without storage limits, greedy
+  // scheduling starts every iteration at once.
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(buildL1()));
+  auto R = aikenNicolauSchedule(D);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->unboundedRate());
+}
+
+TEST(AikenNicolau, L2ConvergesToTheRecurrenceRate) {
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(buildL2Direct()));
+  auto R = aikenNicolauSchedule(D);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->unboundedRate());
+  EXPECT_EQ(R->rate(), Rational(1, 3)) << "limited by C-D-E-C";
+}
+
+TEST(AikenNicolau, WithAcksMatchesPetriNetRate) {
+  for (bool UseL2 : {false, true}) {
+    Sdsp S = Sdsp::standard(UseL2 ? buildL2Direct() : buildL1());
+    DepGraph D = depGraphFromSdspWithAcks(S);
+    auto R = aikenNicolauSchedule(D);
+    ASSERT_TRUE(R.has_value());
+    SdspPn Pn = buildSdspPn(S);
+    EXPECT_EQ(R->rate(), analyzeRate(Pn).OptimalRate);
+  }
+}
+
+TEST(AikenNicolau, ScheduleRespectsDependences) {
+  Sdsp S = Sdsp::standard(buildL2Direct());
+  DepGraph D = depGraphFromSdspWithAcks(S);
+  auto R = aikenNicolauSchedule(D);
+  ASSERT_TRUE(R.has_value());
+  for (size_t Iter = 0; Iter < R->StartTimes.size(); ++Iter)
+    for (const DepGraph::Dep &Dep : D.Deps) {
+      if (Dep.Distance > Iter)
+        continue;
+      uint64_t Src = R->StartTimes[Iter - Dep.Distance][Dep.From];
+      EXPECT_GE(R->StartTimes[Iter][Dep.To],
+                Src + D.Ops[Dep.From].Latency);
+    }
+}
+
+TEST(AikenNicolau, PatternSelfConsistent) {
+  Sdsp S = Sdsp::standard(buildL2Direct());
+  DepGraph D = depGraphFromSdsp(S);
+  auto R = aikenNicolauSchedule(D);
+  ASSERT_TRUE(R.has_value());
+  // Inside the detected pattern each op drifts by a constant per-op
+  // amount per k iterations, none above p, and ops on the critical
+  // recurrence drift by exactly p (off-cycle ops may run ahead — the
+  // gap the paper highlights in Aiken-Nicolau's analysis).
+  uint64_t K = R->IterationsPerPattern, P = R->CyclesPerPattern;
+  ASSERT_GE(K, 1u);
+  std::vector<uint64_t> Drift(D.size());
+  for (size_t Op = 0; Op < D.size(); ++Op)
+    Drift[Op] = R->StartTimes[R->PatternStart + K][Op] -
+                R->StartTimes[R->PatternStart][Op];
+  uint64_t MaxDrift = 0;
+  for (uint64_t Dr : Drift)
+    MaxDrift = std::max(MaxDrift, Dr);
+  EXPECT_EQ(MaxDrift, P);
+  for (uint64_t I = R->PatternStart;
+       I + K < R->StartTimes.size(); ++I)
+    for (size_t Op = 0; Op < D.size(); ++Op) {
+      EXPECT_LE(R->StartTimes[I + K][Op],
+                R->StartTimes[I][Op] + P);
+      EXPECT_EQ(R->StartTimes[I + K][Op] - R->StartTimes[I][Op],
+                Drift[Op]);
+    }
+}
+
+TEST(AikenNicolau, ConvergesQuicklyOnRandomLoops) {
+  Rng Rand(606);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    DataflowGraph G = buildRandomLoopGraph(Rand, 4 + Trial % 5, 30);
+    Sdsp S = Sdsp::standard(G);
+    DepGraph D = depGraphFromSdspWithAcks(S);
+    auto R = aikenNicolauSchedule(D);
+    ASSERT_TRUE(R.has_value()) << "trial " << Trial;
+    EXPECT_LE(R->IterationsExamined, 4 * D.size() * D.size() + 16)
+        << "trial " << Trial;
+  }
+}
+
+} // namespace

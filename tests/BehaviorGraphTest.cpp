@@ -1,0 +1,94 @@
+//===- tests/BehaviorGraphTest.cpp - Trace recording tests -----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/BehaviorGraph.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+TEST(BehaviorGraph, InitialTokensRecorded) {
+  PetriNet Ring = buildRing(3, 2);
+  BehaviorGraph BG(Ring);
+  EXPECT_EQ(BG.tokens().size(), 2u);
+  EXPECT_TRUE(BG.firings().empty());
+  for (const BehaviorGraph::TokenNode &T : BG.tokens()) {
+    EXPECT_EQ(T.Producer, BehaviorGraph::NoFiring);
+    EXPECT_EQ(T.ProducedAt, 0u);
+  }
+}
+
+TEST(BehaviorGraph, TokenFlowLinksProducersToConsumers) {
+  PetriNet Ring = buildRing(2, 1);
+  EarliestFiringEngine Engine(Ring);
+  BehaviorGraph BG(Ring);
+  for (int Step = 0; Step < 4; ++Step)
+    BG.recordStep(Engine.fireAndAdvance());
+
+  // The single token circulates: firings alternate t1, t0, t1, ...
+  ASSERT_GE(BG.firings().size(), 3u);
+  EXPECT_EQ(BG.firings()[0].T, TransitionId(1u));
+  EXPECT_EQ(BG.firings()[1].T, TransitionId(0u));
+  EXPECT_EQ(BG.firings()[2].T, TransitionId(1u));
+
+  // Occurrence numbering increments per transition.
+  EXPECT_EQ(BG.firings()[0].Occurrence, 0u);
+  EXPECT_EQ(BG.firings()[2].Occurrence, 1u);
+
+  // Every consumed token has its consumer recorded.
+  for (const BehaviorGraph::FiringNode &F : BG.firings())
+    for (uint32_t TokenId : F.Consumed)
+      EXPECT_NE(BG.tokens()[TokenId].Consumer, BehaviorGraph::NoFiring);
+}
+
+TEST(BehaviorGraph, ConservationOfTokens) {
+  Rng R(5);
+  PetriNet Net = buildRandomMarkedGraph(R, 6, 3);
+  EarliestFiringEngine Engine(Net);
+  BehaviorGraph BG(Net);
+  for (int Step = 0; Step < 20; ++Step)
+    BG.recordStep(Engine.fireAndAdvance());
+
+  // Tokens produced = initial + per-firing productions of completed
+  // firings; consumed tokens = per-firing consumptions.
+  size_t Consumed = 0;
+  for (const BehaviorGraph::FiringNode &F : BG.firings())
+    Consumed += F.Consumed.size();
+  size_t MarkedConsumed = 0;
+  for (const BehaviorGraph::TokenNode &T : BG.tokens())
+    if (T.Consumer != BehaviorGraph::NoFiring)
+      ++MarkedConsumed;
+  EXPECT_EQ(Consumed, MarkedConsumed);
+
+  // Live (unconsumed) tokens in the recorder equal the engine's current
+  // marking exactly: both views lack the productions of in-flight
+  // firings (don't prepare() here, that would apply completions the
+  // recorder hasn't seen).
+  size_t Live = BG.tokens().size() - MarkedConsumed;
+  EXPECT_EQ(Live, Engine.marking().totalTokens());
+}
+
+TEST(BehaviorGraph, DotHighlightsFrustumWindow) {
+  PetriNet Ring = buildRing(2, 1);
+  EarliestFiringEngine Engine(Ring);
+  BehaviorGraph BG(Ring);
+  for (int Step = 0; Step < 4; ++Step)
+    BG.recordStep(Engine.fireAndAdvance());
+  std::ostringstream OS;
+  BG.printDot(OS, "trace", 1, 3);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("lightgrey"), std::string::npos);
+  EXPECT_NE(S.find("t1#0@0"), std::string::npos);
+}
+
+} // namespace

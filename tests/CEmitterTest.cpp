@@ -1,0 +1,256 @@
+//===- tests/CEmitterTest.cpp - C emission tests ---------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// Structural tests always run; the end-to-end tests compile the
+// emitted C with the host compiler and execute it against the
+// reference implementations (skipped if no C compiler is available).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+
+#include "TestUtil.h"
+#include "codegen/Codegen.h"
+#include "core/Frustum.h"
+#include "core/ScheduleDerivation.h"
+#include "core/StorageOptimizer.h"
+#include "livermore/Livermore.h"
+#include "loopir/Lowering.h"
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+CEmission emitFor(const Sdsp &S, const std::string &Fn) {
+  SdspPn Pn = buildSdspPn(S);
+  auto F = detectFrustum(Pn.Net);
+  EXPECT_TRUE(F.has_value());
+  SoftwarePipelineSchedule Sched = deriveSchedule(Pn, *F);
+  LoopProgram Program = generateLoopProgram(S, Pn, Sched);
+  return emitC(Program, Fn);
+}
+
+TEST(CEmitter, StructureOfEmittedSource) {
+  CEmission E = emitFor(Sdsp::standard(buildL2Direct()), "l2_kernel");
+  EXPECT_NE(E.Source.find("void l2_kernel(size_t n"), std::string::npos);
+  EXPECT_NE(E.Source.find("steady kernel"), std::string::npos);
+  EXPECT_NE(E.Source.find("start-up transient"), std::string::npos);
+  EXPECT_NE(E.Source.find("out_E[m]"), std::string::npos);
+  EXPECT_EQ(E.Outputs, (std::vector<std::string>{"E"}));
+  EXPECT_EQ(E.Inputs, (std::vector<std::string>{"W", "X", "Y"}));
+}
+
+TEST(CEmitter, SanitizesStreamNames) {
+  DiagnosticEngine Diags;
+  auto G = compileLoop("doall k { x = z[k+10] - z[k-1]; out x; }", Diags);
+  ASSERT_TRUE(G.has_value());
+  CEmission E = emitFor(Sdsp::standard(*G), "offsets");
+  EXPECT_NE(E.Source.find("in_z_10"), std::string::npos);
+  // The two z streams must map to distinct identifiers.
+  size_t First = E.Source.find("const double *in_z");
+  ASSERT_NE(First, std::string::npos);
+  size_t Second = E.Source.find("const double *in_z", First + 1);
+  EXPECT_NE(Second, std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Compile-and-run harness
+//===----------------------------------------------------------------------===//
+
+/// Returns the host C compiler, or empty if none works.
+std::string hostCompiler() {
+  for (const char *CC : {"cc", "gcc", "clang"}) {
+    std::string Cmd = std::string("command -v ") + CC + " > /dev/null 2>&1";
+    if (std::system(Cmd.c_str()) == 0)
+      return CC;
+  }
+  return "";
+}
+
+/// Emits, compiles, and runs \p S for \p N iterations; returns the
+/// outputs parsed from the generated driver's stdout.
+StreamMap compileAndRun(const Sdsp &S, const StreamMap &Inputs, size_t N,
+                        const std::string &Tag, bool &Skipped) {
+  std::string CC = hostCompiler();
+  if (CC.empty()) {
+    Skipped = true;
+    return {};
+  }
+  Skipped = false;
+
+  CEmission E = emitFor(S, "kernel_fn");
+  std::string Dir = ::testing::TempDir();
+  std::string CPath = Dir + "/sdsp_" + Tag + ".c";
+  std::string BinPath = Dir + "/sdsp_" + Tag + ".bin";
+  std::string OutPath = Dir + "/sdsp_" + Tag + ".out";
+
+  std::ofstream File(CPath);
+  File << E.Source << "\n#include <stdio.h>\n";
+  // Input arrays as static data (hex floats: exact round trip).
+  for (size_t Idx = 0; Idx < E.Inputs.size(); ++Idx) {
+    File << "static const double data_" << Idx << "[] = {";
+    const std::vector<double> &V = Inputs.at(E.Inputs[Idx]);
+    for (size_t I = 0; I < N; ++I)
+      File << (I ? "," : "") << std::hexfloat << V[I]
+           << std::defaultfloat;
+    File << "};\n";
+  }
+  File << "int main(void) {\n  size_t n = " << N << ";\n";
+  for (size_t I = 0; I < E.Outputs.size(); ++I)
+    File << "  static double out" << I << "[" << N << "];\n";
+  File << "  kernel_fn(n";
+  for (size_t I = 0; I < E.Inputs.size(); ++I)
+    File << ", data_" << I;
+  for (size_t I = 0; I < E.Outputs.size(); ++I)
+    File << ", out" << I;
+  File << ");\n";
+  for (size_t I = 0; I < E.Outputs.size(); ++I) {
+    File << "  printf(\"" << E.Outputs[I] << "\");\n"
+         << "  for (size_t j = 0; j < n; ++j) printf(\" %.17g\", out" << I
+         << "[j]);\n  printf(\"\\n\");\n";
+  }
+  File << "  return 0;\n}\n";
+  File.close();
+
+  std::string Build = CC + " -O1 -o " + BinPath + " " + CPath + " -lm";
+  EXPECT_EQ(std::system(Build.c_str()), 0) << "compiling " << CPath;
+  EXPECT_EQ(std::system((BinPath + " > " + OutPath).c_str()), 0);
+
+  StreamMap Result;
+  std::ifstream OutFile(OutPath);
+  std::string Line;
+  while (std::getline(OutFile, Line)) {
+    std::istringstream SS(Line);
+    std::string Name;
+    SS >> Name;
+    double V;
+    while (SS >> V)
+      Result[Name].push_back(V);
+  }
+  return Result;
+}
+
+class CEmitterKernelTest
+    : public ::testing::TestWithParam<LivermoreKernel> {};
+
+TEST_P(CEmitterKernelTest, CompiledCodeMatchesReference) {
+  const LivermoreKernel &K = GetParam();
+  DiagnosticEngine Diags;
+  auto G = compileLoop(K.Source, Diags);
+  ASSERT_TRUE(G.has_value());
+  Sdsp S = Sdsp::standard(*G);
+
+  const size_t N = 40;
+  StreamMap In = K.MakeInputs(N, 31415);
+  bool Skipped = false;
+  StreamMap Got = compileAndRun(S, In, N, K.Id, Skipped);
+  if (Skipped)
+    GTEST_SKIP() << "no host C compiler";
+  StreamMap Want = K.Reference(In, N);
+  for (const auto &[Name, Values] : Want) {
+    ASSERT_EQ(Got.count(Name), 1u) << K.Name << " " << Name;
+    ASSERT_EQ(Got.at(Name).size(), Values.size()) << K.Name;
+    for (size_t I = 0; I < Values.size(); ++I)
+      EXPECT_NEAR(Got.at(Name)[I], Values[I],
+                  1e-12 * (1.0 + std::fabs(Values[I])))
+          << K.Name << " " << Name << "[" << I << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, CEmitterKernelTest,
+    ::testing::ValuesIn(livermoreKernels()),
+    [](const ::testing::TestParamInfo<LivermoreKernel> &Info) {
+      return Info.param.Id;
+    });
+
+TEST(CEmitter, OptimizedStorageCompilesAndRuns) {
+  DiagnosticEngine Diags;
+  auto G = compileLoop(findKernel("l2")->Source, Diags);
+  ASSERT_TRUE(G.has_value());
+  StorageOptResult R = minimizeStorage(Sdsp::standard(*G));
+  ASSERT_LT(R.StorageAfter, R.StorageBefore);
+
+  const size_t N = 40;
+  StreamMap In = findKernel("l2")->MakeInputs(N, 151);
+  bool Skipped = false;
+  StreamMap Got = compileAndRun(R.Optimized, In, N, "l2opt", Skipped);
+  if (Skipped)
+    GTEST_SKIP() << "no host C compiler";
+  StreamMap Want = findKernel("l2")->Reference(In, N);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_NEAR(Got.at("E")[I], Want.at("E")[I], 1e-12);
+}
+
+TEST(CEmitter, MixedExecutionTimesCompileAndRun) {
+  // A biquad with 2-cycle multipliers: multi-cycle writes cross period
+  // boundaries, exercising the in-flight temporaries of the emitted C.
+  DiagnosticEngine Diags;
+  auto G = compileLoop(R"(do i {
+    init y = 0, 0;
+    y = b0 * x[i] - a1 * y[i-1] - a2 * y[i-2];
+    out y;
+  })",
+                       Diags);
+  ASSERT_TRUE(G.has_value());
+  for (NodeId N : G->nodeIds())
+    if (G->node(N).Kind == OpKind::Mul)
+      G->setExecTime(N, 2);
+  Sdsp S = Sdsp::standard(*G);
+
+  const size_t N = 32;
+  StreamMap In;
+  Rng R(404);
+  for (const char *Name : {"x", "b0", "a1", "a2"}) {
+    std::vector<double> V(N);
+    for (double &X : V)
+      X = R.uniform() - 0.5;
+    In[Name] = V;
+  }
+  bool Skipped = false;
+  StreamMap Got = compileAndRun(S, In, N, "biquad", Skipped);
+  if (Skipped)
+    GTEST_SKIP() << "no host C compiler";
+
+  double Y1 = 0.0, Y2 = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    double Y = In["b0"][I] * In["x"][I] - In["a1"][I] * Y1 -
+               In["a2"][I] * Y2;
+    EXPECT_NEAR(Got.at("y")[I], Y, 1e-12) << I;
+    Y2 = Y1;
+    Y1 = Y;
+  }
+}
+
+TEST(CEmitter, ShortTripCountsWork) {
+  // n smaller than the prologue: every statement is guarded.
+  DiagnosticEngine Diags;
+  auto G = compileLoop(findKernel("loop7")->Source, Diags);
+  ASSERT_TRUE(G.has_value());
+  Sdsp S = Sdsp::standard(*G);
+  const size_t N = 2;
+  StreamMap In = findKernel("loop7")->MakeInputs(N, 99);
+  bool Skipped = false;
+  StreamMap Got = compileAndRun(S, In, N, "short", Skipped);
+  if (Skipped)
+    GTEST_SKIP() << "no host C compiler";
+  StreamMap Want = findKernel("loop7")->Reference(In, N);
+  ASSERT_EQ(Got.at("x").size(), N);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_NEAR(Got.at("x")[I], Want.at("x")[I], 1e-12);
+}
+
+} // namespace

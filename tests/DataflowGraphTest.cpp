@@ -1,0 +1,138 @@
+//===- tests/DataflowGraphTest.cpp - Dataflow IR tests ---------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/DataflowGraph.h"
+
+#include "TestUtil.h"
+#include "dataflow/Validate.h"
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+TEST(Ops, ArityAndResults) {
+  EXPECT_EQ(opArity(OpKind::Const), 0u);
+  EXPECT_EQ(opArity(OpKind::Add), 2u);
+  EXPECT_EQ(opArity(OpKind::Merge), 3u);
+  EXPECT_EQ(opResults(OpKind::Switch), 2u);
+  EXPECT_EQ(opResults(OpKind::Output), 0u);
+  EXPECT_EQ(opResults(OpKind::Add), 1u);
+}
+
+TEST(Ops, DummyPropagation) {
+  TokenValue Ops[2] = {TokenValue::real(2), TokenValue::dummy()};
+  EXPECT_TRUE(evalSimpleOp(OpKind::Add, Ops).IsDummy);
+  TokenValue Real[2] = {TokenValue::real(2), TokenValue::real(3)};
+  EXPECT_EQ(evalSimpleOp(OpKind::Add, Real).Num, 5.0);
+  EXPECT_EQ(evalSimpleOp(OpKind::Mul, Real).Num, 6.0);
+  EXPECT_EQ(evalSimpleOp(OpKind::Sub, Real).Num, -1.0);
+  EXPECT_EQ(evalSimpleOp(OpKind::Min, Real).Num, 2.0);
+  EXPECT_EQ(evalSimpleOp(OpKind::CmpLt, Real).Num, 1.0);
+}
+
+TEST(DataflowGraph, L1Shape) {
+  DataflowGraph G = buildL1();
+  // 5 compute + 4 inputs + 1 const + 1 output = 11 nodes.
+  EXPECT_EQ(G.numNodes(), 11u);
+  EXPECT_FALSE(G.hasLoopCarriedDependence());
+  EXPECT_TRUE(isWellFormed(G));
+}
+
+TEST(DataflowGraph, L2HasFeedback) {
+  DataflowGraph G = buildL2Direct();
+  EXPECT_TRUE(G.hasLoopCarriedDependence());
+  EXPECT_TRUE(isWellFormed(G));
+  // Exactly one feedback arc, E -> C, with one initial value.
+  int Feedback = 0;
+  for (ArcId A : G.arcIds())
+    if (G.arc(A).isFeedback()) {
+      ++Feedback;
+      EXPECT_EQ(G.arc(A).InitialValues.size(), 1u);
+      EXPECT_EQ(G.node(G.arc(A).From).Name, "E");
+      EXPECT_EQ(G.node(G.arc(A).To).Name, "C");
+    }
+  EXPECT_EQ(Feedback, 1);
+}
+
+TEST(DataflowGraph, TopoOrderRespectsForwardArcs) {
+  DataflowGraph G = buildL2Direct();
+  std::vector<NodeId> Order = G.forwardTopoOrder();
+  std::vector<size_t> Position(G.numNodes());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Position[Order[I].index()] = I;
+  for (ArcId A : G.arcIds()) {
+    if (G.arc(A).isFeedback())
+      continue;
+    EXPECT_LT(Position[G.arc(A).From.index()],
+              Position[G.arc(A).To.index()]);
+  }
+}
+
+TEST(Validate, CatchesUnconnectedOperand) {
+  DataflowGraph G;
+  G.addNode(OpKind::Add, "orphan");
+  std::vector<ValidationError> Errors = validate(G);
+  ASSERT_GE(Errors.size(), 2u); // two unconnected ports
+  EXPECT_NE(Errors[0].Message.find("unconnected"), std::string::npos);
+}
+
+TEST(Validate, CatchesForwardCycle) {
+  DataflowGraph G;
+  NodeId A = G.addNode(OpKind::Identity, "a");
+  NodeId B = G.addNode(OpKind::Identity, "b");
+  G.connect(A, 0, B, 0);
+  G.connect(B, 0, A, 0);
+  std::vector<ValidationError> Errors = validate(G);
+  bool FoundCycle = false;
+  for (const ValidationError &E : Errors)
+    if (E.Message.find("cycle") != std::string::npos)
+      FoundCycle = true;
+  EXPECT_TRUE(FoundCycle);
+}
+
+TEST(Validate, FeedbackCycleIsFine) {
+  DataflowGraph G;
+  NodeId In = G.addNode(OpKind::Input, "x");
+  NodeId A = G.addNode(OpKind::Add, "a");
+  G.connect(In, 0, A, 0);
+  G.connectFeedback(A, 0, A, 1, {0.0}); // a = x + a[i-1]
+  NodeId Out = G.addNode(OpKind::Output, "a");
+  G.connect(A, 0, Out, 0);
+  EXPECT_TRUE(isWellFormed(G));
+}
+
+TEST(DataflowGraph, BuilderConditional) {
+  GraphBuilder B;
+  auto X = B.input("x");
+  auto C = B.lt(X, B.constant(0), "isneg");
+  auto [T, F] = B.switchOn(C, X, "sw");
+  auto M = B.merge(C, B.neg(T), F, "abs");
+  B.outputValue("abs", M);
+  DataflowGraph G = B.take();
+  EXPECT_TRUE(isWellFormed(G));
+}
+
+TEST(DataflowGraph, DotIncludesFeedbackStyling) {
+  DataflowGraph G = buildL2Direct();
+  std::ostringstream OS;
+  G.printDot(OS, "l2");
+  EXPECT_NE(OS.str().find("style=dashed"), std::string::npos);
+}
+
+TEST(DataflowGraph, RandomGraphsAreWellFormed) {
+  Rng R(11);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    DataflowGraph G = buildRandomLoopGraph(R, 3 + Trial % 10, 20);
+    EXPECT_TRUE(isWellFormed(G)) << "trial " << Trial;
+  }
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+//===- tests/DependenceGraphTest.cpp - Dep graph builder tests -------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/DependenceGraph.h"
+
+#include "TestUtil.h"
+#include "core/RateAnalysis.h"
+#include "core/SdspPn.h"
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+TEST(DepGraph, L1DataOnly) {
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(buildL1()));
+  EXPECT_EQ(D.size(), 5u);
+  EXPECT_EQ(D.Deps.size(), 5u);
+  EXPECT_EQ(D.maxDistance(), 0u);
+  EXPECT_EQ(D.recurrenceMii(), Rational(0)) << "acyclic without acks";
+}
+
+TEST(DepGraph, L2RecurrenceMii) {
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(buildL2Direct()));
+  EXPECT_EQ(D.maxDistance(), 1u);
+  EXPECT_EQ(D.recurrenceMii(), Rational(3)) << "C-D-E recurrence";
+}
+
+TEST(DepGraph, AcksReproduceThePnCycleTime) {
+  // With acknowledgement anti-deps, the classical RecMII equals the
+  // SDSP-PN cycle time exactly.
+  for (bool UseL2 : {false, true}) {
+    Sdsp S = Sdsp::standard(UseL2 ? buildL2Direct() : buildL1());
+    DepGraph D = depGraphFromSdspWithAcks(S);
+    SdspPn Pn = buildSdspPn(S);
+    EXPECT_EQ(D.recurrenceMii(), analyzeRate(Pn).CycleTime);
+  }
+}
+
+TEST(DepGraph, HeightsAreLongestPaths) {
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(buildL1()));
+  std::vector<uint64_t> H = criticalPathHeights(D);
+  // A -> {B, C} -> D -> E: heights A=4, B=C=3, D=2, E=1.
+  std::map<std::string, uint64_t> ByName;
+  for (size_t I = 0; I < D.size(); ++I)
+    ByName[D.Ops[I].Name] = H[I];
+  EXPECT_EQ(ByName["A"], 4u);
+  EXPECT_EQ(ByName["B"], 3u);
+  EXPECT_EQ(ByName["C"], 3u);
+  EXPECT_EQ(ByName["D"], 2u);
+  EXPECT_EQ(ByName["E"], 1u);
+}
+
+TEST(DepGraph, LatenciesCarryOver) {
+  DataflowGraph G = buildL1();
+  for (NodeId N : G.nodeIds())
+    if (G.node(N).Name == "D")
+      G.setExecTime(N, 7);
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(G));
+  bool Found = false;
+  for (const DepGraph::Op &Op : D.Ops)
+    if (Op.Name == "D") {
+      EXPECT_EQ(Op.Latency, 7u);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/EarliestFiringTest.cpp - Engine semantics tests ---------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/EarliestFiring.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+TEST(EarliestFiring, RingTokenCirculates) {
+  PetriNet Ring = buildRing(3, 1);
+  EarliestFiringEngine Engine(Ring);
+  // Token starts on p0 (t0 -> t1), so t1 fires first.
+  Engine.prepare();
+  ASSERT_EQ(Engine.candidates().size(), 1u);
+  EXPECT_EQ(Engine.candidates()[0], TransitionId(1u));
+  StepRecord R0 = Engine.fireAndAdvance();
+  ASSERT_EQ(R0.Fired.size(), 1u);
+
+  Engine.prepare();
+  ASSERT_EQ(Engine.candidates().size(), 1u);
+  EXPECT_EQ(Engine.candidates()[0], TransitionId(2u));
+}
+
+TEST(EarliestFiring, CompletionTimingRespectsExecTime) {
+  // a(time 3) feeds b; b can fire only after a finishes at t=3.
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a", 3);
+  TransitionId B = Net.addTransition("b", 1);
+  PlaceId P = Net.addPlace("p", 0);
+  PlaceId Back = Net.addPlace("back", 1);
+  Net.addArc(A, P);
+  Net.addArc(P, B);
+  Net.addArc(B, Back);
+  Net.addArc(Back, A);
+
+  EarliestFiringEngine Engine(Net);
+  StepRecord R0 = Engine.fireAndAdvance(); // t=0: a fires
+  ASSERT_EQ(R0.Fired.size(), 1u);
+  EXPECT_EQ(R0.Fired[0], A);
+
+  StepRecord R1 = Engine.fireAndAdvance(); // t=1: nothing
+  EXPECT_TRUE(R1.Fired.empty());
+  StepRecord R2 = Engine.fireAndAdvance(); // t=2: nothing
+  EXPECT_TRUE(R2.Fired.empty());
+  StepRecord R3 = Engine.fireAndAdvance(); // t=3: a completes, b fires
+  ASSERT_EQ(R3.Completed.size(), 1u);
+  EXPECT_EQ(R3.Completed[0], A);
+  ASSERT_EQ(R3.Fired.size(), 1u);
+  EXPECT_EQ(R3.Fired[0], B);
+}
+
+TEST(EarliestFiring, ResidualVectorTracksBusyTransitions) {
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a", 4);
+  PlaceId P = Net.addPlace("p", 1);
+  Net.addArc(P, A);
+  Net.addArc(A, P);
+
+  EarliestFiringEngine Engine(Net);
+  Engine.prepare();
+  InstantaneousState S0 = Engine.state();
+  EXPECT_EQ(S0.Residual[A.index()], 0u);
+  Engine.fireAndAdvance(); // fires at 0, completes at 4
+  Engine.prepare();
+  InstantaneousState S1 = Engine.state();
+  EXPECT_EQ(S1.Residual[A.index()], 3u) << "3 units left at t=1";
+  EXPECT_EQ(S1.M.tokens(P), 0u);
+}
+
+TEST(EarliestFiring, MaximalStepFiresAllEnabled) {
+  // Two independent self-recycling transitions fire simultaneously.
+  PetriNet Net;
+  for (int I = 0; I < 2; ++I) {
+    TransitionId T = Net.addTransition("t" + std::to_string(I));
+    PlaceId P = Net.addPlace("p" + std::to_string(I), 1);
+    Net.addArc(P, T);
+    Net.addArc(T, P);
+  }
+  EarliestFiringEngine Engine(Net);
+  StepRecord R = Engine.fireAndAdvance();
+  EXPECT_EQ(R.Fired.size(), 2u);
+}
+
+TEST(EarliestFiring, NonReentrancyAssumptionA61) {
+  // A source transition with exec time 2 and no inputs: it must not
+  // start a second firing while busy -> fires at t=0,2,4,...
+  PetriNet Net;
+  TransitionId T = Net.addTransition("src", 2);
+  (void)T;
+  EarliestFiringEngine Engine(Net);
+  std::vector<size_t> FiringTimes;
+  for (int Step = 0; Step < 6; ++Step) {
+    StepRecord R = Engine.fireAndAdvance();
+    if (!R.Fired.empty())
+      FiringTimes.push_back(static_cast<size_t>(R.Time));
+  }
+  EXPECT_EQ(FiringTimes, (std::vector<size_t>{0, 2, 4}));
+}
+
+TEST(EarliestFiring, QuiescenceDetection) {
+  // One token, consumer with no recycling: after one firing the net is
+  // dead.
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a");
+  PlaceId P = Net.addPlace("p", 1);
+  PlaceId Sink = Net.addPlace("sink", 0);
+  Net.addArc(P, A);
+  Net.addArc(A, Sink);
+
+  EarliestFiringEngine Engine(Net);
+  EXPECT_FALSE(Engine.isQuiescent());
+  Engine.fireAndAdvance();
+  Engine.prepare();
+  Engine.fireAndAdvance(); // completion deposits into sink
+  Engine.prepare();
+  EXPECT_TRUE(Engine.isQuiescent());
+}
+
+TEST(EarliestFiring, StructuralConflictWithDefaultPolicy) {
+  // One token, two competing consumers: index order wins, one fires.
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a");
+  TransitionId B = Net.addTransition("b");
+  PlaceId P = Net.addPlace("p", 1);
+  Net.addArc(P, A);
+  Net.addArc(P, B);
+  Net.addArc(A, P);
+  Net.addArc(B, P);
+
+  EarliestFiringEngine Engine(Net);
+  StepRecord R = Engine.fireAndAdvance();
+  ASSERT_EQ(R.Fired.size(), 1u);
+  EXPECT_EQ(R.Fired[0], A) << "index order breaks the tie";
+}
+
+TEST(FifoPolicy, HeadOfQueueWins) {
+  // Shared resource place; b becomes data-ready before a, so b fires
+  // first even though a has the smaller index.
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a");
+  TransitionId B = Net.addTransition("b");
+  TransitionId Feeder = Net.addTransition("feeder");
+  PlaceId Res = Net.addPlace("res", 1);
+  PlaceId DataA = Net.addPlace("da", 0);
+  PlaceId DataB = Net.addPlace("db", 1);
+  PlaceId FeederIn = Net.addPlace("fi", 1);
+  Net.addArc(Res, A);
+  Net.addArc(A, Res);
+  Net.addArc(Res, B);
+  Net.addArc(B, Res);
+  Net.addArc(DataA, A);
+  Net.addArc(DataB, B);
+  Net.addArc(FeederIn, Feeder);
+  Net.addArc(Feeder, DataA);
+
+  std::vector<bool> Conflicting(Net.numTransitions(), false);
+  Conflicting[A.index()] = true;
+  Conflicting[B.index()] = true;
+  FifoPolicy Policy(Conflicting, {Res});
+  EarliestFiringEngine Engine(Net, &Policy);
+
+  // t=0: b data-ready (enqueued), feeder fires; b takes the resource.
+  StepRecord R0 = Engine.fireAndAdvance();
+  ASSERT_EQ(R0.Fired.size(), 2u);
+  EXPECT_EQ(R0.Fired[0], Feeder);
+  EXPECT_EQ(R0.Fired[1], B);
+  // t=1: feeder completes, a becomes ready; resource back at t=1.
+  StepRecord R1 = Engine.fireAndAdvance();
+  ASSERT_EQ(R1.Fired.size(), 1u);
+  EXPECT_EQ(R1.Fired[0], A);
+}
+
+TEST(FifoPolicy, StateFingerprintReflectsQueue) {
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a");
+  PlaceId Res = Net.addPlace("res", 0); // never available
+  PlaceId Data = Net.addPlace("d", 1);
+  Net.addArc(Res, A);
+  Net.addArc(A, Res);
+  Net.addArc(Data, A);
+
+  std::vector<bool> Conflicting{true};
+  FifoPolicy Policy(Conflicting, {Res});
+  EarliestFiringEngine Engine(Net, &Policy);
+  Engine.prepare();
+  InstantaneousState S = Engine.state();
+  ASSERT_EQ(S.PolicyFingerprint.size(), 1u);
+  EXPECT_EQ(S.PolicyFingerprint[0], A.index());
+}
+
+TEST(InstantaneousState, EqualityIncludesAllComponents) {
+  InstantaneousState A, B;
+  A.M = Marking(2);
+  B.M = Marking(2);
+  A.Residual = {0, 1};
+  B.Residual = {0, 1};
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hashValue(), B.hashValue());
+  B.PolicyFingerprint = {3};
+  EXPECT_FALSE(A == B);
+  B.PolicyFingerprint.clear();
+  B.Residual = {1, 0};
+  EXPECT_FALSE(A == B);
+}
+
+} // namespace

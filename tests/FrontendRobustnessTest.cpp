@@ -1,0 +1,119 @@
+//===- tests/FrontendRobustnessTest.cpp - Parser robustness ----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// The frontend must never crash or hang on malformed input: it either
+// produces a graph or diagnostics.  Deterministic fuzz-lite sweeps over
+// random token soups and mutated kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "livermore/Livermore.h"
+#include "loopir/Lowering.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+
+namespace {
+
+TEST(FrontendRobustness, EmptyAndTrivialInputs) {
+  for (const char *Src : {"", " ", "\n\n", "do", "doall", "do i",
+                          "do i {", "do i { }", "doall i {}", "{", "}"}) {
+    DiagnosticEngine Diags;
+    std::optional<DataflowGraph> G = compileLoop(Src, Diags);
+    // "do i { }" is structurally fine but empty; anything else errors.
+    if (G)
+      EXPECT_EQ(G->numNodes(), 0u) << Src;
+    else
+      EXPECT_TRUE(Diags.hasErrors()) << Src;
+  }
+}
+
+TEST(FrontendRobustness, RandomTokenSoup) {
+  const char *Pieces[] = {"do",  "doall", "init", "out", "if",  "then",
+                          "else", "min",  "max",  "i",   "x",   "y",
+                          "42",  "3.5",  "=",    "+",   "-",   "*",
+                          "/",   "(",    ")",    "[",   "]",   "{",
+                          "}",   ";",    ",",    "<",   "<=",  "=="};
+  Rng R(20260706);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::string Src;
+    size_t Len = static_cast<size_t>(R.range(1, 40));
+    for (size_t I = 0; I < Len; ++I) {
+      Src += Pieces[R.range(0, static_cast<int64_t>(std::size(Pieces)) - 1)];
+      Src += " ";
+    }
+    DiagnosticEngine Diags;
+    std::optional<DataflowGraph> G = compileLoop(Src, Diags);
+    // No crash, and failure always comes with diagnostics.
+    if (!G) {
+      EXPECT_TRUE(Diags.hasErrors()) << Src;
+    }
+  }
+}
+
+TEST(FrontendRobustness, MutatedKernelsNeverCrash) {
+  Rng R(77007);
+  for (const LivermoreKernel &K : livermoreKernels()) {
+    for (int Trial = 0; Trial < 40; ++Trial) {
+      std::string Src = K.Source;
+      // Flip, delete, or duplicate a few characters.
+      for (int Edit = 0; Edit < 3; ++Edit) {
+        if (Src.empty())
+          break;
+        size_t Pos = static_cast<size_t>(
+            R.range(0, static_cast<int64_t>(Src.size()) - 1));
+        switch (R.range(0, 2)) {
+        case 0:
+          Src[Pos] = static_cast<char>('!' + R.range(0, 90));
+          break;
+        case 1:
+          Src.erase(Pos, 1);
+          break;
+        default:
+          Src.insert(Pos, 1, Src[Pos]);
+          break;
+        }
+      }
+      DiagnosticEngine Diags;
+      std::optional<DataflowGraph> G = compileLoop(Src, Diags);
+      if (!G) {
+        EXPECT_TRUE(Diags.hasErrors());
+      }
+    }
+  }
+}
+
+TEST(FrontendRobustness, DeepExpressionNesting) {
+  std::string Expr = "X[i]";
+  for (int I = 0; I < 200; ++I)
+    Expr = "(" + Expr + " + 1)";
+  DiagnosticEngine Diags;
+  std::optional<DataflowGraph> G =
+      compileLoop("doall i { A = " + Expr + "; out A; }", Diags);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_GT(G->numNodes(), 200u);
+}
+
+TEST(FrontendRobustness, DiagnosticsCarryLocations) {
+  DiagnosticEngine Diags;
+  compileLoop("do i {\n  A = ;\n}", Diags);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.diagnostics()[0].Loc.Line, 2u);
+}
+
+TEST(FrontendRobustness, LongIdentifiersAndNumbers) {
+  std::string Long(2000, 'a');
+  DiagnosticEngine Diags;
+  std::optional<DataflowGraph> G = compileLoop(
+      "doall i { " + Long + " = X[i] + 1e308; out " + Long + "; }",
+      Diags);
+  ASSERT_TRUE(G.has_value());
+}
+
+} // namespace

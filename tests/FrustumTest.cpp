@@ -1,0 +1,130 @@
+//===- tests/FrustumTest.cpp - Cyclic frustum detection tests --------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frustum.h"
+
+#include "TestUtil.h"
+#include "core/RateAnalysis.h"
+#include "core/SdspPn.h"
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+TEST(Frustum, RingReachesSteadyStateImmediately) {
+  // A 1-token ring is periodic from the start: frustum length n, each
+  // transition once.
+  PetriNet Ring = buildRing(4, 1);
+  auto F = detectFrustum(Ring);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->length(), 4u);
+  for (TransitionId T : Ring.transitionIds())
+    EXPECT_EQ(F->transitionCount(T), 1u);
+  EXPECT_EQ(F->computationRate(TransitionId(0u)), Rational(1, 4));
+}
+
+TEST(Frustum, L1MatchesOptimalRate) {
+  // L1 under one-token-per-arc static dataflow runs at the pair-cycle
+  // rate 1/2 (Figure 1's schedule repeats every 2 cycles).
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  RateReport Rate = analyzeRate(Pn);
+  EXPECT_EQ(Rate.OptimalRate, Rational(1, 2));
+  for (TransitionId T : Pn.Net.transitionIds())
+    EXPECT_EQ(F->computationRate(T), Rate.OptimalRate);
+  EXPECT_TRUE(F->hasUniformCount(Pn.Net.transitionIds()));
+  // Paper Table 1 claim: the repeated state appears within 2n steps.
+  EXPECT_LE(F->RepeatTime, boundBdSdspPn(Pn.Net.numTransitions()));
+}
+
+TEST(Frustum, L2MatchesCriticalCycleRate) {
+  // Figure 2 / Section 6: L2's critical cycle is C-D-E-C with rate 1/3.
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  RateReport Rate = analyzeRate(Pn);
+  EXPECT_EQ(Rate.OptimalRate, Rational(1, 3));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  for (TransitionId T : Pn.Net.transitionIds())
+    EXPECT_EQ(F->computationRate(T), Rational(1, 3));
+  EXPECT_LE(F->RepeatTime, boundBdSdspPn(Pn.Net.numTransitions()));
+}
+
+TEST(Frustum, TraceCoversPrefixAndCounts) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->Trace.size(), F->RepeatTime);
+  // Counts only cover [StartTime, RepeatTime).
+  std::vector<uint32_t> Recount(Pn.Net.numTransitions(), 0);
+  for (const StepRecord &Rec : F->Trace)
+    if (Rec.Time >= F->StartTime)
+      for (TransitionId T : Rec.Fired)
+        ++Recount[T.index()];
+  EXPECT_EQ(Recount, F->FiringCounts);
+}
+
+TEST(Frustum, DeadNetReturnsNothing) {
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a");
+  PlaceId P = Net.addPlace("p", 0);
+  Net.addArc(P, A);
+  Net.addArc(A, P);
+  EXPECT_FALSE(detectFrustum(Net).has_value());
+}
+
+TEST(Frustum, SingleTransitionNoPlaces) {
+  // Livermore loop 12's shape: one operation, no interior arcs; the
+  // non-reentrancy self-loop caps the rate at 1.
+  PetriNet Net;
+  Net.addTransition("sub");
+  auto F = detectFrustum(Net);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->computationRate(TransitionId(0u)), Rational(1));
+}
+
+TEST(Frustum, ExecTimesStretchThePeriod) {
+  // 2-ring with times 3 and 4: cycle time 7 with one token.
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a", 3);
+  TransitionId B = Net.addTransition("b", 4);
+  PlaceId P1 = Net.addPlace("p1", 1);
+  PlaceId P2 = Net.addPlace("p2", 0);
+  Net.addArc(A, P1);
+  Net.addArc(P1, B);
+  Net.addArc(B, P2);
+  Net.addArc(P2, A);
+  auto F = detectFrustum(Net);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->computationRate(A), Rational(1, 7));
+  EXPECT_EQ(F->computationRate(B), Rational(1, 7));
+}
+
+TEST(Frustum, TimeoutReturnsNothing) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  EXPECT_FALSE(detectFrustum(Pn.Net, nullptr, /*MaxSteps=*/1).has_value());
+}
+
+TEST(Frustum, EarliestFiringAchievesOptimalRateOnRandomNets) {
+  // Theorem 4.1.1's payoff, checked empirically: the frustum rate
+  // equals 1/alpha* on random SDSP-PNs.
+  Rng R(99);
+  for (int Trial = 0; Trial < 15; ++Trial) {
+    DataflowGraph G = buildRandomLoopGraph(R, 3 + Trial % 7, 20);
+    SdspPn Pn = buildSdspPn(Sdsp::standard(G));
+    RateReport Rate = analyzeRate(Pn);
+    auto F = detectFrustum(Pn.Net);
+    ASSERT_TRUE(F.has_value()) << "trial " << Trial;
+    for (TransitionId T : Pn.Net.transitionIds())
+      EXPECT_EQ(F->computationRate(T), Rate.OptimalRate)
+          << "trial " << Trial;
+  }
+}
+
+} // namespace

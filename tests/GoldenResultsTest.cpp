@@ -1,0 +1,76 @@
+//===- tests/GoldenResultsTest.cpp - Pinned per-kernel results -------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regression pins for the headline numbers of every bundled kernel:
+// loop body size n, storage locations, kernel length p, iterations per
+// kernel k, and the computation rate.  These are the values
+// EXPERIMENTS.md reports; a behavior change anywhere in the pipeline
+// (frontend, SDSP construction, engine, frustum, schedule) shows up
+// here first with a precise diff.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frustum.h"
+#include "core/ScheduleDerivation.h"
+#include "core/SdspPn.h"
+#include "livermore/Livermore.h"
+#include "loopir/Lowering.h"
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+
+namespace {
+
+struct Golden {
+  const char *Id;
+  size_t N;
+  uint64_t Storage;
+  TimeStep KernelLength;
+  uint32_t IterationsPerKernel;
+  const char *Rate;
+};
+
+/// The deterministic reference values (also quoted in EXPERIMENTS.md).
+const Golden Pins[] = {
+    {"l1", 5, 5, 2, 1, "1/2"},      {"l2", 5, 6, 3, 1, "1/3"},
+    {"loop1", 5, 4, 2, 1, "1/2"},   {"loop7", 16, 15, 2, 1, "1/2"},
+    {"loop12", 1, 0, 1, 1, "1"},    {"loop3", 2, 2, 2, 1, "1/2"},
+    {"loop5", 2, 2, 2, 1, "1/2"},   {"loop9", 17, 16, 2, 1, "1/2"},
+    {"loop9lcd", 17, 17, 2, 1, "1/2"},
+};
+
+class GoldenResults : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenResults, PipelineNumbersAreStable) {
+  const Golden &Pin = GetParam();
+  const LivermoreKernel *K = findKernel(Pin.Id);
+  ASSERT_NE(K, nullptr) << Pin.Id;
+
+  DiagnosticEngine Diags;
+  auto G = compileLoop(K->Source, Diags);
+  ASSERT_TRUE(G.has_value()) << Pin.Id;
+  Sdsp S = Sdsp::standard(*G);
+  SdspPn Pn = buildSdspPn(S);
+  EXPECT_EQ(Pn.Net.numTransitions(), Pin.N) << Pin.Id;
+  EXPECT_EQ(S.storageLocations(), Pin.Storage) << Pin.Id;
+
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value()) << Pin.Id;
+  SoftwarePipelineSchedule Sched = deriveSchedule(Pn, *F);
+  EXPECT_EQ(Sched.kernelLength(), Pin.KernelLength) << Pin.Id;
+  EXPECT_EQ(Sched.iterationsPerKernel(), Pin.IterationsPerKernel)
+      << Pin.Id;
+  EXPECT_EQ(Sched.rate().str(), Pin.Rate) << Pin.Id;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, GoldenResults,
+                         ::testing::ValuesIn(Pins),
+                         [](const ::testing::TestParamInfo<Golden> &I) {
+                           return std::string(I.param.Id);
+                         });
+
+} // namespace

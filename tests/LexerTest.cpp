@@ -1,0 +1,80 @@
+//===- tests/LexerTest.cpp - Loop-language lexer tests ---------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loopir/Lexer.h"
+
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(const std::string &Src) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks = tokenize(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto K = kindsOf("doall do init out if then else min max foo");
+  EXPECT_EQ(K, (std::vector<TokenKind>{
+                   TokenKind::KwDoall, TokenKind::KwDo, TokenKind::KwInit,
+                   TokenKind::KwOut, TokenKind::KwIf, TokenKind::KwThen,
+                   TokenKind::KwElse, TokenKind::KwMin, TokenKind::KwMax,
+                   TokenKind::Identifier, TokenKind::Eof}));
+}
+
+TEST(Lexer, NumbersIncludingFloats) {
+  DiagnosticEngine Diags;
+  std::vector<Token> T = tokenize("5 2.5 1e3 1.5e-2", Diags);
+  ASSERT_EQ(T.size(), 5u);
+  EXPECT_DOUBLE_EQ(T[0].Value, 5.0);
+  EXPECT_DOUBLE_EQ(T[1].Value, 2.5);
+  EXPECT_DOUBLE_EQ(T[2].Value, 1000.0);
+  EXPECT_DOUBLE_EQ(T[3].Value, 0.015);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  auto K = kindsOf("= == != < <= > >= + - * / ( ) [ ] { } ; ,");
+  EXPECT_EQ(K.size(), 20u);
+  EXPECT_EQ(K[0], TokenKind::Equal);
+  EXPECT_EQ(K[1], TokenKind::EqualEqual);
+  EXPECT_EQ(K[2], TokenKind::BangEqual);
+  EXPECT_EQ(K[3], TokenKind::Less);
+  EXPECT_EQ(K[4], TokenKind::LessEqual);
+  EXPECT_EQ(K[5], TokenKind::Greater);
+  EXPECT_EQ(K[6], TokenKind::GreaterEqual);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto K = kindsOf("a # everything here is ignored = + \n b");
+  EXPECT_EQ(K, (std::vector<TokenKind>{TokenKind::Identifier,
+                                       TokenKind::Identifier,
+                                       TokenKind::Eof}));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  DiagnosticEngine Diags;
+  std::vector<Token> T = tokenize("a\n  b", Diags);
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Col, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, ReportsUnknownCharacters) {
+  DiagnosticEngine Diags;
+  tokenize("a $ b", Diags);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.diagnostics()[0].Message.find("'$'"), std::string::npos);
+}
+
+} // namespace

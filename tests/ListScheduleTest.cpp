@@ -1,0 +1,73 @@
+//===- tests/ListScheduleTest.cpp - List scheduler tests -------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ListSchedule.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+TEST(ListSchedule, SingleIssueSerializesEverything) {
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(buildL1()));
+  ListMachine M{1, 0};
+  ListScheduleResult R = listSchedule(D, M, 10);
+  // 5 ops x 10 iterations, one per cycle: at least 50 cycles.
+  EXPECT_GE(R.Makespan, 50u);
+  EXPECT_LE(R.achievedRate(), 1.0 / 5 + 1e-9);
+}
+
+TEST(ListSchedule, WideMachineExploitsParallelism) {
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(buildL1()));
+  ListMachine Wide{8, 0};
+  ListScheduleResult R = listSchedule(D, Wide, 10);
+  ListMachine Narrow{1, 0};
+  ListScheduleResult R1 = listSchedule(D, Narrow, 10);
+  EXPECT_LT(R.Makespan, R1.Makespan);
+}
+
+TEST(ListSchedule, RespectsDependences) {
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(buildL2Direct()));
+  ListMachine M{1, 0};
+  ListScheduleResult R = listSchedule(D, M, 8);
+  for (size_t Iter = 0; Iter < 8; ++Iter)
+    for (const DepGraph::Dep &Dep : D.Deps) {
+      if (Dep.Distance > Iter)
+        continue;
+      uint64_t Src = R.StartTimes[Iter - Dep.Distance][Dep.From];
+      EXPECT_GE(R.StartTimes[Iter][Dep.To],
+                Src + D.Ops[Dep.From].Latency);
+    }
+}
+
+TEST(ListSchedule, RespectsIssueWidth) {
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(buildL1()));
+  ListMachine M{2, 0};
+  ListScheduleResult R = listSchedule(D, M, 6);
+  std::map<uint64_t, int> PerCycle;
+  for (const auto &Iter : R.StartTimes)
+    for (uint64_t T : Iter)
+      ++PerCycle[T];
+  for (auto [Cycle, Count] : PerCycle)
+    EXPECT_LE(Count, 2) << "cycle " << Cycle;
+}
+
+TEST(ListSchedule, UniformLatencyOverride) {
+  DepGraph D = depGraphFromSdsp(Sdsp::standard(buildL2Direct()));
+  ListMachine M{1, 8}; // the SCP's l = 8
+  ListScheduleResult R = listSchedule(D, M, 4);
+  // The recurrence C-D-E now costs 3*8 per iteration in the limit;
+  // just sanity-check the makespan reflects the big latency.
+  EXPECT_GE(R.Makespan, 3u * 8u * 3u);
+}
+
+} // namespace

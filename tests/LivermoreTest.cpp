@@ -1,0 +1,85 @@
+//===- tests/LivermoreTest.cpp - Benchmark kernel tests --------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "livermore/Livermore.h"
+
+#include "dataflow/Validate.h"
+#include "loopir/Lowering.h"
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace sdsp;
+
+namespace {
+
+class LivermoreKernelTest
+    : public ::testing::TestWithParam<LivermoreKernel> {};
+
+TEST_P(LivermoreKernelTest, CompilesToWellFormedGraph) {
+  const LivermoreKernel &K = GetParam();
+  DiagnosticEngine Diags;
+  auto G = compileLoop(K.Source, Diags);
+  ASSERT_TRUE(G.has_value()) << K.Name;
+  EXPECT_TRUE(isWellFormed(*G));
+  EXPECT_EQ(G->hasLoopCarriedDependence(), K.HasLcd) << K.Name;
+}
+
+TEST_P(LivermoreKernelTest, InterpreterMatchesReference) {
+  const LivermoreKernel &K = GetParam();
+  DiagnosticEngine Diags;
+  auto G = compileLoop(K.Source, Diags);
+  ASSERT_TRUE(G.has_value());
+  const size_t N = 64;
+  StreamMap In = K.MakeInputs(N, /*Seed=*/12345);
+  StreamMap Expected = K.Reference(In, N);
+  InterpResult Got = interpret(*G, In, N);
+  for (const auto &[Name, Values] : Expected) {
+    ASSERT_EQ(Got.Outputs.count(Name), 1u) << K.Name << " " << Name;
+    ASSERT_EQ(Got.Outputs.at(Name).size(), Values.size());
+    for (size_t I = 0; I < Values.size(); ++I) {
+      EXPECT_FALSE(Got.DummyMask.at(Name)[I]);
+      EXPECT_NEAR(Got.Outputs.at(Name)[I], Values[I],
+                  1e-9 * (1.0 + std::fabs(Values[I])))
+          << K.Name << " " << Name << "[" << I << "]";
+    }
+  }
+}
+
+TEST_P(LivermoreKernelTest, InputsAreSeedDeterministic) {
+  const LivermoreKernel &K = GetParam();
+  StreamMap A = K.MakeInputs(16, 7);
+  StreamMap B = K.MakeInputs(16, 7);
+  EXPECT_EQ(A, B);
+  StreamMap C = K.MakeInputs(16, 8);
+  EXPECT_NE(A, C);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, LivermoreKernelTest,
+    ::testing::ValuesIn(livermoreKernels()),
+    [](const ::testing::TestParamInfo<LivermoreKernel> &Info) {
+      return Info.param.Id;
+    });
+
+TEST(Livermore, FindKernel) {
+  EXPECT_NE(findKernel("loop3"), nullptr);
+  EXPECT_EQ(findKernel("loop3")->HasLcd, true);
+  EXPECT_EQ(findKernel("nope"), nullptr);
+}
+
+TEST(Livermore, KernelListMatchesThePaper) {
+  // 2 paper examples + 3 no-LCD + 3 LCD + the second loop9 variant.
+  const auto &Ks = livermoreKernels();
+  EXPECT_EQ(Ks.size(), 9u);
+  size_t Lcd = 0;
+  for (const auto &K : Ks)
+    Lcd += K.HasLcd;
+  EXPECT_EQ(Lcd, 4u) << "l2, loop3, loop5, loop9lcd";
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+//===- tests/MultiFuTest.cpp - Heterogeneous machine tests -----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MultiFu.h"
+
+#include "TestUtil.h"
+#include "core/Frustum.h"
+#include "core/ScpModel.h"
+#include "livermore/Livermore.h"
+#include "loopir/Lowering.h"
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+std::vector<FuClass> adderMultiplier(uint32_t Adders, uint32_t Muls,
+                                     uint32_t Depth = 1) {
+  return {
+      FuClass{"mul", Muls, Depth,
+              [](OpKind K) { return K == OpKind::Mul || K == OpKind::Div; }},
+      FuClass{"alu", Adders, Depth, [](OpKind) { return true; }},
+  };
+}
+
+/// x = (a*b) + (c*d) + e: two muls, two adds.
+DataflowGraph buildMulAddMix() {
+  GraphBuilder B;
+  auto M1 = B.mul(B.input("a"), B.input("b"), "m1");
+  auto M2 = B.mul(B.input("c"), B.input("d"), "m2");
+  auto A1 = B.add(M1, M2, "a1");
+  auto A2 = B.add(A1, B.input("e"), "a2");
+  B.outputValue("x", A2);
+  return B.take();
+}
+
+TEST(MultiFu, ClassificationAndStructure) {
+  Sdsp S = Sdsp::standard(buildMulAddMix());
+  SdspPn Pn = buildSdspPn(S);
+  MultiFuPn M = buildMultiFuPn(Pn, S, adderMultiplier(1, 1));
+  EXPECT_EQ(M.RunPlaces.size(), 2u);
+  size_t MulOps = 0, AluOps = 0;
+  for (uint32_t C : M.ClassOf)
+    (C == 0 ? MulOps : AluOps) += 1;
+  EXPECT_EQ(MulOps, 2u);
+  EXPECT_EQ(AluOps, 2u);
+  // Each run place is consumed by exactly its class's ops.
+  for (size_t C = 0; C < 2; ++C)
+    EXPECT_EQ(M.Net.place(M.RunPlaces[C]).Consumers.size(),
+              C == 0 ? MulOps : AluOps);
+}
+
+TEST(MultiFu, ClassBoundsTheRate) {
+  // 2 muls on one multiplier: mul class ResMII = 2; with 2 multipliers
+  // the adders (2 ops on one ALU) bind instead.
+  Sdsp S = Sdsp::standard(buildMulAddMix());
+  SdspPn Pn = buildSdspPn(S);
+  for (uint32_t Muls : {1u, 2u}) {
+    MultiFuPn M = buildMultiFuPn(Pn, S, adderMultiplier(1, Muls));
+    auto Policy = M.makeFifoPolicy();
+    auto F = detectFrustum(M.Net, Policy.get());
+    ASSERT_TRUE(F.has_value()) << Muls << " multipliers";
+    Rational Rate = F->computationRate(M.SdspTransitions.front());
+    EXPECT_LE(Rate, Rational(Muls, 2)) << "mul-class issue bound";
+    EXPECT_LE(Rate, Rational(1, 2)) << "alu-class issue bound";
+  }
+}
+
+TEST(MultiFu, UniformClassMatchesScpModel) {
+  // A single all-accepting class of count 1 IS the paper's SCP: the
+  // two constructions must produce identical rates.
+  DiagnosticEngine Diags;
+  auto G = compileLoop(findKernel("l2")->Source, Diags);
+  ASSERT_TRUE(G.has_value());
+  Sdsp S = Sdsp::standard(*G);
+  SdspPn Pn = buildSdspPn(S);
+  for (uint32_t Depth : {1u, 4u}) {
+    ScpPn Scp = buildScpPn(Pn, Depth);
+    auto ScpPolicy = Scp.makeFifoPolicy();
+    auto ScpF = detectFrustum(Scp.Net, ScpPolicy.get());
+    ASSERT_TRUE(ScpF.has_value());
+
+    std::vector<FuClass> One = {
+        FuClass{"any", 1, Depth, [](OpKind) { return true; }}};
+    MultiFuPn M = buildMultiFuPn(Pn, S, One);
+    auto MPolicy = M.makeFifoPolicy();
+    auto MF = detectFrustum(M.Net, MPolicy.get());
+    ASSERT_TRUE(MF.has_value());
+
+    EXPECT_EQ(ScpF->computationRate(Scp.SdspTransitions.front()),
+              MF->computationRate(M.SdspTransitions.front()))
+        << "depth " << Depth;
+  }
+}
+
+TEST(MultiFu, DeeperMultiplierStretchesTheRecurrence) {
+  // Biquad-style recurrence through a multiplier: making the mul
+  // pipeline deeper lengthens the feedback loop and lowers the rate.
+  DiagnosticEngine Diags;
+  auto G = compileLoop(
+      "do i { init y = 0; y = b * y[i-1] + x[i]; out y; }", Diags);
+  ASSERT_TRUE(G.has_value());
+  Sdsp S = Sdsp::standard(*G);
+  SdspPn Pn = buildSdspPn(S);
+  Rational Last(1);
+  for (uint32_t Depth : {1u, 2u, 4u}) {
+    MultiFuPn M = buildMultiFuPn(Pn, S, adderMultiplier(1, 1, Depth));
+    auto Policy = M.makeFifoPolicy();
+    auto F = detectFrustum(M.Net, Policy.get());
+    ASSERT_TRUE(F.has_value()) << "depth " << Depth;
+    Rational Rate = F->computationRate(M.SdspTransitions.front());
+    EXPECT_LE(Rate, Last) << "depth " << Depth;
+    Last = Rate;
+  }
+  EXPECT_LT(Last, Rational(1, 3)) << "deep muls must slow the loop";
+}
+
+TEST(MultiFu, FrustumExistsOnEveryKernel) {
+  for (const LivermoreKernel &K : livermoreKernels()) {
+    DiagnosticEngine Diags;
+    auto G = compileLoop(K.Source, Diags);
+    ASSERT_TRUE(G.has_value());
+    Sdsp S = Sdsp::standard(*G);
+    SdspPn Pn = buildSdspPn(S);
+    MultiFuPn M = buildMultiFuPn(Pn, S, adderMultiplier(2, 1, 2));
+    auto Policy = M.makeFifoPolicy();
+    auto F = detectFrustum(M.Net, Policy.get());
+    ASSERT_TRUE(F.has_value()) << K.Name;
+    EXPECT_TRUE(F->hasUniformCount(M.SdspTransitions)) << K.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- tests/ParserTest.cpp - Loop-language parser tests -------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loopir/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+
+namespace {
+
+TEST(Parser, ParsesL1) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop("doall i { A = X[i] + 5; out A; }", Diags);
+  ASSERT_TRUE(Ast.has_value()) << "errors: " << Diags.numErrors();
+  EXPECT_TRUE(Ast->IsDoall);
+  EXPECT_EQ(Ast->IndexName, "i");
+  ASSERT_EQ(Ast->Assigns.size(), 1u);
+  EXPECT_EQ(Ast->Assigns[0].Name, "A");
+  ASSERT_EQ(Ast->Outs.size(), 1u);
+  EXPECT_EQ(Ast->Outs[0].Name, "A");
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop("do i { A = X[i] + Y[i] * Z[i]; out A; }", Diags);
+  ASSERT_TRUE(Ast.has_value());
+  const auto &Root = static_cast<const BinaryExpr &>(*Ast->Assigns[0].Value);
+  EXPECT_EQ(Root.op(), BinaryExpr::Op::Add);
+  const auto &Rhs = static_cast<const BinaryExpr &>(Root.rhs());
+  EXPECT_EQ(Rhs.op(), BinaryExpr::Op::Mul);
+}
+
+TEST(Parser, ClassifiesLocalsAndStreams) {
+  DiagnosticEngine Diags;
+  auto Ast =
+      parseLoop("do i { init A = 0; A = A[i-1] + X[i+2]; out A; }", Diags);
+  ASSERT_TRUE(Ast.has_value());
+  const auto &Root = static_cast<const BinaryExpr &>(*Ast->Assigns[0].Value);
+  ASSERT_EQ(Root.lhs().kind(), ExprAST::Kind::VarRef);
+  const auto &L = static_cast<const VarRefExpr &>(Root.lhs());
+  EXPECT_EQ(L.offset(), -1);
+  ASSERT_EQ(Root.rhs().kind(), ExprAST::Kind::StreamRef);
+  const auto &R = static_cast<const StreamRefExpr &>(Root.rhs());
+  EXPECT_EQ(R.offset(), 2);
+  EXPECT_EQ(R.streamName(), "X+2");
+}
+
+TEST(Parser, InitListParsesSignedValues) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop(
+      "do i { init A = -1, 2.5, -3; A = A[i-3] + X[i]; out A; }", Diags);
+  ASSERT_TRUE(Ast.has_value());
+  ASSERT_EQ(Ast->Inits.size(), 1u);
+  EXPECT_EQ(Ast->Inits[0].Values,
+            (std::vector<double>{-1.0, 2.5, -3.0}));
+}
+
+TEST(Parser, IfThenElse) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop(
+      "do i { A = if X[i] < 0 then 0 - X[i] else X[i]; out A; }", Diags);
+  ASSERT_TRUE(Ast.has_value());
+  EXPECT_EQ(Ast->Assigns[0].Value->kind(), ExprAST::Kind::Cond);
+}
+
+TEST(Parser, MinMaxCalls) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop("do i { A = min(X[i], max(Y[i], 0)); out A; }",
+                       Diags);
+  ASSERT_TRUE(Ast.has_value());
+  const auto &Root = static_cast<const BinaryExpr &>(*Ast->Assigns[0].Value);
+  EXPECT_EQ(Root.op(), BinaryExpr::Op::Min);
+}
+
+TEST(Parser, RejectsFutureLocalReference) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop("do i { A = A[i+1]; out A; }", Diags);
+  EXPECT_FALSE(Ast.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, RejectsWrongIndexName) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop("do i { A = X[j]; out A; }", Diags);
+  EXPECT_FALSE(Ast.has_value());
+}
+
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop("do i { A = ; B = X[i] +; out A; }", Diags);
+  EXPECT_FALSE(Ast.has_value());
+  EXPECT_GE(Diags.numErrors(), 2u);
+}
+
+TEST(Parser, IfStatementDesugars) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop("do i { if (X[i] < 0) { A = 0 - X[i]; B = 1; } "
+                       "else { A = X[i]; B = 2; } out A; out B; }",
+                       Diags);
+  ASSERT_TRUE(Ast.has_value()) << "errors: " << Diags.numErrors();
+  // Desugars to: __cond0 = ...; A = if __cond0 ...; B = if __cond0 ...
+  ASSERT_EQ(Ast->Assigns.size(), 3u);
+  EXPECT_EQ(Ast->Assigns[0].Name, "__cond0");
+  EXPECT_EQ(Ast->Assigns[1].Value->kind(), ExprAST::Kind::Cond);
+  EXPECT_EQ(Ast->Assigns[2].Value->kind(), ExprAST::Kind::Cond);
+}
+
+TEST(Parser, IfStatementRequiresMatchingBranches) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop(
+      "do i { if (X[i] < 0) { A = 1; } else { B = 2; } out A; }", Diags);
+  EXPECT_FALSE(Ast.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, IfStatementWithoutElseRejected) {
+  DiagnosticEngine Diags;
+  auto Ast =
+      parseLoop("do i { if (X[i] < 0) { A = 1; } out A; }", Diags);
+  EXPECT_FALSE(Ast.has_value()) << "single assignment has no fallback";
+}
+
+TEST(Parser, UnaryMinusDesugarsToSub) {
+  DiagnosticEngine Diags;
+  auto Ast = parseLoop("do i { A = -X[i]; out A; }", Diags);
+  ASSERT_TRUE(Ast.has_value());
+  const auto &Root = static_cast<const BinaryExpr &>(*Ast->Assigns[0].Value);
+  EXPECT_EQ(Root.op(), BinaryExpr::Op::Sub);
+  EXPECT_EQ(Root.lhs().kind(), ExprAST::Kind::Number);
+}
+
+} // namespace

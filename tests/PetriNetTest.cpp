@@ -1,0 +1,105 @@
+//===- tests/PetriNetTest.cpp - PetriNet and Marking unit tests ------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/PetriNet.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace sdsp;
+
+namespace {
+
+TEST(Marking, ProduceConsume) {
+  Marking M(3);
+  EXPECT_EQ(M.totalTokens(), 0u);
+  M.produce(PlaceId(1u));
+  M.produce(PlaceId(1u));
+  M.produce(PlaceId(2u));
+  EXPECT_EQ(M.totalTokens(), 3u);
+  EXPECT_EQ(M.tokens(PlaceId(1u)), 2u);
+  EXPECT_FALSE(M.allSafe());
+  M.consume(PlaceId(1u));
+  EXPECT_TRUE(M.allSafe());
+  EXPECT_EQ(M.str(), "[p1 p2]");
+}
+
+TEST(Marking, EqualityAndHashing) {
+  Marking A(4), B(4);
+  EXPECT_EQ(A, B);
+  A.produce(PlaceId(2u));
+  EXPECT_NE(A, B);
+  EXPECT_NE(A.hashValue(), B.hashValue());
+  B.produce(PlaceId(2u));
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hashValue(), B.hashValue());
+}
+
+TEST(PetriNet, ConstructionAndConnectivity) {
+  PetriNet Net;
+  TransitionId T1 = Net.addTransition("a", 2);
+  TransitionId T2 = Net.addTransition("b");
+  PlaceId P = Net.addPlace("p", 1);
+  Net.addArc(T1, P);
+  Net.addArc(P, T2);
+
+  EXPECT_EQ(Net.numTransitions(), 2u);
+  EXPECT_EQ(Net.numPlaces(), 1u);
+  EXPECT_EQ(Net.transition(T1).ExecTime, 2u);
+  EXPECT_EQ(Net.place(P).Producers.size(), 1u);
+  EXPECT_EQ(Net.place(P).Consumers.size(), 1u);
+  EXPECT_EQ(Net.place(P).Producers.front(), T1);
+  EXPECT_EQ(Net.place(P).Consumers.front(), T2);
+  EXPECT_EQ(Net.totalExecTime(), 3u);
+}
+
+TEST(PetriNet, EnablednessAndFiring) {
+  PetriNet Net;
+  TransitionId T1 = Net.addTransition("a");
+  TransitionId T2 = Net.addTransition("b");
+  PlaceId P1 = Net.addPlace("p1", 1);
+  PlaceId P2 = Net.addPlace("p2", 0);
+  Net.addArc(P1, T2);
+  Net.addArc(T2, P2);
+  Net.addArc(P2, T1);
+  Net.addArc(T1, P1);
+
+  Marking M = Net.initialMarking();
+  EXPECT_TRUE(Net.isEnabled(T2, M));
+  EXPECT_FALSE(Net.isEnabled(T1, M));
+  Net.fire(T2, M);
+  EXPECT_EQ(M.tokens(P1), 0u);
+  EXPECT_EQ(M.tokens(P2), 1u);
+  EXPECT_TRUE(Net.isEnabled(T1, M));
+  Net.fire(T1, M);
+  EXPECT_EQ(M, Net.initialMarking());
+}
+
+TEST(PetriNet, SourceTransitionIsAlwaysEnabled) {
+  PetriNet Net;
+  TransitionId T = Net.addTransition("src");
+  Marking M = Net.initialMarking();
+  EXPECT_TRUE(Net.isEnabled(T, M));
+}
+
+TEST(PetriNet, DotOutputMentionsEverything) {
+  PetriNet Net;
+  TransitionId T = Net.addTransition("fire", 3);
+  PlaceId P = Net.addPlace("buf", 1);
+  Net.addArc(T, P);
+  Net.addArc(P, T);
+  std::ostringstream OS;
+  Net.printDot(OS, "g");
+  std::string Dot = OS.str();
+  EXPECT_NE(Dot.find("fire"), std::string::npos);
+  EXPECT_NE(Dot.find("buf"), std::string::npos);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("[3]"), std::string::npos) << "exec time label";
+}
+
+} // namespace

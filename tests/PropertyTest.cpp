@@ -1,0 +1,268 @@
+//===- tests/PropertyTest.cpp - Parameterized property sweeps --------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-based sweeps over randomly generated loop graphs and marked
+// graphs, parameterized by (size, feedback density, seed).  These pin
+// down the paper's invariants at scale rather than on single examples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/Frustum.h"
+#include "core/RateAnalysis.h"
+#include "core/ScheduleDerivation.h"
+#include "core/ScpModel.h"
+#include "core/SdspPn.h"
+#include "core/SteadyStateNet.h"
+#include "core/StorageOptimizer.h"
+#include "dataflow/Interpreter.h"
+#include "petri/CycleRatio.h"
+#include "petri/MarkedGraph.h"
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+struct LoopParams {
+  size_t Ops;
+  uint64_t FeedbackPercent;
+  uint64_t Seed;
+};
+
+std::string paramName(const ::testing::TestParamInfo<LoopParams> &Info) {
+  return "ops" + std::to_string(Info.param.Ops) + "_fb" +
+         std::to_string(Info.param.FeedbackPercent) + "_seed" +
+         std::to_string(Info.param.Seed);
+}
+
+class LoopProperty : public ::testing::TestWithParam<LoopParams> {
+protected:
+  DataflowGraph makeGraph() {
+    Rng R(GetParam().Seed);
+    return buildRandomLoopGraph(R, GetParam().Ops,
+                                GetParam().FeedbackPercent);
+  }
+};
+
+TEST_P(LoopProperty, PnIsLiveSafeMarkedGraph) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(makeGraph()));
+  ASSERT_TRUE(isMarkedGraph(Pn.Net));
+  EXPECT_TRUE(isLiveMarkedGraph(Pn.Net));
+  EXPECT_TRUE(isSafeMarkedGraph(Pn.Net));
+}
+
+TEST_P(LoopProperty, FrustumRateEqualsCriticalRatio) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(makeGraph()));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  Rational Optimal = analyzeRate(Pn).OptimalRate;
+  for (TransitionId T : Pn.Net.transitionIds())
+    EXPECT_EQ(F->computationRate(T), Optimal);
+}
+
+TEST_P(LoopProperty, FrustumCountsAreUniform) {
+  // Thm A.5.3 consequence on connected components: with our generator
+  // the PN is connected, so all counts agree.
+  SdspPn Pn = buildSdspPn(Sdsp::standard(makeGraph()));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_TRUE(F->hasUniformCount(Pn.Net.transitionIds()));
+}
+
+TEST_P(LoopProperty, DerivedScheduleValidates) {
+  Sdsp S = Sdsp::standard(makeGraph());
+  SdspPn Pn = buildSdspPn(S);
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  SoftwarePipelineSchedule Sched = deriveSchedule(Pn, *F);
+  std::string Error;
+  EXPECT_TRUE(validateSchedule(S, Pn, Sched, 40, &Error)) << Error;
+}
+
+TEST_P(LoopProperty, SteadyStateNetPreservesStructure) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(makeGraph()));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  SteadyStateNet SSN = buildSteadyStateNet(Pn.Net, *F);
+  EXPECT_TRUE(isMarkedGraph(SSN.Net));
+  EXPECT_TRUE(isLiveMarkedGraph(SSN.Net));
+}
+
+TEST_P(LoopProperty, StorageOptimizationIsSoundEverywhere) {
+  Sdsp S = Sdsp::standard(makeGraph());
+  StorageOptResult R = minimizeStorage(S);
+  EXPECT_LE(R.StorageAfter, R.StorageBefore);
+  SdspPn Pn = buildSdspPn(R.Optimized);
+  EXPECT_EQ(analyzeRate(Pn).OptimalRate, R.OptimalRate);
+  EXPECT_TRUE(isLiveMarkedGraph(Pn.Net));
+}
+
+TEST_P(LoopProperty, ScpRateBoundHolds) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(makeGraph()));
+  ScpPn Scp = buildScpPn(Pn, 4);
+  auto Policy = Scp.makeFifoPolicy();
+  auto F = detectFrustum(Scp.Net, Policy.get());
+  ASSERT_TRUE(F.has_value());
+  Rational Bound(1, static_cast<int64_t>(Scp.numSdspTransitions()));
+  for (TransitionId T : Scp.SdspTransitions)
+    EXPECT_LE(F->computationRate(T), Bound);
+}
+
+TEST_P(LoopProperty, CapacityMonotonicallyImprovesRate) {
+  DataflowGraph G = makeGraph();
+  Rational Last(0);
+  for (uint32_t Cap : {1u, 2u, 3u}) {
+    SdspPn Pn = buildSdspPn(Sdsp::standard(G, Cap));
+    Rational Rate = analyzeRate(Pn).OptimalRate;
+    EXPECT_GE(Rate, Last) << "capacity " << Cap;
+    Last = Rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoopProperty,
+    ::testing::Values(LoopParams{3, 0, 1}, LoopParams{3, 30, 2},
+                      LoopParams{5, 0, 3}, LoopParams{5, 20, 4},
+                      LoopParams{8, 10, 5}, LoopParams{8, 40, 6},
+                      LoopParams{12, 15, 7}, LoopParams{12, 35, 8},
+                      LoopParams{16, 10, 9}, LoopParams{16, 25, 10},
+                      LoopParams{24, 20, 11}, LoopParams{32, 15, 12}),
+    paramName);
+
+//===----------------------------------------------------------------------===//
+// Mixed execution times: the same invariants with tau in [1, 4]
+//===----------------------------------------------------------------------===//
+
+class TimedLoopProperty : public ::testing::TestWithParam<LoopParams> {
+protected:
+  DataflowGraph makeGraph() {
+    Rng R(GetParam().Seed + 5000);
+    return buildRandomLoopGraph(R, GetParam().Ops,
+                                GetParam().FeedbackPercent,
+                                /*MaxExecTime=*/4);
+  }
+};
+
+TEST_P(TimedLoopProperty, FrustumRateEqualsCriticalRatio) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(makeGraph()));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  Rational Optimal = analyzeRate(Pn).OptimalRate;
+  for (TransitionId T : Pn.Net.transitionIds())
+    EXPECT_EQ(F->computationRate(T), Optimal);
+}
+
+TEST_P(TimedLoopProperty, ScheduleValidatesWithLatencies) {
+  Sdsp S = Sdsp::standard(makeGraph());
+  SdspPn Pn = buildSdspPn(S);
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  SoftwarePipelineSchedule Sched = deriveSchedule(Pn, *F);
+  std::string Error;
+  EXPECT_TRUE(validateSchedule(S, Pn, Sched, 40, &Error)) << Error;
+}
+
+TEST_P(TimedLoopProperty, ResidualStatesStillConverge) {
+  // With tau > 1 the residual firing-time vector is nontrivial; the
+  // frustum must still appear and respect the state definition.
+  SdspPn Pn = buildSdspPn(Sdsp::standard(makeGraph()));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->Trace.size(), F->RepeatTime);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimedLoopProperty,
+    ::testing::Values(LoopParams{3, 20, 101}, LoopParams{5, 25, 102},
+                      LoopParams{8, 15, 103}, LoopParams{8, 35, 104},
+                      LoopParams{12, 20, 105}, LoopParams{16, 25, 106}),
+    paramName);
+
+//===----------------------------------------------------------------------===//
+// Marked-graph-level properties
+//===----------------------------------------------------------------------===//
+
+struct NetParams {
+  size_t N;
+  size_t Chords;
+  uint64_t Seed;
+};
+
+class NetProperty : public ::testing::TestWithParam<NetParams> {
+protected:
+  PetriNet makeNet() {
+    Rng R(GetParam().Seed);
+    return buildRandomMarkedGraph(R, GetParam().N, GetParam().Chords);
+  }
+};
+
+TEST_P(NetProperty, TokenCountsInvariantUnderExecution) {
+  // "The number of tokens in a simple cycle remains the same after any
+  // firing sequence" (A.7) — check on every enumerated cycle after 25
+  // steps.
+  PetriNet Net = makeNet();
+  MarkedGraphView View(Net);
+  std::vector<SimpleCycle> Cycles = enumerateSimpleCycles(View);
+
+  EarliestFiringEngine Engine(Net);
+  for (int Step = 0; Step < 25; ++Step)
+    Engine.fireAndAdvance();
+  Engine.prepare();
+  // Count in-flight tokens as belonging to the producer's output
+  // places only after completion; to keep the check crisp, run until
+  // quiescent sampling is impossible (the net is live), so instead
+  // verify cycle counts on the *pre-fire* marking plus in-flight
+  // contributions: every in-flight transition holds one token of each
+  // input place's cycle... simpler and exact: compare markings reached
+  // at two quiescent-residual instants.
+  InstantaneousState S = Engine.state();
+  bool AllIdle = true;
+  for (TimeUnits R : S.Residual)
+    AllIdle &= (R == 0);
+  if (!AllIdle)
+    return; // Only sample at all-idle instants (always true for unit
+            // times; mixed times may skip).
+  for (const SimpleCycle &C : Cycles) {
+    uint64_t Count = 0;
+    for (uint32_t EI : C.Edges)
+      Count += S.M.tokens(View.edge(EI).Via);
+    EXPECT_EQ(Count, C.TokenSum);
+  }
+}
+
+TEST_P(NetProperty, FrustumRateMatchesParametricSearch) {
+  PetriNet Net = makeNet();
+  auto F = detectFrustum(Net);
+  ASSERT_TRUE(F.has_value());
+  MarkedGraphView View(Net);
+  auto Info = criticalCycleByParametricSearch(View);
+  ASSERT_TRUE(Info.has_value());
+  Rational SelfLoop(0);
+  for (TransitionId T : Net.transitionIds())
+    SelfLoop = std::max(
+        SelfLoop, Rational(static_cast<int64_t>(Net.transition(T).ExecTime)));
+  Rational Expected =
+      std::max(Info->CycleTime, SelfLoop).reciprocal();
+  for (TransitionId T : Net.transitionIds())
+    EXPECT_EQ(F->computationRate(T), Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NetProperty,
+    ::testing::Values(NetParams{3, 1, 21}, NetParams{4, 2, 22},
+                      NetParams{6, 3, 23}, NetParams{8, 4, 24},
+                      NetParams{10, 6, 25}, NetParams{12, 8, 26},
+                      NetParams{16, 10, 27}, NetParams{20, 12, 28}),
+    [](const ::testing::TestParamInfo<NetParams> &Info) {
+      return "n" + std::to_string(Info.param.N) + "_c" +
+             std::to_string(Info.param.Chords) + "_seed" +
+             std::to_string(Info.param.Seed);
+    });
+
+} // namespace

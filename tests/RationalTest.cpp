@@ -1,0 +1,77 @@
+//===- tests/RationalTest.cpp - Exact rational arithmetic tests ------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace sdsp;
+
+namespace {
+
+TEST(Rational, NormalizesToLowestTerms) {
+  Rational R(6, 4);
+  EXPECT_EQ(R.num(), 3);
+  EXPECT_EQ(R.den(), 2);
+  Rational Neg(3, -9);
+  EXPECT_EQ(Neg.num(), -1);
+  EXPECT_EQ(Neg.den(), 3);
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+}
+
+TEST(Rational, Arithmetic) {
+  Rational A(1, 2), B(1, 3);
+  EXPECT_EQ(A + B, Rational(5, 6));
+  EXPECT_EQ(A - B, Rational(1, 6));
+  EXPECT_EQ(A * B, Rational(1, 6));
+  EXPECT_EQ(A / B, Rational(3, 2));
+  EXPECT_EQ(-A, Rational(-1, 2));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(2, 3), Rational(3, 4));
+  EXPECT_LT(Rational(-1, 2), Rational(1, 3));
+  EXPECT_GE(Rational(5, 5), Rational(1));
+  EXPECT_LE(Rational(7, 3), Rational(7, 3));
+  EXPECT_GT(Rational(5, 2), Rational(2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6, 3).floor(), 2);
+  EXPECT_EQ(Rational(6, 3).ceil(), 2);
+}
+
+TEST(Rational, ReciprocalAndPredicates) {
+  EXPECT_EQ(Rational(3, 7).reciprocal(), Rational(7, 3));
+  EXPECT_TRUE(Rational(0).isZero());
+  EXPECT_TRUE(Rational(4, 2).isInteger());
+  EXPECT_FALSE(Rational(5, 2).isInteger());
+}
+
+TEST(Rational, Printing) {
+  EXPECT_EQ(Rational(5, 2).str(), "5/2");
+  EXPECT_EQ(Rational(4, 2).str(), "2");
+  std::ostringstream OS;
+  OS << Rational(-3, 6);
+  EXPECT_EQ(OS.str(), "-1/2");
+}
+
+TEST(Rational, CycleRatioUseCase) {
+  // Omega/M comparisons that motivated exactness: 10/3 vs 7/2 must not
+  // be confused by rounding.
+  Rational A(10, 3), B(7, 2);
+  EXPECT_LT(A, B);
+  EXPECT_EQ(std::max(A, B), B);
+}
+
+} // namespace

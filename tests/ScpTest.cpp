@@ -1,0 +1,176 @@
+//===- tests/ScpTest.cpp - SDSP-SCP-PN model tests -------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ScpModel.h"
+
+#include "TestUtil.h"
+#include "core/Frustum.h"
+#include "core/RateAnalysis.h"
+#include "core/SdspPn.h"
+#include "petri/ReachabilityGraph.h"
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+TEST(ScpModel, DepthOneHasNoDummies) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+  ScpPn Scp = buildScpPn(Pn, 1);
+  EXPECT_TRUE(Scp.DummyTransitions.empty())
+      << "l = 1 leaves no dummy transitions (Section 5.2)";
+  EXPECT_EQ(Scp.Net.numTransitions(), Pn.Net.numTransitions());
+  // Original places plus the run place.
+  EXPECT_EQ(Scp.Net.numPlaces(), Pn.Net.numPlaces() + 1);
+}
+
+TEST(ScpModel, SeriesExpansionShape) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+  ScpPn Scp = buildScpPn(Pn, 8);
+  // One dummy per original place, exec time l-1.
+  EXPECT_EQ(Scp.DummyTransitions.size(), Pn.Net.numPlaces());
+  for (TransitionId T : Scp.DummyTransitions)
+    EXPECT_EQ(Scp.Net.transition(T).ExecTime, 7u);
+  for (TransitionId T : Scp.SdspTransitions)
+    EXPECT_EQ(Scp.Net.transition(T).ExecTime, 1u);
+  // Each original place became pre+post; plus the run place.
+  EXPECT_EQ(Scp.Net.numPlaces(), 2 * Pn.Net.numPlaces() + 1);
+}
+
+TEST(ScpModel, RunPlaceIsTheOnlyStructuralConflict) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  ScpPn Scp = buildScpPn(Pn, 4);
+  for (PlaceId P : Scp.Net.placeIds()) {
+    size_t Consumers = Scp.Net.place(P).Consumers.size();
+    if (P == Scp.RunPlace)
+      EXPECT_EQ(Consumers, Scp.numSdspTransitions());
+    else
+      EXPECT_LE(Consumers, 1u);
+  }
+}
+
+TEST(ScpModel, FrustumExistsUnderFifo) {
+  // Lemma 5.2.1: the behavior graph of an SDSP-SCP-PN repeats.
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+  ScpPn Scp = buildScpPn(Pn, 2);
+  auto Policy = Scp.makeFifoPolicy();
+  auto F = detectFrustum(Scp.Net, Policy.get());
+  ASSERT_TRUE(F.has_value());
+  EXPECT_TRUE(F->hasUniformCount(Scp.SdspTransitions));
+}
+
+TEST(ScpModel, Theorem522RateBound) {
+  // No SDSP transition can exceed 1/n on a single clean pipeline.
+  for (uint32_t Depth : {1u, 2u, 8u}) {
+    SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+    ScpPn Scp = buildScpPn(Pn, Depth);
+    auto Policy = Scp.makeFifoPolicy();
+    auto F = detectFrustum(Scp.Net, Policy.get());
+    ASSERT_TRUE(F.has_value()) << "depth " << Depth;
+    Rational Bound(1, static_cast<int64_t>(Scp.numSdspTransitions()));
+    for (TransitionId T : Scp.SdspTransitions)
+      EXPECT_LE(F->computationRate(T), Bound) << "depth " << Depth;
+  }
+}
+
+TEST(ScpModel, DepthOneL1SaturatesThePipeline) {
+  // L1 with l = 1: five independent-ish ops, one issue slot; the FIFO
+  // machine never idles, so usage is 100% and the rate is exactly 1/5
+  // (the paper's steady firing sequence A D B C E).
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+  ScpPn Scp = buildScpPn(Pn, 1);
+  auto Policy = Scp.makeFifoPolicy();
+  auto F = detectFrustum(Scp.Net, Policy.get());
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(processorUsage(Scp, *F), Rational(1));
+  for (TransitionId T : Scp.SdspTransitions)
+    EXPECT_EQ(F->computationRate(T), Rational(1, 5));
+}
+
+TEST(ScpModel, DeepPipelineLimitedByAckRoundTrip) {
+  // With one-token-per-arc buffering, a producer/consumer round trip
+  // costs 2l cycles; for L1 at l = 8 that (16) exceeds the issue bound
+  // (5), so the rate falls to at most 1/16 — and can dip a little
+  // further because the FIFO issue slot occasionally delays the
+  // critical round trip (greedy resource arbitration is not optimal;
+  // Section 7 notes time-optimality under resources is NP-complete).
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+  ScpPn Scp = buildScpPn(Pn, 8);
+  auto Policy = Scp.makeFifoPolicy();
+  auto F = detectFrustum(Scp.Net, Policy.get());
+  ASSERT_TRUE(F.has_value());
+  Rational Measured = F->computationRate(Scp.SdspTransitions.front());
+  for (TransitionId T : Scp.SdspTransitions)
+    EXPECT_EQ(F->computationRate(T), Measured);
+  EXPECT_LE(Measured, Rational(1, 16)) << "ack round-trip bound";
+  EXPECT_GE(Measured, Rational(1, 24)) << "sanity: near the bound";
+  EXPECT_EQ(processorUsage(Scp, *F), Rational(5) * Measured);
+}
+
+TEST(ScpModel, MultiplePipelinesRaiseTheBoundProportionally) {
+  // k clean pipelines: rate <= k/n, monotone in k, and with k >= n the
+  // machine no longer constrains the DOALL loop (back to the SDSP-PN
+  // rate 1/2 at l = 1).
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+  Rational Last(0);
+  for (uint32_t Pipes : {1u, 2u, 3u, 5u}) {
+    ScpPn Scp = buildScpPn(Pn, /*PipelineDepth=*/1, Pipes);
+    auto Policy = Scp.makeFifoPolicy();
+    auto F = detectFrustum(Scp.Net, Policy.get());
+    ASSERT_TRUE(F.has_value()) << Pipes << " pipelines";
+    Rational Rate = F->computationRate(Scp.SdspTransitions.front());
+    EXPECT_LE(Rate,
+              Rational(Pipes, static_cast<int64_t>(
+                                  Scp.numSdspTransitions())));
+    EXPECT_GE(Rate, Last) << "monotone in pipeline count";
+    EXPECT_LE(processorUsage(Scp, *F), Rational(1));
+    Last = Rate;
+  }
+  EXPECT_EQ(Last, Rational(1, 2)) << "5 pipelines = unconstrained L1";
+}
+
+TEST(ScpModel, LifoPolicyAlsoReachesASteadyState) {
+  // Assumption 5.2.1 only needs determinism + no idling; LIFO works
+  // too (the ablation compares achieved rates).
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  ScpPn Scp = buildScpPn(Pn, 2);
+  auto Policy = Scp.makeLifoPolicy();
+  auto F = detectFrustum(Scp.Net, Policy.get());
+  ASSERT_TRUE(F.has_value());
+}
+
+TEST(ScpModel, Theorem521LiveAndSafeByReachabilityOracle) {
+  // Theorem 5.2.1: the SDSP-SCP-PN is live and safe whenever the
+  // SDSP-PN is.  The combined net is not a marked graph (the run place
+  // has n consumers), so check with the explicit reachability oracle
+  // on the small L1 nets.
+  for (uint32_t Depth : {1u, 2u}) {
+    SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+    ScpPn Scp = buildScpPn(Pn, Depth);
+    ReachabilityGraph G = exploreReachability(Scp.Net, 1 << 18);
+    ASSERT_TRUE(G.Complete) << "depth " << Depth;
+    EXPECT_TRUE(isLive(Scp.Net, G)) << "depth " << Depth;
+    EXPECT_TRUE(isSafe(G)) << "depth " << Depth;
+  }
+}
+
+TEST(ScpModel, FrustumWithinEmpiricalBound) {
+  // Section 5.2's observation: repeated state within ~2 n l steps.
+  for (uint32_t Depth : {1u, 2u, 4u, 8u}) {
+    SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+    ScpPn Scp = buildScpPn(Pn, Depth);
+    auto Policy = Scp.makeFifoPolicy();
+    auto F = detectFrustum(Scp.Net, Policy.get());
+    ASSERT_TRUE(F.has_value());
+    EXPECT_LE(F->RepeatTime,
+              boundBdScpPn(Scp.numSdspTransitions(), Depth) + 8)
+        << "depth " << Depth;
+  }
+}
+
+} // namespace

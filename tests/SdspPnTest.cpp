@@ -1,0 +1,109 @@
+//===- tests/SdspPnTest.cpp - SDSP-PN translation tests --------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SdspPn.h"
+
+#include "TestUtil.h"
+#include "petri/MarkedGraph.h"
+#include "petri/ReachabilityGraph.h"
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+TEST(SdspPn, L1MatchesFigure1d) {
+  // Figure 1(d): 5 transitions and a data+ack place per arc.
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+  EXPECT_EQ(Pn.Net.numTransitions(), 5u);
+  EXPECT_EQ(Pn.Net.numPlaces(), 10u);
+}
+
+TEST(SdspPn, SectionThreeProperties) {
+  // Section 3.2's two claims: the SDSP-PN is a marked graph and its
+  // initial marking is live and safe.  Checked structurally and, for
+  // L2, against the explicit reachability oracle.
+  for (bool UseL2 : {false, true}) {
+    SdspPn Pn = buildSdspPn(
+        Sdsp::standard(UseL2 ? buildL2Direct() : buildL1()));
+    EXPECT_TRUE(isMarkedGraph(Pn.Net));
+    EXPECT_TRUE(isLiveMarkedGraph(Pn.Net));
+    EXPECT_TRUE(isSafeMarkedGraph(Pn.Net));
+    EXPECT_TRUE(isStructurallyPersistent(Pn.Net));
+
+    ReachabilityGraph G = exploreReachability(Pn.Net, 1 << 18);
+    ASSERT_TRUE(G.Complete);
+    EXPECT_TRUE(isLive(Pn.Net, G));
+    EXPECT_TRUE(isSafe(G));
+    EXPECT_TRUE(isPersistent(Pn.Net, G));
+  }
+}
+
+TEST(SdspPn, FeedbackTokensLandOnDataPlaces) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  const DataflowGraph &G = Pn.Net.numPlaces() ? buildL2Direct()
+                                              : buildL2Direct();
+  (void)G;
+  Marking M0 = Pn.Net.initialMarking();
+  // Exactly one data place starts marked (the E->C feedback window) and
+  // five ack places (the forward pairs; the feedback ack has 0 slots).
+  uint32_t MarkedData = 0, MarkedAck = 0;
+  for (size_t I = 0; I < Pn.ArcToPlace.size(); ++I)
+    if (Pn.ArcToPlace[I].isValid() &&
+        M0.tokens(Pn.ArcToPlace[I]) > 0)
+      ++MarkedData;
+  for (PlaceId P : Pn.AckPlaces)
+    if (M0.tokens(P) > 0)
+      ++MarkedAck;
+  EXPECT_EQ(MarkedData, 1u);
+  EXPECT_EQ(MarkedAck, 5u);
+}
+
+TEST(SdspPn, MappingRoundTrips) {
+  DataflowGraph G = buildL1();
+  Sdsp S = Sdsp::standard(G);
+  SdspPn Pn = buildSdspPn(S);
+  for (NodeId N : G.nodeIds()) {
+    TransitionId T = Pn.NodeToTransition[N.index()];
+    if (isBoundaryOp(G.node(N).Kind)) {
+      EXPECT_FALSE(T.isValid());
+      continue;
+    }
+    ASSERT_TRUE(T.isValid());
+    EXPECT_EQ(Pn.TransitionToNode[T.index()], N);
+    EXPECT_EQ(Pn.Net.transition(T).Name, G.node(N).Name);
+  }
+}
+
+TEST(SdspPn, ExecTimesCarryOver) {
+  DataflowGraph G = buildL1();
+  for (NodeId N : G.nodeIds())
+    if (G.node(N).Name == "D")
+      G.setExecTime(N, 4);
+  SdspPn Pn = buildSdspPn(Sdsp::standard(G));
+  bool Found = false;
+  for (TransitionId T : Pn.Net.transitionIds())
+    if (Pn.Net.transition(T).Name == "D") {
+      EXPECT_EQ(Pn.Net.transition(T).ExecTime, 4u);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(SdspPn, RandomGraphsYieldLiveSafeMarkedGraphs) {
+  Rng R(31337);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    DataflowGraph G = buildRandomLoopGraph(R, 3 + Trial % 8, 25);
+    SdspPn Pn = buildSdspPn(Sdsp::standard(G));
+    ASSERT_TRUE(isMarkedGraph(Pn.Net)) << "trial " << Trial;
+    EXPECT_TRUE(isLiveMarkedGraph(Pn.Net)) << "trial " << Trial;
+    EXPECT_TRUE(isSafeMarkedGraph(Pn.Net)) << "trial " << Trial;
+  }
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+//===- tests/SemaTest.cpp - Semantic analysis tests ------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loopir/Sema.h"
+
+#include "loopir/Parser.h"
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+
+namespace {
+
+std::optional<SemaInfo> check(const std::string &Src,
+                              DiagnosticEngine &Diags) {
+  auto Ast = parseLoop(Src, Diags);
+  if (!Ast)
+    return std::nullopt;
+  return analyze(*Ast, Diags);
+}
+
+TEST(Sema, AcceptsL2AndDetectsLcd) {
+  DiagnosticEngine Diags;
+  auto Info = check("do i { init E = 0; A = X[i] + 5; C = A + E[i-1]; "
+                    "E = W[i] + C; out E; }",
+                    Diags);
+  ASSERT_TRUE(Info.has_value()) << "unexpected errors";
+  EXPECT_TRUE(Info->HasLoopCarried);
+}
+
+TEST(Sema, DoallWithoutLcd) {
+  DiagnosticEngine Diags;
+  auto Info = check("doall i { A = X[i] + 1; out A; }", Diags);
+  ASSERT_TRUE(Info.has_value());
+  EXPECT_FALSE(Info->HasLoopCarried);
+}
+
+TEST(Sema, RejectsDoubleAssignment) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(check("do i { A = X[i]; A = Y[i]; out A; }", Diags));
+  EXPECT_NE(Diags.diagnostics()[0].Message.find("single-assignment"),
+            std::string::npos);
+}
+
+TEST(Sema, RejectsLcdWithoutInit) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(check("do i { A = A[i-1] + X[i]; out A; }", Diags));
+}
+
+TEST(Sema, RejectsShallowInitWindow) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(
+      check("do i { init A = 0; A = A[i-2] + X[i]; out A; }", Diags));
+  EXPECT_NE(Diags.diagnostics()[0].Message.find("reaches back 2"),
+            std::string::npos);
+}
+
+TEST(Sema, RejectsLcdInDoall) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(
+      check("doall i { init A = 0; A = A[i-1] + X[i]; out A; }", Diags));
+}
+
+TEST(Sema, RejectsInitOfUnassigned) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(check("do i { init Q = 0; A = X[i]; out A; }", Diags));
+}
+
+TEST(Sema, RejectsOutOfUndefined) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(check("do i { A = X[i]; out B; }", Diags));
+}
+
+TEST(Sema, RejectsDuplicateInit) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(check(
+      "do i { init A = 0; init A = 1; A = A[i-1] + X[i]; out A; }", Diags));
+}
+
+} // namespace

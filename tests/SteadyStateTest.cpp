@@ -1,0 +1,102 @@
+//===- tests/SteadyStateTest.cpp - Steady-state equivalent net tests -------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SteadyStateNet.h"
+
+#include "TestUtil.h"
+#include "core/SdspPn.h"
+#include "petri/CycleRatio.h"
+#include "petri/MarkedGraph.h"
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+SteadyStateNet buildFor(const PetriNet &Net) {
+  auto F = detectFrustum(Net);
+  EXPECT_TRUE(F.has_value());
+  return buildSteadyStateNet(Net, *F);
+}
+
+TEST(SteadyState, L1NetIsStronglyConnectedMarkedGraph) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL1()));
+  SteadyStateNet SSN = buildFor(Pn.Net);
+  EXPECT_TRUE(isMarkedGraph(SSN.Net));
+  EXPECT_TRUE(isLiveMarkedGraph(SSN.Net));
+  MarkedGraphView View(SSN.Net);
+  EXPECT_TRUE(stronglyConnectedRoot(View).has_value())
+      << "coalescing initial/terminal states closes every path";
+}
+
+TEST(SteadyState, InstanceCountsMatchFrustum) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  SteadyStateNet SSN = buildSteadyStateNet(Pn.Net, *F);
+  size_t Total = 0;
+  for (TransitionId T : Pn.Net.transitionIds()) {
+    EXPECT_EQ(SSN.Instance[T.index()].size(), F->transitionCount(T));
+    Total += SSN.Instance[T.index()].size();
+  }
+  EXPECT_EQ(SSN.Net.numTransitions(), Total);
+}
+
+TEST(SteadyState, TokenCountsArePreserved) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  SteadyStateNet SSN = buildSteadyStateNet(Pn.Net, *F);
+  EXPECT_EQ(SSN.Net.initialMarking().totalTokens(),
+            F->State.M.totalTokens());
+}
+
+TEST(SteadyState, ReplaysTheKernelPeriod) {
+  // Executing the steady-state net must achieve exactly the kernel
+  // period: every instance transition fires once per p cycles.
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  auto F = detectFrustum(Pn.Net);
+  ASSERT_TRUE(F.has_value());
+  SteadyStateNet SSN = buildSteadyStateNet(Pn.Net, *F);
+  auto F2 = detectFrustum(SSN.Net);
+  ASSERT_TRUE(F2.has_value());
+  for (TransitionId T : SSN.Net.transitionIds())
+    EXPECT_EQ(F2->computationRate(T),
+              Rational(1, static_cast<int64_t>(F->length())));
+}
+
+TEST(SteadyState, MultiTokenWrapDistribution) {
+  // Ring with 2 tokens among 4 transitions: k = 2 occurrences... the
+  // ring fires each transition once per state recurrence?  Measure via
+  // the frustum and check the construction stays consistent.
+  PetriNet Ring = buildRing(4, 2);
+  auto F = detectFrustum(Ring);
+  ASSERT_TRUE(F.has_value());
+  SteadyStateNet SSN = buildSteadyStateNet(Ring, *F);
+  EXPECT_TRUE(isMarkedGraph(SSN.Net));
+  EXPECT_TRUE(isLiveMarkedGraph(SSN.Net));
+  EXPECT_EQ(SSN.Net.initialMarking().totalTokens(), 2u);
+}
+
+TEST(SteadyState, RandomNetsStayConsistent) {
+  Rng R(123);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    DataflowGraph G = buildRandomLoopGraph(R, 3 + Trial % 6, 25);
+    SdspPn Pn = buildSdspPn(Sdsp::standard(G));
+    auto F = detectFrustum(Pn.Net);
+    ASSERT_TRUE(F.has_value());
+    SteadyStateNet SSN = buildSteadyStateNet(Pn.Net, *F);
+    EXPECT_TRUE(isMarkedGraph(SSN.Net)) << "trial " << Trial;
+    EXPECT_TRUE(isLiveMarkedGraph(SSN.Net)) << "trial " << Trial;
+    EXPECT_EQ(SSN.Net.initialMarking().totalTokens(),
+              F->State.M.totalTokens())
+        << "trial " << Trial;
+  }
+}
+
+} // namespace

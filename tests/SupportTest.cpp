@@ -1,0 +1,119 @@
+//===- tests/SupportTest.cpp - Support library unit tests ------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Dot.h"
+#include "support/Hashing.h"
+#include "support/Ids.h"
+#include "support/Random.h"
+#include "support/TextTable.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+#include <sstream>
+
+using namespace sdsp;
+
+namespace {
+
+struct FooTag {};
+using FooId = Id<FooTag>;
+
+TEST(Ids, ValidityAndOrdering) {
+  FooId Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  FooId A(3u), B(5u);
+  EXPECT_TRUE(A.isValid());
+  EXPECT_EQ(A.index(), 3u);
+  EXPECT_LT(A, B);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(FooId(3u), A);
+}
+
+TEST(Ids, Hashable) {
+  std::set<size_t> Hashes;
+  for (uint32_t I = 0; I < 100; ++I)
+    Hashes.insert(std::hash<FooId>()(FooId(I)));
+  EXPECT_GT(Hashes.size(), 90u) << "hash should spread ids";
+}
+
+TEST(Hashing, OrderSensitivity) {
+  size_t A = 0, B = 0;
+  hashCombine(A, 1);
+  hashCombine(A, 2);
+  hashCombine(B, 2);
+  hashCombine(B, 1);
+  EXPECT_NE(A, B);
+}
+
+TEST(Hashing, RangeHashing) {
+  size_t A = 0, B = 0;
+  hashCombineRange(A, std::vector<uint32_t>{1, 2, 3});
+  hashCombineRange(B, std::vector<uint32_t>{1, 2, 3});
+  EXPECT_EQ(A, B);
+  size_t C = 0;
+  hashCombineRange(C, std::vector<uint32_t>{3, 2, 1});
+  EXPECT_NE(A, C);
+}
+
+TEST(Random, DeterministicAndInRange) {
+  Rng R1(7), R2(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(R1.next(), R2.next());
+  Rng R(123);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.range(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Random, ChanceIsRoughlyCalibrated) {
+  Rng R(99);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.chance(1, 4);
+  EXPECT_NEAR(Hits, 2500, 200);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable T;
+  T.startRow();
+  T.cell("name");
+  T.cell("value");
+  T.startRow();
+  T.cell("x");
+  T.cell(int64_t(12345));
+  T.startRow();
+  T.cell("longer-name");
+  T.cell(0.5, 2);
+  std::ostringstream OS;
+  T.print(OS);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("name"), std::string::npos);
+  EXPECT_NE(S.find("12345"), std::string::npos);
+  EXPECT_NE(S.find("0.50"), std::string::npos);
+  EXPECT_NE(S.find("---"), std::string::npos) << "header rule expected";
+}
+
+TEST(Dot, EscapesQuotes) {
+  std::ostringstream OS;
+  {
+    DotWriter D(OS, "g\"raph");
+    D.node("a", "la\"bel");
+    D.edge("a", "a", "e\\dge");
+  }
+  std::string S = OS.str();
+  EXPECT_NE(S.find("\\\""), std::string::npos);
+  EXPECT_EQ(S.find("label=\"la\"bel\""), std::string::npos);
+  EXPECT_NE(S.find("}"), std::string::npos);
+}
+
+} // namespace

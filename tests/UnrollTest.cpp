@@ -1,0 +1,124 @@
+//===- tests/UnrollTest.cpp - Loop unrolling tests -------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Unroll.h"
+
+#include "TestUtil.h"
+#include "core/RateAnalysis.h"
+#include "core/SdspPn.h"
+#include "dataflow/Validate.h"
+#include "livermore/Livermore.h"
+#include "loopir/Lowering.h"
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+TEST(Unroll, FactorOneIsIdentityShaped) {
+  DataflowGraph G = buildL2Direct();
+  DataflowGraph U = unrollLoop(G, 1);
+  EXPECT_EQ(U.numNodes(), G.numNodes());
+  EXPECT_EQ(U.numArcs(), G.numArcs());
+}
+
+TEST(Unroll, ReplicatesBodyAndRewiresFeedback) {
+  DataflowGraph G = buildL2Direct();
+  DataflowGraph U = unrollLoop(G, 3);
+  EXPECT_EQ(U.numNodes(), 3 * G.numNodes());
+  // Distance-1 feedback: copies 1,2 read the previous copy forward;
+  // only copy 0 keeps a (distance-1) feedback arc.
+  size_t Feedback = 0, Forward = 0;
+  for (ArcId A : U.arcIds()) {
+    if (U.arc(A).isFeedback()) {
+      ++Feedback;
+      EXPECT_EQ(U.arc(A).Distance, 1u);
+    } else {
+      ++Forward;
+    }
+  }
+  EXPECT_EQ(Feedback, 1u);
+  EXPECT_EQ(Forward, 3 * G.numArcs() - 1);
+}
+
+TEST(Unroll, SemanticsPreservedOnL2) {
+  const LivermoreKernel *K = findKernel("l2");
+  DiagnosticEngine Diags;
+  auto G = compileLoop(K->Source, Diags);
+  ASSERT_TRUE(G.has_value());
+
+  const uint32_t U = 4;
+  const size_t Macro = 8, N = Macro * U;
+  StreamMap In = K->MakeInputs(N, 606);
+  StreamMap Want = K->Reference(In, N);
+
+  DataflowGraph Unrolled = unrollLoop(*G, U);
+  StreamMap Got = interleaveOutputs(
+      interpret(Unrolled, stridedStreams(In, U, Macro), Macro).Outputs,
+      U);
+  ASSERT_EQ(Got.at("E").size(), N);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_NEAR(Got.at("E")[I], Want.at("E")[I], 1e-9) << I;
+}
+
+TEST(Unroll, SemanticsPreservedOnDeepFeedback) {
+  // y = x + y[i-3]: distance 3 unrolled by 2 -> mixed distances.
+  DataflowGraph G;
+  NodeId In = G.addNode(OpKind::Input, "x");
+  NodeId A = G.addNode(OpKind::Add, "y");
+  G.connect(In, 0, A, 0);
+  G.connectFeedback(A, 0, A, 1, {10.0, 20.0, 30.0});
+  NodeId Out = G.addNode(OpKind::Output, "y");
+  G.connect(A, 0, Out, 0);
+
+  const uint32_t U = 2;
+  const size_t Macro = 6, N = Macro * U;
+  StreamMap Inputs;
+  Inputs["x"] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  StreamMap Want = interpret(G, Inputs, N).Outputs;
+
+  DataflowGraph Unrolled = unrollLoop(G, U);
+  StreamMap Got = interleaveOutputs(
+      interpret(Unrolled, stridedStreams(Inputs, U, Macro), Macro)
+          .Outputs,
+      U);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_DOUBLE_EQ(Got.at("y")[I], Want.at("y")[I]) << I;
+}
+
+TEST(Unroll, RatePerOriginalIterationIsUnchanged) {
+  // The paper's motivation, quantified: unrolling multiplies body size
+  // and storage but the per-original-iteration optimum stays 1/3.
+  DataflowGraph G = buildL2Direct();
+  Rational PerIteration(1, 3);
+  for (uint32_t U : {1u, 2u, 4u}) {
+    Sdsp S = Sdsp::standard(unrollLoop(G, U));
+    SdspPn Pn = buildSdspPn(S);
+    RateReport R = analyzeRate(Pn);
+    // Macro rate * U original iterations per macro iteration.
+    EXPECT_EQ(R.OptimalRate * Rational(U), PerIteration) << "U=" << U;
+    EXPECT_EQ(S.loopBodySize(), 5u * U);
+  }
+}
+
+TEST(Unroll, RandomGraphsStayWellFormed) {
+  Rng R(2468);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    DataflowGraph G = buildRandomLoopGraph(R, 3 + Trial % 5, 25);
+    for (uint32_t U : {2u, 3u}) {
+      DataflowGraph Unrolled = unrollLoop(G, U);
+      EXPECT_TRUE(isWellFormed(Unrolled))
+          << "trial " << Trial << " U=" << U;
+      EXPECT_EQ(Unrolled.numNodes(), U * G.numNodes());
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,346 @@
+//===- tools/sdspc.cpp - The SDSP loop compiler driver ---------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// sdspc: compile a loop (file, stdin, or bundled kernel) through the
+// paper's pipeline and emit the requested artifact.
+//
+//   sdspc [options] [file.loop | -k kernel-id | -]
+//
+//   --emit=schedule      prologue + kernel table (default)
+//   --emit=timeline      schedule plus an ASCII Gantt view
+//   --emit=rate          rate analysis only
+//   --emit=program       register-transfer listing (codegen)
+//   --emit=c             self-contained C99 function (software-
+//                        pipelined structure, registers = storage)
+//   --emit=dot-dataflow  Graphviz of the dataflow graph
+//   --emit=dot-pn        Graphviz of the SDSP-PN
+//   --emit=dot-behavior  Graphviz of the behavior graph (frustum shaded)
+//   --emit=storage       acknowledgement/storage report
+//   --opt                run constant folding + CSE + DCE first
+//   --capacity=N         buffer capacity per arc (default 1)
+//   --unroll=U           unroll the loop body U times first
+//   --scp=L              schedule onto clean L-stage pipeline(s)
+//   --pipelines=K        number of clean pipelines (with --scp)
+//   --optimize-storage   run the Section 6 minimizer first
+//   --run=N              execute N iterations on the VM with random
+//                        inputs (seeded by --seed, default 1) and print
+//                        the outputs
+//   --seed=S             input seed for --run
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "codegen/Codegen.h"
+#include "codegen/Vm.h"
+#include "core/Frustum.h"
+#include "core/RateAnalysis.h"
+#include "core/ScheduleDerivation.h"
+#include "core/ScpModel.h"
+#include "core/StorageOptimizer.h"
+#include "dataflow/Transforms.h"
+#include "dataflow/Unroll.h"
+#include "livermore/Livermore.h"
+#include "loopir/Lowering.h"
+#include "petri/BehaviorGraph.h"
+#include "support/Random.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace sdsp;
+
+namespace {
+
+struct Options {
+  std::string Emit = "schedule";
+  bool Optimize = false;
+  uint32_t Capacity = 1;
+  uint32_t Unroll = 1;
+  uint32_t ScpDepth = 0;
+  uint32_t Pipelines = 1;
+  bool OptimizeStorage = false;
+  uint64_t RunIterations = 0;
+  uint64_t Seed = 1;
+  std::string InputPath;
+  std::string KernelId;
+};
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: sdspc [options] [file.loop | -k kernel | -]\n"
+        "  --emit=schedule|timeline|rate|program|c|dot-dataflow|dot-pn|"
+        "dot-behavior|storage\n"
+        "  --opt --capacity=N --unroll=U --scp=L --pipelines=K\n"
+        "  --optimize-storage --run=N --seed=S\n"
+        "  -k <id>   use a bundled kernel (l1 l2 loop1 loop3 loop5 "
+        "loop7 loop9 loop9lcd loop12)\n";
+}
+
+bool parseArgs(int argc, char **argv, Options &Opts) {
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len
+                                              : nullptr;
+    };
+    if (const char *V = Value("--emit=")) {
+      Opts.Emit = V;
+    } else if (const char *V = Value("--capacity=")) {
+      Opts.Capacity = static_cast<uint32_t>(std::atoi(V));
+    } else if (const char *V = Value("--unroll=")) {
+      Opts.Unroll = static_cast<uint32_t>(std::atoi(V));
+    } else if (const char *V = Value("--scp=")) {
+      Opts.ScpDepth = static_cast<uint32_t>(std::atoi(V));
+    } else if (const char *V = Value("--pipelines=")) {
+      Opts.Pipelines = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--opt") {
+      Opts.Optimize = true;
+    } else if (Arg == "--optimize-storage") {
+      Opts.OptimizeStorage = true;
+    } else if (const char *V = Value("--run=")) {
+      Opts.RunIterations = static_cast<uint64_t>(std::atoll(V));
+    } else if (const char *V = Value("--seed=")) {
+      Opts.Seed = static_cast<uint64_t>(std::atoll(V));
+    } else if (Arg == "-k") {
+      if (++I >= argc) {
+        std::cerr << "sdspc: -k needs a kernel id\n";
+        return false;
+      }
+      Opts.KernelId = argv[I];
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      std::exit(0);
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      std::cerr << "sdspc: unknown option '" << Arg << "'\n";
+      return false;
+    } else {
+      Opts.InputPath = Arg;
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> readSource(const Options &Opts) {
+  if (!Opts.KernelId.empty()) {
+    const LivermoreKernel *K = findKernel(Opts.KernelId);
+    if (!K) {
+      std::cerr << "sdspc: unknown kernel '" << Opts.KernelId << "'\n";
+      return std::nullopt;
+    }
+    return K->Source;
+  }
+  if (Opts.InputPath.empty() || Opts.InputPath == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    return SS.str();
+  }
+  std::ifstream File(Opts.InputPath);
+  if (!File) {
+    std::cerr << "sdspc: cannot open '" << Opts.InputPath << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream SS;
+  SS << File.rdbuf();
+  return SS.str();
+}
+
+int run(const Options &Opts) {
+  std::optional<std::string> Source = readSource(Opts);
+  if (!Source)
+    return 1;
+
+  DiagnosticEngine Diags;
+  std::optional<DataflowGraph> G = compileLoop(*Source, Diags);
+  if (!G) {
+    Diags.print(std::cerr);
+    return 1;
+  }
+
+  if (Opts.Optimize) {
+    TransformStats Stats;
+    G = optimize(*G, Stats);
+    if (Stats.changedAnything())
+      std::cerr << "opt: folded " << Stats.ConstantsFolded << ", merged "
+                << Stats.SubexpressionsMerged << ", removed "
+                << Stats.DeadNodesRemoved << " (nodes "
+                << Stats.NodesBefore << " -> " << Stats.NodesAfter
+                << ")\n";
+  }
+  if (Opts.Unroll > 1)
+    G = unrollLoop(*G, Opts.Unroll);
+
+  if (Opts.Emit == "dot-dataflow") {
+    G->printDot(std::cout, "dataflow");
+    return 0;
+  }
+
+  Sdsp S = Sdsp::standard(*G, Opts.Capacity);
+  if (Opts.OptimizeStorage) {
+    StorageOptResult R = minimizeStorage(S);
+    std::cerr << "storage: " << R.StorageBefore << " -> "
+              << R.StorageAfter << " locations (rate "
+              << R.OptimalRate << ")\n";
+    S = std::move(R.Optimized);
+  }
+  SdspPn Pn = buildSdspPn(S);
+
+  if (Opts.Emit == "storage") {
+    std::cout << "loop body: " << S.loopBodySize()
+              << " operations\nstorage: " << S.storageLocations()
+              << " locations\n";
+    const DataflowGraph &Graph = S.graph();
+    for (const Sdsp::Ack &A : S.acks()) {
+      std::cout << "  ack " << Graph.node(Graph.arc(A.Path.back()).To).Name
+                << " -> "
+                << Graph.node(Graph.arc(A.Path.front()).From).Name
+                << " covering";
+      for (ArcId Arc : A.Path)
+        std::cout << " [" << Graph.node(Graph.arc(Arc).From).Name << "->"
+                  << Graph.node(Graph.arc(Arc).To).Name << "]";
+      std::cout << " slots=" << A.Slots << "\n";
+    }
+    return 0;
+  }
+  if (Opts.Emit == "dot-pn") {
+    Pn.Net.printDot(std::cout, "sdsp_pn");
+    return 0;
+  }
+  if (Opts.Emit == "rate") {
+    RateReport R = analyzeRate(Pn);
+    std::cout << "operations:        " << Pn.Net.numTransitions() << "\n"
+              << "cycle time alpha*: " << R.CycleTime << "\n"
+              << "optimal rate:      " << R.OptimalRate
+              << " iterations/cycle\n"
+              << "critical ops:      ";
+    for (TransitionId T : R.CriticalTransitions)
+      std::cout << Pn.Net.transition(T).Name << " ";
+    std::cout << "\ncritical cycles:   " << R.NumCriticalCycles << "\n";
+    return 0;
+  }
+
+  // Everything below needs a frustum.  Pick the machine model.
+  std::optional<FrustumInfo> F;
+  std::unique_ptr<FifoPolicy> Policy;
+  std::optional<ScpPn> Scp;
+  if (Opts.ScpDepth > 0) {
+    Scp = buildScpPn(Pn, Opts.ScpDepth, Opts.Pipelines);
+    Policy = Scp->makeFifoPolicy();
+    F = detectFrustum(Scp->Net, Policy.get());
+  } else {
+    F = detectFrustum(Pn.Net);
+  }
+  if (!F) {
+    std::cerr << "sdspc: no cyclic frustum (dead or diverging net)\n";
+    return 1;
+  }
+
+  if (Opts.Emit == "dot-behavior") {
+    const PetriNet &Net = Scp ? Scp->Net : Pn.Net;
+    if (Policy)
+      Policy->reset();
+    EarliestFiringEngine Engine(Net, Policy.get());
+    BehaviorGraph BG(Net);
+    while (Engine.now() < F->RepeatTime)
+      BG.recordStep(Engine.fireAndAdvance());
+    BG.printDot(std::cout, "behavior", F->StartTime, F->RepeatTime);
+    return 0;
+  }
+
+  if (Scp) {
+    // Schedules on the SCP model: report the measured pattern.
+    std::cout << "SCP machine, l = " << Opts.ScpDepth << ": frustum ["
+              << F->StartTime << ", " << F->RepeatTime << "), rate "
+              << F->computationRate(Scp->SdspTransitions.front())
+              << ", usage " << processorUsage(*Scp, *F) << "\n";
+    if (Opts.Emit != "schedule")
+      std::cerr << "sdspc: --scp supports --emit=schedule only\n";
+    std::vector<std::string> Names;
+    for (TransitionId T : Scp->Net.transitionIds())
+      Names.push_back(Scp->Net.transition(T).Name);
+    // Print the issue slots of SDSP transitions per kernel cycle.
+    for (TimeStep T = F->StartTime; T < F->RepeatTime; ++T) {
+      std::cout << "  t+" << (T - F->StartTime) << ":";
+      for (const StepRecord &Rec : F->Trace)
+        if (Rec.Time == T)
+          for (TransitionId Fired : Rec.Fired)
+            if (Scp->IsSdspTransition[Fired.index()])
+              std::cout << " " << Names[Fired.index()];
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  SoftwarePipelineSchedule Sched = deriveSchedule(Pn, *F);
+  std::string Error;
+  if (!validateSchedule(S, Pn, Sched, 64, &Error)) {
+    std::cerr << "sdspc: internal error, invalid schedule: " << Error
+              << "\n";
+    return 1;
+  }
+
+  if (Opts.Emit == "schedule" || Opts.Emit == "timeline") {
+    std::vector<std::string> Names;
+    std::vector<uint32_t> Taus;
+    for (TransitionId T : Pn.Net.transitionIds()) {
+      Names.push_back(Pn.Net.transition(T).Name);
+      Taus.push_back(Pn.Net.transition(T).ExecTime);
+    }
+    Sched.print(std::cout, Names);
+    if (Opts.Emit == "timeline") {
+      std::cout << "\n";
+      Sched.printTimeline(std::cout, Names, Taus,
+                          Sched.prologueEnd() + 4 * Sched.kernelLength());
+    }
+  } else if (Opts.Emit == "c") {
+    LoopProgram Program = generateLoopProgram(S, Pn, Sched);
+    CEmission E = emitC(Program, "sdsp_kernel");
+    std::cout << E.Source;
+  } else if (Opts.Emit == "program" || Opts.RunIterations > 0) {
+    LoopProgram Program = generateLoopProgram(S, Pn, Sched);
+    if (Opts.Emit == "program")
+      Program.print(std::cout);
+    if (Opts.RunIterations > 0) {
+      // Random input streams, deterministic per seed.
+      Rng R(Opts.Seed);
+      StreamMap In;
+      for (NodeId N : G->nodeIds())
+        if (G->node(N).Kind == OpKind::Input) {
+          std::vector<double> V(Opts.RunIterations);
+          for (double &X : V)
+            X = R.uniform() * 2.0 - 1.0;
+          In[G->node(N).Name] = V;
+        }
+      VmResult Result =
+          executeLoopProgram(Program, In, Opts.RunIterations);
+      std::cout << "executed " << Opts.RunIterations << " iterations in "
+                << Result.Cycles << " cycles\n";
+      for (const auto &[Name, Values] : Result.Outputs) {
+        std::cout << Name << ":";
+        for (double V : Values)
+          std::cout << " " << V;
+        std::cout << "\n";
+      }
+    }
+  } else {
+    std::cerr << "sdspc: unknown --emit mode '" << Opts.Emit << "'\n";
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  if (!parseArgs(argc, argv, Opts)) {
+    printUsage(std::cerr);
+    return 1;
+  }
+  return run(Opts);
+}
