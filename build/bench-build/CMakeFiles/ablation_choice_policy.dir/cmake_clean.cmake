@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_choice_policy"
+  "../bench/ablation_choice_policy.pdb"
+  "CMakeFiles/ablation_choice_policy.dir/AblationChoicePolicy.cpp.o"
+  "CMakeFiles/ablation_choice_policy.dir/AblationChoicePolicy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_choice_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

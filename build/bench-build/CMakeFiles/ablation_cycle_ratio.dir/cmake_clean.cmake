@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cycle_ratio"
+  "../bench/ablation_cycle_ratio.pdb"
+  "CMakeFiles/ablation_cycle_ratio.dir/AblationCycleRatio.cpp.o"
+  "CMakeFiles/ablation_cycle_ratio.dir/AblationCycleRatio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cycle_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multifu"
+  "../bench/ablation_multifu.pdb"
+  "CMakeFiles/ablation_multifu.dir/AblationMultiFu.cpp.o"
+  "CMakeFiles/ablation_multifu.dir/AblationMultiFu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multifu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_storage_exact"
+  "../bench/ablation_storage_exact.pdb"
+  "CMakeFiles/ablation_storage_exact.dir/AblationStorageExact.cpp.o"
+  "CMakeFiles/ablation_storage_exact.dir/AblationStorageExact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storage_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_unroll"
+  "../bench/ablation_unroll.pdb"
+  "CMakeFiles/ablation_unroll.dir/AblationUnroll.cpp.o"
+  "CMakeFiles/ablation_unroll.dir/AblationUnroll.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

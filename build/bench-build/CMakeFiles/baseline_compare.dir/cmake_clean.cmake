@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_compare"
+  "../bench/baseline_compare.pdb"
+  "CMakeFiles/baseline_compare.dir/BaselineCompare.cpp.o"
+  "CMakeFiles/baseline_compare.dir/BaselineCompare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

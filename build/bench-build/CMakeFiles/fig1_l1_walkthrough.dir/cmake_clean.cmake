@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_l1_walkthrough"
+  "../bench/fig1_l1_walkthrough.pdb"
+  "CMakeFiles/fig1_l1_walkthrough.dir/Fig1L1Walkthrough.cpp.o"
+  "CMakeFiles/fig1_l1_walkthrough.dir/Fig1L1Walkthrough.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_l1_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_l2_lcd"
+  "../bench/fig2_l2_lcd.pdb"
+  "CMakeFiles/fig2_l2_lcd.dir/Fig2L2Lcd.cpp.o"
+  "CMakeFiles/fig2_l2_lcd.dir/Fig2L2Lcd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_l2_lcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

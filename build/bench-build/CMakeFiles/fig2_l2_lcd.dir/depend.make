@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_l2_lcd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_scp_construction"
+  "../bench/fig3_scp_construction.pdb"
+  "CMakeFiles/fig3_scp_construction.dir/Fig3ScpConstruction.cpp.o"
+  "CMakeFiles/fig3_scp_construction.dir/Fig3ScpConstruction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scp_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

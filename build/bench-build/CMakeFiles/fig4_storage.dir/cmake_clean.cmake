@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_storage"
+  "../bench/fig4_storage.pdb"
+  "CMakeFiles/fig4_storage.dir/Fig4Storage.cpp.o"
+  "CMakeFiles/fig4_storage.dir/Fig4Storage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

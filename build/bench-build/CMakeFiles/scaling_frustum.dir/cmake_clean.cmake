@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_frustum"
+  "../bench/scaling_frustum.pdb"
+  "CMakeFiles/scaling_frustum.dir/ScalingFrustum.cpp.o"
+  "CMakeFiles/scaling_frustum.dir/ScalingFrustum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_frustum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_sdsp_pn"
+  "../bench/table1_sdsp_pn.pdb"
+  "CMakeFiles/table1_sdsp_pn.dir/Table1SdspPn.cpp.o"
+  "CMakeFiles/table1_sdsp_pn.dir/Table1SdspPn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sdsp_pn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_sdsp_scp_pn"
+  "../bench/table2_sdsp_scp_pn.pdb"
+  "CMakeFiles/table2_sdsp_scp_pn.dir/Table2SdspScpPn.cpp.o"
+  "CMakeFiles/table2_sdsp_scp_pn.dir/Table2SdspScpPn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sdsp_scp_pn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

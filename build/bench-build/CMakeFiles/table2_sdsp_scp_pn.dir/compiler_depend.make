@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_sdsp_scp_pn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_sdsp_scp_pn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/behavior_graph_dot.cpp" "examples/CMakeFiles/behavior_graph_dot.dir/behavior_graph_dot.cpp.o" "gcc" "examples/CMakeFiles/behavior_graph_dot.dir/behavior_graph_dot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/livermore/CMakeFiles/sdsp_livermore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sdsp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/sdsp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopir/CMakeFiles/sdsp_loopir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/sdsp_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/sdsp_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

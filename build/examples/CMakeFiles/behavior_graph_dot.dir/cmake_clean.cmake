@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behavior_graph_dot.dir/behavior_graph_dot.cpp.o"
+  "CMakeFiles/behavior_graph_dot.dir/behavior_graph_dot.cpp.o.d"
+  "behavior_graph_dot"
+  "behavior_graph_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behavior_graph_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

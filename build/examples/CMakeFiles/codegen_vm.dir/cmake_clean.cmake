@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_vm.dir/codegen_vm.cpp.o"
+  "CMakeFiles/codegen_vm.dir/codegen_vm.cpp.o.d"
+  "codegen_vm"
+  "codegen_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

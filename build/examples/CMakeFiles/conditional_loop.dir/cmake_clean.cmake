@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_loop.dir/conditional_loop.cpp.o"
+  "CMakeFiles/conditional_loop.dir/conditional_loop.cpp.o.d"
+  "conditional_loop"
+  "conditional_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

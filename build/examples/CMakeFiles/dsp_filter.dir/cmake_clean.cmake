@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_filter.dir/dsp_filter.cpp.o"
+  "CMakeFiles/dsp_filter.dir/dsp_filter.cpp.o.d"
+  "dsp_filter"
+  "dsp_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livermore_tour.dir/livermore_tour.cpp.o"
+  "CMakeFiles/livermore_tour.dir/livermore_tour.cpp.o.d"
+  "livermore_tour"
+  "livermore_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livermore_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

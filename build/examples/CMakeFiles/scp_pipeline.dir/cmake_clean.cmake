@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_pipeline.dir/scp_pipeline.cpp.o"
+  "CMakeFiles/scp_pipeline.dir/scp_pipeline.cpp.o.d"
+  "scp_pipeline"
+  "scp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_optimizer.dir/storage_optimizer.cpp.o"
+  "CMakeFiles/storage_optimizer.dir/storage_optimizer.cpp.o.d"
+  "storage_optimizer"
+  "storage_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdsp_codegen.dir/CEmitter.cpp.o"
+  "CMakeFiles/sdsp_codegen.dir/CEmitter.cpp.o.d"
+  "CMakeFiles/sdsp_codegen.dir/Codegen.cpp.o"
+  "CMakeFiles/sdsp_codegen.dir/Codegen.cpp.o.d"
+  "CMakeFiles/sdsp_codegen.dir/LoopProgram.cpp.o"
+  "CMakeFiles/sdsp_codegen.dir/LoopProgram.cpp.o.d"
+  "CMakeFiles/sdsp_codegen.dir/Vm.cpp.o"
+  "CMakeFiles/sdsp_codegen.dir/Vm.cpp.o.d"
+  "libsdsp_codegen.a"
+  "libsdsp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdsp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdsp_codegen.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/BufferSizing.cpp" "src/core/CMakeFiles/sdsp_core.dir/BufferSizing.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/BufferSizing.cpp.o.d"
+  "/root/repo/src/core/Frustum.cpp" "src/core/CMakeFiles/sdsp_core.dir/Frustum.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/Frustum.cpp.o.d"
+  "/root/repo/src/core/MaxPlus.cpp" "src/core/CMakeFiles/sdsp_core.dir/MaxPlus.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/MaxPlus.cpp.o.d"
+  "/root/repo/src/core/MultiFu.cpp" "src/core/CMakeFiles/sdsp_core.dir/MultiFu.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/MultiFu.cpp.o.d"
+  "/root/repo/src/core/RateAnalysis.cpp" "src/core/CMakeFiles/sdsp_core.dir/RateAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/RateAnalysis.cpp.o.d"
+  "/root/repo/src/core/Schedule.cpp" "src/core/CMakeFiles/sdsp_core.dir/Schedule.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/Schedule.cpp.o.d"
+  "/root/repo/src/core/ScheduleDerivation.cpp" "src/core/CMakeFiles/sdsp_core.dir/ScheduleDerivation.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/ScheduleDerivation.cpp.o.d"
+  "/root/repo/src/core/ScpModel.cpp" "src/core/CMakeFiles/sdsp_core.dir/ScpModel.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/ScpModel.cpp.o.d"
+  "/root/repo/src/core/Sdsp.cpp" "src/core/CMakeFiles/sdsp_core.dir/Sdsp.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/Sdsp.cpp.o.d"
+  "/root/repo/src/core/SdspPn.cpp" "src/core/CMakeFiles/sdsp_core.dir/SdspPn.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/SdspPn.cpp.o.d"
+  "/root/repo/src/core/SteadyStateNet.cpp" "src/core/CMakeFiles/sdsp_core.dir/SteadyStateNet.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/SteadyStateNet.cpp.o.d"
+  "/root/repo/src/core/StorageExact.cpp" "src/core/CMakeFiles/sdsp_core.dir/StorageExact.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/StorageExact.cpp.o.d"
+  "/root/repo/src/core/StorageOptimizer.cpp" "src/core/CMakeFiles/sdsp_core.dir/StorageOptimizer.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/StorageOptimizer.cpp.o.d"
+  "/root/repo/src/core/TheoryBounds.cpp" "src/core/CMakeFiles/sdsp_core.dir/TheoryBounds.cpp.o" "gcc" "src/core/CMakeFiles/sdsp_core.dir/TheoryBounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/petri/CMakeFiles/sdsp_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/sdsp_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdsp_core.dir/BufferSizing.cpp.o"
+  "CMakeFiles/sdsp_core.dir/BufferSizing.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/Frustum.cpp.o"
+  "CMakeFiles/sdsp_core.dir/Frustum.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/MaxPlus.cpp.o"
+  "CMakeFiles/sdsp_core.dir/MaxPlus.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/MultiFu.cpp.o"
+  "CMakeFiles/sdsp_core.dir/MultiFu.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/RateAnalysis.cpp.o"
+  "CMakeFiles/sdsp_core.dir/RateAnalysis.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/Schedule.cpp.o"
+  "CMakeFiles/sdsp_core.dir/Schedule.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/ScheduleDerivation.cpp.o"
+  "CMakeFiles/sdsp_core.dir/ScheduleDerivation.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/ScpModel.cpp.o"
+  "CMakeFiles/sdsp_core.dir/ScpModel.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/Sdsp.cpp.o"
+  "CMakeFiles/sdsp_core.dir/Sdsp.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/SdspPn.cpp.o"
+  "CMakeFiles/sdsp_core.dir/SdspPn.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/SteadyStateNet.cpp.o"
+  "CMakeFiles/sdsp_core.dir/SteadyStateNet.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/StorageExact.cpp.o"
+  "CMakeFiles/sdsp_core.dir/StorageExact.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/StorageOptimizer.cpp.o"
+  "CMakeFiles/sdsp_core.dir/StorageOptimizer.cpp.o.d"
+  "CMakeFiles/sdsp_core.dir/TheoryBounds.cpp.o"
+  "CMakeFiles/sdsp_core.dir/TheoryBounds.cpp.o.d"
+  "libsdsp_core.a"
+  "libsdsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

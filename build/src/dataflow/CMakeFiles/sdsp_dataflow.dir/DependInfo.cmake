@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/DataflowGraph.cpp" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/DataflowGraph.cpp.o" "gcc" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/DataflowGraph.cpp.o.d"
+  "/root/repo/src/dataflow/GraphBuilder.cpp" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/GraphBuilder.cpp.o" "gcc" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/GraphBuilder.cpp.o.d"
+  "/root/repo/src/dataflow/Interpreter.cpp" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/Interpreter.cpp.o" "gcc" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/dataflow/Ops.cpp" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/Ops.cpp.o" "gcc" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/Ops.cpp.o.d"
+  "/root/repo/src/dataflow/Transforms.cpp" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/Transforms.cpp.o" "gcc" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/Transforms.cpp.o.d"
+  "/root/repo/src/dataflow/Unroll.cpp" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/Unroll.cpp.o" "gcc" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/Unroll.cpp.o.d"
+  "/root/repo/src/dataflow/Validate.cpp" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/Validate.cpp.o" "gcc" "src/dataflow/CMakeFiles/sdsp_dataflow.dir/Validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

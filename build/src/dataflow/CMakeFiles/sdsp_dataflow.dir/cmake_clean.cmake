@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdsp_dataflow.dir/DataflowGraph.cpp.o"
+  "CMakeFiles/sdsp_dataflow.dir/DataflowGraph.cpp.o.d"
+  "CMakeFiles/sdsp_dataflow.dir/GraphBuilder.cpp.o"
+  "CMakeFiles/sdsp_dataflow.dir/GraphBuilder.cpp.o.d"
+  "CMakeFiles/sdsp_dataflow.dir/Interpreter.cpp.o"
+  "CMakeFiles/sdsp_dataflow.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/sdsp_dataflow.dir/Ops.cpp.o"
+  "CMakeFiles/sdsp_dataflow.dir/Ops.cpp.o.d"
+  "CMakeFiles/sdsp_dataflow.dir/Transforms.cpp.o"
+  "CMakeFiles/sdsp_dataflow.dir/Transforms.cpp.o.d"
+  "CMakeFiles/sdsp_dataflow.dir/Unroll.cpp.o"
+  "CMakeFiles/sdsp_dataflow.dir/Unroll.cpp.o.d"
+  "CMakeFiles/sdsp_dataflow.dir/Validate.cpp.o"
+  "CMakeFiles/sdsp_dataflow.dir/Validate.cpp.o.d"
+  "libsdsp_dataflow.a"
+  "libsdsp_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdsp_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdsp_livermore.dir/Livermore.cpp.o"
+  "CMakeFiles/sdsp_livermore.dir/Livermore.cpp.o.d"
+  "libsdsp_livermore.a"
+  "libsdsp_livermore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdsp_livermore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

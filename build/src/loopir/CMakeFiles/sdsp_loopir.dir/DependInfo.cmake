@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loopir/Ast.cpp" "src/loopir/CMakeFiles/sdsp_loopir.dir/Ast.cpp.o" "gcc" "src/loopir/CMakeFiles/sdsp_loopir.dir/Ast.cpp.o.d"
+  "/root/repo/src/loopir/Diagnostics.cpp" "src/loopir/CMakeFiles/sdsp_loopir.dir/Diagnostics.cpp.o" "gcc" "src/loopir/CMakeFiles/sdsp_loopir.dir/Diagnostics.cpp.o.d"
+  "/root/repo/src/loopir/Lexer.cpp" "src/loopir/CMakeFiles/sdsp_loopir.dir/Lexer.cpp.o" "gcc" "src/loopir/CMakeFiles/sdsp_loopir.dir/Lexer.cpp.o.d"
+  "/root/repo/src/loopir/Lowering.cpp" "src/loopir/CMakeFiles/sdsp_loopir.dir/Lowering.cpp.o" "gcc" "src/loopir/CMakeFiles/sdsp_loopir.dir/Lowering.cpp.o.d"
+  "/root/repo/src/loopir/Parser.cpp" "src/loopir/CMakeFiles/sdsp_loopir.dir/Parser.cpp.o" "gcc" "src/loopir/CMakeFiles/sdsp_loopir.dir/Parser.cpp.o.d"
+  "/root/repo/src/loopir/Sema.cpp" "src/loopir/CMakeFiles/sdsp_loopir.dir/Sema.cpp.o" "gcc" "src/loopir/CMakeFiles/sdsp_loopir.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/sdsp_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

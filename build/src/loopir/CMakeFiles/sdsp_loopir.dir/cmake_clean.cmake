@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdsp_loopir.dir/Ast.cpp.o"
+  "CMakeFiles/sdsp_loopir.dir/Ast.cpp.o.d"
+  "CMakeFiles/sdsp_loopir.dir/Diagnostics.cpp.o"
+  "CMakeFiles/sdsp_loopir.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/sdsp_loopir.dir/Lexer.cpp.o"
+  "CMakeFiles/sdsp_loopir.dir/Lexer.cpp.o.d"
+  "CMakeFiles/sdsp_loopir.dir/Lowering.cpp.o"
+  "CMakeFiles/sdsp_loopir.dir/Lowering.cpp.o.d"
+  "CMakeFiles/sdsp_loopir.dir/Parser.cpp.o"
+  "CMakeFiles/sdsp_loopir.dir/Parser.cpp.o.d"
+  "CMakeFiles/sdsp_loopir.dir/Sema.cpp.o"
+  "CMakeFiles/sdsp_loopir.dir/Sema.cpp.o.d"
+  "libsdsp_loopir.a"
+  "libsdsp_loopir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdsp_loopir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/petri/BehaviorGraph.cpp" "src/petri/CMakeFiles/sdsp_petri.dir/BehaviorGraph.cpp.o" "gcc" "src/petri/CMakeFiles/sdsp_petri.dir/BehaviorGraph.cpp.o.d"
+  "/root/repo/src/petri/CycleRatio.cpp" "src/petri/CMakeFiles/sdsp_petri.dir/CycleRatio.cpp.o" "gcc" "src/petri/CMakeFiles/sdsp_petri.dir/CycleRatio.cpp.o.d"
+  "/root/repo/src/petri/EarliestFiring.cpp" "src/petri/CMakeFiles/sdsp_petri.dir/EarliestFiring.cpp.o" "gcc" "src/petri/CMakeFiles/sdsp_petri.dir/EarliestFiring.cpp.o.d"
+  "/root/repo/src/petri/Invariants.cpp" "src/petri/CMakeFiles/sdsp_petri.dir/Invariants.cpp.o" "gcc" "src/petri/CMakeFiles/sdsp_petri.dir/Invariants.cpp.o.d"
+  "/root/repo/src/petri/MarkedGraph.cpp" "src/petri/CMakeFiles/sdsp_petri.dir/MarkedGraph.cpp.o" "gcc" "src/petri/CMakeFiles/sdsp_petri.dir/MarkedGraph.cpp.o.d"
+  "/root/repo/src/petri/Marking.cpp" "src/petri/CMakeFiles/sdsp_petri.dir/Marking.cpp.o" "gcc" "src/petri/CMakeFiles/sdsp_petri.dir/Marking.cpp.o.d"
+  "/root/repo/src/petri/PetriNet.cpp" "src/petri/CMakeFiles/sdsp_petri.dir/PetriNet.cpp.o" "gcc" "src/petri/CMakeFiles/sdsp_petri.dir/PetriNet.cpp.o.d"
+  "/root/repo/src/petri/ReachabilityGraph.cpp" "src/petri/CMakeFiles/sdsp_petri.dir/ReachabilityGraph.cpp.o" "gcc" "src/petri/CMakeFiles/sdsp_petri.dir/ReachabilityGraph.cpp.o.d"
+  "/root/repo/src/petri/SimpleCycles.cpp" "src/petri/CMakeFiles/sdsp_petri.dir/SimpleCycles.cpp.o" "gcc" "src/petri/CMakeFiles/sdsp_petri.dir/SimpleCycles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

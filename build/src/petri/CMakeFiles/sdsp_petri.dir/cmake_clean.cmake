@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdsp_petri.dir/BehaviorGraph.cpp.o"
+  "CMakeFiles/sdsp_petri.dir/BehaviorGraph.cpp.o.d"
+  "CMakeFiles/sdsp_petri.dir/CycleRatio.cpp.o"
+  "CMakeFiles/sdsp_petri.dir/CycleRatio.cpp.o.d"
+  "CMakeFiles/sdsp_petri.dir/EarliestFiring.cpp.o"
+  "CMakeFiles/sdsp_petri.dir/EarliestFiring.cpp.o.d"
+  "CMakeFiles/sdsp_petri.dir/Invariants.cpp.o"
+  "CMakeFiles/sdsp_petri.dir/Invariants.cpp.o.d"
+  "CMakeFiles/sdsp_petri.dir/MarkedGraph.cpp.o"
+  "CMakeFiles/sdsp_petri.dir/MarkedGraph.cpp.o.d"
+  "CMakeFiles/sdsp_petri.dir/Marking.cpp.o"
+  "CMakeFiles/sdsp_petri.dir/Marking.cpp.o.d"
+  "CMakeFiles/sdsp_petri.dir/PetriNet.cpp.o"
+  "CMakeFiles/sdsp_petri.dir/PetriNet.cpp.o.d"
+  "CMakeFiles/sdsp_petri.dir/ReachabilityGraph.cpp.o"
+  "CMakeFiles/sdsp_petri.dir/ReachabilityGraph.cpp.o.d"
+  "CMakeFiles/sdsp_petri.dir/SimpleCycles.cpp.o"
+  "CMakeFiles/sdsp_petri.dir/SimpleCycles.cpp.o.d"
+  "libsdsp_petri.a"
+  "libsdsp_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdsp_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/AikenNicolau.cpp" "src/sched/CMakeFiles/sdsp_sched.dir/AikenNicolau.cpp.o" "gcc" "src/sched/CMakeFiles/sdsp_sched.dir/AikenNicolau.cpp.o.d"
+  "/root/repo/src/sched/DependenceGraph.cpp" "src/sched/CMakeFiles/sdsp_sched.dir/DependenceGraph.cpp.o" "gcc" "src/sched/CMakeFiles/sdsp_sched.dir/DependenceGraph.cpp.o.d"
+  "/root/repo/src/sched/ListSchedule.cpp" "src/sched/CMakeFiles/sdsp_sched.dir/ListSchedule.cpp.o" "gcc" "src/sched/CMakeFiles/sdsp_sched.dir/ListSchedule.cpp.o.d"
+  "/root/repo/src/sched/ModuloSchedule.cpp" "src/sched/CMakeFiles/sdsp_sched.dir/ModuloSchedule.cpp.o" "gcc" "src/sched/CMakeFiles/sdsp_sched.dir/ModuloSchedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/sdsp_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/sdsp_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdsp_sched.dir/AikenNicolau.cpp.o"
+  "CMakeFiles/sdsp_sched.dir/AikenNicolau.cpp.o.d"
+  "CMakeFiles/sdsp_sched.dir/DependenceGraph.cpp.o"
+  "CMakeFiles/sdsp_sched.dir/DependenceGraph.cpp.o.d"
+  "CMakeFiles/sdsp_sched.dir/ListSchedule.cpp.o"
+  "CMakeFiles/sdsp_sched.dir/ListSchedule.cpp.o.d"
+  "CMakeFiles/sdsp_sched.dir/ModuloSchedule.cpp.o"
+  "CMakeFiles/sdsp_sched.dir/ModuloSchedule.cpp.o.d"
+  "libsdsp_sched.a"
+  "libsdsp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdsp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdsp_support.dir/Dot.cpp.o"
+  "CMakeFiles/sdsp_support.dir/Dot.cpp.o.d"
+  "CMakeFiles/sdsp_support.dir/Rational.cpp.o"
+  "CMakeFiles/sdsp_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/sdsp_support.dir/TextTable.cpp.o"
+  "CMakeFiles/sdsp_support.dir/TextTable.cpp.o.d"
+  "libsdsp_support.a"
+  "libsdsp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdsp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BufferSizingTest.cpp" "tests/CMakeFiles/core_test.dir/BufferSizingTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/BufferSizingTest.cpp.o.d"
+  "/root/repo/tests/FrustumTest.cpp" "tests/CMakeFiles/core_test.dir/FrustumTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/FrustumTest.cpp.o.d"
+  "/root/repo/tests/MaxPlusTest.cpp" "tests/CMakeFiles/core_test.dir/MaxPlusTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/MaxPlusTest.cpp.o.d"
+  "/root/repo/tests/MultiFuTest.cpp" "tests/CMakeFiles/core_test.dir/MultiFuTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/MultiFuTest.cpp.o.d"
+  "/root/repo/tests/RateTest.cpp" "tests/CMakeFiles/core_test.dir/RateTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/RateTest.cpp.o.d"
+  "/root/repo/tests/ScheduleTest.cpp" "tests/CMakeFiles/core_test.dir/ScheduleTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/ScheduleTest.cpp.o.d"
+  "/root/repo/tests/ScpTest.cpp" "tests/CMakeFiles/core_test.dir/ScpTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/ScpTest.cpp.o.d"
+  "/root/repo/tests/SdspPnTest.cpp" "tests/CMakeFiles/core_test.dir/SdspPnTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/SdspPnTest.cpp.o.d"
+  "/root/repo/tests/SdspTest.cpp" "tests/CMakeFiles/core_test.dir/SdspTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/SdspTest.cpp.o.d"
+  "/root/repo/tests/SteadyStateTest.cpp" "tests/CMakeFiles/core_test.dir/SteadyStateTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/SteadyStateTest.cpp.o.d"
+  "/root/repo/tests/StorageTest.cpp" "tests/CMakeFiles/core_test.dir/StorageTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/StorageTest.cpp.o.d"
+  "/root/repo/tests/TheoryBoundsTest.cpp" "tests/CMakeFiles/core_test.dir/TheoryBoundsTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/TheoryBoundsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/livermore/CMakeFiles/sdsp_livermore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sdsp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/sdsp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopir/CMakeFiles/sdsp_loopir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/sdsp_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/sdsp_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

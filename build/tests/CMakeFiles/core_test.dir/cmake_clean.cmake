@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/BufferSizingTest.cpp.o"
+  "CMakeFiles/core_test.dir/BufferSizingTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/FrustumTest.cpp.o"
+  "CMakeFiles/core_test.dir/FrustumTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/MaxPlusTest.cpp.o"
+  "CMakeFiles/core_test.dir/MaxPlusTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/MultiFuTest.cpp.o"
+  "CMakeFiles/core_test.dir/MultiFuTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/RateTest.cpp.o"
+  "CMakeFiles/core_test.dir/RateTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/ScheduleTest.cpp.o"
+  "CMakeFiles/core_test.dir/ScheduleTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/ScpTest.cpp.o"
+  "CMakeFiles/core_test.dir/ScpTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/SdspPnTest.cpp.o"
+  "CMakeFiles/core_test.dir/SdspPnTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/SdspTest.cpp.o"
+  "CMakeFiles/core_test.dir/SdspTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/SteadyStateTest.cpp.o"
+  "CMakeFiles/core_test.dir/SteadyStateTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/StorageTest.cpp.o"
+  "CMakeFiles/core_test.dir/StorageTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/TheoryBoundsTest.cpp.o"
+  "CMakeFiles/core_test.dir/TheoryBoundsTest.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_test.dir/DataflowGraphTest.cpp.o"
+  "CMakeFiles/dataflow_test.dir/DataflowGraphTest.cpp.o.d"
+  "CMakeFiles/dataflow_test.dir/InterpreterTest.cpp.o"
+  "CMakeFiles/dataflow_test.dir/InterpreterTest.cpp.o.d"
+  "CMakeFiles/dataflow_test.dir/TransformsTest.cpp.o"
+  "CMakeFiles/dataflow_test.dir/TransformsTest.cpp.o.d"
+  "CMakeFiles/dataflow_test.dir/UnrollTest.cpp.o"
+  "CMakeFiles/dataflow_test.dir/UnrollTest.cpp.o.d"
+  "dataflow_test"
+  "dataflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/EdgeCaseTest.cpp.o"
+  "CMakeFiles/integration_test.dir/EdgeCaseTest.cpp.o.d"
+  "CMakeFiles/integration_test.dir/GoldenResultsTest.cpp.o"
+  "CMakeFiles/integration_test.dir/GoldenResultsTest.cpp.o.d"
+  "CMakeFiles/integration_test.dir/IntegrationTest.cpp.o"
+  "CMakeFiles/integration_test.dir/IntegrationTest.cpp.o.d"
+  "CMakeFiles/integration_test.dir/LivermoreTest.cpp.o"
+  "CMakeFiles/integration_test.dir/LivermoreTest.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/FrontendRobustnessTest.cpp" "tests/CMakeFiles/loopir_test.dir/FrontendRobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/loopir_test.dir/FrontendRobustnessTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/loopir_test.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/loopir_test.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/LoweringTest.cpp" "tests/CMakeFiles/loopir_test.dir/LoweringTest.cpp.o" "gcc" "tests/CMakeFiles/loopir_test.dir/LoweringTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/loopir_test.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/loopir_test.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/loopir_test.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/loopir_test.dir/SemaTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/livermore/CMakeFiles/sdsp_livermore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sdsp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/sdsp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopir/CMakeFiles/sdsp_loopir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/sdsp_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/sdsp_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

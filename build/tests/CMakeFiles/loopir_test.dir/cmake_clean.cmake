@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopir_test.dir/FrontendRobustnessTest.cpp.o"
+  "CMakeFiles/loopir_test.dir/FrontendRobustnessTest.cpp.o.d"
+  "CMakeFiles/loopir_test.dir/LexerTest.cpp.o"
+  "CMakeFiles/loopir_test.dir/LexerTest.cpp.o.d"
+  "CMakeFiles/loopir_test.dir/LoweringTest.cpp.o"
+  "CMakeFiles/loopir_test.dir/LoweringTest.cpp.o.d"
+  "CMakeFiles/loopir_test.dir/ParserTest.cpp.o"
+  "CMakeFiles/loopir_test.dir/ParserTest.cpp.o.d"
+  "CMakeFiles/loopir_test.dir/SemaTest.cpp.o"
+  "CMakeFiles/loopir_test.dir/SemaTest.cpp.o.d"
+  "loopir_test"
+  "loopir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

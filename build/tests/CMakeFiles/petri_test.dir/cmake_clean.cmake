@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petri_test.dir/BehaviorGraphTest.cpp.o"
+  "CMakeFiles/petri_test.dir/BehaviorGraphTest.cpp.o.d"
+  "CMakeFiles/petri_test.dir/CycleRatioTest.cpp.o"
+  "CMakeFiles/petri_test.dir/CycleRatioTest.cpp.o.d"
+  "CMakeFiles/petri_test.dir/EarliestFiringTest.cpp.o"
+  "CMakeFiles/petri_test.dir/EarliestFiringTest.cpp.o.d"
+  "CMakeFiles/petri_test.dir/InvariantsTest.cpp.o"
+  "CMakeFiles/petri_test.dir/InvariantsTest.cpp.o.d"
+  "CMakeFiles/petri_test.dir/MarkedGraphTest.cpp.o"
+  "CMakeFiles/petri_test.dir/MarkedGraphTest.cpp.o.d"
+  "CMakeFiles/petri_test.dir/PetriNetTest.cpp.o"
+  "CMakeFiles/petri_test.dir/PetriNetTest.cpp.o.d"
+  "CMakeFiles/petri_test.dir/ReachabilityTest.cpp.o"
+  "CMakeFiles/petri_test.dir/ReachabilityTest.cpp.o.d"
+  "CMakeFiles/petri_test.dir/SimpleCyclesTest.cpp.o"
+  "CMakeFiles/petri_test.dir/SimpleCyclesTest.cpp.o.d"
+  "petri_test"
+  "petri_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/AikenNicolauTest.cpp.o"
+  "CMakeFiles/sched_test.dir/AikenNicolauTest.cpp.o.d"
+  "CMakeFiles/sched_test.dir/DependenceGraphTest.cpp.o"
+  "CMakeFiles/sched_test.dir/DependenceGraphTest.cpp.o.d"
+  "CMakeFiles/sched_test.dir/ListScheduleTest.cpp.o"
+  "CMakeFiles/sched_test.dir/ListScheduleTest.cpp.o.d"
+  "CMakeFiles/sched_test.dir/ModuloScheduleTest.cpp.o"
+  "CMakeFiles/sched_test.dir/ModuloScheduleTest.cpp.o.d"
+  "sched_test"
+  "sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

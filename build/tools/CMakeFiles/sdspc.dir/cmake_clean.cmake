@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdspc.dir/sdspc.cpp.o"
+  "CMakeFiles/sdspc.dir/sdspc.cpp.o.d"
+  "sdspc"
+  "sdspc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdspc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
