@@ -12,6 +12,18 @@
 
 using namespace sdsp;
 
+TimeStep FrustumBudget::resolve(size_t NumTransitions) const {
+  if (MaxSteps != 0)
+    return MaxSteps;
+  // n^3 with saturation; 1024 floor for tiny nets.
+  TimeStep N = NumTransitions;
+  constexpr TimeStep Cap = ~static_cast<TimeStep>(0) / 2;
+  TimeStep Cubed = N;
+  for (int I = 0; I < 2; ++I)
+    Cubed = (N != 0 && Cubed > Cap / N) ? Cap : Cubed * N;
+  return Cubed < 1024 ? 1024 : Cubed;
+}
+
 bool FrustumInfo::hasUniformCount(const std::vector<TransitionId> &Ts) const {
   if (Ts.empty())
     return true;
@@ -23,16 +35,21 @@ bool FrustumInfo::hasUniformCount(const std::vector<TransitionId> &Ts) const {
 }
 
 Rational FrustumInfo::computationRate(TransitionId T) const {
-  assert(length() > 0 && "empty frustum");
+  SDSP_CHECK(length() > 0, "empty frustum");
   return Rational(transitionCount(T), static_cast<int64_t>(length()));
 }
 
-std::optional<FrustumInfo>
-sdsp::detectFrustum(const PetriNet &Net, FiringPolicy *Policy,
-                    TimeStep MaxSteps) {
+Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
+                                                 FiringPolicy *Policy,
+                                                 FrustumBudget Budget) {
+  if (Status S = validateTimedNet(Net); !S)
+    return S;
+  TimeStep MaxSteps = Budget.resolve(Net.numTransitions());
+
   EarliestFiringEngine Engine(Net, Policy);
   std::unordered_map<InstantaneousState, TimeStep> Seen;
   std::vector<StepRecord> Trace;
+  uint64_t TotalFirings = 0;
 
   for (TimeStep Step = 0; Step <= MaxSteps; ++Step) {
     Engine.prepare();
@@ -52,9 +69,43 @@ sdsp::detectFrustum(const PetriNet &Net, FiringPolicy *Policy,
       return Info;
     }
     if (Engine.isQuiescent())
-      return std::nullopt; // Dead net: the state would repeat forever
-                           // without firing anything.
-    Trace.push_back(Engine.fireAndAdvance());
+      return Status::error(
+          ErrorCode::InvalidNet, "frustum",
+          "net is dead: quiescent at t=" + std::to_string(Engine.now()) +
+              " after " + std::to_string(TotalFirings) +
+              " firings (the state would repeat forever without firing "
+              "anything)");
+    StepRecord Rec = Engine.fireAndAdvance();
+    TotalFirings += Rec.Fired.size();
+    Trace.push_back(std::move(Rec));
   }
-  return std::nullopt;
+
+  // Budget exhausted: describe where the search got stuck so the
+  // caller's diagnostic carries partial-trace context.
+  std::string Msg = "no repeated instantaneous state within " +
+                    std::to_string(MaxSteps) + " steps (simulated to t=" +
+                    std::to_string(Engine.now()) + ", " +
+                    std::to_string(TotalFirings) + " firings over " +
+                    std::to_string(Net.numTransitions()) +
+                    " transitions; last step fired:";
+  if (Trace.empty() || Trace.back().Fired.empty()) {
+    Msg += " nothing";
+  } else {
+    for (TransitionId T : Trace.back().Fired) {
+      Msg += " ";
+      Msg += Net.transition(T).Name;
+    }
+  }
+  Msg += ")";
+  return Status::error(ErrorCode::BudgetExceeded, "frustum", Msg);
+}
+
+std::optional<FrustumInfo> sdsp::detectFrustum(const PetriNet &Net,
+                                               FiringPolicy *Policy,
+                                               TimeStep MaxSteps) {
+  Expected<FrustumInfo> E =
+      detectFrustumChecked(Net, Policy, FrustumBudget::steps(MaxSteps));
+  if (!E)
+    return std::nullopt;
+  return std::move(*E);
 }

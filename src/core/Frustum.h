@@ -27,11 +27,33 @@
 
 #include "petri/EarliestFiring.h"
 #include "support/Rational.h"
+#include "support/Status.h"
 
 #include <optional>
 #include <vector>
 
 namespace sdsp {
+
+/// An explicit step budget for the frustum search.  The default (0
+/// steps) resolves to the theory bound: Theorems 4.1.1-4.2.2 guarantee
+/// the periodic regime within O(n^3) time steps when several critical
+/// cycles exist (O(n^4) with one), so a search that runs past n^3 steps
+/// without repeating a state indicates a net outside the model's
+/// assumptions — better reported as BudgetExceeded than looped on
+/// forever.  The empirical fast path ("BD" next to Tables 1 and 2) is
+/// ~2n steps; FrustumInfo::withinEmpiricalBound() reports whether it
+/// held.
+struct FrustumBudget {
+  /// Maximum time steps to simulate; 0 means "use the theory bound".
+  TimeStep MaxSteps = 0;
+
+  static FrustumBudget steps(TimeStep N) { return FrustumBudget{N}; }
+
+  /// The defaulted budget for a net of \p NumTransitions transitions:
+  /// max(1024, n^3), saturating (the 1024 floor absorbs the constants
+  /// the O(n^3) hides on tiny nets).
+  TimeStep resolve(size_t NumTransitions) const;
+};
 
 /// A detected cyclic frustum and the trace leading to it.
 struct FrustumInfo {
@@ -62,11 +84,29 @@ struct FrustumInfo {
   /// "Computation rate": average firing rate of \p T, i.e.
   /// transitionCount / length.
   Rational computationRate(TransitionId T) const;
+
+  /// True if the repeated state appeared within the paper's empirical
+  /// ~2n bound ("BD" in Tables 1 and 2) for a net of \p NumTransitions
+  /// transitions.
+  bool withinEmpiricalBound(size_t NumTransitions) const {
+    return RepeatTime <= 2 * static_cast<TimeStep>(NumTransitions);
+  }
 };
 
 /// Runs \p Net under the earliest firing rule (with optional conflict
-/// policy) until an instantaneous state repeats or \p MaxSteps elapse.
-/// Returns std::nullopt on timeout or if the net dies (quiescence).
+/// policy) until an instantaneous state repeats or the budget runs out.
+/// Requires every execution time >= 1 (validateTimedNet).  Errors:
+///   - InvalidNet       the net is malformed or dies (quiescence);
+///   - BudgetExceeded   no repeated state within the budget, with the
+///                      partial-trace context (steps simulated, firings
+///                      observed, last transitions fired) in the
+///                      message.
+Expected<FrustumInfo> detectFrustumChecked(const PetriNet &Net,
+                                           FiringPolicy *Policy = nullptr,
+                                           FrustumBudget Budget = {});
+
+/// Legacy convenience: detectFrustumChecked with any failure collapsed
+/// to std::nullopt.
 std::optional<FrustumInfo> detectFrustum(const PetriNet &Net,
                                          FiringPolicy *Policy = nullptr,
                                          TimeStep MaxSteps = 1 << 22);

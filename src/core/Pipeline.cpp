@@ -1,0 +1,320 @@
+//===- core/Pipeline.cpp - Guarded end-to-end compilation ------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "core/ScheduleDerivation.h"
+#include "core/StorageOptimizer.h"
+#include "dataflow/Unroll.h"
+#include "dataflow/Validate.h"
+#include "loopir/Lowering.h"
+#include "petri/Invariants.h"
+#include "petri/MarkedGraph.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+using namespace sdsp;
+
+namespace {
+
+Status validateOptions(const PipelineOptions &Opts) {
+  auto Bad = [](const std::string &Msg) {
+    return Status::error(ErrorCode::InvalidInput, "options", Msg);
+  };
+  if (Opts.Capacity < 1)
+    return Bad("buffer capacity must be at least 1");
+  if (Opts.Capacity > MaxBufferCapacity)
+    return Bad("buffer capacity " + std::to_string(Opts.Capacity) +
+               " out of range [1, " + std::to_string(MaxBufferCapacity) +
+               "]");
+  if (Opts.Unroll < 1 || Opts.Unroll > MaxUnrollFactor)
+    return Bad("unroll factor " + std::to_string(Opts.Unroll) +
+               " out of range [1, " + std::to_string(MaxUnrollFactor) + "]");
+  if (Opts.ValidateIterations < 1)
+    return Bad("schedule validation needs at least one iteration");
+  // The SCP stage validates ScpDepth/Pipelines itself (they carry
+  // resource semantics: a zero-stage pipeline is ResourceConflict, not
+  // a range typo).
+  return Status::ok();
+}
+
+/// Runs the optional verify pass and seals the result.
+Expected<CompiledLoop> finish(CompiledLoop CL, const PipelineOptions &Opts) {
+  if (Opts.Verify) {
+    if (Status St = verifyCompiledLoop(CL, Opts); !St)
+      return St;
+    CL.Verified = true;
+  }
+  return CL;
+}
+
+Expected<CompiledLoop> runFromValidatedGraph(DataflowGraph G,
+                                             const PipelineOptions &Opts) {
+  if (Status St = validateOptions(Opts); !St)
+    return St;
+
+  CompiledLoop CL;
+  CL.Graph = std::move(G);
+
+  // Frontend stage tail: optimize + unroll on the dataflow graph.
+  if (Opts.Optimize)
+    CL.Graph = optimize(CL.Graph, CL.OptStats);
+  if (Opts.Unroll > 1) {
+    Expected<DataflowGraph> U = unrollLoopChecked(CL.Graph, Opts.Unroll);
+    if (!U)
+      return U.status();
+    CL.Graph = std::move(*U);
+  }
+  if (Opts.StopAfter == PipelineStage::Frontend)
+    return finish(std::move(CL), Opts);
+
+  // Storage stage: acknowledgement arcs, optionally minimized.
+  CL.S = Sdsp::standard(CL.Graph, Opts.Capacity);
+  if (Opts.OptimizeStorage) {
+    Expected<StorageOptResult> R = minimizeStorageChecked(*CL.S);
+    if (!R)
+      return R.status();
+    CL.Storage =
+        StorageOptSummary{R->StorageBefore, R->StorageAfter, R->OptimalRate};
+    CL.S = std::move(R->Optimized);
+  }
+  if (Opts.StopAfter == PipelineStage::Storage)
+    return finish(std::move(CL), Opts);
+
+  // Petri stage: SDSP-PN translation + analytic rate.
+  Expected<SdspPn> Pn = buildSdspPnChecked(*CL.S);
+  if (!Pn)
+    return Pn.status();
+  CL.Pn = std::move(*Pn);
+  if (CL.Pn->Net.numTransitions() == 0)
+    return Status::error(ErrorCode::InvalidNet, "petri",
+                         "loop body has no compute operations to schedule");
+  CL.Rate = analyzeRate(*CL.Pn);
+  if (Opts.StopAfter == PipelineStage::Petri)
+    return finish(std::move(CL), Opts);
+
+  // Frustum stage: earliest-firing search on the machine model, under
+  // an explicit budget (0 = the Thm 4.1.1-4.2.2 bound).
+  FrustumBudget Budget = FrustumBudget::steps(Opts.FrustumBudgetSteps);
+  if (Opts.ScpDepth > 0) {
+    Expected<ScpPn> Scp =
+        buildScpPnChecked(*CL.Pn, Opts.ScpDepth, Opts.Pipelines);
+    if (!Scp)
+      return Scp.status();
+    CL.Scp = std::move(*Scp);
+    CL.Policy = CL.Scp->makeFifoPolicy();
+    Expected<FrustumInfo> F =
+        detectFrustumChecked(CL.Scp->Net, CL.Policy.get(), Budget);
+    if (!F)
+      return F.status();
+    CL.Frustum = std::move(*F);
+  } else {
+    Expected<FrustumInfo> F =
+        detectFrustumChecked(CL.Pn->Net, nullptr, Budget);
+    if (!F)
+      return F.status();
+    CL.Frustum = std::move(*F);
+  }
+  CL.FrustumWithinEmpiricalBound =
+      CL.Frustum->withinEmpiricalBound(CL.machineNet().numTransitions());
+  // The SCP model's product is its frustum pattern (Table 2); closed-
+  // form schedules are derived for the ideal machine only.
+  if (Opts.StopAfter == PipelineStage::Frustum || Opts.ScpDepth > 0)
+    return finish(std::move(CL), Opts);
+
+  // Schedule stage: frustum -> software pipeline, then independent
+  // replay validation.
+  Expected<SoftwarePipelineSchedule> Sched =
+      deriveScheduleChecked(*CL.Pn, *CL.Frustum);
+  if (!Sched)
+    return Sched.status();
+  CL.Schedule = std::move(*Sched);
+  std::string Err;
+  if (!validateSchedule(*CL.S, *CL.Pn, *CL.Schedule, Opts.ValidateIterations,
+                        &Err))
+    return Status::error(ErrorCode::InternalInvariant, "schedule",
+                         "derived schedule failed validation: " + Err);
+  return finish(std::move(CL), Opts);
+}
+
+} // namespace
+
+Expected<CompiledLoop> sdsp::runPipeline(const std::string &Source,
+                                         const PipelineOptions &Opts,
+                                         DiagnosticEngine *Diags) {
+  DiagnosticEngine Local;
+  DiagnosticEngine &D = Diags ? *Diags : Local;
+  std::optional<DataflowGraph> G = compileLoop(Source, D);
+  if (!G) {
+    std::ostringstream OS;
+    bool First = true;
+    for (const Diagnostic &Diag : D.diagnostics()) {
+      if (!First)
+        OS << "; ";
+      First = false;
+      OS << Diag.Loc.Line << ":" << Diag.Loc.Col << ": " << Diag.Message;
+    }
+    if (First)
+      OS << "frontend rejected the source";
+    return Status::error(ErrorCode::InvalidInput, "frontend", OS.str());
+  }
+  return runFromValidatedGraph(std::move(*G), Opts);
+}
+
+Expected<CompiledLoop> sdsp::runPipeline(DataflowGraph G,
+                                         const PipelineOptions &Opts) {
+  // Graphs arriving here bypassed the frontend; re-establish
+  // well-formedness before trusting them.
+  if (Status St = validationStatus(G, "dataflow"); !St)
+    return St;
+  return runFromValidatedGraph(std::move(G), Opts);
+}
+
+Status sdsp::verifyCompiledLoop(const CompiledLoop &CL,
+                                const PipelineOptions &Opts) {
+  auto Fail = [](const std::string &Msg) {
+    return Status::error(ErrorCode::InternalInvariant, "verify", Msg);
+  };
+
+  if (!CL.Pn)
+    return Status::ok(); // Nothing net-level to check before Petri.
+  const PetriNet &Net = CL.Pn->Net;
+
+  // Structure: Section 3.2 claims the translation yields a live marked
+  // graph; marked graphs are structurally persistent and consistent
+  // (all-ones T-invariant, Thm A.5.3).
+  if (!isMarkedGraph(Net))
+    return Fail("SDSP-PN is not a marked graph");
+  if (!isLiveMarkedGraph(Net))
+    return Fail("SDSP-PN initial marking is not live "
+                "(some simple cycle is token-free)");
+  if (!isStructurallyPersistent(Net))
+    return Fail("SDSP-PN is not structurally persistent");
+  if (!hasUniformTInvariant(Net))
+    return Fail("all-ones firing vector is not a T-invariant "
+                "(the net is not consistent)");
+
+  // Safeness (Thm A.5.2) is promised for one-slot buffers; feedback
+  // windows deeper than one iteration legitimately hold several tokens,
+  // so only check when no place starts with more than one.
+  if (Opts.Capacity == 1) {
+    bool SingleTokens = true;
+    for (PlaceId P : Net.placeIds())
+      if (Net.place(P).InitialTokens > 1) {
+        SingleTokens = false;
+        break;
+      }
+    if (SingleTokens && !isSafeMarkedGraph(Net))
+      return Fail("capacity-1 SDSP-PN is not safe");
+  }
+
+  if (CL.Frustum && CL.Rate) {
+    const FrustumInfo &F = *CL.Frustum;
+    if (CL.Scp) {
+      // SCP machine.  Token balance over one frustum period forces
+      // uniform firing counts within each marked-graph-connected
+      // component; the run place couples components only through the
+      // shared issue slot, so independent components (e.g. unrolled
+      // copies of a recurrence-free body) may legitimately round-robin
+      // unevenly within a single period.
+      size_t N = CL.Scp->numSdspTransitions();
+      std::vector<size_t> Comp(N);
+      for (size_t I = 0; I < N; ++I)
+        Comp[I] = I;
+      std::function<size_t(size_t)> Find = [&](size_t I) {
+        while (Comp[I] != I)
+          I = Comp[I] = Comp[Comp[I]];
+        return I;
+      };
+      for (PlaceId P : Net.placeIds()) {
+        const PetriNet::Place &Pl = Net.place(P);
+        // SDSP-PN places have exactly one producer and one consumer.
+        Comp[Find(Pl.Producers.front().index())] =
+            Find(Pl.Consumers.front().index());
+      }
+      bool SingleComponent = true;
+      std::vector<int64_t> ComponentCount(N, -1);
+      uint64_t TotalFirings = 0;
+      for (size_t I = 0; I < N; ++I) {
+        uint32_t C = F.transitionCount(CL.Scp->SdspTransitions[I]);
+        TotalFirings += C;
+        size_t Root = Find(I);
+        if (Root != Find(0))
+          SingleComponent = false;
+        if (ComponentCount[Root] < 0)
+          ComponentCount[Root] = C;
+        else if (ComponentCount[Root] != static_cast<int64_t>(C))
+          return Fail("SCP frustum has non-uniform firing counts within "
+                      "one connected component");
+      }
+      // The run place can issue at most Pipelines instructions per time
+      // step, bounding the aggregate throughput.
+      if (TotalFirings >
+          static_cast<uint64_t>(Opts.Pipelines) * F.length())
+        return Fail("SCP frustum issues " + std::to_string(TotalFirings) +
+                    " instructions in " + std::to_string(F.length()) +
+                    " cycles, above the run-place capacity");
+      if (SingleComponent && N > 0) {
+        // Thm 5.2.2 (stated for one coupled net): the achieved rate
+        // respects both the data bound alpha* and the issue bound
+        // pipelines/n.
+        Rational ScpRate =
+            F.computationRate(CL.Scp->SdspTransitions.front());
+        if (CL.Rate->OptimalRate < ScpRate)
+          return Fail("SCP frustum rate " + ScpRate.str() +
+                      " exceeds the analytic optimal rate " +
+                      CL.Rate->OptimalRate.str());
+        Rational IssueBound(static_cast<int64_t>(Opts.Pipelines),
+                            static_cast<int64_t>(N));
+        if (IssueBound < ScpRate)
+          return Fail("SCP frustum rate " + ScpRate.str() +
+                      " violates the Thm 5.2.2 issue bound " +
+                      IssueBound.str());
+      }
+    } else {
+      // Ideal machine: the frustum-derived rate must EQUAL the analytic
+      // critical-cycle rate gamma = 1/alpha* (Thm 4.1.1 optimality).
+      if (!F.hasUniformCount(Net.transitionIds()))
+        return Fail("frustum has non-uniform firing counts on a marked "
+                    "graph (contradicts Thm A.5.3)");
+      Rational FrustumRate = F.computationRate(Net.transitionIds().front());
+      if (FrustumRate != CL.Rate->OptimalRate)
+        return Fail("frustum-derived rate " + FrustumRate.str() +
+                    " != analytic critical-cycle rate " +
+                    CL.Rate->OptimalRate.str());
+    }
+  }
+
+  // Replay the derived schedule further than the pipeline itself did.
+  if (CL.Schedule && CL.S) {
+    std::string Err;
+    uint64_t Iters = std::max<uint64_t>(2 * Opts.ValidateIterations, 16);
+    if (!validateSchedule(*CL.S, *CL.Pn, *CL.Schedule, Iters, &Err))
+      return Fail("schedule revalidation failed: " + Err);
+  }
+
+  return Status::ok();
+}
+
+int sdsp::exitCodeFor(const Status &S) {
+  switch (S.code()) {
+  case ErrorCode::Ok:
+    return 0;
+  case ErrorCode::InvalidInput:
+  case ErrorCode::InvalidGraph:
+  case ErrorCode::InvalidNet:
+    return 1;
+  case ErrorCode::BudgetExceeded:
+  case ErrorCode::ResourceConflict:
+    return 2;
+  case ErrorCode::InternalInvariant:
+    return 3;
+  }
+  SDSP_UNREACHABLE("unknown error code");
+}

@@ -11,16 +11,30 @@
 
 using namespace sdsp;
 
-SoftwarePipelineSchedule sdsp::deriveSchedule(const SdspPn &Pn,
-                                              const FrustumInfo &Frustum) {
+Expected<SoftwarePipelineSchedule>
+sdsp::deriveScheduleChecked(const SdspPn &Pn, const FrustumInfo &Frustum) {
   size_t N = Pn.Net.numTransitions();
+  if (Frustum.FiringCounts.size() != N)
+    return Status::error(ErrorCode::InvalidInput, "schedule",
+                         "frustum was detected on a different net (" +
+                             std::to_string(Frustum.FiringCounts.size()) +
+                             " transitions vs " + std::to_string(N) + ")");
   uint32_t K = 0;
   for (TransitionId T : Pn.Net.transitionIds()) {
     uint32_t C = Frustum.transitionCount(T);
-    assert(C >= 1 && "transition absent from the frustum");
+    if (C < 1)
+      return Status::error(ErrorCode::InvalidNet, "schedule",
+                           "transition " + Pn.Net.transition(T).Name +
+                               " never fires in the frustum");
     if (K == 0)
       K = C;
-    assert(C == K && "non-uniform transition counts; not a marked graph?");
+    if (C != K)
+      return Status::error(ErrorCode::InvalidNet, "schedule",
+                           "non-uniform firing counts in the frustum (" +
+                               Pn.Net.transition(T).Name + " fires " +
+                               std::to_string(C) + "x vs " +
+                               std::to_string(K) +
+                               "x); net is not a marked graph?");
   }
 
   SoftwarePipelineSchedule Sched(N, Frustum.StartTime, Frustum.length(), K);
@@ -36,6 +50,11 @@ SoftwarePipelineSchedule sdsp::deriveSchedule(const SdspPn &Pn,
     }
   }
   return Sched;
+}
+
+SoftwarePipelineSchedule sdsp::deriveSchedule(const SdspPn &Pn,
+                                              const FrustumInfo &Frustum) {
+  return SDSP_EXPECT_OK(deriveScheduleChecked(Pn, Frustum));
 }
 
 bool sdsp::validateSchedule(const Sdsp &S, const SdspPn &Pn,

@@ -29,7 +29,16 @@
 namespace sdsp {
 
 /// Derives the software-pipeline schedule encoded by \p Frustum over
-/// \p Pn.  Every transition must fire at least once in the frustum.
+/// \p Pn, validating instead of asserting: a transition absent from
+/// the frustum or non-uniform firing counts (impossible for a live
+/// marked graph by Thm A.5.3, so indicative of a net outside the
+/// model) are returned as InvalidNet.
+Expected<SoftwarePipelineSchedule>
+deriveScheduleChecked(const SdspPn &Pn, const FrustumInfo &Frustum);
+
+/// Legacy convenience: deriveScheduleChecked that aborts (in every
+/// build type) instead of returning the error.  Every transition must
+/// fire at least once in the frustum.
 SoftwarePipelineSchedule deriveSchedule(const SdspPn &Pn,
                                         const FrustumInfo &Frustum);
 

@@ -21,10 +21,32 @@ std::unique_ptr<LifoPolicy> ScpPn::makeLifoPolicy() const {
                                       std::vector<PlaceId>{RunPlace});
 }
 
+Expected<ScpPn> sdsp::buildScpPnChecked(const SdspPn &Pn,
+                                        uint32_t PipelineDepth,
+                                        uint32_t NumPipelines) {
+  if (PipelineDepth < 1)
+    return Status::error(ErrorCode::ResourceConflict, "scp",
+                         "pipeline needs at least one stage");
+  if (NumPipelines < 1)
+    return Status::error(ErrorCode::ResourceConflict, "scp",
+                         "machine needs at least one pipeline");
+  if (PipelineDepth > MaxPipelineDepth)
+    return Status::error(ErrorCode::InvalidInput, "scp",
+                         "pipeline depth " + std::to_string(PipelineDepth) +
+                             " out of range [1, " +
+                             std::to_string(MaxPipelineDepth) + "]");
+  if (NumPipelines > MaxNumPipelines)
+    return Status::error(ErrorCode::InvalidInput, "scp",
+                         "pipeline count " + std::to_string(NumPipelines) +
+                             " out of range [1, " +
+                             std::to_string(MaxNumPipelines) + "]");
+  return buildScpPn(Pn, PipelineDepth, NumPipelines);
+}
+
 ScpPn sdsp::buildScpPn(const SdspPn &Pn, uint32_t PipelineDepth,
                        uint32_t NumPipelines) {
-  assert(PipelineDepth >= 1 && "pipeline needs at least one stage");
-  assert(NumPipelines >= 1 && "machine needs at least one pipeline");
+  SDSP_CHECK(PipelineDepth >= 1, "pipeline needs at least one stage");
+  SDSP_CHECK(NumPipelines >= 1, "machine needs at least one pipeline");
   const PetriNet &Src = Pn.Net;
 
   ScpPn Scp;

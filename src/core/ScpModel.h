@@ -41,6 +41,11 @@
 
 namespace sdsp {
 
+/// Largest accepted pipeline depth / pipeline count; past this the
+/// series expansion is a typo, not a machine.
+inline constexpr uint32_t MaxPipelineDepth = 4096;
+inline constexpr uint32_t MaxNumPipelines = 4096;
+
 /// The unified net plus its bookkeeping.
 struct ScpPn {
   PetriNet Net;
@@ -78,6 +83,13 @@ struct ScpPn {
 /// recovers the unconstrained SDSP-PN behavior.
 ScpPn buildScpPn(const SdspPn &Pn, uint32_t PipelineDepth,
                  uint32_t NumPipelines = 1);
+
+/// buildScpPn with the resource model validated instead of asserted:
+/// a zero-stage pipeline or a zero-pipeline machine cannot issue
+/// anything (ResourceConflict); absurdly deep/wide models are rejected
+/// as InvalidInput.
+Expected<ScpPn> buildScpPnChecked(const SdspPn &Pn, uint32_t PipelineDepth,
+                                  uint32_t NumPipelines = 1);
 
 } // namespace sdsp
 

@@ -7,6 +7,8 @@
 
 #include "core/Sdsp.h"
 
+#include "dataflow/Validate.h"
+
 #include <cassert>
 
 using namespace sdsp;
@@ -85,7 +87,7 @@ bool forwardReaches(const DataflowGraph &G, NodeId From, NodeId To) {
 } // namespace
 
 Sdsp Sdsp::standard(DataflowGraph Graph, uint32_t Capacity) {
-  assert(Capacity >= 1 && "buffers need at least one slot");
+  SDSP_CHECK(Capacity >= 1, "buffers need at least one slot");
   Sdsp S(std::move(Graph));
   for (ArcId A : S.G.arcIds()) {
     if (!S.isInteriorArc(A))
@@ -143,4 +145,48 @@ Sdsp Sdsp::withAcks(DataflowGraph Graph, std::vector<Ack> Acks) {
              "interior arc not covered exactly once");
 #endif
   return S;
+}
+
+Status sdsp::validateSdsp(const Sdsp &S) {
+  const DataflowGraph &G = S.graph();
+  if (Status St = validationStatus(G, "sdsp"); !St)
+    return St;
+  auto Fail = [](std::string Msg) {
+    return Status::error(ErrorCode::InvalidGraph, "sdsp", std::move(Msg));
+  };
+  std::vector<unsigned> Covered(G.numArcs(), 0);
+  for (const Sdsp::Ack &A : S.acks()) {
+    if (A.Path.empty())
+      return Fail("empty acknowledgement path");
+    uint64_t Resident = 0;
+    for (size_t I = 0; I < A.Path.size(); ++I) {
+      if (A.Path[I].index() >= G.numArcs())
+        return Fail("acknowledgement covers a nonexistent arc");
+      const DataflowGraph::Arc &Arc = G.arc(A.Path[I]);
+      if (!S.isInteriorArc(A.Path[I]))
+        return Fail("acknowledgement covers boundary arc " +
+                    G.node(Arc.From).Name + " -> " + G.node(Arc.To).Name);
+      if (Arc.From == Arc.To)
+        return Fail("self-feedback arc " + G.node(Arc.From).Name +
+                    " must not be acknowledged");
+      if (I + 1 < A.Path.size() && Arc.To != G.arc(A.Path[I + 1]).From)
+        return Fail("acknowledgement path is not a head-to-tail chain");
+      Resident += Arc.Distance;
+      ++Covered[A.Path[I].index()];
+    }
+    if (A.Slots + Resident < 1)
+      return Fail("acknowledgement cycle through " +
+                  G.node(G.arc(A.Path.front()).From).Name +
+                  " would be token-free (deadlock)");
+  }
+  for (ArcId A : G.arcIds()) {
+    if (!S.isInteriorArc(A) || G.arc(A).From == G.arc(A).To)
+      continue;
+    if (Covered[A.index()] != 1)
+      return Fail("interior arc " + G.node(G.arc(A).From).Name + " -> " +
+                  G.node(G.arc(A).To).Name + " covered " +
+                  std::to_string(Covered[A.index()]) +
+                  " times (must be exactly once)");
+  }
+  return Status::ok();
 }

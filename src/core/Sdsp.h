@@ -30,6 +30,7 @@
 #define SDSP_CORE_SDSP_H
 
 #include "dataflow/DataflowGraph.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <vector>
@@ -95,6 +96,16 @@ private:
 
   explicit Sdsp(DataflowGraph G) : G(std::move(G)) {}
 };
+
+/// Re-checks the structural invariants of \p S without asserting: the
+/// graph is well formed (InvalidGraph otherwise) and the
+/// acknowledgement structure is consistent — every interior,
+/// non-self-loop data arc covered exactly once by a head-to-tail chain
+/// whose cycle carries at least one token (InvalidGraph otherwise).
+/// Construction establishes these with assert()s; this is the
+/// Release-proof validation the guarded pipeline runs on untrusted
+/// inputs.
+Status validateSdsp(const Sdsp &S);
 
 } // namespace sdsp
 

@@ -7,11 +7,15 @@
 
 #include "core/SdspPn.h"
 
+#include "petri/MarkedGraph.h"
+
 #include <cassert>
 
 using namespace sdsp;
 
-SdspPn sdsp::buildSdspPn(const Sdsp &S) {
+Expected<SdspPn> sdsp::buildSdspPnChecked(const Sdsp &S) {
+  if (Status St = validateSdsp(S); !St)
+    return St;
   const DataflowGraph &G = S.graph();
   SdspPn Pn;
   Pn.NodeToTransition.assign(G.numNodes(), TransitionId::invalid());
@@ -53,6 +57,22 @@ SdspPn sdsp::buildSdspPn(const Sdsp &S) {
     Pn.Net.addArc(P, Pn.NodeToTransition[Head.From.index()]);
   }
 
-  assert(Pn.TransitionToNode.size() == Pn.Net.numTransitions());
+  SDSP_CHECK(Pn.TransitionToNode.size() == Pn.Net.numTransitions(),
+             "transition bookkeeping out of sync");
+  // The translation always yields a marked graph (each place has the
+  // one producer and one consumer wired right above).
+  SDSP_CHECK(isMarkedGraph(Pn.Net), "SDSP-PN is not a marked graph");
+  // Liveness, however, depends on the input's token distribution
+  // (Thm A.5.1): a token-free cycle deadlocks the net, which a
+  // per-ack-validated SDSP can still exhibit globally.
+  if (Pn.Net.numTransitions() > 0 && !isLiveMarkedGraph(Pn.Net))
+    return Status::error(ErrorCode::InvalidNet, "petri",
+                         "initial marking is not live: a dependence/"
+                         "acknowledgement cycle carries no tokens and "
+                         "would deadlock");
   return Pn;
+}
+
+SdspPn sdsp::buildSdspPn(const Sdsp &S) {
+  return SDSP_EXPECT_OK(buildSdspPnChecked(S));
 }

@@ -49,7 +49,16 @@ struct SdspPn {
   size_t numTransitions() const { return Net.numTransitions(); }
 };
 
-/// Translates \p S into its SDSP-PN.
+/// Translates \p S into its SDSP-PN after validating it
+/// (validateSdsp; InvalidGraph on failure) and checks the resulting
+/// initial marking is live (InvalidNet on a token-free cycle — e.g. a
+/// capacity exhausted by a feedback window whose consumer the producer
+/// also feeds forward).  Marked-graph structure is an internal
+/// postcondition (SDSP_CHECK).
+Expected<SdspPn> buildSdspPnChecked(const Sdsp &S);
+
+/// Legacy convenience: buildSdspPnChecked that aborts (in every build
+/// type) instead of returning the error.
 SdspPn buildSdspPn(const Sdsp &S);
 
 } // namespace sdsp

@@ -33,6 +33,27 @@ Rational rateOf(const Sdsp &S) {
 
 } // namespace
 
+Expected<StorageOptResult> sdsp::minimizeStorageChecked(const Sdsp &S) {
+  if (Status St = validateSdsp(S); !St)
+    return St;
+  for (const Sdsp::Ack &A : S.acks()) {
+    if (A.Path.size() != 1)
+      return Status::error(ErrorCode::InvalidGraph, "storage",
+                           "minimizeStorage expects per-arc "
+                           "acknowledgements (an Sdsp::standard input), "
+                           "not already-chained ones");
+    // Section 6 minimizes the capacity-1 allocation; rebuilding a
+    // multi-slot buffer as a one-slot chain would *lower* the rate,
+    // which the restore loop then cannot fix.
+    if (!S.graph().arc(A.Path.front()).isFeedback() && A.Slots != 1)
+      return Status::error(ErrorCode::InvalidInput, "storage",
+                           "storage minimization requires capacity-1 "
+                           "buffers (an arc has " +
+                               std::to_string(A.Slots) + " slots)");
+  }
+  return minimizeStorage(S);
+}
+
 StorageOptResult sdsp::minimizeStorage(const Sdsp &S) {
   const DataflowGraph &G = S.graph();
 
@@ -48,8 +69,8 @@ StorageOptResult sdsp::minimizeStorage(const Sdsp &S) {
 
   // Feedback arcs keep their original acknowledgement structure.
   for (const Sdsp::Ack &A : S.acks()) {
-    assert(A.Path.size() == 1 &&
-           "minimizeStorage expects per-arc acknowledgements");
+    SDSP_CHECK(A.Path.size() == 1,
+               "minimizeStorage expects per-arc acknowledgements");
     if (G.arc(A.Path.front()).isFeedback()) {
       Acks.push_back(A);
       Covered[A.Path.front().index()] = true;
@@ -104,8 +125,8 @@ StorageOptResult sdsp::minimizeStorage(const Sdsp &S) {
           (Longest == Split.size() ||
            Split[I].Path.size() > Split[Longest].Path.size()))
         Longest = I;
-    assert(Longest != Split.size() &&
-           "per-arc acknowledgements cannot be below the optimal rate");
+    SDSP_CHECK(Longest != Split.size(),
+               "per-arc acknowledgements cannot be below the optimal rate");
     std::vector<ArcId> &Path = Split[Longest].Path;
     std::vector<ArcId> Tail(Path.begin() + Path.size() / 2, Path.end());
     Path.resize(Path.size() / 2);

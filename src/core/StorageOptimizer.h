@@ -45,9 +45,14 @@ struct StorageOptResult {
   Rational OptimalRate;
 };
 
-/// Minimizes storage of \p S (which must use per-arc acknowledgements,
-/// i.e. come from Sdsp::standard) without reducing its optimal
-/// computation rate.
+/// Minimizes storage of \p S without reducing its optimal computation
+/// rate, validating instead of asserting: \p S must be structurally
+/// consistent (validateSdsp) and use per-arc acknowledgements, i.e.
+/// come from Sdsp::standard (InvalidGraph otherwise).
+Expected<StorageOptResult> minimizeStorageChecked(const Sdsp &S);
+
+/// Legacy convenience: minimizeStorageChecked that aborts (in every
+/// build type) instead of returning the error.
 StorageOptResult minimizeStorage(const Sdsp &S);
 
 } // namespace sdsp

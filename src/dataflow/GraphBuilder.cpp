@@ -7,12 +7,24 @@
 
 #include "dataflow/GraphBuilder.h"
 
+#include "dataflow/Validate.h"
+
 #include <cassert>
 
 using namespace sdsp;
 
 DataflowGraph GraphBuilder::take() {
-  assert(PendingDelayed == 0 && "unbound delayed value");
+  SDSP_CHECK(PendingDelayed == 0, "unbound delayed value");
+  return std::move(G);
+}
+
+Expected<DataflowGraph> GraphBuilder::takeChecked() {
+  if (PendingDelayed != 0)
+    return Status::error(ErrorCode::InvalidGraph, "dataflow",
+                         std::to_string(PendingDelayed) +
+                             " delayed value(s) never bound to a producer");
+  if (Status S = validationStatus(G, "dataflow"); !S)
+    return S;
   return std::move(G);
 }
 

@@ -24,6 +24,7 @@
 #define SDSP_DATAFLOW_GRAPHBUILDER_H
 
 #include "dataflow/DataflowGraph.h"
+#include "support/Status.h"
 
 #include <utility>
 #include <vector>
@@ -45,6 +46,11 @@ public:
 
   /// Takes the finished graph.  All delayed values must be bound.
   DataflowGraph take();
+
+  /// Takes the finished graph after validating it: unbound delayed
+  /// values and well-formedness problems (dataflow/Validate.h) are
+  /// returned as InvalidGraph instead of asserted.
+  Expected<DataflowGraph> takeChecked();
 
   Value input(const std::string &StreamName);
   Value constant(double V, const std::string &Name = "");

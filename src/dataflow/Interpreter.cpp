@@ -33,9 +33,26 @@ private:
 
 } // namespace
 
-InterpResult sdsp::interpret(const DataflowGraph &G, const StreamMap &Inputs,
-                             size_t Iterations) {
-  assert(isWellFormed(G) && "interpreting a malformed graph");
+Expected<InterpResult> sdsp::interpretChecked(const DataflowGraph &G,
+                                              const StreamMap &Inputs,
+                                              size_t Iterations) {
+  if (Status S = validationStatus(G, "interpret"); !S)
+    return S;
+  for (NodeId N : G.nodeIds()) {
+    const DataflowGraph::Node &Node = G.node(N);
+    if (Node.Kind != OpKind::Input)
+      continue;
+    auto It = Inputs.find(Node.Name);
+    if (It == Inputs.end())
+      return Status::error(ErrorCode::InvalidInput, "interpret",
+                           "missing input stream '" + Node.Name + "'");
+    if (It->second.size() < Iterations)
+      return Status::error(ErrorCode::InvalidInput, "interpret",
+                           "input stream '" + Node.Name + "' has " +
+                               std::to_string(It->second.size()) +
+                               " elements for " +
+                               std::to_string(Iterations) + " iterations");
+  }
 
   uint32_t MaxDistance = 1;
   for (ArcId AI : G.arcIds())
@@ -44,17 +61,6 @@ InterpResult sdsp::interpret(const DataflowGraph &G, const StreamMap &Inputs,
   std::vector<NodeId> Order = G.forwardTopoOrder();
   History Values(G.numNodes(), MaxDistance + 1);
   InterpResult Result;
-
-#ifndef NDEBUG
-  for (NodeId N : G.nodeIds()) {
-    const DataflowGraph::Node &Node = G.node(N);
-    if (Node.Kind != OpKind::Input)
-      continue;
-    auto It = Inputs.find(Node.Name);
-    assert(It != Inputs.end() && "missing input stream");
-    assert(It->second.size() >= Iterations && "input stream too short");
-  }
-#endif
 
   auto ReadOperand = [&](const DataflowGraph::Node &Node, unsigned Port,
                          size_t Iter) -> TokenValue {
@@ -121,4 +127,9 @@ InterpResult sdsp::interpret(const DataflowGraph &G, const StreamMap &Inputs,
     }
   }
   return Result;
+}
+
+InterpResult sdsp::interpret(const DataflowGraph &G, const StreamMap &Inputs,
+                             size_t Iterations) {
+  return SDSP_EXPECT_OK(interpretChecked(G, Inputs, Iterations));
 }

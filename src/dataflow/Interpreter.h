@@ -20,6 +20,7 @@
 #define SDSP_DATAFLOW_INTERPRETER_H
 
 #include "dataflow/DataflowGraph.h"
+#include "support/Status.h"
 
 #include <map>
 #include <string>
@@ -42,9 +43,16 @@ struct InterpResult {
   std::map<std::string, std::vector<bool>> DummyMask;
 };
 
-/// Runs \p G for \p Iterations iterations.  Every Input node's stream
-/// must be present in \p Inputs with at least \p Iterations elements.
-/// \p G must be well formed (dataflow/Validate.h).
+/// Runs \p G for \p Iterations iterations after validating the inputs:
+/// \p G must be well formed (InvalidGraph otherwise) and every Input
+/// node's stream present in \p Inputs with at least \p Iterations
+/// elements (InvalidInput otherwise).
+Expected<InterpResult> interpretChecked(const DataflowGraph &G,
+                                        const StreamMap &Inputs,
+                                        size_t Iterations);
+
+/// Legacy convenience: interpretChecked that aborts (in every build
+/// type) instead of returning the error.
 InterpResult interpret(const DataflowGraph &G, const StreamMap &Inputs,
                        size_t Iterations);
 

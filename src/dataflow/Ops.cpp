@@ -7,7 +7,7 @@
 
 #include "dataflow/Ops.h"
 
-#include <cassert>
+#include "support/Status.h"
 
 using namespace sdsp;
 
@@ -38,8 +38,7 @@ unsigned sdsp::opArity(OpKind Kind) {
   case OpKind::Merge:
     return 3;
   }
-  assert(false && "unknown op kind");
-  return 0;
+  SDSP_UNREACHABLE("unknown op kind");
 }
 
 unsigned sdsp::opResults(OpKind Kind) {
@@ -140,7 +139,6 @@ TokenValue sdsp::evalSimpleOp(OpKind Kind, const TokenValue *Ops) {
   case OpKind::Or:
     return B(Ops[0].Num != 0.0 || Ops[1].Num != 0.0);
   default:
-    assert(false && "evalSimpleOp on a control or nullary operator");
-    return TokenValue::dummy();
+    SDSP_UNREACHABLE("evalSimpleOp on a control or nullary operator");
   }
 }

@@ -13,9 +13,15 @@
 
 using namespace sdsp;
 
-DataflowGraph sdsp::unrollLoop(const DataflowGraph &G, uint32_t Factor) {
-  assert(Factor >= 1 && "unroll factor must be positive");
-  assert(isWellFormed(G) && "unrolling a malformed graph");
+Expected<DataflowGraph> sdsp::unrollLoopChecked(const DataflowGraph &G,
+                                                uint32_t Factor) {
+  if (Factor < 1 || Factor > MaxUnrollFactor)
+    return Status::error(ErrorCode::InvalidInput, "dataflow",
+                         "unroll factor " + std::to_string(Factor) +
+                             " out of range [1, " +
+                             std::to_string(MaxUnrollFactor) + "]");
+  if (Status S = validationStatus(G, "dataflow"); !S)
+    return S;
 
   DataflowGraph Out;
   // Clone[j][n] = copy j of original node n.
@@ -69,8 +75,12 @@ DataflowGraph sdsp::unrollLoop(const DataflowGraph &G, uint32_t Factor) {
     }
   }
 
-  assert(isWellFormed(Out) && "unrolling broke well-formedness");
+  SDSP_CHECK(isWellFormed(Out), "unrolling broke well-formedness");
   return Out;
+}
+
+DataflowGraph sdsp::unrollLoop(const DataflowGraph &G, uint32_t Factor) {
+  return SDSP_EXPECT_OK(unrollLoopChecked(G, Factor));
 }
 
 StreamMap sdsp::stridedStreams(const StreamMap &Inputs, uint32_t Factor,

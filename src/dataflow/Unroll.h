@@ -30,11 +30,22 @@
 
 #include "dataflow/DataflowGraph.h"
 #include "dataflow/Interpreter.h"
+#include "support/Status.h"
 
 namespace sdsp {
 
-/// Unrolls \p G by \p Factor (>= 1; 1 returns a copy).  \p G must be
-/// well formed.
+/// Largest accepted unroll factor: unrolling multiplies the body size,
+/// and anything past this bound is a typo, not a schedule.
+inline constexpr uint32_t MaxUnrollFactor = 1024;
+
+/// Unrolls \p G by \p Factor after validating the inputs: Factor must
+/// be in [1, MaxUnrollFactor] (InvalidInput) and \p G well formed
+/// (InvalidGraph).
+Expected<DataflowGraph> unrollLoopChecked(const DataflowGraph &G,
+                                          uint32_t Factor);
+
+/// Legacy convenience: unrollLoopChecked that aborts (in every build
+/// type) instead of returning the error.  \p G must be well formed.
 DataflowGraph unrollLoop(const DataflowGraph &G, uint32_t Factor);
 
 /// Splits original input streams into the strided per-copy streams the

@@ -75,3 +75,17 @@ std::vector<ValidationError> sdsp::validate(const DataflowGraph &G) {
 }
 
 bool sdsp::isWellFormed(const DataflowGraph &G) { return validate(G).empty(); }
+
+Status sdsp::validationStatus(const DataflowGraph &G,
+                              const std::string &Stage) {
+  std::vector<ValidationError> Errors = validate(G);
+  if (Errors.empty())
+    return Status::ok();
+  std::string Msg = "malformed dataflow graph: ";
+  for (size_t I = 0; I < Errors.size(); ++I) {
+    if (I > 0)
+      Msg += "; ";
+    Msg += Errors[I].Message;
+  }
+  return Status::error(ErrorCode::InvalidGraph, Stage, std::move(Msg));
+}

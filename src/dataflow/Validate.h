@@ -18,6 +18,7 @@
 #define SDSP_DATAFLOW_VALIDATE_H
 
 #include "dataflow/DataflowGraph.h"
+#include "support/Status.h"
 
 #include <string>
 #include <vector>
@@ -34,6 +35,10 @@ std::vector<ValidationError> validate(const DataflowGraph &G);
 
 /// Convenience: true iff validate(G) is empty.
 bool isWellFormed(const DataflowGraph &G);
+
+/// Renders validate(G) as a Status: ok when well formed, otherwise
+/// InvalidGraph in \p Stage with the problems joined into the message.
+Status validationStatus(const DataflowGraph &G, const std::string &Stage);
 
 } // namespace sdsp
 

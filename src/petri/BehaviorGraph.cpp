@@ -8,8 +8,8 @@
 #include "petri/BehaviorGraph.h"
 
 #include "support/Dot.h"
+#include "support/Status.h"
 
-#include <cassert>
 #include <ostream>
 
 using namespace sdsp;
@@ -34,7 +34,9 @@ void BehaviorGraph::recordStep(const StepRecord &Rec) {
   // Completions first, mirroring the engine's phase order.
   for (TransitionId T : Rec.Completed) {
     uint32_t F = InFlight[T.index()];
-    assert(F != NoFiring && "completion without a matching firing");
+    // Steps fed out of order (or from a different net) would corrupt
+    // the token queues silently under NDEBUG; fail loudly instead.
+    SDSP_CHECK(F != NoFiring, "completion without a matching firing");
     InFlight[T.index()] = NoFiring;
     for (PlaceId P : Net.transition(T).OutputPlaces)
       addToken(P, Rec.Time, F);
@@ -48,13 +50,13 @@ void BehaviorGraph::recordStep(const StepRecord &Rec) {
     Node.Occurrence = OccurrenceCount[T.index()]++;
     for (PlaceId P : Net.transition(T).InputPlaces) {
       auto &Queue = Present[P.index()];
-      assert(!Queue.empty() && "firing consumed from an empty place");
+      SDSP_CHECK(!Queue.empty(), "firing consumed from an empty place");
       uint32_t TokenId = Queue.front();
       Queue.pop_front();
       Tokens[TokenId].Consumer = F;
       Node.Consumed.push_back(TokenId);
     }
-    assert(InFlight[T.index()] == NoFiring && "reentrant firing recorded");
+    SDSP_CHECK(InFlight[T.index()] == NoFiring, "reentrant firing recorded");
     InFlight[T.index()] = F;
     Firings.push_back(std::move(Node));
   }

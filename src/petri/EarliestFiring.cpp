@@ -203,15 +203,27 @@ std::vector<uint32_t> LifoPolicy::stateFingerprint() const { return Stack; }
 /// Sentinel finish time for idle transitions.
 static constexpr TimeStep IdleFinish = ~static_cast<TimeStep>(0);
 
+Status sdsp::validateTimedNet(const PetriNet &Net) {
+  if (Net.numTransitions() == 0)
+    return Status::error(ErrorCode::InvalidNet, "petri",
+                         "net has no transitions");
+  for (TransitionId T : Net.transitionIds())
+    if (Net.transition(T).ExecTime < 1)
+      return Status::error(ErrorCode::InvalidNet, "petri",
+                           "transition " + Net.transition(T).Name +
+                               " has execution time 0 (must be >= 1)");
+  return Status::ok();
+}
+
 EarliestFiringEngine::EarliestFiringEngine(const PetriNet &Net,
                                            FiringPolicy *Policy)
     : Net(Net), Policy(Policy), M(Net.initialMarking()),
       FinishTime(Net.numTransitions(), IdleFinish) {
-#ifndef NDEBUG
+  // Callers validate inputs with validateTimedNet(); reaching the
+  // engine with a zero execution time is a bug in this codebase.
   for (TransitionId T : Net.transitionIds())
-    assert(Net.transition(T).ExecTime >= 1 &&
-           "engine requires execution times >= 1");
-#endif
+    SDSP_CHECK(Net.transition(T).ExecTime >= 1,
+               "engine requires execution times >= 1");
   if (Policy)
     Policy->reset();
 }

@@ -37,6 +37,7 @@
 #define SDSP_PETRI_EARLIESTFIRING_H
 
 #include "petri/PetriNet.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <deque>
@@ -47,6 +48,12 @@ namespace sdsp {
 
 /// Discrete simulation time.
 using TimeStep = uint64_t;
+
+/// Checks that \p Net satisfies the timed-execution preconditions:
+/// at least one transition, and every execution time >= 1 (a zero
+/// execution time breaks the non-reentrancy bookkeeping of Assumption
+/// A.6.1).  Returns InvalidNet with the offending transition otherwise.
+Status validateTimedNet(const PetriNet &Net);
 
 /// The state of a timed net at an instant: the marking plus the residual
 /// firing time vector R (remaining execution time per busy transition),

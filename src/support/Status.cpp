@@ -1,0 +1,72 @@
+//===- support/Status.cpp - Structured recoverable errors ------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sdsp;
+
+const char *sdsp::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "Ok";
+  case ErrorCode::InvalidInput:
+    return "InvalidInput";
+  case ErrorCode::InvalidGraph:
+    return "InvalidGraph";
+  case ErrorCode::InvalidNet:
+    return "InvalidNet";
+  case ErrorCode::BudgetExceeded:
+    return "BudgetExceeded";
+  case ErrorCode::ResourceConflict:
+    return "ResourceConflict";
+  case ErrorCode::InternalInvariant:
+    return "InternalInvariant";
+  }
+  SDSP_UNREACHABLE("unknown error code");
+}
+
+std::string Status::str() const {
+  if (Code == ErrorCode::Ok)
+    return "ok";
+  std::string S;
+  if (!Stage.empty()) {
+    S += Stage;
+    S += ": ";
+  }
+  S += Message;
+  S += " [";
+  S += errorCodeName(Code);
+  S += "]";
+  return S;
+}
+
+void sdsp::detail::fatalCheckFailure(const char *File, long Line,
+                                     const char *Expr, const char *Msg) {
+  std::fprintf(stderr, "%s:%ld: internal invariant `%s` failed: %s\n",
+               File, Line, Expr, Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void sdsp::detail::fatalUnreachable(const char *File, long Line,
+                                    const char *Msg) {
+  std::fprintf(stderr, "%s:%ld: executed unreachable code: %s\n", File,
+               Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void sdsp::detail::fatalStatus(const char *File, long Line,
+                               const Status &S) {
+  std::fprintf(stderr, "%s:%ld: operation expected to succeed failed: %s\n",
+               File, Line, S.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,173 @@
+//===- support/Status.h - Structured recoverable errors ---------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style structured error handling for the pipeline stages behind
+/// the frontend.  The frontend already degrades gracefully through
+/// DiagnosticEngine; everything after it used to guard preconditions
+/// with assert(), which vanishes under NDEBUG.  The rules now are:
+///
+///   - Bad *input* (malformed graph, out-of-range option, dead net,
+///     exhausted search budget) is reported by returning a Status /
+///     Expected<T> carrying an ErrorCode, the pipeline stage that
+///     failed, and a human-readable message.  These paths are active in
+///     every build type.
+///   - True *internal* invariants — conditions that only a bug in this
+///     codebase can violate — use SDSP_CHECK / SDSP_UNREACHABLE, which
+///     print and abort in Release builds too (plain assert() may still
+///     be used for cheap redundant checks on top of them).
+///
+/// See docs/ERRORS.md for the taxonomy and the sdspc exit-code
+/// contract built on top of these codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_STATUS_H
+#define SDSP_SUPPORT_STATUS_H
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sdsp {
+
+/// Why an operation failed.  The numeric grouping mirrors the sdspc
+/// exit-code contract: user-input problems, resource/budget problems,
+/// internal bugs.
+enum class ErrorCode {
+  Ok = 0,
+  /// An option or argument is out of its documented range.
+  InvalidInput,
+  /// A dataflow graph violates well-formedness (dataflow/Validate.h) or
+  /// an SDSP's acknowledgement structure is inconsistent.
+  InvalidGraph,
+  /// A Petri net violates the model's assumptions (zero execution
+  /// times, dead/quiescent net, not a marked graph where one is
+  /// required).
+  InvalidNet,
+  /// An explicit step/time budget ran out before the search finished.
+  BudgetExceeded,
+  /// A resource model is unsatisfiable (e.g. a machine with no issue
+  /// capacity).
+  ResourceConflict,
+  /// A cross-stage self-check failed: the pipeline produced an answer
+  /// that contradicts an independent oracle.  Always a bug here.
+  InternalInvariant,
+};
+
+/// Short stable identifier for \p Code ("InvalidGraph", ...).
+const char *errorCodeName(ErrorCode Code);
+
+/// The outcome of an operation that can fail recoverably: an error code
+/// plus the pipeline stage that failed and a message.  A
+/// default-constructed Status is success.
+class Status {
+public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+
+  /// An error in \p Stage ("frontend", "dataflow", "petri", "frustum",
+  /// "schedule", "verify", ...).  Messages follow the LLVM style:
+  /// lowercase first letter, no trailing period.
+  static Status error(ErrorCode Code, std::string Stage,
+                      std::string Message) {
+    Status S;
+    S.Code = Code;
+    S.Stage = std::move(Stage);
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  /// True on success (mirrors Expected: `if (!St) return St;`).
+  explicit operator bool() const { return Code == ErrorCode::Ok; }
+
+  ErrorCode code() const { return Code; }
+  const std::string &stage() const { return Stage; }
+  const std::string &message() const { return Message; }
+
+  /// "stage: message [Code]", or "ok".
+  std::string str() const;
+
+private:
+  ErrorCode Code = ErrorCode::Ok;
+  std::string Stage;
+  std::string Message;
+};
+
+namespace detail {
+/// Prints "file:line: check `Expr` failed: Msg" and aborts.  Active in
+/// every build type.
+[[noreturn]] void fatalCheckFailure(const char *File, long Line,
+                                    const char *Expr, const char *Msg);
+/// Prints "file:line: unreachable: Msg" and aborts.
+[[noreturn]] void fatalUnreachable(const char *File, long Line,
+                                   const char *Msg);
+/// Prints a Status that a must-succeed call site received and aborts.
+[[noreturn]] void fatalStatus(const char *File, long Line,
+                              const Status &S);
+} // namespace detail
+
+/// Either a value or the Status explaining its absence.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : Store(std::move(Value)) {}
+  Expected(Status Err) : Store(std::move(Err)) {}
+
+  bool ok() const { return std::holds_alternative<T>(Store); }
+  explicit operator bool() const { return ok(); }
+
+  /// The error; only meaningful when !ok().
+  const Status &status() const {
+    static const Status Ok;
+    return ok() ? Ok : std::get<Status>(Store);
+  }
+
+  T &operator*() & { return std::get<T>(Store); }
+  const T &operator*() const & { return std::get<T>(Store); }
+  T &&operator*() && { return std::get<T>(std::move(Store)); }
+  T *operator->() { return &std::get<T>(Store); }
+  const T *operator->() const { return &std::get<T>(Store); }
+
+private:
+  std::variant<Status, T> Store;
+};
+
+/// Unwraps \p E at a call site whose input is known good by
+/// construction (tests, benchmarks, bundled kernels).  Aborts with the
+/// carried Status — in Release builds too — if the expectation was
+/// wrong.
+#define SDSP_EXPECT_OK(ExpectedValue)                                     \
+  ::sdsp::detail::expectOkImpl(__FILE__, __LINE__, (ExpectedValue))
+
+namespace detail {
+template <typename T>
+T expectOkImpl(const char *File, long Line, Expected<T> E) {
+  if (!E)
+    fatalStatus(File, Line, E.status());
+  return std::move(*E);
+}
+} // namespace detail
+
+} // namespace sdsp
+
+/// Checks an internal invariant; survives NDEBUG.  Use for conditions
+/// that only a bug in this codebase can violate — input validation
+/// belongs in Status-returning code.
+#define SDSP_CHECK(Cond, Msg)                                             \
+  do {                                                                    \
+    if (!(Cond))                                                          \
+      ::sdsp::detail::fatalCheckFailure(__FILE__, __LINE__, #Cond, Msg);  \
+  } while (false)
+
+/// Marks a path that must never execute; survives NDEBUG.  Unlike
+/// assert(false), Release builds fail loudly instead of running off the
+/// end of the function with garbage.
+#define SDSP_UNREACHABLE(Msg)                                             \
+  ::sdsp::detail::fatalUnreachable(__FILE__, __LINE__, Msg)
+
+#endif // SDSP_SUPPORT_STATUS_H

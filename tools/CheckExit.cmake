@@ -1,0 +1,41 @@
+# Runs a sdspc invocation and asserts its exact exit code (and
+# optionally a stderr regex).  ctest's PASS_REGULAR_EXPRESSION cannot
+# distinguish exit 1 from exit 3, but the exit-code contract
+# (docs/ERRORS.md) is exactly what the driver tests must pin down.
+#
+# Usage:
+#   cmake -DSDSPC=<path> -DARGS=<;-list> -DEXPECT_EXIT=<n>
+#         [-DEXPECT_STDERR=<regex>] [-DSTDIN_EMPTY=1]
+#         -P CheckExit.cmake
+
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+
+if(STDIN_EMPTY)
+  # An empty stdin exercises the "empty source" frontend diagnostic.
+  set(EMPTY_FILE "${CMAKE_CURRENT_BINARY_DIR}/empty_stdin.txt")
+  file(WRITE "${EMPTY_FILE}" "")
+  execute_process(
+    COMMAND ${SDSPC} ${ARG_LIST}
+    INPUT_FILE "${EMPTY_FILE}"
+    RESULT_VARIABLE EXIT_CODE
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+else()
+  execute_process(
+    COMMAND ${SDSPC} ${ARG_LIST}
+    RESULT_VARIABLE EXIT_CODE
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+endif()
+
+if(NOT EXIT_CODE EQUAL EXPECT_EXIT)
+  message(FATAL_ERROR
+    "sdspc ${ARGS}: exit code ${EXIT_CODE}, expected ${EXPECT_EXIT}\n"
+    "stdout:\n${OUT}\nstderr:\n${ERR}")
+endif()
+
+if(EXPECT_STDERR AND NOT ERR MATCHES "${EXPECT_STDERR}")
+  message(FATAL_ERROR
+    "sdspc ${ARGS}: stderr does not match '${EXPECT_STDERR}'\n"
+    "stderr:\n${ERR}")
+endif()

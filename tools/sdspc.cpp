@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 //
 // sdspc: compile a loop (file, stdin, or bundled kernel) through the
-// paper's pipeline and emit the requested artifact.
+// guarded pipeline (core/Pipeline.h) and emit the requested artifact.
 //
 //   sdspc [options] [file.loop | -k kernel-id | -]
 //
@@ -26,28 +26,33 @@
 //   --scp=L              schedule onto clean L-stage pipeline(s)
 //   --pipelines=K        number of clean pipelines (with --scp)
 //   --optimize-storage   run the Section 6 minimizer first
+//   --budget=N           frustum search budget in time steps
+//                        (0 = the Thm 4.1.1-4.2.2 theory bound, default)
+//   --verify             re-check net properties and cross-check the
+//                        frustum rate against the analytic cycle ratio
 //   --run=N              execute N iterations on the VM with random
 //                        inputs (seeded by --seed, default 1) and print
 //                        the outputs
 //   --seed=S             input seed for --run
+//
+// Exit codes (docs/ERRORS.md):
+//   0  success
+//   1  input diagnostics (bad source, option, graph, or net)
+//   2  resource or budget exhaustion
+//   3  internal invariant failure (a compiler bug)
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CEmitter.h"
 #include "codegen/Codegen.h"
 #include "codegen/Vm.h"
-#include "core/Frustum.h"
-#include "core/RateAnalysis.h"
-#include "core/ScheduleDerivation.h"
-#include "core/ScpModel.h"
-#include "core/StorageOptimizer.h"
-#include "dataflow/Transforms.h"
-#include "dataflow/Unroll.h"
+#include "core/Pipeline.h"
 #include "livermore/Livermore.h"
-#include "loopir/Lowering.h"
 #include "petri/BehaviorGraph.h"
 #include "support/Random.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -59,16 +64,14 @@ namespace {
 
 struct Options {
   std::string Emit = "schedule";
-  bool Optimize = false;
-  uint32_t Capacity = 1;
-  uint32_t Unroll = 1;
-  uint32_t ScpDepth = 0;
-  uint32_t Pipelines = 1;
-  bool OptimizeStorage = false;
+  PipelineOptions Pipe;
   uint64_t RunIterations = 0;
   uint64_t Seed = 1;
   std::string InputPath;
   std::string KernelId;
+  /// --scp appeared explicitly (so --scp=0 is a rejected machine, not
+  /// "no machine model").
+  bool ScpGiven = false;
 };
 
 void printUsage(std::ostream &OS) {
@@ -76,9 +79,43 @@ void printUsage(std::ostream &OS) {
         "  --emit=schedule|timeline|rate|program|c|dot-dataflow|dot-pn|"
         "dot-behavior|storage\n"
         "  --opt --capacity=N --unroll=U --scp=L --pipelines=K\n"
-        "  --optimize-storage --run=N --seed=S\n"
+        "  --optimize-storage --budget=N --verify --run=N --seed=S\n"
         "  -k <id>   use a bundled kernel (l1 l2 loop1 loop3 loop5 "
-        "loop7 loop9 loop9lcd loop12)\n";
+        "loop7 loop9 loop9lcd loop12)\n"
+        "exit codes: 0 ok, 1 input diagnostics, 2 resource/budget, "
+        "3 internal error\n";
+}
+
+/// Strict numeric parsing: digits only, no sign, no trailing junk.
+/// atoi-style silent truncation turned "--unroll=-3" into a 4-billion
+/// unroll request; now it is a diagnostic.
+bool parseUint64(const std::string &V, const char *Flag, uint64_t &Out) {
+  if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "sdspc: invalid value '" << V << "' for " << Flag
+              << " (expected a non-negative integer)\n";
+    return false;
+  }
+  errno = 0;
+  Out = std::strtoull(V.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    std::cerr << "sdspc: value '" << V << "' for " << Flag
+              << " is out of range\n";
+    return false;
+  }
+  return true;
+}
+
+bool parseUint32(const std::string &V, const char *Flag, uint32_t &Out) {
+  uint64_t N = 0;
+  if (!parseUint64(V, Flag, N))
+    return false;
+  if (N > UINT32_MAX) {
+    std::cerr << "sdspc: value '" << V << "' for " << Flag
+              << " is out of range\n";
+    return false;
+  }
+  Out = static_cast<uint32_t>(N);
+  return true;
 }
 
 bool parseArgs(int argc, char **argv, Options &Opts) {
@@ -92,21 +129,33 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
     if (const char *V = Value("--emit=")) {
       Opts.Emit = V;
     } else if (const char *V = Value("--capacity=")) {
-      Opts.Capacity = static_cast<uint32_t>(std::atoi(V));
+      if (!parseUint32(V, "--capacity", Opts.Pipe.Capacity))
+        return false;
     } else if (const char *V = Value("--unroll=")) {
-      Opts.Unroll = static_cast<uint32_t>(std::atoi(V));
+      if (!parseUint32(V, "--unroll", Opts.Pipe.Unroll))
+        return false;
     } else if (const char *V = Value("--scp=")) {
-      Opts.ScpDepth = static_cast<uint32_t>(std::atoi(V));
+      if (!parseUint32(V, "--scp", Opts.Pipe.ScpDepth))
+        return false;
+      Opts.ScpGiven = true;
     } else if (const char *V = Value("--pipelines=")) {
-      Opts.Pipelines = static_cast<uint32_t>(std::atoi(V));
+      if (!parseUint32(V, "--pipelines", Opts.Pipe.Pipelines))
+        return false;
+    } else if (const char *V = Value("--budget=")) {
+      if (!parseUint64(V, "--budget", Opts.Pipe.FrustumBudgetSteps))
+        return false;
     } else if (Arg == "--opt") {
-      Opts.Optimize = true;
+      Opts.Pipe.Optimize = true;
     } else if (Arg == "--optimize-storage") {
-      Opts.OptimizeStorage = true;
+      Opts.Pipe.OptimizeStorage = true;
+    } else if (Arg == "--verify") {
+      Opts.Pipe.Verify = true;
     } else if (const char *V = Value("--run=")) {
-      Opts.RunIterations = static_cast<uint64_t>(std::atoll(V));
+      if (!parseUint64(V, "--run", Opts.RunIterations))
+        return false;
     } else if (const char *V = Value("--seed=")) {
-      Opts.Seed = static_cast<uint64_t>(std::atoll(V));
+      if (!parseUint64(V, "--seed", Opts.Seed))
+        return false;
     } else if (Arg == "-k") {
       if (++I >= argc) {
         std::cerr << "sdspc: -k needs a kernel id\n";
@@ -150,47 +199,87 @@ std::optional<std::string> readSource(const Options &Opts) {
   return SS.str();
 }
 
+/// Reports \p St (frontend failures print their diagnostics verbatim)
+/// and returns the contract exit code.
+int reportFailure(const Status &St, const DiagnosticEngine &Diags) {
+  if (St.stage() == "frontend" && Diags.hasErrors())
+    Diags.print(std::cerr);
+  else
+    std::cerr << "sdspc: " << St.str() << "\n";
+  return exitCodeFor(St);
+}
+
 int run(const Options &Opts) {
   std::optional<std::string> Source = readSource(Opts);
   if (!Source)
     return 1;
 
-  DiagnosticEngine Diags;
-  std::optional<DataflowGraph> G = compileLoop(*Source, Diags);
-  if (!G) {
-    Diags.print(std::cerr);
+  // An explicit --scp=0 is a machine that can never issue, not a
+  // request for the ideal machine.
+  if (Opts.ScpGiven && Opts.Pipe.ScpDepth == 0)
+    return reportFailure(
+        Status::error(ErrorCode::ResourceConflict, "scp",
+                      "a zero-stage pipeline cannot issue instructions "
+                      "(--scp needs a depth >= 1)"),
+        DiagnosticEngine());
+
+  PipelineOptions Pipe = Opts.Pipe;
+  bool NeedsRun = Opts.RunIterations > 0;
+  if (Opts.Emit == "dot-dataflow")
+    Pipe.StopAfter = PipelineStage::Frontend;
+  else if (Opts.Emit == "storage")
+    Pipe.StopAfter = PipelineStage::Storage;
+  else if (Opts.Emit == "dot-pn" || Opts.Emit == "rate")
+    Pipe.StopAfter = PipelineStage::Petri;
+  else if (Opts.Emit == "dot-behavior")
+    Pipe.StopAfter = PipelineStage::Frustum;
+  else if (Opts.Emit == "schedule" || Opts.Emit == "timeline" ||
+           Opts.Emit == "c" || Opts.Emit == "program")
+    Pipe.StopAfter = PipelineStage::Schedule;
+  else if (NeedsRun)
+    Pipe.StopAfter = PipelineStage::Schedule;
+  else {
+    std::cerr << "sdspc: unknown --emit mode '" << Opts.Emit << "'\n";
     return 1;
   }
+  // --verify's headline check is frustum rate vs analytic rate, so it
+  // needs the full pipeline even when the emit mode stops early.
+  if (Pipe.Verify)
+    Pipe.StopAfter = PipelineStage::Schedule;
 
-  if (Opts.Optimize) {
-    TransformStats Stats;
-    G = optimize(*G, Stats);
-    if (Stats.changedAnything())
-      std::cerr << "opt: folded " << Stats.ConstantsFolded << ", merged "
-                << Stats.SubexpressionsMerged << ", removed "
-                << Stats.DeadNodesRemoved << " (nodes "
-                << Stats.NodesBefore << " -> " << Stats.NodesAfter
-                << ")\n";
+  DiagnosticEngine Diags;
+  Expected<CompiledLoop> Result = runPipeline(*Source, Pipe, &Diags);
+  if (!Result)
+    return reportFailure(Result.status(), Diags);
+  CompiledLoop &CL = *Result;
+
+  if (Pipe.Optimize && CL.OptStats.changedAnything())
+    std::cerr << "opt: folded " << CL.OptStats.ConstantsFolded
+              << ", merged " << CL.OptStats.SubexpressionsMerged
+              << ", removed " << CL.OptStats.DeadNodesRemoved << " (nodes "
+              << CL.OptStats.NodesBefore << " -> "
+              << CL.OptStats.NodesAfter << ")\n";
+  if (CL.Storage)
+    std::cerr << "storage: " << CL.Storage->Before << " -> "
+              << CL.Storage->After << " locations (rate "
+              << CL.Storage->OptimalRate << ")\n";
+  if (CL.Verified) {
+    std::cerr << "verify: ok";
+    if (CL.Frustum && CL.Rate)
+      std::cerr << " (rate " << CL.Rate->OptimalRate << ", frustum within "
+                << (CL.FrustumWithinEmpiricalBound ? "empirical 2n"
+                                                   : "theory")
+                << " bound)";
+    std::cerr << "\n";
   }
-  if (Opts.Unroll > 1)
-    G = unrollLoop(*G, Opts.Unroll);
 
   if (Opts.Emit == "dot-dataflow") {
-    G->printDot(std::cout, "dataflow");
+    CL.Graph.printDot(std::cout, "dataflow");
     return 0;
   }
 
-  Sdsp S = Sdsp::standard(*G, Opts.Capacity);
-  if (Opts.OptimizeStorage) {
-    StorageOptResult R = minimizeStorage(S);
-    std::cerr << "storage: " << R.StorageBefore << " -> "
-              << R.StorageAfter << " locations (rate "
-              << R.OptimalRate << ")\n";
-    S = std::move(R.Optimized);
-  }
-  SdspPn Pn = buildSdspPn(S);
-
   if (Opts.Emit == "storage") {
+    const Sdsp &S = *CL.S;
     std::cout << "loop body: " << S.loopBodySize()
               << " operations\nstorage: " << S.storageLocations()
               << " locations\n";
@@ -208,81 +297,65 @@ int run(const Options &Opts) {
     return 0;
   }
   if (Opts.Emit == "dot-pn") {
-    Pn.Net.printDot(std::cout, "sdsp_pn");
+    CL.Pn->Net.printDot(std::cout, "sdsp_pn");
     return 0;
   }
   if (Opts.Emit == "rate") {
-    RateReport R = analyzeRate(Pn);
-    std::cout << "operations:        " << Pn.Net.numTransitions() << "\n"
+    const RateReport &R = *CL.Rate;
+    std::cout << "operations:        " << CL.Pn->Net.numTransitions()
+              << "\n"
               << "cycle time alpha*: " << R.CycleTime << "\n"
               << "optimal rate:      " << R.OptimalRate
               << " iterations/cycle\n"
               << "critical ops:      ";
     for (TransitionId T : R.CriticalTransitions)
-      std::cout << Pn.Net.transition(T).Name << " ";
+      std::cout << CL.Pn->Net.transition(T).Name << " ";
     std::cout << "\ncritical cycles:   " << R.NumCriticalCycles << "\n";
     return 0;
   }
 
-  // Everything below needs a frustum.  Pick the machine model.
-  std::optional<FrustumInfo> F;
-  std::unique_ptr<FifoPolicy> Policy;
-  std::optional<ScpPn> Scp;
-  if (Opts.ScpDepth > 0) {
-    Scp = buildScpPn(Pn, Opts.ScpDepth, Opts.Pipelines);
-    Policy = Scp->makeFifoPolicy();
-    F = detectFrustum(Scp->Net, Policy.get());
-  } else {
-    F = detectFrustum(Pn.Net);
-  }
-  if (!F) {
-    std::cerr << "sdspc: no cyclic frustum (dead or diverging net)\n";
-    return 1;
-  }
+  const FrustumInfo &F = *CL.Frustum;
 
   if (Opts.Emit == "dot-behavior") {
-    const PetriNet &Net = Scp ? Scp->Net : Pn.Net;
-    if (Policy)
-      Policy->reset();
-    EarliestFiringEngine Engine(Net, Policy.get());
+    const PetriNet &Net = CL.machineNet();
+    if (CL.Policy)
+      CL.Policy->reset();
+    EarliestFiringEngine Engine(Net, CL.Policy.get());
     BehaviorGraph BG(Net);
-    while (Engine.now() < F->RepeatTime)
+    while (Engine.now() < F.RepeatTime)
       BG.recordStep(Engine.fireAndAdvance());
-    BG.printDot(std::cout, "behavior", F->StartTime, F->RepeatTime);
+    BG.printDot(std::cout, "behavior", F.StartTime, F.RepeatTime);
     return 0;
   }
 
-  if (Scp) {
+  if (CL.Scp) {
     // Schedules on the SCP model: report the measured pattern.
-    std::cout << "SCP machine, l = " << Opts.ScpDepth << ": frustum ["
-              << F->StartTime << ", " << F->RepeatTime << "), rate "
-              << F->computationRate(Scp->SdspTransitions.front())
-              << ", usage " << processorUsage(*Scp, *F) << "\n";
+    const ScpPn &Scp = *CL.Scp;
+    std::cout << "SCP machine, l = " << Scp.PipelineDepth << ": frustum ["
+              << F.StartTime << ", " << F.RepeatTime << "), rate "
+              << F.computationRate(Scp.SdspTransitions.front())
+              << ", usage " << processorUsage(Scp, F) << "\n";
     if (Opts.Emit != "schedule")
       std::cerr << "sdspc: --scp supports --emit=schedule only\n";
     std::vector<std::string> Names;
-    for (TransitionId T : Scp->Net.transitionIds())
-      Names.push_back(Scp->Net.transition(T).Name);
+    for (TransitionId T : Scp.Net.transitionIds())
+      Names.push_back(Scp.Net.transition(T).Name);
     // Print the issue slots of SDSP transitions per kernel cycle.
-    for (TimeStep T = F->StartTime; T < F->RepeatTime; ++T) {
-      std::cout << "  t+" << (T - F->StartTime) << ":";
-      for (const StepRecord &Rec : F->Trace)
+    for (TimeStep T = F.StartTime; T < F.RepeatTime; ++T) {
+      std::cout << "  t+" << (T - F.StartTime) << ":";
+      for (const StepRecord &Rec : F.Trace)
         if (Rec.Time == T)
           for (TransitionId Fired : Rec.Fired)
-            if (Scp->IsSdspTransition[Fired.index()])
+            if (Scp.IsSdspTransition[Fired.index()])
               std::cout << " " << Names[Fired.index()];
       std::cout << "\n";
     }
     return 0;
   }
 
-  SoftwarePipelineSchedule Sched = deriveSchedule(Pn, *F);
-  std::string Error;
-  if (!validateSchedule(S, Pn, Sched, 64, &Error)) {
-    std::cerr << "sdspc: internal error, invalid schedule: " << Error
-              << "\n";
-    return 1;
-  }
+  const Sdsp &S = *CL.S;
+  const SdspPn &Pn = *CL.Pn;
+  const SoftwarePipelineSchedule &Sched = *CL.Schedule;
 
   if (Opts.Emit == "schedule" || Opts.Emit == "timeline") {
     std::vector<std::string> Names;
@@ -301,35 +374,32 @@ int run(const Options &Opts) {
     LoopProgram Program = generateLoopProgram(S, Pn, Sched);
     CEmission E = emitC(Program, "sdsp_kernel");
     std::cout << E.Source;
-  } else if (Opts.Emit == "program" || Opts.RunIterations > 0) {
+  } else if (Opts.Emit == "program") {
     LoopProgram Program = generateLoopProgram(S, Pn, Sched);
-    if (Opts.Emit == "program")
-      Program.print(std::cout);
-    if (Opts.RunIterations > 0) {
-      // Random input streams, deterministic per seed.
-      Rng R(Opts.Seed);
-      StreamMap In;
-      for (NodeId N : G->nodeIds())
-        if (G->node(N).Kind == OpKind::Input) {
-          std::vector<double> V(Opts.RunIterations);
-          for (double &X : V)
-            X = R.uniform() * 2.0 - 1.0;
-          In[G->node(N).Name] = V;
-        }
-      VmResult Result =
-          executeLoopProgram(Program, In, Opts.RunIterations);
-      std::cout << "executed " << Opts.RunIterations << " iterations in "
-                << Result.Cycles << " cycles\n";
-      for (const auto &[Name, Values] : Result.Outputs) {
-        std::cout << Name << ":";
-        for (double V : Values)
-          std::cout << " " << V;
-        std::cout << "\n";
+    Program.print(std::cout);
+  }
+
+  if (NeedsRun) {
+    LoopProgram Program = generateLoopProgram(S, Pn, Sched);
+    // Random input streams, deterministic per seed.
+    Rng R(Opts.Seed);
+    StreamMap In;
+    for (NodeId N : CL.Graph.nodeIds())
+      if (CL.Graph.node(N).Kind == OpKind::Input) {
+        std::vector<double> V(Opts.RunIterations);
+        for (double &X : V)
+          X = R.uniform() * 2.0 - 1.0;
+        In[CL.Graph.node(N).Name] = V;
       }
+    VmResult Result = executeLoopProgram(Program, In, Opts.RunIterations);
+    std::cout << "executed " << Opts.RunIterations << " iterations in "
+              << Result.Cycles << " cycles\n";
+    for (const auto &[Name, Values] : Result.Outputs) {
+      std::cout << Name << ":";
+      for (double V : Values)
+        std::cout << " " << V;
+      std::cout << "\n";
     }
-  } else {
-    std::cerr << "sdspc: unknown --emit mode '" << Opts.Emit << "'\n";
-    return 1;
   }
   return 0;
 }
