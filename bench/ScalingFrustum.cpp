@@ -97,11 +97,32 @@ void benchFrustumAtScale(benchmark::State &State) {
   State.SetComplexityN(static_cast<int64_t>(Pn.Net.numTransitions()));
 }
 
+/// The pre-optimization detector on the same nets: the BENCH_frustum
+/// perf gate divides this series by benchFrustumAtScale at equal arg
+/// (682 chains = 2050 transitions, the paper-scale n = 2048 point).
+void benchFrustumReferenceAtScale(benchmark::State &State) {
+  size_t Chains = static_cast<size_t>(State.range(0));
+  DataflowGraph G = buildSyntheticLoop(Chains, 2, 4);
+  SdspPn Pn = buildSdspPn(Sdsp::standard(G));
+  for (auto _ : State) {
+    auto F = detectFrustumReference(Pn.Net);
+    benchmark::DoNotOptimize(F);
+  }
+  State.SetComplexityN(static_cast<int64_t>(Pn.Net.numTransitions()));
+}
+
 } // namespace
 
 BENCHMARK(benchFrustumAtScale)
     ->RangeMultiplier(2)
     ->Range(2, 256)
+    ->Arg(682)
     ->Complexity();
+
+BENCHMARK(benchFrustumReferenceAtScale)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(682);
 
 SDSP_BENCH_MAIN(printSweep)

@@ -4,8 +4,30 @@
 // "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
 //
 //===----------------------------------------------------------------------===//
+//
+// Two implementations share the detection contract:
+//
+//   detectFrustumChecked    the fast path: packed states (1 bit/place +
+//                           sparse residuals) in an open-addressing
+//                           table, an incremental engine, and
+//                           event-driven time leaping across idle
+//                           stretches (each skipped instant's state is
+//                           synthesized by decrementing the packed
+//                           residuals, so detection still observes
+//                           every instant and the results are identical
+//                           to the reference);
+//
+//   detectFrustumReference  the retained naive oracle: full
+//                           InstantaneousState copies hashed into an
+//                           unordered_map, one engine step per instant.
+//
+// The golden-equivalence suite pins both to byte-identical frustums.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/Frustum.h"
+
+#include "petri/ReferenceEngine.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -14,10 +36,9 @@ using namespace sdsp;
 
 TimeStep FrustumBudget::resolve(size_t NumTransitions) const {
   if (MaxSteps != 0)
-    return MaxSteps;
+    return MaxSteps < Cap ? MaxSteps : Cap;
   // n^3 with saturation; 1024 floor for tiny nets.
   TimeStep N = NumTransitions;
-  constexpr TimeStep Cap = ~static_cast<TimeStep>(0) / 2;
   TimeStep Cubed = N;
   for (int I = 0; I < 2; ++I)
     Cubed = (N != 0 && Cubed > Cap / N) ? Cap : Cubed * N;
@@ -39,52 +60,44 @@ Rational FrustumInfo::computationRate(TransitionId T) const {
   return Rational(transitionCount(T), static_cast<int64_t>(length()));
 }
 
-Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
-                                                 FiringPolicy *Policy,
-                                                 FrustumBudget Budget) {
-  if (Status S = validateTimedNet(Net); !S)
-    return S;
-  TimeStep MaxSteps = Budget.resolve(Net.numTransitions());
+namespace {
 
-  EarliestFiringEngine Engine(Net, Policy);
-  std::unordered_map<InstantaneousState, TimeStep> Seen;
-  std::vector<StepRecord> Trace;
-  uint64_t TotalFirings = 0;
+/// Shared tail-of-detection helpers so the fast and reference paths
+/// report byte-identical diagnostics and results.
 
-  for (TimeStep Step = 0; Step <= MaxSteps; ++Step) {
-    Engine.prepare();
-    InstantaneousState S = Engine.state();
-    auto [It, Inserted] = Seen.emplace(std::move(S), Engine.now());
-    if (!Inserted) {
-      FrustumInfo Info;
-      Info.StartTime = It->second;
-      Info.RepeatTime = Engine.now();
-      Info.State = It->first;
-      Info.Trace = std::move(Trace);
-      Info.FiringCounts.assign(Net.numTransitions(), 0);
-      for (const StepRecord &Rec : Info.Trace)
-        if (Rec.Time >= Info.StartTime)
-          for (TransitionId T : Rec.Fired)
-            ++Info.FiringCounts[T.index()];
-      return Info;
-    }
-    if (Engine.isQuiescent())
-      return Status::error(
-          ErrorCode::InvalidNet, "frustum",
-          "net is dead: quiescent at t=" + std::to_string(Engine.now()) +
-              " after " + std::to_string(TotalFirings) +
-              " firings (the state would repeat forever without firing "
-              "anything)");
-    StepRecord Rec = Engine.fireAndAdvance();
-    TotalFirings += Rec.Fired.size();
-    Trace.push_back(std::move(Rec));
-  }
+FrustumInfo makeInfo(const PetriNet &Net, TimeStep Start, TimeStep Repeat,
+                     InstantaneousState State,
+                     std::vector<StepRecord> Trace) {
+  FrustumInfo Info;
+  Info.StartTime = Start;
+  Info.RepeatTime = Repeat;
+  Info.State = std::move(State);
+  Info.Trace = std::move(Trace);
+  Info.FiringCounts.assign(Net.numTransitions(), 0);
+  for (const StepRecord &Rec : Info.Trace)
+    if (Rec.Time >= Info.StartTime)
+      for (TransitionId T : Rec.Fired)
+        ++Info.FiringCounts[T.index()];
+  return Info;
+}
 
+Status deadNetError(TimeStep Now, uint64_t TotalFirings) {
+  return Status::error(
+      ErrorCode::InvalidNet, "frustum",
+      "net is dead: quiescent at t=" + std::to_string(Now) + " after " +
+          std::to_string(TotalFirings) +
+          " firings (the state would repeat forever without firing "
+          "anything)");
+}
+
+Status budgetError(const PetriNet &Net, TimeStep MaxSteps, TimeStep Now,
+                   uint64_t TotalFirings,
+                   const std::vector<StepRecord> &Trace) {
   // Budget exhausted: describe where the search got stuck so the
   // caller's diagnostic carries partial-trace context.
   std::string Msg = "no repeated instantaneous state within " +
                     std::to_string(MaxSteps) + " steps (simulated to t=" +
-                    std::to_string(Engine.now()) + ", " +
+                    std::to_string(Now) + ", " +
                     std::to_string(TotalFirings) + " firings over " +
                     std::to_string(Net.numTransitions()) +
                     " transitions; last step fired:";
@@ -98,6 +111,108 @@ Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
   }
   Msg += ")";
   return Status::error(ErrorCode::BudgetExceeded, "frustum", Msg);
+}
+
+} // namespace
+
+Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
+                                                 FiringPolicy *Policy,
+                                                 FrustumBudget Budget) {
+  if (Status S = validateTimedNet(Net); !S)
+    return S;
+  TimeStep MaxSteps = Budget.resolve(Net.numTransitions());
+  size_t MarkWords = packedMarkWords(Net.numPlaces());
+
+  EarliestFiringEngine Engine(Net, Policy);
+  PackedStateTable Seen;
+  PackedState PS;
+  std::vector<StepRecord> Trace;
+  uint64_t TotalFirings = 0;
+  // Instants observed so far; the budget counts every instant, leapt or
+  // not, so budget diagnostics match the reference detector exactly.
+  TimeStep Sampled = 0;
+
+  while (true) {
+    if (Sampled > MaxSteps)
+      return budgetError(Net, MaxSteps, Engine.now(), TotalFirings, Trace);
+    Engine.prepare();
+    Engine.packState(PS);
+    std::optional<uint64_t> Prev = Seen.insertOrFind(PS, Engine.now());
+    ++Sampled;
+    if (Prev)
+      return makeInfo(Net, *Prev, Engine.now(), Engine.state(),
+                      std::move(Trace));
+    if (Engine.isQuiescent())
+      return deadNetError(Engine.now(), TotalFirings);
+    StepRecord Rec = Engine.fireAndAdvance();
+    bool Idle = Rec.Completed.empty() && Rec.Fired.empty();
+    TotalFirings += Rec.Fired.size();
+    Trace.push_back(std::move(Rec));
+    if (!Idle)
+      continue;
+
+    // Event-driven time leap: the step did nothing, so the state can
+    // only change at the next pending finish time.  The skipped
+    // instants still exist in the behavior graph — their states are
+    // the current one with every residual one smaller per instant — so
+    // synthesize and record each one (empty trace record, table
+    // insert), then jump the engine clock straight to the event.
+    std::optional<TimeStep> NextF = Engine.nextFinishTime();
+    SDSP_CHECK(NextF.has_value(),
+               "idle non-quiescent instant with nothing in flight");
+    for (TimeStep V = Engine.now(); V < *NextF; ++V) {
+      if (Sampled > MaxSteps) {
+        Engine.leapTo(V);
+        return budgetError(Net, MaxSteps, Engine.now(), TotalFirings,
+                           Trace);
+      }
+      PS.decrementResiduals(MarkWords);
+      std::optional<uint64_t> PrevV = Seen.insertOrFind(PS, V);
+      ++Sampled;
+      if (PrevV) {
+        // The repeat landed on a leapt instant: move the engine there
+        // (provably idle in between) and sample it for FrustumInfo.
+        // Checked before recording, like the main loop: the repeat
+        // instant itself is never part of the trace.
+        Engine.leapTo(V);
+        Engine.prepare();
+        return makeInfo(Net, *PrevV, V, Engine.state(), std::move(Trace));
+      }
+      StepRecord Empty;
+      Empty.Time = V;
+      Trace.push_back(std::move(Empty));
+    }
+    Engine.leapTo(*NextF);
+  }
+}
+
+Expected<FrustumInfo> sdsp::detectFrustumReference(const PetriNet &Net,
+                                                   FiringPolicy *Policy,
+                                                   FrustumBudget Budget) {
+  if (Status S = validateTimedNet(Net); !S)
+    return S;
+  TimeStep MaxSteps = Budget.resolve(Net.numTransitions());
+
+  ReferenceEngine Engine(Net, Policy);
+  std::unordered_map<InstantaneousState, TimeStep> Seen;
+  std::vector<StepRecord> Trace;
+  uint64_t TotalFirings = 0;
+
+  for (TimeStep Step = 0; Step <= MaxSteps; ++Step) {
+    Engine.prepare();
+    InstantaneousState S = Engine.state();
+    auto [It, Inserted] = Seen.emplace(std::move(S), Engine.now());
+    if (!Inserted)
+      return makeInfo(Net, It->second, Engine.now(), It->first,
+                      std::move(Trace));
+    if (Engine.isQuiescent())
+      return deadNetError(Engine.now(), TotalFirings);
+    StepRecord Rec = Engine.fireAndAdvance();
+    TotalFirings += Rec.Fired.size();
+    Trace.push_back(std::move(Rec));
+  }
+
+  return budgetError(Net, MaxSteps, Engine.now(), TotalFirings, Trace);
 }
 
 std::optional<FrustumInfo> sdsp::detectFrustum(const PetriNet &Net,

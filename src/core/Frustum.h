@@ -47,11 +47,17 @@ struct FrustumBudget {
   /// Maximum time steps to simulate; 0 means "use the theory bound".
   TimeStep MaxSteps = 0;
 
+  /// Saturation cap for resolve(): half the TimeStep range, so the
+  /// search loop's step arithmetic (Now + tau, sample counters) can
+  /// never overflow a 64-bit comparison even for huge explicit budgets.
+  static constexpr TimeStep Cap = ~static_cast<TimeStep>(0) / 2;
+
   static FrustumBudget steps(TimeStep N) { return FrustumBudget{N}; }
 
   /// The defaulted budget for a net of \p NumTransitions transitions:
-  /// max(1024, n^3), saturating (the 1024 floor absorbs the constants
-  /// the O(n^3) hides on tiny nets).
+  /// max(1024, n^3), saturating at Cap (the 1024 floor absorbs the
+  /// constants the O(n^3) hides on tiny nets).  Explicit budgets are
+  /// clamped to Cap too.
   TimeStep resolve(size_t NumTransitions) const;
 };
 
@@ -110,6 +116,16 @@ Expected<FrustumInfo> detectFrustumChecked(const PetriNet &Net,
 std::optional<FrustumInfo> detectFrustum(const PetriNet &Net,
                                          FiringPolicy *Policy = nullptr,
                                          TimeStep MaxSteps = 1 << 22);
+
+/// The pre-optimization detector, retained as the behavioral oracle: a
+/// naive per-step deep-copied InstantaneousState hashed into an
+/// unordered_map, driven by petri/ReferenceEngine.h.  Same contract and
+/// diagnostics as detectFrustumChecked; the golden-equivalence suite
+/// asserts both return byte-identical results, and bench/ScalingFrustum
+/// times the two side by side for BENCH_frustum.json.
+Expected<FrustumInfo> detectFrustumReference(const PetriNet &Net,
+                                             FiringPolicy *Policy = nullptr,
+                                             FrustumBudget Budget = {});
 
 } // namespace sdsp
 

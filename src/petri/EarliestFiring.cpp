@@ -10,7 +10,12 @@
 #include "support/Hashing.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 using namespace sdsp;
 
@@ -57,6 +62,11 @@ std::string InstantaneousState::str() const {
 
 FiringPolicy::~FiringPolicy() = default;
 
+void FiringPolicy::appendFingerprint(std::vector<uint32_t> &Out) const {
+  std::vector<uint32_t> Fp = stateFingerprint();
+  Out.insert(Out.end(), Fp.begin(), Fp.end());
+}
+
 FifoPolicy::FifoPolicy(std::vector<bool> IsConflicting,
                        std::vector<PlaceId> ResourcePlaces)
     : IsConflicting(std::move(IsConflicting)) {
@@ -67,10 +77,13 @@ FifoPolicy::FifoPolicy(std::vector<bool> IsConflicting,
   for (PlaceId P : ResourcePlaces)
     IsResourcePlace[P.index()] = true;
   InQueue.assign(this->IsConflicting.size(), false);
+  CandidateFlag.assign(this->IsConflicting.size(), false);
 }
 
 void FifoPolicy::reset() {
   Queue.clear();
+  Head = 0;
+  NumDead = 0;
   std::fill(InQueue.begin(), InQueue.end(), false);
 }
 
@@ -83,6 +96,16 @@ bool FifoPolicy::isDataReady(const PetriNet &Net, const Marking &M,
       return false;
   }
   return true;
+}
+
+void FifoPolicy::compact() {
+  size_t Out = 0;
+  for (size_t I = Head; I < Queue.size(); ++I)
+    if (Queue[I] != Dead)
+      Queue[Out++] = Queue[I];
+  Queue.resize(Out);
+  Head = 0;
+  NumDead = 0;
 }
 
 void FifoPolicy::orderCandidates(const PetriNet &Net, const Marking &M,
@@ -101,34 +124,49 @@ void FifoPolicy::orderCandidates(const PetriNet &Net, const Marking &M,
 
   // Non-conflicting candidates first (their relative order is
   // irrelevant: they cannot disable each other), then queue order.
-  std::vector<TransitionId> Ordered;
-  Ordered.reserve(Candidates.size());
+  Scratch.clear();
   for (TransitionId T : Candidates)
     if (!IsConflicting[T.index()])
-      Ordered.push_back(T);
-  std::vector<bool> IsCandidate(IsConflicting.size(), false);
+      Scratch.push_back(T);
   for (TransitionId T : Candidates)
-    IsCandidate[T.index()] = true;
-  for (uint32_t I : Queue)
-    if (IsCandidate[I])
-      Ordered.push_back(TransitionId(I));
-  Candidates = std::move(Ordered);
+    CandidateFlag[T.index()] = true;
+  for (size_t I = Head; I < Queue.size(); ++I)
+    if (Queue[I] != Dead && CandidateFlag[Queue[I]])
+      Scratch.push_back(TransitionId(Queue[I]));
+  for (TransitionId T : Candidates)
+    CandidateFlag[T.index()] = false;
+  Candidates.swap(Scratch);
 }
 
 void FifoPolicy::noteFired(TransitionId T) {
   if (T.index() >= InQueue.size() || !InQueue[T.index()])
     return;
   InQueue[T.index()] = false;
-  for (auto It = Queue.begin(); It != Queue.end(); ++It) {
-    if (*It == T.index()) {
-      Queue.erase(It);
+  for (size_t I = Head; I < Queue.size(); ++I) {
+    if (Queue[I] == T.index()) {
+      Queue[I] = Dead;
+      ++NumDead;
       break;
     }
   }
+  while (Head < Queue.size() && Queue[Head] == Dead) {
+    ++Head;
+    --NumDead;
+  }
+  if (NumDead * 2 > Queue.size() - Head)
+    compact();
 }
 
 std::vector<uint32_t> FifoPolicy::stateFingerprint() const {
-  return std::vector<uint32_t>(Queue.begin(), Queue.end());
+  std::vector<uint32_t> Fp;
+  appendFingerprint(Fp);
+  return Fp;
+}
+
+void FifoPolicy::appendFingerprint(std::vector<uint32_t> &Out) const {
+  for (size_t I = Head; I < Queue.size(); ++I)
+    if (Queue[I] != Dead)
+      Out.push_back(Queue[I]);
 }
 
 LifoPolicy::LifoPolicy(std::vector<bool> IsConflicting,
@@ -141,11 +179,22 @@ LifoPolicy::LifoPolicy(std::vector<bool> IsConflicting,
   for (PlaceId P : ResourcePlaces)
     IsResourcePlace[P.index()] = true;
   InStack.assign(this->IsConflicting.size(), false);
+  CandidateFlag.assign(this->IsConflicting.size(), false);
 }
 
 void LifoPolicy::reset() {
   Stack.clear();
+  NumDead = 0;
   std::fill(InStack.begin(), InStack.end(), false);
+}
+
+void LifoPolicy::compact() {
+  size_t Out = 0;
+  for (size_t I = 0; I < Stack.size(); ++I)
+    if (Stack[I] != Dead)
+      Stack[Out++] = Stack[I];
+  Stack.resize(Out);
+  NumDead = 0;
 }
 
 void LifoPolicy::orderCandidates(const PetriNet &Net, const Marking &M,
@@ -168,33 +217,50 @@ void LifoPolicy::orderCandidates(const PetriNet &Net, const Marking &M,
     }
   }
 
-  std::vector<TransitionId> Ordered;
-  Ordered.reserve(Candidates.size());
+  Scratch.clear();
   for (TransitionId T : Candidates)
     if (!IsConflicting[T.index()])
-      Ordered.push_back(T);
-  std::vector<bool> IsCandidate(IsConflicting.size(), false);
+      Scratch.push_back(T);
   for (TransitionId T : Candidates)
-    IsCandidate[T.index()] = true;
-  for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
-    if (IsCandidate[*It])
-      Ordered.push_back(TransitionId(*It));
-  Candidates = std::move(Ordered);
+    CandidateFlag[T.index()] = true;
+  for (size_t I = Stack.size(); I-- > 0;)
+    if (Stack[I] != Dead && CandidateFlag[Stack[I]])
+      Scratch.push_back(TransitionId(Stack[I]));
+  for (TransitionId T : Candidates)
+    CandidateFlag[T.index()] = false;
+  Candidates.swap(Scratch);
 }
 
 void LifoPolicy::noteFired(TransitionId T) {
   if (T.index() >= InStack.size() || !InStack[T.index()])
     return;
   InStack[T.index()] = false;
-  for (auto It = Stack.begin(); It != Stack.end(); ++It) {
-    if (*It == T.index()) {
-      Stack.erase(It);
+  for (size_t I = 0; I < Stack.size(); ++I) {
+    if (Stack[I] == T.index()) {
+      Stack[I] = Dead;
+      ++NumDead;
       break;
     }
   }
+  while (!Stack.empty() && Stack.back() == Dead) {
+    Stack.pop_back();
+    --NumDead;
+  }
+  if (NumDead * 2 > Stack.size())
+    compact();
 }
 
-std::vector<uint32_t> LifoPolicy::stateFingerprint() const { return Stack; }
+std::vector<uint32_t> LifoPolicy::stateFingerprint() const {
+  std::vector<uint32_t> Fp;
+  appendFingerprint(Fp);
+  return Fp;
+}
+
+void LifoPolicy::appendFingerprint(std::vector<uint32_t> &Out) const {
+  for (uint32_t V : Stack)
+    if (V != Dead)
+      Out.push_back(V);
+}
 
 //===----------------------------------------------------------------------===//
 // EarliestFiringEngine
@@ -202,6 +268,10 @@ std::vector<uint32_t> LifoPolicy::stateFingerprint() const { return Stack; }
 
 /// Sentinel finish time for idle transitions.
 static constexpr TimeStep IdleFinish = ~static_cast<TimeStep>(0);
+
+/// Ring buckets are only worth their memory for bounded execution
+/// times; nets with longer taus use the ordered-map fallback.
+static constexpr TimeUnits MaxRingExecTime = 4096;
 
 Status sdsp::validateTimedNet(const PetriNet &Net) {
   if (Net.numTransitions() == 0)
@@ -215,17 +285,317 @@ Status sdsp::validateTimedNet(const PetriNet &Net) {
   return Status::ok();
 }
 
+/// Calls \p F with the index of every set bit, in ascending order.
+template <typename Fn>
+static void forEachSetBit(const std::vector<uint64_t> &Bits, Fn &&F) {
+  for (size_t W = 0; W < Bits.size(); ++W) {
+    uint64_t Word = Bits[W];
+    while (Word) {
+      F(static_cast<uint32_t>(W * 64 + std::countr_zero(Word)));
+      Word &= Word - 1;
+    }
+  }
+}
+
 EarliestFiringEngine::EarliestFiringEngine(const PetriNet &Net,
                                            FiringPolicy *Policy)
     : Net(Net), Policy(Policy), M(Net.initialMarking()),
       FinishTime(Net.numTransitions(), IdleFinish) {
-  // Callers validate inputs with validateTimedNet(); reaching the
-  // engine with a zero execution time is a bug in this codebase.
-  for (TransitionId T : Net.transitionIds())
-    SDSP_CHECK(Net.transition(T).ExecTime >= 1,
-               "engine requires execution times >= 1");
+  size_t NumT = Net.numTransitions();
+  size_t NumP = Net.numPlaces();
+
+  // Flatten the adjacency into CSR form.  Callers validate inputs with
+  // validateTimedNet(); reaching the engine with a zero execution time
+  // is a bug in this codebase.
+  InOff.reserve(NumT + 1);
+  OutOff.reserve(NumT + 1);
+  Exec.reserve(NumT);
+  InOff.push_back(0);
+  OutOff.push_back(0);
+  for (TransitionId T : Net.transitionIds()) {
+    const PetriNet::Transition &Tr = Net.transition(T);
+    SDSP_CHECK(Tr.ExecTime >= 1, "engine requires execution times >= 1");
+    MaxExec = std::max(MaxExec, Tr.ExecTime);
+    Exec.push_back(Tr.ExecTime);
+    for (PlaceId P : Tr.InputPlaces)
+      InList.push_back(P.index());
+    for (PlaceId P : Tr.OutputPlaces)
+      OutList.push_back(P.index());
+    InOff.push_back(static_cast<uint32_t>(InList.size()));
+    OutOff.push_back(static_cast<uint32_t>(OutList.size()));
+  }
+  ConsOff.reserve(NumP + 1);
+  ConsOff.push_back(0);
+  for (PlaceId P : Net.placeIds()) {
+    for (TransitionId T : Net.place(P).Consumers)
+      ConsList.push_back(T.index());
+    ConsOff.push_back(static_cast<uint32_t>(ConsList.size()));
+  }
+
+  // Marked-graph fast-path metadata (see the header).
+  FastFire.assign(NumT, 0);
+  bool AllFastTopo = NumT > 0;
+  for (uint32_t I = 0; I < NumT; ++I) {
+    bool AllSole = true;
+    for (uint32_t K = InOff[I]; K < InOff[I + 1]; ++K) {
+      uint32_t P = InList[K];
+      AllSole &= (ConsOff[P + 1] - ConsOff[P]) == 1;
+    }
+    FastFire[I] = AllSole;
+    AllFastTopo &= AllSole;
+  }
+
+  // Packed-marking slot permutation (see the header): in a pure marked
+  // graph every input-list entry names a distinct place, so slot =
+  // input-list position is a bijection once consumerless places take
+  // the tail.
+  PlaceSlot.assign(NumP, ~0u);
+  if (AllFastTopo)
+    for (uint32_t K = 0, E = static_cast<uint32_t>(InList.size()); K < E; ++K) {
+      if (PlaceSlot[InList[K]] != ~0u) {
+        AllFastTopo = false; // duplicate input arc
+        break;
+      }
+      PlaceSlot[InList[K]] = K;
+    }
+  if (AllFastTopo) {
+    uint32_t Next = static_cast<uint32_t>(InList.size());
+    for (uint32_t P = 0; P < NumP; ++P)
+      if (PlaceSlot[P] == ~0u)
+        PlaceSlot[P] = Next++;
+    SlotPlace.resize(NumP);
+    for (uint32_t P = 0; P < NumP; ++P)
+      SlotPlace[PlaceSlot[P]] = P;
+  } else {
+    for (uint32_t P = 0; P < NumP; ++P)
+      PlaceSlot[P] = P;
+    SlotPlace = PlaceSlot;
+  }
+
+  FastComp.assign(NumT, 0);
+  CompOff.reserve(NumT + 1);
+  CompOff.push_back(0);
+  for (uint32_t I = 0; I < NumT; ++I) {
+    bool AllSingle = true;
+    for (uint32_t K = OutOff[I]; K < OutOff[I + 1]; ++K) {
+      uint32_t P = OutList[K];
+      if (ConsOff[P + 1] - ConsOff[P] != 1) {
+        AllSingle = false;
+        break;
+      }
+    }
+    if (AllSingle)
+      for (uint32_t K = OutOff[I]; K < OutOff[I + 1]; ++K) {
+        uint32_t P = OutList[K];
+        CompPairs.push_back((static_cast<uint64_t>(PlaceSlot[P]) << 32) |
+                            ConsList[ConsOff[P]]);
+        CompPlace.push_back(P);
+      }
+    FastComp[I] = AllSingle;
+    CompOff.push_back(static_cast<uint32_t>(CompPairs.size()));
+  }
+
+  UnitTime = MaxExec == 1;
+  UseRing = MaxExec <= MaxRingExecTime;
+  if (UseRing && !UnitTime)
+    RingCount.assign(static_cast<size_t>(MaxExec) + 1, 0);
+
+  // Readiness is padded to the bitset's word boundary with a nonzero
+  // sentinel so the enabled-bitset rebuild in prepare() can scan whole
+  // 64-lane words; the padding lanes never read as enabled and are
+  // never indexed by a transition id.
+  Readiness.assign(((NumT + 63) / 64) * 64, 1);
+  std::fill_n(Readiness.begin(), NumT, 0u);
+  EnabledIdleBits.assign((NumT + 63) / 64, 0);
+  BusyBits.assign((NumT + 63) / 64, 0);
+  MarkBits.assign(packedMarkWords(NumP), 0);
+
+  for (PlaceId P : Net.placeIds()) {
+    uint32_t C = M.tokens(P);
+    uint32_t S = PlaceSlot[P.index()];
+    if (C >= 1)
+      MarkBits[S >> 6] |= 1ull << (S & 63);
+    if (C >= 2)
+      ++OverflowPlaces;
+  }
+  for (TransitionId T : Net.transitionIds()) {
+    uint32_t Missing = 0;
+    for (PlaceId P : Net.transition(T).InputPlaces)
+      if (M.tokens(P) == 0)
+        ++Missing;
+    Readiness[T.index()] = Missing;
+    if (Missing == 0)
+      setEnabledIdle(T.index());
+  }
+
+  // Policies observe the Marking every step, so keep it eagerly exact
+  // for them; otherwise a safe initial marking runs in bit mode.
+  UseBitMarking = Policy == nullptr && OverflowPlaces == 0;
+  if (!UseBitMarking) {
+    std::fill(FastFire.begin(), FastFire.end(), 0);
+    std::fill(FastComp.begin(), FastComp.end(), 0);
+  }
+  AllFast = UseBitMarking && AllFastTopo;
+
   if (Policy)
     Policy->reset();
+}
+
+void EarliestFiringEngine::setEnabledIdle(uint32_t T) {
+  // Callers only reach this on an exact 0-crossing of Readiness[T], so
+  // the bit is known clear.
+  assert(!(EnabledIdleBits[T >> 6] & (1ull << (T & 63))) &&
+         "transition already in the enabled-idle set");
+  EnabledIdleBits[T >> 6] |= 1ull << (T & 63);
+  ++EnabledIdleCount;
+}
+
+void EarliestFiringEngine::clearEnabledIdle(uint32_t T) {
+  assert((EnabledIdleBits[T >> 6] & (1ull << (T & 63))) &&
+         "transition not in the enabled-idle set");
+  EnabledIdleBits[T >> 6] &= ~(1ull << (T & 63));
+  --EnabledIdleCount;
+}
+
+/// The marking has left the safe regime (or was never in it): rebuild
+/// the exact counts from the bits — they agree while every place holds
+/// at most one token — and make M authoritative from here on.
+void EarliestFiringEngine::leaveBitMarking(uint32_t P) {
+  (void)P;
+  syncMarking();
+  UseBitMarking = false;
+  AllFast = false;
+  std::fill(FastFire.begin(), FastFire.end(), 0);
+  std::fill(FastComp.begin(), FastComp.end(), 0);
+}
+
+void EarliestFiringEngine::syncMarking() const {
+  if (!UseBitMarking)
+    return;
+  size_t NumP = Net.numPlaces();
+  for (size_t P = 0; P < NumP; ++P) {
+    uint32_t S = PlaceSlot[P];
+    M.setTokens(PlaceId(P),
+                static_cast<uint32_t>((MarkBits[S >> 6] >> (S & 63)) & 1));
+  }
+}
+
+void EarliestFiringEngine::produceToken(uint32_t P) {
+  uint32_t S = PlaceSlot[P];
+  uint64_t Bit = 1ull << (S & 63);
+  if (UseBitMarking) {
+    uint64_t &Word = MarkBits[S >> 6];
+    if (!(Word & Bit)) {
+      Word |= Bit;
+      for (uint32_t K = ConsOff[P], E = ConsOff[P + 1]; K < E; ++K) {
+        uint32_t I = ConsList[K];
+        assert((Readiness[I] & (BusyBias - 1)) > 0 &&
+               "missing-input counter underflow");
+        if (--Readiness[I] == 0)
+          setEnabledIdle(I);
+      }
+      return;
+    }
+    // Second token on a marked place: fall back to exact counts.
+    leaveBitMarking(P);
+  }
+  PlaceId Pid(P);
+  M.produce(Pid);
+  uint32_t C = M.tokens(Pid);
+  if (C == 1) {
+    MarkBits[S >> 6] |= Bit;
+    for (uint32_t K = ConsOff[P], E = ConsOff[P + 1]; K < E; ++K) {
+      uint32_t I = ConsList[K];
+      assert((Readiness[I] & (BusyBias - 1)) > 0 &&
+             "missing-input counter underflow");
+      if (--Readiness[I] == 0)
+        setEnabledIdle(I);
+    }
+  } else if (C == 2) {
+    ++OverflowPlaces;
+  }
+}
+
+void EarliestFiringEngine::consumeToken(uint32_t P) {
+  uint32_t S = PlaceSlot[P];
+  uint64_t Bit = 1ull << (S & 63);
+  if (UseBitMarking) {
+    uint64_t &Word = MarkBits[S >> 6];
+    assert((Word & Bit) && "consuming from an empty place");
+    Word &= ~Bit;
+    for (uint32_t K = ConsOff[P], E = ConsOff[P + 1]; K < E; ++K) {
+      uint32_t I = ConsList[K];
+      if (Readiness[I]++ == 0)
+        clearEnabledIdle(I);
+    }
+    return;
+  }
+  PlaceId Pid(P);
+  M.consume(Pid);
+  uint32_t C = M.tokens(Pid);
+  if (C == 0) {
+    MarkBits[S >> 6] &= ~Bit;
+    for (uint32_t K = ConsOff[P], E = ConsOff[P + 1]; K < E; ++K) {
+      uint32_t I = ConsList[K];
+      if (Readiness[I]++ == 0)
+        clearEnabledIdle(I);
+    }
+  } else if (C == 1) {
+    --OverflowPlaces;
+  }
+}
+
+/// Token production side of completing transition \p I: the fast pair
+/// stream when available, the generic per-place walk otherwise.
+void EarliestFiringEngine::produceOutputs(uint32_t I) {
+  if (FastComp[I]) {
+    // Bit-marking fast path: stream the precomputed (slot, consumer)
+    // pairs; each produce is one bit set plus one readiness decrement.
+    for (uint32_t K = CompOff[I], E = CompOff[I + 1]; K < E; ++K) {
+      uint64_t Pair = CompPairs[K];
+      uint32_t S = static_cast<uint32_t>(Pair >> 32);
+      uint64_t &Word = MarkBits[S >> 6];
+      uint64_t Bit = 1ull << (S & 63);
+      if (Word & Bit) [[unlikely]] {
+        // Second token on a marked place: abandon bit mode and finish
+        // this completion with exact counts.
+        leaveBitMarking(CompPlace[K]);
+        for (; K < E; ++K)
+          produceToken(CompPlace[K]);
+        break;
+      }
+      Word |= Bit;
+      uint32_t C = static_cast<uint32_t>(Pair);
+      assert((Readiness[C] & (BusyBias - 1)) > 0 &&
+             "missing-input counter underflow");
+      // Branchless enable: whether this produce completes the consumer's
+      // readiness is data-dependent (~coin-flip in pipelined nets), so an
+      // unconditional masked OR beats a mispredicting branch.
+      uint32_t R = Readiness[C] - 1;
+      Readiness[C] = R;
+      bool En = R == 0;
+      EnabledIdleBits[C >> 6] |= static_cast<uint64_t>(En) << (C & 63);
+      EnabledIdleCount += En;
+    }
+  } else {
+    for (uint32_t K = OutOff[I], E = OutOff[I + 1]; K < E; ++K)
+      produceToken(OutList[K]);
+  }
+}
+
+/// Completion of transition \p I at the current instant: leave the busy
+/// set, produce the output tokens, and re-enter the enabled-idle set if
+/// the inputs are already marked again.  (Unit-time nets bypass this:
+/// prepare() drains whole busy words instead.)
+void EarliestFiringEngine::completeTransition(uint32_t I) {
+  assert(FinishTime[I] == Now && "completing a transition not due now");
+  FinishTime[I] = IdleFinish;
+  BusyBits[I >> 6] &= ~(1ull << (I & 63));
+  --BusyCount;
+  produceOutputs(I);
+  if ((Readiness[I] -= BusyBias) == 0)
+    setEnabledIdle(I);
+  CompletedThisStep.push_back(TransitionId(I));
 }
 
 void EarliestFiringEngine::prepare() {
@@ -233,49 +603,225 @@ void EarliestFiringEngine::prepare() {
     return;
   Prepared = true;
   CompletedThisStep.clear();
+  CompletedIsLastFired = false;
 
   // Phase A1: completions.  A transition fired at u with time tau
-  // finishes and produces its output tokens at u + tau.
-  for (size_t I = 0; I < FinishTime.size(); ++I) {
-    if (FinishTime[I] != Now)
-      continue;
-    FinishTime[I] = IdleFinish;
-    TransitionId T(I);
-    for (PlaceId P : Net.transition(T).OutputPlaces)
-      M.produce(P);
-    CompletedThisStep.push_back(T);
+  // finishes and produces its output tokens at u + tau.  The bucket for
+  // the current instant counts the transitions finishing now; their
+  // identity is recovered by walking the busy bitset and matching
+  // finish times, which visits them in index order — matching the
+  // reference engine's finish-time sweep — without a sort.  (Each word
+  // is snapshotted before its bits are dispatched, so clearing busy
+  // bits mid-walk is safe.)
+  if (UnitTime) {
+    // Every busy transition finishes now; drain the busy set (no
+    // finish-time matching, no queue).
+    if (BusyCount != 0 && Policy == nullptr) {
+      // Without a policy the busy set is exactly LastFired, already
+      // materialized in ascending index order by the previous firing
+      // phase — iterate it sequentially instead of chasing set bits
+      // (the countr_zero / clear-lowest-bit walk is a serial latency
+      // chain).  Raw pointers: stores through the word arrays could
+      // alias the vectors' own control fields, so without these the
+      // compiler re-loads every data pointer after every store.
+      assert(LastFired.size() == BusyCount &&
+             "unit busy set diverged from the last firing record");
+      const uint8_t *FastC = FastComp.data();
+      const uint32_t *COff = CompOff.data();
+      const uint64_t *CPairs = CompPairs.data();
+      uint64_t *MarkP = MarkBits.data();
+      uint32_t *RdP = Readiness.data();
+      CompletedIsLastFired = true; // LastFired == busy set, index order
+      const TransitionId *LF = LastFired.data();
+      // No enabled-bit upkeep here: the vectorized readiness rebuild
+      // below re-derives the whole bitset from the counters once the
+      // drain settles, so every produce is just a mark OR and a
+      // counter decrement.
+      for (size_t K0 = 0, NC = LastFired.size(); K0 < NC; ++K0) {
+        uint32_t I = LF[K0].index();
+        if (FastC[I]) [[likely]] {
+          for (uint32_t K = COff[I], E = COff[I + 1]; K < E; ++K) {
+            uint64_t Pair = CPairs[K];
+            uint32_t S = static_cast<uint32_t>(Pair >> 32);
+            uint64_t Bit = 1ull << (S & 63);
+            if (MarkP[S >> 6] & Bit) [[unlikely]] {
+              // Second token on a marked place: abandon bit mode and
+              // finish this completion with exact counts.
+              leaveBitMarking(CompPlace[K]);
+              for (; K < E; ++K)
+                produceToken(CompPlace[K]);
+              break;
+            }
+            MarkP[S >> 6] |= Bit;
+            --RdP[static_cast<uint32_t>(Pair)];
+          }
+        } else {
+          produceOutputs(I);
+        }
+        RdP[I] -= BusyBias;
+      }
+      std::fill(BusyBits.begin(), BusyBits.end(), 0);
+      BusyCount = 0;
+    } else if (BusyCount != 0) {
+      // Policy engines replay completions through the recording path:
+      // walk the busy bitset a word at a time, in index order.
+      uint64_t *BusyP = BusyBits.data();
+      for (size_t W = 0, NW = BusyBits.size(); W < NW; ++W) {
+        uint64_t Word = BusyP[W];
+        if (!Word)
+          continue;
+        BusyP[W] = 0;
+        do {
+          uint32_t I = static_cast<uint32_t>(W * 64 + std::countr_zero(Word));
+          Word &= Word - 1;
+          produceOutputs(I);
+          uint32_t R = Readiness[I] - BusyBias;
+          Readiness[I] = R;
+          if (R == 0)
+            setEnabledIdle(I);
+          CompletedThisStep.push_back(TransitionId(I));
+        } while (Word);
+      }
+      BusyCount = 0;
+    }
+  } else {
+    bool AnyDue =
+        UseRing ? RingCount[static_cast<size_t>(Now % (MaxExec + 1))] != 0
+                : (!Far.empty() && Far.begin()->first == Now);
+    if (AnyDue) {
+      for (size_t W = 0; W < BusyBits.size(); ++W) {
+        uint64_t Word = BusyBits[W];
+        while (Word) {
+          uint32_t I = static_cast<uint32_t>(W * 64 + std::countr_zero(Word));
+          Word &= Word - 1;
+          if (FinishTime[I] == Now)
+            completeTransition(I);
+        }
+      }
+      if (UseRing)
+        RingCount[static_cast<size_t>(Now % (MaxExec + 1))] = 0;
+      else
+        Far.erase(Far.begin());
+    }
   }
 
-  // Phase A2: candidate set = enabled idle transitions, index order.
-  Ordered.clear();
-  for (TransitionId T : Net.transitionIds())
-    if (FinishTime[T.index()] == IdleFinish && Net.isEnabled(T, M))
-      Ordered.push_back(T);
+  // Rebuild the enabled-idle bitset and count from the readiness
+  // counters: the fused invariant (enabled and idle iff the word is
+  // zero) makes this a sequential compare-to-zero sweep, which lets the
+  // unit drain above skip the scattered per-produce bit upkeep
+  // entirely.  The incremental updates other paths make are simply
+  // overwritten.  The sweep reads whole 64-lane words (the counter
+  // array is sentinel-padded), vectorized on SSE2 as four-lane
+  // compares folded into a movemask.
+  {
+    const uint32_t *RdP = Readiness.data();
+    uint64_t *EnP = EnabledIdleBits.data();
+    size_t EnCount = 0;
+    for (size_t W = 0, NW = EnabledIdleBits.size(); W < NW; ++W) {
+      const uint32_t *P = RdP + W * 64;
+      uint64_t Bits = 0;
+#if defined(__SSE2__)
+      const __m128i Zero = _mm_setzero_si128();
+      for (unsigned G = 0; G < 64; G += 16) {
+        __m128i A = _mm_cmpeq_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G)), Zero);
+        __m128i B = _mm_cmpeq_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G + 4)),
+            Zero);
+        __m128i C = _mm_cmpeq_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G + 8)),
+            Zero);
+        __m128i D = _mm_cmpeq_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G + 12)),
+            Zero);
+        uint64_t M =
+            static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(A))) |
+            (static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(B)))
+             << 4) |
+            (static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(C)))
+             << 8) |
+            (static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(D)))
+             << 12);
+        Bits |= M << G;
+      }
+#else
+      for (unsigned G = 0; G < 64; ++G)
+        Bits |= static_cast<uint64_t>(P[G] == 0) << G;
+#endif
+      EnP[W] = Bits;
+      EnCount += static_cast<size_t>(std::popcount(Bits));
+    }
+    EnabledIdleCount = EnCount;
+  }
 
-  // Phase A3: the machine observes the state and orders its choices.
-  if (Policy)
+  // Phase A2+A3: candidate set = enabled idle transitions, index order,
+  // then the machine observes the state and orders its choices.  With no
+  // policy the order IS the bitset's index order, so materializing the
+  // list waits until someone asks (candidates()); the firing loop walks
+  // the bitset directly.
+  OrderedValid = false;
+  if (Policy) {
+    Ordered.clear();
+    forEachSetBit(EnabledIdleBits,
+                  [&](uint32_t I) { Ordered.push_back(TransitionId(I)); });
     Policy->orderCandidates(Net, M, Ordered);
+    OrderedValid = true;
+  }
 }
 
 InstantaneousState EarliestFiringEngine::state() const {
   assert(Prepared && "state sampled before prepare()");
+  syncMarking();
   InstantaneousState S;
   S.M = M;
   S.Residual.assign(Net.numTransitions(), 0);
   // Residual firing time R_u(t): remaining execution time of busy
   // transitions at the sample instant (post-completion, pre-firing); a
   // unit-time net therefore always samples the all-zero vector, matching
-  // the paper's Figure 1(e).
-  for (size_t I = 0; I < FinishTime.size(); ++I)
-    if (FinishTime[I] != IdleFinish)
-      S.Residual[I] = static_cast<TimeUnits>(FinishTime[I] - Now);
+  // the paper's Figure 1(e).  Walk the busy set, not FinishTime: unit
+  // mode leaves stale entries there by design.
+  forEachSetBit(BusyBits, [&](uint32_t I) {
+    S.Residual[I] = static_cast<TimeUnits>(FinishTime[I] - Now);
+  });
   if (Policy)
     S.PolicyFingerprint = Policy->stateFingerprint();
   return S;
 }
 
+void EarliestFiringEngine::packState(PackedState &Out) const {
+  assert(Prepared && "state packed before prepare()");
+  Out.beginState(MarkBits.size());
+  Out.setMarkWords(MarkBits);
+  if (OverflowPlaces > 0) {
+    // Rare non-safe path: walk the marked places for multi-token
+    // counts.  Safe nets (the paper's setting) never enter this branch.
+    forEachSetBit(MarkBits, [&](uint32_t S) {
+      uint32_t P = SlotPlace[S];
+      uint32_t C = M.tokens(PlaceId(P));
+      if (C >= 2)
+        Out.appendOverflow(P, C);
+    });
+  }
+  forEachSetBit(BusyBits, [&](uint32_t I) {
+    Out.appendBusy(I, static_cast<uint32_t>(FinishTime[I] - Now));
+  });
+  if (Policy) {
+    FpScratch.clear();
+    Policy->appendFingerprint(FpScratch);
+    for (uint32_t V : FpScratch)
+      Out.appendFingerprint(V);
+  }
+  Out.finishState();
+}
+
 const std::vector<TransitionId> &EarliestFiringEngine::candidates() const {
   assert(Prepared && "candidates requested before prepare()");
+  if (!OrderedValid) {
+    Ordered.clear();
+    forEachSetBit(EnabledIdleBits,
+                  [&](uint32_t I) { Ordered.push_back(TransitionId(I)); });
+    OrderedValid = true;
+  }
   return Ordered;
 }
 
@@ -284,20 +830,179 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
 
   StepRecord Rec;
   Rec.Time = Now;
-  Rec.Completed = CompletedThisStep;
+  // The unit drain already consumed LastFired, and it is rebuilt from
+  // Rec.Fired below — hand its buffer to the record instead of copying.
+  if (CompletedIsLastFired)
+    Rec.Completed = std::move(LastFired);
+  else
+    Rec.Completed = CompletedThisStep;
+  Rec.Fired.reserve(EnabledIdleCount);
 
   // Greedy maximal firing in policy order.  Consumption happens now;
   // production is deferred to completion, so firings within one step
   // cannot cascade (execution times are >= 1).
-  for (TransitionId T : Ordered) {
-    if (!Net.isEnabled(T, M))
-      continue; // An earlier firing consumed a shared token.
-    for (PlaceId P : Net.transition(T).InputPlaces)
-      M.consume(P);
-    FinishTime[T.index()] = Now + Net.transition(T).ExecTime;
-    Rec.Fired.push_back(T);
-    if (Policy)
+  if (AllFast) {
+    // Pure marked graph: firing a candidate cannot disable any other
+    // (no shared input places), so every enabled-idle transition fires
+    // — no readiness re-check, each word retired with two bitset
+    // stores, and the fired list written through a raw pointer.  The
+    // slot permutation puts transition I's input marks at bits
+    // [InOff[I], InOff[I+1]), so consuming is a masked clear with no
+    // input-list loads.
+    const uint32_t *InOffP = InOff.data();
+    uint32_t *RdP = Readiness.data();
+    uint64_t *MarkP = MarkBits.data();
+    uint64_t *EnP = EnabledIdleBits.data();
+    uint64_t *BusyP = BusyBits.data();
+    Rec.Fired.resize(EnabledIdleCount);
+    TransitionId *Out = Rec.Fired.data();
+    size_t NF = 0;
+    for (size_t W = 0, NW = EnabledIdleBits.size(); W < NW; ++W) {
+      uint64_t Word = EnP[W];
+      if (!Word)
+        continue;
+      EnP[W] = 0;
+      BusyP[W] |= Word;
+      do {
+        uint32_t I = static_cast<uint32_t>(W * 64 + std::countr_zero(Word));
+        Word &= Word - 1;
+        assert(Readiness[I] == 0 && "enabled-idle bit with nonzero word");
+        uint32_t B = InOffP[I], E = InOffP[I + 1];
+        if (B != E) {
+          uint32_t Last = E - 1;
+          size_t W0 = B >> 6, W1 = Last >> 6;
+          uint64_t MaskLo = ~0ull << (B & 63);
+          uint64_t MaskHi = ~0ull >> (63 - (Last & 63));
+          if (W0 == W1) [[likely]] {
+            assert((MarkP[W0] & (MaskLo & MaskHi)) == (MaskLo & MaskHi) &&
+                   "consuming from an empty place");
+            MarkP[W0] &= ~(MaskLo & MaskHi);
+          } else {
+            MarkP[W0] &= ~MaskLo;
+            for (size_t V = W0 + 1; V < W1; ++V)
+              MarkP[V] = 0;
+            MarkP[W1] &= ~MaskHi;
+          }
+        }
+        RdP[I] = (E - B) + BusyBias;
+        if (!UnitTime) {
+          TimeStep F = Now + Exec[I];
+          FinishTime[I] = F;
+          if (UseRing)
+            ++RingCount[static_cast<size_t>(F % (MaxExec + 1))];
+          else
+            ++Far[F];
+        }
+        Out[NF++] = TransitionId(I);
+      } while (Word);
+    }
+    assert(NF == EnabledIdleCount && "marked-graph candidate was skipped");
+    BusyCount += NF;
+    EnabledIdleCount = 0;
+    if (UnitTime)
+      LastFired = Rec.Fired;
+  } else if (!Policy) {
+    // Candidate order is bitset index order; walk the words directly
+    // and collect each word's fast-path firings into one pair of
+    // bitset updates.  (Word snapshots make the mid-walk clears from
+    // generic consumes safe: a cleared candidate re-checks Readiness.)
+    // Pointers and counters live in locals for the same aliasing
+    // reason as the completion drain.
+    const uint8_t *FastF = FastFire.data();
+    const uint32_t *InOffP = InOff.data();
+    const uint32_t *InListP = InList.data();
+    uint32_t *RdP = Readiness.data();
+    uint64_t *MarkP = MarkBits.data();
+    uint64_t *EnP = EnabledIdleBits.data();
+    uint64_t *BusyP = BusyBits.data();
+    size_t EnCount = EnabledIdleCount;
+    size_t BusyCnt = BusyCount;
+    for (size_t W = 0, NW = EnabledIdleBits.size(); W < NW; ++W) {
+      uint64_t Word = EnP[W];
+      if (!Word)
+        continue;
+      uint64_t FiredW = 0;
+      do {
+        uint32_t I = static_cast<uint32_t>(W * 64 + std::countr_zero(Word));
+        Word &= Word - 1;
+        if (RdP[I] != 0)
+          continue; // An earlier firing consumed a shared token.
+        uint32_t B = InOffP[I], E = InOffP[I + 1];
+        if (FastF[I]) [[likely]] {
+          // Bit-marking fast path: every input place's sole consumer
+          // is this transition, so consuming cannot touch anyone
+          // else's readiness — just clear the input bits and account
+          // the whole firing in one readiness store.
+          for (uint32_t K = B; K < E; ++K) {
+            uint32_t P = InListP[K];
+            assert((MarkP[P >> 6] & (1ull << (P & 63))) &&
+                   "consuming from an empty place");
+            MarkP[P >> 6] &= ~(1ull << (P & 63));
+          }
+          RdP[I] = (E - B) + BusyBias;
+          FiredW |= 1ull << (I & 63);
+        } else {
+          EnabledIdleCount = EnCount;
+          for (uint32_t K = B; K < E; ++K)
+            consumeToken(InListP[K]);
+          // Consuming the first emptied input already cleared the
+          // enabled-idle bit via the consumer walk; only a firing
+          // whose inputs all stay marked (multi-token places) clears
+          // it here.
+          if (RdP[I] == 0)
+            clearEnabledIdle(I);
+          EnCount = EnabledIdleCount;
+          RdP[I] += BusyBias;
+          BusyP[W] |= 1ull << (I & 63);
+          ++BusyCnt;
+        }
+        if (!UnitTime) {
+          TimeStep F = Now + Exec[I];
+          FinishTime[I] = F;
+          if (UseRing)
+            ++RingCount[static_cast<size_t>(F % (MaxExec + 1))];
+          else
+            ++Far[F];
+        }
+        Rec.Fired.push_back(TransitionId(I));
+      } while (Word);
+      EnP[W] &= ~FiredW;
+      EnCount -= static_cast<size_t>(std::popcount(FiredW));
+      BusyP[W] |= FiredW;
+      BusyCnt += static_cast<size_t>(std::popcount(FiredW));
+    }
+    EnabledIdleCount = EnCount;
+    BusyCount = BusyCnt;
+    if (UnitTime)
+      LastFired = Rec.Fired;
+  } else {
+    for (TransitionId T : Ordered) {
+      uint32_t I = T.index();
+      if (Readiness[I] != 0)
+        continue; // An earlier firing consumed a shared token.
+      uint32_t B = InOff[I], E = InOff[I + 1];
+      // Policies force exact-count mode, so only the generic consume
+      // path applies here (FastFire is zeroed in the constructor).
+      for (uint32_t K = B; K < E; ++K)
+        consumeToken(InList[K]);
+      if (Readiness[I] == 0)
+        clearEnabledIdle(I);
+      Readiness[I] += BusyBias;
+      BusyBits[I >> 6] |= 1ull << (I & 63);
+      ++BusyCount;
+      if (!UnitTime) {
+        // Unit-time nets complete the whole busy set next step, so the
+        // finish bookkeeping below would never be read.
+        TimeStep F = Now + Exec[I];
+        FinishTime[I] = F;
+        if (UseRing)
+          ++RingCount[static_cast<size_t>(F % (MaxExec + 1))];
+        else
+          ++Far[F];
+      }
+      Rec.Fired.push_back(T);
       Policy->noteFired(T);
+    }
   }
 
   ++Now;
@@ -305,12 +1010,32 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
   return Rec;
 }
 
-bool EarliestFiringEngine::isQuiescent() const {
-  for (TimeStep F : FinishTime)
-    if (F != IdleFinish)
-      return false;
-  for (TransitionId T : Net.transitionIds())
-    if (Net.isEnabled(T, M))
-      return false;
-  return true;
+std::optional<TimeStep> EarliestFiringEngine::nextFinishTime() const {
+  if (BusyCount == 0)
+    return std::nullopt;
+  if (UnitTime) {
+    // Busy transitions all finish one step after firing; between steps
+    // that instant is the current one.  (Prepared with a non-empty busy
+    // set cannot happen: prepare() drains it.)
+    assert(!Prepared && "unit-time busy set nonempty after prepare()");
+    return Now;
+  }
+  if (!UseRing)
+    return Far.begin()->first;
+  for (TimeUnits R = Prepared ? 1 : 0; R <= MaxExec; ++R) {
+    TimeStep F = Now + R;
+    if (RingCount[static_cast<size_t>(F % (MaxExec + 1))] != 0)
+      return F;
+  }
+  SDSP_UNREACHABLE("busy transitions but no pending finish time");
+}
+
+void EarliestFiringEngine::leapTo(TimeStep T) {
+  SDSP_CHECK(!Prepared, "leapTo() must run between steps");
+  SDSP_CHECK(T >= Now, "leapTo() cannot rewind the clock");
+  SDSP_CHECK(EnabledIdleCount == 0,
+             "leapTo() across an instant where a transition could fire");
+  std::optional<TimeStep> F = nextFinishTime();
+  SDSP_CHECK(!F || *F >= T, "leapTo() across a pending completion");
+  Now = T;
 }

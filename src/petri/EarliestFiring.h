@@ -31,16 +31,29 @@
 ///                    (re-checking enablement after each consumption)
 ///                    and advances the clock by one unit.
 ///
+/// The engine is incremental (docs/PERF.md): per-transition
+/// missing-input-token counters are updated as tokens move, so the
+/// candidate set falls out of a bitset walk instead of a full transition
+/// rescan; completions come from a bucketed finish-time queue instead of
+/// a finish-time sweep; and quiescence is two counter reads.  A step
+/// where nothing completes and nothing can fire costs O(1), and
+/// nextFinishTime()/leapTo() let callers jump the clock over such idle
+/// stretches (event-driven time leaping).  petri/ReferenceEngine.h
+/// retains the naive engine as the behavioral oracle; the
+/// golden-equivalence suite pins both to identical behavior graphs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SDSP_PETRI_EARLIESTFIRING_H
 #define SDSP_PETRI_EARLIESTFIRING_H
 
+#include "petri/PackedState.h"
 #include "petri/PetriNet.h"
 #include "support/Status.h"
 
 #include <cstdint>
-#include <deque>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -94,6 +107,11 @@ public:
 
   /// Serializes the machine condition for state equality.
   virtual std::vector<uint32_t> stateFingerprint() const = 0;
+
+  /// Appends the machine condition to \p Out without allocating a fresh
+  /// vector; must emit exactly the stateFingerprint() values.  The
+  /// default forwards to stateFingerprint(); hot policies override.
+  virtual void appendFingerprint(std::vector<uint32_t> &Out) const;
 };
 
 /// The FIFO decision mechanism of Section 5.2: transitions enter a queue
@@ -116,15 +134,28 @@ public:
                        std::vector<TransitionId> &Candidates) override;
   void noteFired(TransitionId T) override;
   std::vector<uint32_t> stateFingerprint() const override;
+  void appendFingerprint(std::vector<uint32_t> &Out) const override;
 
 private:
+  /// Queue entries equal to Dead are tombstones: noteFired marks in
+  /// O(1)-amortized instead of erasing from the middle, and iteration
+  /// skips them.  Live entries sit in [Head, Queue.size()).
+  static constexpr uint32_t Dead = ~0u;
+
   std::vector<bool> IsConflicting;
   std::vector<bool> IsResourcePlace;
-  std::deque<uint32_t> Queue;
+  std::vector<uint32_t> Queue;
+  size_t Head = 0;
+  size_t NumDead = 0;
   std::vector<bool> InQueue;
+  /// Per-step scratch (member so steps allocate nothing at steady
+  /// state).
+  std::vector<TransitionId> Scratch;
+  std::vector<bool> CandidateFlag;
 
   bool isDataReady(const PetriNet &Net, const Marking &M,
                    TransitionId T) const;
+  void compact();
 };
 
 /// A LIFO variant used by the choice-policy ablation: newest data-ready
@@ -139,12 +170,20 @@ public:
                        std::vector<TransitionId> &Candidates) override;
   void noteFired(TransitionId T) override;
   std::vector<uint32_t> stateFingerprint() const override;
+  void appendFingerprint(std::vector<uint32_t> &Out) const override;
 
 private:
+  static constexpr uint32_t Dead = ~0u;
+
   std::vector<bool> IsConflicting;
   std::vector<bool> IsResourcePlace;
   std::vector<uint32_t> Stack;
+  size_t NumDead = 0;
   std::vector<bool> InStack;
+  std::vector<TransitionId> Scratch;
+  std::vector<bool> CandidateFlag;
+
+  void compact();
 };
 
 /// What happened during one clock step.
@@ -156,7 +195,15 @@ struct StepRecord {
   std::vector<TransitionId> Fired;
 };
 
-/// The execution engine.
+/// The execution engine.  Maintains, incrementally:
+///   - Readiness[t]: input places of t currently empty, plus a busy
+///     bias while t is in flight (t is enabled and idle iff the word
+///     reads zero);
+///   - enabled-idle and busy transition bitsets plus their population
+///     counts (isQuiescent() is O(1));
+///   - the packed marking bits consumed by packState();
+///   - a bucketed queue of pending finish times (completions are a
+///     bucket drain, not a transition sweep).
 class EarliestFiringEngine {
 public:
   /// \p Policy may be null (index-order maximal steps); it is borrowed,
@@ -172,6 +219,11 @@ public:
   /// have run.
   InstantaneousState state() const;
 
+  /// Packs the instantaneous state into \p Out in
+  /// O(places/64 + busy + fingerprint) — no per-place or per-transition
+  /// scan.  prepare() must have run.
+  void packState(PackedState &Out) const;
+
   /// The enabled idle transitions, in the policy's firing order.
   /// prepare() must have run.
   const std::vector<TransitionId> &candidates() const;
@@ -181,23 +233,168 @@ public:
   StepRecord fireAndAdvance();
 
   TimeStep now() const { return Now; }
-  const Marking &marking() const { return M; }
+  const Marking &marking() const {
+    syncMarking();
+    return M;
+  }
   const PetriNet &net() const { return Net; }
 
   /// True if nothing is in flight and nothing can fire: the net is dead
-  /// from this state.
-  bool isQuiescent() const;
+  /// from this state.  O(1).
+  bool isQuiescent() const {
+    return BusyCount == 0 && EnabledIdleCount == 0;
+  }
+
+  /// True if the prepared step observed no completions and has no
+  /// candidates: nothing will change before the next pending finish
+  /// time.  prepare() must have run.
+  bool idleStep() const {
+    assert(Prepared && "idleStep queried before prepare()");
+    return (CompletedIsLastFired ? LastFired.empty()
+                                 : CompletedThisStep.empty()) &&
+           EnabledIdleCount == 0;
+  }
+
+  /// Earliest pending completion time, or nullopt when nothing is in
+  /// flight.
+  std::optional<TimeStep> nextFinishTime() const;
+
+  /// Event-driven time leap: sets the clock to \p T without simulating
+  /// the intermediate instants.  Only legal between steps (after
+  /// fireAndAdvance) while no transition is enabled and no completion is
+  /// pending before \p T — i.e. the skipped instants are provably idle.
+  void leapTo(TimeStep T);
+
+  /// Busy (in-flight) transitions right now.
+  size_t numBusy() const { return BusyCount; }
 
 private:
   const PetriNet &Net;
   FiringPolicy *Policy;
-  Marking M;
+  /// Mutable: in bit-marking mode (below) the counts are synchronized
+  /// from MarkBits only when a caller asks for them.
+  mutable Marking M;
   /// Absolute completion time per busy transition; ~0 when idle.
   std::vector<TimeStep> FinishTime;
   TimeStep Now = 0;
   bool Prepared = false;
-  std::vector<TransitionId> Ordered;
+  /// Candidate list in firing order.  With a policy it is built every
+  /// prepare() (the policy must observe and reorder it); without one it
+  /// is just the enabled-idle bitset expanded in index order, so it is
+  /// materialized lazily in candidates() — the firing loop walks the
+  /// bitset directly.
+  mutable std::vector<TransitionId> Ordered;
+  mutable bool OrderedValid = false;
   std::vector<TransitionId> CompletedThisStep;
+  /// Fired set of the previous step.  In unit-time nets with no policy
+  /// it doubles as the completion list of the next step (everything
+  /// fired at u finishes at u+1, and both lists are in index order), so
+  /// prepare() just flags it as the completion list instead of
+  /// re-recording completions one at a time.
+  std::vector<TransitionId> LastFired;
+  bool CompletedIsLastFired = false;
+
+  /// Flat CSR mirrors of the net's adjacency, built once at
+  /// construction.  The hot loop moves ~O(firings * arcs) tokens per
+  /// step; walking contiguous uint32 ranges here instead of the
+  /// per-place/per-transition std::vectors inside PetriNet (each a
+  /// separate heap block behind a checked accessor) is the single
+  /// largest win of the incremental engine (docs/PERF.md).
+  std::vector<uint32_t> InOff, InList;     // transition -> input places
+  std::vector<uint32_t> OutOff, OutList;   // transition -> output places
+  std::vector<uint32_t> ConsOff, ConsList; // place -> consuming transitions
+  std::vector<TimeUnits> Exec;             // transition -> execution time
+
+  /// Marked-graph fast paths, valid only in bit-marking mode (both
+  /// flag vectors are zeroed when it ends).  FastFire[t]: every input
+  /// place of t has t as its sole consumer, so firing t touches no
+  /// other transition's readiness — consume is a handful of bit
+  /// clears.  FastComp[t]: every output place of t has exactly one
+  /// consumer, so completion streams the precomputed
+  /// (place << 32 | consumer) pairs in CompPairs[CompOff[t]..) instead
+  /// of chasing the place CSR.
+  std::vector<uint8_t> FastFire, FastComp;
+  std::vector<uint32_t> CompOff;
+  std::vector<uint64_t> CompPairs;
+  /// Producing place of each CompPairs entry (the pairs themselves
+  /// carry the packed-marking slot); only read on the cold fallback
+  /// out of bit-marking mode.
+  std::vector<uint32_t> CompPlace;
+
+  /// Packed-marking bit layout.  In a pure marked graph every place
+  /// feeds at most one transition, so places are renumbered by their
+  /// position in the flattened input list: transition t's input places
+  /// occupy the consecutive bit range [InOff[t], InOff[t+1]), letting
+  /// the firing loop consume them with one masked store and no input
+  /// list loads.  Consumerless places take the tail slots.  The
+  /// renumbering is a per-net bijection — state identity, and hence
+  /// frustum detection, is unaffected.  For every other net the maps
+  /// are the identity.
+  std::vector<uint32_t> PlaceSlot; // place -> packed bit position
+  std::vector<uint32_t> SlotPlace; // packed bit position -> place
+
+  /// Incremental enabledness, fused into one word per transition: the
+  /// low bits count the transition's currently empty input places, and
+  /// BusyBias is added while it is in flight.  A transition is enabled
+  /// and idle iff its word reads zero, so the token-movement walks
+  /// touch a single counter, and every enabled-idle bitset update rides
+  /// an exact 0-crossing (no membership test needed).
+  static constexpr uint32_t BusyBias = 1u << 24;
+  std::vector<uint32_t> Readiness;
+  std::vector<uint64_t> EnabledIdleBits;
+  std::vector<uint64_t> BusyBits;
+  size_t EnabledIdleCount = 0;
+  size_t BusyCount = 0;
+
+  /// Packed marking, maintained as tokens move: bit p set iff place p
+  /// holds >= 1 token; OverflowPlaces counts places holding >= 2.
+  std::vector<uint64_t> MarkBits;
+  size_t OverflowPlaces = 0;
+
+  /// While the marking is safe (every place <= 1 token) and no policy
+  /// observes M each step, the marking lives entirely in MarkBits and
+  /// the Marking counts are rebuilt on demand — the hot loop then moves
+  /// one bit per token instead of maintaining two representations.  The
+  /// first produce onto an already-marked place abandons bit mode and
+  /// makes M authoritative again (exact counts, OverflowPlaces).
+  bool UseBitMarking = false;
+
+  /// Bit-marking mode with FastFire on every transition: the net is a
+  /// pure marked graph (no place has two consumers), so no firing can
+  /// disable another candidate — the whole enabled-idle set fires every
+  /// step, letting the firing loop skip the per-candidate readiness
+  /// re-check and retire each word with two bitset stores.  Cleared
+  /// together with the fast paths when bit mode ends.
+  bool AllFast = false;
+
+  /// Bucketed finish-time queue.  Pending finish times span at most
+  /// MaxExec, so a ring of MaxExec+1 buckets indexed by F % (MaxExec+1)
+  /// is collision-free; nets with absurdly long execution times fall
+  /// back to an ordered map.  Buckets hold only a count: the identity
+  /// of the completing transitions is recovered by walking BusyBits and
+  /// matching FinishTime against the clock, which yields index order
+  /// without a sort.
+  TimeUnits MaxExec = 1;
+  std::vector<uint32_t> RingCount;
+  std::map<TimeStep, uint32_t> Far;
+  bool UseRing = true;
+  /// Every execution time is 1 (the paper's unit-time setting): every
+  /// busy transition completes on the very next step, so the finish
+  /// queue and FinishTime bookkeeping are skipped entirely — the busy
+  /// bitset IS the completion set, drained word-at-a-time.
+  bool UnitTime = false;
+
+  /// Reusable fingerprint scratch for packState().
+  mutable std::vector<uint32_t> FpScratch;
+
+  void produceToken(uint32_t P);
+  void consumeToken(uint32_t P);
+  void produceOutputs(uint32_t I);
+  void completeTransition(uint32_t I);
+  void leaveBitMarking(uint32_t P);
+  void syncMarking() const;
+  void setEnabledIdle(uint32_t T);
+  void clearEnabledIdle(uint32_t T);
 };
 
 } // namespace sdsp

@@ -13,11 +13,6 @@
 
 using namespace sdsp;
 
-void Marking::consume(PlaceId P) {
-  assert(Tokens[P.index()] > 0 && "consuming from an empty place");
-  --Tokens[P.index()];
-}
-
 uint64_t Marking::totalTokens() const {
   uint64_t Sum = 0;
   for (uint32_t N : Tokens)

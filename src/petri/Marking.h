@@ -17,6 +17,7 @@
 
 #include "support/Ids.h"
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -42,8 +43,12 @@ public:
   /// Adds one token to \p P.
   void produce(PlaceId P) { ++Tokens[P.index()]; }
 
-  /// Removes one token from \p P; the place must be marked.
-  void consume(PlaceId P);
+  /// Removes one token from \p P; the place must be marked.  Inline:
+  /// the simulation engines call this once per consumed token.
+  void consume(PlaceId P) {
+    assert(Tokens[P.index()] > 0 && "consuming from an empty place");
+    --Tokens[P.index()];
+  }
 
   /// Total number of tokens in the net.
   uint64_t totalTokens() const;

@@ -1,0 +1,98 @@
+//===- petri/PackedState.cpp - Packed instantaneous states -----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/PackedState.h"
+
+#include "support/Hashing.h"
+
+using namespace sdsp;
+
+void PackedState::decrementResiduals(size_t MarkWords) {
+  size_t Busy = busyCount();
+  size_t At = 1 + MarkWords + overflowCount();
+  for (size_t I = 0; I < Busy; ++I) {
+    SDSP_CHECK((Words[At + I] & 0xffffffffull) >= 2,
+               "residual would hit zero inside an idle stretch");
+    --Words[At + I];
+  }
+}
+
+size_t PackedState::hashValue() const {
+  // Four independent xor-multiply lanes: the boost-style combine is a
+  // serial dependency chain, and this hash runs over the whole packed
+  // state once per simulated step.  Collisions are cheap (slotMatches
+  // verifies bytes), so mixing quality only needs to be decent.
+  constexpr uint64_t C1 = 0x9e3779b97f4a7c15ull;
+  constexpr uint64_t C2 = 0xc2b2ae3d27d4eb4full;
+  uint64_t H0 = Words.size() + C1, H1 = C2;
+  uint64_t H2 = 0x165667b19e3779f9ull, H3 = 0x27d4eb2f165667c5ull;
+  size_t I = 0, N = Words.size();
+  for (; I + 4 <= N; I += 4) {
+    H0 = (H0 ^ Words[I]) * C1;
+    H1 = (H1 ^ Words[I + 1]) * C2;
+    H2 = (H2 ^ Words[I + 2]) * C1;
+    H3 = (H3 ^ Words[I + 3]) * C2;
+  }
+  for (; I < N; ++I)
+    H0 = (H0 ^ Words[I]) * C1;
+  uint64_t H = (H0 ^ (H1 * C1)) + (H2 ^ (H3 * C2));
+  H ^= H >> 32;
+  H *= C2;
+  H ^= H >> 29;
+  return static_cast<size_t>(H);
+}
+
+PackedStateTable::PackedStateTable() : Slots(64) {}
+
+bool PackedStateTable::slotMatches(const Slot &S, uint64_t Hash,
+                                   const PackedState &State) const {
+  if (S.Hash != Hash)
+    return false;
+  const std::vector<uint64_t> &W = State.words();
+  if (Arena[S.Offset] != W.size())
+    return false;
+  const uint64_t *Stored = Arena.data() + S.Offset + 1;
+  for (size_t I = 0; I < W.size(); ++I)
+    if (Stored[I] != W[I])
+      return false;
+  return true;
+}
+
+void PackedStateTable::grow() {
+  std::vector<Slot> Old = std::move(Slots);
+  Slots.assign(Old.size() * 2, Slot());
+  size_t Mask = Slots.size() - 1;
+  for (const Slot &S : Old) {
+    if (S.empty())
+      continue;
+    size_t I = static_cast<size_t>(S.Hash) & Mask;
+    while (!Slots[I].empty())
+      I = (I + 1) & Mask;
+    Slots[I] = S;
+  }
+}
+
+std::optional<uint64_t> PackedStateTable::insertOrFind(const PackedState &S,
+                                                       uint64_t T) {
+  if (Count * 10 >= Slots.size() * 7)
+    grow();
+  uint64_t Hash = S.hashValue();
+  size_t Mask = Slots.size() - 1;
+  size_t I = static_cast<size_t>(Hash) & Mask;
+  while (!Slots[I].empty()) {
+    if (slotMatches(Slots[I], Hash, S))
+      return Slots[I].Time;
+    I = (I + 1) & Mask;
+  }
+  Slots[I].Hash = Hash;
+  Slots[I].Offset = Arena.size();
+  Slots[I].Time = T;
+  Arena.push_back(S.words().size());
+  Arena.insert(Arena.end(), S.words().begin(), S.words().end());
+  ++Count;
+  return std::nullopt;
+}

@@ -1,0 +1,164 @@
+//===- petri/PackedState.h - Packed instantaneous states --------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact, canonical word-packed encoding of an instantaneous state
+/// (marking + residual firing times + machine condition), built for the
+/// frustum detector's hot loop.  The safe-marking common case costs one
+/// bit per place; places holding several tokens, busy transitions, and
+/// the policy fingerprint are appended as sparse entries, so a state
+/// costs O(places/64 + busy + |fingerprint|) words instead of the
+/// O(places + transitions) deep copy InstantaneousState makes.
+///
+/// Layout (64-bit words):
+///   [0]                 header: overflow count | busy count | fp length
+///   [1 .. W]            marking bits, 1 bit per place (set iff >= 1 token)
+///   [...overflow...]    (place << 32 | tokens) for places with >= 2
+///                       tokens, ascending place index
+///   [...busy...]        (transition << 32 | residual) for busy
+///                       transitions, ascending transition index
+///   [...fingerprint...] policy fingerprint values, one per word
+///
+/// Two packed states compare equal iff the underlying instantaneous
+/// states are equal: the header pins the section boundaries, the bit
+/// section pins zero/nonzero token counts, and the sparse sections are
+/// emitted in canonical (ascending) order.
+///
+/// PackedStateTable is the matching open-addressing hash table mapping
+/// packed states to the time step of their first occurrence.  States are
+/// stored contiguously in a single arena, so detection memory is
+/// O(steps) packed words rather than O(steps * n) state copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_PETRI_PACKEDSTATE_H
+#define SDSP_PETRI_PACKEDSTATE_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sdsp {
+
+/// One packed instantaneous state.  The engine writes it via the
+/// builder methods below; the detector mutates residuals in place when
+/// synthesizing the states of leapt-over idle instants.
+class PackedState {
+public:
+  /// Each header field gets 21 bits; nets beyond two million places or
+  /// transitions are outside every budget this project resolves.
+  static constexpr uint64_t FieldBits = 21;
+  static constexpr uint64_t FieldMax = (1ull << FieldBits) - 1;
+
+  void clear() { Words.clear(); }
+  bool empty() const { return Words.empty(); }
+  size_t sizeWords() const { return Words.size(); }
+  const std::vector<uint64_t> &words() const { return Words; }
+
+  /// Starts a state: header plus \p MarkWords zeroed marking words.
+  void beginState(size_t MarkWords) {
+    Words.assign(1 + MarkWords, 0);
+  }
+  void setMarkBit(uint32_t Place) {
+    Words[1 + (Place >> 6)] |= 1ull << (Place & 63);
+  }
+  /// Copies prebuilt marking words (the engine maintains them
+  /// incrementally, so encoding is a memcpy, not a place scan).
+  void setMarkWords(const std::vector<uint64_t> &MarkWords) {
+    for (size_t I = 0; I < MarkWords.size(); ++I)
+      Words[1 + I] = MarkWords[I];
+  }
+  void appendOverflow(uint32_t Place, uint32_t Tokens) {
+    Words.push_back((static_cast<uint64_t>(Place) << 32) | Tokens);
+    ++NumOverflow;
+  }
+  void appendBusy(uint32_t Transition, uint32_t Residual) {
+    Words.push_back((static_cast<uint64_t>(Transition) << 32) | Residual);
+    ++NumBusy;
+  }
+  void appendFingerprint(uint32_t Value) {
+    Words.push_back(Value);
+    ++NumFp;
+  }
+  /// Seals the header; must be the last builder call.
+  void finishState() {
+    SDSP_CHECK(NumOverflow <= FieldMax && NumBusy <= FieldMax &&
+                   NumFp <= FieldMax,
+               "packed state section overflows header field");
+    Words[0] = (static_cast<uint64_t>(NumOverflow) << (2 * FieldBits)) |
+               (static_cast<uint64_t>(NumBusy) << FieldBits) | NumFp;
+    NumOverflow = NumBusy = NumFp = 0;
+  }
+
+  uint64_t overflowCount() const {
+    return (Words[0] >> (2 * FieldBits)) & FieldMax;
+  }
+  uint64_t busyCount() const { return (Words[0] >> FieldBits) & FieldMax; }
+  uint64_t fingerprintLength() const { return Words[0] & FieldMax; }
+
+  /// Decrements every busy residual by one: the state one idle time
+  /// step later, provided no completion happens in between (every
+  /// residual must stay >= 1).  \p MarkWords is the marking section
+  /// width (the caller knows it from the net's place count).
+  void decrementResiduals(size_t MarkWords);
+
+  size_t hashValue() const;
+
+  friend bool operator==(const PackedState &A, const PackedState &B) {
+    return A.Words == B.Words;
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  uint64_t NumOverflow = 0;
+  uint64_t NumBusy = 0;
+  uint64_t NumFp = 0;
+};
+
+/// Number of 64-bit marking words for \p NumPlaces places.
+inline size_t packedMarkWords(size_t NumPlaces) {
+  return (NumPlaces + 63) / 64;
+}
+
+/// Open-addressing (linear probing) map from packed state to the time
+/// step of its first occurrence.  State words live in one shared arena;
+/// slots hold only hash, arena offset, and time.
+class PackedStateTable {
+public:
+  PackedStateTable();
+
+  /// If an equal state is present, returns its recorded time.
+  /// Otherwise inserts \p S at time \p T and returns std::nullopt.
+  std::optional<uint64_t> insertOrFind(const PackedState &S, uint64_t T);
+
+  size_t size() const { return Count; }
+  /// Total words held by the arena (for memory diagnostics).
+  size_t arenaWords() const { return Arena.size(); }
+
+private:
+  struct Slot {
+    static constexpr uint64_t EmptyOffset = ~0ull;
+    uint64_t Hash = 0;
+    uint64_t Offset = EmptyOffset; // arena index of [length, words...]
+    uint64_t Time = 0;
+    bool empty() const { return Offset == EmptyOffset; }
+  };
+
+  std::vector<Slot> Slots;
+  std::vector<uint64_t> Arena;
+  size_t Count = 0;
+
+  bool slotMatches(const Slot &S, uint64_t Hash,
+                   const PackedState &State) const;
+  void grow();
+};
+
+} // namespace sdsp
+
+#endif // SDSP_PETRI_PACKEDSTATE_H

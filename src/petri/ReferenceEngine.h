@@ -1,0 +1,62 @@
+//===- petri/ReferenceEngine.h - Naive earliest-firing engine ---*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The straightforward O(transitions + places)-per-step earliest-firing
+/// engine: every step rescans all transitions for completions and
+/// enabledness and samples the instantaneous state as a full deep copy.
+/// This was the production engine before the incremental
+/// EarliestFiringEngine replaced it; it is retained verbatim as the
+/// behavioral oracle.  The golden-equivalence suite asserts that both
+/// engines produce identical step records, states, and frustums, and
+/// bench/ScalingFrustum times them side by side so BENCH_frustum.json
+/// records the speedup.
+///
+/// Keep this implementation boring: its value is that it is obviously
+/// correct, not that it is fast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_PETRI_REFERENCEENGINE_H
+#define SDSP_PETRI_REFERENCEENGINE_H
+
+#include "petri/EarliestFiring.h"
+
+namespace sdsp {
+
+/// Drop-in oracle with the same stepping interface as
+/// EarliestFiringEngine (prepare / state / candidates / fireAndAdvance),
+/// implemented with per-step full rescans.
+class ReferenceEngine {
+public:
+  explicit ReferenceEngine(const PetriNet &Net, FiringPolicy *Policy = nullptr);
+
+  void prepare();
+  InstantaneousState state() const;
+  const std::vector<TransitionId> &candidates() const;
+  StepRecord fireAndAdvance();
+
+  TimeStep now() const { return Now; }
+  const Marking &marking() const { return M; }
+  const PetriNet &net() const { return Net; }
+  bool isQuiescent() const;
+
+private:
+  const PetriNet &Net;
+  FiringPolicy *Policy;
+  Marking M;
+  /// Absolute completion time per busy transition; ~0 when idle.
+  std::vector<TimeStep> FinishTime;
+  TimeStep Now = 0;
+  bool Prepared = false;
+  std::vector<TransitionId> Ordered;
+  std::vector<TransitionId> CompletedThisStep;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_PETRI_REFERENCEENGINE_H

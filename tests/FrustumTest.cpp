@@ -111,6 +111,26 @@ TEST(Frustum, TimeoutReturnsNothing) {
   EXPECT_FALSE(detectFrustum(Pn.Net, nullptr, /*MaxSteps=*/1).has_value());
 }
 
+TEST(Frustum, BudgetResolveBoundaries) {
+  // Defaulted budget: max(1024, n^3), saturating at Cap so the search
+  // loop's step arithmetic can never overflow.
+  EXPECT_EQ(FrustumBudget{}.resolve(0), 1024u);
+  EXPECT_EQ(FrustumBudget{}.resolve(1), 1024u);
+  EXPECT_EQ(FrustumBudget{}.resolve(10), 1024u);
+  EXPECT_EQ(FrustumBudget{}.resolve(11), 1331u);
+  EXPECT_EQ(FrustumBudget{}.resolve(2048), 2048ull * 2048 * 2048);
+  // n = 2^22: n^3 = 2^66 overflows 64 bits; must saturate at Cap, not
+  // wrap around to a tiny budget.
+  EXPECT_EQ(FrustumBudget{}.resolve(size_t(1) << 22), FrustumBudget::Cap);
+  // Explicit budgets pass through unclamped below Cap (no 1024 floor)
+  // and clamp to Cap above it.
+  EXPECT_EQ(FrustumBudget::steps(1).resolve(1 << 22), 1u);
+  EXPECT_EQ(FrustumBudget::steps(FrustumBudget::Cap - 1).resolve(3),
+            FrustumBudget::Cap - 1);
+  EXPECT_EQ(FrustumBudget::steps(~TimeStep(0)).resolve(3),
+            FrustumBudget::Cap);
+}
+
 TEST(Frustum, EarliestFiringAchievesOptimalRateOnRandomNets) {
   // Theorem 4.1.1's payoff, checked empirically: the frustum rate
   // equals 1/alpha* on random SDSP-PNs.

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Benchmark JSON aggregation for the SDSP perf gate.
+
+Runs the google-benchmark binaries with --benchmark_out, then distills
+their JSON into two committed artifacts at the repo root:
+
+  BENCH_frustum.json   scaling_frustum: optimized vs reference frustum
+                       detection, with the derived speedup per scale and
+                       the n~=2048 gate verdict (>= 5x required).
+  BENCH_pipeline.json  pipeline_verify: verified end-to-end pipeline
+                       times on the six Livermore kernels.
+
+Also provides --smoke, which runs every binary under <build>/bench once
+with a short min-time and fails on any crash or benchmark error (the CI
+perf-smoke job's crash detector).
+
+Standard library only; works with both old (plain float min-time) and
+new ("0.05s") google-benchmark flag syntax by passing the value through
+verbatim.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+FRUSTUM_BENCH = "scaling_frustum"
+PIPELINE_BENCH = "pipeline_verify"
+GATE_ARG = "682"  # 682 chains -> 2050 transitions, the paper-scale n=2048 point
+GATE_THRESHOLD = 5.0
+
+
+def run_bench(binary, out_json, min_time):
+    """Runs one benchmark binary, writing google-benchmark JSON."""
+    cmd = [
+        binary,
+        "--benchmark_out=%s" % out_json,
+        "--benchmark_out_format=json",
+        "--benchmark_min_time=%s" % min_time,
+    ]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode("utf-8", "replace"))
+        raise SystemExit("benchmark binary failed: %s (exit %d)" %
+                         (binary, proc.returncode))
+    with open(out_json) as f:
+        return json.load(f)
+
+
+def series_of(report, prefix):
+    """name -> real_time (ns) for non-aggregate entries named prefix/..."""
+    out = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if name.split("/")[0] != prefix:
+            continue
+        if b.get("error_occurred"):
+            raise SystemExit("benchmark %s reported an error: %s" %
+                             (name, b.get("error_message", "?")))
+        out[name] = {
+            "real_time_ns": b["real_time"],
+            "cpu_time_ns": b["cpu_time"],
+            "iterations": b["iterations"],
+        }
+    return out
+
+
+def arg_of(name):
+    """Trailing /N argument of a benchmark name, or None."""
+    parts = name.split("/")
+    return parts[-1] if len(parts) > 1 and parts[-1].isdigit() else None
+
+
+def frustum_report(report):
+    opt = series_of(report, "benchFrustumAtScale")
+    ref = series_of(report, "benchFrustumReferenceAtScale")
+    opt_by_arg = {arg_of(n): v for n, v in opt.items() if arg_of(n)}
+    ref_by_arg = {arg_of(n): v for n, v in ref.items() if arg_of(n)}
+    speedup = {}
+    for arg, rv in sorted(ref_by_arg.items(), key=lambda kv: int(kv[0])):
+        ov = opt_by_arg.get(arg)
+        if ov and ov["real_time_ns"] > 0:
+            speedup[arg] = round(rv["real_time_ns"] / ov["real_time_ns"], 3)
+    gate_speedup = speedup.get(GATE_ARG)
+    return {
+        "benchmark": FRUSTUM_BENCH,
+        "generated_by": "tools/benchreport.py",
+        "context": report.get("context", {}),
+        "optimized": opt,
+        "reference": ref,
+        "speedup_by_chains": speedup,
+        "gate": {
+            "chains": int(GATE_ARG),
+            "description": "detectFrustumChecked vs detectFrustumReference "
+                           "wall time at n~=2048 transitions",
+            "threshold": GATE_THRESHOLD,
+            "speedup": gate_speedup,
+            "pass": bool(gate_speedup and gate_speedup >= GATE_THRESHOLD),
+        },
+    }
+
+
+def pipeline_report(report):
+    series = series_of(report, "benchPipelineVerify")
+    return {
+        "benchmark": PIPELINE_BENCH,
+        "generated_by": "tools/benchreport.py",
+        "context": report.get("context", {}),
+        "kernels": series,
+    }
+
+
+def smoke(bench_dir, min_time):
+    """Runs every bench binary once; any crash fails the job."""
+    failures = []
+    for name in sorted(os.listdir(bench_dir)):
+        path = os.path.join(bench_dir, name)
+        if not (os.path.isfile(path) and os.access(path, os.X_OK)):
+            continue
+        print("[smoke] %s" % name, flush=True)
+        proc = subprocess.run([path, "--benchmark_min_time=%s" % min_time],
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout.decode("utf-8", "replace"))
+            failures.append("%s (exit %d)" % (name, proc.returncode))
+    if failures:
+        raise SystemExit("bench smoke failures: " + ", ".join(failures))
+    print("[smoke] all bench binaries ran clean")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build tree holding bench/ binaries")
+    ap.add_argument("--out-dir", default=".",
+                    help="where BENCH_*.json are written (repo root)")
+    ap.add_argument("--min-time", default="0.05",
+                    help="--benchmark_min_time value, passed verbatim")
+    ap.add_argument("--smoke", action="store_true",
+                    help="run every bench binary once, fail on crashes")
+    ap.add_argument("--skip-report", action="store_true",
+                    help="with --smoke: skip the JSON aggregation step")
+    args = ap.parse_args()
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    bench_dir = os.path.join(args.build_dir, "bench")
+    if not os.path.isdir(bench_dir):
+        raise SystemExit("no bench directory at %s (build with "
+                         "-DSDSP_BUILD_BENCHMARKS=ON)" % bench_dir)
+
+    if args.smoke:
+        smoke(bench_dir, args.min_time)
+        if args.skip_report:
+            return
+
+    jobs = [
+        (FRUSTUM_BENCH, frustum_report, "BENCH_frustum.json"),
+        (PIPELINE_BENCH, pipeline_report, "BENCH_pipeline.json"),
+    ]
+    for binary, distill, out_name in jobs:
+        path = os.path.join(bench_dir, binary)
+        if not os.path.isfile(path):
+            raise SystemExit("missing bench binary: %s" % path)
+        raw = os.path.join(args.out_dir, out_name + ".raw")
+        report = distill(run_bench(path, raw, args.min_time))
+        os.remove(raw)
+        out_path = os.path.join(args.out_dir, out_name)
+        with open(out_path, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("wrote %s" % out_path)
+
+    gate = json.load(open(os.path.join(args.out_dir, "BENCH_frustum.json")))
+    g = gate["gate"]
+    print("frustum gate: %sx at %s chains (threshold %sx) -> %s" %
+          (g["speedup"], g["chains"], g["threshold"],
+           "PASS" if g["pass"] else "FAIL"))
+
+
+if __name__ == "__main__":
+    main()
