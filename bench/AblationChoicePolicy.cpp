@@ -38,12 +38,11 @@ void printAblation(std::ostream &OS) {
 
   for (const std::string &Id : livermoreIds()) {
     const LivermoreKernel *K = findKernel(Id);
-    SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel(Id)));
+    SdspPn Pn = buildKernelPn(Id);
     for (uint32_t Depth : {1u, 4u, 8u}) {
       ScpPn Scp = buildScpPn(Pn, Depth);
 
-      auto Fifo = Scp.makeFifoPolicy();
-      auto FF = detectFrustum(Scp.Net, Fifo.get());
+      auto FF = detectScpFrustum(Scp);
       auto Lifo = Scp.makeLifoPolicy();
       auto FL = detectFrustum(Scp.Net, Lifo.get());
       // Index order = engine default (still deterministic, never
@@ -69,7 +68,7 @@ void printAblation(std::ostream &OS) {
 }
 
 void benchPolicy(benchmark::State &State, bool UseLifo) {
-  SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel("loop7")));
+  SdspPn Pn = buildKernelPn("loop7");
   ScpPn Scp = buildScpPn(Pn, 8);
   for (auto _ : State) {
     std::unique_ptr<FiringPolicy> Policy;

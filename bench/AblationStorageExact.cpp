@@ -115,7 +115,7 @@ void printComparison(std::ostream &OS) {
 }
 
 void benchGreedy(benchmark::State &State) {
-  Sdsp S = Sdsp::standard(compileKernel("l2"));
+  Sdsp S = buildKernelSdsp("l2");
   for (auto _ : State) {
     StorageOptResult R = minimizeStorage(S);
     benchmark::DoNotOptimize(R);
@@ -123,7 +123,7 @@ void benchGreedy(benchmark::State &State) {
 }
 
 void benchExact(benchmark::State &State) {
-  Sdsp S = Sdsp::standard(compileKernel("l2"));
+  Sdsp S = buildKernelSdsp("l2");
   for (auto _ : State) {
     auto R = minimizeStorageExact(S);
     benchmark::DoNotOptimize(R);

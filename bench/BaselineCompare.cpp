@@ -50,7 +50,7 @@ void printComparison(std::ostream &OS) {
 
   for (const std::string &Id : Ids) {
     const LivermoreKernel *K = findKernel(Id);
-    Sdsp S = Sdsp::standard(compileKernel(Id));
+    Sdsp S = buildKernelSdsp(Id);
     SdspPn Pn = buildSdspPn(S);
     auto F = detectFrustum(Pn.Net);
     if (!F)
@@ -126,11 +126,10 @@ void printComparison(std::ostream &OS) {
     T3.cell(H);
   for (const std::string &Id : livermoreIds()) {
     const LivermoreKernel *K = findKernel(Id);
-    Sdsp S = Sdsp::standard(compileKernel(Id));
+    Sdsp S = buildKernelSdsp(Id);
     SdspPn Pn = buildSdspPn(S);
     ScpPn Scp = buildScpPn(Pn, 8);
-    auto Policy = Scp.makeFifoPolicy();
-    auto F = detectFrustum(Scp.Net, Policy.get());
+    auto F = detectScpFrustum(Scp);
     if (!F)
       continue;
     DepGraph D = depGraphFromSdspWithAcks(S);
@@ -149,7 +148,7 @@ void printComparison(std::ostream &OS) {
 }
 
 void benchAikenNicolau(benchmark::State &State, const std::string &Id) {
-  Sdsp S = Sdsp::standard(compileKernel(Id));
+  Sdsp S = buildKernelSdsp(Id);
   DepGraph D = depGraphFromSdspWithAcks(S);
   for (auto _ : State) {
     auto R = aikenNicolauSchedule(D);
@@ -158,7 +157,7 @@ void benchAikenNicolau(benchmark::State &State, const std::string &Id) {
 }
 
 void benchModulo(benchmark::State &State, const std::string &Id) {
-  Sdsp S = Sdsp::standard(compileKernel(Id));
+  Sdsp S = buildKernelSdsp(Id);
   DepGraph D = depGraphFromSdspWithAcks(S);
   for (auto _ : State) {
     auto R = moduloSchedule(D, 0);
@@ -167,7 +166,7 @@ void benchModulo(benchmark::State &State, const std::string &Id) {
 }
 
 void benchPnFrustum(benchmark::State &State, const std::string &Id) {
-  SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel(Id)));
+  SdspPn Pn = buildKernelPn(Id);
   for (auto _ : State) {
     auto F = detectFrustum(Pn.Net);
     benchmark::DoNotOptimize(F);

@@ -15,6 +15,8 @@
 #ifndef SDSP_BENCH_BENCHUTIL_H
 #define SDSP_BENCH_BENCHUTIL_H
 
+#include "core/Frustum.h"
+#include "core/ScpModel.h"
 #include "core/SdspPn.h"
 #include "livermore/Livermore.h"
 #include "loopir/Lowering.h"
@@ -42,6 +44,31 @@ inline DataflowGraph compileKernel(const std::string &Id) {
     std::abort();
   }
   return std::move(*G);
+}
+
+/// Kernel -> acknowledged SDSP with \p Capacity buffer slots per arc.
+inline Sdsp buildKernelSdsp(const std::string &Id, uint32_t Capacity = 1) {
+  return Sdsp::standard(compileKernel(Id), Capacity);
+}
+
+/// Kernel -> SDSP-PN (the `buildSdspPn(Sdsp::standard(...))` chain
+/// every table/figure driver used to spell out).
+inline SdspPn buildKernelPn(const std::string &Id, uint32_t Capacity = 1) {
+  return buildSdspPn(buildKernelSdsp(Id, Capacity));
+}
+
+/// Kernel -> Section 5.2 SCP machine net.
+inline ScpPn buildKernelScp(const std::string &Id, uint32_t Depth,
+                            uint32_t Pipelines = 1, uint32_t Capacity = 1) {
+  SdspPn Pn = buildKernelPn(Id, Capacity);
+  return buildScpPn(Pn, Depth, Pipelines);
+}
+
+/// Earliest-firing frustum of an SCP net under a fresh FIFO policy
+/// (Assumption 5.2.1).
+inline std::optional<FrustumInfo> detectScpFrustum(const ScpPn &Scp) {
+  auto Policy = Scp.makeFifoPolicy();
+  return detectFrustum(Scp.Net, Policy.get());
 }
 
 /// The six Livermore ids of Section 5, in the paper's order.

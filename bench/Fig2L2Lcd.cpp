@@ -79,7 +79,7 @@ void printFigure(std::ostream &OS) {
 }
 
 void benchL2Analysis(benchmark::State &State) {
-  SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel("l2")));
+  SdspPn Pn = buildKernelPn("l2");
   for (auto _ : State) {
     RateReport R = analyzeRate(Pn);
     benchmark::DoNotOptimize(R);

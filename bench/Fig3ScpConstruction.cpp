@@ -26,7 +26,7 @@ namespace {
 
 void printFigure(std::ostream &OS) {
   OS << "=== Figure 3: SDSP-SCP-PN construction for L1 ===\n\n";
-  SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel("l1")));
+  SdspPn Pn = buildKernelPn("l1");
 
   for (uint32_t Depth : {2u, 1u}) {
     ScpPn Scp = buildScpPn(Pn, Depth);
@@ -37,8 +37,7 @@ void printFigure(std::ostream &OS) {
     if (Depth == 2)
       Scp.Net.printDot(OS, "L1_scp_pn_l2");
 
-    auto Policy = Scp.makeFifoPolicy();
-    auto F = detectFrustum(Scp.Net, Policy.get());
+    auto F = detectScpFrustum(Scp);
     if (!F) {
       OS << "frustum not found\n";
       continue;
@@ -51,6 +50,7 @@ void printFigure(std::ostream &OS) {
     // The steady firing sequence of SDSP transitions (Fig. 3(c) lists
     // A D B C E for its machine).
     OS << "steady-state issue order: ";
+    auto Policy = Scp.makeFifoPolicy();
     EarliestFiringEngine Fresh(Scp.Net, Policy.get());
     while (Fresh.now() < F->RepeatTime) {
       StepRecord Rec = Fresh.fireAndAdvance();
@@ -79,7 +79,7 @@ void printFigure(std::ostream &OS) {
 }
 
 void benchScpConstruction(benchmark::State &State) {
-  SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel("l1")));
+  SdspPn Pn = buildKernelPn("l1");
   for (auto _ : State) {
     ScpPn Scp = buildScpPn(Pn, 8);
     benchmark::DoNotOptimize(Scp);

@@ -41,7 +41,7 @@ void printFigure(std::ostream &OS) {
 
   for (const std::string &Id : Ids) {
     const LivermoreKernel *K = findKernel(Id);
-    Sdsp S = Sdsp::standard(compileKernel(Id));
+    Sdsp S = buildKernelSdsp(Id);
     StorageOptResult R = minimizeStorage(S);
     SdspPn Optimized = buildSdspPn(R.Optimized);
     Rational After = analyzeRate(Optimized).OptimalRate;
@@ -63,7 +63,7 @@ void printFigure(std::ostream &OS) {
 
   // The paper's exact move, shown explicitly.
   OS << "--- L2 acknowledgement structure after optimization ---\n";
-  Sdsp S = Sdsp::standard(compileKernel("l2"));
+  Sdsp S = buildKernelSdsp("l2");
   StorageOptResult R = minimizeStorage(S);
   const DataflowGraph &G = R.Optimized.graph();
   for (const Sdsp::Ack &A : R.Optimized.acks()) {
@@ -79,7 +79,7 @@ void printFigure(std::ostream &OS) {
 
 void benchMinimizeStorage(benchmark::State &State,
                           const std::string &Id) {
-  Sdsp S = Sdsp::standard(compileKernel(Id));
+  Sdsp S = buildKernelSdsp(Id);
   for (auto _ : State) {
     StorageOptResult R = minimizeStorage(S);
     benchmark::DoNotOptimize(R);

@@ -1,0 +1,128 @@
+//===- bench/SessionSweep.cpp - Artifact-cache ablation sweep --------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// The compilation-session showcase: an SCP-depth ablation (l = 1..8
+// over one Livermore kernel) issued as eight independent compile()
+// calls against a single session.  With the artifact cache on, the
+// sweep lowers the source, builds the SDSP, and translates the SDSP-PN
+// exactly once — the per-pass cache-hit counters printed below prove
+// it — while each depth still gets its own SCP net and frustum.
+//
+// Setting SDSP_TRACE_JSON=<path> writes the session's PipelineTrace
+// ("sdsp-pipeline-trace-v1") there; tools/benchreport.py distills it
+// into BENCH_passes.json.
+//
+// The google-benchmark timings compare the same sweep with the cache
+// on vs off (fresh session per iteration either way).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/Session.h"
+#include "support/TextTable.h"
+
+#include <cstdlib>
+#include <fstream>
+
+using namespace sdsp;
+using namespace sdsp::benchutil;
+
+namespace {
+
+constexpr const char *SweepKernel = "loop7";
+constexpr uint32_t MaxDepth = 8;
+
+PipelineOptions depthOptions(uint32_t Depth) {
+  PipelineOptions Opts;
+  Opts.ScpDepth = Depth;
+  return Opts;
+}
+
+/// Runs the l = 1..MaxDepth sweep against \p Session; aborts on any
+/// compile failure (the kernel is fixed and must compile).
+std::vector<CompiledLoop> runSweep(CompilationSession &Session,
+                                   const std::string &Source) {
+  std::vector<CompiledLoop> Loops;
+  for (uint32_t Depth = 1; Depth <= MaxDepth; ++Depth) {
+    Expected<CompiledLoop> CL = Session.compile(Source, depthOptions(Depth));
+    if (!CL) {
+      std::cerr << "error: " << CL.status().str() << "\n";
+      std::abort();
+    }
+    Loops.push_back(std::move(*CL));
+  }
+  return Loops;
+}
+
+void printSweep(std::ostream &OS) {
+  const LivermoreKernel *K = findKernel(SweepKernel);
+  OS << "=== Session sweep: SCP depth l = 1.." << MaxDepth << " over "
+     << K->Name << " ===\n\n";
+
+  CompilationSession Session;
+  std::vector<CompiledLoop> Loops = runSweep(Session, K->Source);
+
+  TextTable T;
+  T.startRow();
+  for (const char *H : {"l", "transitions", "places", "rate", "usage",
+                        "frustum"})
+    T.cell(H);
+  for (const CompiledLoop &CL : Loops) {
+    const ScpPn &Scp = *CL.Scp;
+    T.startRow();
+    T.cell(static_cast<int64_t>(Scp.PipelineDepth));
+    T.cell(Scp.Net.numTransitions());
+    T.cell(Scp.Net.numPlaces());
+    T.cell(CL.Frustum->computationRate(Scp.SdspTransitions.front()).str());
+    T.cell(processorUsage(Scp, *CL.Frustum).str());
+    T.cell(static_cast<int64_t>(CL.Frustum->length()));
+  }
+  T.print(OS);
+
+  // The refactor's headline property: upstream passes computed once,
+  // answered from the cache for the other MaxDepth-1 depths.
+  OS << "\nupstream reuse across " << MaxDepth << " compiles:";
+  for (PassKind K2 : {PassKind::Lower, PassKind::Sdsp, PassKind::SdspPn,
+                      PassKind::Rate}) {
+    const PassStats &PS = Session.passStats(K2);
+    OS << " " << passInfo(K2).Id << "=" << (PS.Invocations - PS.CacheHits)
+       << "x(+" << PS.CacheHits << " hits)";
+  }
+  OS << "\n";
+  if (!Session.cacheEnabled())
+    OS << "note: artifact cache disabled (SDSP_DISABLE_ARTIFACT_CACHE)\n";
+  OS << "\n";
+  Session.trace().printTable(OS);
+
+  if (const char *Path = std::getenv("SDSP_TRACE_JSON")) {
+    std::ofstream JsonFile(Path);
+    if (!JsonFile) {
+      std::cerr << "error: cannot write '" << Path << "'\n";
+      std::abort();
+    }
+    Session.trace().writeJson(JsonFile);
+    OS << "trace JSON written to " << Path << "\n";
+  }
+  OS << "\n";
+}
+
+void benchDepthSweep(benchmark::State &State, bool EnableCache) {
+  const LivermoreKernel *K = findKernel(SweepKernel);
+  for (auto _ : State) {
+    CompilationSession Session(SessionConfig{EnableCache});
+    std::vector<CompiledLoop> Loops = runSweep(Session, K->Source);
+    benchmark::DoNotOptimize(Loops);
+  }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchDepthSweep, cached, true);
+BENCHMARK_CAPTURE(benchDepthSweep, uncached, false);
+
+SDSP_BENCH_MAIN(printSweep)

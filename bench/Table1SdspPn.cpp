@@ -43,7 +43,7 @@ void printTable(std::ostream &OS) {
 
   for (const std::string &Id : livermoreIds()) {
     const LivermoreKernel *K = findKernel(Id);
-    SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel(Id)));
+    SdspPn Pn = buildKernelPn(Id);
     auto F = detectFrustum(Pn.Net);
     if (!F) {
       OS << "frustum not found for " << Id << "\n";
@@ -73,7 +73,7 @@ void printTable(std::ostream &OS) {
 
 void benchDetectFrustum(benchmark::State &State,
                         const std::string &Id) {
-  SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel(Id)));
+  SdspPn Pn = buildKernelPn(Id);
   for (auto _ : State) {
     auto F = detectFrustum(Pn.Net);
     benchmark::DoNotOptimize(F);

@@ -41,10 +41,9 @@ void printTable(std::ostream &OS) {
 
   for (const std::string &Id : livermoreIds()) {
     const LivermoreKernel *K = findKernel(Id);
-    SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel(Id)));
+    SdspPn Pn = buildKernelPn(Id);
     ScpPn Scp = buildScpPn(Pn, PipelineDepth);
-    auto Policy = Scp.makeFifoPolicy();
-    auto F = detectFrustum(Scp.Net, Policy.get());
+    auto F = detectScpFrustum(Scp);
     if (!F) {
       OS << "frustum not found for " << Id << "\n";
       continue;
@@ -73,11 +72,10 @@ void printTable(std::ostream &OS) {
 
 void benchScpFrustum(benchmark::State &State, const std::string &Id,
                      uint32_t Depth) {
-  SdspPn Pn = buildSdspPn(Sdsp::standard(compileKernel(Id)));
+  SdspPn Pn = buildKernelPn(Id);
   ScpPn Scp = buildScpPn(Pn, Depth);
   for (auto _ : State) {
-    auto Policy = Scp.makeFifoPolicy();
-    auto F = detectFrustum(Scp.Net, Policy.get());
+    auto F = detectScpFrustum(Scp);
     benchmark::DoNotOptimize(F);
   }
 }

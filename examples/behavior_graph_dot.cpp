@@ -14,10 +14,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Frustum.h"
-#include "core/SdspPn.h"
-#include "livermore/Livermore.h"
-#include "loopir/Lowering.h"
+#include "BenchUtil.h"
+
 #include "petri/BehaviorGraph.h"
 
 #include <iostream>
@@ -33,13 +31,8 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  DiagnosticEngine Diags;
-  std::optional<DataflowGraph> G = compileLoop(K->Source, Diags);
-  if (!G) {
-    Diags.print(std::cerr);
-    return 1;
-  }
-  SdspPn Pn = buildSdspPn(Sdsp::standard(*G));
+  DataflowGraph G = benchutil::compileKernel(Id);
+  SdspPn Pn = buildSdspPn(Sdsp::standard(G));
   std::optional<FrustumInfo> F = detectFrustum(Pn.Net);
   if (!F) {
     std::cerr << "no frustum\n";
@@ -48,7 +41,7 @@ int main(int argc, char **argv) {
 
   if (All) {
     std::cout << "// ---- dataflow graph ----\n";
-    G->printDot(std::cout, Id + "_dataflow");
+    G.printDot(std::cout, Id + "_dataflow");
     std::cout << "// ---- SDSP-PN ----\n";
     Pn.Net.printDot(std::cout, Id + "_sdsp_pn");
     std::cout << "// ---- behavior graph ----\n";

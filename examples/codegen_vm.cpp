@@ -15,13 +15,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "codegen/Codegen.h"
 #include "codegen/Vm.h"
-#include "core/Frustum.h"
 #include "core/ScheduleDerivation.h"
 #include "core/StorageOptimizer.h"
-#include "livermore/Livermore.h"
-#include "loopir/Lowering.h"
 
 #include <cmath>
 #include <cstring>
@@ -46,14 +45,8 @@ int main(int argc, char **argv) {
   std::cout << "kernel: " << K->Name
             << (Optimize ? " (minimum-storage allocation)" : "") << "\n\n";
 
-  DiagnosticEngine Diags;
-  std::optional<DataflowGraph> G = compileLoop(K->Source, Diags);
-  if (!G) {
-    Diags.print(std::cerr);
-    return 1;
-  }
-
-  Sdsp S = Sdsp::standard(*G);
+  DataflowGraph G = benchutil::compileKernel(Id);
+  Sdsp S = Sdsp::standard(G);
   if (Optimize) {
     StorageOptResult R = minimizeStorage(S);
     std::cout << "storage: " << R.StorageBefore << " -> "

@@ -14,13 +14,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Frustum.h"
-#include "core/RateAnalysis.h"
-#include "core/ScheduleDerivation.h"
-#include "core/SdspPn.h"
+#include "core/Session.h"
 #include "dataflow/Interpreter.h"
 #include "livermore/Livermore.h"
-#include "loopir/Lowering.h"
 
 #include <cmath>
 #include <iostream>
@@ -29,45 +25,38 @@ using namespace sdsp;
 
 namespace {
 
-bool runKernel(const LivermoreKernel &K) {
+bool runKernel(CompilationSession &Session, const LivermoreKernel &K) {
   std::cout << "==== " << K.Name << " ====\n";
+  PipelineOptions Opts;
+  Opts.ValidateIterations = 96;
   DiagnosticEngine Diags;
-  std::optional<DataflowGraph> G = compileLoop(K.Source, Diags);
-  if (!G) {
-    Diags.print(std::cerr);
+  Expected<CompiledLoop> Compiled = Session.compile(K.Source, Opts, &Diags);
+  if (!Compiled) {
+    if (Diags.hasErrors())
+      Diags.print(std::cerr);
+    else
+      std::cerr << Compiled.status().str() << "\n";
     return false;
   }
+  const CompiledLoop &CL = *Compiled;
+  const SdspPn &Pn = *CL.Pn;
+  const FrustumInfo &F = *CL.Frustum;
 
-  Sdsp S = Sdsp::standard(*G);
-  SdspPn Pn = buildSdspPn(S);
-  RateReport Rate = analyzeRate(Pn);
-  std::optional<FrustumInfo> F = detectFrustum(Pn.Net);
-  if (!F) {
-    std::cerr << "no frustum\n";
-    return false;
-  }
   std::cout << "n = " << Pn.Net.numTransitions() << ", frustum ["
-            << F->StartTime << ", " << F->RepeatTime << "), rate "
-            << F->computationRate(TransitionId(0u)) << " (optimal "
-            << Rate.OptimalRate << ")\n";
+            << F.StartTime << ", " << F.RepeatTime << "), rate "
+            << F.computationRate(TransitionId(0u)) << " (optimal "
+            << CL.Rate->OptimalRate << ")\n";
 
-  SoftwarePipelineSchedule Sched = deriveSchedule(Pn, *F);
   std::vector<std::string> Names;
   for (TransitionId T : Pn.Net.transitionIds())
     Names.push_back(Pn.Net.transition(T).Name);
-  Sched.print(std::cout, Names);
-
-  std::string Error;
-  if (!validateSchedule(S, Pn, Sched, 96, &Error)) {
-    std::cerr << "SCHEDULE INVALID: " << Error << "\n";
-    return false;
-  }
+  CL.Schedule->print(std::cout, Names);
 
   // Semantic check: interpreter vs reference on random inputs.
   const size_t N = 48;
   StreamMap In = K.MakeInputs(N, 2026);
   StreamMap Expected = K.Reference(In, N);
-  InterpResult Got = interpret(*G, In, N);
+  InterpResult Got = interpret(CL.Graph, In, N);
   for (const auto &[Name, Values] : Expected) {
     for (size_t I = 0; I < Values.size(); ++I) {
       double Diff = std::fabs(Got.Outputs.at(Name)[I] - Values[I]);
@@ -85,6 +74,9 @@ bool runKernel(const LivermoreKernel &K) {
 } // namespace
 
 int main(int argc, char **argv) {
+  // One session across every kernel: distinct sources share nothing,
+  // but reruns of the same kernel are free (see the trailing trace).
+  CompilationSession Session;
   bool AllOk = true;
   if (argc > 1) {
     const LivermoreKernel *K = findKernel(argv[1]);
@@ -95,10 +87,11 @@ int main(int argc, char **argv) {
       std::cerr << "\n";
       return 1;
     }
-    AllOk = runKernel(*K);
+    AllOk = runKernel(Session, *K);
   } else {
     for (const LivermoreKernel &K : livermoreKernels())
-      AllOk &= runKernel(K);
+      AllOk &= runKernel(Session, K);
   }
+  Session.trace().printTable(std::cout);
   return AllOk ? 0 : 1;
 }

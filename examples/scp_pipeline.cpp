@@ -11,22 +11,36 @@
 // pipeline depth for one kernel and shows how the rate moves from
 // issue-bound (1/n) to ack-round-trip-bound (1/2l).
 //
+// The sweeps run through one CompilationSession: the source is lowered
+// and the SDSP-PN translated once per buffer capacity, and every later
+// depth/pipeline point reuses the cached upstream artifacts (the trace
+// printed at the end shows the hit counts).
+//
 //   $ ./scp_pipeline [kernel] [maxdepth]
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Frustum.h"
-#include "core/RateAnalysis.h"
-#include "core/ScpModel.h"
-#include "core/SdspPn.h"
+#include "core/Session.h"
 #include "livermore/Livermore.h"
-#include "loopir/Lowering.h"
 #include "support/TextTable.h"
 
 #include <cstdlib>
 #include <iostream>
 
 using namespace sdsp;
+
+namespace {
+
+/// Unwraps a pass result; the sweep inputs are fixed and must compile.
+template <typename T> T expectOk(Expected<T> R) {
+  if (!R) {
+    std::cerr << "error: " << R.status().str() << "\n";
+    std::exit(1);
+  }
+  return std::move(*R);
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
   std::string Id = argc > 1 ? argv[1] : "loop1";
@@ -40,14 +54,21 @@ int main(int argc, char **argv) {
   }
   std::cout << "kernel: " << K->Name << "\n\n";
 
+  CompilationSession Session;
   DiagnosticEngine Diags;
-  std::optional<DataflowGraph> G = compileLoop(K->Source, Diags);
+  Expected<ArtifactRef<DataflowGraph>> G = Session.lower(K->Source, &Diags);
   if (!G) {
     Diags.print(std::cerr);
     return 1;
   }
-  SdspPn Pn = buildSdspPn(Sdsp::standard(*G));
-  size_t N = Pn.Net.numTransitions();
+
+  auto pnForCapacity = [&](uint32_t Cap) {
+    auto S = expectOk(Session.buildSdsp(*G, Cap, false));
+    return expectOk(Session.buildPn(S));
+  };
+
+  ArtifactRef<SdspPn> Pn = pnForCapacity(1);
+  size_t N = Pn->Net.numTransitions();
   std::cout << "n = " << N << " instructions; issue bound 1/" << N
             << "\n\n";
 
@@ -57,18 +78,18 @@ int main(int argc, char **argv) {
                         "frustum", "found at"})
     T.cell(H);
   for (uint32_t Depth = 1; Depth <= MaxDepth; Depth *= 2) {
-    ScpPn Scp = buildScpPn(Pn, Depth);
-    auto Policy = Scp.makeFifoPolicy();
-    auto F = detectFrustum(Scp.Net, Policy.get());
+    ArtifactRef<ScpPn> Scp = expectOk(Session.buildScp(Pn, Depth, 1));
+    Expected<ArtifactRef<FrustumInfo>> F =
+        Session.searchFrustum(Scp, FrustumOptions{});
     T.startRow();
     T.cell(static_cast<int64_t>(Depth));
-    T.cell(Scp.Net.numTransitions());
-    T.cell(Scp.Net.numPlaces());
+    T.cell(Scp->Net.numTransitions());
+    T.cell(Scp->Net.numPlaces());
     if (F) {
-      T.cell(F->computationRate(Scp.SdspTransitions.front()).str());
-      T.cell(processorUsage(Scp, *F).str());
-      T.cell(static_cast<int64_t>(F->length()));
-      T.cell(static_cast<int64_t>(F->RepeatTime));
+      T.cell((*F)->computationRate(Scp->SdspTransitions.front()).str());
+      T.cell(processorUsage(*Scp, **F).str());
+      T.cell(static_cast<int64_t>((*F)->length()));
+      T.cell(static_cast<int64_t>((*F)->RepeatTime));
     } else {
       for (int I = 0; I < 4; ++I)
         T.cell("-");
@@ -85,16 +106,16 @@ int main(int argc, char **argv) {
   for (const char *H : {"l", "capacity", "rate", "usage"})
     T2.cell(H);
   for (uint32_t Cap = 1; Cap <= 8; Cap *= 2) {
-    SdspPn CapPn = buildSdspPn(Sdsp::standard(*G, Cap));
-    ScpPn Scp = buildScpPn(CapPn, MaxDepth);
-    auto Policy = Scp.makeFifoPolicy();
-    auto F = detectFrustum(Scp.Net, Policy.get());
+    ArtifactRef<SdspPn> CapPn = pnForCapacity(Cap);
+    ArtifactRef<ScpPn> Scp = expectOk(Session.buildScp(CapPn, MaxDepth, 1));
+    Expected<ArtifactRef<FrustumInfo>> F =
+        Session.searchFrustum(Scp, FrustumOptions{});
     T2.startRow();
     T2.cell(static_cast<int64_t>(MaxDepth));
     T2.cell(static_cast<int64_t>(Cap));
     if (F) {
-      T2.cell(F->computationRate(Scp.SdspTransitions.front()).str());
-      T2.cell(processorUsage(Scp, *F).str());
+      T2.cell((*F)->computationRate(Scp->SdspTransitions.front()).str());
+      T2.cell(processorUsage(*Scp, **F).str());
     } else {
       T2.cell("-");
       T2.cell("-");
@@ -108,19 +129,20 @@ int main(int argc, char **argv) {
   T3.startRow();
   for (const char *H : {"pipelines", "rate", "bound k/n", "usage"})
     T3.cell(H);
-  SdspPn CapPn = buildSdspPn(Sdsp::standard(*G, 2));
+  ArtifactRef<SdspPn> CapPn = pnForCapacity(2);
   for (uint32_t Pipes = 1; Pipes <= 8; Pipes *= 2) {
-    ScpPn Scp = buildScpPn(CapPn, MaxDepth, Pipes);
-    auto Policy = Scp.makeFifoPolicy();
-    auto F = detectFrustum(Scp.Net, Policy.get());
+    ArtifactRef<ScpPn> Scp =
+        expectOk(Session.buildScp(CapPn, MaxDepth, Pipes));
+    Expected<ArtifactRef<FrustumInfo>> F =
+        Session.searchFrustum(Scp, FrustumOptions{});
     T3.startRow();
     T3.cell(static_cast<int64_t>(Pipes));
     if (F) {
-      T3.cell(F->computationRate(Scp.SdspTransitions.front()).str());
+      T3.cell((*F)->computationRate(Scp->SdspTransitions.front()).str());
       T3.cell(Rational(Pipes,
-                       static_cast<int64_t>(Scp.numSdspTransitions()))
+                       static_cast<int64_t>(Scp->numSdspTransitions()))
                   .str());
-      T3.cell(processorUsage(Scp, *F).str());
+      T3.cell(processorUsage(*Scp, **F).str());
     } else {
       T3.cell("-");
       T3.cell("-");
@@ -128,5 +150,8 @@ int main(int argc, char **argv) {
     }
   }
   T3.print(std::cout);
+
+  std::cout << "\n";
+  Session.trace().printTable(std::cout);
   return 0;
 }

@@ -8,172 +8,31 @@
 #include "core/Pipeline.h"
 
 #include "core/ScheduleDerivation.h"
-#include "core/StorageOptimizer.h"
-#include "dataflow/Unroll.h"
-#include "dataflow/Validate.h"
-#include "loopir/Lowering.h"
+#include "core/Session.h"
 #include "petri/Invariants.h"
 #include "petri/MarkedGraph.h"
 
 #include <algorithm>
 #include <functional>
-#include <sstream>
 
 using namespace sdsp;
 
-namespace {
-
-Status validateOptions(const PipelineOptions &Opts) {
-  auto Bad = [](const std::string &Msg) {
-    return Status::error(ErrorCode::InvalidInput, "options", Msg);
-  };
-  if (Opts.Capacity < 1)
-    return Bad("buffer capacity must be at least 1");
-  if (Opts.Capacity > MaxBufferCapacity)
-    return Bad("buffer capacity " + std::to_string(Opts.Capacity) +
-               " out of range [1, " + std::to_string(MaxBufferCapacity) +
-               "]");
-  if (Opts.Unroll < 1 || Opts.Unroll > MaxUnrollFactor)
-    return Bad("unroll factor " + std::to_string(Opts.Unroll) +
-               " out of range [1, " + std::to_string(MaxUnrollFactor) + "]");
-  if (Opts.ValidateIterations < 1)
-    return Bad("schedule validation needs at least one iteration");
-  // The SCP stage validates ScpDepth/Pipelines itself (they carry
-  // resource semantics: a zero-stage pipeline is ResourceConflict, not
-  // a range typo).
-  return Status::ok();
-}
-
-/// Runs the optional verify pass and seals the result.
-Expected<CompiledLoop> finish(CompiledLoop CL, const PipelineOptions &Opts) {
-  if (Opts.Verify) {
-    if (Status St = verifyCompiledLoop(CL, Opts); !St)
-      return St;
-    CL.Verified = true;
-  }
-  return CL;
-}
-
-Expected<CompiledLoop> runFromValidatedGraph(DataflowGraph G,
-                                             const PipelineOptions &Opts) {
-  if (Status St = validateOptions(Opts); !St)
-    return St;
-
-  CompiledLoop CL;
-  CL.Graph = std::move(G);
-
-  // Frontend stage tail: optimize + unroll on the dataflow graph.
-  if (Opts.Optimize)
-    CL.Graph = optimize(CL.Graph, CL.OptStats);
-  if (Opts.Unroll > 1) {
-    Expected<DataflowGraph> U = unrollLoopChecked(CL.Graph, Opts.Unroll);
-    if (!U)
-      return U.status();
-    CL.Graph = std::move(*U);
-  }
-  if (Opts.StopAfter == PipelineStage::Frontend)
-    return finish(std::move(CL), Opts);
-
-  // Storage stage: acknowledgement arcs, optionally minimized.
-  CL.S = Sdsp::standard(CL.Graph, Opts.Capacity);
-  if (Opts.OptimizeStorage) {
-    Expected<StorageOptResult> R = minimizeStorageChecked(*CL.S);
-    if (!R)
-      return R.status();
-    CL.Storage =
-        StorageOptSummary{R->StorageBefore, R->StorageAfter, R->OptimalRate};
-    CL.S = std::move(R->Optimized);
-  }
-  if (Opts.StopAfter == PipelineStage::Storage)
-    return finish(std::move(CL), Opts);
-
-  // Petri stage: SDSP-PN translation + analytic rate.
-  Expected<SdspPn> Pn = buildSdspPnChecked(*CL.S);
-  if (!Pn)
-    return Pn.status();
-  CL.Pn = std::move(*Pn);
-  if (CL.Pn->Net.numTransitions() == 0)
-    return Status::error(ErrorCode::InvalidNet, "petri",
-                         "loop body has no compute operations to schedule");
-  CL.Rate = analyzeRate(*CL.Pn);
-  if (Opts.StopAfter == PipelineStage::Petri)
-    return finish(std::move(CL), Opts);
-
-  // Frustum stage: earliest-firing search on the machine model, under
-  // an explicit budget (0 = the Thm 4.1.1-4.2.2 bound).
-  FrustumBudget Budget = FrustumBudget::steps(Opts.FrustumBudgetSteps);
-  if (Opts.ScpDepth > 0) {
-    Expected<ScpPn> Scp =
-        buildScpPnChecked(*CL.Pn, Opts.ScpDepth, Opts.Pipelines);
-    if (!Scp)
-      return Scp.status();
-    CL.Scp = std::move(*Scp);
-    CL.Policy = CL.Scp->makeFifoPolicy();
-    Expected<FrustumInfo> F =
-        detectFrustumChecked(CL.Scp->Net, CL.Policy.get(), Budget);
-    if (!F)
-      return F.status();
-    CL.Frustum = std::move(*F);
-  } else {
-    Expected<FrustumInfo> F =
-        detectFrustumChecked(CL.Pn->Net, nullptr, Budget);
-    if (!F)
-      return F.status();
-    CL.Frustum = std::move(*F);
-  }
-  CL.FrustumWithinEmpiricalBound =
-      CL.Frustum->withinEmpiricalBound(CL.machineNet().numTransitions());
-  // The SCP model's product is its frustum pattern (Table 2); closed-
-  // form schedules are derived for the ideal machine only.
-  if (Opts.StopAfter == PipelineStage::Frustum || Opts.ScpDepth > 0)
-    return finish(std::move(CL), Opts);
-
-  // Schedule stage: frustum -> software pipeline, then independent
-  // replay validation.
-  Expected<SoftwarePipelineSchedule> Sched =
-      deriveScheduleChecked(*CL.Pn, *CL.Frustum);
-  if (!Sched)
-    return Sched.status();
-  CL.Schedule = std::move(*Sched);
-  std::string Err;
-  if (!validateSchedule(*CL.S, *CL.Pn, *CL.Schedule, Opts.ValidateIterations,
-                        &Err))
-    return Status::error(ErrorCode::InternalInvariant, "schedule",
-                         "derived schedule failed validation: " + Err);
-  return finish(std::move(CL), Opts);
-}
-
-} // namespace
+// The stage orchestration lives in core/Session.cpp since the
+// compilation-session refactor; runPipeline() is the retained one-call
+// form.  A throwaway session means no caching across calls — drivers
+// that sweep options should hold a CompilationSession instead.
 
 Expected<CompiledLoop> sdsp::runPipeline(const std::string &Source,
                                          const PipelineOptions &Opts,
                                          DiagnosticEngine *Diags) {
-  DiagnosticEngine Local;
-  DiagnosticEngine &D = Diags ? *Diags : Local;
-  std::optional<DataflowGraph> G = compileLoop(Source, D);
-  if (!G) {
-    std::ostringstream OS;
-    bool First = true;
-    for (const Diagnostic &Diag : D.diagnostics()) {
-      if (!First)
-        OS << "; ";
-      First = false;
-      OS << Diag.Loc.Line << ":" << Diag.Loc.Col << ": " << Diag.Message;
-    }
-    if (First)
-      OS << "frontend rejected the source";
-    return Status::error(ErrorCode::InvalidInput, "frontend", OS.str());
-  }
-  return runFromValidatedGraph(std::move(*G), Opts);
+  CompilationSession Session;
+  return Session.compile(Source, Opts, Diags);
 }
 
 Expected<CompiledLoop> sdsp::runPipeline(DataflowGraph G,
                                          const PipelineOptions &Opts) {
-  // Graphs arriving here bypassed the frontend; re-establish
-  // well-formedness before trusting them.
-  if (Status St = validationStatus(G, "dataflow"); !St)
-    return St;
-  return runFromValidatedGraph(std::move(G), Opts);
+  CompilationSession Session;
+  return Session.compile(std::move(G), Opts);
 }
 
 Status sdsp::verifyCompiledLoop(const CompiledLoop &CL,

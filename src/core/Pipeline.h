@@ -12,6 +12,13 @@
 ///   SDSP --[storage minimization]--> SDSP-PN --rate analysis-->
 ///   [SCP model] --earliest firing--> cyclic frustum --> schedule
 ///
+/// Since the compilation-session refactor the stages live in
+/// core/Session.h as registered passes over immutable, content-hashed
+/// artifacts; runPipeline() is a thin wrapper that runs a throwaway
+/// CompilationSession.  Sweeps that revisit upstream stages (benches,
+/// ablations, tools) should hold a session of their own and let its
+/// artifact cache reuse shared prefixes — see docs/ARCHITECTURE.md.
+///
 /// Every stage validates its inputs and returns a stage-tagged Status
 /// instead of asserting, so a Release-built driver can neither crash
 /// nor silently mis-compile on malformed input; the frustum search
@@ -70,6 +77,16 @@ enum class PipelineStage {
   Schedule,
 };
 
+/// Which frustum detector to run.  Fast is the incremental engine of
+/// petri/EarliestFiring.h; Reference is the retained naive oracle
+/// (petri/ReferenceEngine.h).  Both produce identical FrustumInfo (the
+/// golden-equivalence suite pins this), but they are distinct engines
+/// with distinct costs, so the session cache fingerprints the choice.
+enum class FrustumEngine {
+  Fast,
+  Reference,
+};
+
 /// Everything the pipeline can be asked to do.
 struct PipelineOptions {
   bool Optimize = false;
@@ -82,6 +99,9 @@ struct PipelineOptions {
   /// Frustum search budget in time steps; 0 = the theory bound
   /// (FrustumBudget::resolve).
   TimeStep FrustumBudgetSteps = 0;
+  /// Which frustum detector to run (both budget and engine are part of
+  /// the session's frustum cache fingerprint).
+  FrustumEngine Engine = FrustumEngine::Fast;
   /// Run verifyCompiledLoop() before returning success.
   bool Verify = false;
   /// Iterations the schedule validator replays.

@@ -1,0 +1,571 @@
+//===- core/Session.cpp - Compilation sessions over an artifact graph ------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Session.h"
+
+#include "codegen/Codegen.h"
+#include "core/ScheduleDerivation.h"
+#include "core/StorageOptimizer.h"
+#include "dataflow/Unroll.h"
+#include "dataflow/Validate.h"
+#include "loopir/Lowering.h"
+#include "support/Hashing.h"
+#include "support/TextTable.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+using namespace sdsp;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+constexpr PassInfo PassTable[NumPassKinds] = {
+    {"lower", "source", "dataflow-graph", true},
+    {"import", "external dataflow-graph", "dataflow-graph", true},
+    {"transform", "dataflow-graph", "dataflow-graph", true},
+    {"sdsp", "dataflow-graph", "sdsp", true},
+    {"sdsp-pn", "sdsp", "sdsp-pn", true},
+    {"rate", "sdsp-pn", "rate-report", true},
+    {"scp", "sdsp-pn", "scp-pn", true},
+    {"frustum", "sdsp-pn | scp-pn", "frustum", true},
+    {"schedule", "sdsp + sdsp-pn + frustum", "software-pipeline", true},
+    {"codegen", "sdsp + sdsp-pn + schedule", "loop-program", true},
+    {"verify", "compiled-loop", "(checked)", false},
+};
+
+/// Same range checks (and messages) the pipeline has always applied.
+Status validateOptions(const PipelineOptions &Opts) {
+  auto Bad = [](const std::string &Msg) {
+    return Status::error(ErrorCode::InvalidInput, "options", Msg);
+  };
+  if (Opts.Capacity < 1)
+    return Bad("buffer capacity must be at least 1");
+  if (Opts.Capacity > MaxBufferCapacity)
+    return Bad("buffer capacity " + std::to_string(Opts.Capacity) +
+               " out of range [1, " + std::to_string(MaxBufferCapacity) +
+               "]");
+  if (Opts.Unroll < 1 || Opts.Unroll > MaxUnrollFactor)
+    return Bad("unroll factor " + std::to_string(Opts.Unroll) +
+               " out of range [1, " + std::to_string(MaxUnrollFactor) + "]");
+  if (Opts.ValidateIterations < 1)
+    return Bad("schedule validation needs at least one iteration");
+  // The SCP stage validates ScpDepth/Pipelines itself (they carry
+  // resource semantics: a zero-stage pipeline is ResourceConflict, not
+  // a range typo).
+  return Status::ok();
+}
+
+void jsonEscape(std::ostream &OS, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      OS << '\\';
+    OS << C;
+  }
+}
+
+std::string formatSeconds(double S) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9f", S);
+  return Buf;
+}
+
+} // namespace
+
+const PassInfo &sdsp::passInfo(PassKind K) {
+  return PassTable[static_cast<size_t>(K)];
+}
+
+uint64_t sdsp::artifactHash(const TransformedGraph &T) {
+  HashStream HS(0x5d5370a0f1ULL);
+  HS.u64(artifactHash(T.Graph)).u64(artifactHash(T.Stats));
+  return HS.hash();
+}
+
+uint64_t sdsp::artifactSizeBytes(const TransformedGraph &T) {
+  return artifactSizeBytes(T.Graph) + sizeof(TransformStats);
+}
+
+uint64_t sdsp::artifactHash(const SdspArtifact &S) {
+  HashStream HS(0x5d5370a0f2ULL);
+  HS.u64(artifactHash(S.S));
+  HS.u64(S.Storage.has_value());
+  if (S.Storage) {
+    HS.u64(S.Storage->Before).u64(S.Storage->After);
+    HS.i64(S.Storage->OptimalRate.num()).i64(S.Storage->OptimalRate.den());
+  }
+  return HS.hash();
+}
+
+uint64_t sdsp::artifactSizeBytes(const SdspArtifact &S) {
+  return artifactSizeBytes(S.S) + sizeof(StorageOptSummary);
+}
+
+//===----------------------------------------------------------------------===//
+// PipelineTrace
+//===----------------------------------------------------------------------===//
+
+double PipelineTrace::totalWallSeconds() const {
+  double T = 0;
+  for (const Row &R : Passes)
+    T += R.Stats.WallSeconds;
+  return T;
+}
+
+uint64_t PipelineTrace::totalInvocations() const {
+  uint64_t N = 0;
+  for (const Row &R : Passes)
+    N += R.Stats.Invocations;
+  return N;
+}
+
+uint64_t PipelineTrace::totalCacheHits() const {
+  uint64_t N = 0;
+  for (const Row &R : Passes)
+    N += R.Stats.CacheHits;
+  return N;
+}
+
+void PipelineTrace::printTable(std::ostream &OS) const {
+  OS << "=== pipeline timings (artifact cache "
+     << (CacheEnabled ? "enabled" : "disabled") << ") ===\n";
+  TextTable T;
+  T.startRow();
+  for (const char *H : {"pass", "inputs", "output", "runs", "hits", "fail",
+                        "wall ms", "bytes"})
+    T.cell(H);
+  for (const Row &R : Passes) {
+    if (R.Stats.Invocations == 0)
+      continue;
+    T.startRow();
+    T.cell(R.Pass);
+    T.cell(R.Inputs);
+    T.cell(R.Output);
+    T.cell(R.Stats.Invocations);
+    T.cell(R.Stats.CacheHits);
+    T.cell(R.Stats.Failures);
+    T.cell(R.Stats.WallSeconds * 1e3, 3);
+    T.cell(R.Stats.ArtifactBytes);
+  }
+  T.print(OS);
+  OS << "total: " << totalInvocations() << " pass runs, "
+     << totalCacheHits() << " cache hits, "
+     << formatSeconds(totalWallSeconds()) << " s computing\n";
+}
+
+void PipelineTrace::writeJson(std::ostream &OS) const {
+  OS << "{\n"
+     << "  \"schema\": \"sdsp-pipeline-trace-v1\",\n"
+     << "  \"cache_enabled\": " << (CacheEnabled ? "true" : "false")
+     << ",\n"
+     << "  \"total_wall_seconds\": " << formatSeconds(totalWallSeconds())
+     << ",\n"
+     << "  \"total_invocations\": " << totalInvocations() << ",\n"
+     << "  \"total_cache_hits\": " << totalCacheHits() << ",\n"
+     << "  \"passes\": [\n";
+  bool First = true;
+  for (const Row &R : Passes) {
+    if (!First)
+      OS << ",\n";
+    First = false;
+    OS << "    {\"pass\": \"";
+    jsonEscape(OS, R.Pass);
+    OS << "\", \"inputs\": \"";
+    jsonEscape(OS, R.Inputs);
+    OS << "\", \"output\": \"";
+    jsonEscape(OS, R.Output);
+    OS << "\", \"invocations\": " << R.Stats.Invocations
+       << ", \"cache_hits\": " << R.Stats.CacheHits
+       << ", \"failures\": " << R.Stats.Failures
+       << ", \"wall_seconds\": " << formatSeconds(R.Stats.WallSeconds)
+       << ", \"artifact_bytes\": " << R.Stats.ArtifactBytes << "}";
+  }
+  OS << "\n  ]\n}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// CompilationSession
+//===----------------------------------------------------------------------===//
+
+size_t CompilationSession::CacheKeyHash::operator()(const CacheKey &K) const {
+  size_t Seed = K.Pass;
+  hashCombine(Seed, static_cast<size_t>(K.Inputs));
+  hashCombine(Seed, static_cast<size_t>(K.Options));
+  return Seed;
+}
+
+CompilationSession::CompilationSession(SessionConfig Config) {
+  if (Config.EnableCache) {
+    CacheOn = *Config.EnableCache;
+    return;
+  }
+  const char *E = std::getenv("SDSP_DISABLE_ARTIFACT_CACHE");
+  CacheOn = !(E && *E && std::string_view(E) != "0");
+}
+
+PipelineTrace CompilationSession::trace() const {
+  PipelineTrace T;
+  T.CacheEnabled = CacheOn;
+  T.Passes.reserve(NumPassKinds);
+  for (size_t I = 0; I < NumPassKinds; ++I) {
+    const PassInfo &Info = PassTable[I];
+    T.Passes.push_back({Info.Id, Info.Inputs, Info.Output, Stats[I]});
+  }
+  return T;
+}
+
+template <typename T, typename Fn>
+Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
+                                                     uint64_t InputsHash,
+                                                     uint64_t OptionsFp,
+                                                     Fn &&Compute) {
+  PassStats &PS = Stats[static_cast<size_t>(K)];
+  ++PS.Invocations;
+  CacheKey Key{static_cast<uint32_t>(K), InputsHash, OptionsFp};
+  if (CacheOn) {
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      ++PS.CacheHits;
+      return ArtifactRef<T>(
+          std::static_pointer_cast<const T>(It->second.Value),
+          It->second.ContentHash);
+    }
+  }
+  Clock::time_point T0 = Clock::now();
+  Expected<T> R = Compute();
+  if (!R) {
+    PS.WallSeconds += secondsSince(T0);
+    ++PS.Failures;
+    return R.status();
+  }
+  auto Ptr = std::make_shared<const T>(std::move(*R));
+  uint64_t Hash = artifactHash(*Ptr);
+  PS.WallSeconds += secondsSince(T0);
+  PS.ArtifactBytes += artifactSizeBytes(*Ptr);
+  if (CacheOn)
+    Cache.emplace(Key, CacheEntry{Ptr, Hash});
+  return ArtifactRef<T>(std::move(Ptr), Hash);
+}
+
+Expected<ArtifactRef<DataflowGraph>>
+CompilationSession::lower(const std::string &Source,
+                          DiagnosticEngine *Diags) {
+  return runPass<DataflowGraph>(
+      PassKind::Lower, artifactHash(Source), 0,
+      [&]() -> Expected<DataflowGraph> {
+        DiagnosticEngine Local;
+        DiagnosticEngine &D = Diags ? *Diags : Local;
+        std::optional<DataflowGraph> G = compileLoop(Source, D);
+        if (!G) {
+          std::ostringstream OS;
+          bool First = true;
+          for (const Diagnostic &Diag : D.diagnostics()) {
+            if (!First)
+              OS << "; ";
+            First = false;
+            OS << Diag.Loc.Line << ":" << Diag.Loc.Col << ": "
+               << Diag.Message;
+          }
+          if (First)
+            OS << "frontend rejected the source";
+          return Status::error(ErrorCode::InvalidInput, "frontend",
+                               OS.str());
+        }
+        return std::move(*G);
+      });
+}
+
+Expected<ArtifactRef<DataflowGraph>>
+CompilationSession::importGraph(DataflowGraph G) {
+  uint64_t Hash = artifactHash(G);
+  return runPass<DataflowGraph>(
+      PassKind::Import, Hash, 0, [&]() -> Expected<DataflowGraph> {
+        // Graphs arriving here bypassed the frontend; re-establish
+        // well-formedness before trusting them.
+        if (Status St = validationStatus(G, "dataflow"); !St)
+          return St;
+        return std::move(G);
+      });
+}
+
+Expected<ArtifactRef<TransformedGraph>>
+CompilationSession::transform(const ArtifactRef<DataflowGraph> &G,
+                              bool Optimize, uint32_t Unroll) {
+  uint64_t Fp = HashStream(1).u64(Optimize).u64(Unroll).hash();
+  return runPass<TransformedGraph>(
+      PassKind::Transform, G.hash(), Fp,
+      [&]() -> Expected<TransformedGraph> {
+        TransformedGraph Out;
+        Out.Graph = *G;
+        if (Optimize)
+          Out.Graph = optimize(Out.Graph, Out.Stats);
+        if (Unroll > 1) {
+          Expected<DataflowGraph> U = unrollLoopChecked(Out.Graph, Unroll);
+          if (!U)
+            return U.status();
+          Out.Graph = std::move(*U);
+        }
+        return Out;
+      });
+}
+
+ArtifactRef<DataflowGraph> CompilationSession::transformedGraph(
+    const ArtifactRef<TransformedGraph> &T) const {
+  // Aliasing share: the graph stays owned by the TransformedGraph
+  // artifact; no copy is made.
+  std::shared_ptr<const DataflowGraph> G(T.ptr(), &T->Graph);
+  return ArtifactRef<DataflowGraph>(std::move(G), artifactHash(T->Graph));
+}
+
+Expected<ArtifactRef<SdspArtifact>>
+CompilationSession::buildSdsp(const ArtifactRef<DataflowGraph> &G,
+                              uint32_t Capacity, bool OptimizeStorage) {
+  uint64_t Fp = HashStream(2).u64(Capacity).u64(OptimizeStorage).hash();
+  return runPass<SdspArtifact>(
+      PassKind::Sdsp, G.hash(), Fp, [&]() -> Expected<SdspArtifact> {
+        SdspArtifact Out{Sdsp::standard(*G, Capacity), std::nullopt};
+        if (OptimizeStorage) {
+          Expected<StorageOptResult> R = minimizeStorageChecked(Out.S);
+          if (!R)
+            return R.status();
+          Out.Storage = StorageOptSummary{R->StorageBefore, R->StorageAfter,
+                                          R->OptimalRate};
+          Out.S = std::move(R->Optimized);
+        }
+        return Out;
+      });
+}
+
+Expected<ArtifactRef<SdspPn>>
+CompilationSession::buildPn(const ArtifactRef<SdspArtifact> &S) {
+  return runPass<SdspPn>(
+      PassKind::SdspPn, S.hash(), 0, [&]() -> Expected<SdspPn> {
+        Expected<SdspPn> Pn = buildSdspPnChecked(S->S);
+        if (!Pn)
+          return Pn.status();
+        if (Pn->Net.numTransitions() == 0)
+          return Status::error(
+              ErrorCode::InvalidNet, "petri",
+              "loop body has no compute operations to schedule");
+        return std::move(*Pn);
+      });
+}
+
+Expected<ArtifactRef<RateReport>>
+CompilationSession::computeRate(const ArtifactRef<SdspPn> &Pn) {
+  return runPass<RateReport>(PassKind::Rate, Pn.hash(), 0,
+                             [&]() -> Expected<RateReport> {
+                               return analyzeRate(*Pn);
+                             });
+}
+
+Expected<ArtifactRef<ScpPn>>
+CompilationSession::buildScp(const ArtifactRef<SdspPn> &Pn, uint32_t Depth,
+                             uint32_t Pipelines) {
+  uint64_t Fp = HashStream(3).u64(Depth).u64(Pipelines).hash();
+  return runPass<ScpPn>(PassKind::Scp, Pn.hash(), Fp,
+                        [&]() -> Expected<ScpPn> {
+                          return buildScpPnChecked(*Pn, Depth, Pipelines);
+                        });
+}
+
+Expected<ArtifactRef<FrustumInfo>>
+CompilationSession::frustumPass(const PetriNet &Net, uint64_t MachineHash,
+                                const ScpPn *Scp, const FrustumOptions &FO) {
+  // The satellite fix of this refactor: budget AND engine selection are
+  // fingerprinted, so shrinking the budget or switching engines can
+  // never be answered with a stale cached frustum.
+  uint64_t Fp = HashStream(4)
+                    .u64(FO.BudgetSteps)
+                    .u64(static_cast<uint64_t>(FO.Engine))
+                    .hash();
+  return runPass<FrustumInfo>(
+      PassKind::Frustum, MachineHash, Fp, [&]() -> Expected<FrustumInfo> {
+        FrustumBudget Budget = FrustumBudget::steps(FO.BudgetSteps);
+        std::unique_ptr<FifoPolicy> Policy;
+        if (Scp)
+          Policy = Scp->makeFifoPolicy();
+        Expected<FrustumInfo> F =
+            FO.Engine == FrustumEngine::Reference
+                ? detectFrustumReference(Net, Policy.get(), Budget)
+                : detectFrustumChecked(Net, Policy.get(), Budget);
+        if (!F)
+          return F.status();
+        return std::move(*F);
+      });
+}
+
+Expected<ArtifactRef<FrustumInfo>>
+CompilationSession::searchFrustum(const ArtifactRef<SdspPn> &Pn,
+                                  const FrustumOptions &FO) {
+  return frustumPass(Pn->Net, Pn.hash(), nullptr, FO);
+}
+
+Expected<ArtifactRef<FrustumInfo>>
+CompilationSession::searchFrustum(const ArtifactRef<ScpPn> &Scp,
+                                  const FrustumOptions &FO) {
+  return frustumPass(Scp->Net, Scp.hash(), Scp.ptr().get(), FO);
+}
+
+Expected<ArtifactRef<SoftwarePipelineSchedule>>
+CompilationSession::deriveSchedule(const ArtifactRef<SdspArtifact> &S,
+                                   const ArtifactRef<SdspPn> &Pn,
+                                   const ArtifactRef<FrustumInfo> &F,
+                                   uint64_t ValidateIterations) {
+  uint64_t Inputs =
+      HashStream(5).u64(S.hash()).u64(Pn.hash()).u64(F.hash()).hash();
+  uint64_t Fp = HashStream(6).u64(ValidateIterations).hash();
+  return runPass<SoftwarePipelineSchedule>(
+      PassKind::Schedule, Inputs, Fp,
+      [&]() -> Expected<SoftwarePipelineSchedule> {
+        Expected<SoftwarePipelineSchedule> Sched =
+            deriveScheduleChecked(*Pn, *F);
+        if (!Sched)
+          return Sched.status();
+        std::string Err;
+        if (!validateSchedule(S->S, *Pn, *Sched, ValidateIterations, &Err))
+          return Status::error(ErrorCode::InternalInvariant, "schedule",
+                               "derived schedule failed validation: " + Err);
+        return std::move(*Sched);
+      });
+}
+
+Expected<ArtifactRef<LoopProgram>> CompilationSession::generateProgram(
+    const ArtifactRef<SdspArtifact> &S, const ArtifactRef<SdspPn> &Pn,
+    const ArtifactRef<SoftwarePipelineSchedule> &Sched) {
+  uint64_t Inputs =
+      HashStream(7).u64(S.hash()).u64(Pn.hash()).u64(Sched.hash()).hash();
+  return runPass<LoopProgram>(
+      PassKind::Codegen, Inputs, 0, [&]() -> Expected<LoopProgram> {
+        return generateLoopProgram(S->S, *Pn, *Sched);
+      });
+}
+
+Expected<CompiledLoop> CompilationSession::finish(CompiledLoop CL,
+                                                  const PipelineOptions &Opts) {
+  if (!Opts.Verify)
+    return CL;
+  PassStats &PS = Stats[static_cast<size_t>(PassKind::Verify)];
+  ++PS.Invocations;
+  Clock::time_point T0 = Clock::now();
+  Status St = verifyCompiledLoop(CL, Opts);
+  PS.WallSeconds += secondsSince(T0);
+  if (!St) {
+    ++PS.Failures;
+    return St;
+  }
+  CL.Verified = true;
+  return CL;
+}
+
+Expected<CompiledLoop>
+CompilationSession::compileFromGraph(ArtifactRef<DataflowGraph> G,
+                                     const PipelineOptions &Opts) {
+  if (Status St = validateOptions(Opts); !St)
+    return St;
+
+  CompiledLoop CL;
+
+  // Frontend stage tail: optimize + unroll on the dataflow graph.
+  if (Opts.Optimize || Opts.Unroll > 1) {
+    Expected<ArtifactRef<TransformedGraph>> T =
+        transform(G, Opts.Optimize, Opts.Unroll);
+    if (!T)
+      return T.status();
+    CL.OptStats = (*T)->Stats;
+    G = transformedGraph(*T);
+  }
+  CL.Graph = *G;
+  if (Opts.StopAfter == PipelineStage::Frontend)
+    return finish(std::move(CL), Opts);
+
+  // Storage stage: acknowledgement arcs, optionally minimized.
+  Expected<ArtifactRef<SdspArtifact>> S =
+      buildSdsp(G, Opts.Capacity, Opts.OptimizeStorage);
+  if (!S)
+    return S.status();
+  CL.S = (*S)->S;
+  CL.Storage = (*S)->Storage;
+  if (Opts.StopAfter == PipelineStage::Storage)
+    return finish(std::move(CL), Opts);
+
+  // Petri stage: SDSP-PN translation + analytic rate.
+  Expected<ArtifactRef<SdspPn>> Pn = buildPn(*S);
+  if (!Pn)
+    return Pn.status();
+  CL.Pn = **Pn;
+  Expected<ArtifactRef<RateReport>> Rate = computeRate(*Pn);
+  if (!Rate)
+    return Rate.status();
+  CL.Rate = **Rate;
+  if (Opts.StopAfter == PipelineStage::Petri)
+    return finish(std::move(CL), Opts);
+
+  // Frustum stage: earliest-firing search on the machine model, under
+  // an explicit budget (0 = the Thm 4.1.1-4.2.2 bound).
+  FrustumOptions FO{Opts.FrustumBudgetSteps, Opts.Engine};
+  ArtifactRef<FrustumInfo> F;
+  if (Opts.ScpDepth > 0) {
+    Expected<ArtifactRef<ScpPn>> Scp =
+        buildScp(*Pn, Opts.ScpDepth, Opts.Pipelines);
+    if (!Scp)
+      return Scp.status();
+    CL.Scp = **Scp;
+    CL.Policy = CL.Scp->makeFifoPolicy();
+    Expected<ArtifactRef<FrustumInfo>> FR = searchFrustum(*Scp, FO);
+    if (!FR)
+      return FR.status();
+    F = *FR;
+  } else {
+    Expected<ArtifactRef<FrustumInfo>> FR = searchFrustum(*Pn, FO);
+    if (!FR)
+      return FR.status();
+    F = *FR;
+  }
+  CL.Frustum = *F;
+  CL.FrustumWithinEmpiricalBound =
+      CL.Frustum->withinEmpiricalBound(CL.machineNet().numTransitions());
+  // The SCP model's product is its frustum pattern (Table 2); closed-
+  // form schedules are derived for the ideal machine only.
+  if (Opts.StopAfter == PipelineStage::Frustum || Opts.ScpDepth > 0)
+    return finish(std::move(CL), Opts);
+
+  // Schedule stage: frustum -> software pipeline, then independent
+  // replay validation.
+  Expected<ArtifactRef<SoftwarePipelineSchedule>> Sched =
+      deriveSchedule(*S, *Pn, F, Opts.ValidateIterations);
+  if (!Sched)
+    return Sched.status();
+  CL.Schedule = **Sched;
+  return finish(std::move(CL), Opts);
+}
+
+Expected<CompiledLoop> CompilationSession::compile(const std::string &Source,
+                                                   const PipelineOptions &Opts,
+                                                   DiagnosticEngine *Diags) {
+  Expected<ArtifactRef<DataflowGraph>> G = lower(Source, Diags);
+  if (!G)
+    return G.status();
+  return compileFromGraph(*G, Opts);
+}
+
+Expected<CompiledLoop> CompilationSession::compile(DataflowGraph G,
+                                                   const PipelineOptions &Opts) {
+  Expected<ArtifactRef<DataflowGraph>> A = importGraph(std::move(G));
+  if (!A)
+    return A.status();
+  return compileFromGraph(*A, Opts);
+}

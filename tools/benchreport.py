@@ -2,13 +2,19 @@
 """Benchmark JSON aggregation for the SDSP perf gate.
 
 Runs the google-benchmark binaries with --benchmark_out, then distills
-their JSON into two committed artifacts at the repo root:
+their JSON into the committed artifacts at the repo root:
 
   BENCH_frustum.json   scaling_frustum: optimized vs reference frustum
                        detection, with the derived speedup per scale and
                        the n~=2048 gate verdict (>= 5x required).
   BENCH_pipeline.json  pipeline_verify: verified end-to-end pipeline
                        times on the six Livermore kernels.
+  BENCH_passes.json    session_sweep: per-pass wall time, invocation /
+                       cache-hit counters, and artifact sizes from the
+                       CompilationSession's PipelineTrace (schema
+                       sdsp-pipeline-trace-v1, docs/ARCHITECTURE.md),
+                       captured via SDSP_TRACE_JSON during the SCP-depth
+                       ablation sweep.
 
 Also provides --smoke, which runs every binary under <build>/bench once
 with a short min-time and fails on any crash or benchmark error (the CI
@@ -27,6 +33,8 @@ import sys
 
 FRUSTUM_BENCH = "scaling_frustum"
 PIPELINE_BENCH = "pipeline_verify"
+SESSION_BENCH = "session_sweep"
+TRACE_SCHEMA = "sdsp-pipeline-trace-v1"
 GATE_ARG = "682"  # 682 chains -> 2050 transitions, the paper-scale n=2048 point
 GATE_THRESHOLD = 5.0
 
@@ -114,6 +122,53 @@ def pipeline_report(report):
     }
 
 
+def passes_report(bench_dir, out_dir, min_time):
+    """Runs session_sweep with SDSP_TRACE_JSON set and distills the
+    emitted PipelineTrace into the BENCH_passes.json shape."""
+    binary = os.path.join(bench_dir, SESSION_BENCH)
+    if not os.path.isfile(binary):
+        raise SystemExit("missing bench binary: %s" % binary)
+    trace_path = os.path.join(out_dir, "BENCH_passes.json.raw")
+    env = dict(os.environ, SDSP_TRACE_JSON=trace_path)
+    proc = subprocess.run(
+        [binary, "--benchmark_min_time=%s" % min_time],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode("utf-8", "replace"))
+        raise SystemExit("benchmark binary failed: %s (exit %d)" %
+                         (binary, proc.returncode))
+    with open(trace_path) as f:
+        trace = json.load(f)
+    os.remove(trace_path)
+    if trace.get("schema") != TRACE_SCHEMA:
+        raise SystemExit("unexpected trace schema in %s: %r" %
+                         (trace_path, trace.get("schema")))
+    passes = {}
+    for row in trace.get("passes", []):
+        invocations = row.get("invocations", 0)
+        if invocations == 0:
+            continue
+        hits = row.get("cache_hits", 0)
+        passes[row["pass"]] = {
+            "inputs": row.get("inputs"),
+            "output": row.get("output"),
+            "invocations": invocations,
+            "cache_hits": hits,
+            "computed": invocations - hits,
+            "failures": row.get("failures", 0),
+            "wall_seconds": row.get("wall_seconds", 0.0),
+            "artifact_bytes": row.get("artifact_bytes", 0),
+        }
+    return {
+        "benchmark": SESSION_BENCH,
+        "generated_by": "tools/benchreport.py",
+        "schema": trace.get("schema"),
+        "cache_enabled": trace.get("cache_enabled"),
+        "total_wall_seconds": trace.get("total_wall_seconds"),
+        "passes": passes,
+    }
+
+
 def smoke(bench_dir, min_time):
     """Runs every bench binary once; any crash fails the job."""
     failures = []
@@ -174,6 +229,13 @@ def main():
             json.dump(report, f, indent=2, sort_keys=True)
             f.write("\n")
         print("wrote %s" % out_path)
+
+    passes = passes_report(bench_dir, args.out_dir, args.min_time)
+    passes_path = os.path.join(args.out_dir, "BENCH_passes.json")
+    with open(passes_path, "w") as f:
+        json.dump(passes, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("wrote %s" % passes_path)
 
     gate = json.load(open(os.path.join(args.out_dir, "BENCH_frustum.json")))
     g = gate["gate"]

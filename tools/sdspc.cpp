@@ -5,8 +5,8 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// sdspc: compile a loop (file, stdin, or bundled kernel) through the
-// guarded pipeline (core/Pipeline.h) and emit the requested artifact.
+// sdspc: compile a loop (file, stdin, or bundled kernel) through a
+// compilation session (core/Session.h) and emit the requested artifact.
 //
 //   sdspc [options] [file.loop | -k kernel-id | -]
 //
@@ -28,6 +28,13 @@
 //   --optimize-storage   run the Section 6 minimizer first
 //   --budget=N           frustum search budget in time steps
 //                        (0 = the Thm 4.1.1-4.2.2 theory bound, default)
+//   --engine=fast|reference
+//                        frustum detector: the incremental engine
+//                        (default) or the retained naive oracle
+//   --timings            print the per-pass wall-time/cache-hit table
+//                        (PipelineTrace) to stderr before exiting
+//   --timings-json=FILE  write the PipelineTrace JSON
+//                        ("sdsp-pipeline-trace-v1") to FILE
 //   --verify             re-check net properties and cross-check the
 //                        frustum rate against the analytic cycle ratio
 //   --run=N              execute N iterations on the VM with random
@@ -44,9 +51,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CEmitter.h"
-#include "codegen/Codegen.h"
 #include "codegen/Vm.h"
-#include "core/Pipeline.h"
+#include "core/Session.h"
 #include "livermore/Livermore.h"
 #include "petri/BehaviorGraph.h"
 #include "support/Random.h"
@@ -69,6 +75,8 @@ struct Options {
   uint64_t Seed = 1;
   std::string InputPath;
   std::string KernelId;
+  std::string TimingsJsonPath;
+  bool Timings = false;
   /// --scp appeared explicitly (so --scp=0 is a rejected machine, not
   /// "no machine model").
   bool ScpGiven = false;
@@ -79,7 +87,8 @@ void printUsage(std::ostream &OS) {
         "  --emit=schedule|timeline|rate|program|c|dot-dataflow|dot-pn|"
         "dot-behavior|storage\n"
         "  --opt --capacity=N --unroll=U --scp=L --pipelines=K\n"
-        "  --optimize-storage --budget=N --verify --run=N --seed=S\n"
+        "  --optimize-storage --budget=N --engine=fast|reference\n"
+        "  --timings --timings-json=FILE --verify --run=N --seed=S\n"
         "  -k <id>   use a bundled kernel (l1 l2 loop1 loop3 loop5 "
         "loop7 loop9 loop9lcd loop12)\n"
         "exit codes: 0 ok, 1 input diagnostics, 2 resource/budget, "
@@ -144,6 +153,21 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
     } else if (const char *V = Value("--budget=")) {
       if (!parseUint64(V, "--budget", Opts.Pipe.FrustumBudgetSteps))
         return false;
+    } else if (const char *V = Value("--engine=")) {
+      std::string E = V;
+      if (E == "fast")
+        Opts.Pipe.Engine = FrustumEngine::Fast;
+      else if (E == "reference")
+        Opts.Pipe.Engine = FrustumEngine::Reference;
+      else {
+        std::cerr << "sdspc: invalid value '" << E
+                  << "' for --engine (expected fast or reference)\n";
+        return false;
+      }
+    } else if (Arg == "--timings") {
+      Opts.Timings = true;
+    } else if (const char *V = Value("--timings-json=")) {
+      Opts.TimingsJsonPath = V;
     } else if (Arg == "--opt") {
       Opts.Pipe.Optimize = true;
     } else if (Arg == "--optimize-storage") {
@@ -209,7 +233,43 @@ int reportFailure(const Status &St, const DiagnosticEngine &Diags) {
   return exitCodeFor(St);
 }
 
-int run(const Options &Opts) {
+/// Re-derives the codegen inputs through the session — all cache hits
+/// when the cache is on, since compile() already ran them — and runs
+/// the codegen pass (ideal machine only; the SCP path never reaches
+/// codegen).
+Expected<ArtifactRef<LoopProgram>>
+buildProgram(CompilationSession &Session, const std::string &Source,
+             const PipelineOptions &Pipe) {
+  Expected<ArtifactRef<DataflowGraph>> G = Session.lower(Source);
+  if (!G)
+    return G.status();
+  ArtifactRef<DataflowGraph> Graph = *G;
+  if (Pipe.Optimize || Pipe.Unroll > 1) {
+    Expected<ArtifactRef<TransformedGraph>> T =
+        Session.transform(Graph, Pipe.Optimize, Pipe.Unroll);
+    if (!T)
+      return T.status();
+    Graph = Session.transformedGraph(*T);
+  }
+  Expected<ArtifactRef<SdspArtifact>> S =
+      Session.buildSdsp(Graph, Pipe.Capacity, Pipe.OptimizeStorage);
+  if (!S)
+    return S.status();
+  Expected<ArtifactRef<SdspPn>> Pn = Session.buildPn(*S);
+  if (!Pn)
+    return Pn.status();
+  Expected<ArtifactRef<FrustumInfo>> F = Session.searchFrustum(
+      *Pn, FrustumOptions{Pipe.FrustumBudgetSteps, Pipe.Engine});
+  if (!F)
+    return F.status();
+  Expected<ArtifactRef<SoftwarePipelineSchedule>> Sched =
+      Session.deriveSchedule(*S, *Pn, *F, Pipe.ValidateIterations);
+  if (!Sched)
+    return Sched.status();
+  return Session.generateProgram(*S, *Pn, *Sched);
+}
+
+int compileAndEmit(CompilationSession &Session, const Options &Opts) {
   std::optional<std::string> Source = readSource(Opts);
   if (!Source)
     return 1;
@@ -248,7 +308,7 @@ int run(const Options &Opts) {
     Pipe.StopAfter = PipelineStage::Schedule;
 
   DiagnosticEngine Diags;
-  Expected<CompiledLoop> Result = runPipeline(*Source, Pipe, &Diags);
+  Expected<CompiledLoop> Result = Session.compile(*Source, Pipe, &Diags);
   if (!Result)
     return reportFailure(Result.status(), Diags);
   CompiledLoop &CL = *Result;
@@ -353,9 +413,19 @@ int run(const Options &Opts) {
     return 0;
   }
 
-  const Sdsp &S = *CL.S;
   const SdspPn &Pn = *CL.Pn;
   const SoftwarePipelineSchedule &Sched = *CL.Schedule;
+
+  // One codegen-pass run covers --emit=c/program and --run (the cache
+  // also dedupes across them when both are requested).
+  ArtifactRef<LoopProgram> Program;
+  if (Opts.Emit == "c" || Opts.Emit == "program" || NeedsRun) {
+    Expected<ArtifactRef<LoopProgram>> P =
+        buildProgram(Session, *Source, Pipe);
+    if (!P)
+      return reportFailure(P.status(), Diags);
+    Program = *P;
+  }
 
   if (Opts.Emit == "schedule" || Opts.Emit == "timeline") {
     std::vector<std::string> Names;
@@ -371,16 +441,13 @@ int run(const Options &Opts) {
                           Sched.prologueEnd() + 4 * Sched.kernelLength());
     }
   } else if (Opts.Emit == "c") {
-    LoopProgram Program = generateLoopProgram(S, Pn, Sched);
-    CEmission E = emitC(Program, "sdsp_kernel");
+    CEmission E = emitC(*Program, "sdsp_kernel");
     std::cout << E.Source;
   } else if (Opts.Emit == "program") {
-    LoopProgram Program = generateLoopProgram(S, Pn, Sched);
-    Program.print(std::cout);
+    Program->print(std::cout);
   }
 
   if (NeedsRun) {
-    LoopProgram Program = generateLoopProgram(S, Pn, Sched);
     // Random input streams, deterministic per seed.
     Rng R(Opts.Seed);
     StreamMap In;
@@ -391,7 +458,7 @@ int run(const Options &Opts) {
           X = R.uniform() * 2.0 - 1.0;
         In[CL.Graph.node(N).Name] = V;
       }
-    VmResult Result = executeLoopProgram(Program, In, Opts.RunIterations);
+    VmResult Result = executeLoopProgram(*Program, In, Opts.RunIterations);
     std::cout << "executed " << Opts.RunIterations << " iterations in "
               << Result.Cycles << " cycles\n";
     for (const auto &[Name, Values] : Result.Outputs) {
@@ -402,6 +469,25 @@ int run(const Options &Opts) {
     }
   }
   return 0;
+}
+
+int run(const Options &Opts) {
+  CompilationSession Session;
+  int Code = compileAndEmit(Session, Opts);
+  // Timings are reported on failure too: the table shows how far the
+  // pipeline got (failed passes count under "fail", never cached).
+  if (Opts.Timings)
+    Session.trace().printTable(std::cerr);
+  if (!Opts.TimingsJsonPath.empty()) {
+    std::ofstream JsonFile(Opts.TimingsJsonPath);
+    if (!JsonFile) {
+      std::cerr << "sdspc: cannot write '" << Opts.TimingsJsonPath
+                << "'\n";
+      return Code ? Code : 1;
+    }
+    Session.trace().writeJson(JsonFile);
+  }
+  return Code;
 }
 
 } // namespace
