@@ -1,0 +1,99 @@
+//===- core/BatchCompiler.cpp - Concurrent batch compilation ----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchCompiler.h"
+
+#include "core/Executor.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace sdsp;
+
+BatchCompiler::BatchCompiler(BatchOptions O)
+    : Opts(O), Cache(SharedArtifactCache::Config{
+                    /*Shards=*/16, /*MaxBytes=*/O.MaxCacheBytes}) {}
+
+BatchOutcome BatchCompiler::run(const std::vector<BatchJob> &Jobs,
+                                const Renderer &Render) {
+  BatchOutcome Outcome;
+  Outcome.Results.resize(Jobs.size());
+  std::vector<PipelineTrace> Traces(Jobs.size());
+
+  {
+    Executor Ex(Opts.Threads);
+    std::vector<std::future<Status>> Futures;
+    Futures.reserve(Jobs.size());
+    for (size_t I = 0; I < Jobs.size(); ++I) {
+      // Each task writes only its own slot in the pre-sized vectors;
+      // the futures (and the pool join) publish the writes back here.
+      Futures.push_back(Ex.submit([&, I]() -> Status {
+        SessionConfig Cfg;
+        Cfg.EnableCache = Opts.EnableCache;
+        Cfg.SharedCache = Opts.ShareCache ? &Cache : nullptr;
+        CompilationSession Session(Cfg);
+        std::ostringstream Out, Err;
+        BatchResult &R = Outcome.Results[I];
+        R.Name = Jobs[I].Name;
+        R.ExitCode = Render(Session, Jobs[I], Out, Err);
+        R.Out = Out.str();
+        R.Err = Err.str();
+        Traces[I] = Session.trace();
+        return Status::ok();
+      }));
+    }
+    for (size_t I = 0; I < Jobs.size(); ++I) {
+      Outcome.Results[I].TaskStatus = Futures[I].get();
+      if (!Outcome.Results[I].TaskStatus && Outcome.Results[I].ExitCode == 0)
+        Outcome.Results[I].ExitCode = 3; // A task that threw is a bug.
+    }
+  }
+
+  // Row-wise sum of the per-session traces, in registered-pass order.
+  PipelineTrace &Merged = Outcome.MergedTrace;
+  Merged.CacheEnabled = !Opts.EnableCache || *Opts.EnableCache;
+  for (size_t P = 0; P < NumPassKinds; ++P) {
+    const PassInfo &Info = passInfo(static_cast<PassKind>(P));
+    PipelineTrace::Row Row{Info.Id, Info.Inputs, Info.Output, {}};
+    for (const PipelineTrace &T : Traces) {
+      const PassStats &S = T.Passes[P].Stats;
+      Row.Stats.Invocations += S.Invocations;
+      Row.Stats.CacheHits += S.CacheHits;
+      Row.Stats.Failures += S.Failures;
+      Row.Stats.WallSeconds += S.WallSeconds;
+      Row.Stats.ArtifactBytes += S.ArtifactBytes;
+    }
+    Merged.Passes.push_back(std::move(Row));
+  }
+
+  for (const BatchResult &R : Outcome.Results)
+    Outcome.ExitCode = std::max(Outcome.ExitCode, R.ExitCode);
+  Outcome.Cache = Cache.counters();
+  return Outcome;
+}
+
+BatchCompiler::Renderer
+BatchCompiler::compileOnly(const PipelineOptions &Opts) {
+  return [Opts](CompilationSession &Session, const BatchJob &Job,
+                std::ostream &Out, std::ostream &Err) -> int {
+    Expected<CompiledLoop> R = Session.compile(Job.Source, Opts);
+    if (!R) {
+      Err << "error: " << R.status().str() << "\n";
+      return exitCodeFor(R.status());
+    }
+    Out << "ok";
+    if (R->Rate)
+      Out << " rate " << R->Rate->OptimalRate;
+    if (R->Frustum)
+      Out << " frustum [" << R->Frustum->StartTime << ", "
+          << R->Frustum->RepeatTime << ")";
+    if (R->Schedule)
+      Out << " kernel " << R->Schedule->kernelLength();
+    Out << "\n";
+    return 0;
+  };
+}

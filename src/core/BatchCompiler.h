@@ -1,0 +1,127 @@
+//===- core/BatchCompiler.h - Concurrent batch compilation ------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a set of loops concurrently: one CompilationSession per
+/// job, scheduled onto a fixed-size Executor, all sessions interning
+/// their pass results in one SharedArtifactCache.  This is the
+/// many-kernel batch workload the service roadmap centers on (and the
+/// shape of Millo & de Simone's evaluation over families of nets):
+/// `sdspc --batch <dir> -j N` and bench/BatchThroughput.cpp sit
+/// directly on this class.
+///
+/// Determinism contract: results come back indexed by input order, a
+/// job's rendered output depends only on (source, options) — never on
+/// which thread ran it or what the cache contained (the cache is
+/// semantically invisible and every pass is a pure function of its
+/// key) — and the batch exit code is an order-independent fold (max).
+/// So everything a caller can observe except wall time and cache-hit
+/// *counts* is byte-identical for any thread count; the
+/// batch-determinism CI job diffs `-j 1` against `-j 8` to pin this.
+///
+/// Failure isolation: a job that fails to compile reports through its
+/// own exit code and rendered stderr; sibling jobs run to completion,
+/// and the shared cache is never poisoned (failed pass results are
+/// abandoned, not published).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_BATCHCOMPILER_H
+#define SDSP_CORE_BATCHCOMPILER_H
+
+#include "core/Session.h"
+#include "core/SharedArtifactCache.h"
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// One unit of batch work: a named loop-language source.
+struct BatchJob {
+  /// Display identifier (file path, kernel id); batch output is labeled
+  /// with it.
+  std::string Name;
+  /// Loop-language source text.
+  std::string Source;
+};
+
+/// What one job produced, in input order.
+struct BatchResult {
+  std::string Name;
+  /// The renderer's exit code (the sdspc contract: 0 ok, 1 input,
+  /// 2 resource/budget, 3 internal).
+  int ExitCode = 0;
+  /// Executor-level failure (task cancelled or threw); ok for every
+  /// job that actually ran, even if compilation failed.
+  Status TaskStatus;
+  /// Rendered stdout/stderr text, exactly what a lone sdspc run would
+  /// have written.
+  std::string Out;
+  std::string Err;
+};
+
+/// A finished batch.
+struct BatchOutcome {
+  /// Per-job results, in the order the jobs were given.
+  std::vector<BatchResult> Results;
+  /// All sessions' PipelineTraces summed row-wise.  Wall times and
+  /// cache-hit counts legitimately vary with the thread count (who wins
+  /// a compute race); invocation and failure counts do not.
+  PipelineTrace MergedTrace;
+  /// max over per-job exit codes (0 iff every job succeeded).
+  int ExitCode = 0;
+  /// Shared-cache counters at completion.
+  SharedArtifactCache::CounterSnapshot Cache;
+};
+
+struct BatchOptions {
+  /// Worker threads (0 is clamped to 1).
+  unsigned Threads = 1;
+  /// Intern pass results across sessions.  Off gives each session its
+  /// private cache — the ablation arm of bench/BatchThroughput.cpp.
+  bool ShareCache = true;
+  /// Per-session cache tri-state, passed through to SessionConfig.
+  std::optional<bool> EnableCache;
+  /// Byte budget for the shared cache; 0 = unbounded.
+  uint64_t MaxCacheBytes = 0;
+};
+
+class BatchCompiler {
+public:
+  /// Renders one job through \p Session into \p Out / \p Err and
+  /// returns its exit code.  sdspc passes its whole compile-and-emit
+  /// path; tests and benches pass a compile-only summary.
+  using Renderer = std::function<int(CompilationSession &Session,
+                                     const BatchJob &Job, std::ostream &Out,
+                                     std::ostream &Err)>;
+
+  explicit BatchCompiler(BatchOptions Opts = {});
+
+  /// Runs every job (each in its own session) and blocks until all
+  /// finish.  Reusable: a second run() keeps the warm shared cache.
+  BatchOutcome run(const std::vector<BatchJob> &Jobs,
+                   const Renderer &Render);
+
+  /// Compile-only convenience renderer: session.compile() under
+  /// \p Opts, a one-line summary per job on success, the standard
+  /// failure report on error.
+  static Renderer compileOnly(const PipelineOptions &Opts);
+
+  const BatchOptions &options() const { return Opts; }
+  SharedArtifactCache &cache() { return Cache; }
+
+private:
+  BatchOptions Opts;
+  SharedArtifactCache Cache;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_BATCHCOMPILER_H

@@ -1,0 +1,105 @@
+//===- core/Executor.cpp - Fixed-size thread pool ---------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Executor.h"
+
+#include <exception>
+
+using namespace sdsp;
+
+Status Executor::cancelledStatus() {
+  return Status::error(ErrorCode::ResourceConflict, "executor",
+                       "task cancelled before it ran");
+}
+
+namespace {
+
+/// Runs \p Fn, converting an escaped exception into a reported Status
+/// so one bad task cannot take a worker thread down.
+Status runGuarded(const std::function<Status()> &Fn) {
+  try {
+    return Fn();
+  } catch (const std::exception &E) {
+    return Status::error(ErrorCode::InternalInvariant, "executor",
+                         std::string("task threw: ") + E.what());
+  } catch (...) {
+    return Status::error(ErrorCode::InternalInvariant, "executor",
+                         "task threw a non-std::exception");
+  }
+}
+
+} // namespace
+
+Executor::Executor(unsigned Threads) : NumThreads(Threads ? Threads : 1) {
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Executor::~Executor() { shutdown(/*CancelPending=*/false); }
+
+void Executor::workerLoop() {
+  for (;;) {
+    Item It;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkCV.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      It = std::move(Queue.front());
+      Queue.pop_front();
+      ++Active;
+    }
+    It.Done.set_value(runGuarded(It.Fn));
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      --Active;
+      if (Active == 0 && Queue.empty())
+        IdleCV.notify_all();
+    }
+  }
+}
+
+std::future<Status> Executor::submit(std::function<Status()> Task) {
+  Item It;
+  It.Fn = std::move(Task);
+  std::future<Status> Fut = It.Done.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Accepting) {
+      It.Done.set_value(cancelledStatus());
+      return Fut;
+    }
+    Queue.push_back(std::move(It));
+  }
+  WorkCV.notify_one();
+  return Fut;
+}
+
+void Executor::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  IdleCV.wait(Lock, [&] { return Queue.empty() && Active == 0; });
+}
+
+void Executor::shutdown(bool CancelPending) {
+  std::deque<Item> Cancelled;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Accepting = false;
+    if (CancelPending)
+      Cancelled.swap(Queue);
+    Stopping = true;
+  }
+  // Resolve outside the lock: futures may have continuations waiting.
+  for (Item &It : Cancelled)
+    It.Done.set_value(cancelledStatus());
+  WorkCV.notify_all();
+  for (std::thread &T : Workers)
+    if (T.joinable())
+      T.join();
+  Workers.clear();
+}

@@ -1,0 +1,102 @@
+//===- core/Executor.h - Fixed-size thread pool -----------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool with a FIFO work queue, built for the batch
+/// compilation layer (core/BatchCompiler.h) but generic: tasks are
+/// `Status()` callables, and every submit() returns a future carrying
+/// the task's Status, so failures propagate per task instead of tearing
+/// the pool down (one loop that fails to compile must not abort its
+/// sibling compilations).
+///
+/// Lifecycle contract:
+///   - The destructor *drains*: queued tasks still run, then workers
+///     join.  A pool going out of scope never silently drops work.
+///   - shutdown(/*CancelPending=*/true) discards tasks that have not
+///     started; their futures complete with a ResourceConflict Status
+///     (stage "executor"), so callers blocked on them always wake.
+///     Tasks already running are completed, never interrupted.
+///   - submit() after shutdown() does not enqueue: it returns an
+///     already-resolved cancelled future.
+///
+/// A task that throws is captured as an InternalInvariant Status rather
+/// than terminating the worker (the compilation passes report errors
+/// through Expected, so an escaped exception is a bug — but a reported
+/// one).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_EXECUTOR_H
+#define SDSP_CORE_EXECUTOR_H
+
+#include "support/Status.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdsp {
+
+class Executor {
+public:
+  /// Spawns \p Threads workers (0 is clamped to 1: a serial pool is
+  /// still a pool, and `-j 1` batches must behave like any other).
+  explicit Executor(unsigned Threads);
+
+  Executor(const Executor &) = delete;
+  Executor &operator=(const Executor &) = delete;
+
+  /// Drains the queue, then joins the workers.
+  ~Executor();
+
+  unsigned threadCount() const { return NumThreads; }
+
+  /// Enqueues \p Task and returns a future for its Status.  After
+  /// shutdown() the task is not run; the returned future is already
+  /// resolved to the cancellation Status.
+  std::future<Status> submit(std::function<Status()> Task);
+
+  /// Blocks until every task submitted so far has finished (the queue
+  /// is empty and no worker is mid-task).  More tasks may be submitted
+  /// afterwards; this is a barrier, not a shutdown.
+  void wait();
+
+  /// Stops the pool and joins the workers.  With \p CancelPending,
+  /// queued-but-unstarted tasks are discarded and their futures resolve
+  /// to a ResourceConflict "cancelled" Status; otherwise the queue is
+  /// drained first.  Idempotent.
+  void shutdown(bool CancelPending = false);
+
+  /// The Status carried by futures of cancelled tasks.
+  static Status cancelledStatus();
+
+private:
+  struct Item {
+    std::function<Status()> Fn;
+    std::promise<Status> Done;
+  };
+
+  void workerLoop();
+
+  unsigned NumThreads;
+  std::vector<std::thread> Workers;
+  std::deque<Item> Queue;
+  mutable std::mutex M;
+  std::condition_variable WorkCV;
+  std::condition_variable IdleCV;
+  size_t Active = 0;       ///< Workers currently running a task.
+  bool Accepting = true;   ///< submit() enqueues only while true.
+  bool Stopping = false;   ///< Workers exit once the queue is empty.
+};
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_EXECUTOR_H

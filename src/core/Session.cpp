@@ -8,6 +8,7 @@
 #include "core/Session.h"
 
 #include "codegen/Codegen.h"
+#include "core/SharedArtifactCache.h"
 #include "core/ScheduleDerivation.h"
 #include "core/StorageOptimizer.h"
 #include "dataflow/Unroll.h"
@@ -207,13 +208,16 @@ size_t CompilationSession::CacheKeyHash::operator()(const CacheKey &K) const {
   return Seed;
 }
 
-CompilationSession::CompilationSession(SessionConfig Config) {
+CompilationSession::CompilationSession(SessionConfig Config)
+    : Shared(Config.SharedCache) {
   if (Config.EnableCache) {
     CacheOn = *Config.EnableCache;
-    return;
+  } else {
+    const char *E = std::getenv("SDSP_DISABLE_ARTIFACT_CACHE");
+    CacheOn = !(E && *E && std::string_view(E) != "0");
   }
-  const char *E = std::getenv("SDSP_DISABLE_ARTIFACT_CACHE");
-  CacheOn = !(E && *E && std::string_view(E) != "0");
+  if (!CacheOn)
+    Shared = nullptr; // A disabled cache is disabled at every scope.
 }
 
 PipelineTrace CompilationSession::trace() const {
@@ -227,6 +231,29 @@ PipelineTrace CompilationSession::trace() const {
   return T;
 }
 
+namespace {
+
+/// Releases a SharedArtifactCache key the session owns unless the
+/// computation published it — so waiters on other threads always wake,
+/// even if the compute path throws.
+class SharedKeyGuard {
+public:
+  SharedKeyGuard(SharedArtifactCache &C, const SharedArtifactCache::Key &K)
+      : C(C), K(K) {}
+  ~SharedKeyGuard() {
+    if (!Published)
+      C.abandon(K);
+  }
+  void markPublished() { Published = true; }
+
+private:
+  SharedArtifactCache &C;
+  SharedArtifactCache::Key K;
+  bool Published = false;
+};
+
+} // namespace
+
 template <typename T, typename Fn>
 Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
                                                      uint64_t InputsHash,
@@ -234,6 +261,35 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
                                                      Fn &&Compute) {
   PassStats &PS = Stats[static_cast<size_t>(K)];
   ++PS.Invocations;
+  if (CacheOn && Shared) {
+    // Cross-session scope: lookupOrLock either answers from the shared
+    // table or makes this session the key's owner (compute-once across
+    // all threads; see core/SharedArtifactCache.h).
+    SharedArtifactCache::Key SK{static_cast<uint32_t>(K), InputsHash,
+                                OptionsFp};
+    if (std::optional<SharedArtifactCache::Entry> E =
+            Shared->lookupOrLock(SK)) {
+      ++PS.CacheHits;
+      return ArtifactRef<T>(std::static_pointer_cast<const T>(E->Value),
+                            E->ContentHash);
+    }
+    SharedKeyGuard Guard(*Shared, SK);
+    Clock::time_point T0 = Clock::now();
+    Expected<T> R = Compute();
+    if (!R) {
+      PS.WallSeconds += secondsSince(T0);
+      ++PS.Failures;
+      return R.status(); // Guard abandons: failures are never cached.
+    }
+    auto Ptr = std::make_shared<const T>(std::move(*R));
+    uint64_t Hash = artifactHash(*Ptr);
+    uint64_t Bytes = artifactSizeBytes(*Ptr);
+    PS.WallSeconds += secondsSince(T0);
+    PS.ArtifactBytes += Bytes;
+    Shared->publish(SK, SharedArtifactCache::Entry{Ptr, Hash, Bytes});
+    Guard.markPublished();
+    return ArtifactRef<T>(std::move(Ptr), Hash);
+  }
   CacheKey Key{static_cast<uint32_t>(K), InputsHash, OptionsFp};
   if (CacheOn) {
     auto It = Cache.find(Key);

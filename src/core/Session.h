@@ -148,11 +148,19 @@ struct PipelineTrace {
   void writeJson(std::ostream &OS) const;
 };
 
+class SharedArtifactCache;
+
 /// Session construction knobs.
 struct SessionConfig {
   /// Tri-state: unset honors SDSP_DISABLE_ARTIFACT_CACHE (any value
   /// other than empty or "0" disables); set forces the cache on/off.
   std::optional<bool> EnableCache;
+  /// When set, pass results are interned in this cross-session cache
+  /// (core/SharedArtifactCache.h) instead of the session-private map,
+  /// so concurrent sessions — one per batch job — share work.  The
+  /// caller keeps ownership; the cache must outlive the session.
+  /// Ignored while the cache is disabled (EnableCache / environment).
+  SharedArtifactCache *SharedCache = nullptr;
 };
 
 /// Output of the transform pass: the rewritten graph plus what the
@@ -188,7 +196,10 @@ struct FrustumOptions {
 
 /// A compilation session: typed pass manager + artifact cache +
 /// instrumentation.  Sessions are single-threaded and not copyable;
-/// artifacts they hand out outlive them (shared ownership).
+/// artifacts they hand out outlive them (shared ownership).  Sessions
+/// on different threads may share one SharedArtifactCache (see
+/// SessionConfig::SharedCache and core/BatchCompiler.h); everything
+/// else in a session is thread-private.
 class CompilationSession {
 public:
   explicit CompilationSession(SessionConfig Config = {});
@@ -197,7 +208,11 @@ public:
   CompilationSession &operator=(const CompilationSession &) = delete;
 
   bool cacheEnabled() const { return CacheOn; }
-  /// Number of interned artifacts.
+  /// The cross-session cache this session interns into, or null when it
+  /// uses its private map.
+  SharedArtifactCache *sharedCache() const { return Shared; }
+  /// Number of artifacts interned in the session-private map (always 0
+  /// when a shared cache is attached).
   size_t cacheEntries() const { return Cache.size(); }
   void clearCache() { Cache.clear(); }
 
@@ -323,6 +338,7 @@ private:
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> Cache;
   std::array<PassStats, NumPassKinds> Stats{};
   bool CacheOn = true;
+  SharedArtifactCache *Shared = nullptr;
 };
 
 } // namespace sdsp

@@ -1,0 +1,168 @@
+//===- core/SharedArtifactCache.h - Cross-session artifact cache -*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The session-scoped artifact cache of core/Session.h, promoted to
+/// cross-session scope: many CompilationSessions — typically one per
+/// loop in a batch (core/BatchCompiler.h), running on different threads
+/// — intern pass results in one shared table, so a batch over loops
+/// with common prefixes (the same kernel at several option points, or
+/// fuzz loops sharing subgraphs) computes each (pass, input hashes,
+/// options fingerprint) triple once for the whole fleet.
+///
+/// Concurrency model:
+///   - The table is sharded; each shard has its own mutex, so threads
+///     working on different keys rarely contend on the same lock.
+///   - Within a key the cache is *compute-once*: lookupOrLock() either
+///     returns a published entry (hit), or makes the caller the key's
+///     owner (miss) — every other thread asking for the same key blocks
+///     until the owner publish()es (they then return the entry) or
+///     abandon()s (one blocked thread becomes the new owner and
+///     recomputes).  Failed computations are therefore never cached and
+///     never poison waiters — the Session contract that "failures are
+///     not cached" holds across threads.
+///   - Values are immutable once published (shared_ptr<const void>,
+///     exactly the Session's artifact representation), so readers need
+///     no synchronization beyond the lookup itself.
+///
+/// Determinism: every pass is a pure function of its key (the frustum
+/// construction is deterministic — the earliest-firing behavior graph
+/// is unique under a fixed policy), so whichever thread wins the race
+/// to publish, the value bytes are identical.  The cache can change
+/// *when* work happens, never *what* is produced; sdspc's batch output
+/// is byte-identical for -j 1 and -j 8 (the batch-determinism CI job).
+///
+/// An optional byte budget bounds the table: publishing past the
+/// budget evicts least-recently-used entries (per shard).  Hits,
+/// misses, inserts, evictions, and abandons are counted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_SHAREDARTIFACTCACHE_H
+#define SDSP_CORE_SHAREDARTIFACTCACHE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace sdsp {
+
+class SharedArtifactCache {
+public:
+  /// The Session's cache key triple (core/Session.h): registered pass,
+  /// combined input content hashes, options fingerprint.
+  struct Key {
+    uint32_t Pass = 0;
+    uint64_t Inputs = 0;
+    uint64_t Options = 0;
+    friend bool operator==(const Key &A, const Key &B) {
+      return A.Pass == B.Pass && A.Inputs == B.Inputs &&
+             A.Options == B.Options;
+    }
+  };
+
+  /// A published artifact: type-erased immutable value (the key's pass
+  /// determines the concrete type), its content hash, and its
+  /// approximate size (the eviction unit).
+  struct Entry {
+    std::shared_ptr<const void> Value;
+    uint64_t ContentHash = 0;
+    uint64_t Bytes = 0;
+  };
+
+  struct Config {
+    /// Lock stripes; rounded up to a power of two, minimum 1.
+    size_t Shards = 16;
+    /// Total byte budget across shards; 0 = unbounded.
+    uint64_t MaxBytes = 0;
+  };
+
+  /// Monotonic counters plus a point-in-time size snapshot.
+  struct CounterSnapshot {
+    uint64_t Hits = 0;      ///< lookupOrLock answered from the table.
+    uint64_t Misses = 0;    ///< lookupOrLock made the caller the owner.
+    uint64_t Inserts = 0;   ///< Successful publish() calls.
+    uint64_t Evictions = 0; ///< Entries dropped by the byte budget.
+    uint64_t Abandons = 0;  ///< Owners that failed and released the key.
+    size_t Entries = 0;     ///< Published entries currently resident.
+    uint64_t Bytes = 0;     ///< Their total approximate size.
+  };
+
+  SharedArtifactCache(); ///< Default Config.
+  explicit SharedArtifactCache(Config C);
+
+  SharedArtifactCache(const SharedArtifactCache &) = delete;
+  SharedArtifactCache &operator=(const SharedArtifactCache &) = delete;
+
+  /// Hit: returns the published entry.  Miss: marks \p K in-flight and
+  /// returns nullopt — the caller *owns* the key and must call
+  /// publish() or abandon() exactly once (core/Session.h wraps this in
+  /// an RAII guard).  If another thread owns the key, blocks until it
+  /// resolves, then behaves as above.
+  std::optional<Entry> lookupOrLock(const Key &K);
+
+  /// Publishes the owner's computed entry and wakes waiters.  May evict
+  /// older entries to honor the byte budget.
+  void publish(const Key &K, Entry E);
+
+  /// Releases an owned key without a value (the computation failed).
+  /// One waiter, if any, becomes the new owner.
+  void abandon(const Key &K);
+
+  /// Non-blocking, non-locking-semantics lookup (tests, stats).  Does
+  /// not count as a hit or miss and does not refresh recency.
+  std::optional<Entry> peek(const Key &K) const;
+
+  /// Drops every published entry (in-flight keys are untouched).
+  void clear();
+
+  CounterSnapshot counters() const;
+  size_t entries() const { return counters().Entries; }
+  size_t shardCount() const { return ShardsVec.size(); }
+
+private:
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+
+  struct Slot {
+    bool Ready = false; ///< false: in flight, owned by some thread.
+    Entry E;
+    uint64_t LruTick = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex M;
+    std::condition_variable CV;
+    std::unordered_map<Key, Slot, KeyHash> Map;
+    uint64_t Bytes = 0;   ///< Published bytes resident in this shard.
+    uint64_t Tick = 0;    ///< Recency clock for LRU eviction.
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Inserts = 0;
+    uint64_t Evictions = 0;
+    uint64_t Abandons = 0;
+  };
+
+  Shard &shardFor(const Key &K);
+  const Shard &shardFor(const Key &K) const;
+  /// Evicts LRU published entries (other than \p Keep) while the shard
+  /// is over its budget.  Caller holds the shard lock.
+  void evictOver(Shard &S, const Key &Keep);
+
+  std::vector<std::unique_ptr<Shard>> ShardsVec;
+  size_t ShardMask = 0;
+  uint64_t PerShardBudget = 0; ///< 0 = unbounded.
+};
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_SHAREDARTIFACTCACHE_H

@@ -1,0 +1,196 @@
+//===- tests/BatchCompilerTest.cpp - Batch compilation tests ----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// The BatchCompiler determinism and failure-isolation contract
+// (core/BatchCompiler.h): rendered output is byte-identical for any
+// thread count, a failing job never aborts its siblings or poisons the
+// shared cache, and sharing the cache deduplicates identical work.
+// The batch-determinism CI job re-pins the same properties end-to-end
+// through the sdspc binary; run under ThreadSanitizer in CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchCompiler.h"
+
+#include "livermore/Livermore.h"
+
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+
+namespace {
+
+const char *Biquad = R"(do i {
+  init y = 0, 0;
+  y = b0 * x[i] + b1 * x[i-1] + b2 * x[i-2]
+      - a1 * y[i-1] - a2 * y[i-2];
+  out y;
+})";
+
+const char *Doall = R"(doall i {
+  a = x[i] * 2;
+  b = a + y[i];
+  out b;
+})";
+
+// Semantically invalid: loop-carried `y` without an init window.
+const char *Bad = "do i { y = y[i-1] + x[i]; out y; }";
+
+std::vector<BatchJob> kernelJobs() {
+  std::vector<BatchJob> Jobs;
+  for (const LivermoreKernel &K : livermoreKernels())
+    Jobs.push_back({std::string("kernel:") + K.Id, K.Source});
+  return Jobs;
+}
+
+BatchOutcome runWith(unsigned Threads, const std::vector<BatchJob> &Jobs,
+                     bool ShareCache = true, uint64_t MaxCacheBytes = 0) {
+  BatchOptions BO;
+  BO.Threads = Threads;
+  BO.ShareCache = ShareCache;
+  BO.EnableCache = true;
+  BO.MaxCacheBytes = MaxCacheBytes;
+  PipelineOptions PO;
+  PO.Verify = true;
+  BatchCompiler BC(BO);
+  return BC.run(Jobs, BatchCompiler::compileOnly(PO));
+}
+
+void expectSameObservables(const BatchOutcome &A, const BatchOutcome &B) {
+  ASSERT_EQ(A.Results.size(), B.Results.size());
+  for (size_t I = 0; I < A.Results.size(); ++I) {
+    EXPECT_EQ(A.Results[I].Name, B.Results[I].Name) << I;
+    EXPECT_EQ(A.Results[I].ExitCode, B.Results[I].ExitCode) << I;
+    EXPECT_EQ(A.Results[I].Out, B.Results[I].Out) << A.Results[I].Name;
+    EXPECT_EQ(A.Results[I].Err, B.Results[I].Err) << A.Results[I].Name;
+  }
+  EXPECT_EQ(A.ExitCode, B.ExitCode);
+  // Invocation and failure counts are thread-count independent; wall
+  // times and cache-hit counts (who wins a compute race) are not.
+  ASSERT_EQ(A.MergedTrace.Passes.size(), B.MergedTrace.Passes.size());
+  for (size_t P = 0; P < A.MergedTrace.Passes.size(); ++P) {
+    EXPECT_EQ(A.MergedTrace.Passes[P].Stats.Invocations,
+              B.MergedTrace.Passes[P].Stats.Invocations)
+        << A.MergedTrace.Passes[P].Pass;
+    EXPECT_EQ(A.MergedTrace.Passes[P].Stats.Failures,
+              B.MergedTrace.Passes[P].Stats.Failures)
+        << A.MergedTrace.Passes[P].Pass;
+  }
+}
+
+TEST(BatchCompilerTest, ResultsComeBackInInputOrder) {
+  std::vector<BatchJob> Jobs = kernelJobs();
+  BatchOutcome O = runWith(4, Jobs);
+  ASSERT_EQ(O.Results.size(), Jobs.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    EXPECT_EQ(O.Results[I].Name, Jobs[I].Name);
+    EXPECT_EQ(O.Results[I].ExitCode, 0) << O.Results[I].Err;
+    EXPECT_TRUE(O.Results[I].TaskStatus);
+    EXPECT_NE(O.Results[I].Out.find("ok"), std::string::npos);
+  }
+  EXPECT_EQ(O.ExitCode, 0);
+}
+
+TEST(BatchCompilerTest, OutputIsIdenticalAcrossThreadCounts) {
+  std::vector<BatchJob> Jobs = kernelJobs();
+  Jobs.push_back({"biquad", Biquad});
+  Jobs.push_back({"doall", Doall});
+  BatchOutcome Serial = runWith(1, Jobs);
+  BatchOutcome Par4 = runWith(4, Jobs);
+  BatchOutcome Par8 = runWith(8, Jobs);
+  expectSameObservables(Serial, Par4);
+  expectSameObservables(Serial, Par8);
+}
+
+TEST(BatchCompilerTest, SharedCacheDoesNotChangeOutput) {
+  std::vector<BatchJob> Jobs = kernelJobs();
+  BatchOutcome Shared = runWith(4, Jobs, /*ShareCache=*/true);
+  BatchOutcome Private = runWith(4, Jobs, /*ShareCache=*/false);
+  ASSERT_EQ(Shared.Results.size(), Private.Results.size());
+  for (size_t I = 0; I < Shared.Results.size(); ++I) {
+    EXPECT_EQ(Shared.Results[I].Out, Private.Results[I].Out);
+    EXPECT_EQ(Shared.Results[I].Err, Private.Results[I].Err);
+    EXPECT_EQ(Shared.Results[I].ExitCode, Private.Results[I].ExitCode);
+  }
+  EXPECT_EQ(Private.Cache.Inserts, 0u); // Nothing touched the shared table.
+}
+
+TEST(BatchCompilerTest, SharedCacheDeduplicatesIdenticalJobs) {
+  // Eight copies of one source: the whole fleet computes each pass once.
+  std::vector<BatchJob> Jobs;
+  for (int I = 0; I < 8; ++I)
+    Jobs.push_back({"copy" + std::to_string(I), Biquad});
+  BatchOutcome O = runWith(4, Jobs);
+  EXPECT_EQ(O.ExitCode, 0);
+  for (const BatchResult &R : O.Results)
+    EXPECT_EQ(R.Out, O.Results[0].Out);
+  // One insert per distinct key; hits cover all the duplicate work.
+  EXPECT_EQ(O.Cache.Inserts, O.Cache.Entries);
+  EXPECT_GT(O.Cache.Hits, 0u);
+}
+
+TEST(BatchCompilerTest, FailingJobDoesNotAbortSiblings) {
+  std::vector<BatchJob> Jobs{{"good", Biquad}, {"bad", Bad}, {"good2", Doall}};
+  BatchOutcome O = runWith(4, Jobs);
+  ASSERT_EQ(O.Results.size(), 3u);
+
+  EXPECT_EQ(O.Results[0].ExitCode, 0) << O.Results[0].Err;
+  EXPECT_EQ(O.Results[2].ExitCode, 0) << O.Results[2].Err;
+
+  EXPECT_EQ(O.Results[1].ExitCode, 1); // Input diagnostics.
+  EXPECT_TRUE(O.Results[1].TaskStatus); // The task itself ran fine.
+  EXPECT_NE(O.Results[1].Err.find("error:"), std::string::npos);
+  EXPECT_TRUE(O.Results[1].Out.empty());
+
+  EXPECT_EQ(O.ExitCode, 1); // max over per-job codes.
+}
+
+TEST(BatchCompilerTest, FailuresNeverPoisonTheSharedCacheAcrossRuns) {
+  BatchOptions BO;
+  BO.Threads = 4;
+  BO.EnableCache = true;
+  PipelineOptions PO;
+  PO.Verify = true;
+  BatchCompiler BC(BO);
+
+  std::vector<BatchJob> Jobs{{"bad", Bad}, {"good", Biquad}};
+  BatchOutcome First = BC.run(Jobs, BatchCompiler::compileOnly(PO));
+  EXPECT_EQ(First.Results[0].ExitCode, 1);
+  EXPECT_EQ(First.Results[1].ExitCode, 0) << First.Results[1].Err;
+
+  // Second run on the warm cache: the failure recomputes (it was never
+  // published) and still fails identically; the good job replays from
+  // cache with identical output.
+  BatchOutcome Second = BC.run(Jobs, BatchCompiler::compileOnly(PO));
+  EXPECT_EQ(Second.Results[0].ExitCode, 1);
+  EXPECT_EQ(Second.Results[0].Err, First.Results[0].Err);
+  EXPECT_EQ(Second.Results[1].ExitCode, 0);
+  EXPECT_EQ(Second.Results[1].Out, First.Results[1].Out);
+  EXPECT_EQ(Second.Cache.Entries, First.Cache.Entries);
+  EXPECT_GT(Second.Cache.Hits, First.Cache.Hits);
+}
+
+TEST(BatchCompilerTest, TinyCacheBudgetStaysCorrect) {
+  // A 1 KiB budget forces constant eviction; outputs must not change.
+  std::vector<BatchJob> Jobs = kernelJobs();
+  BatchOutcome Unbounded = runWith(4, Jobs);
+  BatchOutcome Tiny = runWith(4, Jobs, /*ShareCache=*/true,
+                              /*MaxCacheBytes=*/1024);
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    EXPECT_EQ(Tiny.Results[I].Out, Unbounded.Results[I].Out);
+    EXPECT_EQ(Tiny.Results[I].ExitCode, 0) << Tiny.Results[I].Err;
+  }
+}
+
+TEST(BatchCompilerTest, ZeroThreadsClampsAndEmptyBatchSucceeds) {
+  BatchOutcome Empty = runWith(0, {});
+  EXPECT_TRUE(Empty.Results.empty());
+  EXPECT_EQ(Empty.ExitCode, 0);
+  EXPECT_EQ(Empty.MergedTrace.Passes.size(), NumPassKinds);
+}
+
+} // namespace

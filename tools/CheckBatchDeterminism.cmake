@@ -1,0 +1,46 @@
+# Runs one sdspc --batch invocation at -j 1 and -j 8 and asserts that
+# stdout, stderr, exit code, and the --batch-json report are
+# byte-identical — the batch layer's determinism contract
+# (core/BatchCompiler.h).  The batch-determinism CI job repeats this
+# over more emit modes; this ctest variant keeps the property pinned in
+# every local run.
+#
+# Usage:
+#   cmake -DSDSPC=<path> -DBATCH_ARGS=<;-list> -DWORK_DIR=<dir>
+#         -P CheckBatchDeterminism.cmake
+
+foreach(JOBS 1 8)
+  execute_process(
+    COMMAND ${SDSPC} ${BATCH_ARGS} -j ${JOBS}
+            --batch-json=${WORK_DIR}/batch_j${JOBS}.json
+    RESULT_VARIABLE EXIT_${JOBS}
+    OUTPUT_VARIABLE OUT_${JOBS}
+    ERROR_VARIABLE ERR_${JOBS})
+endforeach()
+
+if(NOT EXIT_1 EQUAL EXIT_8)
+  message(FATAL_ERROR
+    "batch exit codes differ: -j 1 -> ${EXIT_1}, -j 8 -> ${EXIT_8}")
+endif()
+if(NOT OUT_1 STREQUAL OUT_8)
+  message(FATAL_ERROR
+    "batch stdout differs between -j 1 and -j 8\n"
+    "-j 1:\n${OUT_1}\n-j 8:\n${OUT_8}")
+endif()
+if(NOT ERR_1 STREQUAL ERR_8)
+  message(FATAL_ERROR
+    "batch stderr differs between -j 1 and -j 8\n"
+    "-j 1:\n${ERR_1}\n-j 8:\n${ERR_8}")
+endif()
+
+file(READ ${WORK_DIR}/batch_j1.json JSON_1)
+file(READ ${WORK_DIR}/batch_j8.json JSON_8)
+if(NOT JSON_1 STREQUAL JSON_8)
+  message(FATAL_ERROR
+    "--batch-json differs between -j 1 and -j 8\n"
+    "-j 1:\n${JSON_1}\n-j 8:\n${JSON_8}")
+endif()
+
+if(NOT EXIT_1 EQUAL 0)
+  message(FATAL_ERROR "batch run failed (exit ${EXIT_1}):\n${ERR_1}")
+endif()

@@ -15,10 +15,21 @@ their JSON into the committed artifacts at the repo root:
                        sdsp-pipeline-trace-v1, docs/ARCHITECTURE.md),
                        captured via SDSP_TRACE_JSON during the SCP-depth
                        ablation sweep.
+  BENCH_batch.json     batch_throughput: wall-clock batch compilation
+                       across 1/2/4/8 worker threads (shared cache on
+                       and off), the speedup over the 1-thread arm, and
+                       the 8-thread gate verdict (>= 2.5x required;
+                       recorded as skipped on hosts with fewer than 8
+                       CPUs, where the target is unmeetable by
+                       construction).
 
 Also provides --smoke, which runs every binary under <build>/bench once
 with a short min-time and fails on any crash or benchmark error (the CI
-perf-smoke job's crash detector).
+perf-smoke job's crash detector), and --compare BASELINE_DIR, which
+diffs freshly generated reports against the committed baselines and
+fails on a >25% regression of any machine-relative metric (speedups and
+per-kernel time shares; absolute nanoseconds are machine-specific and
+never compared).
 
 Standard library only; works with both old (plain float min-time) and
 new ("0.05s") google-benchmark flag syntax by passing the value through
@@ -34,9 +45,13 @@ import sys
 FRUSTUM_BENCH = "scaling_frustum"
 PIPELINE_BENCH = "pipeline_verify"
 SESSION_BENCH = "session_sweep"
+BATCH_BENCH = "batch_throughput"
 TRACE_SCHEMA = "sdsp-pipeline-trace-v1"
 GATE_ARG = "682"  # 682 chains -> 2050 transitions, the paper-scale n=2048 point
 GATE_THRESHOLD = 5.0
+BATCH_GATE_THREADS = "8"
+BATCH_GATE_THRESHOLD = 2.5
+COMPARE_TOLERANCE = 0.25  # Relative regression allowed before failing.
 
 
 def run_bench(binary, out_json, min_time):
@@ -78,9 +93,13 @@ def series_of(report, prefix):
 
 
 def arg_of(name):
-    """Trailing /N argument of a benchmark name, or None."""
+    """The /N argument of a benchmark name, or None.  UseRealTime
+    benchmarks append a "/real_time" suffix after the argument."""
     parts = name.split("/")
-    return parts[-1] if len(parts) > 1 and parts[-1].isdigit() else None
+    for part in reversed(parts[1:]):
+        if part.isdigit():
+            return part
+    return None
 
 
 def frustum_report(report):
@@ -169,6 +188,46 @@ def passes_report(bench_dir, out_dir, min_time):
     }
 
 
+def batch_report(report):
+    shared = series_of(report, "benchBatchShared")
+    private = series_of(report, "benchBatchPrivate")
+    shared_by_arg = {arg_of(n): v for n, v in shared.items() if arg_of(n)}
+    base = shared_by_arg.get("1")
+    speedup = {}
+    if base and base["real_time_ns"] > 0:
+        for arg, v in sorted(shared_by_arg.items(), key=lambda kv: int(kv[0])):
+            if v["real_time_ns"] > 0:
+                speedup[arg] = round(base["real_time_ns"] / v["real_time_ns"],
+                                     3)
+    num_cpus = report.get("context", {}).get("num_cpus", 0)
+    gate_speedup = speedup.get(BATCH_GATE_THREADS)
+    skipped = num_cpus < int(BATCH_GATE_THREADS)
+    return {
+        "benchmark": BATCH_BENCH,
+        "generated_by": "tools/benchreport.py",
+        "context": report.get("context", {}),
+        "shared_cache": shared,
+        "private_cache": private,
+        "speedup_by_threads": speedup,
+        "gate": {
+            "threads": int(BATCH_GATE_THREADS),
+            "description": "batch wall-clock speedup of -j 8 over -j 1 "
+                           "(shared cache) on the Livermore+synthetic "
+                           "batch",
+            "threshold": BATCH_GATE_THRESHOLD,
+            "num_cpus": num_cpus,
+            "speedup": gate_speedup,
+            # An N-thread speedup target is unmeetable on < N CPUs;
+            # record the fact instead of a vacuous failure (the same
+            # quiet-hardware policy as the committed PERF.md baselines).
+            "skipped": skipped,
+            "pass": bool(skipped or
+                         (gate_speedup and
+                          gate_speedup >= BATCH_GATE_THRESHOLD)),
+        },
+    }
+
+
 def smoke(bench_dir, min_time):
     """Runs every bench binary once; any crash fails the job."""
     failures = []
@@ -188,6 +247,90 @@ def smoke(bench_dir, min_time):
     print("[smoke] all bench binaries ran clean")
 
 
+def load_pair(fresh_dir, base_dir, name):
+    fresh_path = os.path.join(fresh_dir, name)
+    base_path = os.path.join(base_dir, name)
+    for p in (fresh_path, base_path):
+        if not os.path.isfile(p):
+            raise SystemExit("--compare: missing report %s" % p)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+    return fresh, base
+
+
+def compare_ratios(label, fresh_ratios, base_ratios, failures,
+                   higher_is_better=True):
+    """Flags entries of a name->ratio map that regressed by more than
+    COMPARE_TOLERANCE relative to the baseline.  Ratios are
+    machine-relative (speedups, shares), so they are comparable across
+    hosts in a way raw nanoseconds are not."""
+    for key in sorted(set(fresh_ratios) & set(base_ratios)):
+        fresh, base = fresh_ratios[key], base_ratios[key]
+        if base <= 0:
+            continue
+        if higher_is_better:
+            regressed = fresh < base * (1.0 - COMPARE_TOLERANCE)
+        else:
+            regressed = fresh > base * (1.0 + COMPARE_TOLERANCE)
+        verdict = "REGRESSED" if regressed else "ok"
+        print("[compare] %s %s: baseline %.3f, current %.3f -> %s" %
+              (label, key, base, fresh, verdict))
+        if regressed:
+            failures.append("%s %s: %.3f -> %.3f (tolerance %d%%)" %
+                            (label, key, base, fresh,
+                             int(COMPARE_TOLERANCE * 100)))
+
+
+def kernel_shares(report):
+    """Per-kernel fraction of the summed pipeline time: relative cost
+    structure, stable across machines of different absolute speed."""
+    kernels = report.get("kernels", {})
+    total = sum(v["real_time_ns"] for v in kernels.values())
+    if total <= 0:
+        return {}
+    return {n: v["real_time_ns"] / total for n, v in kernels.items()}
+
+
+def compare_reports(fresh_dir, base_dir):
+    """Diffs fresh reports against committed baselines; exits nonzero
+    on any >25% regression of a comparable metric."""
+    failures = []
+
+    fresh, base = load_pair(fresh_dir, base_dir, "BENCH_frustum.json")
+    compare_ratios("frustum speedup @", fresh["speedup_by_chains"],
+                   base["speedup_by_chains"], failures)
+    if not fresh["gate"]["pass"]:
+        failures.append("frustum gate failed: %sx < %sx at %s chains" %
+                        (fresh["gate"]["speedup"], fresh["gate"]["threshold"],
+                         fresh["gate"]["chains"]))
+
+    fresh, base = load_pair(fresh_dir, base_dir, "BENCH_pipeline.json")
+    compare_ratios("pipeline share", kernel_shares(fresh),
+                   kernel_shares(base), failures, higher_is_better=False)
+
+    fresh, base = load_pair(fresh_dir, base_dir, "BENCH_batch.json")
+    # Thread-speedups are only meaningful up to the CPU count, and only
+    # comparable up to the smaller of the two hosts'.
+    cpu_floor = min(fresh["gate"].get("num_cpus", 0),
+                    base["gate"].get("num_cpus", 0))
+    comparable = lambda m: {k: v for k, v in m.items()
+                            if int(k) <= cpu_floor}
+    compare_ratios("batch speedup @", comparable(fresh["speedup_by_threads"]),
+                   comparable(base["speedup_by_threads"]), failures)
+    if not fresh["gate"]["pass"]:
+        failures.append("batch gate failed: %sx < %sx at %s threads" %
+                        (fresh["gate"]["speedup"], fresh["gate"]["threshold"],
+                         fresh["gate"]["threads"]))
+
+    if failures:
+        raise SystemExit("perf regressions vs %s:\n  " % base_dir +
+                         "\n  ".join(failures))
+    print("[compare] no regressions beyond %d%% vs %s" %
+          (int(COMPARE_TOLERANCE * 100), base_dir))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build",
@@ -200,6 +343,10 @@ def main():
                     help="run every bench binary once, fail on crashes")
     ap.add_argument("--skip-report", action="store_true",
                     help="with --smoke: skip the JSON aggregation step")
+    ap.add_argument("--compare", metavar="BASELINE_DIR",
+                    help="after generating reports into --out-dir, diff "
+                         "them against the committed BENCH_*.json in "
+                         "BASELINE_DIR and fail on >25%% regression")
     args = ap.parse_args()
 
     os.makedirs(args.out_dir, exist_ok=True)
@@ -216,6 +363,7 @@ def main():
     jobs = [
         (FRUSTUM_BENCH, frustum_report, "BENCH_frustum.json"),
         (PIPELINE_BENCH, pipeline_report, "BENCH_pipeline.json"),
+        (BATCH_BENCH, batch_report, "BENCH_batch.json"),
     ]
     for binary, distill, out_name in jobs:
         path = os.path.join(bench_dir, binary)
@@ -242,6 +390,16 @@ def main():
     print("frustum gate: %sx at %s chains (threshold %sx) -> %s" %
           (g["speedup"], g["chains"], g["threshold"],
            "PASS" if g["pass"] else "FAIL"))
+
+    bg = json.load(open(os.path.join(args.out_dir,
+                                     "BENCH_batch.json")))["gate"]
+    print("batch gate: %sx at %s threads (threshold %sx, %s CPUs) -> %s" %
+          (bg["speedup"], bg["threads"], bg["threshold"], bg["num_cpus"],
+           "SKIPPED (num_cpus < %s)" % bg["threads"] if bg["skipped"]
+           else ("PASS" if bg["pass"] else "FAIL")))
+
+    if args.compare:
+        compare_reports(args.out_dir, args.compare)
 
 
 if __name__ == "__main__":

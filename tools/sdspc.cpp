@@ -33,8 +33,17 @@
 //                        (default) or the retained naive oracle
 //   --timings            print the per-pass wall-time/cache-hit table
 //                        (PipelineTrace) to stderr before exiting
+//                        (with --batch: the merged batch trace)
 //   --timings-json=FILE  write the PipelineTrace JSON
 //                        ("sdsp-pipeline-trace-v1") to FILE
+//   --batch=DIR          compile every *.loop file under DIR (sorted,
+//                        non-recursive), one session per file, sharing
+//                        one cross-session artifact cache
+//   --batch-kernels      add every bundled kernel to the batch
+//   -j N, --jobs=N       batch worker threads (default 1); the output
+//                        is byte-identical for any N
+//   --batch-json=FILE    write the deterministic batch report
+//                        ("sdsp-batch-v1") to FILE
 //   --verify             re-check net properties and cross-check the
 //                        frustum rate against the analytic cycle ratio
 //   --run=N              execute N iterations on the VM with random
@@ -52,14 +61,17 @@
 
 #include "codegen/CEmitter.h"
 #include "codegen/Vm.h"
+#include "core/BatchCompiler.h"
 #include "core/Session.h"
 #include "livermore/Livermore.h"
 #include "petri/BehaviorGraph.h"
 #include "support/Random.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -80,6 +92,13 @@ struct Options {
   /// --scp appeared explicitly (so --scp=0 is a rejected machine, not
   /// "no machine model").
   bool ScpGiven = false;
+  /// Batch mode (core/BatchCompiler.h).
+  std::string BatchDir;
+  bool BatchKernels = false;
+  uint32_t Jobs = 1;
+  std::string BatchJsonPath;
+
+  bool batchMode() const { return !BatchDir.empty() || BatchKernels; }
 };
 
 void printUsage(std::ostream &OS) {
@@ -89,6 +108,7 @@ void printUsage(std::ostream &OS) {
         "  --opt --capacity=N --unroll=U --scp=L --pipelines=K\n"
         "  --optimize-storage --budget=N --engine=fast|reference\n"
         "  --timings --timings-json=FILE --verify --run=N --seed=S\n"
+        "  --batch=DIR --batch-kernels -j N --batch-json=FILE\n"
         "  -k <id>   use a bundled kernel (l1 l2 loop1 loop3 loop5 "
         "loop7 loop9 loop9lcd loop12)\n"
         "exit codes: 0 ok, 1 input diagnostics, 2 resource/budget, "
@@ -168,6 +188,29 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.Timings = true;
     } else if (const char *V = Value("--timings-json=")) {
       Opts.TimingsJsonPath = V;
+    } else if (const char *V = Value("--batch=")) {
+      Opts.BatchDir = V;
+    } else if (Arg == "--batch-kernels") {
+      Opts.BatchKernels = true;
+    } else if (const char *V = Value("--batch-json=")) {
+      Opts.BatchJsonPath = V;
+    } else if (const char *V = Value("--jobs=")) {
+      if (!parseUint32(V, "--jobs", Opts.Jobs))
+        return false;
+    } else if (Arg == "-j" || (Arg.size() > 2 && Arg.compare(0, 2, "-j") == 0)) {
+      // Both -j8 and -j 8 (make style).
+      std::string V;
+      if (Arg == "-j") {
+        if (++I >= argc) {
+          std::cerr << "sdspc: -j needs a thread count\n";
+          return false;
+        }
+        V = argv[I];
+      } else {
+        V = Arg.substr(2);
+      }
+      if (!parseUint32(V, "-j", Opts.Jobs))
+        return false;
     } else if (Arg == "--opt") {
       Opts.Pipe.Optimize = true;
     } else if (Arg == "--optimize-storage") {
@@ -225,11 +268,12 @@ std::optional<std::string> readSource(const Options &Opts) {
 
 /// Reports \p St (frontend failures print their diagnostics verbatim)
 /// and returns the contract exit code.
-int reportFailure(const Status &St, const DiagnosticEngine &Diags) {
+int reportFailure(const Status &St, const DiagnosticEngine &Diags,
+                  std::ostream &Err) {
   if (St.stage() == "frontend" && Diags.hasErrors())
-    Diags.print(std::cerr);
+    Diags.print(Err);
   else
-    std::cerr << "sdspc: " << St.str() << "\n";
+    Err << "sdspc: " << St.str() << "\n";
   return exitCodeFor(St);
 }
 
@@ -269,10 +313,14 @@ buildProgram(CompilationSession &Session, const std::string &Source,
   return Session.generateProgram(*S, *Pn, *Sched);
 }
 
-int compileAndEmit(CompilationSession &Session, const Options &Opts) {
-  std::optional<std::string> Source = readSource(Opts);
-  if (!Source)
-    return 1;
+/// Compiles \p Source through \p Session and emits the requested
+/// artifact to \p Out (diagnostics and notes to \p Err).  Single runs
+/// pass std::cout/std::cerr; batch jobs pass per-job string streams so
+/// results can be replayed in input order whatever thread ran them.
+int compileAndEmit(CompilationSession &Session, const Options &Opts,
+                   const std::string &SourceText, std::ostream &Out,
+                   std::ostream &Err) {
+  const std::string *Source = &SourceText;
 
   // An explicit --scp=0 is a machine that can never issue, not a
   // request for the ideal machine.
@@ -281,7 +329,7 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts) {
         Status::error(ErrorCode::ResourceConflict, "scp",
                       "a zero-stage pipeline cannot issue instructions "
                       "(--scp needs a depth >= 1)"),
-        DiagnosticEngine());
+        DiagnosticEngine(), Err);
 
   PipelineOptions Pipe = Opts.Pipe;
   bool NeedsRun = Opts.RunIterations > 0;
@@ -299,7 +347,7 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts) {
   else if (NeedsRun)
     Pipe.StopAfter = PipelineStage::Schedule;
   else {
-    std::cerr << "sdspc: unknown --emit mode '" << Opts.Emit << "'\n";
+    Err << "sdspc: unknown --emit mode '" << Opts.Emit << "'\n";
     return 1;
   }
   // --verify's headline check is frustum rate vs analytic rate, so it
@@ -310,67 +358,67 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts) {
   DiagnosticEngine Diags;
   Expected<CompiledLoop> Result = Session.compile(*Source, Pipe, &Diags);
   if (!Result)
-    return reportFailure(Result.status(), Diags);
+    return reportFailure(Result.status(), Diags, Err);
   CompiledLoop &CL = *Result;
 
   if (Pipe.Optimize && CL.OptStats.changedAnything())
-    std::cerr << "opt: folded " << CL.OptStats.ConstantsFolded
-              << ", merged " << CL.OptStats.SubexpressionsMerged
-              << ", removed " << CL.OptStats.DeadNodesRemoved << " (nodes "
-              << CL.OptStats.NodesBefore << " -> "
-              << CL.OptStats.NodesAfter << ")\n";
+    Err << "opt: folded " << CL.OptStats.ConstantsFolded
+        << ", merged " << CL.OptStats.SubexpressionsMerged
+        << ", removed " << CL.OptStats.DeadNodesRemoved << " (nodes "
+        << CL.OptStats.NodesBefore << " -> "
+        << CL.OptStats.NodesAfter << ")\n";
   if (CL.Storage)
-    std::cerr << "storage: " << CL.Storage->Before << " -> "
-              << CL.Storage->After << " locations (rate "
-              << CL.Storage->OptimalRate << ")\n";
+    Err << "storage: " << CL.Storage->Before << " -> "
+        << CL.Storage->After << " locations (rate "
+        << CL.Storage->OptimalRate << ")\n";
   if (CL.Verified) {
-    std::cerr << "verify: ok";
+    Err << "verify: ok";
     if (CL.Frustum && CL.Rate)
-      std::cerr << " (rate " << CL.Rate->OptimalRate << ", frustum within "
-                << (CL.FrustumWithinEmpiricalBound ? "empirical 2n"
-                                                   : "theory")
-                << " bound)";
-    std::cerr << "\n";
+      Err << " (rate " << CL.Rate->OptimalRate << ", frustum within "
+          << (CL.FrustumWithinEmpiricalBound ? "empirical 2n"
+                                             : "theory")
+          << " bound)";
+    Err << "\n";
   }
 
   if (Opts.Emit == "dot-dataflow") {
-    CL.Graph.printDot(std::cout, "dataflow");
+    CL.Graph.printDot(Out, "dataflow");
     return 0;
   }
 
   if (Opts.Emit == "storage") {
     const Sdsp &S = *CL.S;
-    std::cout << "loop body: " << S.loopBodySize()
-              << " operations\nstorage: " << S.storageLocations()
-              << " locations\n";
+    Out << "loop body: " << S.loopBodySize()
+        << " operations\nstorage: " << S.storageLocations()
+        << " locations\n";
     const DataflowGraph &Graph = S.graph();
     for (const Sdsp::Ack &A : S.acks()) {
-      std::cout << "  ack " << Graph.node(Graph.arc(A.Path.back()).To).Name
-                << " -> "
-                << Graph.node(Graph.arc(A.Path.front()).From).Name
-                << " covering";
+      Out << "  ack " << Graph.node(Graph.arc(A.Path.back()).To).Name
+          << " -> "
+          << Graph.node(Graph.arc(A.Path.front()).From).Name
+          << " covering";
       for (ArcId Arc : A.Path)
-        std::cout << " [" << Graph.node(Graph.arc(Arc).From).Name << "->"
-                  << Graph.node(Graph.arc(Arc).To).Name << "]";
-      std::cout << " slots=" << A.Slots << "\n";
+        Out << " [" << Graph.node(Graph.arc(Arc).From).Name << "->"
+            << Graph.node(Graph.arc(Arc).To).Name << "]";
+      Out << " slots=" << A.Slots << "\n";
     }
     return 0;
   }
   if (Opts.Emit == "dot-pn") {
-    CL.Pn->Net.printDot(std::cout, "sdsp_pn");
+    CL.Pn->Net.printDot(Out, "sdsp_pn");
     return 0;
   }
   if (Opts.Emit == "rate") {
     const RateReport &R = *CL.Rate;
-    std::cout << "operations:        " << CL.Pn->Net.numTransitions()
-              << "\n"
-              << "cycle time alpha*: " << R.CycleTime << "\n"
-              << "optimal rate:      " << R.OptimalRate
-              << " iterations/cycle\n"
-              << "critical ops:      ";
+    Out << "operations:        " << CL.Pn->Net.numTransitions()
+        << "\n"
+        << "cycle time alpha*: " << R.CycleTime << "\n"
+        << "optimal rate:      " << R.OptimalRate
+        << " iterations/cycle\n"
+        << "critical ops:      ";
     for (TransitionId T : R.CriticalTransitions)
-      std::cout << CL.Pn->Net.transition(T).Name << " ";
-    std::cout << "\ncritical cycles:   " << R.NumCriticalCycles << "\n";
+      Out << CL.Pn->Net.transition(T).Name << " ";
+    Out << "\ncritical cycles:   " << R.NumCriticalCycles << "\n";
     return 0;
   }
 
@@ -384,31 +432,31 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts) {
     BehaviorGraph BG(Net);
     while (Engine.now() < F.RepeatTime)
       BG.recordStep(Engine.fireAndAdvance());
-    BG.printDot(std::cout, "behavior", F.StartTime, F.RepeatTime);
+    BG.printDot(Out, "behavior", F.StartTime, F.RepeatTime);
     return 0;
   }
 
   if (CL.Scp) {
     // Schedules on the SCP model: report the measured pattern.
     const ScpPn &Scp = *CL.Scp;
-    std::cout << "SCP machine, l = " << Scp.PipelineDepth << ": frustum ["
-              << F.StartTime << ", " << F.RepeatTime << "), rate "
-              << F.computationRate(Scp.SdspTransitions.front())
-              << ", usage " << processorUsage(Scp, F) << "\n";
+    Out << "SCP machine, l = " << Scp.PipelineDepth << ": frustum ["
+        << F.StartTime << ", " << F.RepeatTime << "), rate "
+        << F.computationRate(Scp.SdspTransitions.front())
+        << ", usage " << processorUsage(Scp, F) << "\n";
     if (Opts.Emit != "schedule")
-      std::cerr << "sdspc: --scp supports --emit=schedule only\n";
+      Err << "sdspc: --scp supports --emit=schedule only\n";
     std::vector<std::string> Names;
     for (TransitionId T : Scp.Net.transitionIds())
       Names.push_back(Scp.Net.transition(T).Name);
     // Print the issue slots of SDSP transitions per kernel cycle.
     for (TimeStep T = F.StartTime; T < F.RepeatTime; ++T) {
-      std::cout << "  t+" << (T - F.StartTime) << ":";
+      Out << "  t+" << (T - F.StartTime) << ":";
       for (const StepRecord &Rec : F.Trace)
         if (Rec.Time == T)
           for (TransitionId Fired : Rec.Fired)
             if (Scp.IsSdspTransition[Fired.index()])
-              std::cout << " " << Names[Fired.index()];
-      std::cout << "\n";
+              Out << " " << Names[Fired.index()];
+      Out << "\n";
     }
     return 0;
   }
@@ -423,7 +471,7 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts) {
     Expected<ArtifactRef<LoopProgram>> P =
         buildProgram(Session, *Source, Pipe);
     if (!P)
-      return reportFailure(P.status(), Diags);
+      return reportFailure(P.status(), Diags, Err);
     Program = *P;
   }
 
@@ -434,17 +482,17 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts) {
       Names.push_back(Pn.Net.transition(T).Name);
       Taus.push_back(Pn.Net.transition(T).ExecTime);
     }
-    Sched.print(std::cout, Names);
+    Sched.print(Out, Names);
     if (Opts.Emit == "timeline") {
-      std::cout << "\n";
-      Sched.printTimeline(std::cout, Names, Taus,
+      Out << "\n";
+      Sched.printTimeline(Out, Names, Taus,
                           Sched.prologueEnd() + 4 * Sched.kernelLength());
     }
   } else if (Opts.Emit == "c") {
     CEmission E = emitC(*Program, "sdsp_kernel");
-    std::cout << E.Source;
+    Out << E.Source;
   } else if (Opts.Emit == "program") {
-    Program->print(std::cout);
+    Program->print(Out);
   }
 
   if (NeedsRun) {
@@ -459,35 +507,181 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts) {
         In[CL.Graph.node(N).Name] = V;
       }
     VmResult Result = executeLoopProgram(*Program, In, Opts.RunIterations);
-    std::cout << "executed " << Opts.RunIterations << " iterations in "
-              << Result.Cycles << " cycles\n";
+    Out << "executed " << Opts.RunIterations << " iterations in "
+        << Result.Cycles << " cycles\n";
     for (const auto &[Name, Values] : Result.Outputs) {
-      std::cout << Name << ":";
+      Out << Name << ":";
       for (double V : Values)
-        std::cout << " " << V;
-      std::cout << "\n";
+        Out << " " << V;
+      Out << "\n";
     }
   }
   return 0;
 }
 
-int run(const Options &Opts) {
+/// Writes a PipelineTrace (single-session or batch-merged) to \p Path.
+/// Returns the adjusted exit code on failure to open.
+int writeTraceJson(const PipelineTrace &Trace, const std::string &Path,
+                   int Code) {
+  std::ofstream JsonFile(Path);
+  if (!JsonFile) {
+    std::cerr << "sdspc: cannot write '" << Path << "'\n";
+    return Code ? Code : 1;
+  }
+  Trace.writeJson(JsonFile);
+  return Code;
+}
+
+int runSingle(const Options &Opts) {
+  std::optional<std::string> Source = readSource(Opts);
+  if (!Source)
+    return 1;
   CompilationSession Session;
-  int Code = compileAndEmit(Session, Opts);
+  int Code =
+      compileAndEmit(Session, Opts, *Source, std::cout, std::cerr);
   // Timings are reported on failure too: the table shows how far the
   // pipeline got (failed passes count under "fail", never cached).
   if (Opts.Timings)
     Session.trace().printTable(std::cerr);
-  if (!Opts.TimingsJsonPath.empty()) {
-    std::ofstream JsonFile(Opts.TimingsJsonPath);
+  if (!Opts.TimingsJsonPath.empty())
+    Code = writeTraceJson(Session.trace(), Opts.TimingsJsonPath, Code);
+  return Code;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch mode
+//===----------------------------------------------------------------------===//
+
+void batchJsonEscape(std::ostream &OS, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      OS << '\\' << C;
+    else if (C == '\n')
+      OS << "\\n";
+    else
+      OS << C;
+  }
+}
+
+/// The deterministic batch report: independent of the thread count, so
+/// the batch-determinism CI job can diff it across -j values.
+void writeBatchJson(std::ostream &OS, const BatchOutcome &Outcome) {
+  size_t Failed = 0;
+  for (const BatchResult &R : Outcome.Results)
+    Failed += R.ExitCode != 0;
+  OS << "{\n"
+     << "  \"schema\": \"sdsp-batch-v1\",\n"
+     << "  \"jobs\": " << Outcome.Results.size() << ",\n"
+     << "  \"failed\": " << Failed << ",\n"
+     << "  \"exit_code\": " << Outcome.ExitCode << ",\n"
+     << "  \"results\": [\n";
+  bool First = true;
+  for (const BatchResult &R : Outcome.Results) {
+    if (!First)
+      OS << ",\n";
+    First = false;
+    OS << "    {\"name\": \"";
+    batchJsonEscape(OS, R.Name);
+    OS << "\", \"exit_code\": " << R.ExitCode << ", \"ok\": "
+       << (R.ExitCode == 0 ? "true" : "false") << "}";
+  }
+  OS << "\n  ]\n}\n";
+}
+
+/// Gathers batch jobs: every *.loop under --batch=DIR (sorted by path,
+/// non-recursive), then every bundled kernel under --batch-kernels.
+bool collectBatchJobs(const Options &Opts, std::vector<BatchJob> &Jobs) {
+  namespace fs = std::filesystem;
+  if (!Opts.BatchDir.empty()) {
+    std::vector<fs::path> Paths;
+    std::error_code EC;
+    for (fs::directory_iterator It(Opts.BatchDir, EC), End;
+         !EC && It != End; It.increment(EC)) {
+      if (It->is_regular_file() && It->path().extension() == ".loop")
+        Paths.push_back(It->path());
+    }
+    if (EC) {
+      std::cerr << "sdspc: cannot scan '" << Opts.BatchDir
+                << "': " << EC.message() << "\n";
+      return false;
+    }
+    // Directory iteration order is filesystem-dependent; the batch
+    // contract is deterministic input order.
+    std::sort(Paths.begin(), Paths.end());
+    for (const fs::path &P : Paths) {
+      std::ifstream File(P);
+      if (!File) {
+        std::cerr << "sdspc: cannot open '" << P.string() << "'\n";
+        return false;
+      }
+      std::ostringstream SS;
+      SS << File.rdbuf();
+      Jobs.push_back(BatchJob{P.string(), SS.str()});
+    }
+  }
+  if (Opts.BatchKernels)
+    for (const LivermoreKernel &K : livermoreKernels())
+      Jobs.push_back(BatchJob{"kernel:" + K.Id, K.Source});
+  return true;
+}
+
+int runBatch(const Options &Opts) {
+  if (!Opts.InputPath.empty() || !Opts.KernelId.empty()) {
+    std::cerr << "sdspc: --batch cannot be combined with an input file "
+                 "or -k\n";
+    return 1;
+  }
+  std::vector<BatchJob> Jobs;
+  if (!collectBatchJobs(Opts, Jobs))
+    return 1;
+  if (Jobs.empty()) {
+    std::cerr << "sdspc: batch found no *.loop inputs under '"
+              << Opts.BatchDir << "'\n";
+    return 1;
+  }
+
+  BatchOptions BO;
+  BO.Threads = Opts.Jobs;
+  BatchCompiler Batch(BO);
+  BatchOutcome Outcome = Batch.run(
+      Jobs, [&Opts](CompilationSession &Session, const BatchJob &Job,
+                    std::ostream &Out, std::ostream &Err) {
+        return compileAndEmit(Session, Opts, Job.Source, Out, Err);
+      });
+
+  // Replay per-job output in input order: byte-identical whatever the
+  // thread count (the batch-determinism CI job pins this).
+  size_t Failed = 0;
+  for (const BatchResult &R : Outcome.Results) {
+    std::cout << "=== " << R.Name << " ===\n" << R.Out;
+    if (!R.TaskStatus)
+      std::cerr << "=== " << R.Name << " ===\n"
+                << "sdspc: " << R.TaskStatus.str() << "\n";
+    else if (!R.Err.empty())
+      std::cerr << "=== " << R.Name << " ===\n" << R.Err;
+    Failed += R.ExitCode != 0;
+  }
+  std::cout << "batch: " << Outcome.Results.size() << " jobs, " << Failed
+            << " failed\n";
+
+  int Code = Outcome.ExitCode;
+  if (Opts.Timings)
+    Outcome.MergedTrace.printTable(std::cerr);
+  if (!Opts.TimingsJsonPath.empty())
+    Code = writeTraceJson(Outcome.MergedTrace, Opts.TimingsJsonPath, Code);
+  if (!Opts.BatchJsonPath.empty()) {
+    std::ofstream JsonFile(Opts.BatchJsonPath);
     if (!JsonFile) {
-      std::cerr << "sdspc: cannot write '" << Opts.TimingsJsonPath
-                << "'\n";
+      std::cerr << "sdspc: cannot write '" << Opts.BatchJsonPath << "'\n";
       return Code ? Code : 1;
     }
-    Session.trace().writeJson(JsonFile);
+    writeBatchJson(JsonFile, Outcome);
   }
   return Code;
+}
+
+int run(const Options &Opts) {
+  return Opts.batchMode() ? runBatch(Opts) : runSingle(Opts);
 }
 
 } // namespace
