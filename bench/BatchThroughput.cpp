@@ -25,6 +25,7 @@
 #include "BenchUtil.h"
 
 #include "core/BatchCompiler.h"
+#include "support/Metrics.h"
 
 #include <sstream>
 
@@ -100,6 +101,8 @@ void printBatch(std::ostream &OS) {
      << " jobs (6 Livermore kernels, " << NumFuzzLoops
      << " synthetic loops, 6 kernel duplicates) ===\n\n";
 
+  // Isolate this run's work counters from whatever ran before us.
+  MetricsRegistry::global().reset();
   BatchOutcome O = runBatch(/*Threads=*/1, /*Share=*/true);
   for (const BatchResult &R : O.Results) {
     OS << R.Name << ": " << R.Out;
@@ -116,7 +119,17 @@ void printBatch(std::ostream &OS) {
   OS << "\nshared cache: " << O.Cache.Entries << " entries, "
      << O.Cache.Hits << " hits, " << O.Cache.Misses << " misses, "
      << O.Cache.Inserts << " inserts, " << O.Cache.Abandons
-     << " abandons\n\n";
+     << " abandons\n";
+
+  // The same batch in exact work counts (docs/OBSERVABILITY.md) —
+  // thread-count-invariant, unlike every timing below.
+  OS << "engine counters:";
+  for (const auto &[Name, Value] :
+       MetricsRegistry::global().snapshot().Counters)
+    if (Name.rfind("engine.", 0) == 0 || Name.rfind("packedstate.", 0) == 0)
+      OS << " " << Name.substr(Name.find('.') + 1) << "=" << Value;
+  OS << "\n\n";
+  MetricsRegistry::global().reset();
 }
 
 void benchBatchShared(benchmark::State &State) {

@@ -8,8 +8,12 @@
 #include "core/BatchCompiler.h"
 
 #include "core/Executor.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <sstream>
 
 using namespace sdsp;
@@ -24,6 +28,17 @@ BatchOutcome BatchCompiler::run(const std::vector<BatchJob> &Jobs,
   Outcome.Results.resize(Jobs.size());
   std::vector<PipelineTrace> Traces(Jobs.size());
 
+  // Trace tracks are created up front, in input order, so the viewer
+  // tids — like everything else a caller can observe outside the trace
+  // file's timestamps — do not depend on the thread count.
+  std::vector<TraceTrack *> Tracks(Jobs.size(), nullptr);
+  if (Opts.Trace)
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Tracks[I] = &Opts.Trace->track(Jobs[I].Name);
+
+  // Wall time per task, summed for the task_wall_seconds gauge.
+  std::atomic<int64_t> TaskMicros{0};
+
   {
     Executor Ex(Opts.Threads);
     std::vector<std::future<Status>> Futures;
@@ -32,9 +47,13 @@ BatchOutcome BatchCompiler::run(const std::vector<BatchJob> &Jobs,
       // Each task writes only its own slot in the pre-sized vectors;
       // the futures (and the pool join) publish the writes back here.
       Futures.push_back(Ex.submit([&, I]() -> Status {
+        auto T0 = std::chrono::steady_clock::now();
         SessionConfig Cfg;
         Cfg.EnableCache = Opts.EnableCache;
         Cfg.SharedCache = Opts.ShareCache ? &Cache : nullptr;
+        Cfg.Trace = Tracks[I];
+        if (Tracks[I])
+          Tracks[I]->beginSpan(Jobs[I].Name, "job");
         CompilationSession Session(Cfg);
         std::ostringstream Out, Err;
         BatchResult &R = Outcome.Results[I];
@@ -43,6 +62,15 @@ BatchOutcome BatchCompiler::run(const std::vector<BatchJob> &Jobs,
         R.Out = Out.str();
         R.Err = Err.str();
         Traces[I] = Session.trace();
+        if (Tracks[I]) {
+          Tracks[I]->endSpan();
+          Tracks[I]->argU64("exit_code", static_cast<uint64_t>(R.ExitCode));
+        }
+        TaskMicros.fetch_add(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count(),
+            std::memory_order_relaxed);
         return Status::ok();
       }));
     }
@@ -51,6 +79,19 @@ BatchOutcome BatchCompiler::run(const std::vector<BatchJob> &Jobs,
       if (!Outcome.Results[I].TaskStatus && Outcome.Results[I].ExitCode == 0)
         Outcome.Results[I].ExitCode = 3; // A task that threw is a bug.
     }
+    // Executor counters must be read before the pool leaves scope.  The
+    // task counts are deterministic; queue peak and wall time are
+    // scheduling-dependent, so they flush as gauges and stay out of
+    // every determinism-compared surface.
+    Executor::Counters EC = Ex.counters();
+    MetricsRegistry &MR = MetricsRegistry::global();
+    MR.add("executor.tasks_submitted", EC.Submitted);
+    MR.add("executor.tasks_completed", EC.Completed);
+    MR.add("executor.tasks_cancelled", EC.Cancelled);
+    MR.gaugeMax("executor.queue_depth_peak",
+                static_cast<double>(EC.QueuePeak));
+    MR.gaugeAdd("executor.task_wall_seconds",
+                static_cast<double>(TaskMicros.load()) / 1e6);
   }
 
   // Row-wise sum of the per-session traces, in registered-pass order.
@@ -73,6 +114,13 @@ BatchOutcome BatchCompiler::run(const std::vector<BatchJob> &Jobs,
   for (const BatchResult &R : Outcome.Results)
     Outcome.ExitCode = std::max(Outcome.ExitCode, R.ExitCode);
   Outcome.Cache = Cache.counters();
+
+  uint64_t Failed = 0;
+  for (const BatchResult &R : Outcome.Results)
+    Failed += R.ExitCode != 0;
+  MetricsRegistry &MR = MetricsRegistry::global();
+  MR.add("batch.jobs", Jobs.size());
+  MR.add("batch.jobs_failed", Failed);
   return Outcome;
 }
 

@@ -43,6 +43,8 @@
 
 namespace sdsp {
 
+class TraceCollector;
+
 /// One unit of batch work: a named loop-language source.
 struct BatchJob {
   /// Display identifier (file path, kernel id); batch output is labeled
@@ -91,6 +93,13 @@ struct BatchOptions {
   std::optional<bool> EnableCache;
   /// Byte budget for the shared cache; 0 = unbounded.
   uint64_t MaxCacheBytes = 0;
+  /// When set, run() creates one track per job (named after the job, in
+  /// input order, so viewer tids are deterministic) and each session
+  /// records its pass spans there; run() also flushes executor and
+  /// batch counters into MetricsRegistry::global().  Wall-clock data
+  /// lives only in the trace file, never in --batch-json, which is what
+  /// keeps the latter byte-identical across thread counts.
+  TraceCollector *Trace = nullptr;
 };
 
 class BatchCompiler {

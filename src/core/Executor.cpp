@@ -54,13 +54,19 @@ void Executor::workerLoop() {
       Queue.pop_front();
       ++Active;
     }
-    It.Done.set_value(runGuarded(It.Fn));
+    Status R = runGuarded(It.Fn);
     {
+      // Count the completion before resolving the future: a caller that
+      // has seen every future ready must also see every completion, or
+      // counters() could under-report by the tasks still between
+      // set_value and this block.
       std::lock_guard<std::mutex> Lock(M);
+      ++Ctrs.Completed;
       --Active;
       if (Active == 0 && Queue.empty())
         IdleCV.notify_all();
     }
+    It.Done.set_value(std::move(R));
   }
 }
 
@@ -71,10 +77,14 @@ std::future<Status> Executor::submit(std::function<Status()> Task) {
   {
     std::lock_guard<std::mutex> Lock(M);
     if (!Accepting) {
+      ++Ctrs.Cancelled;
       It.Done.set_value(cancelledStatus());
       return Fut;
     }
+    ++Ctrs.Submitted;
     Queue.push_back(std::move(It));
+    if (Queue.size() > Ctrs.QueuePeak)
+      Ctrs.QueuePeak = Queue.size();
   }
   WorkCV.notify_one();
   return Fut;
@@ -92,6 +102,7 @@ void Executor::shutdown(bool CancelPending) {
     Accepting = false;
     if (CancelPending)
       Cancelled.swap(Queue);
+    Ctrs.Cancelled += Cancelled.size();
     Stopping = true;
   }
   // Resolve outside the lock: futures may have continuations waiting.
@@ -102,4 +113,9 @@ void Executor::shutdown(bool CancelPending) {
     if (T.joinable())
       T.join();
   Workers.clear();
+}
+
+Executor::Counters Executor::counters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Ctrs;
 }

@@ -36,6 +36,7 @@
 #include "support/Status.h"
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -78,6 +79,18 @@ public:
   /// The Status carried by futures of cancelled tasks.
   static Status cancelledStatus();
 
+  /// Cumulative scheduling statistics (docs/OBSERVABILITY.md).  The
+  /// task counts are deterministic for a fixed submission sequence;
+  /// QueuePeak depends on worker scheduling and is reported as a gauge,
+  /// never compared across runs.
+  struct Counters {
+    uint64_t Submitted = 0; ///< Tasks accepted by submit().
+    uint64_t Completed = 0; ///< Tasks that ran to completion.
+    uint64_t Cancelled = 0; ///< Discarded by shutdown() or late submit().
+    size_t QueuePeak = 0;   ///< Deepest the FIFO ever got.
+  };
+  Counters counters() const;
+
 private:
   struct Item {
     std::function<Status()> Fn;
@@ -95,6 +108,7 @@ private:
   size_t Active = 0;       ///< Workers currently running a task.
   bool Accepting = true;   ///< submit() enqueues only while true.
   bool Stopping = false;   ///< Workers exit once the queue is empty.
+  Counters Ctrs;           ///< Guarded by M.
 };
 
 } // namespace sdsp

@@ -28,6 +28,7 @@
 #include "core/Frustum.h"
 
 #include "petri/ReferenceEngine.h"
+#include "support/Metrics.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -113,6 +114,28 @@ Status budgetError(const PetriNet &Net, TimeStep MaxSteps, TimeStep Now,
   return Status::error(ErrorCode::BudgetExceeded, "frustum", Msg);
 }
 
+/// Flushes the fast path's engine/table counters into the global
+/// registry exactly once per detection, on every exit path (repeat
+/// found, dead net, budget exhausted).  Keeping the flush out of the
+/// simulation loop preserves the hot path's cost profile
+/// (docs/OBSERVABILITY.md); everything flushed here is deterministic.
+struct EngineMetricsFlusher {
+  const EarliestFiringEngine &Engine;
+  const PackedStateTable &Seen;
+  ~EngineMetricsFlusher() {
+    MetricsRegistry &MR = MetricsRegistry::global();
+    const EarliestFiringEngine::Counters &C = Engine.counters();
+    MR.add("engine.enabled_rebuilds", C.Rebuilds);
+    MR.add("engine.firings", C.Firings);
+    MR.add("engine.completions", C.Completions);
+    MR.add("engine.instants_leapt", C.InstantsLeapt);
+    MR.add("packedstate.probes", Seen.probes());
+    MR.add("packedstate.collisions", Seen.collisions());
+    MR.add("packedstate.states_interned", Seen.size());
+    MR.add("frustum.detections", 1);
+  }
+};
+
 } // namespace
 
 Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
@@ -125,6 +148,7 @@ Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
 
   EarliestFiringEngine Engine(Net, Policy);
   PackedStateTable Seen;
+  EngineMetricsFlusher Flusher{Engine, Seen};
   PackedState PS;
   std::vector<StepRecord> Trace;
   uint64_t TotalFirings = 0;
@@ -197,6 +221,19 @@ Expected<FrustumInfo> sdsp::detectFrustumReference(const PetriNet &Net,
   std::unordered_map<InstantaneousState, TimeStep> Seen;
   std::vector<StepRecord> Trace;
   uint64_t TotalFirings = 0;
+  // The reference engine keeps no counters of its own; report its step
+  // and firing totals under a separate prefix so a mixed run (fast +
+  // reference) stays attributable.
+  struct ReferenceFlusher {
+    const uint64_t &Firings;
+    const std::unordered_map<InstantaneousState, TimeStep> &Seen;
+    ~ReferenceFlusher() {
+      MetricsRegistry &MR = MetricsRegistry::global();
+      MR.add("engine.reference.firings", Firings);
+      MR.add("engine.reference.states_interned", Seen.size());
+      MR.add("frustum.reference_detections", 1);
+    }
+  } Flusher{TotalFirings, Seen};
 
   for (TimeStep Step = 0; Step <= MaxSteps; ++Step) {
     Engine.prepare();

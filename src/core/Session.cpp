@@ -16,6 +16,7 @@
 #include "loopir/Lowering.h"
 #include "support/Hashing.h"
 #include "support/TextTable.h"
+#include "support/Trace.h"
 
 #include <chrono>
 #include <cstdio>
@@ -209,7 +210,7 @@ size_t CompilationSession::CacheKeyHash::operator()(const CacheKey &K) const {
 }
 
 CompilationSession::CompilationSession(SessionConfig Config)
-    : Shared(Config.SharedCache) {
+    : Shared(Config.SharedCache), Trace(Config.Trace) {
   if (Config.EnableCache) {
     CacheOn = *Config.EnableCache;
   } else {
@@ -261,6 +262,11 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
                                                      Fn &&Compute) {
   PassStats &PS = Stats[static_cast<size_t>(K)];
   ++PS.Invocations;
+  // One span per pass run on the session's track; the span argument on
+  // the closing record says how the run resolved (hit / computed /
+  // failed), and publish/abandon show up as instants inside the span.
+  if (Trace)
+    Trace->beginSpan(PassTable[static_cast<size_t>(K)].Id, "pass");
   if (CacheOn && Shared) {
     // Cross-session scope: lookupOrLock either answers from the shared
     // table or makes this session the key's owner (compute-once across
@@ -270,6 +276,10 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
     if (std::optional<SharedArtifactCache::Entry> E =
             Shared->lookupOrLock(SK)) {
       ++PS.CacheHits;
+      if (Trace) {
+        Trace->endSpan();
+        Trace->argStr("resolved", "shared-hit");
+      }
       return ArtifactRef<T>(std::static_pointer_cast<const T>(E->Value),
                             E->ContentHash);
     }
@@ -279,6 +289,12 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
     if (!R) {
       PS.WallSeconds += secondsSince(T0);
       ++PS.Failures;
+      if (Trace) {
+        Trace->instant("cache-abandon", "cache");
+        Trace->argStr("pass", PassTable[static_cast<size_t>(K)].Id);
+        Trace->endSpan();
+        Trace->argStr("resolved", "failed");
+      }
       return R.status(); // Guard abandons: failures are never cached.
     }
     auto Ptr = std::make_shared<const T>(std::move(*R));
@@ -288,6 +304,13 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
     PS.ArtifactBytes += Bytes;
     Shared->publish(SK, SharedArtifactCache::Entry{Ptr, Hash, Bytes});
     Guard.markPublished();
+    if (Trace) {
+      Trace->instant("cache-publish", "cache");
+      Trace->argStr("pass", PassTable[static_cast<size_t>(K)].Id);
+      Trace->argU64("bytes", Bytes);
+      Trace->endSpan();
+      Trace->argStr("resolved", "computed");
+    }
     return ArtifactRef<T>(std::move(Ptr), Hash);
   }
   CacheKey Key{static_cast<uint32_t>(K), InputsHash, OptionsFp};
@@ -295,6 +318,10 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
     auto It = Cache.find(Key);
     if (It != Cache.end()) {
       ++PS.CacheHits;
+      if (Trace) {
+        Trace->endSpan();
+        Trace->argStr("resolved", "hit");
+      }
       return ArtifactRef<T>(
           std::static_pointer_cast<const T>(It->second.Value),
           It->second.ContentHash);
@@ -305,6 +332,10 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
   if (!R) {
     PS.WallSeconds += secondsSince(T0);
     ++PS.Failures;
+    if (Trace) {
+      Trace->endSpan();
+      Trace->argStr("resolved", "failed");
+    }
     return R.status();
   }
   auto Ptr = std::make_shared<const T>(std::move(*R));
@@ -313,6 +344,10 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
   PS.ArtifactBytes += artifactSizeBytes(*Ptr);
   if (CacheOn)
     Cache.emplace(Key, CacheEntry{Ptr, Hash});
+  if (Trace) {
+    Trace->endSpan();
+    Trace->argStr("resolved", "computed");
+  }
   return ArtifactRef<T>(std::move(Ptr), Hash);
 }
 
@@ -460,6 +495,13 @@ CompilationSession::frustumPass(const PetriNet &Net, uint64_t MachineHash,
                 : detectFrustumChecked(Net, Policy.get(), Budget);
         if (!F)
           return F.status();
+        if (Trace) {
+          // The repeat itself, not just the pass span: the instant makes
+          // the (start, repeat) frustum window visible in the viewer.
+          Trace->instant("frustum-repeat", "frustum");
+          Trace->argU64("start", F->StartTime);
+          Trace->argU64("repeat", F->RepeatTime);
+        }
         return std::move(*F);
       });
 }
@@ -516,9 +558,16 @@ Expected<CompiledLoop> CompilationSession::finish(CompiledLoop CL,
     return CL;
   PassStats &PS = Stats[static_cast<size_t>(PassKind::Verify)];
   ++PS.Invocations;
+  if (Trace)
+    Trace->beginSpan(PassTable[static_cast<size_t>(PassKind::Verify)].Id,
+                     "pass");
   Clock::time_point T0 = Clock::now();
   Status St = verifyCompiledLoop(CL, Opts);
   PS.WallSeconds += secondsSince(T0);
+  if (Trace) {
+    Trace->endSpan();
+    Trace->argStr("resolved", St ? "computed" : "failed");
+  }
   if (!St) {
     ++PS.Failures;
     return St;

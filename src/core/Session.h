@@ -149,6 +149,7 @@ struct PipelineTrace {
 };
 
 class SharedArtifactCache;
+class TraceTrack;
 
 /// Session construction knobs.
 struct SessionConfig {
@@ -161,6 +162,12 @@ struct SessionConfig {
   /// caller keeps ownership; the cache must outlive the session.
   /// Ignored while the cache is disabled (EnableCache / environment).
   SharedArtifactCache *SharedCache = nullptr;
+  /// When set, every pass run is recorded as a span on this track
+  /// (support/Trace.h), with instants for cache publish/abandon and
+  /// frustum repeat detection — the `sdspc --trace=FILE` channel.
+  /// Sessions are single-threaded, so the track needs no locking; the
+  /// caller keeps ownership and the track must outlive the session.
+  TraceTrack *Trace = nullptr;
 };
 
 /// Output of the transform pass: the rewritten graph plus what the
@@ -339,6 +346,7 @@ private:
   std::array<PassStats, NumPassKinds> Stats{};
   bool CacheOn = true;
   SharedArtifactCache *Shared = nullptr;
+  TraceTrack *Trace = nullptr;
 };
 
 } // namespace sdsp

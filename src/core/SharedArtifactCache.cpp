@@ -170,3 +170,24 @@ SharedArtifactCache::CounterSnapshot SharedArtifactCache::counters() const {
   }
   return C;
 }
+
+std::vector<SharedArtifactCache::CounterSnapshot>
+SharedArtifactCache::shardCounters() const {
+  std::vector<CounterSnapshot> Out;
+  Out.reserve(ShardsVec.size());
+  for (const auto &SP : ShardsVec) {
+    const Shard &S = *SP;
+    std::lock_guard<std::mutex> Lock(S.M);
+    CounterSnapshot C;
+    C.Hits = S.Hits;
+    C.Misses = S.Misses;
+    C.Inserts = S.Inserts;
+    C.Evictions = S.Evictions;
+    C.Abandons = S.Abandons;
+    C.Bytes = S.Bytes;
+    for (const auto &KV : S.Map)
+      C.Entries += KV.second.Ready ? 1 : 0;
+    Out.push_back(C);
+  }
+  return Out;
+}

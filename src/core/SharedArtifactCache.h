@@ -125,6 +125,11 @@ public:
   void clear();
 
   CounterSnapshot counters() const;
+  /// Per-shard snapshots in shard order (docs/OBSERVABILITY.md): shard
+  /// assignment is a pure function of the key hash, so these — like the
+  /// aggregate — are deterministic for a fixed input set regardless of
+  /// thread count.
+  std::vector<CounterSnapshot> shardCounters() const;
   size_t entries() const { return counters().Entries; }
   size_t shardCount() const { return ShardsVec.size(); }
 

@@ -602,6 +602,7 @@ void EarliestFiringEngine::prepare() {
   if (Prepared)
     return;
   Prepared = true;
+  ++Ctrs.Rebuilds;
   CompletedThisStep.clear();
   CompletedIsLastFired = false;
 
@@ -1005,6 +1006,8 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
     }
   }
 
+  Ctrs.Firings += Rec.Fired.size();
+  Ctrs.Completions += Rec.Completed.size();
   ++Now;
   Prepared = false;
   return Rec;
@@ -1037,5 +1040,6 @@ void EarliestFiringEngine::leapTo(TimeStep T) {
              "leapTo() across an instant where a transition could fire");
   std::optional<TimeStep> F = nextFinishTime();
   SDSP_CHECK(!F || *F >= T, "leapTo() across a pending completion");
+  Ctrs.InstantsLeapt += T - Now;
   Now = T;
 }

@@ -268,6 +268,24 @@ public:
   /// Busy (in-flight) transitions right now.
   size_t numBusy() const { return BusyCount; }
 
+  /// Cumulative event counts since construction.  Kept as plain struct
+  /// fields so the hot loop pays an integer add, never a registry call;
+  /// the frustum detector flushes them into MetricsRegistry::global()
+  /// once per detection (docs/OBSERVABILITY.md).  All four are
+  /// deterministic functions of the net and policy — they never depend
+  /// on wall time or thread count.
+  struct Counters {
+    /// Enabled-set rebuilds: one per non-idempotent prepare(), i.e. one
+    /// per simulated (non-leapt) instant.
+    uint64_t Rebuilds = 0;
+    /// Transitions fired / completions observed, summed over steps.
+    uint64_t Firings = 0;
+    uint64_t Completions = 0;
+    /// Instants skipped by event-driven leapTo() calls.
+    uint64_t InstantsLeapt = 0;
+  };
+  const Counters &counters() const { return Ctrs; }
+
 private:
   const PetriNet &Net;
   FiringPolicy *Policy;
@@ -278,6 +296,7 @@ private:
   std::vector<TimeStep> FinishTime;
   TimeStep Now = 0;
   bool Prepared = false;
+  Counters Ctrs;
   /// Candidate list in firing order.  With a policy it is built every
   /// prepare() (the policy must observe and reorder it); without one it
   /// is just the enabled-idle bitset expanded in index order, so it is

@@ -80,12 +80,14 @@ std::optional<uint64_t> PackedStateTable::insertOrFind(const PackedState &S,
                                                        uint64_t T) {
   if (Count * 10 >= Slots.size() * 7)
     grow();
+  ++Probes;
   uint64_t Hash = S.hashValue();
   size_t Mask = Slots.size() - 1;
   size_t I = static_cast<size_t>(Hash) & Mask;
   while (!Slots[I].empty()) {
     if (slotMatches(Slots[I], Hash, S))
       return Slots[I].Time;
+    ++Collisions;
     I = (I + 1) & Mask;
   }
   Slots[I].Hash = Hash;

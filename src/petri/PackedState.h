@@ -141,6 +141,14 @@ public:
   /// Total words held by the arena (for memory diagnostics).
   size_t arenaWords() const { return Arena.size(); }
 
+  /// Lookup statistics, flushed to the metrics registry by the frustum
+  /// detector (docs/OBSERVABILITY.md): insertOrFind calls, and occupied
+  /// slots stepped over while linear-probing.  A rising
+  /// collisions-per-probe ratio is the early signal that the hash or
+  /// the load factor needs attention.
+  uint64_t probes() const { return Probes; }
+  uint64_t collisions() const { return Collisions; }
+
 private:
   struct Slot {
     static constexpr uint64_t EmptyOffset = ~0ull;
@@ -153,6 +161,8 @@ private:
   std::vector<Slot> Slots;
   std::vector<uint64_t> Arena;
   size_t Count = 0;
+  uint64_t Probes = 0;
+  uint64_t Collisions = 0;
 
   bool slotMatches(const Slot &S, uint64_t Hash,
                    const PackedState &State) const;

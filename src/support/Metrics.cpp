@@ -1,0 +1,77 @@
+//===- support/Metrics.cpp - Process-wide counter registry ---------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace sdsp;
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry G;
+  return G;
+}
+
+void MetricsRegistry::add(std::string_view Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    Counters.emplace(std::string(Name), Delta);
+  else
+    It->second += Delta;
+}
+
+void MetricsRegistry::gaugeAdd(std::string_view Name, double Value) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    Gauges.emplace(std::string(Name), Value);
+  else
+    It->second += Value;
+}
+
+void MetricsRegistry::gaugeMax(std::string_view Name, double Value) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    Gauges.emplace(std::string(Name), Value);
+  else
+    It->second = std::max(It->second, Value);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Snapshot S;
+  S.Counters.assign(Counters.begin(), Counters.end());
+  S.Gauges.assign(Gauges.begin(), Gauges.end());
+  // std::map iteration is already name-sorted; keep that as the
+  // serialization order.
+  return S;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  Counters.clear();
+  Gauges.clear();
+}
+
+void MetricsRegistry::writeJson(const Snapshot &S, std::ostream &OS) {
+  OS << "{\n  \"schema\": \"sdsp-metrics-v1\",\n  \"counters\": {";
+  for (size_t I = 0; I < S.Counters.size(); ++I)
+    OS << (I ? "," : "") << "\n    \"" << S.Counters[I].first
+       << "\": " << S.Counters[I].second;
+  OS << (S.Counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  // Gauge values are timing-dependent by definition, so a fixed format
+  // here buys readability, not determinism.
+  char Buf[64];
+  for (size_t I = 0; I < S.Gauges.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%.6f", S.Gauges[I].second);
+    OS << (I ? "," : "") << "\n    \"" << S.Gauges[I].first << "\": " << Buf;
+  }
+  OS << (S.Gauges.empty() ? "" : "\n  ") << "}\n}\n";
+}

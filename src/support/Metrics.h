@@ -1,0 +1,88 @@
+//===- support/Metrics.h - Process-wide counter registry -------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small process-wide metrics registry (docs/OBSERVABILITY.md).  Two
+/// kinds of series are kept deliberately separate:
+///
+///  - **Counters** are monotonically increasing event counts (engine
+///    firings, cache misses, state-table probes).  Every counter in this
+///    codebase is *deterministic*: its value depends only on the inputs
+///    compiled, never on thread count or wall time, which is what lets
+///    the batch-determinism suite diff `--metrics-json` counters across
+///    `-j 1` vs `-j 8` byte-for-byte.
+///  - **Gauges** carry timing- or scheduling-dependent values (executor
+///    queue-depth peak, task wall seconds).  They are reported next to
+///    the counters but excluded from determinism comparisons.
+///
+/// Hot paths do not talk to the registry directly: the earliest-firing
+/// engine keeps plain struct counters (petri/EarliestFiring.h) that the
+/// frustum detector flushes here once per detection, so the per-step
+/// cost is an integer increment, not a mutex acquisition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_METRICS_H
+#define SDSP_SUPPORT_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sdsp {
+
+/// Thread-safe registry of named counters and gauges.  Names are
+/// dot-separated lowercase paths ("engine.firings", "cache.misses");
+/// snapshots and JSON output are always name-sorted so any serialized
+/// form is deterministic.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// The process-wide registry `sdspc --metrics-json` reports.
+  static MetricsRegistry &global();
+
+  /// Adds \p Delta to counter \p Name (creating it at zero).
+  void add(std::string_view Name, uint64_t Delta = 1);
+
+  /// Adds \p Value to gauge \p Name (creating it at zero).
+  void gaugeAdd(std::string_view Name, double Value);
+
+  /// Raises gauge \p Name to at least \p Value.
+  void gaugeMax(std::string_view Name, double Value);
+
+  /// A consistent, name-sorted copy of every series.
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> Counters;
+    std::vector<std::pair<std::string, double>> Gauges;
+  };
+  Snapshot snapshot() const;
+
+  /// Zeroes the registry (tests and benchmark reruns).
+  void reset();
+
+  /// Writes the "sdsp-metrics-v1" JSON document: a "counters" object
+  /// (deterministic) and a "gauges" object (timing-dependent), each
+  /// name-sorted, one series per line.
+  static void writeJson(const Snapshot &S, std::ostream &OS);
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, uint64_t, std::less<>> Counters;
+  std::map<std::string, double, std::less<>> Gauges;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_SUPPORT_METRICS_H

@@ -7,35 +7,106 @@
 
 #include "support/Rational.h"
 
-#include <numeric>
+#include "support/Status.h"
 
 using namespace sdsp;
 
-Rational::Rational(int64_t N, int64_t D) {
+namespace {
+
+/// gcd over unsigned __int128.  std::gcd is not usable here: __int128 is
+/// not an integral type under strict -std=c++20, and the intermediate
+/// products that need reducing (cross multiplications of two int64 pairs)
+/// do not fit in any standard type.
+unsigned __int128 gcd128(unsigned __int128 A, unsigned __int128 B) {
+  while (B != 0) {
+    unsigned __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// |V| as unsigned, without the signed-negation UB that -INT64_MIN (and
+/// the old `N < 0 ? -N : N`) had.  Safe for every __int128 our callers
+/// can produce: cross products of int64 values stay below 2^126, and
+/// sums of two such products below 2^127.
+unsigned __int128 abs128(__int128 V) {
+  return V < 0 ? -static_cast<unsigned __int128>(V)
+               : static_cast<unsigned __int128>(V);
+}
+
+struct NormPair {
+  int64_t Num, Den;
+};
+
+/// Reduces N/D to lowest terms with a positive denominator, entirely in
+/// 128-bit arithmetic, then narrows.  Rate analysis only ever reduces
+/// ratios whose *reduced* form fits int64 (Omega and M are bounded sums
+/// over the net), so a post-reduction overflow is an internal invariant
+/// violation, not a user-input condition: SDSP_CHECK stays armed under
+/// NDEBUG.
+NormPair normalize128(__int128 N, __int128 D) {
   assert(D != 0 && "rational with zero denominator");
   if (D < 0) {
     N = -N;
     D = -D;
   }
-  int64_t G = std::gcd(N < 0 ? -N : N, D);
+  unsigned __int128 G = gcd128(abs128(N), static_cast<unsigned __int128>(D));
   if (G == 0)
     G = 1;
-  Num = N / G;
-  Den = D / G;
+  N /= static_cast<__int128>(G);
+  D /= static_cast<__int128>(G);
+  constexpr __int128 I64Min = INT64_MIN;
+  constexpr __int128 I64Max = INT64_MAX;
+  SDSP_CHECK(N >= I64Min && N <= I64Max && D <= I64Max,
+             "rational overflows int64 after reduction");
+  return {static_cast<int64_t>(N), static_cast<int64_t>(D)};
+}
+
+} // namespace
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  NormPair P = normalize128(N, D);
+  Num = P.Num;
+  Den = P.Den;
+}
+
+Rational Rational::make(__int128 N, __int128 D) {
+  NormPair P = normalize128(N, D);
+  Rational R;
+  R.Num = P.Num;
+  R.Den = P.Den;
+  return R;
 }
 
 Rational Rational::reciprocal() const {
   assert(Num != 0 && "reciprocal of zero");
-  return Rational(Den, Num);
+  return make(Den, Num);
+}
+
+Rational Rational::operator-() const {
+  // Negating in 128-bit keeps -(INT64_MIN/q) well-defined; the result
+  // (2^63/q) narrows back whenever q > 1 reduces it.
+  return make(-static_cast<__int128>(Num), Den);
 }
 
 int64_t Rational::floor() const {
   if (Num >= 0)
     return Num / Den;
-  return -((-Num + Den - 1) / Den);
+  // Round toward -inf; -Num is computed in 128 bits so Num == INT64_MIN
+  // is not UB.
+  __int128 N = Num;
+  return static_cast<int64_t>(-((-N + Den - 1) / Den));
 }
 
-int64_t Rational::ceil() const { return -(-*this).floor(); }
+int64_t Rational::ceil() const {
+  if (Num <= 0)
+    // Truncation already rounds toward zero, i.e. up, for negatives.
+    return Num / Den;
+  __int128 N = Num;
+  return static_cast<int64_t>((N + Den - 1) / Den);
+}
 
 std::string Rational::str() const {
   if (Den == 1)
@@ -43,26 +114,38 @@ std::string Rational::str() const {
   return std::to_string(Num) + "/" + std::to_string(Den);
 }
 
+// All four operators widen to __int128 before multiplying: the cross
+// products of two in-range rationals can exceed int64 (signed-overflow
+// UB in the old code) even when the reduced result is tiny.
+
 Rational Rational::operator+(Rational B) const {
-  return Rational(Num * B.Den + B.Num * Den, Den * B.Den);
+  return make(static_cast<__int128>(Num) * B.Den +
+                  static_cast<__int128>(B.Num) * Den,
+              static_cast<__int128>(Den) * B.Den);
 }
 
 Rational Rational::operator-(Rational B) const {
-  return Rational(Num * B.Den - B.Num * Den, Den * B.Den);
+  return make(static_cast<__int128>(Num) * B.Den -
+                  static_cast<__int128>(B.Num) * Den,
+              static_cast<__int128>(Den) * B.Den);
 }
 
 Rational Rational::operator*(Rational B) const {
-  return Rational(Num * B.Num, Den * B.Den);
+  return make(static_cast<__int128>(Num) * B.Num,
+              static_cast<__int128>(Den) * B.Den);
 }
 
 Rational Rational::operator/(Rational B) const {
   assert(!B.isZero() && "division by zero rational");
-  return Rational(Num * B.Den, Den * B.Num);
+  return make(static_cast<__int128>(Num) * B.Den,
+              static_cast<__int128>(Den) * B.Num);
 }
 
 bool sdsp::operator<(Rational A, Rational B) {
-  // Denominators are positive, so cross multiplication preserves order.
-  return A.Num * B.Den < B.Num * A.Den;
+  // Denominators are positive, so cross multiplication preserves order;
+  // the products can overflow int64, hence the widening.
+  return static_cast<__int128>(A.Num) * B.Den <
+         static_cast<__int128>(B.Num) * A.Den;
 }
 
 std::ostream &sdsp::operator<<(std::ostream &OS, Rational R) {

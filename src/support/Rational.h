@@ -55,11 +55,14 @@ public:
   /// Renders as "p/q", or just "p" when the denominator is 1.
   std::string str() const;
 
+  // Arithmetic widens to 128-bit internally: cross products of two
+  // in-range rationals overflow int64 long before the reduced result
+  // does, and signed overflow would be UB (see Rational.cpp).
   Rational operator+(Rational B) const;
   Rational operator-(Rational B) const;
   Rational operator*(Rational B) const;
   Rational operator/(Rational B) const;
-  Rational operator-() const { return Rational(-Num, Den); }
+  Rational operator-() const;
 
   friend bool operator==(Rational A, Rational B) {
     return A.Num == B.Num && A.Den == B.Den;
@@ -73,6 +76,10 @@ public:
   friend std::ostream &operator<<(std::ostream &OS, Rational R);
 
 private:
+  /// Reduces \p N / \p D (both already widened) and narrows back to
+  /// int64, checking that the reduced value fits.
+  static Rational make(__int128 N, __int128 D);
+
   int64_t Num;
   int64_t Den;
 };

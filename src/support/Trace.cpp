@@ -1,0 +1,137 @@
+//===- support/Trace.cpp - Chrome trace-event emission -------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Status.h"
+
+#include <cstdio>
+
+using namespace sdsp;
+
+namespace {
+
+/// Minimal JSON string escaping (names carry file paths and kernel ids).
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+void TraceTrack::beginSpan(std::string_view Name, std::string_view Category) {
+  OpenSpanStack.push_back(Events.size());
+  Events.push_back(Event{'B', Parent.nowMicros(), std::string(Name),
+                         std::string(Category), {}});
+}
+
+void TraceTrack::endSpan() {
+  SDSP_CHECK(!OpenSpanStack.empty(), "endSpan without a matching beginSpan");
+  size_t BeginIdx = OpenSpanStack.back();
+  OpenSpanStack.pop_back();
+  // Name/category on an "E" record are optional in the format; repeating
+  // the matching "B" record's keeps the file greppable.  Copy before the
+  // push_back: that may reallocate Events.
+  std::string Name = Events[BeginIdx].Name;
+  std::string Category = Events[BeginIdx].Category;
+  Events.push_back(Event{'E', Parent.nowMicros(), std::move(Name),
+                         std::move(Category), {}});
+}
+
+void TraceTrack::instant(std::string_view Name, std::string_view Category) {
+  Events.push_back(Event{'i', Parent.nowMicros(), std::string(Name),
+                         std::string(Category), {}});
+}
+
+void TraceTrack::argU64(std::string_view Key, uint64_t Value) {
+  SDSP_CHECK(!Events.empty(), "argument with no event to attach to");
+  Events.back().Args.push_back(Arg{std::string(Key), "", Value, false});
+}
+
+void TraceTrack::argStr(std::string_view Key, std::string_view Value) {
+  SDSP_CHECK(!Events.empty(), "argument with no event to attach to");
+  Events.back().Args.push_back(Arg{std::string(Key), std::string(Value), 0,
+                                   true});
+}
+
+TraceCollector::TraceCollector() : Epoch(std::chrono::steady_clock::now()) {}
+
+TraceCollector::~TraceCollector() = default;
+
+TraceTrack &TraceCollector::track(std::string Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  uint32_t Id = static_cast<uint32_t>(Tracks.size()) + 1;
+  Tracks.push_back(std::unique_ptr<TraceTrack>(
+      new TraceTrack(*this, Id, std::move(Name))));
+  return *Tracks.back();
+}
+
+uint64_t TraceCollector::nowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void TraceCollector::writeJson(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(M);
+  OS << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  OS << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+        "\"args\": {\"name\": \"sdsp\"}}";
+  for (const auto &T : Tracks) {
+    SDSP_CHECK(T->OpenSpanStack.empty(), "trace track has unbalanced spans");
+    OS << ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << T->Id << ", \"args\": {\"name\": \"" << jsonEscape(T->Name)
+       << "\"}}";
+    for (const TraceTrack::Event &E : T->Events) {
+      OS << ",\n{\"name\": \"" << jsonEscape(E.Name) << "\", \"cat\": \""
+         << jsonEscape(E.Category) << "\", \"ph\": \"" << E.Ph
+         << "\", \"ts\": " << E.TsMicros << ", \"pid\": 1, \"tid\": " << T->Id;
+      if (E.Ph == 'i')
+        OS << ", \"s\": \"t\"";
+      if (!E.Args.empty()) {
+        OS << ", \"args\": {";
+        for (size_t I = 0; I < E.Args.size(); ++I) {
+          const TraceTrack::Arg &A = E.Args[I];
+          OS << (I ? ", " : "") << "\"" << jsonEscape(A.Key) << "\": ";
+          if (A.IsStr)
+            OS << "\"" << jsonEscape(A.Str) << "\"";
+          else
+            OS << A.U64;
+        }
+        OS << "}";
+      }
+      OS << "}";
+    }
+  }
+  OS << "\n]\n}\n";
+}

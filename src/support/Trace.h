@@ -1,0 +1,124 @@
+//===- support/Trace.h - Chrome trace-event emission -----------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured tracing in the Chrome trace-event JSON format, loadable in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing.  See
+/// docs/OBSERVABILITY.md for the event model.
+///
+/// Layout: a TraceCollector owns one TraceTrack per session (rendered as
+/// one named thread-track in the viewer).  Each track is single-writer —
+/// the session's worker thread appends duration spans ("B"/"E") around
+/// pipeline passes and instant events ("i") for point occurrences like a
+/// frustum repeat or a cache publish.  The collector's mutex is taken
+/// only when a track is created and when the file is written, never on
+/// the event path, which keeps tracing cheap enough to leave wired into
+/// batch runs.
+///
+/// Timestamps are microseconds from the collector's construction on the
+/// steady clock, so they are monotone per track and comparable across
+/// tracks of one collector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_TRACE_H
+#define SDSP_SUPPORT_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdsp {
+
+class TraceCollector;
+
+/// One viewer thread-track.  Single-writer: all methods must be called
+/// from one thread at a time (the session that owns the track); tracks
+/// of the same collector may be written concurrently with each other.
+class TraceTrack {
+public:
+  /// Opens a duration span ("ph":"B").  Every beginSpan must be paired
+  /// with an endSpan on the same track; writeJson checks the balance.
+  void beginSpan(std::string_view Name, std::string_view Category = "pass");
+
+  /// Closes the innermost open span ("ph":"E").
+  void endSpan();
+
+  /// Emits a thread-scoped instant event ("ph":"i", "s":"t").
+  void instant(std::string_view Name, std::string_view Category = "event");
+
+  /// Attaches an argument to the most recently emitted event (shown in
+  /// the viewer's detail pane).  For spans, call after endSpan so the
+  /// argument lands on the "E" record — the viewer merges B/E args.
+  void argU64(std::string_view Key, uint64_t Value);
+  void argStr(std::string_view Key, std::string_view Value);
+
+  /// The viewer tid assigned to this track (1-based, creation order).
+  uint32_t tid() const { return Id; }
+  const std::string &name() const { return Name; }
+
+private:
+  friend class TraceCollector;
+  TraceTrack(TraceCollector &Parent, uint32_t Id, std::string Name)
+      : Parent(Parent), Id(Id), Name(std::move(Name)) {}
+
+  struct Arg {
+    std::string Key;
+    std::string Str;
+    uint64_t U64 = 0;
+    bool IsStr = false;
+  };
+  struct Event {
+    char Ph;
+    uint64_t TsMicros;
+    std::string Name;
+    std::string Category;
+    std::vector<Arg> Args;
+  };
+
+  TraceCollector &Parent;
+  uint32_t Id;
+  std::string Name;
+  std::vector<Event> Events;
+  /// Indices into Events of the currently open "B" records.
+  std::vector<size_t> OpenSpanStack;
+};
+
+/// Owns the tracks of one traced process run and serializes them.
+class TraceCollector {
+public:
+  TraceCollector();
+  TraceCollector(const TraceCollector &) = delete;
+  TraceCollector &operator=(const TraceCollector &) = delete;
+  ~TraceCollector();
+
+  /// Creates a new track named \p Name.  The reference stays valid for
+  /// the collector's lifetime.  Thread-safe.
+  TraceTrack &track(std::string Name);
+
+  /// Microseconds since this collector was constructed (steady clock).
+  uint64_t nowMicros() const;
+
+  /// Writes the whole capture as a Chrome trace-event JSON document,
+  /// one event per line.  All tracks must be quiescent and all spans
+  /// balanced (SDSP_CHECK).  Thread-safe with track().
+  void writeJson(std::ostream &OS) const;
+
+private:
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex M;
+  std::vector<std::unique_ptr<TraceTrack>> Tracks;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_SUPPORT_TRACE_H

@@ -9,6 +9,7 @@
 
 #include "gtest/gtest.h"
 
+#include <cstdint>
 #include <sstream>
 
 using namespace sdsp;
@@ -72,6 +73,69 @@ TEST(Rational, CycleRatioUseCase) {
   Rational A(10, 3), B(7, 2);
   EXPECT_LT(A, B);
   EXPECT_EQ(std::max(A, B), B);
+}
+
+// Overflow regressions: every case below cross-multiplied raw int64 in
+// the pre-__int128 implementation, which is signed-overflow UB (aborts
+// under -fsanitize=undefined) and, with wraparound semantics, silently
+// misorders the operands.
+
+TEST(Rational, ComparisonNearInt64MaxDoesNotOverflow) {
+  constexpr int64_t Max = INT64_MAX;
+  // (Max-1)/Max < Max/(Max-1): cross products are ~2^126.
+  EXPECT_LT(Rational(Max - 1, Max), Rational(Max, Max - 1));
+  EXPECT_GT(Rational(Max, Max - 1), Rational(Max - 1, Max));
+  // Adjacent huge ratios: (2^62+1)/2^62 vs 2^62/(2^62-1) differ by
+  // 1/(2^62 * (2^62-1)); cross multiplication is 2^124-1 vs 2^124.
+  constexpr int64_t H = int64_t(1) << 62;
+  EXPECT_LT(Rational(H + 1, H), Rational(H, H - 1));
+  EXPECT_FALSE(Rational(H, H - 1) < Rational(H + 1, H));
+  // Mixed signs at full magnitude.
+  EXPECT_LT(Rational(-Max, 2), Rational(Max, 2));
+  EXPECT_LT(Rational(INT64_MIN, Max), Rational(Max, Max));
+}
+
+TEST(Rational, ArithmeticNearInt64MaxDoesNotOverflow) {
+  constexpr int64_t Max = INT64_MAX;
+  // Num * B.Den = Max * 2 overflows before reduction.
+  EXPECT_EQ(Rational(Max, 2) + Rational(Max, 2), Rational(Max));
+  EXPECT_EQ(Rational(Max, 2) - Rational(Max, 2), Rational(0));
+  // Unreduced numerator Max*3 - Max*2, denominator 6.
+  EXPECT_EQ(Rational(Max, 2) - Rational(Max, 3), Rational(Max, 6));
+  // Num * B.Num = Max * Max; the reduced product is exactly 1.
+  EXPECT_EQ(Rational(Max, 3) * Rational(3, Max), Rational(1));
+  EXPECT_EQ(Rational(Max, 2) / Rational(Max, 4), Rational(2));
+  EXPECT_EQ(Rational(1, Max) * Rational(Max, 1), Rational(1));
+}
+
+TEST(Rational, Int64MinEdgeCases) {
+  constexpr int64_t Min = INT64_MIN;
+  // -Num with Num == INT64_MIN was UB in the constructor, floor(), and
+  // unary minus.
+  Rational M(Min, 1);
+  EXPECT_EQ(M.floor(), Min);
+  EXPECT_EQ(M.ceil(), Min);
+  EXPECT_EQ(Rational(Min, 2), Rational(Min / 2, 1));
+  EXPECT_EQ(Rational(Min + 1, 2).floor(), Min / 2);
+  EXPECT_EQ(Rational(Min + 1, 2).ceil(), Min / 2 + 1);
+  // Negative denominator at full magnitude: sign moves to the numerator
+  // through the 128-bit path.
+  EXPECT_EQ(Rational(2, Min), Rational(-1, Min / -2));
+  EXPECT_EQ(-Rational(Min, 2), Rational(Min / -2, 1));
+  EXPECT_EQ(Rational(Min, 2).reciprocal(), Rational(2, Min));
+}
+
+TEST(Rational, RateAnalysisNearOverflow) {
+  // Long-latency cycle ratios Omega(C)/M(C) close to INT64_MAX: the
+  // critical-cycle max must still be classified exactly.
+  constexpr int64_t Omega1 = INT64_MAX - 2, Omega2 = INT64_MAX - 1;
+  Rational R1(Omega1, 3), R2(Omega2, 3);
+  EXPECT_LT(R1, R2);
+  EXPECT_EQ(std::max(R1, R2), R2);
+  // Equal ratios written with different huge terms reduce identically.
+  EXPECT_EQ(Rational(Omega2, Omega2), Rational(1));
+  Rational Alpha = std::max(R1, R2);
+  EXPECT_EQ(Alpha.reciprocal(), Rational(3, Omega2));
 }
 
 } // namespace

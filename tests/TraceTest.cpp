@@ -1,0 +1,162 @@
+//===- tests/TraceTest.cpp - Trace-event capture schema --------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// Golden-schema tests for support/Trace.h: the serialized capture is
+// the Chrome trace-event JSON that CI validates with
+// tools/tracecheck.py, so the invariants that script enforces (balanced
+// B/E nesting, per-track monotone timestamps, instants carrying an
+// explicit scope, metadata naming every track) are pinned here at the
+// unit level too — plus the session integration: compiling a kernel
+// with SessionConfig::Trace set records one balanced span per pass run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "core/Session.h"
+#include "livermore/Livermore.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace sdsp;
+
+namespace {
+
+/// The trace is emitted one event per line; these string-level helpers
+/// are deliberately parser-free (the full JSON validation runs in CI
+/// through tracecheck.py).
+std::vector<std::string> eventLines(const std::string &Json,
+                                    const std::string &Phase) {
+  std::vector<std::string> Out;
+  std::istringstream SS(Json);
+  std::string Line;
+  std::string Needle = "\"ph\": \"" + Phase + "\"";
+  while (std::getline(SS, Line))
+    if (Line.find(Needle) != std::string::npos)
+      Out.push_back(Line);
+  return Out;
+}
+
+int64_t tsOf(const std::string &Line) {
+  size_t P = Line.find("\"ts\": ");
+  EXPECT_NE(P, std::string::npos) << Line;
+  return std::stoll(Line.substr(P + 6));
+}
+
+std::string dump(const TraceCollector &C) {
+  std::ostringstream OS;
+  C.writeJson(OS);
+  return OS.str();
+}
+
+TEST(TraceTest, SpansBalanceAndNest) {
+  TraceCollector C;
+  TraceTrack &T = C.track("session");
+  T.beginSpan("outer");
+  T.instant("tick", "event");
+  T.beginSpan("inner");
+  T.endSpan();
+  T.argStr("resolved", "computed");
+  T.endSpan();
+
+  std::string Json = dump(C);
+  auto Begins = eventLines(Json, "B");
+  auto Ends = eventLines(Json, "E");
+  ASSERT_EQ(Begins.size(), 2u);
+  ASSERT_EQ(Ends.size(), 2u);
+  // LIFO close order: the inner span's E comes first and carries the
+  // arg attached right after its endSpan().
+  EXPECT_NE(Ends[0].find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(Ends[0].find("\"resolved\": \"computed\""),
+            std::string::npos);
+  EXPECT_NE(Ends[1].find("\"name\": \"outer\""), std::string::npos);
+  // The instant survives inside the span without confusing E matching,
+  // and carries the thread scope Perfetto requires.
+  auto Instants = eventLines(Json, "i");
+  ASSERT_EQ(Instants.size(), 1u);
+  EXPECT_NE(Instants[0].find("\"s\": \"t\""), std::string::npos);
+}
+
+TEST(TraceTest, TimestampsMonotonePerTrack) {
+  TraceCollector C;
+  TraceTrack &T = C.track("t");
+  for (int I = 0; I < 16; ++I) {
+    T.beginSpan("s");
+    T.endSpan();
+  }
+  std::string Json = dump(C);
+  int64_t Last = -1;
+  std::istringstream SS(Json);
+  std::string Line;
+  for (auto &L : eventLines(Json, "B")) {
+    int64_t Ts = tsOf(L);
+    EXPECT_GE(Ts, Last);
+    Last = Ts;
+  }
+  (void)SS;
+  (void)Line;
+}
+
+TEST(TraceTest, MetadataNamesProcessAndEveryTrack) {
+  TraceCollector C;
+  C.track("alpha");
+  C.track("beta");
+  std::string Json = dump(C);
+  EXPECT_NE(Json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"beta\""), std::string::npos);
+  // Tracks get distinct, creation-ordered tids (1-based; tid 0 is the
+  // process metadata row).
+  auto Meta = eventLines(Json, "M");
+  ASSERT_EQ(Meta.size(), 3u);
+  EXPECT_NE(Meta[1].find("\"tid\": 1"), std::string::npos);
+  EXPECT_NE(Meta[2].find("\"tid\": 2"), std::string::npos);
+}
+
+TEST(TraceTest, EscapesControlAndQuoteCharacters) {
+  TraceCollector C;
+  TraceTrack &T = C.track("quote\"track");
+  T.instant("line\nbreak", "event");
+  std::string Json = dump(C);
+  EXPECT_NE(Json.find("quote\\\"track"), std::string::npos);
+  EXPECT_NE(Json.find("line\\nbreak"), std::string::npos);
+}
+
+TEST(TraceTest, SessionCompileRecordsBalancedPassSpans) {
+  const LivermoreKernel *K = findKernel("l1");
+  ASSERT_NE(K, nullptr);
+  TraceCollector C;
+  SessionConfig Cfg;
+  Cfg.Trace = &C.track("kernel:l1");
+  CompilationSession Session(Cfg);
+  PipelineOptions Opts;
+  Opts.Verify = true;
+  auto R = Session.compile(K->Source, Opts);
+  ASSERT_TRUE(bool(R)) << R.status().str();
+
+  std::string Json = dump(C);
+  auto Begins = eventLines(Json, "B");
+  auto Ends = eventLines(Json, "E");
+  EXPECT_EQ(Begins.size(), Ends.size());
+  EXPECT_GE(Begins.size(), 5u); // lower, sdsp, sdsp-pn, frustum, ...
+  // Every close records how the pass resolved.
+  for (const std::string &L : Ends)
+    EXPECT_NE(L.find("\"resolved\": "), std::string::npos) << L;
+  // The frustum pass emitted its repeat-point instant.
+  std::string FrustumInstant;
+  for (const std::string &L : eventLines(Json, "i"))
+    if (L.find("\"frustum-repeat\"") != std::string::npos)
+      FrustumInstant = L;
+  ASSERT_FALSE(FrustumInstant.empty());
+  EXPECT_NE(FrustumInstant.find("\"repeat\": "), std::string::npos);
+}
+
+} // namespace

@@ -22,6 +22,14 @@ their JSON into the committed artifacts at the repo root:
                        recorded as skipped on hosts with fewer than 8
                        CPUs, where the target is unmeetable by
                        construction).
+  BENCH_metrics.json   counter deltas from `sdspc --batch-kernels
+                       --verify --metrics-json` (schema sdsp-metrics-v1,
+                       docs/OBSERVABILITY.md): engine firings,
+                       enabled-set rebuilds, state-table probes, cache
+                       hit/miss counts.  Unlike wall times these are
+                       exact work counts, so --compare diffs them for
+                       equality — any drift means the pipeline is doing
+                       different work, not that the machine is slower.
 
 Also provides --smoke, which runs every binary under <build>/bench once
 with a short min-time and fails on any crash or benchmark error (the CI
@@ -228,6 +236,45 @@ def batch_report(report):
     }
 
 
+def metrics_report(build_dir, out_dir):
+    """Runs the deterministic batch workload under --metrics-json and
+    keeps the machine-independent counters.  Per-shard series (a
+    std::hash layout detail) and byte-size estimates (ABI-dependent)
+    are dropped; everything left is an exact work count that must not
+    drift between hosts running the same code."""
+    sdspc = os.path.join(build_dir, "tools", "sdspc")
+    if not os.path.isfile(sdspc):
+        raise SystemExit("missing sdspc binary: %s (build the sdspc "
+                         "target)" % sdspc)
+    raw = os.path.join(out_dir, "BENCH_metrics.json.raw")
+    proc = subprocess.run(
+        [sdspc, "--batch-kernels", "--verify", "-j", "2",
+         "--metrics-json=%s" % raw],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode("utf-8", "replace"))
+        raise SystemExit("sdspc --batch-kernels failed (exit %d)" %
+                         proc.returncode)
+    with open(raw) as f:
+        metrics = json.load(f)
+    os.remove(raw)
+    if metrics.get("schema") != "sdsp-metrics-v1":
+        raise SystemExit("unexpected metrics schema: %r" %
+                         metrics.get("schema"))
+    counters = {
+        name: value
+        for name, value in metrics.get("counters", {}).items()
+        if not name.startswith("cache.shard")
+        and not name.endswith(".bytes")
+    }
+    return {
+        "benchmark": "sdspc --batch-kernels --verify --metrics-json",
+        "generated_by": "tools/benchreport.py",
+        "schema": "sdsp-metrics-v1",
+        "counters": counters,
+    }
+
+
 def smoke(bench_dir, min_time):
     """Runs every bench binary once; any crash fails the job."""
     failures = []
@@ -252,12 +299,27 @@ def load_pair(fresh_dir, base_dir, name):
     base_path = os.path.join(base_dir, name)
     for p in (fresh_path, base_path):
         if not os.path.isfile(p):
-            raise SystemExit("--compare: missing report %s" % p)
-    with open(fresh_path) as f:
-        fresh = json.load(f)
-    with open(base_path) as f:
-        base = json.load(f)
-    return fresh, base
+            raise SystemExit("--compare: missing report %s (regenerate "
+                             "baselines with tools/benchreport.py)" % p)
+    reports = []
+    for p in (fresh_path, base_path):
+        with open(p) as f:
+            try:
+                reports.append(json.load(f))
+            except json.JSONDecodeError as e:
+                raise SystemExit("--compare: %s is not valid JSON: %s" %
+                                 (p, e))
+    return reports[0], reports[1]
+
+
+def require(report, key, name):
+    """A missing key in a report is a schema mismatch (usually a stale
+    baseline), not a crash site: fail with the fix spelled out."""
+    if key not in report:
+        raise SystemExit("--compare: %s has no '%s' key -- the baseline "
+                         "predates the current report schema; regenerate "
+                         "it with tools/benchreport.py" % (name, key))
+    return report[key]
 
 
 def compare_ratios(label, fresh_ratios, base_ratios, failures,
@@ -269,6 +331,10 @@ def compare_ratios(label, fresh_ratios, base_ratios, failures,
     for key in sorted(set(fresh_ratios) & set(base_ratios)):
         fresh, base = fresh_ratios[key], base_ratios[key]
         if base <= 0:
+            # A non-positive baseline ratio cannot anchor a relative
+            # comparison; say so rather than silently passing.
+            print("[compare] %s %s: baseline ratio %.3f is not "
+                  "comparable, skipping" % (label, key, base))
             continue
         if higher_is_better:
             regressed = fresh < base * (1.0 - COMPARE_TOLERANCE)
@@ -299,30 +365,54 @@ def compare_reports(fresh_dir, base_dir):
     failures = []
 
     fresh, base = load_pair(fresh_dir, base_dir, "BENCH_frustum.json")
-    compare_ratios("frustum speedup @", fresh["speedup_by_chains"],
-                   base["speedup_by_chains"], failures)
-    if not fresh["gate"]["pass"]:
+    compare_ratios("frustum speedup @",
+                   require(fresh, "speedup_by_chains",
+                           "fresh BENCH_frustum.json"),
+                   require(base, "speedup_by_chains",
+                           "baseline BENCH_frustum.json"), failures)
+    gate = require(fresh, "gate", "fresh BENCH_frustum.json")
+    if not gate.get("pass"):
         failures.append("frustum gate failed: %sx < %sx at %s chains" %
-                        (fresh["gate"]["speedup"], fresh["gate"]["threshold"],
-                         fresh["gate"]["chains"]))
+                        (gate.get("speedup"), gate.get("threshold"),
+                         gate.get("chains")))
 
     fresh, base = load_pair(fresh_dir, base_dir, "BENCH_pipeline.json")
     compare_ratios("pipeline share", kernel_shares(fresh),
                    kernel_shares(base), failures, higher_is_better=False)
 
     fresh, base = load_pair(fresh_dir, base_dir, "BENCH_batch.json")
+    gate = require(fresh, "gate", "fresh BENCH_batch.json")
     # Thread-speedups are only meaningful up to the CPU count, and only
     # comparable up to the smaller of the two hosts'.
-    cpu_floor = min(fresh["gate"].get("num_cpus", 0),
-                    base["gate"].get("num_cpus", 0))
+    cpu_floor = min(gate.get("num_cpus", 0),
+                    require(base, "gate",
+                            "baseline BENCH_batch.json").get("num_cpus", 0))
     comparable = lambda m: {k: v for k, v in m.items()
                             if int(k) <= cpu_floor}
-    compare_ratios("batch speedup @", comparable(fresh["speedup_by_threads"]),
-                   comparable(base["speedup_by_threads"]), failures)
-    if not fresh["gate"]["pass"]:
+    compare_ratios("batch speedup @",
+                   comparable(require(fresh, "speedup_by_threads",
+                                      "fresh BENCH_batch.json")),
+                   comparable(require(base, "speedup_by_threads",
+                                      "baseline BENCH_batch.json")),
+                   failures)
+    if not gate.get("pass"):
         failures.append("batch gate failed: %sx < %sx at %s threads" %
-                        (fresh["gate"]["speedup"], fresh["gate"]["threshold"],
-                         fresh["gate"]["threads"]))
+                        (gate.get("speedup"), gate.get("threshold"),
+                         gate.get("threads")))
+
+    # Counters are exact: the slightest delta means the pipeline did
+    # different work than the baseline run, which is a semantic change
+    # (or a baseline in need of regeneration), never machine noise.
+    fresh, base = load_pair(fresh_dir, base_dir, "BENCH_metrics.json")
+    fc = require(fresh, "counters", "fresh BENCH_metrics.json")
+    bc = require(base, "counters", "baseline BENCH_metrics.json")
+    for key in sorted(set(fc) | set(bc)):
+        fv, bv = fc.get(key), bc.get(key)
+        if fv != bv:
+            failures.append("counter %s: baseline %s, current %s "
+                            "(exact match required)" % (key, bv, fv))
+        else:
+            print("[compare] counter %s: %s == %s -> ok" % (key, bv, fv))
 
     if failures:
         raise SystemExit("perf regressions vs %s:\n  " % base_dir +
@@ -384,6 +474,13 @@ def main():
         json.dump(passes, f, indent=2, sort_keys=True)
         f.write("\n")
     print("wrote %s" % passes_path)
+
+    metrics = metrics_report(args.build_dir, args.out_dir)
+    metrics_path = os.path.join(args.out_dir, "BENCH_metrics.json")
+    with open(metrics_path, "w") as f:
+        json.dump(metrics, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("wrote %s" % metrics_path)
 
     gate = json.load(open(os.path.join(args.out_dir, "BENCH_frustum.json")))
     g = gate["gate"]

@@ -36,6 +36,13 @@
 //                        (with --batch: the merged batch trace)
 //   --timings-json=FILE  write the PipelineTrace JSON
 //                        ("sdsp-pipeline-trace-v1") to FILE
+//   --trace=FILE         write a Chrome trace-event / Perfetto JSON
+//                        capture: one track per session, a span per
+//                        pass, instants for cache publish/abandon and
+//                        frustum repeats (docs/OBSERVABILITY.md)
+//   --metrics-json=FILE  write the "sdsp-metrics-v1" counter/gauge
+//                        report (engine, state table, cache, executor);
+//                        counters are byte-identical across -j
 //   --batch=DIR          compile every *.loop file under DIR (sorted,
 //                        non-recursive), one session per file, sharing
 //                        one cross-session artifact cache
@@ -65,15 +72,19 @@
 #include "core/Session.h"
 #include "livermore/Livermore.h"
 #include "petri/BehaviorGraph.h"
+#include "support/Metrics.h"
 #include "support/Random.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 using namespace sdsp;
@@ -88,6 +99,8 @@ struct Options {
   std::string InputPath;
   std::string KernelId;
   std::string TimingsJsonPath;
+  std::string TracePath;
+  std::string MetricsJsonPath;
   bool Timings = false;
   /// --scp appeared explicitly (so --scp=0 is a rejected machine, not
   /// "no machine model").
@@ -107,7 +120,9 @@ void printUsage(std::ostream &OS) {
         "dot-behavior|storage\n"
         "  --opt --capacity=N --unroll=U --scp=L --pipelines=K\n"
         "  --optimize-storage --budget=N --engine=fast|reference\n"
-        "  --timings --timings-json=FILE --verify --run=N --seed=S\n"
+        "  --timings --timings-json=FILE --trace=FILE "
+        "--metrics-json=FILE\n"
+        "  --verify --run=N --seed=S\n"
         "  --batch=DIR --batch-kernels -j N --batch-json=FILE\n"
         "  -k <id>   use a bundled kernel (l1 l2 loop1 loop3 loop5 "
         "loop7 loop9 loop9lcd loop12)\n"
@@ -188,6 +203,10 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.Timings = true;
     } else if (const char *V = Value("--timings-json=")) {
       Opts.TimingsJsonPath = V;
+    } else if (const char *V = Value("--trace=")) {
+      Opts.TracePath = V;
+    } else if (const char *V = Value("--metrics-json=")) {
+      Opts.MetricsJsonPath = V;
     } else if (const char *V = Value("--batch=")) {
       Opts.BatchDir = V;
     } else if (Arg == "--batch-kernels") {
@@ -532,11 +551,75 @@ int writeTraceJson(const PipelineTrace &Trace, const std::string &Path,
   return Code;
 }
 
+/// Writes the Chrome trace-event capture to \p Path.  Returns the
+/// adjusted exit code on failure to open.
+int writeChromeTrace(const TraceCollector &Collector,
+                     const std::string &Path, int Code) {
+  std::ofstream JsonFile(Path);
+  if (!JsonFile) {
+    std::cerr << "sdspc: cannot write '" << Path << "'\n";
+    return Code ? Code : 1;
+  }
+  Collector.writeJson(JsonFile);
+  return Code;
+}
+
+/// Writes the global metrics registry ("sdsp-metrics-v1") to \p Path.
+int writeMetricsJson(const std::string &Path, int Code) {
+  std::ofstream JsonFile(Path);
+  if (!JsonFile) {
+    std::cerr << "sdspc: cannot write '" << Path << "'\n";
+    return Code ? Code : 1;
+  }
+  MetricsRegistry::writeJson(MetricsRegistry::global().snapshot(),
+                             JsonFile);
+  return Code;
+}
+
+/// Flushes shared-cache counters into the global registry: the
+/// aggregate under cache.*, plus cache.shardNN.* for shards that saw
+/// any traffic.  Shard assignment is a pure function of the key hash,
+/// so every one of these is thread-count-invariant.
+void flushCacheMetrics(SharedArtifactCache &Cache) {
+  MetricsRegistry &MR = MetricsRegistry::global();
+  SharedArtifactCache::CounterSnapshot C = Cache.counters();
+  MR.add("cache.hits", C.Hits);
+  MR.add("cache.misses", C.Misses);
+  MR.add("cache.inserts", C.Inserts);
+  MR.add("cache.evictions", C.Evictions);
+  MR.add("cache.abandons", C.Abandons);
+  MR.add("cache.entries", C.Entries);
+  MR.add("cache.bytes", C.Bytes);
+  std::vector<SharedArtifactCache::CounterSnapshot> Shards =
+      Cache.shardCounters();
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    const SharedArtifactCache::CounterSnapshot &S = Shards[I];
+    if (S.Hits + S.Misses + S.Inserts + S.Evictions + S.Abandons == 0)
+      continue;
+    char Prefix[48];
+    std::snprintf(Prefix, sizeof(Prefix), "cache.shard%02zu.", I);
+    MR.add(std::string(Prefix) + "hits", S.Hits);
+    MR.add(std::string(Prefix) + "misses", S.Misses);
+    MR.add(std::string(Prefix) + "inserts", S.Inserts);
+    MR.add(std::string(Prefix) + "entries", S.Entries);
+    MR.add(std::string(Prefix) + "bytes", S.Bytes);
+  }
+}
+
 int runSingle(const Options &Opts) {
   std::optional<std::string> Source = readSource(Opts);
   if (!Source)
     return 1;
-  CompilationSession Session;
+  TraceCollector Collector;
+  SessionConfig Cfg;
+  if (!Opts.TracePath.empty()) {
+    std::string TrackName = !Opts.KernelId.empty()
+                                ? "kernel:" + Opts.KernelId
+                            : !Opts.InputPath.empty() ? Opts.InputPath
+                                                      : "stdin";
+    Cfg.Trace = &Collector.track(std::move(TrackName));
+  }
+  CompilationSession Session(Cfg);
   int Code =
       compileAndEmit(Session, Opts, *Source, std::cout, std::cerr);
   // Timings are reported on failure too: the table shows how far the
@@ -545,6 +628,10 @@ int runSingle(const Options &Opts) {
     Session.trace().printTable(std::cerr);
   if (!Opts.TimingsJsonPath.empty())
     Code = writeTraceJson(Session.trace(), Opts.TimingsJsonPath, Code);
+  if (!Opts.TracePath.empty())
+    Code = writeChromeTrace(Collector, Opts.TracePath, Code);
+  if (!Opts.MetricsJsonPath.empty())
+    Code = writeMetricsJson(Opts.MetricsJsonPath, Code);
   return Code;
 }
 
@@ -622,6 +709,25 @@ bool collectBatchJobs(const Options &Opts, std::vector<BatchJob> &Jobs) {
   if (Opts.BatchKernels)
     for (const LivermoreKernel &K : livermoreKernels())
       Jobs.push_back(BatchJob{"kernel:" + K.Id, K.Source});
+
+  // A job's identity in batch output is its basename, so two inputs
+  // reducing to the same stem would collide silently (last wins in any
+  // downstream keyed artifact).  Reject it up front, naming both.
+  std::map<std::string, const BatchJob *> Stems;
+  for (const BatchJob &J : Jobs) {
+    std::string Stem = J.Name.rfind("kernel:", 0) == 0
+                           ? J.Name.substr(7)
+                           : fs::path(J.Name).stem().string();
+    auto [It, Inserted] = Stems.emplace(std::move(Stem), &J);
+    if (!Inserted) {
+      Status St = Status::error(ErrorCode::InvalidInput, "batch",
+                                "duplicate loop basename '" + It->first +
+                                    "': '" + It->second->Name + "' and '" +
+                                    J.Name + "'");
+      std::cerr << "sdspc: " << St.str() << "\n";
+      return false;
+    }
+  }
   return true;
 }
 
@@ -635,13 +741,18 @@ int runBatch(const Options &Opts) {
   if (!collectBatchJobs(Opts, Jobs))
     return 1;
   if (Jobs.empty()) {
-    std::cerr << "sdspc: batch found no *.loop inputs under '"
-              << Opts.BatchDir << "'\n";
-    return 1;
+    Status St = Status::error(ErrorCode::InvalidInput, "batch",
+                              "directory '" + Opts.BatchDir +
+                                  "' contains no *.loop files");
+    std::cerr << "sdspc: " << St.str() << "\n";
+    return exitCodeFor(St);
   }
 
+  TraceCollector Collector;
   BatchOptions BO;
   BO.Threads = Opts.Jobs;
+  if (!Opts.TracePath.empty())
+    BO.Trace = &Collector;
   BatchCompiler Batch(BO);
   BatchOutcome Outcome = Batch.run(
       Jobs, [&Opts](CompilationSession &Session, const BatchJob &Job,
@@ -669,6 +780,12 @@ int runBatch(const Options &Opts) {
     Outcome.MergedTrace.printTable(std::cerr);
   if (!Opts.TimingsJsonPath.empty())
     Code = writeTraceJson(Outcome.MergedTrace, Opts.TimingsJsonPath, Code);
+  if (!Opts.TracePath.empty())
+    Code = writeChromeTrace(Collector, Opts.TracePath, Code);
+  if (!Opts.MetricsJsonPath.empty()) {
+    flushCacheMetrics(Batch.cache());
+    Code = writeMetricsJson(Opts.MetricsJsonPath, Code);
+  }
   if (!Opts.BatchJsonPath.empty()) {
     std::ofstream JsonFile(Opts.BatchJsonPath);
     if (!JsonFile) {

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validators for sdspc observability output (docs/OBSERVABILITY.md).
+
+Two subcommands, both exiting 0 on success and 1 with a readable
+message on the first violation:
+
+  tracecheck.py trace FILE
+      Schema-check a Chrome trace-event capture produced by
+      `sdspc --trace=FILE`: well-formed JSON, a traceEvents array,
+      metadata ("M") records naming the process and every track,
+      per-track monotone timestamps, balanced B/E span nesting, and
+      an explicit scope on every instant.  Anything Perfetto or
+      chrome://tracing would render wrong fails here first.
+
+  tracecheck.py metrics-diff A B
+      Compare the "counters" objects of two `sdspc --metrics-json`
+      reports and fail on any difference.  Gauges (wall time, queue
+      depth) are scheduling-dependent by design and are ignored; the
+      counters are the determinism surface CI pins across -j values.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"tracecheck: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"cannot read '{path}': {e.strerror}")
+    except json.JSONDecodeError as e:
+        fail(f"'{path}' is not valid JSON: {e}")
+
+
+def check_trace(path):
+    doc = load_json(path)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"'{path}': missing top-level 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"'{path}': 'traceEvents' must be a non-empty array")
+
+    named_tids = set()
+    process_named = False
+    # Per-tid state: last timestamp and the open-span stack.
+    last_ts = {}
+    open_spans = {}
+    counts = {"B": 0, "E": 0, "i": 0}
+
+    for i, ev in enumerate(events):
+        where = f"'{path}' event {i}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                process_named = True
+            elif ev.get("name") == "thread_name":
+                named_tids.add(ev.get("tid"))
+            continue
+        if ph not in ("B", "E", "i"):
+            fail(f"{where}: unexpected phase {ph!r}")
+        counts[ph] += 1
+        tid = ev.get("tid")
+        ts = ev.get("ts")
+        if not isinstance(tid, int) or not isinstance(ts, int):
+            fail(f"{where}: integer 'tid' and 'ts' are required")
+        if tid not in named_tids:
+            fail(f"{where}: tid {tid} has no thread_name metadata")
+        if ts < last_ts.get(tid, 0):
+            fail(f"{where}: ts {ts} < {last_ts[tid]} on tid {tid} "
+                 "(timestamps must be monotone per track)")
+        last_ts[tid] = ts
+        stack = open_spans.setdefault(tid, [])
+        if ph == "B":
+            stack.append(ev.get("name"))
+        elif ph == "E":
+            if not stack:
+                fail(f"{where}: 'E' with no open span on tid {tid}")
+            stack.pop()
+        elif ev.get("s") not in ("t", "p", "g"):
+            fail(f"{where}: instant needs an explicit scope 's'")
+
+    if not process_named:
+        fail(f"'{path}': no process_name metadata record")
+    for tid, stack in open_spans.items():
+        if stack:
+            fail(f"'{path}': tid {tid} ends with unclosed span(s) "
+                 f"{stack} (B/E must balance)")
+    if counts["B"] != counts["E"]:
+        fail(f"'{path}': {counts['B']} 'B' events vs {counts['E']} 'E'")
+    print(f"tracecheck: '{path}' ok — {len(named_tids)} track(s), "
+          f"{counts['B']} span(s), {counts['i']} instant(s)")
+
+
+def load_counters(path):
+    doc = load_json(path)
+    if doc.get("schema") != "sdsp-metrics-v1":
+        fail(f"'{path}': expected schema 'sdsp-metrics-v1', "
+             f"got {doc.get('schema')!r}")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"'{path}': missing 'counters' object")
+    return counters
+
+
+def check_metrics_diff(path_a, path_b):
+    a, b = load_counters(path_a), load_counters(path_b)
+    diffs = []
+    for name in sorted(set(a) | set(b)):
+        va, vb = a.get(name), b.get(name)
+        if va != vb:
+            diffs.append(f"  {name}: {va} vs {vb}")
+    if diffs:
+        fail(f"counters differ between '{path_a}' and '{path_b}':\n"
+             + "\n".join(diffs))
+    print(f"tracecheck: {len(a)} counter(s) identical")
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "trace" and len(argv) == 3:
+        check_trace(argv[2])
+    elif len(argv) == 4 and argv[1] == "metrics-diff":
+        check_metrics_diff(argv[2], argv[3])
+    else:
+        fail("usage: tracecheck.py trace FILE | "
+             "tracecheck.py metrics-diff A B")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
