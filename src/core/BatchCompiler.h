@@ -28,6 +28,15 @@
 /// and the shared cache is never poisoned (failed pass results are
 /// abandoned, not published).
 ///
+/// Degradation policy (docs/ROBUSTNESS.md): failures classified
+/// TransientFault retry inside their own task with capped, seeded
+/// exponential backoff — attempt counts are part of the result and the
+/// batch JSON — while permanent failures stay isolated to their job.
+/// With KeepGoing off (`sdspc --fail-fast`), the first failed job
+/// cancels the rest of the batch through a CancelToken; jobs cancelled
+/// mid-queue report Cancelled, not a pool error.  Per-job deadlines
+/// and a batch-wide token thread through the same channel.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SDSP_CORE_BATCHCOMPILER_H
@@ -35,6 +44,7 @@
 
 #include "core/Session.h"
 #include "core/SharedArtifactCache.h"
+#include "support/CancelToken.h"
 
 #include <functional>
 #include <iosfwd>
@@ -43,6 +53,7 @@
 
 namespace sdsp {
 
+class FaultSchedule;
 class TraceCollector;
 
 /// One unit of batch work: a named loop-language source.
@@ -58,13 +69,21 @@ struct BatchJob {
 struct BatchResult {
   std::string Name;
   /// The renderer's exit code (the sdspc contract: 0 ok, 1 input,
-  /// 2 resource/budget, 3 internal).
+  /// 2 resource/budget/cancel, 3 internal).
   int ExitCode = 0;
+  /// Error classification of the final attempt (Ok on success); for
+  /// jobs that never ran, the executor-level code (Cancelled,
+  /// DeadlineExceeded, ...).
+  ErrorCode Error = ErrorCode::Ok;
+  /// Times the job was dispatched: 1 for the common case, 1 + retries
+  /// when transient failures were retried, 0 if the job was cancelled
+  /// before it ever started.
+  uint32_t Attempts = 0;
   /// Executor-level failure (task cancelled or threw); ok for every
   /// job that actually ran, even if compilation failed.
   Status TaskStatus;
-  /// Rendered stdout/stderr text, exactly what a lone sdspc run would
-  /// have written.
+  /// Rendered stdout/stderr text of the final attempt, exactly what a
+  /// lone sdspc run would have written.
   std::string Out;
   std::string Err;
 };
@@ -81,6 +100,11 @@ struct BatchOutcome {
   int ExitCode = 0;
   /// Shared-cache counters at completion.
   SharedArtifactCache::CounterSnapshot Cache;
+  /// Total retry dispatches across all jobs (sum of Attempts - 1 over
+  /// jobs that ran).
+  uint64_t Retries = 0;
+  /// Jobs whose final classification was Cancelled/DeadlineExceeded.
+  uint64_t CancelledJobs = 0;
 };
 
 struct BatchOptions {
@@ -100,16 +124,54 @@ struct BatchOptions {
   /// lives only in the trace file, never in --batch-json, which is what
   /// keeps the latter byte-identical across thread counts.
   TraceCollector *Trace = nullptr;
+  /// Retries granted per job for TransientFault failures (attempts =
+  /// 1 + MaxRetries at most).  The retry loop runs inside the job's
+  /// task, so submission order — and with it every determinism
+  /// surface — is unaffected.
+  unsigned MaxRetries = 2;
+  /// Backoff before retry K (0-based) is
+  ///   min(Cap, Base << K) + jitter(RetrySeed, job, K)
+  /// milliseconds, jitter in [0, Base]; purely wall-clock, never
+  /// observable in outputs.
+  uint64_t RetryBackoffBaseMillis = 1;
+  uint64_t RetryBackoffCapMillis = 64;
+  uint64_t RetrySeed = 0x5d5f1991;
+  /// Keep compiling after a job fails (the historical behavior).  Off =
+  /// fail-fast: the first failure cancels every job that has not
+  /// started; those report Cancelled.  Which jobs were already running
+  /// when the failure happened depends on scheduling, so fail-fast
+  /// outcomes are only deterministic at one worker thread.
+  bool KeepGoing = true;
+  /// Wall-clock deadline per job attempt, 0 = none.  Checked at pass
+  /// boundaries and every frustum instant; an expired job reports
+  /// DeadlineExceeded.
+  uint64_t JobDeadlineMillis = 0;
+  /// When set, each job gets a FaultContext over this schedule
+  /// (support/FaultInjection.h), scoped by job name and persistent
+  /// across that job's retry attempts.  The caller keeps ownership.
+  const FaultSchedule *Faults = nullptr;
+  /// External batch-wide cancellation (e.g. `sdspc` on SIGINT some
+  /// day); each job's token chains under it.
+  CancelToken Cancel = {};
+};
+
+/// What a Renderer reports back: the process-style exit code plus the
+/// error classification the retry policy folds on (TransientFault
+/// retries; everything else is final).
+struct RenderResult {
+  int ExitCode = 0;
+  ErrorCode Error = ErrorCode::Ok;
 };
 
 class BatchCompiler {
 public:
   /// Renders one job through \p Session into \p Out / \p Err and
-  /// returns its exit code.  sdspc passes its whole compile-and-emit
-  /// path; tests and benches pass a compile-only summary.
-  using Renderer = std::function<int(CompilationSession &Session,
-                                     const BatchJob &Job, std::ostream &Out,
-                                     std::ostream &Err)>;
+  /// returns its exit code and error class.  sdspc passes its whole
+  /// compile-and-emit path; tests and benches pass a compile-only
+  /// summary.
+  using Renderer = std::function<RenderResult(
+      CompilationSession &Session, const BatchJob &Job, std::ostream &Out,
+      std::ostream &Err)>;
 
   explicit BatchCompiler(BatchOptions Opts = {});
 

@@ -16,6 +16,20 @@ Status Executor::cancelledStatus() {
                        "task cancelled before it ran");
 }
 
+Status Executor::tokenCancelledStatus(const CancelToken &Cancel) {
+  ErrorCode Code = Cancel.reason();
+  if (Code == ErrorCode::DeadlineExceeded)
+    return Status::error(Code, "executor",
+                         "task deadline expired before it ran");
+  return Status::error(ErrorCode::Cancelled, "executor",
+                       "task cancelled by its cancel token before it ran");
+}
+
+Status Executor::discardStatus(const Item &It) {
+  return It.Cancel.cancelled() ? tokenCancelledStatus(It.Cancel)
+                               : cancelledStatus();
+}
+
 namespace {
 
 /// Runs \p Fn, converting an escaped exception into a reported Status
@@ -54,14 +68,21 @@ void Executor::workerLoop() {
       Queue.pop_front();
       ++Active;
     }
-    Status R = runGuarded(It.Fn);
+    // The mid-queue cancellation point: a task whose token was
+    // cancelled while it waited resolves with the token's reason and
+    // never runs.
+    bool Ran = !It.Cancel.cancelled();
+    Status R = Ran ? runGuarded(It.Fn) : tokenCancelledStatus(It.Cancel);
     {
       // Count the completion before resolving the future: a caller that
       // has seen every future ready must also see every completion, or
       // counters() could under-report by the tasks still between
       // set_value and this block.
       std::lock_guard<std::mutex> Lock(M);
-      ++Ctrs.Completed;
+      if (Ran)
+        ++Ctrs.Completed;
+      else
+        ++Ctrs.Cancelled;
       --Active;
       if (Active == 0 && Queue.empty())
         IdleCV.notify_all();
@@ -70,9 +91,11 @@ void Executor::workerLoop() {
   }
 }
 
-std::future<Status> Executor::submit(std::function<Status()> Task) {
+std::future<Status> Executor::submit(std::function<Status()> Task,
+                                     CancelToken Cancel) {
   Item It;
   It.Fn = std::move(Task);
+  It.Cancel = std::move(Cancel);
   std::future<Status> Fut = It.Done.get_future();
   {
     std::lock_guard<std::mutex> Lock(M);
@@ -106,8 +129,10 @@ void Executor::shutdown(bool CancelPending) {
     Stopping = true;
   }
   // Resolve outside the lock: futures may have continuations waiting.
+  // Token-cancelled items keep their token's reason; the rest get the
+  // lifecycle ResourceConflict.
   for (Item &It : Cancelled)
-    It.Done.set_value(cancelledStatus());
+    It.Done.set_value(discardStatus(It));
   WorkCV.notify_all();
   for (std::thread &T : Workers)
     if (T.joinable())

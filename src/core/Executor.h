@@ -22,6 +22,14 @@
 ///     Tasks already running are completed, never interrupted.
 ///   - submit() after shutdown() does not enqueue: it returns an
 ///     already-resolved cancelled future.
+///   - A task submitted with a CancelToken whose token is cancelled
+///     while the task waits in the queue is *not* run: its future
+///     resolves with the token's own reason — Cancelled or
+///     DeadlineExceeded, stage "executor" — distinguishing a
+///     deliberate mid-queue cancellation from the pool-lifecycle
+///     ResourceConflict above.  The same distinction holds for tasks
+///     discarded by shutdown(CancelPending): token-cancelled ones
+///     carry the token's reason.
 ///
 /// A task that throws is captured as an InternalInvariant Status rather
 /// than terminating the worker (the compilation passes report errors
@@ -33,6 +41,7 @@
 #ifndef SDSP_CORE_EXECUTOR_H
 #define SDSP_CORE_EXECUTOR_H
 
+#include "support/CancelToken.h"
 #include "support/Status.h"
 
 #include <condition_variable>
@@ -62,8 +71,12 @@ public:
 
   /// Enqueues \p Task and returns a future for its Status.  After
   /// shutdown() the task is not run; the returned future is already
-  /// resolved to the cancellation Status.
-  std::future<Status> submit(std::function<Status()> Task);
+  /// resolved to the cancellation Status.  \p Cancel, when valid, is
+  /// polled once just before the task would start: if it is cancelled
+  /// by then, the task never runs and the future carries the token's
+  /// reason (see the lifecycle contract above).
+  std::future<Status> submit(std::function<Status()> Task,
+                             CancelToken Cancel = CancelToken());
 
   /// Blocks until every task submitted so far has finished (the queue
   /// is empty and no worker is mid-task).  More tasks may be submitted
@@ -76,8 +89,14 @@ public:
   /// drained first.  Idempotent.
   void shutdown(bool CancelPending = false);
 
-  /// The Status carried by futures of cancelled tasks.
+  /// The Status carried by futures of tasks cancelled by the pool's
+  /// lifecycle (shutdown, late submit): ResourceConflict.
   static Status cancelledStatus();
+
+  /// The Status carried by futures of tasks cancelled mid-queue by
+  /// their own CancelToken: the token's reason (Cancelled or
+  /// DeadlineExceeded).
+  static Status tokenCancelledStatus(const CancelToken &Cancel);
 
   /// Cumulative scheduling statistics (docs/OBSERVABILITY.md).  The
   /// task counts are deterministic for a fixed submission sequence;
@@ -95,7 +114,12 @@ private:
   struct Item {
     std::function<Status()> Fn;
     std::promise<Status> Done;
+    CancelToken Cancel;
   };
+
+  /// The status a discarded \p It resolves with: its token's reason if
+  /// the token is cancelled, else the lifecycle ResourceConflict.
+  static Status discardStatus(const Item &It);
 
   void workerLoop();
 

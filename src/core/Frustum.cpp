@@ -28,6 +28,7 @@
 #include "core/Frustum.h"
 
 #include "petri/ReferenceEngine.h"
+#include "support/FaultInjection.h"
 #include "support/Metrics.h"
 
 #include <cassert>
@@ -91,14 +92,13 @@ Status deadNetError(TimeStep Now, uint64_t TotalFirings) {
           "anything)");
 }
 
-Status budgetError(const PetriNet &Net, TimeStep MaxSteps, TimeStep Now,
-                   uint64_t TotalFirings,
-                   const std::vector<StepRecord> &Trace) {
-  // Budget exhausted: describe where the search got stuck so the
-  // caller's diagnostic carries partial-trace context.
-  std::string Msg = "no repeated instantaneous state within " +
-                    std::to_string(MaxSteps) + " steps (simulated to t=" +
-                    std::to_string(Now) + ", " +
+/// "(simulated to t=..., N firings over M transitions; last step fired:
+/// ...)" — the partial-trace context shared by every way a search can
+/// end early (budget, cancellation, deadline).
+std::string partialTraceContext(const PetriNet &Net, TimeStep Now,
+                                uint64_t TotalFirings,
+                                const std::vector<StepRecord> &Trace) {
+  std::string Msg = "(simulated to t=" + std::to_string(Now) + ", " +
                     std::to_string(TotalFirings) + " firings over " +
                     std::to_string(Net.numTransitions()) +
                     " transitions; last step fired:";
@@ -111,7 +111,47 @@ Status budgetError(const PetriNet &Net, TimeStep MaxSteps, TimeStep Now,
     }
   }
   Msg += ")";
-  return Status::error(ErrorCode::BudgetExceeded, "frustum", Msg);
+  return Msg;
+}
+
+Status budgetError(const PetriNet &Net, TimeStep MaxSteps, TimeStep Now,
+                   uint64_t TotalFirings,
+                   const std::vector<StepRecord> &Trace) {
+  // Budget exhausted: describe where the search got stuck so the
+  // caller's diagnostic carries partial-trace context.
+  return Status::error(ErrorCode::BudgetExceeded, "frustum",
+                       "no repeated instantaneous state within " +
+                           std::to_string(MaxSteps) + " steps " +
+                           partialTraceContext(Net, Now, TotalFirings,
+                                               Trace));
+}
+
+Status cancelError(const CancelToken &Cancel, const PetriNet &Net,
+                   TimeStep Now, uint64_t TotalFirings,
+                   const std::vector<StepRecord> &Trace) {
+  ErrorCode Code = Cancel.reason();
+  if (Code == ErrorCode::Ok)
+    Code = ErrorCode::Cancelled;
+  std::string What = Code == ErrorCode::DeadlineExceeded
+                         ? "deadline exceeded during frustum search "
+                         : "frustum search cancelled ";
+  return Status::error(Code, "frustum",
+                       What + partialTraceContext(Net, Now, TotalFirings,
+                                                  Trace));
+}
+
+/// One cancellation/fault poll per sampled instant, after the budget
+/// check (the ordering contract in core/Frustum.h).  Returns ok when
+/// the search may sample the instant.
+Status pollInstant(const CancelToken &Cancel, FaultContext *Faults,
+                   const PetriNet &Net, TimeStep Now,
+                   uint64_t TotalFirings,
+                   const std::vector<StepRecord> &Trace) {
+  if (Cancel.cancelled())
+    return cancelError(Cancel, Net, Now, TotalFirings, Trace);
+  if (Faults)
+    return Faults->checkpoint("frustum:step");
+  return Status::ok();
 }
 
 /// Flushes the fast path's engine/table counters into the global
@@ -140,7 +180,9 @@ struct EngineMetricsFlusher {
 
 Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
                                                  FiringPolicy *Policy,
-                                                 FrustumBudget Budget) {
+                                                 FrustumBudget Budget,
+                                                 const CancelToken &Cancel,
+                                                 FaultContext *Faults) {
   if (Status S = validateTimedNet(Net); !S)
     return S;
   TimeStep MaxSteps = Budget.resolve(Net.numTransitions());
@@ -159,6 +201,10 @@ Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
   while (true) {
     if (Sampled > MaxSteps)
       return budgetError(Net, MaxSteps, Engine.now(), TotalFirings, Trace);
+    if (Status S = pollInstant(Cancel, Faults, Net, Engine.now(),
+                               TotalFirings, Trace);
+        !S)
+      return S;
     Engine.prepare();
     Engine.packState(PS);
     std::optional<uint64_t> Prev = Seen.insertOrFind(PS, Engine.now());
@@ -190,6 +236,12 @@ Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
         return budgetError(Net, MaxSteps, Engine.now(), TotalFirings,
                            Trace);
       }
+      if (Status S = pollInstant(Cancel, Faults, Net, V, TotalFirings,
+                                 Trace);
+          !S) {
+        Engine.leapTo(V);
+        return S;
+      }
       PS.decrementResiduals(MarkWords);
       std::optional<uint64_t> PrevV = Seen.insertOrFind(PS, V);
       ++Sampled;
@@ -212,7 +264,9 @@ Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
 
 Expected<FrustumInfo> sdsp::detectFrustumReference(const PetriNet &Net,
                                                    FiringPolicy *Policy,
-                                                   FrustumBudget Budget) {
+                                                   FrustumBudget Budget,
+                                                   const CancelToken &Cancel,
+                                                   FaultContext *Faults) {
   if (Status S = validateTimedNet(Net); !S)
     return S;
   TimeStep MaxSteps = Budget.resolve(Net.numTransitions());
@@ -236,6 +290,10 @@ Expected<FrustumInfo> sdsp::detectFrustumReference(const PetriNet &Net,
   } Flusher{TotalFirings, Seen};
 
   for (TimeStep Step = 0; Step <= MaxSteps; ++Step) {
+    if (Status S = pollInstant(Cancel, Faults, Net, Engine.now(),
+                               TotalFirings, Trace);
+        !S)
+      return S;
     Engine.prepare();
     InstantaneousState S = Engine.state();
     auto [It, Inserted] = Seen.emplace(std::move(S), Engine.now());

@@ -26,6 +26,7 @@
 #define SDSP_CORE_FRUSTUM_H
 
 #include "petri/EarliestFiring.h"
+#include "support/CancelToken.h"
 #include "support/Rational.h"
 #include "support/Status.h"
 
@@ -33,6 +34,8 @@
 #include <vector>
 
 namespace sdsp {
+
+class FaultContext;
 
 /// An explicit step budget for the frustum search.  The default (0
 /// steps) resolves to the theory bound: Theorems 4.1.1-4.2.2 guarantee
@@ -102,14 +105,24 @@ struct FrustumInfo {
 /// Runs \p Net under the earliest firing rule (with optional conflict
 /// policy) until an instantaneous state repeats or the budget runs out.
 /// Requires every execution time >= 1 (validateTimedNet).  Errors:
-///   - InvalidNet       the net is malformed or dies (quiescence);
-///   - BudgetExceeded   no repeated state within the budget, with the
-///                      partial-trace context (steps simulated, firings
-///                      observed, last transitions fired) in the
-///                      message.
+///   - InvalidNet        the net is malformed or dies (quiescence);
+///   - BudgetExceeded    no repeated state within the budget, with the
+///                       partial-trace context (steps simulated,
+///                       firings observed, last transitions fired) in
+///                       the message;
+///   - Cancelled /       \p Cancel reported cancellation; same
+///     DeadlineExceeded  partial-trace context as BudgetExceeded.
+///
+/// \p Cancel is polled once per sampled instant, on the same cadence
+/// as the step budget; within one instant the budget is checked first,
+/// so at budget==deadline-instant the budget's own status wins.
+/// \p Faults, when non-null, arms the "frustum:step" fault site at
+/// every sampled instant (support/FaultInjection.h).
 Expected<FrustumInfo> detectFrustumChecked(const PetriNet &Net,
                                            FiringPolicy *Policy = nullptr,
-                                           FrustumBudget Budget = {});
+                                           FrustumBudget Budget = {},
+                                           const CancelToken &Cancel = {},
+                                           FaultContext *Faults = nullptr);
 
 /// Legacy convenience: detectFrustumChecked with any failure collapsed
 /// to std::nullopt.
@@ -122,10 +135,14 @@ std::optional<FrustumInfo> detectFrustum(const PetriNet &Net,
 /// unordered_map, driven by petri/ReferenceEngine.h.  Same contract and
 /// diagnostics as detectFrustumChecked; the golden-equivalence suite
 /// asserts both return byte-identical results, and bench/ScalingFrustum
-/// times the two side by side for BENCH_frustum.json.
+/// times the two side by side for BENCH_frustum.json.  Cancellation and
+/// fault sites follow the same per-instant cadence and ordering as
+/// detectFrustumChecked so both paths fail identically too.
 Expected<FrustumInfo> detectFrustumReference(const PetriNet &Net,
                                              FiringPolicy *Policy = nullptr,
-                                             FrustumBudget Budget = {});
+                                             FrustumBudget Budget = {},
+                                             const CancelToken &Cancel = {},
+                                             FaultContext *Faults = nullptr);
 
 } // namespace sdsp
 

@@ -171,6 +171,9 @@ int sdsp::exitCodeFor(const Status &S) {
     return 1;
   case ErrorCode::BudgetExceeded:
   case ErrorCode::ResourceConflict:
+  case ErrorCode::Cancelled:
+  case ErrorCode::DeadlineExceeded:
+  case ErrorCode::TransientFault:
     return 2;
   case ErrorCode::InternalInvariant:
     return 3;

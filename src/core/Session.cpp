@@ -14,7 +14,9 @@
 #include "dataflow/Unroll.h"
 #include "dataflow/Validate.h"
 #include "loopir/Lowering.h"
+#include "support/FaultInjection.h"
 #include "support/Hashing.h"
+#include "support/Metrics.h"
 #include "support/TextTable.h"
 #include "support/Trace.h"
 
@@ -83,6 +85,40 @@ std::string formatSeconds(double S) {
   char Buf[64];
   std::snprintf(Buf, sizeof(Buf), "%.9f", S);
   return Buf;
+}
+
+/// The fault-site name of pass \p K ("pass:frustum", ...), built once
+/// so the per-pass checkpoint costs no allocation.
+const std::string &passSite(PassKind K) {
+  static const std::array<std::string, NumPassKinds> Sites = [] {
+    std::array<std::string, NumPassKinds> A;
+    for (size_t I = 0; I < NumPassKinds; ++I)
+      A[I] = std::string("pass:") + PassTable[I].Id;
+    return A;
+  }();
+  return Sites[static_cast<size_t>(K)];
+}
+
+/// Closes out a failed pass run: counts the failure, and when the
+/// status is a cancellation (Cancelled / DeadlineExceeded) records the
+/// observation — a "cancelled" trace instant plus the cancel.observed
+/// gauge (a gauge, not a counter: where a deadline lands is
+/// wall-clock-dependent and must stay off the determinism surface).
+Status notePassFailure(TraceTrack *Trace, PassStats &PS, Status St) {
+  ++PS.Failures;
+  bool WasCancelled = St.code() == ErrorCode::Cancelled ||
+                      St.code() == ErrorCode::DeadlineExceeded;
+  if (WasCancelled)
+    MetricsRegistry::global().gaugeAdd("cancel.observed", 1);
+  if (Trace) {
+    if (WasCancelled) {
+      Trace->instant("cancelled", "cancel");
+      Trace->argStr("status", errorCodeName(St.code()));
+    }
+    Trace->endSpan();
+    Trace->argStr("resolved", WasCancelled ? "cancelled" : "failed");
+  }
+  return St;
 }
 
 } // namespace
@@ -210,7 +246,8 @@ size_t CompilationSession::CacheKeyHash::operator()(const CacheKey &K) const {
 }
 
 CompilationSession::CompilationSession(SessionConfig Config)
-    : Shared(Config.SharedCache), Trace(Config.Trace) {
+    : Shared(Config.SharedCache), Trace(Config.Trace),
+      Cancel(std::move(Config.Cancel)), Faults(Config.Faults) {
   if (Config.EnableCache) {
     CacheOn = *Config.EnableCache;
   } else {
@@ -262,12 +299,28 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
                                                      Fn &&Compute) {
   PassStats &PS = Stats[static_cast<size_t>(K)];
   ++PS.Invocations;
+  const char *Id = PassTable[static_cast<size_t>(K)].Id;
   // One span per pass run on the session's track; the span argument on
   // the closing record says how the run resolved (hit / computed /
-  // failed), and publish/abandon show up as instants inside the span.
+  // failed / cancelled), and publish/abandon show up as instants inside
+  // the span.
   if (Trace)
-    Trace->beginSpan(PassTable[static_cast<size_t>(K)].Id, "pass");
+    Trace->beginSpan(Id, "pass");
+  // The pass-boundary checkpoint: cancellation first, then the named
+  // fault site — both before any cache ownership is taken, so an
+  // injected failure here never strands waiters.
+  if (Cancel.cancelled())
+    return notePassFailure(
+        Trace, PS,
+        Cancel.status("session",
+                      std::string("before pass '") + Id + "'"));
+  if (Faults)
+    if (Status St = Faults->checkpoint(passSite(K)); !St)
+      return notePassFailure(Trace, PS, std::move(St));
   if (CacheOn && Shared) {
+    if (Faults)
+      if (Status St = Faults->checkpoint("cache:lookup"); !St)
+        return notePassFailure(Trace, PS, std::move(St));
     // Cross-session scope: lookupOrLock either answers from the shared
     // table or makes this session the key's owner (compute-once across
     // all threads; see core/SharedArtifactCache.h).
@@ -286,16 +339,22 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
     SharedKeyGuard Guard(*Shared, SK);
     Clock::time_point T0 = Clock::now();
     Expected<T> R = Compute();
-    if (!R) {
+    // The owner-death fault site: firing "cache:publish" after a
+    // successful compute makes this session die holding the key, so
+    // the Guard's abandon hands ownership to a waiter (the
+    // SharedArtifactCache handoff protocol under test).
+    Status PublishSt = Status::ok();
+    if (R && Faults)
+      PublishSt = Faults->checkpoint("cache:publish");
+    if (!R || !PublishSt) {
       PS.WallSeconds += secondsSince(T0);
-      ++PS.Failures;
       if (Trace) {
         Trace->instant("cache-abandon", "cache");
-        Trace->argStr("pass", PassTable[static_cast<size_t>(K)].Id);
-        Trace->endSpan();
-        Trace->argStr("resolved", "failed");
+        Trace->argStr("pass", Id);
       }
-      return R.status(); // Guard abandons: failures are never cached.
+      // Guard abandons: failures are never cached.
+      return notePassFailure(Trace, PS,
+                             !R ? R.status() : std::move(PublishSt));
     }
     auto Ptr = std::make_shared<const T>(std::move(*R));
     uint64_t Hash = artifactHash(*Ptr);
@@ -306,7 +365,7 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
     Guard.markPublished();
     if (Trace) {
       Trace->instant("cache-publish", "cache");
-      Trace->argStr("pass", PassTable[static_cast<size_t>(K)].Id);
+      Trace->argStr("pass", Id);
       Trace->argU64("bytes", Bytes);
       Trace->endSpan();
       Trace->argStr("resolved", "computed");
@@ -331,12 +390,7 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
   Expected<T> R = Compute();
   if (!R) {
     PS.WallSeconds += secondsSince(T0);
-    ++PS.Failures;
-    if (Trace) {
-      Trace->endSpan();
-      Trace->argStr("resolved", "failed");
-    }
-    return R.status();
+    return notePassFailure(Trace, PS, R.status());
   }
   auto Ptr = std::make_shared<const T>(std::move(*R));
   uint64_t Hash = artifactHash(*Ptr);
@@ -491,8 +545,10 @@ CompilationSession::frustumPass(const PetriNet &Net, uint64_t MachineHash,
           Policy = Scp->makeFifoPolicy();
         Expected<FrustumInfo> F =
             FO.Engine == FrustumEngine::Reference
-                ? detectFrustumReference(Net, Policy.get(), Budget)
-                : detectFrustumChecked(Net, Policy.get(), Budget);
+                ? detectFrustumReference(Net, Policy.get(), Budget, Cancel,
+                                         Faults)
+                : detectFrustumChecked(Net, Policy.get(), Budget, Cancel,
+                                       Faults);
         if (!F)
           return F.status();
         if (Trace) {
@@ -561,16 +617,23 @@ Expected<CompiledLoop> CompilationSession::finish(CompiledLoop CL,
   if (Trace)
     Trace->beginSpan(PassTable[static_cast<size_t>(PassKind::Verify)].Id,
                      "pass");
+  // Same boundary checkpoint as runPass: verify is never cached but is
+  // still a cancellation point and a fault site.
+  if (Cancel.cancelled())
+    return notePassFailure(Trace, PS,
+                           Cancel.status("session", "before pass 'verify'"));
+  if (Faults)
+    if (Status FaultSt = Faults->checkpoint(passSite(PassKind::Verify));
+        !FaultSt)
+      return notePassFailure(Trace, PS, std::move(FaultSt));
   Clock::time_point T0 = Clock::now();
   Status St = verifyCompiledLoop(CL, Opts);
   PS.WallSeconds += secondsSince(T0);
+  if (!St)
+    return notePassFailure(Trace, PS, std::move(St));
   if (Trace) {
     Trace->endSpan();
-    Trace->argStr("resolved", St ? "computed" : "failed");
-  }
-  if (!St) {
-    ++PS.Failures;
-    return St;
+    Trace->argStr("resolved", "computed");
   }
   CL.Verified = true;
   return CL;

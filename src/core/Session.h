@@ -44,6 +44,7 @@
 #include "codegen/LoopProgram.h"
 #include "core/ArtifactHash.h"
 #include "core/Pipeline.h"
+#include "support/CancelToken.h"
 
 #include <array>
 #include <iosfwd>
@@ -148,6 +149,7 @@ struct PipelineTrace {
   void writeJson(std::ostream &OS) const;
 };
 
+class FaultContext;
 class SharedArtifactCache;
 class TraceTrack;
 
@@ -168,6 +170,16 @@ struct SessionConfig {
   /// Sessions are single-threaded, so the track needs no locking; the
   /// caller keeps ownership and the track must outlive the session.
   TraceTrack *Trace = nullptr;
+  /// Polled at every pass boundary, in finish(), and — through the
+  /// frustum pass — at every sampled instant of the search.  A
+  /// cancelled token fails the next checkpoint with Cancelled or
+  /// DeadlineExceeded; nothing already computed is discarded.
+  CancelToken Cancel = {};
+  /// When set, arms the session's named fault sites ("pass:<id>",
+  /// "cache:lookup", "cache:publish", "frustum:step"; see
+  /// support/FaultInjection.h).  The caller keeps ownership; like the
+  /// session, the context is single-threaded and must outlive it.
+  FaultContext *Faults = nullptr;
 };
 
 /// Output of the transform pass: the rewritten graph plus what the
@@ -347,6 +359,8 @@ private:
   bool CacheOn = true;
   SharedArtifactCache *Shared = nullptr;
   TraceTrack *Trace = nullptr;
+  CancelToken Cancel;
+  FaultContext *Faults = nullptr;
 };
 
 } // namespace sdsp

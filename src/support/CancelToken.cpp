@@ -1,0 +1,60 @@
+//===- support/CancelToken.cpp - Cooperative cancellation -----------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CancelToken.h"
+
+using namespace sdsp;
+
+ErrorCode CancelToken::reason() const {
+  for (State *St = S.get(); St; St = St->Parent.get()) {
+    int R = St->Reason.load(std::memory_order_relaxed);
+    if (R == 0 && St->HasDeadline &&
+        std::chrono::steady_clock::now() >= St->Deadline) {
+      // Latch the expiry so later polls (and racing cancel() calls)
+      // agree on the reason.  Losing the CAS means someone else
+      // latched first; their value stands.
+      int Expected = 0;
+      St->Reason.compare_exchange_strong(Expected, 2,
+                                         std::memory_order_relaxed);
+      R = St->Reason.load(std::memory_order_relaxed);
+    }
+    if (R == 1)
+      return ErrorCode::Cancelled;
+    if (R == 2)
+      return ErrorCode::DeadlineExceeded;
+  }
+  return ErrorCode::Ok;
+}
+
+Status CancelToken::status(std::string_view Stage,
+                           std::string_view What) const {
+  ErrorCode Code = reason();
+  if (Code == ErrorCode::Ok)
+    Code = ErrorCode::Cancelled;
+  std::string Msg(Code == ErrorCode::DeadlineExceeded ? "deadline exceeded "
+                                                      : "cancelled ");
+  Msg += What;
+  return Status::error(Code, std::string(Stage), std::move(Msg));
+}
+
+CancelSource::CancelSource(CancelToken Parent)
+    : S(std::make_shared<CancelToken::State>()) {
+  S->Parent = std::move(Parent.S);
+}
+
+CancelSource CancelSource::withDeadline(std::chrono::milliseconds FromNow,
+                                        CancelToken Parent) {
+  CancelSource Src(std::move(Parent));
+  Src.S->HasDeadline = true;
+  Src.S->Deadline = std::chrono::steady_clock::now() + FromNow;
+  return Src;
+}
+
+void CancelSource::cancel() {
+  int Expected = 0;
+  S->Reason.compare_exchange_strong(Expected, 1, std::memory_order_relaxed);
+}

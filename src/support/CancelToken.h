@@ -1,0 +1,121 @@
+//===- support/CancelToken.h - Cooperative cancellation ---------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation and wall-clock deadlines for long-running
+/// pipeline work.  Nothing here preempts anything: a CancelToken is a
+/// cheap, copyable handle that code *polls* at natural checkpoints —
+/// pass boundaries in the compilation session, every sampled instant in
+/// the frustum search (the same cadence as the step budget), and task
+/// dispatch in the executor.  The owner keeps a CancelSource and flips
+/// it; every token copied from it (and from child sources chained to
+/// it) observes the flip.
+///
+/// Two distinct outcomes are reported so callers can tell policy from
+/// time:
+///
+///   - ErrorCode::Cancelled        — someone called CancelSource::cancel()
+///   - ErrorCode::DeadlineExceeded — a deadline attached with
+///                                   CancelSource::withDeadline() expired
+///
+/// A default-constructed CancelToken never cancels and costs one branch
+/// per poll, so APIs take it by value with a `{}` default.
+///
+/// Thread safety: tokens and sources may be copied and polled from any
+/// thread concurrently with cancel(); the state word is a single
+/// relaxed atomic (there is no data to publish, only a flag).
+///
+/// See docs/ROBUSTNESS.md for the full list of cancellation points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_CANCELTOKEN_H
+#define SDSP_SUPPORT_CANCELTOKEN_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string_view>
+
+namespace sdsp {
+
+class CancelSource;
+
+/// Read side of a cancellation channel.  Copyable, cheap to poll, and
+/// inert when default-constructed.
+class CancelToken {
+public:
+  /// A token that never cancels.
+  CancelToken() = default;
+
+  /// True when this token is connected to a source (a default token is
+  /// not, and can never cancel).
+  bool valid() const { return S != nullptr; }
+
+  /// True once the source was cancelled, its deadline expired, or any
+  /// parent in the chain says so.
+  bool cancelled() const { return reason() != ErrorCode::Ok; }
+
+  /// Why the token is cancelled: ErrorCode::Cancelled,
+  /// ErrorCode::DeadlineExceeded, or ErrorCode::Ok when it is not.
+  ErrorCode reason() const;
+
+  /// Builds the error a checkpoint should return: "Stage: cancelled
+  /// What [Cancelled]" or "Stage: deadline exceeded What
+  /// [DeadlineExceeded]".  Falls back to Cancelled if the token is not
+  /// actually cancelled (callers only ask after a positive poll).
+  Status status(std::string_view Stage, std::string_view What) const;
+
+private:
+  friend class CancelSource;
+
+  struct State {
+    /// 0 = live, 1 = cancelled, 2 = deadline expired.
+    std::atomic<int> Reason{0};
+    bool HasDeadline = false;
+    std::chrono::steady_clock::time_point Deadline{};
+    /// Cancelling a parent cancels every descendant; the child keeps
+    /// the parent's state alive through this link.
+    std::shared_ptr<State> Parent;
+  };
+
+  explicit CancelToken(std::shared_ptr<State> S) : S(std::move(S)) {}
+
+  std::shared_ptr<State> S;
+};
+
+/// Write side: owns the shared state and flips it.  The state outlives
+/// the source as long as any token still holds it, so a source may be a
+/// short-lived local even when its tokens travel far.
+class CancelSource {
+public:
+  /// A manually-cancelled source, optionally chained under \p Parent:
+  /// tokens cancel when either this source or the parent does.
+  explicit CancelSource(CancelToken Parent = CancelToken());
+
+  /// A source whose tokens report DeadlineExceeded once \p FromNow
+  /// elapses (measured on the steady clock from the moment of this
+  /// call).  cancel() still works and wins if it happens first.
+  static CancelSource withDeadline(std::chrono::milliseconds FromNow,
+                                   CancelToken Parent = CancelToken());
+
+  /// Flips every token issued by this source to Cancelled.  Idempotent;
+  /// loses against an already-expired deadline.
+  void cancel();
+
+  /// A token observing this source.
+  CancelToken token() const { return CancelToken(S); }
+
+private:
+  std::shared_ptr<CancelToken::State> S;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_SUPPORT_CANCELTOKEN_H

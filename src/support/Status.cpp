@@ -26,6 +26,12 @@ const char *sdsp::errorCodeName(ErrorCode Code) {
     return "BudgetExceeded";
   case ErrorCode::ResourceConflict:
     return "ResourceConflict";
+  case ErrorCode::Cancelled:
+    return "Cancelled";
+  case ErrorCode::DeadlineExceeded:
+    return "DeadlineExceeded";
+  case ErrorCode::TransientFault:
+    return "TransientFault";
   case ErrorCode::InternalInvariant:
     return "InternalInvariant";
   }

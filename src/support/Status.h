@@ -54,6 +54,17 @@ enum class ErrorCode {
   /// A resource model is unsatisfiable (e.g. a machine with no issue
   /// capacity).
   ResourceConflict,
+  /// The operation was cancelled cooperatively through a CancelToken
+  /// (support/CancelToken.h) before it finished.
+  Cancelled,
+  /// A wall-clock deadline attached to a CancelToken expired before the
+  /// operation finished.
+  DeadlineExceeded,
+  /// A transient, retryable failure: today these come from the fault
+  /// injection layer (support/FaultInjection.h) simulating recoverable
+  /// infrastructure faults; the batch layer retries them with backoff
+  /// (docs/ROBUSTNESS.md).
+  TransientFault,
   /// A cross-stage self-check failed: the pipeline produced an answer
   /// that contradicts an independent oracle.  Always a bug here.
   InternalInvariant,

@@ -17,8 +17,11 @@
 #include "core/BatchCompiler.h"
 
 #include "livermore/Livermore.h"
+#include "support/FaultInjection.h"
 
 #include "gtest/gtest.h"
+
+#include <chrono>
 
 using namespace sdsp;
 
@@ -191,6 +194,73 @@ TEST(BatchCompilerTest, ZeroThreadsClampsAndEmptyBatchSucceeds) {
   EXPECT_TRUE(Empty.Results.empty());
   EXPECT_EQ(Empty.ExitCode, 0);
   EXPECT_EQ(Empty.MergedTrace.Passes.size(), NumPassKinds);
+}
+
+//===----------------------------------------------------------------------===//
+// Cancellation and retry (docs/ROBUSTNESS.md).  The chaos suite
+// (ChaosTest.cpp) fuzzes these paths; here the deterministic anchors.
+//===----------------------------------------------------------------------===//
+
+TEST(BatchCompilerTest, PreCancelledBatchTokenCancelsEveryJob) {
+  std::vector<BatchJob> Jobs = kernelJobs();
+  BatchOptions BO;
+  BO.Threads = 4;
+  CancelSource Src;
+  Src.cancel();
+  BO.Cancel = Src.token();
+  BatchCompiler BC(BO);
+  BatchOutcome O = BC.run(Jobs, BatchCompiler::compileOnly(PipelineOptions{}));
+  EXPECT_EQ(O.ExitCode, 2);
+  EXPECT_EQ(O.CancelledJobs, Jobs.size());
+  for (const BatchResult &R : O.Results) {
+    EXPECT_EQ(R.ExitCode, 2) << R.Name;
+    EXPECT_EQ(R.Error, ErrorCode::Cancelled) << R.Name;
+    EXPECT_EQ(R.Attempts, 0u) << R.Name; // Never dispatched.
+  }
+}
+
+TEST(BatchCompilerTest, ExpiredBatchDeadlineReportsDeadlineExceeded) {
+  // Job tokens chain under the batch token, so the batch-wide deadline
+  // reason — not a generic Cancelled — reaches every result.
+  std::vector<BatchJob> Jobs = kernelJobs();
+  BatchOptions BO;
+  BO.Threads = 2;
+  BO.Cancel =
+      CancelSource::withDeadline(std::chrono::milliseconds(0)).token();
+  BatchCompiler BC(BO);
+  BatchOutcome O = BC.run(Jobs, BatchCompiler::compileOnly(PipelineOptions{}));
+  EXPECT_EQ(O.ExitCode, 2);
+  EXPECT_EQ(O.CancelledJobs, Jobs.size());
+  for (const BatchResult &R : O.Results)
+    EXPECT_EQ(R.Error, ErrorCode::DeadlineExceeded) << R.Name;
+}
+
+TEST(BatchCompilerTest, RetriedJobMatchesTheFaultFreeOutput) {
+  std::vector<BatchJob> Jobs = kernelJobs();
+  BatchOptions BO;
+  BO.Threads = 4;
+  BO.RetryBackoffBaseMillis = 0;
+  BO.RetryBackoffCapMillis = 0;
+  BatchCompiler Plain(BO);
+  BatchOutcome Want =
+      Plain.run(Jobs, BatchCompiler::compileOnly(PipelineOptions{}));
+  ASSERT_EQ(Want.ExitCode, 0);
+
+  Expected<FaultSchedule> Sched =
+      FaultSchedule::parse("pass:rate:fail@1~kernel:l2");
+  ASSERT_TRUE(Sched);
+  BO.Faults = &*Sched;
+  BO.MaxRetries = 1;
+  BatchCompiler BC(BO);
+  BatchOutcome O = BC.run(Jobs, BatchCompiler::compileOnly(PipelineOptions{}));
+  EXPECT_EQ(O.ExitCode, 0);
+  EXPECT_EQ(O.Retries, 1u);
+  ASSERT_EQ(O.Results.size(), Want.Results.size());
+  for (size_t I = 0; I < O.Results.size(); ++I) {
+    const BatchResult &R = O.Results[I];
+    EXPECT_EQ(R.Out, Want.Results[I].Out) << R.Name;
+    EXPECT_EQ(R.Attempts, R.Name == "kernel:l2" ? 2u : 1u) << R.Name;
+  }
 }
 
 } // namespace

@@ -1,0 +1,121 @@
+//===- tests/CancelTokenTest.cpp - Cooperative cancellation tests -----------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// The CancelToken/CancelSource contract (support/CancelToken.h): inert
+// default tokens, manual cancellation vs deadline expiry as distinct
+// reasons, parent chaining, and state lifetime past the source.  All
+// deadline tests use pre-expired (0 ms) or far-future deadlines so
+// nothing here races the wall clock.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CancelToken.h"
+
+#include "gtest/gtest.h"
+
+using namespace sdsp;
+using namespace std::chrono_literals;
+
+namespace {
+
+TEST(CancelTokenTest, DefaultTokenNeverCancels) {
+  CancelToken T;
+  EXPECT_FALSE(T.valid());
+  EXPECT_FALSE(T.cancelled());
+  EXPECT_EQ(T.reason(), ErrorCode::Ok);
+}
+
+TEST(CancelTokenTest, ManualCancelReportsCancelled) {
+  CancelSource Src;
+  CancelToken T = Src.token();
+  EXPECT_TRUE(T.valid());
+  EXPECT_FALSE(T.cancelled());
+  Src.cancel();
+  EXPECT_TRUE(T.cancelled());
+  EXPECT_EQ(T.reason(), ErrorCode::Cancelled);
+
+  Status S = T.status("frustum", "mid-search");
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), ErrorCode::Cancelled);
+  EXPECT_EQ(S.stage(), "frustum");
+  EXPECT_NE(S.str().find("cancelled mid-search"), std::string::npos);
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  CancelSource Src = CancelSource::withDeadline(0ms);
+  CancelToken T = Src.token();
+  EXPECT_TRUE(T.cancelled());
+  EXPECT_EQ(T.reason(), ErrorCode::DeadlineExceeded);
+
+  Status S = T.status("session", "before pass 'lower'");
+  EXPECT_EQ(S.code(), ErrorCode::DeadlineExceeded);
+  EXPECT_NE(S.str().find("deadline exceeded before pass 'lower'"),
+            std::string::npos);
+}
+
+TEST(CancelTokenTest, FutureDeadlineStaysLive) {
+  CancelSource Src = CancelSource::withDeadline(1h);
+  EXPECT_FALSE(Src.token().cancelled());
+  // cancel() still wins over an unexpired deadline.
+  Src.cancel();
+  EXPECT_EQ(Src.token().reason(), ErrorCode::Cancelled);
+}
+
+TEST(CancelTokenTest, CancelIsIdempotentAndLatched) {
+  CancelSource Src;
+  Src.cancel();
+  Src.cancel();
+  EXPECT_EQ(Src.token().reason(), ErrorCode::Cancelled);
+}
+
+TEST(CancelTokenTest, CancellingParentCancelsChild) {
+  CancelSource Parent;
+  CancelSource Child(Parent.token());
+  CancelToken T = Child.token();
+  EXPECT_FALSE(T.cancelled());
+  Parent.cancel();
+  EXPECT_TRUE(T.cancelled());
+  EXPECT_EQ(T.reason(), ErrorCode::Cancelled);
+  // The parent's own token sees it too; an unrelated source does not.
+  EXPECT_TRUE(Parent.token().cancelled());
+  EXPECT_FALSE(CancelSource().token().cancelled());
+}
+
+TEST(CancelTokenTest, CancellingChildLeavesParentLive) {
+  CancelSource Parent;
+  CancelSource Child(Parent.token());
+  Child.cancel();
+  EXPECT_TRUE(Child.token().cancelled());
+  EXPECT_FALSE(Parent.token().cancelled());
+}
+
+TEST(CancelTokenTest, ChildDeadlineChainsUnderManualParent) {
+  // The per-attempt batch shape: a fresh deadline source under the
+  // batch-wide token.  The child reports whichever fired.
+  CancelSource Parent;
+  CancelToken Expired =
+      CancelSource::withDeadline(0ms, Parent.token()).token();
+  EXPECT_EQ(Expired.reason(), ErrorCode::DeadlineExceeded);
+
+  CancelToken Live =
+      CancelSource::withDeadline(1h, Parent.token()).token();
+  EXPECT_FALSE(Live.cancelled());
+  Parent.cancel();
+  EXPECT_EQ(Live.reason(), ErrorCode::Cancelled);
+}
+
+TEST(CancelTokenTest, TokenOutlivesItsSource) {
+  CancelToken T;
+  {
+    CancelSource Src = CancelSource::withDeadline(0ms);
+    T = Src.token();
+  }
+  // The shared state lives on through the token.
+  EXPECT_EQ(T.reason(), ErrorCode::DeadlineExceeded);
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+//===- tests/ChaosTest.cpp - Fault-schedule fuzzing over the batch ----------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// The graceful-degradation payoff (docs/ROBUSTNESS.md): seeded random
+// fault schedules injected over the Livermore batch must leave
+// surviving jobs byte-identical to a fault-free run, keep attempt
+// counts bounded and deterministic across thread counts, and isolate
+// permanent failures to their job.  Only thread-count-deterministic
+// sites (pass:*, frustum:step, executor:dispatch) are fuzzed — cache:*
+// firing depends on cross-job races by design.
+//
+// SDSP_CHAOS_ITERATIONS scales the fuzz loop (default 8; CI's chaos
+// job raises it).  Run under ThreadSanitizer in CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchCompiler.h"
+
+#include "livermore/Livermore.h"
+#include "support/FaultInjection.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <random>
+
+using namespace sdsp;
+
+namespace {
+
+std::vector<BatchJob> kernelJobs() {
+  std::vector<BatchJob> Jobs;
+  for (const LivermoreKernel &K : livermoreKernels())
+    Jobs.push_back({std::string("kernel:") + K.Id, K.Source});
+  return Jobs;
+}
+
+BatchOutcome runBatch(unsigned Threads, const std::vector<BatchJob> &Jobs,
+                      const FaultSchedule *Faults, unsigned MaxRetries,
+                      bool KeepGoing = true) {
+  BatchOptions BO;
+  BO.Threads = Threads;
+  BO.EnableCache = true;
+  BO.Faults = Faults;
+  BO.MaxRetries = MaxRetries;
+  BO.KeepGoing = KeepGoing;
+  // Keep the fuzz loop fast: backoff sleeps of 0ms, jitter of 0.
+  BO.RetryBackoffBaseMillis = 0;
+  BO.RetryBackoffCapMillis = 0;
+  PipelineOptions PO;
+  PO.Verify = true;
+  BatchCompiler BC(BO);
+  return BC.run(Jobs, BatchCompiler::compileOnly(PO));
+}
+
+unsigned chaosIterations() {
+  if (const char *Env = std::getenv("SDSP_CHAOS_ITERATIONS"))
+    if (unsigned N = static_cast<unsigned>(std::atoi(Env)))
+      return N;
+  return 8;
+}
+
+/// Builds a random spec of transient faults over thread-count
+/// deterministic sites, one trigger per selected job, with occurrences
+/// small enough to actually arrive during a compile.
+std::string randomTransientSpec(std::mt19937_64 &Rng,
+                                const std::vector<BatchJob> &Jobs,
+                                unsigned &MaxTriggersPerJob) {
+  const char *Sites[] = {"pass:lower",    "pass:sdsp",  "pass:sdsp-pn",
+                         "pass:rate",     "pass:frustum", "pass:schedule",
+                         "pass:verify",   "frustum:step",
+                         "executor:dispatch"};
+  std::uniform_int_distribution<size_t> SiteDist(0, std::size(Sites) - 1);
+  std::uniform_int_distribution<uint64_t> OccDist(1, 3);
+  std::uniform_int_distribution<int> CoinDist(0, 2);
+  std::vector<unsigned> PerJob(Jobs.size(), 0);
+  std::string Spec;
+  for (size_t J = 0; J < Jobs.size(); ++J) {
+    if (CoinDist(Rng) == 0)
+      continue; // ~1/3 of jobs stay fault-free.
+    if (!Spec.empty())
+      Spec += ',';
+    Spec += std::string(Sites[SiteDist(Rng)]) + ":fail@" +
+            std::to_string(OccDist(Rng)) + "~" + Jobs[J].Name;
+    ++PerJob[J];
+  }
+  MaxTriggersPerJob = 0;
+  for (unsigned N : PerJob)
+    MaxTriggersPerJob = std::max(MaxTriggersPerJob, N);
+  return Spec;
+}
+
+TEST(ChaosTest, TransientFaultsAlwaysRecoverByteIdentically) {
+  std::vector<BatchJob> Jobs = kernelJobs();
+  BatchOutcome Baseline = runBatch(1, Jobs, nullptr, 0);
+  ASSERT_EQ(Baseline.ExitCode, 0);
+
+  std::mt19937_64 Rng(0x5d5f1991);
+  unsigned Iters = chaosIterations();
+  for (unsigned It = 0; It < Iters; ++It) {
+    unsigned MaxPerJob = 0;
+    std::string Spec = randomTransientSpec(Rng, Jobs, MaxPerJob);
+    if (Spec.empty())
+      continue;
+    SCOPED_TRACE("spec: " + Spec);
+    Expected<FaultSchedule> Sched = FaultSchedule::parse(Spec);
+    ASSERT_TRUE(Sched) << Sched.status().str();
+
+    // Enough retries that every occurrence-counted transient is
+    // outlived; each trigger fires exactly once per job.
+    unsigned Retries = MaxPerJob + 1;
+    BatchOutcome O = runBatch(1, Jobs, &*Sched, Retries);
+    EXPECT_EQ(O.ExitCode, 0);
+    ASSERT_EQ(O.Results.size(), Baseline.Results.size());
+    for (size_t I = 0; I < O.Results.size(); ++I) {
+      const BatchResult &R = O.Results[I];
+      EXPECT_EQ(R.ExitCode, 0) << R.Name << ": " << R.Err;
+      EXPECT_EQ(R.Out, Baseline.Results[I].Out) << R.Name;
+      EXPECT_GE(R.Attempts, 1u);
+      EXPECT_LE(R.Attempts, Retries + 1) << R.Name;
+    }
+
+    // Replay the same schedule at -j4: exit codes, outputs, and
+    // attempt counts are thread-count invariant for these sites.
+    BatchOutcome Par = runBatch(4, Jobs, &*Sched, Retries);
+    ASSERT_EQ(Par.Results.size(), O.Results.size());
+    for (size_t I = 0; I < O.Results.size(); ++I) {
+      EXPECT_EQ(Par.Results[I].Out, O.Results[I].Out) << Jobs[I].Name;
+      EXPECT_EQ(Par.Results[I].Err, O.Results[I].Err) << Jobs[I].Name;
+      EXPECT_EQ(Par.Results[I].ExitCode, O.Results[I].ExitCode);
+      EXPECT_EQ(Par.Results[I].Attempts, O.Results[I].Attempts)
+          << Jobs[I].Name;
+    }
+    EXPECT_EQ(Par.Retries, O.Retries);
+  }
+}
+
+TEST(ChaosTest, RetriesExhaustedReportsTransientFault) {
+  std::vector<BatchJob> Jobs = kernelJobs();
+  // Fires on the first three dispatches of l2: more lives than the two
+  // retries granted, so the job must fail as TransientFault.
+  Expected<FaultSchedule> Sched = FaultSchedule::parse(
+      "executor:dispatch:fail@1~kernel:l2,"
+      "executor:dispatch:fail@2~kernel:l2,"
+      "executor:dispatch:fail@3~kernel:l2");
+  ASSERT_TRUE(Sched);
+  BatchOutcome O = runBatch(2, Jobs, &*Sched, /*MaxRetries=*/2);
+  EXPECT_EQ(O.ExitCode, 2);
+  for (const BatchResult &R : O.Results) {
+    if (R.Name == "kernel:l2") {
+      EXPECT_EQ(R.ExitCode, 2);
+      EXPECT_EQ(R.Error, ErrorCode::TransientFault);
+      EXPECT_EQ(R.Attempts, 3u);
+    } else {
+      EXPECT_EQ(R.ExitCode, 0) << R.Name << ": " << R.Err;
+    }
+  }
+  EXPECT_EQ(O.Retries, 2u);
+}
+
+TEST(ChaosTest, PermanentFaultIsolatesToItsJob) {
+  std::vector<BatchJob> Jobs = kernelJobs();
+  Expected<FaultSchedule> Sched =
+      FaultSchedule::parse("pass:frustum:fail-hard@1~kernel:loop7");
+  ASSERT_TRUE(Sched);
+  BatchOutcome Baseline = runBatch(4, Jobs, nullptr, 0);
+  BatchOutcome O = runBatch(4, Jobs, &*Sched, /*MaxRetries=*/2);
+  EXPECT_EQ(O.ExitCode, 3);
+  ASSERT_EQ(O.Results.size(), Baseline.Results.size());
+  for (size_t I = 0; I < O.Results.size(); ++I) {
+    const BatchResult &R = O.Results[I];
+    if (R.Name == "kernel:loop7") {
+      EXPECT_EQ(R.ExitCode, 3);
+      EXPECT_EQ(R.Error, ErrorCode::InternalInvariant);
+      EXPECT_EQ(R.Attempts, 1u); // fail-hard is never retried.
+    } else {
+      EXPECT_EQ(R.ExitCode, 0) << R.Name << ": " << R.Err;
+      EXPECT_EQ(R.Out, Baseline.Results[I].Out) << R.Name;
+    }
+  }
+}
+
+TEST(ChaosTest, FailFastCancelsTheRestOfTheBatch) {
+  // One worker makes the reaping deterministic: job 0 fails hard, every
+  // later job is cancelled before it starts.
+  std::vector<BatchJob> Jobs = kernelJobs();
+  std::string Spec = "pass:lower:fail-hard@1~" + Jobs[0].Name;
+  Expected<FaultSchedule> Sched = FaultSchedule::parse(Spec);
+  ASSERT_TRUE(Sched);
+  BatchOutcome O = runBatch(1, Jobs, &*Sched, /*MaxRetries=*/0,
+                            /*KeepGoing=*/false);
+  ASSERT_GE(O.Results.size(), 2u);
+  EXPECT_EQ(O.Results[0].ExitCode, 3);
+  EXPECT_EQ(O.Results[0].Error, ErrorCode::InternalInvariant);
+  for (size_t I = 1; I < O.Results.size(); ++I) {
+    const BatchResult &R = O.Results[I];
+    EXPECT_EQ(R.ExitCode, 2) << R.Name;
+    EXPECT_EQ(R.Error, ErrorCode::Cancelled) << R.Name;
+  }
+  EXPECT_EQ(O.CancelledJobs, O.Results.size() - 1);
+}
+
+TEST(ChaosTest, DelayFaultsNeverChangeOutput) {
+  std::vector<BatchJob> Jobs = kernelJobs();
+  BatchOutcome Baseline = runBatch(4, Jobs, nullptr, 0);
+  Expected<FaultSchedule> Sched = FaultSchedule::parse(
+      "cache:lookup:delay=1ms@1,pass:frustum:delay=2ms@1~kernel:l1");
+  ASSERT_TRUE(Sched);
+  BatchOutcome O = runBatch(4, Jobs, &*Sched, /*MaxRetries=*/0);
+  EXPECT_EQ(O.ExitCode, 0);
+  for (size_t I = 0; I < O.Results.size(); ++I) {
+    EXPECT_EQ(O.Results[I].Out, Baseline.Results[I].Out)
+        << O.Results[I].Name;
+    EXPECT_EQ(O.Results[I].Attempts, 1u);
+  }
+}
+
+} // namespace

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 using namespace sdsp;
@@ -159,6 +160,107 @@ TEST(ExecutorTest, ShutdownIsIdempotent) {
   Ex.shutdown();
   Ex.shutdown(/*CancelPending=*/true);
   // Destructor runs a third shutdown; must not crash or hang.
+}
+
+/// Parks the single worker of \p Ex on a task until the returned gate
+/// promise is fulfilled, so everything submitted next can only queue.
+std::future<Status> parkWorker(Executor &Ex, std::promise<void> &Gate) {
+  std::shared_future<void> GateF = Gate.get_future().share();
+  auto Started = std::make_shared<std::atomic<bool>>(false);
+  auto Blocker = Ex.submit([GateF, Started] {
+    *Started = true;
+    GateF.wait();
+    return Status::ok();
+  });
+  while (!Started->load())
+    std::this_thread::yield();
+  return Blocker;
+}
+
+TEST(ExecutorTest, TokenCancelledMidQueueResolvesCancelledNotConflict) {
+  // The satellite distinction: a deliberate token cancellation while
+  // the task waits in the queue is ErrorCode::Cancelled; the
+  // pool-lifecycle discard (ShutdownCancelsPendingWork above) stays
+  // ResourceConflict.  Run both channels through one pool.
+  Executor Ex(1);
+  std::promise<void> Gate;
+  auto Blocker = parkWorker(Ex, Gate);
+
+  CancelSource Src;
+  std::atomic<bool> Ran{false};
+  auto Queued = Ex.submit(
+      [&] {
+        Ran = true;
+        return Status::ok();
+      },
+      Src.token());
+  Src.cancel();
+  Gate.set_value(); // Worker wakes, polls the token, skips the task.
+
+  Status S = Queued.get();
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), ErrorCode::Cancelled);
+  EXPECT_EQ(S.stage(), "executor");
+  EXPECT_NE(S.str().find("cancel token"), std::string::npos);
+  EXPECT_FALSE(Ran.load());
+  EXPECT_TRUE(Blocker.get());
+
+  Executor::Counters C = Ex.counters();
+  EXPECT_EQ(C.Cancelled, 1u);
+  EXPECT_EQ(C.Completed, 1u); // Only the blocker actually ran.
+}
+
+TEST(ExecutorTest, ExpiredDeadlineTokenResolvesDeadlineExceeded) {
+  Executor Ex(1);
+  CancelToken Expired =
+      CancelSource::withDeadline(std::chrono::milliseconds(0)).token();
+  std::atomic<bool> Ran{false};
+  Status S = Ex.submit(
+                  [&] {
+                    Ran = true;
+                    return Status::ok();
+                  },
+                  Expired)
+                 .get();
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), ErrorCode::DeadlineExceeded);
+  EXPECT_FALSE(Ran.load());
+}
+
+TEST(ExecutorTest, ShutdownDiscardKeepsTokenReason) {
+  // shutdown(CancelPending) discards two queued tasks: the one with a
+  // cancelled token reports the token's reason, its tokenless sibling
+  // the lifecycle ResourceConflict.
+  Executor Ex(1);
+  std::promise<void> Gate;
+  auto Blocker = parkWorker(Ex, Gate);
+
+  CancelSource Src;
+  auto WithToken = Ex.submit([] { return Status::ok(); }, Src.token());
+  auto Plain = Ex.submit([] { return Status::ok(); });
+  Src.cancel();
+
+  std::thread Stopper([&] { Ex.shutdown(/*CancelPending=*/true); });
+  EXPECT_EQ(WithToken.get().code(), ErrorCode::Cancelled);
+  EXPECT_EQ(Plain.get().code(), ErrorCode::ResourceConflict);
+  Gate.set_value();
+  Stopper.join();
+  EXPECT_TRUE(Blocker.get());
+}
+
+TEST(ExecutorTest, LiveTokenDoesNotStopTheTask) {
+  Executor Ex(2);
+  CancelSource Src;
+  std::atomic<bool> Ran{false};
+  Status S = Ex.submit(
+                  [&] {
+                    Ran = true;
+                    return Status::ok();
+                  },
+                  Src.token())
+                 .get();
+  EXPECT_TRUE(S);
+  EXPECT_TRUE(Ran.load());
 }
 
 } // namespace

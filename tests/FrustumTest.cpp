@@ -10,7 +10,10 @@
 #include "TestUtil.h"
 #include "core/RateAnalysis.h"
 #include "core/SdspPn.h"
+#include "support/FaultInjection.h"
 #include "gtest/gtest.h"
+
+#include <chrono>
 
 using namespace sdsp;
 using namespace sdsp::testutil;
@@ -129,6 +132,145 @@ TEST(Frustum, BudgetResolveBoundaries) {
             FrustumBudget::Cap - 1);
   EXPECT_EQ(FrustumBudget::steps(~TimeStep(0)).resolve(3),
             FrustumBudget::Cap);
+}
+
+//===----------------------------------------------------------------------===//
+// Cancellation, deadlines, and fault sites (docs/ROBUSTNESS.md).  All
+// deadline cases use pre-expired (0 ms) or manually-cancelled sources —
+// nothing here races the wall clock.
+//===----------------------------------------------------------------------===//
+
+TEST(Frustum, CancelledTokenStopsTheSearchWithPartialTrace) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  CancelSource Src;
+  Src.cancel();
+  Expected<FrustumInfo> F =
+      detectFrustumChecked(Pn.Net, nullptr, {}, Src.token());
+  ASSERT_FALSE(F);
+  EXPECT_EQ(F.status().code(), ErrorCode::Cancelled);
+  EXPECT_EQ(F.status().stage(), "frustum");
+  // The same partial-trace context BudgetExceeded carries.
+  EXPECT_NE(F.status().str().find("simulated to t="), std::string::npos);
+}
+
+TEST(Frustum, ExpiredDeadlineReportsDeadlineExceeded) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  CancelToken Expired =
+      CancelSource::withDeadline(std::chrono::milliseconds(0)).token();
+  Expected<FrustumInfo> F =
+      detectFrustumChecked(Pn.Net, nullptr, {}, Expired);
+  ASSERT_FALSE(F);
+  EXPECT_EQ(F.status().code(), ErrorCode::DeadlineExceeded);
+  EXPECT_NE(F.status().str().find("deadline exceeded"), std::string::npos);
+}
+
+TEST(Frustum, LiveTokenDoesNotPerturbTheSearch) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  auto Plain = detectFrustumChecked(Pn.Net);
+  CancelSource Src; // Never cancelled.
+  auto Polled = detectFrustumChecked(Pn.Net, nullptr, {}, Src.token());
+  ASSERT_TRUE(Plain);
+  ASSERT_TRUE(Polled);
+  EXPECT_EQ(Polled->StartTime, Plain->StartTime);
+  EXPECT_EQ(Polled->RepeatTime, Plain->RepeatTime);
+  EXPECT_EQ(Polled->FiringCounts, Plain->FiringCounts);
+}
+
+/// Cancels its CancelSource on the Nth prepare, giving the boundary
+/// test a deterministic in-search cancellation instant (the wall clock
+/// never decides).  Keeps index order and an empty fingerprint, so the
+/// search itself is the default policy's.
+class CancelOnNthPrepare : public FiringPolicy {
+public:
+  CancelOnNthPrepare(CancelSource &Src, unsigned N) : Src(Src), Left(N) {}
+  void reset() override {}
+  void orderCandidates(const PetriNet &, const Marking &,
+                       std::vector<TransitionId> &) override {
+    if (Left && --Left == 0)
+      Src.cancel();
+  }
+  void noteFired(TransitionId) override {}
+  std::vector<uint32_t> stateFingerprint() const override { return {}; }
+
+private:
+  CancelSource &Src;
+  unsigned Left;
+};
+
+TEST(Frustum, BudgetWinsAtTheBudgetInstantEvenWhenCancelled) {
+  // The ordering contract: within one sampled instant the budget check
+  // precedes the cancellation poll.  The policy cancels during instant
+  // 1, so instant 2 is the first that can report either failure: with
+  // a budget of 1 exhausted there, BudgetExceeded wins; with one more
+  // step of budget the poll reports the cancellation instead.
+  PetriNet Ring = buildRing(4, 1);
+  {
+    CancelSource Src;
+    CancelOnNthPrepare Policy(Src, 2);
+    Expected<FrustumInfo> F = detectFrustumChecked(
+        Ring, &Policy, FrustumBudget::steps(1), Src.token());
+    ASSERT_FALSE(F);
+    EXPECT_EQ(F.status().code(), ErrorCode::BudgetExceeded);
+  }
+  {
+    CancelSource Src;
+    CancelOnNthPrepare Policy(Src, 2);
+    Expected<FrustumInfo> F = detectFrustumChecked(
+        Ring, &Policy, FrustumBudget::steps(2), Src.token());
+    ASSERT_FALSE(F);
+    EXPECT_EQ(F.status().code(), ErrorCode::Cancelled);
+  }
+}
+
+TEST(Frustum, DeadlineWinsWhileBudgetRemains) {
+  // Budget far beyond the net's repeat horizon never trips; the expired
+  // deadline is what stops the search.
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  CancelToken Expired =
+      CancelSource::withDeadline(std::chrono::milliseconds(0)).token();
+  Expected<FrustumInfo> F = detectFrustumChecked(
+      Pn.Net, nullptr, FrustumBudget::steps(1u << 20), Expired);
+  ASSERT_FALSE(F);
+  EXPECT_EQ(F.status().code(), ErrorCode::DeadlineExceeded);
+}
+
+TEST(Frustum, ReferenceEngineFailsIdentically) {
+  // Both engines share the per-instant cadence and ordering, so the
+  // golden-equivalence property extends to cancellation failures.
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  CancelSource Src;
+  Src.cancel();
+  Expected<FrustumInfo> Fast =
+      detectFrustumChecked(Pn.Net, nullptr, {}, Src.token());
+  Expected<FrustumInfo> Ref =
+      detectFrustumReference(Pn.Net, nullptr, {}, Src.token());
+  ASSERT_FALSE(Fast);
+  ASSERT_FALSE(Ref);
+  EXPECT_EQ(Fast.status().code(), Ref.status().code());
+  EXPECT_EQ(Fast.status().str(), Ref.status().str());
+}
+
+TEST(Frustum, StepFaultSiteFiresAtTheExactArrival) {
+  SdspPn Pn = buildSdspPn(Sdsp::standard(buildL2Direct()));
+  Expected<FaultSchedule> Sched = FaultSchedule::parse("frustum:step:fail@5");
+  ASSERT_TRUE(Sched);
+  FaultContext Ctx(&*Sched, "test");
+  Expected<FrustumInfo> F =
+      detectFrustumChecked(Pn.Net, nullptr, {}, {}, &Ctx);
+  ASSERT_FALSE(F);
+  EXPECT_EQ(F.status().code(), ErrorCode::TransientFault);
+  EXPECT_EQ(Ctx.arrivals("frustum:step"), 5u);
+  EXPECT_EQ(Ctx.fired(), 1u);
+
+  // A context whose trigger already fired lets the search complete;
+  // the fault-free result is unchanged.
+  Expected<FrustumInfo> Retry =
+      detectFrustumChecked(Pn.Net, nullptr, {}, {}, &Ctx);
+  ASSERT_TRUE(Retry) << Retry.status().str();
+  auto Plain = detectFrustumChecked(Pn.Net);
+  ASSERT_TRUE(Plain);
+  EXPECT_EQ(Retry->RepeatTime, Plain->RepeatTime);
+  EXPECT_EQ(Ctx.fired(), 1u);
 }
 
 TEST(Frustum, EarliestFiringAchievesOptimalRateOnRandomNets) {

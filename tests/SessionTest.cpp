@@ -18,9 +18,12 @@
 #include "core/Pipeline.h"
 #include "core/Session.h"
 #include "livermore/Livermore.h"
+#include "support/FaultInjection.h"
+#include "support/Trace.h"
 
 #include "gtest/gtest.h"
 
+#include <chrono>
 #include <sstream>
 
 using namespace sdsp;
@@ -196,6 +199,82 @@ TEST(SessionTest, ArtifactsOutliveTheSession) {
   }
   EXPECT_GT(Pn->Net.numTransitions(), 0u);
   EXPECT_NE(Pn.hash(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cancellation and fault sites at the pass boundary
+// (docs/ROBUSTNESS.md).
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, CancelledTokenFailsAtThePassBoundary) {
+  TraceCollector Collector;
+  SessionConfig Cfg{true};
+  Cfg.Trace = &Collector.track("job");
+  CancelSource Src;
+  Src.cancel();
+  Cfg.Cancel = Src.token();
+  CompilationSession S(std::move(Cfg));
+  Expected<CompiledLoop> CL =
+      S.compile(kernel("loop1").Source, PipelineOptions{});
+  ASSERT_FALSE(bool(CL));
+  EXPECT_EQ(CL.status().code(), ErrorCode::Cancelled);
+  EXPECT_EQ(CL.status().stage(), "session");
+  EXPECT_NE(CL.status().str().find("before pass 'lower'"),
+            std::string::npos);
+  // The observation shows up on the trace as a "cancelled" instant.
+  std::ostringstream OS;
+  Collector.writeJson(OS);
+  EXPECT_NE(OS.str().find("\"cancelled\""), std::string::npos);
+}
+
+TEST(SessionTest, ExpiredDeadlineFailsWithDeadlineExceeded) {
+  SessionConfig Cfg{true};
+  Cfg.Cancel =
+      CancelSource::withDeadline(std::chrono::milliseconds(0)).token();
+  CompilationSession S(std::move(Cfg));
+  Expected<CompiledLoop> CL =
+      S.compile(kernel("loop1").Source, PipelineOptions{});
+  ASSERT_FALSE(bool(CL));
+  EXPECT_EQ(CL.status().code(), ErrorCode::DeadlineExceeded);
+}
+
+/// The in-session retry contract the batch layer relies on: a transient
+/// pass fault fails the compile, and because the pass boundary
+/// checkpoints before any cache insert, the retry through the same
+/// session and context recomputes instead of replaying a poisoned
+/// artifact.
+TEST(SessionTest, TransientPassFaultRetriesCleanlyInTheSameSession) {
+  const LivermoreKernel &K = kernel("loop7");
+  CompilationSession Plain(SessionConfig{true});
+  Expected<CompiledLoop> Want = Plain.compile(K.Source, PipelineOptions{});
+  ASSERT_TRUE(bool(Want));
+
+  Expected<FaultSchedule> Sched = FaultSchedule::parse("pass:sdsp:fail@1");
+  ASSERT_TRUE(Sched);
+  FaultContext Ctx(&*Sched, "kernel:loop7");
+  SessionConfig Cfg{true};
+  Cfg.Faults = &Ctx;
+  CompilationSession S(std::move(Cfg));
+  Expected<CompiledLoop> First = S.compile(K.Source, PipelineOptions{});
+  ASSERT_FALSE(bool(First));
+  EXPECT_EQ(First.status().code(), ErrorCode::TransientFault);
+  EXPECT_EQ(Ctx.fired(), 1u);
+
+  // Arrivals persisted past the trigger, so the retry sails through.
+  Expected<CompiledLoop> Retry = S.compile(K.Source, PipelineOptions{});
+  ASSERT_TRUE(bool(Retry)) << Retry.status().str();
+  EXPECT_EQ(Ctx.fired(), 1u);
+
+  // Byte-identical to the fault-free schedule.
+  auto ScheduleText = [](const CompiledLoop &CL) {
+    std::vector<std::string> Names;
+    for (TransitionId T : CL.machineNet().transitionIds())
+      Names.push_back(CL.machineNet().transition(T).Name);
+    std::ostringstream OS;
+    CL.Schedule->print(OS, Names);
+    return OS.str();
+  };
+  EXPECT_EQ(ScheduleText(*Retry), ScheduleText(*Want));
 }
 
 } // namespace

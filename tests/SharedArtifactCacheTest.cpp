@@ -16,6 +16,7 @@
 #include "core/SharedArtifactCache.h"
 
 #include "core/Session.h"
+#include "support/FaultInjection.h"
 #include "support/Status.h"
 
 #include "gtest/gtest.h"
@@ -141,6 +142,52 @@ TEST(SharedArtifactCacheTest, AbandonHandsOwnershipToOneWaiter) {
   EXPECT_EQ(Correct.load(), NumThreads);
   auto S = C.counters();
   EXPECT_EQ(S.Abandons, 1u);
+  EXPECT_EQ(S.Inserts, 1u);
+}
+
+TEST(SharedArtifactCacheTest, AbandonChainsThroughSuccessiveOwnerDeaths) {
+  // Two owners die in a row; each handoff bumps the abandon counter
+  // exactly once, and the third owner's publish reaches every waiter.
+  SharedArtifactCache C;
+  Key K{4, 4, 4};
+  constexpr int NumThreads = 6;
+  std::atomic<int> Promotions{0};
+  std::atomic<int> Correct{0};
+
+  ASSERT_FALSE(C.lookupOrLock(K).has_value()); // First owner.
+
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([&] {
+      auto E = C.lookupOrLock(K);
+      if (!E) {
+        // Promoted waiter: the first one dies too, the second publishes.
+        if (Promotions.fetch_add(1) == 0) {
+          C.abandon(K);
+          E = C.lookupOrLock(K);
+          if (!E) {
+            // Re-acquired our own abandoned key: publish this time.
+            ++Promotions;
+            C.publish(K, makeEntry(77));
+            E = C.lookupOrLock(K);
+          }
+        } else {
+          C.publish(K, makeEntry(77));
+          E = C.lookupOrLock(K);
+        }
+      }
+      if (E && valueOf(*E) == 77)
+        ++Correct;
+    });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  C.abandon(K); // First owner dies without publishing.
+  for (auto &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Correct.load(), NumThreads);
+  auto S = C.counters();
+  EXPECT_EQ(S.Abandons, 2u); // One per owner death, never double-counted.
   EXPECT_EQ(S.Inserts, 1u);
 }
 
@@ -309,6 +356,50 @@ TEST(SharedArtifactCacheSessionTest, FailingSourceDoesNotPoisonTheCache) {
   CompilationSession S3(SC);
   auto R3 = S3.compile(BiquadSource, PO);
   EXPECT_TRUE(R3) << R3.status().str();
+}
+
+TEST(SharedArtifactCacheSessionTest, InjectedOwnerDeathAbandonsExactlyOnce) {
+  // The fault-injection shape of owner death (docs/ROBUSTNESS.md): a
+  // session that computes a pass, then dies at the cache:publish site,
+  // must abandon its key — bumping the abandon counter exactly once —
+  // and publish nothing.  Ownership of the key is then re-acquirable: a
+  // healthy session recomputes and publishes for real.  (Concurrent
+  // waiter promotion per handoff is pinned by the raw-cache tests
+  // above; this one pins the injected-death path through the session.)
+  Expected<FaultSchedule> Sched =
+      FaultSchedule::parse("cache:publish:fail@1");
+  ASSERT_TRUE(Sched) << Sched.status().str();
+
+  SharedArtifactCache Cache;
+  PipelineOptions PO;
+
+  FaultContext FC(&*Sched, "victim");
+  SessionConfig VictimSC;
+  VictimSC.SharedCache = &Cache;
+  VictimSC.EnableCache = true;
+  VictimSC.Faults = &FC;
+  CompilationSession Victim(VictimSC);
+  auto RV = Victim.compile(BiquadSource, PO);
+  ASSERT_FALSE(RV);
+  EXPECT_EQ(RV.status().code(), ErrorCode::TransientFault);
+  EXPECT_EQ(Cache.counters().Abandons, 1u); // One death, one handoff.
+  EXPECT_EQ(Cache.counters().Inserts, 0u);  // The failure published nothing.
+
+  SessionConfig HealthySC;
+  HealthySC.SharedCache = &Cache;
+  HealthySC.EnableCache = true;
+  CompilationSession Healthy(HealthySC);
+  auto RH = Healthy.compile(BiquadSource, PO);
+  ASSERT_TRUE(RH) << RH.status().str();
+  EXPECT_EQ(Cache.counters().Abandons, 1u); // No further handoffs.
+  EXPECT_EQ(Cache.counters().Inserts, Cache.entries());
+
+  // The victim's own retry — same context, arrival counters advanced —
+  // sails past the spent trigger and succeeds from the published work.
+  CompilationSession Retry(VictimSC);
+  auto RR = Retry.compile(BiquadSource, PO);
+  ASSERT_TRUE(RR) << RR.status().str();
+  EXPECT_EQ(RR->Frustum->RepeatTime, RH->Frustum->RepeatTime);
 }
 
 TEST(SharedArtifactCacheSessionTest, ConcurrentSessionsShareWork) {

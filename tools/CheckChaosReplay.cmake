@@ -1,0 +1,60 @@
+# Replays one faulted --batch-kernels run and asserts the fault
+# schedule's determinism contract (docs/ROBUSTNESS.md): the same
+# SDSP_FAULT_SPEC — injected through the environment channel, not the
+# flag, so both channels stay covered — gives byte-identical stdout,
+# stderr, exit code, and --batch-json report across runs, and because
+# the spec names only thread-count-deterministic sites (pass:*,
+# frustum:step, executor:dispatch), the whole report is also identical
+# between -j 1 and -j 4.
+#
+# Usage:
+#   cmake -DSDSPC=<path> -DFAULT_SPEC=<spec> -DWORK_DIR=<dir>
+#         -P CheckChaosReplay.cmake
+
+set(BASE_ARGS --batch-kernels --verify --retries=2)
+
+foreach(TAG r1 r2 p4)
+  if(TAG STREQUAL "p4")
+    set(J 4)
+  else()
+    set(J 1)
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env "SDSP_FAULT_SPEC=${FAULT_SPEC}"
+            ${SDSPC} ${BASE_ARGS} -j ${J}
+            --batch-json=${WORK_DIR}/chaos_${TAG}.json
+    RESULT_VARIABLE EXIT_${TAG}
+    OUTPUT_VARIABLE OUT_${TAG}
+    ERROR_VARIABLE ERR_${TAG})
+  file(READ ${WORK_DIR}/chaos_${TAG}.json JSON_${TAG})
+endforeach()
+
+# The schedule must actually have fired: a spec that silently never
+# arrives would make every comparison below vacuous.
+if(NOT OUT_r1 MATCHES "retried")
+  message(FATAL_ERROR
+    "fault spec '${FAULT_SPEC}' injected nothing (no retries):\n${OUT_r1}")
+endif()
+
+# Replay at the same thread count: byte-for-byte.
+foreach(WHAT EXIT OUT ERR JSON)
+  if(NOT "${${WHAT}_r1}" STREQUAL "${${WHAT}_r2}")
+    message(FATAL_ERROR
+      "faulted batch replay is not deterministic (${WHAT} differs)\n"
+      "run 1:\n${${WHAT}_r1}\nrun 2:\n${${WHAT}_r2}")
+  endif()
+endforeach()
+
+# Deterministic sites only, so -j 1 and -j 4 agree too.
+foreach(WHAT EXIT OUT ERR JSON)
+  if(NOT "${${WHAT}_r1}" STREQUAL "${${WHAT}_p4}")
+    message(FATAL_ERROR
+      "faulted batch differs between -j 1 and -j 4 (${WHAT})\n"
+      "-j 1:\n${${WHAT}_r1}\n-j 4:\n${${WHAT}_p4}")
+  endif()
+endforeach()
+
+if(NOT EXIT_r1 EQUAL 0)
+  message(FATAL_ERROR
+    "faulted batch did not recover (exit ${EXIT_r1}):\n${ERR_r1}")
+endif()

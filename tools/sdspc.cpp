@@ -31,6 +31,17 @@
 //   --engine=fast|reference
 //                        frustum detector: the incremental engine
 //                        (default) or the retained naive oracle
+//   --deadline-ms=N      wall-clock deadline (per job in batch mode);
+//                        an expired run reports DeadlineExceeded
+//   --fault-spec=SPEC    arm deterministic fault injection
+//                        (docs/ROBUSTNESS.md; overrides the
+//                        SDSP_FAULT_SPEC environment variable), e.g.
+//                        pass:frustum:fail@2,cache:publish:delay=50ms
+//   --retries=N          batch retries per job for TransientFault
+//                        failures (default 2)
+//   --keep-going         keep compiling after a batch job fails
+//                        (default); --fail-fast cancels the rest of
+//                        the batch on the first failure instead
 //   --timings            print the per-pass wall-time/cache-hit table
 //                        (PipelineTrace) to stderr before exiting
 //                        (with --batch: the merged batch trace)
@@ -61,7 +72,8 @@
 // Exit codes (docs/ERRORS.md):
 //   0  success
 //   1  input diagnostics (bad source, option, graph, or net)
-//   2  resource or budget exhaustion
+//   2  resource or budget exhaustion, cancellation, deadline expiry,
+//      or an injected transient fault
 //   3  internal invariant failure (a compiler bug)
 //
 //===----------------------------------------------------------------------===//
@@ -72,6 +84,8 @@
 #include "core/Session.h"
 #include "livermore/Livermore.h"
 #include "petri/BehaviorGraph.h"
+#include "support/CancelToken.h"
+#include "support/FaultInjection.h"
 #include "support/Metrics.h"
 #include "support/Random.h"
 #include "support/Trace.h"
@@ -110,6 +124,14 @@ struct Options {
   bool BatchKernels = false;
   uint32_t Jobs = 1;
   std::string BatchJsonPath;
+  /// Robustness controls (docs/ROBUSTNESS.md).
+  std::string FaultSpec;
+  uint64_t DeadlineMillis = 0;
+  /// --deadline-ms appeared explicitly (so --deadline-ms=0 is an
+  /// already-expired deadline, not "no deadline").
+  bool DeadlineGiven = false;
+  uint32_t Retries = 2;
+  bool KeepGoing = true;
 
   bool batchMode() const { return !BatchDir.empty() || BatchKernels; }
 };
@@ -123,7 +145,9 @@ void printUsage(std::ostream &OS) {
         "  --timings --timings-json=FILE --trace=FILE "
         "--metrics-json=FILE\n"
         "  --verify --run=N --seed=S\n"
-        "  --batch=DIR --batch-kernels -j N --batch-json=FILE\n"
+        "  --deadline-ms=N --fault-spec=SPEC\n"
+        "  --batch=DIR --batch-kernels -j N --batch-json=FILE "
+        "--retries=N --keep-going --fail-fast\n"
         "  -k <id>   use a bundled kernel (l1 l2 loop1 loop3 loop5 "
         "loop7 loop9 loop9lcd loop12)\n"
         "exit codes: 0 ok, 1 input diagnostics, 2 resource/budget, "
@@ -213,6 +237,19 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.BatchKernels = true;
     } else if (const char *V = Value("--batch-json=")) {
       Opts.BatchJsonPath = V;
+    } else if (const char *V = Value("--deadline-ms=")) {
+      if (!parseUint64(V, "--deadline-ms", Opts.DeadlineMillis))
+        return false;
+      Opts.DeadlineGiven = true;
+    } else if (const char *V = Value("--fault-spec=")) {
+      Opts.FaultSpec = V;
+    } else if (const char *V = Value("--retries=")) {
+      if (!parseUint32(V, "--retries", Opts.Retries))
+        return false;
+    } else if (Arg == "--keep-going") {
+      Opts.KeepGoing = true;
+    } else if (Arg == "--fail-fast") {
+      Opts.KeepGoing = false;
     } else if (const char *V = Value("--jobs=")) {
       if (!parseUint32(V, "--jobs", Opts.Jobs))
         return false;
@@ -286,14 +323,38 @@ std::optional<std::string> readSource(const Options &Opts) {
 }
 
 /// Reports \p St (frontend failures print their diagnostics verbatim)
-/// and returns the contract exit code.
-int reportFailure(const Status &St, const DiagnosticEngine &Diags,
-                  std::ostream &Err) {
+/// and returns the contract exit code plus the error class the batch
+/// retry policy folds on.
+RenderResult reportFailure(const Status &St, const DiagnosticEngine &Diags,
+                           std::ostream &Err) {
   if (St.stage() == "frontend" && Diags.hasErrors())
     Diags.print(Err);
   else
     Err << "sdspc: " << St.str() << "\n";
-  return exitCodeFor(St);
+  return {exitCodeFor(St), St.code()};
+}
+
+/// Resolves the fault schedule for this invocation: --fault-spec wins,
+/// else the SDSP_FAULT_SPEC environment variable via
+/// FaultSchedule::process().  \p Out may come back null (no spec
+/// anywhere).  A malformed spec from either source is reported and
+/// fails the run with an input diagnostic.
+bool resolveFaultSchedule(const Options &Opts, const FaultSchedule *&Out) {
+  Out = nullptr;
+  if (!Opts.FaultSpec.empty()) {
+    Status St = FaultSchedule::setProcess(Opts.FaultSpec);
+    if (!St) {
+      std::cerr << "sdspc: " << St.str() << "\n";
+      return false;
+    }
+  }
+  Expected<const FaultSchedule *> P = FaultSchedule::process();
+  if (!P) {
+    std::cerr << "sdspc: " << P.status().str() << "\n";
+    return false;
+  }
+  Out = *P;
+  return true;
 }
 
 /// Re-derives the codegen inputs through the session — all cache hits
@@ -336,9 +397,9 @@ buildProgram(CompilationSession &Session, const std::string &Source,
 /// artifact to \p Out (diagnostics and notes to \p Err).  Single runs
 /// pass std::cout/std::cerr; batch jobs pass per-job string streams so
 /// results can be replayed in input order whatever thread ran them.
-int compileAndEmit(CompilationSession &Session, const Options &Opts,
-                   const std::string &SourceText, std::ostream &Out,
-                   std::ostream &Err) {
+RenderResult compileAndEmit(CompilationSession &Session, const Options &Opts,
+                            const std::string &SourceText, std::ostream &Out,
+                            std::ostream &Err) {
   const std::string *Source = &SourceText;
 
   // An explicit --scp=0 is a machine that can never issue, not a
@@ -367,7 +428,7 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts,
     Pipe.StopAfter = PipelineStage::Schedule;
   else {
     Err << "sdspc: unknown --emit mode '" << Opts.Emit << "'\n";
-    return 1;
+    return {1, ErrorCode::InvalidInput};
   }
   // --verify's headline check is frustum rate vs analytic rate, so it
   // needs the full pipeline even when the emit mode stops early.
@@ -402,7 +463,7 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts,
 
   if (Opts.Emit == "dot-dataflow") {
     CL.Graph.printDot(Out, "dataflow");
-    return 0;
+    return {0, ErrorCode::Ok};
   }
 
   if (Opts.Emit == "storage") {
@@ -421,11 +482,11 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts,
             << Graph.node(Graph.arc(Arc).To).Name << "]";
       Out << " slots=" << A.Slots << "\n";
     }
-    return 0;
+    return {0, ErrorCode::Ok};
   }
   if (Opts.Emit == "dot-pn") {
     CL.Pn->Net.printDot(Out, "sdsp_pn");
-    return 0;
+    return {0, ErrorCode::Ok};
   }
   if (Opts.Emit == "rate") {
     const RateReport &R = *CL.Rate;
@@ -438,7 +499,7 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts,
     for (TransitionId T : R.CriticalTransitions)
       Out << CL.Pn->Net.transition(T).Name << " ";
     Out << "\ncritical cycles:   " << R.NumCriticalCycles << "\n";
-    return 0;
+    return {0, ErrorCode::Ok};
   }
 
   const FrustumInfo &F = *CL.Frustum;
@@ -452,7 +513,7 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts,
     while (Engine.now() < F.RepeatTime)
       BG.recordStep(Engine.fireAndAdvance());
     BG.printDot(Out, "behavior", F.StartTime, F.RepeatTime);
-    return 0;
+    return {0, ErrorCode::Ok};
   }
 
   if (CL.Scp) {
@@ -477,7 +538,7 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts,
               Out << " " << Names[Fired.index()];
       Out << "\n";
     }
-    return 0;
+    return {0, ErrorCode::Ok};
   }
 
   const SdspPn &Pn = *CL.Pn;
@@ -535,7 +596,7 @@ int compileAndEmit(CompilationSession &Session, const Options &Opts,
       Out << "\n";
     }
   }
-  return 0;
+  return {0, ErrorCode::Ok};
 }
 
 /// Writes a PipelineTrace (single-session or batch-merged) to \p Path.
@@ -610,18 +671,29 @@ int runSingle(const Options &Opts) {
   std::optional<std::string> Source = readSource(Opts);
   if (!Source)
     return 1;
+  const FaultSchedule *Faults = nullptr;
+  if (!resolveFaultSchedule(Opts, Faults))
+    return 1;
   TraceCollector Collector;
   SessionConfig Cfg;
-  if (!Opts.TracePath.empty()) {
-    std::string TrackName = !Opts.KernelId.empty()
-                                ? "kernel:" + Opts.KernelId
-                            : !Opts.InputPath.empty() ? Opts.InputPath
-                                                      : "stdin";
-    Cfg.Trace = &Collector.track(std::move(TrackName));
-  }
+  std::string Scope = !Opts.KernelId.empty() ? "kernel:" + Opts.KernelId
+                      : !Opts.InputPath.empty() ? Opts.InputPath
+                                                : "stdin";
+  if (!Opts.TracePath.empty())
+    Cfg.Trace = &Collector.track(Scope);
+  // The whole single run is one fault scope and one deadline window,
+  // mirroring a batch job.
+  FaultContext FC(Faults, Scope, Cfg.Trace);
+  if (Faults && !Faults->empty())
+    Cfg.Faults = &FC;
+  if (Opts.DeadlineGiven)
+    Cfg.Cancel = CancelSource::withDeadline(
+                     std::chrono::milliseconds(Opts.DeadlineMillis))
+                     .token();
   CompilationSession Session(Cfg);
   int Code =
-      compileAndEmit(Session, Opts, *Source, std::cout, std::cerr);
+      compileAndEmit(Session, Opts, *Source, std::cout, std::cerr)
+          .ExitCode;
   // Timings are reported on failure too: the table shows how far the
   // pipeline got (failed passes count under "fail", never cached).
   if (Opts.Timings)
@@ -660,6 +732,7 @@ void writeBatchJson(std::ostream &OS, const BatchOutcome &Outcome) {
      << "  \"schema\": \"sdsp-batch-v1\",\n"
      << "  \"jobs\": " << Outcome.Results.size() << ",\n"
      << "  \"failed\": " << Failed << ",\n"
+     << "  \"retries\": " << Outcome.Retries << ",\n"
      << "  \"exit_code\": " << Outcome.ExitCode << ",\n"
      << "  \"results\": [\n";
   bool First = true;
@@ -669,7 +742,8 @@ void writeBatchJson(std::ostream &OS, const BatchOutcome &Outcome) {
     First = false;
     OS << "    {\"name\": \"";
     batchJsonEscape(OS, R.Name);
-    OS << "\", \"exit_code\": " << R.ExitCode << ", \"ok\": "
+    OS << "\", \"exit_code\": " << R.ExitCode << ", \"attempts\": "
+       << R.Attempts << ", \"ok\": "
        << (R.ExitCode == 0 ? "true" : "false") << "}";
   }
   OS << "\n  ]\n}\n";
@@ -748,11 +822,24 @@ int runBatch(const Options &Opts) {
     return exitCodeFor(St);
   }
 
+  const FaultSchedule *Faults = nullptr;
+  if (!resolveFaultSchedule(Opts, Faults))
+    return 1;
+
   TraceCollector Collector;
   BatchOptions BO;
   BO.Threads = Opts.Jobs;
   if (!Opts.TracePath.empty())
     BO.Trace = &Collector;
+  BO.MaxRetries = Opts.Retries;
+  BO.KeepGoing = Opts.KeepGoing;
+  BO.JobDeadlineMillis = Opts.DeadlineMillis;
+  // An explicit zero deadline is already expired: cancel the whole
+  // batch up front (the per-job field treats 0 as "none").
+  if (Opts.DeadlineGiven && !Opts.DeadlineMillis)
+    BO.Cancel =
+        CancelSource::withDeadline(std::chrono::milliseconds(0)).token();
+  BO.Faults = Faults;
   BatchCompiler Batch(BO);
   BatchOutcome Outcome = Batch.run(
       Jobs, [&Opts](CompilationSession &Session, const BatchJob &Job,
@@ -773,7 +860,10 @@ int runBatch(const Options &Opts) {
     Failed += R.ExitCode != 0;
   }
   std::cout << "batch: " << Outcome.Results.size() << " jobs, " << Failed
-            << " failed\n";
+            << " failed";
+  if (Outcome.Retries)
+    std::cout << ", " << Outcome.Retries << " retried";
+  std::cout << "\n";
 
   int Code = Outcome.ExitCode;
   if (Opts.Timings)

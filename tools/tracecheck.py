@@ -17,6 +17,14 @@ message on the first violation:
       reports and fail on any difference.  Gauges (wall time, queue
       depth) are scheduling-dependent by design and are ignored; the
       counters are the determinism surface CI pins across -j values.
+
+  tracecheck.py faults TRACE METRICS
+      Cross-check fault-injection observability (docs/ROBUSTNESS.md):
+      every "fault-injected" instant in the trace must be matched by
+      the fault.injected counter (totals and per-site breakdown, ':'
+      mapped to '.'), and "cancelled" instants must match the
+      cancel.observed gauge.  A mismatch means a fault fired without
+      being recorded, or vice versa.
 """
 
 import json
@@ -123,14 +131,65 @@ def check_metrics_diff(path_a, path_b):
     print(f"tracecheck: {len(a)} counter(s) identical")
 
 
+def check_faults(trace_path, metrics_path):
+    doc = load_json(trace_path)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"'{trace_path}': missing top-level 'traceEvents' array")
+
+    injected = 0
+    per_site = {}
+    cancelled = 0
+    for ev in doc["traceEvents"]:
+        if not isinstance(ev, dict) or ev.get("ph") != "i":
+            continue
+        name = ev.get("name")
+        if name == "fault-injected":
+            injected += 1
+            site = ev.get("args", {}).get("site")
+            if not isinstance(site, str) or not site:
+                fail(f"'{trace_path}': a fault-injected instant has no "
+                     "'site' arg")
+            per_site[site] = per_site.get(site, 0) + 1
+        elif name == "cancelled":
+            cancelled += 1
+
+    mdoc = load_json(metrics_path)
+    counters = load_counters(metrics_path)
+    gauges = mdoc.get("gauges", {})
+
+    total = counters.get("fault.injected", 0)
+    if total != injected:
+        fail(f"fault.injected counter is {total} but '{trace_path}' has "
+             f"{injected} fault-injected instant(s)")
+    for site, n in sorted(per_site.items()):
+        key = "fault.injected." + site.replace(":", ".")
+        if counters.get(key, 0) != n:
+            fail(f"{key} counter is {counters.get(key, 0)} but "
+                 f"'{trace_path}' has {n} firing(s) at {site}")
+    site_sum = sum(v for k, v in counters.items()
+                   if k.startswith("fault.injected."))
+    if site_sum != total:
+        fail(f"per-site fault.injected.* counters sum to {site_sum}, "
+             f"expected {total}")
+    observed = int(gauges.get("cancel.observed", 0))
+    if observed != cancelled:
+        fail(f"cancel.observed gauge is {observed} but '{trace_path}' "
+             f"has {cancelled} cancelled instant(s)")
+    print(f"tracecheck: faults ok — {injected} firing(s) over "
+          f"{len(per_site)} site(s), {cancelled} cancellation(s)")
+
+
 def main(argv):
     if len(argv) >= 3 and argv[1] == "trace" and len(argv) == 3:
         check_trace(argv[2])
     elif len(argv) == 4 and argv[1] == "metrics-diff":
         check_metrics_diff(argv[2], argv[3])
+    elif len(argv) == 4 and argv[1] == "faults":
+        check_faults(argv[2], argv[3])
     else:
         fail("usage: tracecheck.py trace FILE | "
-             "tracecheck.py metrics-diff A B")
+             "tracecheck.py metrics-diff A B | "
+             "tracecheck.py faults TRACE METRICS")
 
 
 if __name__ == "__main__":
