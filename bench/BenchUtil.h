@@ -79,10 +79,23 @@ inline std::vector<std::string> livermoreIds() {
 } // namespace benchutil
 } // namespace sdsp
 
+/// The build type of the SDSP code under test.  google-benchmark's
+/// own `library_build_type` context key describes how *libbenchmark*
+/// was compiled, which on prebuilt-package hosts is routinely "debug"
+/// even when this project is fully optimized — so the capture tooling
+/// (tools/benchreport.py) gates on this key instead.
+#ifdef NDEBUG
+#define SDSP_BENCH_BUILD_TYPE "release"
+#else
+#define SDSP_BENCH_BUILD_TYPE "debug"
+#endif
+
 /// Prints the reproduction, then runs registered benchmarks.
 #define SDSP_BENCH_MAIN(PrintFn)                                          \
   int main(int argc, char **argv) {                                      \
     PrintFn(std::cout);                                                  \
+    ::benchmark::AddCustomContext("sdsp_build_type",                     \
+                                  SDSP_BENCH_BUILD_TYPE);                \
     ::benchmark::Initialize(&argc, argv);                                \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))            \
       return 1;                                                          \

@@ -28,6 +28,7 @@
 #include "core/Frustum.h"
 
 #include "petri/ReferenceEngine.h"
+#include "petri/SimdDispatch.h"
 #include "support/FaultInjection.h"
 #include "support/Metrics.h"
 
@@ -172,6 +173,11 @@ struct EngineMetricsFlusher {
     MR.add("packedstate.probes", Seen.probes());
     MR.add("packedstate.collisions", Seen.collisions());
     MR.add("packedstate.states_interned", Seen.size());
+    MR.add("hash.delta_validations", Seen.deltaValidations());
+    // Which SIMD tier served the readiness sweeps: a per-tier counter
+    // (process-wide constant, so still deterministic across -j).
+    MR.add(std::string("simd.tier.") + simdTierName(activeSimdTier()),
+           1);
     MR.add("frustum.detections", 1);
   }
 };
@@ -206,8 +212,9 @@ Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
         !S)
       return S;
     Engine.prepare();
-    Engine.packState(PS);
-    std::optional<uint64_t> Prev = Seen.insertOrFind(PS, Engine.now());
+    uint64_t Raw = Engine.packStateHashed(PS);
+    std::optional<uint64_t> Prev =
+        Seen.insertOrFindHashed(PS, Raw, Engine.now());
     ++Sampled;
     if (Prev)
       return makeInfo(Net, *Prev, Engine.now(), Engine.state(),
@@ -242,8 +249,8 @@ Expected<FrustumInfo> sdsp::detectFrustumChecked(const PetriNet &Net,
         Engine.leapTo(V);
         return S;
       }
-      PS.decrementResiduals(MarkWords);
-      std::optional<uint64_t> PrevV = Seen.insertOrFind(PS, V);
+      Raw = PS.decrementResiduals(MarkWords, Raw);
+      std::optional<uint64_t> PrevV = Seen.insertOrFindHashed(PS, Raw, V);
       ++Sampled;
       if (PrevV) {
         // The repeat landed on a leapt instant: move the engine there

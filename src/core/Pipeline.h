@@ -102,6 +102,9 @@ struct PipelineOptions {
   /// Which frustum detector to run (both budget and engine are part of
   /// the session's frustum cache fingerprint).
   FrustumEngine Engine = FrustumEngine::Fast;
+  /// Which max-cycle-ratio algorithm backs the rate pass (fingerprinted
+  /// in the session's rate cache key; see RateAnalysis.h).
+  RateEngine Rate = RateEngine::Auto;
   /// Run verifyCompiledLoop() before returning success.
   bool Verify = false;
   /// Iterations the schedule validator replays.

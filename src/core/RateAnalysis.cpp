@@ -7,13 +7,41 @@
 
 #include "core/RateAnalysis.h"
 
+#include "support/Metrics.h"
+
 #include <cassert>
 
 using namespace sdsp;
 
-RateReport sdsp::analyzeRate(const SdspPn &Pn) {
+const char *sdsp::rateEngineName(RateEngine Engine) {
+  switch (Engine) {
+  case RateEngine::Auto:
+    return "auto";
+  case RateEngine::Howard:
+    return "howard";
+  case RateEngine::Enumerate:
+    return "enumerate";
+  }
+  return "auto";
+}
+
+RateReport sdsp::analyzeRate(const SdspPn &Pn, RateEngine Engine) {
   MarkedGraphView View(Pn.Net);
-  std::optional<CriticalCycleInfo> Info = criticalCycle(View);
+  std::optional<CriticalCycleInfo> Info;
+  switch (Engine) {
+  case RateEngine::Auto:
+    Info = criticalCycle(View);
+    break;
+  case RateEngine::Howard: {
+    uint64_t Iterations = 0;
+    Info = maxCycleRatioHoward(View, &Iterations);
+    MetricsRegistry::global().add("rate.howard.iterations", Iterations);
+    break;
+  }
+  case RateEngine::Enumerate:
+    Info = criticalCycleByEnumeration(View);
+    break;
+  }
 
   // Implicit self-loop bound: max execution time.
   Rational SelfLoop(0);

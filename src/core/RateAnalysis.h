@@ -45,12 +45,34 @@ struct RateReport {
   bool MultipleCriticalCycles() const { return NumCriticalCycles > 1; }
 };
 
+/// Which max-cycle-ratio algorithm backs analyzeRate.
+///   Auto      — enumeration up to the dispatcher's vertex limit (fills
+///               NumCriticalCycles exactly, matching the paper-scale
+///               outputs), Howard's policy iteration above it;
+///   Howard    — always Howard's policy iteration (the at-scale hot
+///               path; NumCriticalCycles stays 0);
+///   Enumerate — always Johnson-style enumeration (exponential worst
+///               case; the cross-validation oracle behind
+///               `--rate-engine=enumerate` and the golden suite).
+enum class RateEngine : uint8_t {
+  Auto = 0,
+  Howard = 1,
+  Enumerate = 2,
+};
+
+/// Stable lowercase name ("auto", "howard", "enumerate") used by the
+/// sdspc flag and the artifact-cache fingerprint.
+const char *rateEngineName(RateEngine Engine);
+
 /// Computes the rate report of \p Pn.  The cycle time also honors the
 /// implicit self-loop of Assumption A.6.1: a transition of time tau
 /// cannot fire above 1/tau even off every cycle, so for a place-free
 /// net (e.g. Livermore loop 12's single subtraction) the cycle time is
-/// max tau rather than undefined.
-RateReport analyzeRate(const SdspPn &Pn);
+/// max tau rather than undefined.  Howard runs flush their iteration
+/// count to the `rate.howard.iterations` metric (deterministic per
+/// net).
+RateReport analyzeRate(const SdspPn &Pn,
+                       RateEngine Engine = RateEngine::Auto);
 
 /// The balancing ratio M(C)/Omega(C) of one simple cycle (Section 6).
 Rational balancingRatio(const SimpleCycle &C);

@@ -14,6 +14,7 @@
 #include "dataflow/Unroll.h"
 #include "dataflow/Validate.h"
 #include "loopir/Lowering.h"
+#include "petri/SimdDispatch.h"
 #include "support/FaultInjection.h"
 #include "support/Hashing.h"
 #include "support/Metrics.h"
@@ -510,10 +511,16 @@ CompilationSession::buildPn(const ArtifactRef<SdspArtifact> &S) {
 }
 
 Expected<ArtifactRef<RateReport>>
-CompilationSession::computeRate(const ArtifactRef<SdspPn> &Pn) {
-  return runPass<RateReport>(PassKind::Rate, Pn.hash(), 0,
+CompilationSession::computeRate(const ArtifactRef<SdspPn> &Pn,
+                                RateEngine Engine) {
+  // The engine choice shapes the report (enumeration fills
+  // NumCriticalCycles; Howard leaves it 0), so it must be part of the
+  // cache key or a batch mixing --rate-engine values would cross-serve
+  // stale reports.
+  uint64_t Fp = HashStream(8).u64(static_cast<uint64_t>(Engine)).hash();
+  return runPass<RateReport>(PassKind::Rate, Pn.hash(), Fp,
                              [&]() -> Expected<RateReport> {
-                               return analyzeRate(*Pn);
+                               return analyzeRate(*Pn, Engine);
                              });
 }
 
@@ -543,6 +550,13 @@ CompilationSession::frustumPass(const PetriNet &Net, uint64_t MachineHash,
         std::unique_ptr<FifoPolicy> Policy;
         if (Scp)
           Policy = Scp->makeFifoPolicy();
+        if (Trace && FO.Engine == FrustumEngine::Fast) {
+          // Record which readiness-sweep kernel the dispatcher picked
+          // so a capture is self-describing about the ISA tier (and the
+          // SDSP_SIMD override) it ran under.
+          Trace->instant("simd-dispatch", "frustum");
+          Trace->argStr("tier", simdTierName(activeSimdTier()));
+        }
         Expected<FrustumInfo> F =
             FO.Engine == FrustumEngine::Reference
                 ? detectFrustumReference(Net, Policy.get(), Budget, Cancel,
@@ -675,7 +689,7 @@ CompilationSession::compileFromGraph(ArtifactRef<DataflowGraph> G,
   if (!Pn)
     return Pn.status();
   CL.Pn = **Pn;
-  Expected<ArtifactRef<RateReport>> Rate = computeRate(*Pn);
+  Expected<ArtifactRef<RateReport>> Rate = computeRate(*Pn, Opts.Rate);
   if (!Rate)
     return Rate.status();
   CL.Rate = **Rate;

@@ -277,8 +277,13 @@ public:
   /// Section 3.2 translation to the SDSP-PN.
   Expected<ArtifactRef<SdspPn>> buildPn(const ArtifactRef<SdspArtifact> &S);
 
-  /// Analytic rate report (alpha*, critical cycles).
-  Expected<ArtifactRef<RateReport>> computeRate(const ArtifactRef<SdspPn> &Pn);
+  /// Analytic rate report (alpha*, critical cycles).  The engine choice
+  /// is part of the artifact-cache fingerprint: a Howard-computed report
+  /// (NumCriticalCycles unset) can never be served to an enumeration
+  /// request expecting exact cycle counts, and vice versa.
+  Expected<ArtifactRef<RateReport>>
+  computeRate(const ArtifactRef<SdspPn> &Pn,
+              RateEngine Engine = RateEngine::Auto);
 
   /// Section 5.2 machine model.
   Expected<ArtifactRef<ScpPn>> buildScp(const ArtifactRef<SdspPn> &Pn,

@@ -7,6 +7,8 @@
 
 #include "petri/CycleRatio.h"
 
+#include "support/Status.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -81,15 +83,22 @@ findPositiveCycle(const MarkedGraphView &G,
 /// With converged potentials Pi for weights w (all cycles <= 0), an edge
 /// is *tight* when Pi[u] + w == Pi[v]; zero-weight (critical) cycles are
 /// exactly the cycles of tight edges.  Returns the vertices lying on
-/// nontrivial SCCs of the tight subgraph.
+/// nontrivial SCCs of the tight subgraph.  When \p Include is non-null,
+/// only edges between included vertices participate (Howard's converged
+/// potentials are only valid — and only needed — on the vertices whose
+/// ratio attains lambda*).
 std::vector<TransitionId>
 verticesOnTightCycles(const MarkedGraphView &G,
                       const std::vector<int64_t> &Weight,
-                      const std::vector<int64_t> &Pi) {
+                      const std::vector<int64_t> &Pi,
+                      const std::vector<uint8_t> *Include = nullptr) {
   size_t N = G.numVertices();
   std::vector<std::vector<uint32_t>> TightOut(N);
   for (size_t EI = 0; EI < G.numEdges(); ++EI) {
     const MarkedGraphView::Edge &E = G.edge(EI);
+    if (Include &&
+        (!(*Include)[E.From.index()] || !(*Include)[E.To.index()]))
+      continue;
     if (Pi[E.From.index()] + Weight[EI] == Pi[E.To.index()])
       TightOut[E.From.index()].push_back(static_cast<uint32_t>(EI));
   }
@@ -235,8 +244,257 @@ sdsp::criticalCycleByParametricSearch(const MarkedGraphView &G) {
 }
 
 std::optional<CriticalCycleInfo>
+sdsp::maxCycleRatioHoward(const MarkedGraphView &G, uint64_t *IterationsOut) {
+  if (IterationsOut)
+    *IterationsOut = 0;
+  size_t N = G.numVertices();
+  size_t NE = G.numEdges();
+
+  // Trim to the cyclic core: peel vertices with no outgoing edge (to a
+  // surviving vertex) until none remain.  Every cycle survives, and
+  // every surviving vertex has an out-edge, so a policy (one out-edge
+  // per vertex) always induces a functional graph.
+  std::vector<uint8_t> Alive(N, 1);
+  std::vector<uint32_t> OutDeg(N, 0);
+  for (size_t EI = 0; EI < NE; ++EI)
+    ++OutDeg[G.edge(EI).From.index()];
+  std::vector<uint32_t> Peel;
+  for (size_t V = 0; V < N; ++V)
+    if (OutDeg[V] == 0)
+      Peel.push_back(static_cast<uint32_t>(V));
+  while (!Peel.empty()) {
+    uint32_t V = Peel.back();
+    Peel.pop_back();
+    Alive[V] = 0;
+    for (uint32_t EI : G.inEdges(TransitionId(V))) {
+      uint32_t U = G.edge(EI).From.index();
+      if (Alive[U] && --OutDeg[U] == 0)
+        Peel.push_back(U);
+    }
+  }
+
+  // Surviving out-edges per vertex (targets alive too), in ascending
+  // edge order so every tie-break below is deterministic.
+  std::vector<std::vector<uint32_t>> FOut(N);
+  bool AnyAlive = false;
+  for (size_t V = 0; V < N; ++V) {
+    if (!Alive[V])
+      continue;
+    AnyAlive = true;
+    for (uint32_t EI : G.outEdges(TransitionId(V)))
+      if (Alive[G.edge(EI).To.index()])
+        FOut[V].push_back(EI);
+    assert(!FOut[V].empty() && "trimmed vertex without surviving edge");
+  }
+  if (!AnyAlive)
+    return std::nullopt; // Acyclic graph.
+
+  auto EdgeTau = [&](uint32_t EI) -> int64_t {
+    return G.net().transition(G.edge(EI).From).ExecTime;
+  };
+  // Reduced weight w(e; lambda) = tau(from) * den - num * tokens: a
+  // cycle's reduced-weight sum is den * (Omega - lambda * M), zero
+  // exactly on cycles of ratio lambda.
+  auto Reduced = [&](uint32_t EI, const Rational &Lambda) -> int64_t {
+    return EdgeTau(EI) * Lambda.den() -
+           Lambda.num() * static_cast<int64_t>(G.edge(EI).Tokens);
+  };
+
+  std::vector<uint32_t> Pol(N, UINT32_MAX);
+  for (size_t V = 0; V < N; ++V)
+    if (Alive[V])
+      Pol[V] = FOut[V].front();
+
+  // Per-vertex policy value: the ratio of the policy cycle the vertex
+  // leads to (Lam) and the reduced-weight bias along the policy path to
+  // that cycle (Val, in units of 1/Lam.den; only comparable between
+  // vertices of equal Lam, which is the only way it is used).
+  std::vector<Rational> Lam(N);
+  std::vector<int64_t> Val(N, 0);
+  std::vector<uint8_t> State(N);
+  std::vector<uint32_t> Path;
+  uint64_t Iterations = 0;
+
+  auto Target = [&](uint32_t EI) -> uint32_t {
+    return G.edge(EI).To.index();
+  };
+
+  auto Evaluate = [&]() {
+    ++Iterations;
+    State.assign(N, 0); // 0 unvisited, 1 on current walk, 2 evaluated
+    for (size_t Root = 0; Root < N; ++Root) {
+      if (!Alive[Root] || State[Root] != 0)
+        continue;
+      Path.clear();
+      uint32_t U = static_cast<uint32_t>(Root);
+      while (State[U] == 0) {
+        State[U] = 1;
+        Path.push_back(U);
+        U = Target(Pol[U]);
+      }
+      size_t TailEnd = Path.size();
+      if (State[U] == 1) {
+        // New policy cycle: the suffix of Path starting at U.
+        size_t Pos = Path.size();
+        while (Path[Pos - 1] != U)
+          --Pos;
+        --Pos;
+        uint64_t WSum = 0, TSum = 0;
+        size_t RootIdx = Pos;
+        for (size_t I = Pos; I < Path.size(); ++I) {
+          uint32_t C = Path[I];
+          WSum += static_cast<uint64_t>(EdgeTau(Pol[C]));
+          TSum += G.edge(Pol[C]).Tokens;
+          if (C < Path[RootIdx])
+            RootIdx = I;
+        }
+        SDSP_CHECK(TSum > 0, "token-free policy cycle in a live net");
+        Rational Lambda(static_cast<int64_t>(WSum),
+                        static_cast<int64_t>(TSum));
+        // Normalize at the cycle's min-index vertex (deterministic and
+        // stable across rounds), then unwind values against the
+        // successor direction; the cycle's reduced weights sum to zero
+        // at Lambda, so the assignment is consistent.
+        size_t K = Path.size() - Pos;
+        uint32_t RootV = Path[RootIdx];
+        Lam[RootV] = Lambda;
+        Val[RootV] = 0;
+        State[RootV] = 2;
+        for (size_t Step = 1; Step < K; ++Step) {
+          size_t I = Pos + ((RootIdx - Pos) + K - Step) % K;
+          uint32_t C = Path[I];
+          uint32_t Succ = Target(Pol[C]);
+          Lam[C] = Lambda;
+          Val[C] = Reduced(Pol[C], Lambda) + Val[Succ];
+          State[C] = 2;
+        }
+        TailEnd = Pos;
+      }
+      // Unwind the tail (nearest the evaluated region first).
+      for (size_t I = TailEnd; I-- > 0;) {
+        uint32_t C = Path[I];
+        if (State[C] == 2)
+          continue; // Part of the cycle handled above.
+        uint32_t Succ = Target(Pol[C]);
+        Lam[C] = Lam[Succ];
+        Val[C] = Reduced(Pol[C], Lam[C]) + Val[Succ];
+        State[C] = 2;
+      }
+    }
+  };
+
+  // Policy iteration: ratio improvements first (global), bias
+  // improvements only on ratio-stable rounds; both strictly increase
+  // the (Lam, Val) profile, so the loop terminates — the cap is a
+  // safety net that routes pathological instances to the parametric
+  // search rather than risking an unbounded loop.
+  constexpr uint64_t MaxIterations = 512;
+  while (true) {
+    Evaluate();
+    if (Iterations > MaxIterations) {
+      if (IterationsOut)
+        *IterationsOut = 0;
+      return criticalCycleByParametricSearch(G);
+    }
+    bool AnyLam = false;
+    for (size_t U = 0; U < N; ++U) {
+      if (!Alive[U])
+        continue;
+      Rational BestLam = Lam[U];
+      uint32_t BestE = Pol[U];
+      for (uint32_t EI : FOut[U])
+        if (Lam[Target(EI)] > BestLam) {
+          BestLam = Lam[Target(EI)];
+          BestE = EI;
+        }
+      if (BestLam > Lam[U]) {
+        Pol[U] = BestE;
+        AnyLam = true;
+      }
+    }
+    if (AnyLam)
+      continue;
+    bool AnyVal = false;
+    for (size_t U = 0; U < N; ++U) {
+      if (!Alive[U])
+        continue;
+      int64_t Best = Val[U];
+      uint32_t BestE = Pol[U];
+      for (uint32_t EI : FOut[U]) {
+        uint32_t X = Target(EI);
+        if (Lam[X] != Lam[U])
+          continue;
+        int64_t Cand = Reduced(EI, Lam[U]) + Val[X];
+        if (Cand > Best) {
+          Best = Cand;
+          BestE = EI;
+        }
+      }
+      if (BestE != Pol[U]) {
+        Pol[U] = BestE;
+        AnyVal = true;
+      }
+    }
+    if (!AnyVal)
+      break;
+  }
+  if (IterationsOut)
+    *IterationsOut = Iterations;
+
+  // lambda* = the best converged ratio; the witness is the policy cycle
+  // of its smallest-index attaining vertex.
+  Rational Best(-1);
+  uint32_t BestV = UINT32_MAX;
+  for (size_t V = 0; V < N; ++V)
+    if (Alive[V] && (BestV == UINT32_MAX || Lam[V] > Best)) {
+      Best = Lam[V];
+      BestV = static_cast<uint32_t>(V);
+    }
+
+  State.assign(N, 0);
+  uint32_t U = BestV;
+  while (State[U] == 0) {
+    State[U] = 1;
+    U = Target(Pol[U]);
+  }
+  std::vector<uint32_t> CycleEdges;
+  uint32_t Cursor = U;
+  do {
+    CycleEdges.push_back(Pol[Cursor]);
+    Cursor = Target(Pol[Cursor]);
+  } while (Cursor != U);
+
+  CriticalCycleInfo Info;
+  Info.CycleTime = Best;
+  Info.ComputationRate = Best.isZero() ? Rational(0) : Best.reciprocal();
+  Info.Witness = makeCycle(G, CycleEdges);
+  assert(cycleRatio(Info.Witness) == Best &&
+         "policy cycle ratio diverged from converged lambda*");
+
+  // Critical transitions: cycles of ratio lambda* live entirely among
+  // the vertices whose Lam attains it (any vertex on such a cycle can
+  // reach it, so its converged ratio is lambda*).  On those vertices
+  // the converged values are longest-path potentials for the reduced
+  // weights at lambda* — phase-2 convergence is exactly
+  // Pi[to] >= Pi[from] + w — so the tight-subgraph analysis of the
+  // parametric search applies unchanged, restricted to that vertex set.
+  std::vector<int64_t> Weight(NE, 0);
+  for (size_t EI = 0; EI < NE; ++EI)
+    Weight[EI] = Reduced(static_cast<uint32_t>(EI), Best);
+  std::vector<uint8_t> Include(N, 0);
+  std::vector<int64_t> Pi(N, 0);
+  for (size_t V = 0; V < N; ++V)
+    if (Alive[V] && Lam[V] == Best) {
+      Include[V] = 1;
+      Pi[V] = -Val[V];
+    }
+  Info.CriticalTransitions = verticesOnTightCycles(G, Weight, Pi, &Include);
+  return Info;
+}
+
+std::optional<CriticalCycleInfo>
 sdsp::criticalCycle(const MarkedGraphView &G, size_t EnumerationLimit) {
   if (G.numVertices() <= EnumerationLimit)
     return criticalCycleByEnumeration(G);
-  return criticalCycleByParametricSearch(G);
+  return maxCycleRatioHoward(G);
 }

@@ -16,12 +16,14 @@
 /// rate is gamma = 1/alpha*.  Cycles with zero tokens make the net dead,
 /// so callers must pass live nets.
 ///
-/// Two algorithms are provided:
+/// Three algorithms are provided:
 ///   - enumeration over Johnson's simple cycles (exact, exponential worst
-///     case, fine at the paper's scale and used as the test oracle); and
+///     case, fine at the paper's scale and used as the test oracle);
 ///   - Lawler-style parametric search with positive-cycle detection
 ///     (polynomial; this is the "more efficient approach" the paper cites
-///     via Magott's linear-programming formulation).
+///     via Magott's linear-programming formulation); and
+///   - Howard's policy iteration (the hot path at 10^5+ transitions:
+///     near-linear practical time, exact rational output).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,7 +69,22 @@ criticalCycleByEnumeration(const MarkedGraphView &G);
 std::optional<CriticalCycleInfo>
 criticalCycleByParametricSearch(const MarkedGraphView &G);
 
-/// Convenience dispatcher: parametric search for large graphs,
+/// Computes the maximum cycle ratio by Howard's policy iteration
+/// (Dasdan's MCR survey lineage): each vertex keeps one chosen
+/// out-edge, the resulting functional graph is evaluated exactly (its
+/// unique per-component cycle gives a rational ratio and integer
+/// reduced-weight biases), and policies improve lexicographically on
+/// (ratio, bias) until fixed.  Converges in a handful of evaluations in
+/// practice; an iteration cap falls back to the parametric search, so
+/// the result is always exact.  Returns std::nullopt for acyclic
+/// graphs.  \p G must be live.  \p IterationsOut, when non-null,
+/// receives the number of policy-evaluation rounds performed (0 when
+/// the fallback ran) — surfaced as the `rate.howard.iterations` metric.
+std::optional<CriticalCycleInfo>
+maxCycleRatioHoward(const MarkedGraphView &G,
+                    uint64_t *IterationsOut = nullptr);
+
+/// Convenience dispatcher: Howard's policy iteration for large graphs,
 /// enumeration (which also fills NumCriticalCycles and the full critical
 /// transition set) below \p EnumerationLimit vertices.
 std::optional<CriticalCycleInfo>

@@ -13,10 +13,6 @@
 #include <bit>
 #include <cassert>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
 using namespace sdsp;
 
 //===----------------------------------------------------------------------===//
@@ -269,10 +265,6 @@ void LifoPolicy::appendFingerprint(std::vector<uint32_t> &Out) const {
 /// Sentinel finish time for idle transitions.
 static constexpr TimeStep IdleFinish = ~static_cast<TimeStep>(0);
 
-/// Ring buckets are only worth their memory for bounded execution
-/// times; nets with longer taus use the ordered-map fallback.
-static constexpr TimeUnits MaxRingExecTime = 4096;
-
 Status sdsp::validateTimedNet(const PetriNet &Net) {
   if (Net.numTransitions() == 0)
     return Status::error(ErrorCode::InvalidNet, "petri",
@@ -287,8 +279,8 @@ Status sdsp::validateTimedNet(const PetriNet &Net) {
 
 /// Calls \p F with the index of every set bit, in ascending order.
 template <typename Fn>
-static void forEachSetBit(const std::vector<uint64_t> &Bits, Fn &&F) {
-  for (size_t W = 0; W < Bits.size(); ++W) {
+static void forEachSetBit(const uint64_t *Bits, size_t NumWords, Fn &&F) {
+  for (size_t W = 0; W < NumWords; ++W) {
     uint64_t Word = Bits[W];
     while (Word) {
       F(static_cast<uint32_t>(W * 64 + std::countr_zero(Word)));
@@ -299,122 +291,15 @@ static void forEachSetBit(const std::vector<uint64_t> &Bits, Fn &&F) {
 
 EarliestFiringEngine::EarliestFiringEngine(const PetriNet &Net,
                                            FiringPolicy *Policy)
-    : Net(Net), Policy(Policy), M(Net.initialMarking()),
-      FinishTime(Net.numTransitions(), IdleFinish) {
-  size_t NumT = Net.numTransitions();
-  size_t NumP = Net.numPlaces();
-
-  // Flatten the adjacency into CSR form.  Callers validate inputs with
-  // validateTimedNet(); reaching the engine with a zero execution time
-  // is a bug in this codebase.
-  InOff.reserve(NumT + 1);
-  OutOff.reserve(NumT + 1);
-  Exec.reserve(NumT);
-  InOff.push_back(0);
-  OutOff.push_back(0);
-  for (TransitionId T : Net.transitionIds()) {
-    const PetriNet::Transition &Tr = Net.transition(T);
-    SDSP_CHECK(Tr.ExecTime >= 1, "engine requires execution times >= 1");
-    MaxExec = std::max(MaxExec, Tr.ExecTime);
-    Exec.push_back(Tr.ExecTime);
-    for (PlaceId P : Tr.InputPlaces)
-      InList.push_back(P.index());
-    for (PlaceId P : Tr.OutputPlaces)
-      OutList.push_back(P.index());
-    InOff.push_back(static_cast<uint32_t>(InList.size()));
-    OutOff.push_back(static_cast<uint32_t>(OutList.size()));
-  }
-  ConsOff.reserve(NumP + 1);
-  ConsOff.push_back(0);
-  for (PlaceId P : Net.placeIds()) {
-    for (TransitionId T : Net.place(P).Consumers)
-      ConsList.push_back(T.index());
-    ConsOff.push_back(static_cast<uint32_t>(ConsList.size()));
-  }
-
-  // Marked-graph fast-path metadata (see the header).
-  FastFire.assign(NumT, 0);
-  bool AllFastTopo = NumT > 0;
-  for (uint32_t I = 0; I < NumT; ++I) {
-    bool AllSole = true;
-    for (uint32_t K = InOff[I]; K < InOff[I + 1]; ++K) {
-      uint32_t P = InList[K];
-      AllSole &= (ConsOff[P + 1] - ConsOff[P]) == 1;
-    }
-    FastFire[I] = AllSole;
-    AllFastTopo &= AllSole;
-  }
-
-  // Packed-marking slot permutation (see the header): in a pure marked
-  // graph every input-list entry names a distinct place, so slot =
-  // input-list position is a bijection once consumerless places take
-  // the tail.
-  PlaceSlot.assign(NumP, ~0u);
-  if (AllFastTopo)
-    for (uint32_t K = 0, E = static_cast<uint32_t>(InList.size()); K < E; ++K) {
-      if (PlaceSlot[InList[K]] != ~0u) {
-        AllFastTopo = false; // duplicate input arc
-        break;
-      }
-      PlaceSlot[InList[K]] = K;
-    }
-  if (AllFastTopo) {
-    uint32_t Next = static_cast<uint32_t>(InList.size());
-    for (uint32_t P = 0; P < NumP; ++P)
-      if (PlaceSlot[P] == ~0u)
-        PlaceSlot[P] = Next++;
-    SlotPlace.resize(NumP);
-    for (uint32_t P = 0; P < NumP; ++P)
-      SlotPlace[PlaceSlot[P]] = P;
-  } else {
-    for (uint32_t P = 0; P < NumP; ++P)
-      PlaceSlot[P] = P;
-    SlotPlace = PlaceSlot;
-  }
-
-  FastComp.assign(NumT, 0);
-  CompOff.reserve(NumT + 1);
-  CompOff.push_back(0);
-  for (uint32_t I = 0; I < NumT; ++I) {
-    bool AllSingle = true;
-    for (uint32_t K = OutOff[I]; K < OutOff[I + 1]; ++K) {
-      uint32_t P = OutList[K];
-      if (ConsOff[P + 1] - ConsOff[P] != 1) {
-        AllSingle = false;
-        break;
-      }
-    }
-    if (AllSingle)
-      for (uint32_t K = OutOff[I]; K < OutOff[I + 1]; ++K) {
-        uint32_t P = OutList[K];
-        CompPairs.push_back((static_cast<uint64_t>(PlaceSlot[P]) << 32) |
-                            ConsList[ConsOff[P]]);
-        CompPlace.push_back(P);
-      }
-    FastComp[I] = AllSingle;
-    CompOff.push_back(static_cast<uint32_t>(CompPairs.size()));
-  }
-
-  UnitTime = MaxExec == 1;
-  UseRing = MaxExec <= MaxRingExecTime;
-  if (UseRing && !UnitTime)
-    RingCount.assign(static_cast<size_t>(MaxExec) + 1, 0);
-
-  // Readiness is padded to the bitset's word boundary with a nonzero
-  // sentinel so the enabled-bitset rebuild in prepare() can scan whole
-  // 64-lane words; the padding lanes never read as enabled and are
-  // never indexed by a transition id.
-  Readiness.assign(((NumT + 63) / 64) * 64, 1);
-  std::fill_n(Readiness.begin(), NumT, 0u);
-  EnabledIdleBits.assign((NumT + 63) / 64, 0);
-  BusyBits.assign((NumT + 63) / 64, 0);
-  MarkBits.assign(packedMarkWords(NumP), 0);
+    : Net(Net), Policy(Policy), M(Net.initialMarking()), L(Net),
+      Sweep(readinessSweep()) {
+  HS.init(L);
 
   for (PlaceId P : Net.placeIds()) {
     uint32_t C = M.tokens(P);
-    uint32_t S = PlaceSlot[P.index()];
+    uint32_t S = L.PlaceSlot[P.index()];
     if (C >= 1)
-      MarkBits[S >> 6] |= 1ull << (S & 63);
+      HS.Mark[S >> 6] |= 1ull << (S & 63);
     if (C >= 2)
       ++OverflowPlaces;
   }
@@ -423,19 +308,29 @@ EarliestFiringEngine::EarliestFiringEngine(const PetriNet &Net,
     for (PlaceId P : Net.transition(T).InputPlaces)
       if (M.tokens(P) == 0)
         ++Missing;
-    Readiness[T.index()] = Missing;
+    HS.Readiness[T.index()] = Missing;
     if (Missing == 0)
       setEnabledIdle(T.index());
+  }
+
+  // Seed the incremental marking hash: one absolute term per word
+  // (zero-valued words contribute too — the per-word term cache keeps
+  // the accumulator exact because every word always has a term).
+  MarkTerm.resize(L.MarkWords);
+  MarkShadow.assign(HS.Mark, HS.Mark + L.MarkWords);
+  for (size_t W = 0; W < L.MarkWords; ++W) {
+    MarkTerm[W] = PackedState::mixWord(1 + W, HS.Mark[W]);
+    MarkHash ^= MarkTerm[W];
   }
 
   // Policies observe the Marking every step, so keep it eagerly exact
   // for them; otherwise a safe initial marking runs in bit mode.
   UseBitMarking = Policy == nullptr && OverflowPlaces == 0;
   if (!UseBitMarking) {
-    std::fill(FastFire.begin(), FastFire.end(), 0);
-    std::fill(FastComp.begin(), FastComp.end(), 0);
+    std::fill_n(HS.FastFire, L.NumTransitions, uint8_t(0));
+    std::fill_n(HS.FastComp, L.NumTransitions, uint8_t(0));
   }
-  AllFast = UseBitMarking && AllFastTopo;
+  AllFast = UseBitMarking && L.AllFastTopo;
 
   if (Policy)
     Policy->reset();
@@ -444,16 +339,16 @@ EarliestFiringEngine::EarliestFiringEngine(const PetriNet &Net,
 void EarliestFiringEngine::setEnabledIdle(uint32_t T) {
   // Callers only reach this on an exact 0-crossing of Readiness[T], so
   // the bit is known clear.
-  assert(!(EnabledIdleBits[T >> 6] & (1ull << (T & 63))) &&
+  assert(!(HS.EnabledIdle[T >> 6] & (1ull << (T & 63))) &&
          "transition already in the enabled-idle set");
-  EnabledIdleBits[T >> 6] |= 1ull << (T & 63);
+  HS.EnabledIdle[T >> 6] |= 1ull << (T & 63);
   ++EnabledIdleCount;
 }
 
 void EarliestFiringEngine::clearEnabledIdle(uint32_t T) {
-  assert((EnabledIdleBits[T >> 6] & (1ull << (T & 63))) &&
+  assert((HS.EnabledIdle[T >> 6] & (1ull << (T & 63))) &&
          "transition not in the enabled-idle set");
-  EnabledIdleBits[T >> 6] &= ~(1ull << (T & 63));
+  HS.EnabledIdle[T >> 6] &= ~(1ull << (T & 63));
   --EnabledIdleCount;
 }
 
@@ -465,33 +360,33 @@ void EarliestFiringEngine::leaveBitMarking(uint32_t P) {
   syncMarking();
   UseBitMarking = false;
   AllFast = false;
-  std::fill(FastFire.begin(), FastFire.end(), 0);
-  std::fill(FastComp.begin(), FastComp.end(), 0);
+  std::fill_n(HS.FastFire, L.NumTransitions, uint8_t(0));
+  std::fill_n(HS.FastComp, L.NumTransitions, uint8_t(0));
 }
 
 void EarliestFiringEngine::syncMarking() const {
   if (!UseBitMarking)
     return;
-  size_t NumP = Net.numPlaces();
+  size_t NumP = L.NumPlaces;
   for (size_t P = 0; P < NumP; ++P) {
-    uint32_t S = PlaceSlot[P];
+    uint32_t S = L.PlaceSlot[P];
     M.setTokens(PlaceId(P),
-                static_cast<uint32_t>((MarkBits[S >> 6] >> (S & 63)) & 1));
+                static_cast<uint32_t>((HS.Mark[S >> 6] >> (S & 63)) & 1));
   }
 }
 
 void EarliestFiringEngine::produceToken(uint32_t P) {
-  uint32_t S = PlaceSlot[P];
+  uint32_t S = L.PlaceSlot[P];
   uint64_t Bit = 1ull << (S & 63);
   if (UseBitMarking) {
-    uint64_t &Word = MarkBits[S >> 6];
+    uint64_t &Word = HS.Mark[S >> 6];
     if (!(Word & Bit)) {
       Word |= Bit;
-      for (uint32_t K = ConsOff[P], E = ConsOff[P + 1]; K < E; ++K) {
-        uint32_t I = ConsList[K];
-        assert((Readiness[I] & (BusyBias - 1)) > 0 &&
+      for (uint32_t K = L.ConsOff[P], E = L.ConsOff[P + 1]; K < E; ++K) {
+        uint32_t I = L.ConsList[K];
+        assert((HS.Readiness[I] & (BusyBias - 1)) > 0 &&
                "missing-input counter underflow");
-        if (--Readiness[I] == 0)
+        if (--HS.Readiness[I] == 0)
           setEnabledIdle(I);
       }
       return;
@@ -503,12 +398,12 @@ void EarliestFiringEngine::produceToken(uint32_t P) {
   M.produce(Pid);
   uint32_t C = M.tokens(Pid);
   if (C == 1) {
-    MarkBits[S >> 6] |= Bit;
-    for (uint32_t K = ConsOff[P], E = ConsOff[P + 1]; K < E; ++K) {
-      uint32_t I = ConsList[K];
-      assert((Readiness[I] & (BusyBias - 1)) > 0 &&
+    HS.Mark[S >> 6] |= Bit;
+    for (uint32_t K = L.ConsOff[P], E = L.ConsOff[P + 1]; K < E; ++K) {
+      uint32_t I = L.ConsList[K];
+      assert((HS.Readiness[I] & (BusyBias - 1)) > 0 &&
              "missing-input counter underflow");
-      if (--Readiness[I] == 0)
+      if (--HS.Readiness[I] == 0)
         setEnabledIdle(I);
     }
   } else if (C == 2) {
@@ -517,15 +412,15 @@ void EarliestFiringEngine::produceToken(uint32_t P) {
 }
 
 void EarliestFiringEngine::consumeToken(uint32_t P) {
-  uint32_t S = PlaceSlot[P];
+  uint32_t S = L.PlaceSlot[P];
   uint64_t Bit = 1ull << (S & 63);
   if (UseBitMarking) {
-    uint64_t &Word = MarkBits[S >> 6];
+    uint64_t &Word = HS.Mark[S >> 6];
     assert((Word & Bit) && "consuming from an empty place");
     Word &= ~Bit;
-    for (uint32_t K = ConsOff[P], E = ConsOff[P + 1]; K < E; ++K) {
-      uint32_t I = ConsList[K];
-      if (Readiness[I]++ == 0)
+    for (uint32_t K = L.ConsOff[P], E = L.ConsOff[P + 1]; K < E; ++K) {
+      uint32_t I = L.ConsList[K];
+      if (HS.Readiness[I]++ == 0)
         clearEnabledIdle(I);
     }
     return;
@@ -534,10 +429,10 @@ void EarliestFiringEngine::consumeToken(uint32_t P) {
   M.consume(Pid);
   uint32_t C = M.tokens(Pid);
   if (C == 0) {
-    MarkBits[S >> 6] &= ~Bit;
-    for (uint32_t K = ConsOff[P], E = ConsOff[P + 1]; K < E; ++K) {
-      uint32_t I = ConsList[K];
-      if (Readiness[I]++ == 0)
+    HS.Mark[S >> 6] &= ~Bit;
+    for (uint32_t K = L.ConsOff[P], E = L.ConsOff[P + 1]; K < E; ++K) {
+      uint32_t I = L.ConsList[K];
+      if (HS.Readiness[I]++ == 0)
         clearEnabledIdle(I);
     }
   } else if (C == 1) {
@@ -548,38 +443,38 @@ void EarliestFiringEngine::consumeToken(uint32_t P) {
 /// Token production side of completing transition \p I: the fast pair
 /// stream when available, the generic per-place walk otherwise.
 void EarliestFiringEngine::produceOutputs(uint32_t I) {
-  if (FastComp[I]) {
+  if (HS.FastComp[I]) {
     // Bit-marking fast path: stream the precomputed (slot, consumer)
     // pairs; each produce is one bit set plus one readiness decrement.
-    for (uint32_t K = CompOff[I], E = CompOff[I + 1]; K < E; ++K) {
-      uint64_t Pair = CompPairs[K];
+    for (uint32_t K = L.CompOff[I], E = L.CompOff[I + 1]; K < E; ++K) {
+      uint64_t Pair = L.CompPairs[K];
       uint32_t S = static_cast<uint32_t>(Pair >> 32);
-      uint64_t &Word = MarkBits[S >> 6];
+      uint64_t &Word = HS.Mark[S >> 6];
       uint64_t Bit = 1ull << (S & 63);
       if (Word & Bit) [[unlikely]] {
         // Second token on a marked place: abandon bit mode and finish
         // this completion with exact counts.
-        leaveBitMarking(CompPlace[K]);
+        leaveBitMarking(L.CompPlace[K]);
         for (; K < E; ++K)
-          produceToken(CompPlace[K]);
+          produceToken(L.CompPlace[K]);
         break;
       }
       Word |= Bit;
       uint32_t C = static_cast<uint32_t>(Pair);
-      assert((Readiness[C] & (BusyBias - 1)) > 0 &&
+      assert((HS.Readiness[C] & (BusyBias - 1)) > 0 &&
              "missing-input counter underflow");
       // Branchless enable: whether this produce completes the consumer's
       // readiness is data-dependent (~coin-flip in pipelined nets), so an
       // unconditional masked OR beats a mispredicting branch.
-      uint32_t R = Readiness[C] - 1;
-      Readiness[C] = R;
+      uint32_t R = HS.Readiness[C] - 1;
+      HS.Readiness[C] = R;
       bool En = R == 0;
-      EnabledIdleBits[C >> 6] |= static_cast<uint64_t>(En) << (C & 63);
+      HS.EnabledIdle[C >> 6] |= static_cast<uint64_t>(En) << (C & 63);
       EnabledIdleCount += En;
     }
   } else {
-    for (uint32_t K = OutOff[I], E = OutOff[I + 1]; K < E; ++K)
-      produceToken(OutList[K]);
+    for (uint32_t K = L.OutOff[I], E = L.OutOff[I + 1]; K < E; ++K)
+      produceToken(L.OutList[K]);
   }
 }
 
@@ -588,12 +483,12 @@ void EarliestFiringEngine::produceOutputs(uint32_t I) {
 /// the inputs are already marked again.  (Unit-time nets bypass this:
 /// prepare() drains whole busy words instead.)
 void EarliestFiringEngine::completeTransition(uint32_t I) {
-  assert(FinishTime[I] == Now && "completing a transition not due now");
-  FinishTime[I] = IdleFinish;
-  BusyBits[I >> 6] &= ~(1ull << (I & 63));
+  assert(HS.FinishTime[I] == Now && "completing a transition not due now");
+  HS.FinishTime[I] = IdleFinish;
+  HS.Busy[I >> 6] &= ~(1ull << (I & 63));
   --BusyCount;
   produceOutputs(I);
-  if ((Readiness[I] -= BusyBias) == 0)
+  if ((HS.Readiness[I] -= BusyBias) == 0)
     setEnabledIdle(I);
   CompletedThisStep.push_back(TransitionId(I));
 }
@@ -614,7 +509,7 @@ void EarliestFiringEngine::prepare() {
   // reference engine's finish-time sweep — without a sort.  (Each word
   // is snapshotted before its bits are dispatched, so clearing busy
   // bits mid-walk is safe.)
-  if (UnitTime) {
+  if (L.UnitTime) {
     // Every busy transition finishes now; drain the busy set (no
     // finish-time matching, no queue).
     if (BusyCount != 0 && Policy == nullptr) {
@@ -622,22 +517,21 @@ void EarliestFiringEngine::prepare() {
       // materialized in ascending index order by the previous firing
       // phase — iterate it sequentially instead of chasing set bits
       // (the countr_zero / clear-lowest-bit walk is a serial latency
-      // chain).  Raw pointers: stores through the word arrays could
-      // alias the vectors' own control fields, so without these the
-      // compiler re-loads every data pointer after every store.
+      // chain).  The arena arrays are raw pointers already, so stores
+      // through them cannot alias any vector control fields.
       assert(LastFired.size() == BusyCount &&
              "unit busy set diverged from the last firing record");
-      const uint8_t *FastC = FastComp.data();
-      const uint32_t *COff = CompOff.data();
-      const uint64_t *CPairs = CompPairs.data();
-      uint64_t *MarkP = MarkBits.data();
-      uint32_t *RdP = Readiness.data();
+      const uint8_t *FastC = HS.FastComp;
+      const uint32_t *COff = L.CompOff.data();
+      const uint64_t *CPairs = L.CompPairs.data();
+      uint64_t *MarkP = HS.Mark;
+      uint32_t *RdP = HS.Readiness;
       CompletedIsLastFired = true; // LastFired == busy set, index order
       const TransitionId *LF = LastFired.data();
       // No enabled-bit upkeep here: the vectorized readiness rebuild
       // below re-derives the whole bitset from the counters once the
-      // drain settles, so every produce is just a mark OR and a
-      // counter decrement.
+      // drain settles, so every produce is just a mark OR, the hash
+      // delta, and a counter decrement.
       for (size_t K0 = 0, NC = LastFired.size(); K0 < NC; ++K0) {
         uint32_t I = LF[K0].index();
         if (FastC[I]) [[likely]] {
@@ -645,15 +539,16 @@ void EarliestFiringEngine::prepare() {
             uint64_t Pair = CPairs[K];
             uint32_t S = static_cast<uint32_t>(Pair >> 32);
             uint64_t Bit = 1ull << (S & 63);
-            if (MarkP[S >> 6] & Bit) [[unlikely]] {
+            uint64_t OldW = MarkP[S >> 6];
+            if (OldW & Bit) [[unlikely]] {
               // Second token on a marked place: abandon bit mode and
               // finish this completion with exact counts.
-              leaveBitMarking(CompPlace[K]);
+              leaveBitMarking(L.CompPlace[K]);
               for (; K < E; ++K)
-                produceToken(CompPlace[K]);
+                produceToken(L.CompPlace[K]);
               break;
             }
-            MarkP[S >> 6] |= Bit;
+            MarkP[S >> 6] = OldW | Bit;
             --RdP[static_cast<uint32_t>(Pair)];
           }
         } else {
@@ -661,13 +556,13 @@ void EarliestFiringEngine::prepare() {
         }
         RdP[I] -= BusyBias;
       }
-      std::fill(BusyBits.begin(), BusyBits.end(), 0);
+      std::fill_n(HS.Busy, L.BitWords, uint64_t(0));
       BusyCount = 0;
     } else if (BusyCount != 0) {
       // Policy engines replay completions through the recording path:
       // walk the busy bitset a word at a time, in index order.
-      uint64_t *BusyP = BusyBits.data();
-      for (size_t W = 0, NW = BusyBits.size(); W < NW; ++W) {
+      uint64_t *BusyP = HS.Busy;
+      for (size_t W = 0, NW = L.BitWords; W < NW; ++W) {
         uint64_t Word = BusyP[W];
         if (!Word)
           continue;
@@ -676,8 +571,8 @@ void EarliestFiringEngine::prepare() {
           uint32_t I = static_cast<uint32_t>(W * 64 + std::countr_zero(Word));
           Word &= Word - 1;
           produceOutputs(I);
-          uint32_t R = Readiness[I] - BusyBias;
-          Readiness[I] = R;
+          uint32_t R = HS.Readiness[I] - BusyBias;
+          HS.Readiness[I] = R;
           if (R == 0)
             setEnabledIdle(I);
           CompletedThisStep.push_back(TransitionId(I));
@@ -687,20 +582,21 @@ void EarliestFiringEngine::prepare() {
     }
   } else {
     bool AnyDue =
-        UseRing ? RingCount[static_cast<size_t>(Now % (MaxExec + 1))] != 0
-                : (!Far.empty() && Far.begin()->first == Now);
+        L.UseRing
+            ? HS.RingCount[static_cast<size_t>(Now % (L.MaxExec + 1))] != 0
+            : (!Far.empty() && Far.begin()->first == Now);
     if (AnyDue) {
-      for (size_t W = 0; W < BusyBits.size(); ++W) {
-        uint64_t Word = BusyBits[W];
+      for (size_t W = 0; W < L.BitWords; ++W) {
+        uint64_t Word = HS.Busy[W];
         while (Word) {
           uint32_t I = static_cast<uint32_t>(W * 64 + std::countr_zero(Word));
           Word &= Word - 1;
-          if (FinishTime[I] == Now)
+          if (HS.FinishTime[I] == Now)
             completeTransition(I);
         }
       }
-      if (UseRing)
-        RingCount[static_cast<size_t>(Now % (MaxExec + 1))] = 0;
+      if (L.UseRing)
+        HS.RingCount[static_cast<size_t>(Now % (L.MaxExec + 1))] = 0;
       else
         Far.erase(Far.begin());
     }
@@ -712,48 +608,9 @@ void EarliestFiringEngine::prepare() {
   // unit drain above skip the scattered per-produce bit upkeep
   // entirely.  The incremental updates other paths make are simply
   // overwritten.  The sweep reads whole 64-lane words (the counter
-  // array is sentinel-padded), vectorized on SSE2 as four-lane
-  // compares folded into a movemask.
-  {
-    const uint32_t *RdP = Readiness.data();
-    uint64_t *EnP = EnabledIdleBits.data();
-    size_t EnCount = 0;
-    for (size_t W = 0, NW = EnabledIdleBits.size(); W < NW; ++W) {
-      const uint32_t *P = RdP + W * 64;
-      uint64_t Bits = 0;
-#if defined(__SSE2__)
-      const __m128i Zero = _mm_setzero_si128();
-      for (unsigned G = 0; G < 64; G += 16) {
-        __m128i A = _mm_cmpeq_epi32(
-            _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G)), Zero);
-        __m128i B = _mm_cmpeq_epi32(
-            _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G + 4)),
-            Zero);
-        __m128i C = _mm_cmpeq_epi32(
-            _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G + 8)),
-            Zero);
-        __m128i D = _mm_cmpeq_epi32(
-            _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G + 12)),
-            Zero);
-        uint64_t M =
-            static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(A))) |
-            (static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(B)))
-             << 4) |
-            (static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(C)))
-             << 8) |
-            (static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(D)))
-             << 12);
-        Bits |= M << G;
-      }
-#else
-      for (unsigned G = 0; G < 64; ++G)
-        Bits |= static_cast<uint64_t>(P[G] == 0) << G;
-#endif
-      EnP[W] = Bits;
-      EnCount += static_cast<size_t>(std::popcount(Bits));
-    }
-    EnabledIdleCount = EnCount;
-  }
+  // array is sentinel-padded) through the per-tier kernel selected at
+  // construction (petri/SimdDispatch.h).
+  EnabledIdleCount = Sweep(HS.Readiness, HS.EnabledIdle, L.BitWords);
 
   // Phase A2+A3: candidate set = enabled idle transitions, index order,
   // then the machine observes the state and orders its choices.  With no
@@ -763,7 +620,7 @@ void EarliestFiringEngine::prepare() {
   OrderedValid = false;
   if (Policy) {
     Ordered.clear();
-    forEachSetBit(EnabledIdleBits,
+    forEachSetBit(HS.EnabledIdle, L.BitWords,
                   [&](uint32_t I) { Ordered.push_back(TransitionId(I)); });
     Policy->orderCandidates(Net, M, Ordered);
     OrderedValid = true;
@@ -775,14 +632,14 @@ InstantaneousState EarliestFiringEngine::state() const {
   syncMarking();
   InstantaneousState S;
   S.M = M;
-  S.Residual.assign(Net.numTransitions(), 0);
+  S.Residual.assign(L.NumTransitions, 0);
   // Residual firing time R_u(t): remaining execution time of busy
   // transitions at the sample instant (post-completion, pre-firing); a
   // unit-time net therefore always samples the all-zero vector, matching
   // the paper's Figure 1(e).  Walk the busy set, not FinishTime: unit
   // mode leaves stale entries there by design.
-  forEachSetBit(BusyBits, [&](uint32_t I) {
-    S.Residual[I] = static_cast<TimeUnits>(FinishTime[I] - Now);
+  forEachSetBit(HS.Busy, L.BitWords, [&](uint32_t I) {
+    S.Residual[I] = static_cast<TimeUnits>(HS.FinishTime[I] - Now);
   });
   if (Policy)
     S.PolicyFingerprint = Policy->stateFingerprint();
@@ -791,20 +648,20 @@ InstantaneousState EarliestFiringEngine::state() const {
 
 void EarliestFiringEngine::packState(PackedState &Out) const {
   assert(Prepared && "state packed before prepare()");
-  Out.beginState(MarkBits.size());
-  Out.setMarkWords(MarkBits);
+  Out.beginState(L.MarkWords);
+  Out.setMarkWords(HS.Mark, L.MarkWords);
   if (OverflowPlaces > 0) {
     // Rare non-safe path: walk the marked places for multi-token
     // counts.  Safe nets (the paper's setting) never enter this branch.
-    forEachSetBit(MarkBits, [&](uint32_t S) {
-      uint32_t P = SlotPlace[S];
+    forEachSetBit(HS.Mark, L.MarkWords, [&](uint32_t S) {
+      uint32_t P = L.SlotPlace[S];
       uint32_t C = M.tokens(PlaceId(P));
       if (C >= 2)
         Out.appendOverflow(P, C);
     });
   }
-  forEachSetBit(BusyBits, [&](uint32_t I) {
-    Out.appendBusy(I, static_cast<uint32_t>(FinishTime[I] - Now));
+  forEachSetBit(HS.Busy, L.BitWords, [&](uint32_t I) {
+    Out.appendBusy(I, static_cast<uint32_t>(HS.FinishTime[I] - Now));
   });
   if (Policy) {
     FpScratch.clear();
@@ -815,11 +672,39 @@ void EarliestFiringEngine::packState(PackedState &Out) const {
   Out.finishState();
 }
 
+void EarliestFiringEngine::flushMarkHash() const {
+  const uint64_t *Live = HS.Mark;
+  uint64_t *Shadow = MarkShadow.data();
+  uint64_t *Term = MarkTerm.data();
+  uint64_t Acc = MarkHash;
+  for (size_t W = 0, E = L.MarkWords; W < E; ++W) {
+    if (Shadow[W] == Live[W])
+      continue;
+    uint64_t T = PackedState::mixWord(1 + W, Live[W]);
+    Acc ^= Term[W] ^ T;
+    Term[W] = T;
+    Shadow[W] = Live[W];
+  }
+  MarkHash = Acc;
+}
+
+uint64_t EarliestFiringEngine::packStateHashed(PackedState &Out) const {
+  packState(Out);
+  // The marking section's terms come from the shadow-diff accumulator
+  // (one mix per word that changed since the last pack, found by a
+  // cheap scan-compare); the header and the sparse tail are short, so
+  // mixing them fresh keeps the whole hash O(mark words compared +
+  // changed words mixed + busy + fingerprint) with zero cost on the
+  // token-write hot path.
+  flushMarkHash();
+  return MarkHash ^ Out.rawTailHash(L.MarkWords);
+}
+
 const std::vector<TransitionId> &EarliestFiringEngine::candidates() const {
   assert(Prepared && "candidates requested before prepare()");
   if (!OrderedValid) {
     Ordered.clear();
-    forEachSetBit(EnabledIdleBits,
+    forEachSetBit(HS.EnabledIdle, L.BitWords,
                   [&](uint32_t I) { Ordered.push_back(TransitionId(I)); });
     OrderedValid = true;
   }
@@ -850,15 +735,16 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
     // slot permutation puts transition I's input marks at bits
     // [InOff[I], InOff[I+1]), so consuming is a masked clear with no
     // input-list loads.
-    const uint32_t *InOffP = InOff.data();
-    uint32_t *RdP = Readiness.data();
-    uint64_t *MarkP = MarkBits.data();
-    uint64_t *EnP = EnabledIdleBits.data();
-    uint64_t *BusyP = BusyBits.data();
+    const uint32_t *InOffP = L.InOff.data();
+    const TimeUnits *ExecP = L.Exec.data();
+    uint32_t *RdP = HS.Readiness;
+    uint64_t *MarkP = HS.Mark;
+    uint64_t *EnP = HS.EnabledIdle;
+    uint64_t *BusyP = HS.Busy;
     Rec.Fired.resize(EnabledIdleCount);
     TransitionId *Out = Rec.Fired.data();
     size_t NF = 0;
-    for (size_t W = 0, NW = EnabledIdleBits.size(); W < NW; ++W) {
+    for (size_t W = 0, NW = L.BitWords; W < NW; ++W) {
       uint64_t Word = EnP[W];
       if (!Word)
         continue;
@@ -867,7 +753,7 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
       do {
         uint32_t I = static_cast<uint32_t>(W * 64 + std::countr_zero(Word));
         Word &= Word - 1;
-        assert(Readiness[I] == 0 && "enabled-idle bit with nonzero word");
+        assert(RdP[I] == 0 && "enabled-idle bit with nonzero word");
         uint32_t B = InOffP[I], E = InOffP[I + 1];
         if (B != E) {
           uint32_t Last = E - 1;
@@ -875,22 +761,26 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
           uint64_t MaskLo = ~0ull << (B & 63);
           uint64_t MaskHi = ~0ull >> (63 - (Last & 63));
           if (W0 == W1) [[likely]] {
-            assert((MarkP[W0] & (MaskLo & MaskHi)) == (MaskLo & MaskHi) &&
+            uint64_t OldW = MarkP[W0];
+            assert((OldW & (MaskLo & MaskHi)) == (MaskLo & MaskHi) &&
                    "consuming from an empty place");
-            MarkP[W0] &= ~(MaskLo & MaskHi);
+            MarkP[W0] = OldW & ~(MaskLo & MaskHi);
           } else {
-            MarkP[W0] &= ~MaskLo;
-            for (size_t V = W0 + 1; V < W1; ++V)
+            uint64_t OldW = MarkP[W0];
+            MarkP[W0] = OldW & ~MaskLo;
+            for (size_t V = W0 + 1; V < W1; ++V) {
               MarkP[V] = 0;
-            MarkP[W1] &= ~MaskHi;
+            }
+            OldW = MarkP[W1];
+            MarkP[W1] = OldW & ~MaskHi;
           }
         }
         RdP[I] = (E - B) + BusyBias;
-        if (!UnitTime) {
-          TimeStep F = Now + Exec[I];
-          FinishTime[I] = F;
-          if (UseRing)
-            ++RingCount[static_cast<size_t>(F % (MaxExec + 1))];
+        if (!L.UnitTime) {
+          TimeStep F = Now + ExecP[I];
+          HS.FinishTime[I] = F;
+          if (L.UseRing)
+            ++HS.RingCount[static_cast<size_t>(F % (L.MaxExec + 1))];
           else
             ++Far[F];
         }
@@ -900,7 +790,7 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
     assert(NF == EnabledIdleCount && "marked-graph candidate was skipped");
     BusyCount += NF;
     EnabledIdleCount = 0;
-    if (UnitTime)
+    if (L.UnitTime)
       LastFired = Rec.Fired;
   } else if (!Policy) {
     // Candidate order is bitset index order; walk the words directly
@@ -909,16 +799,16 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
     // generic consumes safe: a cleared candidate re-checks Readiness.)
     // Pointers and counters live in locals for the same aliasing
     // reason as the completion drain.
-    const uint8_t *FastF = FastFire.data();
-    const uint32_t *InOffP = InOff.data();
-    const uint32_t *InListP = InList.data();
-    uint32_t *RdP = Readiness.data();
-    uint64_t *MarkP = MarkBits.data();
-    uint64_t *EnP = EnabledIdleBits.data();
-    uint64_t *BusyP = BusyBits.data();
+    const uint8_t *FastF = HS.FastFire;
+    const uint32_t *InOffP = L.InOff.data();
+    const uint32_t *InListP = L.InList.data();
+    uint32_t *RdP = HS.Readiness;
+    uint64_t *MarkP = HS.Mark;
+    uint64_t *EnP = HS.EnabledIdle;
+    uint64_t *BusyP = HS.Busy;
     size_t EnCount = EnabledIdleCount;
     size_t BusyCnt = BusyCount;
-    for (size_t W = 0, NW = EnabledIdleBits.size(); W < NW; ++W) {
+    for (size_t W = 0, NW = L.BitWords; W < NW; ++W) {
       uint64_t Word = EnP[W];
       if (!Word)
         continue;
@@ -936,9 +826,10 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
           // the whole firing in one readiness store.
           for (uint32_t K = B; K < E; ++K) {
             uint32_t P = InListP[K];
-            assert((MarkP[P >> 6] & (1ull << (P & 63))) &&
+            uint64_t OldW = MarkP[P >> 6];
+            assert((OldW & (1ull << (P & 63))) &&
                    "consuming from an empty place");
-            MarkP[P >> 6] &= ~(1ull << (P & 63));
+            MarkP[P >> 6] = OldW & ~(1ull << (P & 63));
           }
           RdP[I] = (E - B) + BusyBias;
           FiredW |= 1ull << (I & 63);
@@ -957,11 +848,11 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
           BusyP[W] |= 1ull << (I & 63);
           ++BusyCnt;
         }
-        if (!UnitTime) {
-          TimeStep F = Now + Exec[I];
-          FinishTime[I] = F;
-          if (UseRing)
-            ++RingCount[static_cast<size_t>(F % (MaxExec + 1))];
+        if (!L.UnitTime) {
+          TimeStep F = Now + L.Exec[I];
+          HS.FinishTime[I] = F;
+          if (L.UseRing)
+            ++HS.RingCount[static_cast<size_t>(F % (L.MaxExec + 1))];
           else
             ++Far[F];
         }
@@ -974,30 +865,30 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
     }
     EnabledIdleCount = EnCount;
     BusyCount = BusyCnt;
-    if (UnitTime)
+    if (L.UnitTime)
       LastFired = Rec.Fired;
   } else {
     for (TransitionId T : Ordered) {
       uint32_t I = T.index();
-      if (Readiness[I] != 0)
+      if (HS.Readiness[I] != 0)
         continue; // An earlier firing consumed a shared token.
-      uint32_t B = InOff[I], E = InOff[I + 1];
+      uint32_t B = L.InOff[I], E = L.InOff[I + 1];
       // Policies force exact-count mode, so only the generic consume
       // path applies here (FastFire is zeroed in the constructor).
       for (uint32_t K = B; K < E; ++K)
-        consumeToken(InList[K]);
-      if (Readiness[I] == 0)
+        consumeToken(L.InList[K]);
+      if (HS.Readiness[I] == 0)
         clearEnabledIdle(I);
-      Readiness[I] += BusyBias;
-      BusyBits[I >> 6] |= 1ull << (I & 63);
+      HS.Readiness[I] += BusyBias;
+      HS.Busy[I >> 6] |= 1ull << (I & 63);
       ++BusyCount;
-      if (!UnitTime) {
+      if (!L.UnitTime) {
         // Unit-time nets complete the whole busy set next step, so the
         // finish bookkeeping below would never be read.
-        TimeStep F = Now + Exec[I];
-        FinishTime[I] = F;
-        if (UseRing)
-          ++RingCount[static_cast<size_t>(F % (MaxExec + 1))];
+        TimeStep F = Now + L.Exec[I];
+        HS.FinishTime[I] = F;
+        if (L.UseRing)
+          ++HS.RingCount[static_cast<size_t>(F % (L.MaxExec + 1))];
         else
           ++Far[F];
       }
@@ -1016,18 +907,18 @@ StepRecord EarliestFiringEngine::fireAndAdvance() {
 std::optional<TimeStep> EarliestFiringEngine::nextFinishTime() const {
   if (BusyCount == 0)
     return std::nullopt;
-  if (UnitTime) {
+  if (L.UnitTime) {
     // Busy transitions all finish one step after firing; between steps
     // that instant is the current one.  (Prepared with a non-empty busy
     // set cannot happen: prepare() drains it.)
     assert(!Prepared && "unit-time busy set nonempty after prepare()");
     return Now;
   }
-  if (!UseRing)
+  if (!L.UseRing)
     return Far.begin()->first;
-  for (TimeUnits R = Prepared ? 1 : 0; R <= MaxExec; ++R) {
+  for (TimeUnits R = Prepared ? 1 : 0; R <= L.MaxExec; ++R) {
     TimeStep F = Now + R;
-    if (RingCount[static_cast<size_t>(F % (MaxExec + 1))] != 0)
+    if (HS.RingCount[static_cast<size_t>(F % (L.MaxExec + 1))] != 0)
       return F;
   }
   SDSP_UNREACHABLE("busy transitions but no pending finish time");

@@ -42,13 +42,27 @@
 /// retains the naive engine as the behavioral oracle; the
 /// golden-equivalence suite pins both to identical behavior graphs.
 ///
+/// The hot state lives in the structure-of-arrays arena of
+/// petri/EngineLayout.h: readiness counters, the enabled-idle/busy
+/// bitsets, the packed marking, finish times, and the finish ring share
+/// one contiguous allocation and one index space, and the per-instant
+/// enabled-set rebuild is the runtime-dispatched SIMD sweep of
+/// petri/SimdDispatch.h.  The engine also maintains the packed-marking
+/// section of the state hash incrementally (an XOR of position-keyed
+/// word mixes, updated at every marking-word write), so interning a
+/// state in the frustum detector's PackedStateTable costs
+/// O(touched words + busy), not a rehash of the whole packed state —
+/// see packStateHashed().
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SDSP_PETRI_EARLIESTFIRING_H
 #define SDSP_PETRI_EARLIESTFIRING_H
 
+#include "petri/EngineLayout.h"
 #include "petri/PackedState.h"
 #include "petri/PetriNet.h"
+#include "petri/SimdDispatch.h"
 #include "support/Status.h"
 
 #include <cstdint>
@@ -58,9 +72,6 @@
 #include <vector>
 
 namespace sdsp {
-
-/// Discrete simulation time.
-using TimeStep = uint64_t;
 
 /// Checks that \p Net satisfies the timed-execution preconditions:
 /// at least one transition, and every execution time >= 1 (a zero
@@ -201,7 +212,8 @@ struct StepRecord {
 ///     reads zero);
 ///   - enabled-idle and busy transition bitsets plus their population
 ///     counts (isQuiescent() is O(1));
-///   - the packed marking bits consumed by packState();
+///   - the packed marking bits consumed by packState(), and the running
+///     hash of the marking section consumed by packStateHashed();
 ///   - a bucketed queue of pending finish times (completions are a
 ///     bucket drain, not a transition sweep).
 class EarliestFiringEngine {
@@ -223,6 +235,15 @@ public:
   /// O(places/64 + busy + fingerprint) — no per-place or per-transition
   /// scan.  prepare() must have run.
   void packState(PackedState &Out) const;
+
+  /// packState() plus the raw (pre-finalization) hash of the packed
+  /// words, for PackedStateTable::insertOrFindHashed().  The marking
+  /// section's contribution comes from the incrementally maintained
+  /// accumulator — only the header and the short sparse tail are mixed
+  /// fresh — so hashing costs O(busy + fingerprint) instead of
+  /// O(places/64) on top of the pack itself.  Debug builds validate the
+  /// delta against a full rehash at every interning.
+  uint64_t packStateHashed(PackedState &Out) const;
 
   /// The enabled idle transitions, in the policy's firing order.
   /// prepare() must have run.
@@ -290,10 +311,18 @@ private:
   const PetriNet &Net;
   FiringPolicy *Policy;
   /// Mutable: in bit-marking mode (below) the counts are synchronized
-  /// from MarkBits only when a caller asks for them.
+  /// from the packed marking only when a caller asks for them.
   mutable Marking M;
-  /// Absolute completion time per busy transition; ~0 when idle.
-  std::vector<TimeStep> FinishTime;
+
+  /// The static SoA image of the net (CSR adjacency, fast-path
+  /// topology, slot permutation) and the contiguous hot-state arena it
+  /// shapes; see petri/EngineLayout.h for the layout.
+  EngineLayout L;
+  EngineHotState HS;
+  /// The readiness-sweep kernel for the active SIMD tier, resolved once
+  /// at construction (petri/SimdDispatch.h).
+  ReadinessSweepFn Sweep;
+
   TimeStep Now = 0;
   bool Prepared = false;
   Counters Ctrs;
@@ -313,45 +342,6 @@ private:
   std::vector<TransitionId> LastFired;
   bool CompletedIsLastFired = false;
 
-  /// Flat CSR mirrors of the net's adjacency, built once at
-  /// construction.  The hot loop moves ~O(firings * arcs) tokens per
-  /// step; walking contiguous uint32 ranges here instead of the
-  /// per-place/per-transition std::vectors inside PetriNet (each a
-  /// separate heap block behind a checked accessor) is the single
-  /// largest win of the incremental engine (docs/PERF.md).
-  std::vector<uint32_t> InOff, InList;     // transition -> input places
-  std::vector<uint32_t> OutOff, OutList;   // transition -> output places
-  std::vector<uint32_t> ConsOff, ConsList; // place -> consuming transitions
-  std::vector<TimeUnits> Exec;             // transition -> execution time
-
-  /// Marked-graph fast paths, valid only in bit-marking mode (both
-  /// flag vectors are zeroed when it ends).  FastFire[t]: every input
-  /// place of t has t as its sole consumer, so firing t touches no
-  /// other transition's readiness — consume is a handful of bit
-  /// clears.  FastComp[t]: every output place of t has exactly one
-  /// consumer, so completion streams the precomputed
-  /// (place << 32 | consumer) pairs in CompPairs[CompOff[t]..) instead
-  /// of chasing the place CSR.
-  std::vector<uint8_t> FastFire, FastComp;
-  std::vector<uint32_t> CompOff;
-  std::vector<uint64_t> CompPairs;
-  /// Producing place of each CompPairs entry (the pairs themselves
-  /// carry the packed-marking slot); only read on the cold fallback
-  /// out of bit-marking mode.
-  std::vector<uint32_t> CompPlace;
-
-  /// Packed-marking bit layout.  In a pure marked graph every place
-  /// feeds at most one transition, so places are renumbered by their
-  /// position in the flattened input list: transition t's input places
-  /// occupy the consecutive bit range [InOff[t], InOff[t+1]), letting
-  /// the firing loop consume them with one masked store and no input
-  /// list loads.  Consumerless places take the tail slots.  The
-  /// renumbering is a per-net bijection — state identity, and hence
-  /// frustum detection, is unaffected.  For every other net the maps
-  /// are the identity.
-  std::vector<uint32_t> PlaceSlot; // place -> packed bit position
-  std::vector<uint32_t> SlotPlace; // packed bit position -> place
-
   /// Incremental enabledness, fused into one word per transition: the
   /// low bits count the transition's currently empty input places, and
   /// BusyBias is added while it is in flight.  A transition is enabled
@@ -359,19 +349,15 @@ private:
   /// touch a single counter, and every enabled-idle bitset update rides
   /// an exact 0-crossing (no membership test needed).
   static constexpr uint32_t BusyBias = 1u << 24;
-  std::vector<uint32_t> Readiness;
-  std::vector<uint64_t> EnabledIdleBits;
-  std::vector<uint64_t> BusyBits;
   size_t EnabledIdleCount = 0;
   size_t BusyCount = 0;
 
-  /// Packed marking, maintained as tokens move: bit p set iff place p
-  /// holds >= 1 token; OverflowPlaces counts places holding >= 2.
-  std::vector<uint64_t> MarkBits;
+  /// Places holding >= 2 tokens (the packed marking bit only records
+  /// zero/nonzero).
   size_t OverflowPlaces = 0;
 
   /// While the marking is safe (every place <= 1 token) and no policy
-  /// observes M each step, the marking lives entirely in MarkBits and
+  /// observes M each step, the marking lives entirely in HS.Mark and
   /// the Marking counts are rebuilt on demand — the hot loop then moves
   /// one bit per token instead of maintaining two representations.  The
   /// first produce onto an already-marked place abandons bit mode and
@@ -386,22 +372,26 @@ private:
   /// together with the fast paths when bit mode ends.
   bool AllFast = false;
 
-  /// Bucketed finish-time queue.  Pending finish times span at most
-  /// MaxExec, so a ring of MaxExec+1 buckets indexed by F % (MaxExec+1)
-  /// is collision-free; nets with absurdly long execution times fall
-  /// back to an ordered map.  Buckets hold only a count: the identity
-  /// of the completing transitions is recovered by walking BusyBits and
-  /// matching FinishTime against the clock, which yields index order
-  /// without a sort.
-  TimeUnits MaxExec = 1;
-  std::vector<uint32_t> RingCount;
+  /// Ordered-map fallback of the bucketed finish queue, for nets whose
+  /// execution times exceed the ring (L.UseRing == false).
   std::map<TimeStep, uint32_t> Far;
-  bool UseRing = true;
-  /// Every execution time is 1 (the paper's unit-time setting): every
-  /// busy transition completes on the very next step, so the finish
-  /// queue and FinishTime bookkeeping are skipped entirely — the busy
-  /// bitset IS the completion set, drained word-at-a-time.
-  bool UnitTime = false;
+
+  /// Running XOR of PackedState::mixWord(1 + w, HS.Mark[w]) over every
+  /// marking word — the marking section's contribution to the packed
+  /// state's raw hash.  Maintained by differencing, not by write
+  /// tracking: MarkShadow holds each word's value as of the last
+  /// flush, and packStateHashed() scan-compares shadow vs live (a
+  /// branch-free vectorizable pass) and re-mixes only words that
+  /// actually changed.  The token-write hot path pays nothing; both a
+  /// per-write eager mix and a per-write dirty bit measured slower
+  /// than the full rehash they replaced, because a dense-firing
+  /// instant moves far more tokens than there are marking words.
+  mutable uint64_t MarkHash = 0;
+  /// Cached mixWord(1 + w, value) term per marking word, valid for the
+  /// value last folded into MarkHash.
+  mutable std::vector<uint64_t> MarkTerm;
+  /// Marking-word values as of the last flushMarkHash().
+  mutable std::vector<uint64_t> MarkShadow;
 
   /// Reusable fingerprint scratch for packState().
   mutable std::vector<uint32_t> FpScratch;
@@ -414,6 +404,10 @@ private:
   void syncMarking() const;
   void setEnabledIdle(uint32_t T);
   void clearEnabledIdle(uint32_t T);
+
+  /// Folds every changed marking word's new value into MarkHash by
+  /// comparing against MarkShadow.
+  void flushMarkHash() const;
 };
 
 } // namespace sdsp

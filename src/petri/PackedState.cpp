@@ -7,7 +7,7 @@
 
 #include "petri/PackedState.h"
 
-#include "support/Hashing.h"
+#include <cassert>
 
 using namespace sdsp;
 
@@ -21,29 +21,52 @@ void PackedState::decrementResiduals(size_t MarkWords) {
   }
 }
 
-size_t PackedState::hashValue() const {
-  // Four independent xor-multiply lanes: the boost-style combine is a
-  // serial dependency chain, and this hash runs over the whole packed
-  // state once per simulated step.  Collisions are cheap (slotMatches
-  // verifies bytes), so mixing quality only needs to be decent.
-  constexpr uint64_t C1 = 0x9e3779b97f4a7c15ull;
-  constexpr uint64_t C2 = 0xc2b2ae3d27d4eb4full;
-  uint64_t H0 = Words.size() + C1, H1 = C2;
-  uint64_t H2 = 0x165667b19e3779f9ull, H3 = 0x27d4eb2f165667c5ull;
-  size_t I = 0, N = Words.size();
-  for (; I + 4 <= N; I += 4) {
-    H0 = (H0 ^ Words[I]) * C1;
-    H1 = (H1 ^ Words[I + 1]) * C2;
-    H2 = (H2 ^ Words[I + 2]) * C1;
-    H3 = (H3 ^ Words[I + 3]) * C2;
+uint64_t PackedState::decrementResiduals(size_t MarkWords, uint64_t RawHash) {
+  size_t Busy = busyCount();
+  size_t At = 1 + MarkWords + overflowCount();
+  for (size_t I = 0; I < Busy; ++I) {
+    uint64_t Old = Words[At + I];
+    SDSP_CHECK((Old & 0xffffffffull) >= 2,
+               "residual would hit zero inside an idle stretch");
+    Words[At + I] = Old - 1;
+    RawHash ^= mixWord(At + I, Old) ^ mixWord(At + I, Old - 1);
   }
-  for (; I < N; ++I)
-    H0 = (H0 ^ Words[I]) * C1;
-  uint64_t H = (H0 ^ (H1 * C1)) + (H2 ^ (H3 * C2));
-  H ^= H >> 32;
-  H *= C2;
-  H ^= H >> 29;
-  return static_cast<size_t>(H);
+  return RawHash;
+}
+
+uint64_t PackedState::mixWord(uint64_t Pos, uint64_t Value) {
+  // splitmix64 of the (position, value) pair.  Full per-word avalanche
+  // is what lets the raw hash be a plain XOR of terms (commutative, so
+  // deltas work) without the XOR degenerating: any single-bit change in
+  // either input flips ~half the term.
+  uint64_t Z = Value + (Pos + 1) * 0x9e3779b97f4a7c15ull;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t PackedState::finalizeHash(uint64_t Raw) {
+  // Cheap final scramble; the per-word mixes already avalanche, this
+  // just decorrelates the XOR sum from the table's low-bit mask.
+  Raw ^= Raw >> 32;
+  Raw *= 0xc2b2ae3d27d4eb4full;
+  Raw ^= Raw >> 29;
+  return Raw;
+}
+
+uint64_t PackedState::rawHash() const {
+  uint64_t H = mixWord(~0ull, Words.size());
+  for (size_t I = 0, N = Words.size(); I < N; ++I)
+    H ^= mixWord(I, Words[I]);
+  return H;
+}
+
+uint64_t PackedState::rawTailHash(size_t MarkWords) const {
+  uint64_t H = mixWord(~0ull, Words.size());
+  H ^= mixWord(0, Words[0]);
+  for (size_t I = 1 + MarkWords, N = Words.size(); I < N; ++I)
+    H ^= mixWord(I, Words[I]);
+  return H;
 }
 
 PackedStateTable::PackedStateTable() : Slots(64) {}
@@ -78,10 +101,21 @@ void PackedStateTable::grow() {
 
 std::optional<uint64_t> PackedStateTable::insertOrFind(const PackedState &S,
                                                        uint64_t T) {
+  return insertOrFindHashed(S, S.rawHash(), T);
+}
+
+std::optional<uint64_t>
+PackedStateTable::insertOrFindHashed(const PackedState &S, uint64_t RawHash,
+                                     uint64_t T) {
+#ifndef NDEBUG
+  ++DeltaValidations;
+  assert(RawHash == S.rawHash() &&
+         "incremental raw hash diverged from full rehash");
+#endif
   if (Count * 10 >= Slots.size() * 7)
     grow();
   ++Probes;
-  uint64_t Hash = S.hashValue();
+  uint64_t Hash = PackedState::finalizeHash(RawHash);
   size_t Mask = Slots.size() - 1;
   size_t I = static_cast<size_t>(Hash) & Mask;
   while (!Slots[I].empty()) {

@@ -71,7 +71,10 @@ public:
   /// Copies prebuilt marking words (the engine maintains them
   /// incrementally, so encoding is a memcpy, not a place scan).
   void setMarkWords(const std::vector<uint64_t> &MarkWords) {
-    for (size_t I = 0; I < MarkWords.size(); ++I)
+    setMarkWords(MarkWords.data(), MarkWords.size());
+  }
+  void setMarkWords(const uint64_t *MarkWords, size_t N) {
+    for (size_t I = 0; I < N; ++I)
       Words[1 + I] = MarkWords[I];
   }
   void appendOverflow(uint32_t Place, uint32_t Tokens) {
@@ -108,7 +111,34 @@ public:
   /// width (the caller knows it from the net's place count).
   void decrementResiduals(size_t MarkWords);
 
-  size_t hashValue() const;
+  /// decrementResiduals() that also maintains \p RawHash incrementally:
+  /// each touched busy word retires its old mixWord term and mixes in
+  /// the new one, so the hash update is O(busy) regardless of the
+  /// state's width.  Returns the updated raw hash.
+  uint64_t decrementResiduals(size_t MarkWords, uint64_t RawHash);
+
+  /// The incremental hash scheme (docs/PERF.md).  The raw hash of a
+  /// packed state is the XOR of one position-keyed mix per word,
+  ///
+  ///   rawHash = lengthMix(size) ^ XOR_i mixWord(i, Words[i]),
+  ///
+  /// which makes any single-word change a two-term XOR delta:
+  /// H ^= mixWord(i, Old) ^ mixWord(i, New).  The engine maintains the
+  /// marking section's XOR as tokens move and rawTailHash() supplies the
+  /// header + sparse tail fresh (those sections are O(busy + fp) words).
+  /// hashValue() == finalizeHash(rawHash()) always; the table's
+  /// insertOrFindHashed() asserts that in debug builds.
+  static uint64_t mixWord(uint64_t Pos, uint64_t Value);
+  /// Final avalanche applied to a raw hash before it keys the table.
+  static uint64_t finalizeHash(uint64_t Raw);
+  /// Full recompute of the raw hash (the debug-validation oracle).
+  uint64_t rawHash() const;
+  /// The raw-hash contribution of everything EXCEPT the marking words:
+  /// the length mix, the header word, and the sparse tail sections
+  /// starting at word 1 + \p MarkWords.
+  uint64_t rawTailHash(size_t MarkWords) const;
+
+  size_t hashValue() const { return finalizeHash(rawHash()); }
 
   friend bool operator==(const PackedState &A, const PackedState &B) {
     return A.Words == B.Words;
@@ -137,6 +167,14 @@ public:
   /// Otherwise inserts \p S at time \p T and returns std::nullopt.
   std::optional<uint64_t> insertOrFind(const PackedState &S, uint64_t T);
 
+  /// insertOrFind() with the caller-supplied raw hash (see
+  /// PackedState::rawHash()) instead of an O(words) rehash — the O(n)
+  /// -> O(touched) step of the incremental interning path.  Debug
+  /// builds validate \p RawHash against a full recompute and count the
+  /// validations (deltaValidations()).
+  std::optional<uint64_t> insertOrFindHashed(const PackedState &S,
+                                             uint64_t RawHash, uint64_t T);
+
   size_t size() const { return Count; }
   /// Total words held by the arena (for memory diagnostics).
   size_t arenaWords() const { return Arena.size(); }
@@ -148,6 +186,10 @@ public:
   /// the load factor needs attention.
   uint64_t probes() const { return Probes; }
   uint64_t collisions() const { return Collisions; }
+  /// Incremental-hash validations performed (nonzero only in debug
+  /// builds, where every insertOrFindHashed() cross-checks its delta
+  /// hash against a full rehash).
+  uint64_t deltaValidations() const { return DeltaValidations; }
 
 private:
   struct Slot {
@@ -163,6 +205,7 @@ private:
   size_t Count = 0;
   uint64_t Probes = 0;
   uint64_t Collisions = 0;
+  uint64_t DeltaValidations = 0;
 
   bool slotMatches(const Slot &S, uint64_t Hash,
                    const PackedState &State) const;

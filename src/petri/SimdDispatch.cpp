@@ -1,0 +1,241 @@
+//===- petri/SimdDispatch.cpp - Runtime-dispatched SIMD kernels ------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/SimdDispatch.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SDSP_X86 1
+#include <immintrin.h>
+#else
+#define SDSP_X86 0
+#endif
+
+using namespace sdsp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Kernels.  Each consumes 64 counter lanes per output word; padding
+// lanes hold nonzero sentinels so they never contribute a set bit.  The
+// scalar kernel is the semantic reference for all wider ones.
+//===----------------------------------------------------------------------===//
+
+size_t sweepScalar(const uint32_t *Readiness, uint64_t *EnabledOut,
+                   size_t NumWords) {
+  size_t Count = 0;
+  for (size_t W = 0; W < NumWords; ++W) {
+    const uint32_t *P = Readiness + W * 64;
+    uint64_t Bits = 0;
+    for (unsigned G = 0; G < 64; ++G)
+      Bits |= static_cast<uint64_t>(P[G] == 0) << G;
+    EnabledOut[W] = Bits;
+    Count += static_cast<size_t>(std::popcount(Bits));
+  }
+  return Count;
+}
+
+#if SDSP_X86
+
+// SSE2 is part of the x86-64 baseline, so no target attribute is
+// needed: four 4-lane compares fold into one movemask nibble each.
+size_t sweepSse2(const uint32_t *Readiness, uint64_t *EnabledOut,
+                 size_t NumWords) {
+  const __m128i Zero = _mm_setzero_si128();
+  size_t Count = 0;
+  for (size_t W = 0; W < NumWords; ++W) {
+    const uint32_t *P = Readiness + W * 64;
+    uint64_t Bits = 0;
+    for (unsigned G = 0; G < 64; G += 16) {
+      __m128i A = _mm_cmpeq_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G)), Zero);
+      __m128i B = _mm_cmpeq_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G + 4)),
+          Zero);
+      __m128i C = _mm_cmpeq_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G + 8)),
+          Zero);
+      __m128i D = _mm_cmpeq_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + G + 12)),
+          Zero);
+      uint64_t M =
+          static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(A))) |
+          (static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(B)))
+           << 4) |
+          (static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(C)))
+           << 8) |
+          (static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(D)))
+           << 12);
+      Bits |= M << G;
+    }
+    EnabledOut[W] = Bits;
+    Count += static_cast<size_t>(std::popcount(Bits));
+  }
+  return Count;
+}
+
+// AVX2: eight 8-lane compares per word, each movemask contributing one
+// output byte.
+__attribute__((target("avx2"))) size_t
+sweepAvx2(const uint32_t *Readiness, uint64_t *EnabledOut, size_t NumWords) {
+  const __m256i Zero = _mm256_setzero_si256();
+  size_t Count = 0;
+  for (size_t W = 0; W < NumWords; ++W) {
+    const uint32_t *P = Readiness + W * 64;
+    uint64_t Bits = 0;
+    for (unsigned G = 0; G < 64; G += 8) {
+      __m256i V = _mm256_cmpeq_epi32(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(P + G)),
+          Zero);
+      Bits |= static_cast<uint64_t>(
+                  static_cast<uint32_t>(_mm256_movemask_ps(
+                      _mm256_castsi256_ps(V))))
+              << G;
+    }
+    EnabledOut[W] = Bits;
+    Count += static_cast<size_t>(std::popcount(Bits));
+  }
+  return Count;
+}
+
+// AVX-512F: the compare produces the mask directly — four 16-lane
+// compares per output word, no movemask shuffle at all.
+__attribute__((target("avx512f"))) size_t
+sweepAvx512(const uint32_t *Readiness, uint64_t *EnabledOut,
+            size_t NumWords) {
+  const __m512i Zero = _mm512_setzero_si512();
+  size_t Count = 0;
+  for (size_t W = 0; W < NumWords; ++W) {
+    const uint32_t *P = Readiness + W * 64;
+    uint64_t Bits = 0;
+    for (unsigned G = 0; G < 64; G += 16) {
+      __mmask16 M = _mm512_cmpeq_epi32_mask(
+          _mm512_loadu_si512(reinterpret_cast<const void *>(P + G)), Zero);
+      Bits |= static_cast<uint64_t>(M) << G;
+    }
+    EnabledOut[W] = Bits;
+    Count += static_cast<size_t>(std::popcount(Bits));
+  }
+  return Count;
+}
+
+#endif // SDSP_X86
+
+//===----------------------------------------------------------------------===//
+// Dispatch.
+//===----------------------------------------------------------------------===//
+
+SimdTier detectHighestTier() {
+#if SDSP_X86
+  // __builtin_cpu_supports consults libgcc's cpu model, which includes
+  // the OS XCR0 state checks for the AVX register files.
+  if (__builtin_cpu_supports("avx512f"))
+    return SimdTier::Avx512;
+  if (__builtin_cpu_supports("avx2"))
+    return SimdTier::Avx2;
+#if defined(__SSE2__)
+  return SimdTier::Sse2;
+#else
+  if (__builtin_cpu_supports("sse2"))
+    return SimdTier::Sse2;
+  return SimdTier::Scalar;
+#endif
+#else
+  return SimdTier::Scalar;
+#endif
+}
+
+/// Parses SDSP_SIMD; returns the forced tier or the auto choice.
+SimdTier resolveActiveTier() {
+  SimdTier Best = detectHighestTier();
+  const char *Env = std::getenv("SDSP_SIMD");
+  if (!Env || !*Env)
+    return Best;
+  SimdTier Forced;
+  if (std::strcmp(Env, "scalar") == 0)
+    Forced = SimdTier::Scalar;
+  else if (std::strcmp(Env, "sse2") == 0)
+    Forced = SimdTier::Sse2;
+  else if (std::strcmp(Env, "avx2") == 0)
+    Forced = SimdTier::Avx2;
+  else if (std::strcmp(Env, "avx512") == 0)
+    Forced = SimdTier::Avx512;
+  else {
+    std::fprintf(stderr,
+                 "sdsp: unknown SDSP_SIMD value '%s' "
+                 "(expected scalar|sse2|avx2|avx512); using %s\n",
+                 Env, simdTierName(Best));
+    return Best;
+  }
+  if (Forced > Best) {
+    std::fprintf(stderr,
+                 "sdsp: SDSP_SIMD=%s is not supported on this host; "
+                 "using %s\n",
+                 Env, simdTierName(Best));
+    return Best;
+  }
+  return Forced;
+}
+
+ReadinessSweepFn kernelForTier(SimdTier Tier) {
+#if SDSP_X86
+  switch (Tier) {
+  case SimdTier::Avx512:
+    return &sweepAvx512;
+  case SimdTier::Avx2:
+    return &sweepAvx2;
+  case SimdTier::Sse2:
+    return &sweepSse2;
+  case SimdTier::Scalar:
+    return &sweepScalar;
+  }
+#endif
+  return &sweepScalar;
+}
+
+} // namespace
+
+const char *sdsp::simdTierName(SimdTier Tier) {
+  switch (Tier) {
+  case SimdTier::Scalar:
+    return "scalar";
+  case SimdTier::Sse2:
+    return "sse2";
+  case SimdTier::Avx2:
+    return "avx2";
+  case SimdTier::Avx512:
+    return "avx512";
+  }
+  return "scalar";
+}
+
+SimdTier sdsp::highestSupportedSimdTier() {
+  static const SimdTier Best = detectHighestTier();
+  return Best;
+}
+
+bool sdsp::simdTierSupported(SimdTier Tier) {
+  return Tier <= highestSupportedSimdTier();
+}
+
+SimdTier sdsp::activeSimdTier() {
+  static const SimdTier Active = resolveActiveTier();
+  return Active;
+}
+
+ReadinessSweepFn sdsp::readinessSweep() {
+  static const ReadinessSweepFn Fn = kernelForTier(activeSimdTier());
+  return Fn;
+}
+
+ReadinessSweepFn sdsp::readinessSweepForTier(SimdTier Tier) {
+  return kernelForTier(Tier);
+}

@@ -1,0 +1,85 @@
+//===- petri/SimdDispatch.h - Runtime-dispatched SIMD kernels ---*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime dispatch for the firing engine's data-parallel inner loops
+/// (docs/PERF.md).  The build carries no -march flags, so wider-than-SSE2
+/// code paths cannot be emitted inline; instead each kernel is compiled
+/// per-ISA (GCC/Clang `target` attributes) and selected exactly once per
+/// process from CPUID.
+///
+/// The one kernel dispatched today is the *readiness sweep*: rebuilding
+/// the enabled-idle bitset from the fused readiness counters
+/// (petri/EarliestFiring.h).  Counter lanes are padded to a 64-lane
+/// boundary with nonzero sentinels, so every tier reads whole 64-lane
+/// groups; a lane contributes a set bit iff its counter reads zero.
+/// All tiers are bit-for-bit identical — the golden-equivalence suite
+/// and the SDSP_SIMD CI matrix leg pin that.
+///
+/// Testing override: setting the environment variable
+///
+///   SDSP_SIMD=scalar|sse2|avx2|avx512
+///
+/// forces a tier.  Requesting a tier the host cannot run falls back to
+/// the best supported one (a forced-tier test must therefore check
+/// simdTierSupported() first and skip, which is what the CI leg does).
+/// The choice is resolved once, on first use, and is observable through
+/// activeSimdTier(); the frustum detector reports it as the
+/// `simd.tier.<name>` metrics counter and the session trace emits a
+/// "simd-dispatch" instant naming the tier (docs/OBSERVABILITY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_PETRI_SIMDDISPATCH_H
+#define SDSP_PETRI_SIMDDISPATCH_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdsp {
+
+/// The dispatch tiers, widest last.  Scalar is the portable fallback and
+/// the semantic reference for every wider kernel.
+enum class SimdTier : uint8_t {
+  Scalar = 0,
+  Sse2 = 1,
+  Avx2 = 2,
+  Avx512 = 3,
+};
+
+/// Stable lowercase name ("scalar", "sse2", "avx2", "avx512") used by
+/// the SDSP_SIMD override, the metrics counter, and the trace instant.
+const char *simdTierName(SimdTier Tier);
+
+/// True when the host CPU (and OS) can execute \p Tier's kernels.
+bool simdTierSupported(SimdTier Tier);
+
+/// The widest tier the host supports.
+SimdTier highestSupportedSimdTier();
+
+/// The tier every dispatched kernel actually runs: the widest supported
+/// tier, unless SDSP_SIMD forces a narrower (supported) one.  Resolved
+/// once per process.
+SimdTier activeSimdTier();
+
+/// Readiness sweep: for each of \p NumWords 64-lane groups of \p
+/// Readiness, writes a 64-bit word to \p EnabledOut whose bit g is set
+/// iff lane g reads zero, and returns the total number of set bits.
+/// \p Readiness must hold NumWords * 64 lanes (sentinel-padded).
+using ReadinessSweepFn = size_t (*)(const uint32_t *Readiness,
+                                    uint64_t *EnabledOut, size_t NumWords);
+
+/// The sweep kernel for the active tier.
+ReadinessSweepFn readinessSweep();
+
+/// The sweep kernel for a specific tier, for tier-equivalence tests.
+/// \p Tier must be supported on this host.
+ReadinessSweepFn readinessSweepForTier(SimdTier Tier);
+
+} // namespace sdsp
+
+#endif // SDSP_PETRI_SIMDDISPATCH_H

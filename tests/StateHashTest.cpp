@@ -1,0 +1,116 @@
+//===- tests/StateHashTest.cpp - Incremental state-hash validation ---------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine's incrementally maintained marking hash must equal a full
+/// rehash of the packed words at every step, on every net shape the
+/// engine special-cases (unit-time all-fast, bit-marking, ring
+/// scheduling, exact-marking fallback).  Debug builds additionally
+/// validate this inside insertOrFindHashed on every interning; this
+/// suite checks it explicitly so release builds cover it too, and pins
+/// the hashed decrementResiduals delta used by the idle-stretch leap.
+///
+//===----------------------------------------------------------------------===//
+
+#include "petri/EarliestFiring.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace sdsp;
+using namespace sdsp::testutil;
+
+namespace {
+
+/// Runs \p Steps engine steps and checks the incremental raw hash
+/// against PackedState::rawHash() at each instant, leaping idle
+/// stretches through the hashed decrementResiduals path.
+void checkHashedRun(const PetriNet &Net, size_t Steps) {
+  EarliestFiringEngine Engine(Net);
+  size_t MarkWords = (Net.numPlaces() + 63) / 64;
+  PackedState PS;
+  PackedStateTable Seen;
+  for (size_t I = 0; I < Steps; ++I) {
+    Engine.prepare();
+    uint64_t Raw = Engine.packStateHashed(PS);
+    ASSERT_EQ(Raw, PS.rawHash()) << "step " << I << " at t=" << Engine.now();
+    ASSERT_EQ(PackedState::finalizeHash(Raw), PS.hashValue());
+    Seen.insertOrFindHashed(PS, Raw, Engine.now());
+    if (Engine.isQuiescent())
+      break; // dead net; nothing further to validate
+    StepRecord Rec = Engine.fireAndAdvance();
+    if (!Rec.Completed.empty() || !Rec.Fired.empty())
+      continue;
+    // Idle stretch: walk it one instant at a time through the hashed
+    // residual decrement, validating the delta at each instant (the
+    // same synthesis the frustum detector's time leap performs).
+    std::optional<TimeStep> Next = Engine.nextFinishTime();
+    ASSERT_TRUE(Next.has_value());
+    for (TimeStep V = Engine.now(); V < *Next; ++V) {
+      Raw = PS.decrementResiduals(MarkWords, Raw);
+      ASSERT_EQ(Raw, PS.rawHash()) << "leap instant " << V;
+      Seen.insertOrFindHashed(PS, Raw, V);
+    }
+    Engine.leapTo(*Next);
+  }
+#ifndef NDEBUG
+  // Debug builds validate every interning against a full rehash; the
+  // counter proves the validation path actually ran.
+  EXPECT_GT(Seen.deltaValidations(), 0u);
+#endif
+}
+
+TEST(StateHash, UnitTimeRing) { checkHashedRun(buildRing(9, 2), 64); }
+
+TEST(StateHash, RandomMarkedGraphs) {
+  // Non-unit execution times exercise the busy-residual tail and the
+  // finish ring; several seeds to vary the marking-word mutation
+  // patterns (single-word nets and multi-word nets).
+  for (uint64_t Seed : {1ull, 7ull, 23ull}) {
+    Rng R(Seed);
+    PetriNet Small = buildRandomMarkedGraph(R, 12, 3);
+    checkHashedRun(Small, 96);
+    PetriNet Large = buildRandomMarkedGraph(R, 90, 20); // >64 places
+    checkHashedRun(Large, 96);
+  }
+}
+
+TEST(StateHash, HashedTableMatchesPlainTable) {
+  // insertOrFindHashed(S, S.rawHash(), t) must behave exactly like
+  // insertOrFind(S, t): same repeat detection, same stored times.
+  Rng R(99);
+  PetriNet Net = buildRandomMarkedGraph(R, 10, 2);
+  EarliestFiringEngine A(Net), B(Net);
+  PackedStateTable TA, TB;
+  PackedState PA, PB;
+  for (size_t I = 0; I < 200; ++I) {
+    A.prepare();
+    B.prepare();
+    uint64_t Raw = A.packStateHashed(PA);
+    B.packState(PB);
+    std::optional<uint64_t> SeenA = TA.insertOrFindHashed(PA, Raw, A.now());
+    std::optional<uint64_t> SeenB = TB.insertOrFind(PB, B.now());
+    ASSERT_EQ(SeenA, SeenB) << "step " << I;
+    if (SeenA)
+      break; // both detected the repeat at the same step
+    A.fireAndAdvance();
+    B.fireAndAdvance();
+  }
+}
+
+TEST(StateHash, MixWordIsPositionSensitive) {
+  // The raw hash is a commutative XOR of per-(position, value) terms;
+  // position keying is what stops two swapped words from colliding.
+  EXPECT_NE(PackedState::mixWord(0, 5), PackedState::mixWord(1, 5));
+  EXPECT_NE(PackedState::mixWord(0, 5) ^ PackedState::mixWord(1, 6),
+            PackedState::mixWord(0, 6) ^ PackedState::mixWord(1, 5));
+  EXPECT_NE(PackedState::mixWord(3, 0), 0u);
+}
+
+} // namespace

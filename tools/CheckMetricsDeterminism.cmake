@@ -6,29 +6,42 @@
 # wall seconds) are scheduling-dependent by design and are excluded.
 #
 # Usage:
-#   cmake -DSDSPC=<path> -DWORK_DIR=<dir> -P CheckMetricsDeterminism.cmake
+#   cmake -DSDSPC=<path> -DWORK_DIR=<dir> [-DTAG=<suffix>]
+#         [-DEXTRA_ARGS=<args>] -P CheckMetricsDeterminism.cmake
+#
+# TAG keeps the scratch files of concurrently running ctest variants
+# (SIMD tiers, rate engines) from clobbering each other; EXTRA_ARGS is
+# a ;-list appended to the sdspc command line (e.g.
+# --rate-engine=enumerate).  SDSP_SIMD is inherited from the test
+# environment and forwarded to the sdspc children automatically.
 
 foreach(V SDSPC WORK_DIR)
   if(NOT DEFINED ${V})
     message(FATAL_ERROR "missing -D${V}=")
   endif()
 endforeach()
+if(NOT DEFINED TAG)
+  set(TAG "")
+endif()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
 
 foreach(J 1 8)
   execute_process(
-    COMMAND ${SDSPC} --batch-kernels --verify -j ${J}
-            --metrics-json=${WORK_DIR}/metrics_j${J}.json
+    COMMAND ${SDSPC} --batch-kernels --verify -j ${J} ${EXTRA_ARGS}
+            --metrics-json=${WORK_DIR}/metrics${TAG}_j${J}.json
     OUTPUT_QUIET ERROR_VARIABLE ERR RESULT_VARIABLE CODE)
   if(NOT CODE EQUAL 0)
     message(FATAL_ERROR "sdspc -j ${J} exited ${CODE}:\n${ERR}")
   endif()
-  file(READ ${WORK_DIR}/metrics_j${J}.json CONTENT)
+  file(READ ${WORK_DIR}/metrics${TAG}_j${J}.json CONTENT)
   # The counters object holds one integer series per line and no nested
   # braces, so a non-greedy brace match lifts it whole.
   string(REGEX MATCH "\"counters\": {[^}]*}" COUNTERS_J${J} "${CONTENT}")
   if(COUNTERS_J${J} STREQUAL "")
     message(FATAL_ERROR
-            "metrics_j${J}.json has no \"counters\" object:\n${CONTENT}")
+            "metrics${TAG}_j${J}.json has no \"counters\" object:\n${CONTENT}")
   endif()
 endforeach()
 

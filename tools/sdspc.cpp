@@ -31,6 +31,12 @@
 //   --engine=fast|reference
 //                        frustum detector: the incremental engine
 //                        (default) or the retained naive oracle
+//   --rate-engine=auto|howard|enumerate
+//                        max-cycle-ratio algorithm for the rate pass:
+//                        auto (enumeration at paper scale, Howard's
+//                        policy iteration above 64 vertices, default),
+//                        howard (always policy iteration), enumerate
+//                        (always the Johnson-cycle oracle)
 //   --deadline-ms=N      wall-clock deadline (per job in batch mode);
 //                        an expired run reports DeadlineExceeded
 //   --fault-spec=SPEC    arm deterministic fault injection
@@ -142,6 +148,7 @@ void printUsage(std::ostream &OS) {
         "dot-behavior|storage\n"
         "  --opt --capacity=N --unroll=U --scp=L --pipelines=K\n"
         "  --optimize-storage --budget=N --engine=fast|reference\n"
+        "  --rate-engine=auto|howard|enumerate\n"
         "  --timings --timings-json=FILE --trace=FILE "
         "--metrics-json=FILE\n"
         "  --verify --run=N --seed=S\n"
@@ -221,6 +228,20 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       else {
         std::cerr << "sdspc: invalid value '" << E
                   << "' for --engine (expected fast or reference)\n";
+        return false;
+      }
+    } else if (const char *V = Value("--rate-engine=")) {
+      std::string E = V;
+      if (E == "auto")
+        Opts.Pipe.Rate = RateEngine::Auto;
+      else if (E == "howard")
+        Opts.Pipe.Rate = RateEngine::Howard;
+      else if (E == "enumerate")
+        Opts.Pipe.Rate = RateEngine::Enumerate;
+      else {
+        std::cerr << "sdspc: invalid value '" << E
+                  << "' for --rate-engine (expected auto, howard or "
+                     "enumerate)\n";
         return false;
       }
     } else if (Arg == "--timings") {

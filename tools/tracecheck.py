@@ -9,8 +9,11 @@ message on the first violation:
       `sdspc --trace=FILE`: well-formed JSON, a traceEvents array,
       metadata ("M") records naming the process and every track,
       per-track monotone timestamps, balanced B/E span nesting, and
-      an explicit scope on every instant.  Anything Perfetto or
-      chrome://tracing would render wrong fails here first.
+      an explicit scope on every instant.  "simd-dispatch" instants
+      (the fast engine recording which readiness-sweep tier it
+      selected, petri/SimdDispatch.h) must additionally carry a known
+      tier name in their args.  Anything Perfetto or chrome://tracing
+      would render wrong fails here first.
 
   tracecheck.py metrics-diff A B
       Compare the "counters" objects of two `sdspc --metrics-json`
@@ -29,6 +32,10 @@ message on the first violation:
 
 import json
 import sys
+
+# Tier names the engine's SimdDispatch layer can report (must match
+# sdsp::simdTierName in src/petri/SimdDispatch.cpp).
+SIMD_TIERS = {"scalar", "sse2", "avx2", "avx512"}
 
 
 def fail(msg):
@@ -59,7 +66,7 @@ def check_trace(path):
     # Per-tid state: last timestamp and the open-span stack.
     last_ts = {}
     open_spans = {}
-    counts = {"B": 0, "E": 0, "i": 0}
+    counts = {"B": 0, "E": 0, "i": 0, "simd": 0}
 
     for i, ev in enumerate(events):
         where = f"'{path}' event {i}"
@@ -94,6 +101,12 @@ def check_trace(path):
             stack.pop()
         elif ev.get("s") not in ("t", "p", "g"):
             fail(f"{where}: instant needs an explicit scope 's'")
+        if ph == "i" and ev.get("name") == "simd-dispatch":
+            tier = ev.get("args", {}).get("tier")
+            if tier not in SIMD_TIERS:
+                fail(f"{where}: simd-dispatch instant has tier {tier!r}, "
+                     f"expected one of {sorted(SIMD_TIERS)}")
+            counts["simd"] += 1
 
     if not process_named:
         fail(f"'{path}': no process_name metadata record")
@@ -104,7 +117,8 @@ def check_trace(path):
     if counts["B"] != counts["E"]:
         fail(f"'{path}': {counts['B']} 'B' events vs {counts['E']} 'E'")
     print(f"tracecheck: '{path}' ok — {len(named_tids)} track(s), "
-          f"{counts['B']} span(s), {counts['i']} instant(s)")
+          f"{counts['B']} span(s), {counts['i']} instant(s), "
+          f"{counts['simd']} simd-dispatch instant(s)")
 
 
 def load_counters(path):
