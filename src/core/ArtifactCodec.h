@@ -1,0 +1,57 @@
+//===- core/ArtifactCodec.h - Binary artifact serialization -----*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte serialization for every cacheable pass artifact (core/Session.h),
+/// backing the persistent DiskStore of core/ArtifactStore.h.  The codec
+/// is keyed by PassKind — the pass id in the cache key determines the
+/// artifact's type, so the store can stay type-erased end to end.
+///
+/// Decoding never trusts its input.  Every id, port, enum tag and count
+/// is range-checked against the structure decoded so far before any
+/// constructor that asserts sees it, so a corrupted object degrades
+/// into a null return (the store counts it and recomputes) instead of
+/// undefined behavior.  On top of that the store verifies a payload
+/// checksum before decoding and compares the decoded artifact's content
+/// hash (core/ArtifactHash.h) against the one recorded at publish time
+/// after it — a decode that does not reproduce the exact artifact,
+/// adjacency orders included, is treated as corruption.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_CORE_ARTIFACTCODEC_H
+#define SDSP_CORE_ARTIFACTCODEC_H
+
+#include "core/Session.h"
+#include "support/Bytes.h"
+
+#include <memory>
+
+namespace sdsp {
+
+/// True if artifacts of pass \p K can be serialized — exactly the
+/// cacheable passes (Verify produces nothing and is never cached).
+bool passHasCodec(PassKind K);
+
+/// Serializes the type-erased artifact \p Artifact of pass \p K into
+/// \p W.  \p Artifact must point at the pass's artifact type (the same
+/// pointer the session cache holds).  \p K must satisfy passHasCodec.
+void encodeArtifact(PassKind K, const void *Artifact, ByteWriter &W);
+
+/// Decodes an artifact of pass \p K from \p R.  Returns null on any
+/// malformed input; on success the reader is positioned at the end of
+/// the artifact's encoding.
+std::shared_ptr<const void> decodeArtifact(PassKind K, ByteReader &R);
+
+/// Content hash of the type-erased artifact \p Artifact of pass \p K,
+/// dispatching to the typed artifactHash overloads.  Used by the disk
+/// store to confirm a decoded artifact is bit-for-bit the one published.
+uint64_t artifactContentHash(PassKind K, const void *Artifact);
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_ARTIFACTCODEC_H

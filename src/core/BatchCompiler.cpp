@@ -156,7 +156,9 @@ BatchOutcome BatchCompiler::run(const std::vector<BatchJob> &Jobs,
               } else {
                 SessionConfig Cfg;
                 Cfg.EnableCache = Opts.EnableCache;
-                Cfg.SharedCache = Opts.ShareCache ? &Cache : nullptr;
+                Cfg.Store = Opts.ShareCache
+                                ? (Opts.Store ? Opts.Store : &Cache)
+                                : nullptr;
                 Cfg.Trace = Tracks[I];
                 Cfg.Cancel = JobTok;
                 Cfg.Faults = FC;

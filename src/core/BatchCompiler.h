@@ -8,7 +8,9 @@
 /// \file
 /// Compiles a set of loops concurrently: one CompilationSession per
 /// job, scheduled onto a fixed-size Executor, all sessions interning
-/// their pass results in one SharedArtifactCache.  This is the
+/// their pass results in one shared ArtifactStore (by default the
+/// built-in in-memory SharedArtifactCache; optionally an external
+/// tiered store that also persists to disk).  This is the
 /// many-kernel batch workload the service roadmap centers on (and the
 /// shape of Millo & de Simone's evaluation over families of nets):
 /// `sdspc --batch <dir> -j N` and bench/BatchThroughput.cpp sit
@@ -113,6 +115,11 @@ struct BatchOptions {
   /// Intern pass results across sessions.  Off gives each session its
   /// private cache — the ablation arm of bench/BatchThroughput.cpp.
   bool ShareCache = true;
+  /// When set (and ShareCache is on), sessions intern into this
+  /// caller-owned store instead of the compiler's built-in memory
+  /// cache — how sdspc/sdspd route batches through a TieredStore over a
+  /// persistent DiskStore.  The store must outlive the batch run.
+  ArtifactStore *Store = nullptr;
   /// Per-session cache tri-state, passed through to SessionConfig.
   std::optional<bool> EnableCache;
   /// Byte budget for the shared cache; 0 = unbounded.

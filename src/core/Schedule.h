@@ -56,6 +56,7 @@ public:
   TimeStep prologueEnd() const { return Start; }
   TimeStep kernelLength() const { return Period; }
   uint32_t iterationsPerKernel() const { return K; }
+  size_t numTransitions() const { return NumTransitions; }
 
   /// Iterations per cycle in steady state: k / p.
   Rational rate() const {

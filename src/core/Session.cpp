@@ -8,7 +8,7 @@
 #include "core/Session.h"
 
 #include "codegen/Codegen.h"
-#include "core/SharedArtifactCache.h"
+#include "core/ArtifactStore.h"
 #include "core/ScheduleDerivation.h"
 #include "core/StorageOptimizer.h"
 #include "dataflow/Unroll.h"
@@ -247,7 +247,7 @@ size_t CompilationSession::CacheKeyHash::operator()(const CacheKey &K) const {
 }
 
 CompilationSession::CompilationSession(SessionConfig Config)
-    : Shared(Config.SharedCache), Trace(Config.Trace),
+    : Store(Config.Store), Trace(Config.Trace),
       Cancel(std::move(Config.Cancel)), Faults(Config.Faults) {
   if (Config.EnableCache) {
     CacheOn = *Config.EnableCache;
@@ -256,7 +256,7 @@ CompilationSession::CompilationSession(SessionConfig Config)
     CacheOn = !(E && *E && std::string_view(E) != "0");
   }
   if (!CacheOn)
-    Shared = nullptr; // A disabled cache is disabled at every scope.
+    Store = nullptr; // A disabled cache is disabled at every scope.
 }
 
 PipelineTrace CompilationSession::trace() const {
@@ -272,13 +272,12 @@ PipelineTrace CompilationSession::trace() const {
 
 namespace {
 
-/// Releases a SharedArtifactCache key the session owns unless the
+/// Releases an ArtifactStore key the session owns unless the
 /// computation published it — so waiters on other threads always wake,
 /// even if the compute path throws.
 class SharedKeyGuard {
 public:
-  SharedKeyGuard(SharedArtifactCache &C, const SharedArtifactCache::Key &K)
-      : C(C), K(K) {}
+  SharedKeyGuard(ArtifactStore &C, const ArtifactKey &K) : C(C), K(K) {}
   ~SharedKeyGuard() {
     if (!Published)
       C.abandon(K);
@@ -286,8 +285,8 @@ public:
   void markPublished() { Published = true; }
 
 private:
-  SharedArtifactCache &C;
-  SharedArtifactCache::Key K;
+  ArtifactStore &C;
+  ArtifactKey K;
   bool Published = false;
 };
 
@@ -318,17 +317,16 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
   if (Faults)
     if (Status St = Faults->checkpoint(passSite(K)); !St)
       return notePassFailure(Trace, PS, std::move(St));
-  if (CacheOn && Shared) {
+  if (CacheOn && Store) {
     if (Faults)
       if (Status St = Faults->checkpoint("cache:lookup"); !St)
         return notePassFailure(Trace, PS, std::move(St));
-    // Cross-session scope: lookupOrLock either answers from the shared
-    // table or makes this session the key's owner (compute-once across
-    // all threads; see core/SharedArtifactCache.h).
-    SharedArtifactCache::Key SK{static_cast<uint32_t>(K), InputsHash,
-                                OptionsFp};
-    if (std::optional<SharedArtifactCache::Entry> E =
-            Shared->lookupOrLock(SK)) {
+    // Shared scope: lookupOrLock either answers from the store (the
+    // memory tier, or — through a TieredStore — a persisted disk
+    // object) or makes this session the key's owner (compute-once
+    // across all threads; see core/ArtifactStore.h).
+    ArtifactKey SK{static_cast<uint32_t>(K), InputsHash, OptionsFp};
+    if (std::optional<ArtifactEntry> E = Store->lookupOrLock(SK, Faults)) {
       ++PS.CacheHits;
       if (Trace) {
         Trace->endSpan();
@@ -337,7 +335,7 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
       return ArtifactRef<T>(std::static_pointer_cast<const T>(E->Value),
                             E->ContentHash);
     }
-    SharedKeyGuard Guard(*Shared, SK);
+    SharedKeyGuard Guard(*Store, SK);
     Clock::time_point T0 = Clock::now();
     Expected<T> R = Compute();
     // The owner-death fault site: firing "cache:publish" after a
@@ -362,12 +360,18 @@ Expected<ArtifactRef<T>> CompilationSession::runPass(PassKind K,
     uint64_t Bytes = artifactSizeBytes(*Ptr);
     PS.WallSeconds += secondsSince(T0);
     PS.ArtifactBytes += Bytes;
-    Shared->publish(SK, SharedArtifactCache::Entry{Ptr, Hash, Bytes});
+    PublishResult PubRes =
+        Store->publish(SK, ArtifactEntry{Ptr, Hash, Bytes}, Faults);
     Guard.markPublished();
     if (Trace) {
       Trace->instant("cache-publish", "cache");
       Trace->argStr("pass", Id);
       Trace->argU64("bytes", Bytes);
+      if (PubRes.WroteDisk) {
+        Trace->instant("store-publish", "store");
+        Trace->argStr("pass", Id);
+        Trace->argU64("bytes", PubRes.DiskBytes);
+      }
       Trace->endSpan();
       Trace->argStr("resolved", "computed");
     }

@@ -149,8 +149,8 @@ struct PipelineTrace {
   void writeJson(std::ostream &OS) const;
 };
 
+class ArtifactStore;
 class FaultContext;
-class SharedArtifactCache;
 class TraceTrack;
 
 /// Session construction knobs.
@@ -158,12 +158,14 @@ struct SessionConfig {
   /// Tri-state: unset honors SDSP_DISABLE_ARTIFACT_CACHE (any value
   /// other than empty or "0" disables); set forces the cache on/off.
   std::optional<bool> EnableCache;
-  /// When set, pass results are interned in this cross-session cache
-  /// (core/SharedArtifactCache.h) instead of the session-private map,
-  /// so concurrent sessions — one per batch job — share work.  The
-  /// caller keeps ownership; the cache must outlive the session.
-  /// Ignored while the cache is disabled (EnableCache / environment).
-  SharedArtifactCache *SharedCache = nullptr;
+  /// When set, pass results are interned in this shared artifact store
+  /// (core/ArtifactStore.h) instead of the session-private map: a
+  /// MemoryStore shares work across concurrent sessions — one per batch
+  /// job — and a TieredStore additionally persists artifacts across
+  /// processes (the sdspd service).  The caller keeps ownership; the
+  /// store must outlive the session.  Ignored while the cache is
+  /// disabled (EnableCache / environment).
+  ArtifactStore *Store = nullptr;
   /// When set, every pass run is recorded as a span on this track
   /// (support/Trace.h), with instants for cache publish/abandon and
   /// frustum repeat detection — the `sdspc --trace=FILE` channel.
@@ -216,9 +218,9 @@ struct FrustumOptions {
 /// A compilation session: typed pass manager + artifact cache +
 /// instrumentation.  Sessions are single-threaded and not copyable;
 /// artifacts they hand out outlive them (shared ownership).  Sessions
-/// on different threads may share one SharedArtifactCache (see
-/// SessionConfig::SharedCache and core/BatchCompiler.h); everything
-/// else in a session is thread-private.
+/// on different threads may share one ArtifactStore (see
+/// SessionConfig::Store and core/BatchCompiler.h); everything else in a
+/// session is thread-private.
 class CompilationSession {
 public:
   explicit CompilationSession(SessionConfig Config = {});
@@ -227,9 +229,9 @@ public:
   CompilationSession &operator=(const CompilationSession &) = delete;
 
   bool cacheEnabled() const { return CacheOn; }
-  /// The cross-session cache this session interns into, or null when it
-  /// uses its private map.
-  SharedArtifactCache *sharedCache() const { return Shared; }
+  /// The shared artifact store this session interns into, or null when
+  /// it uses its private map.
+  ArtifactStore *store() const { return Store; }
   /// Number of artifacts interned in the session-private map (always 0
   /// when a shared cache is attached).
   size_t cacheEntries() const { return Cache.size(); }
@@ -362,7 +364,7 @@ private:
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> Cache;
   std::array<PassStats, NumPassKinds> Stats{};
   bool CacheOn = true;
-  SharedArtifactCache *Shared = nullptr;
+  ArtifactStore *Store = nullptr;
   TraceTrack *Trace = nullptr;
   CancelToken Cancel;
   FaultContext *Faults = nullptr;

@@ -12,13 +12,6 @@
 
 using namespace sdsp;
 
-size_t SharedArtifactCache::KeyHash::operator()(const Key &K) const {
-  size_t Seed = K.Pass;
-  hashCombine(Seed, static_cast<size_t>(K.Inputs));
-  hashCombine(Seed, static_cast<size_t>(K.Options));
-  return Seed;
-}
-
 namespace {
 
 size_t roundUpPow2(size_t N) {

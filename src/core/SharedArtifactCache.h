@@ -45,6 +45,8 @@
 #ifndef SDSP_CORE_SHAREDARTIFACTCACHE_H
 #define SDSP_CORE_SHAREDARTIFACTCACHE_H
 
+#include "core/ArtifactStore.h"
+
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -55,28 +57,20 @@
 
 namespace sdsp {
 
-class SharedArtifactCache {
+/// The in-memory tier of the artifact storage stack: implements the
+/// ArtifactStore compute-once protocol over a sharded table.  Usable on
+/// its own (the classic shared cache) or as the memory tier of a
+/// TieredStore over a persistent DiskStore (core/ArtifactStore.h).
+class SharedArtifactCache final : public ArtifactStore {
 public:
   /// The Session's cache key triple (core/Session.h): registered pass,
   /// combined input content hashes, options fingerprint.
-  struct Key {
-    uint32_t Pass = 0;
-    uint64_t Inputs = 0;
-    uint64_t Options = 0;
-    friend bool operator==(const Key &A, const Key &B) {
-      return A.Pass == B.Pass && A.Inputs == B.Inputs &&
-             A.Options == B.Options;
-    }
-  };
+  using Key = ArtifactKey;
 
   /// A published artifact: type-erased immutable value (the key's pass
   /// determines the concrete type), its content hash, and its
   /// approximate size (the eviction unit).
-  struct Entry {
-    std::shared_ptr<const void> Value;
-    uint64_t ContentHash = 0;
-    uint64_t Bytes = 0;
-  };
+  using Entry = ArtifactEntry;
 
   struct Config {
     /// Lock stripes; rounded up to a power of two, minimum 1.
@@ -114,8 +108,20 @@ public:
   void publish(const Key &K, Entry E);
 
   /// Releases an owned key without a value (the computation failed).
-  /// One waiter, if any, becomes the new owner.
-  void abandon(const Key &K);
+  /// One waiter, if any, becomes the new owner.  Overrides the
+  /// ArtifactStore protocol method.
+  void abandon(const Key &K) override;
+
+  /// ArtifactStore protocol.  The memory tier has no fault sites of its
+  /// own (cache:lookup / cache:publish fire in the session, before the
+  /// store is consulted), so the context is unused here.
+  std::optional<Entry> lookupOrLock(const Key &K, FaultContext *) override {
+    return lookupOrLock(K);
+  }
+  PublishResult publish(const Key &K, Entry E, FaultContext *) override {
+    publish(K, std::move(E));
+    return PublishResult{};
+  }
 
   /// Non-blocking, non-locking-semantics lookup (tests, stats).  Does
   /// not count as a hit or miss and does not refresh recency.
@@ -134,9 +140,7 @@ public:
   size_t shardCount() const { return ShardsVec.size(); }
 
 private:
-  struct KeyHash {
-    size_t operator()(const Key &K) const;
-  };
+  using KeyHash = ArtifactKeyHash;
 
   struct Slot {
     bool Ready = false; ///< false: in flight, owned by some thread.
@@ -167,6 +171,9 @@ private:
   size_t ShardMask = 0;
   uint64_t PerShardBudget = 0; ///< 0 = unbounded.
 };
+
+/// The storage stack's name for the in-memory tier (docs/SERVICE.md).
+using MemoryStore = SharedArtifactCache;
 
 } // namespace sdsp
 

@@ -37,6 +37,14 @@ void PetriNet::addArc(TransitionId T, PlaceId P) {
   Transitions[T.index()].OutputPlaces.push_back(P);
 }
 
+PetriNet PetriNet::fromParts(std::vector<Place> Places,
+                             std::vector<Transition> Transitions) {
+  PetriNet Net;
+  Net.Places = std::move(Places);
+  Net.Transitions = std::move(Transitions);
+  return Net;
+}
+
 void PetriNet::setInitialTokens(PlaceId P, uint32_t Tokens) {
   Places[P.index()].InitialTokens = Tokens;
 }

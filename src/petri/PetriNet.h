@@ -75,6 +75,16 @@ public:
   /// Adds the production arc \p T -> \p P.
   void addArc(TransitionId T, PlaceId P);
 
+  /// Rebuilds a net from fully materialized parts.  This is the
+  /// persistent artifact store's decoder entry point
+  /// (core/ArtifactCodec.cpp): per-arc replay cannot reproduce the
+  /// original adjacency-vector interleaving from the final structure,
+  /// and content hashes depend on it, so deserialization restores the
+  /// vectors verbatim.  The caller must have validated every
+  /// cross-reference (ids in range, arcs present on both endpoints).
+  static PetriNet fromParts(std::vector<Place> Places,
+                            std::vector<Transition> Transitions);
+
   /// Changes the initial token count of \p P.
   void setInitialTokens(PlaceId P, uint32_t Tokens);
 

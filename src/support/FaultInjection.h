@@ -21,6 +21,12 @@
 ///   executor:dispatch  at the start of every batch job attempt
 ///   frustum:step       every sampled instant of the frustum search,
 ///                      on the same cadence as the step budget
+///   store:read         before the persistent disk store reads an
+///                      object (failing degrades to a disk miss)
+///   store:write        before the disk store writes an object (failing
+///                      skips the write; the index is never touched)
+///   daemon:accept      per accepted sdspd connection (failing drops
+///                      the connection; the daemon keeps serving)
 ///
 /// A FaultSchedule is parsed from a spec string (SDSP_FAULT_SPEC env
 /// var or `sdspc --fault-spec`):

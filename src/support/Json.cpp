@@ -1,0 +1,418 @@
+//===- support/Json.cpp - Minimal JSON parsing and emission ---------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdsp {
+namespace json {
+
+Value Value::boolean(bool B) {
+  Value V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+Value Value::integer(int64_t I) {
+  Value V;
+  V.K = Kind::Int;
+  V.I = I;
+  return V;
+}
+
+Value Value::number(double D) {
+  Value V;
+  V.K = Kind::Double;
+  V.D = D;
+  return V;
+}
+
+Value Value::string(std::string S) {
+  Value V;
+  V.K = Kind::String;
+  V.S = std::move(S);
+  return V;
+}
+
+Value Value::array() {
+  Value V;
+  V.K = Kind::Array;
+  return V;
+}
+
+Value Value::object() {
+  Value V;
+  V.K = Kind::Object;
+  return V;
+}
+
+const Value *Value::find(std::string_view Key) const {
+  const Value *Found = nullptr;
+  for (const auto &[K, V] : Members)
+    if (K == Key)
+      Found = &V;
+  return Found;
+}
+
+void Value::push(Value V) { Items.push_back(std::move(V)); }
+
+void Value::set(std::string Key, Value V) {
+  Members.emplace_back(std::move(Key), std::move(V));
+}
+
+namespace {
+
+/// Nesting cap: the protocol's documents are two levels deep; 64 is
+/// generous headroom without letting hostile input exhaust the stack.
+constexpr int MaxDepth = 64;
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(Value &Out) {
+    if (!parseValue(Out, 0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after the JSON document");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = Msg + " (at byte " + std::to_string(Pos) + ")";
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) == Word) {
+      Pos += Word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(Value &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Out, Depth);
+    if (C == '[')
+      return parseArray(Out, Depth);
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value::string(std::move(S));
+      return true;
+    }
+    if (literal("true")) {
+      Out = Value::boolean(true);
+      return true;
+    }
+    if (literal("false")) {
+      Out = Value::boolean(false);
+      return true;
+    }
+    if (literal("null")) {
+      Out = Value::null();
+      return true;
+    }
+    return parseNumber(Out);
+  }
+
+  bool parseObject(Value &Out, int Depth) {
+    ++Pos; // '{'
+    Out = Value::object();
+    skipWs();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected a string key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      Value V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.set(std::move(Key), std::move(V));
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value &Out, int Depth) {
+    ++Pos; // '['
+    Out = Value::array();
+    skipWs();
+    if (consume(']'))
+      return true;
+    while (true) {
+      Value V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.push(std::move(V));
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size())
+          return fail("unterminated escape");
+        char E = Text[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case '"':
+          Out.push_back('"');
+          break;
+        case '\\':
+          Out.push_back('\\');
+          break;
+        case '/':
+          Out.push_back('/');
+          break;
+        case 'b':
+          Out.push_back('\b');
+          break;
+        case 'f':
+          Out.push_back('\f');
+          break;
+        case 'n':
+          Out.push_back('\n');
+          break;
+        case 'r':
+          Out.push_back('\r');
+          break;
+        case 't':
+          Out.push_back('\t');
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return fail("truncated \\u escape");
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos + I];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad hex digit in \\u escape");
+          }
+          Pos += 4;
+          // The emitter only produces \u00XX for control bytes; decode
+          // the BMP range as UTF-8 for completeness.
+          if (Code < 0x80) {
+            Out.push_back(static_cast<char>(Code));
+          } else if (Code < 0x800) {
+            Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+            Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+          } else {
+            Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+            Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+            Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape character");
+        }
+        continue;
+      }
+      Out.push_back(C);
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool Fractional = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '+' || C == '-') {
+        Fractional = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start)
+      return fail("expected a value");
+    std::string_view Num = Text.substr(Start, Pos - Start);
+    if (!Fractional) {
+      int64_t I = 0;
+      auto [Ptr, Ec] = std::from_chars(Num.data(), Num.data() + Num.size(), I);
+      if (Ec == std::errc() && Ptr == Num.data() + Num.size()) {
+        Out = Value::integer(I);
+        return true;
+      }
+    }
+    std::string Owned(Num);
+    char *End = nullptr;
+    double D = std::strtod(Owned.c_str(), &End);
+    if (End != Owned.c_str() + Owned.size())
+      return fail("malformed number");
+    Out = Value::number(D);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+void serializeTo(std::string &Out, const Value &V) {
+  switch (V.kind()) {
+  case Value::Kind::Null:
+    Out += "null";
+    break;
+  case Value::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    break;
+  case Value::Kind::Int:
+    Out += std::to_string(V.asInt());
+    break;
+  case Value::Kind::Double: {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V.asDouble());
+    Out += Buf;
+    break;
+  }
+  case Value::Kind::String:
+    Out.push_back('"');
+    escapeTo(Out, V.asString());
+    Out.push_back('"');
+    break;
+  case Value::Kind::Array: {
+    Out.push_back('[');
+    bool First = true;
+    for (const Value &Item : V.items()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      serializeTo(Out, Item);
+    }
+    Out.push_back(']');
+    break;
+  }
+  case Value::Kind::Object: {
+    Out.push_back('{');
+    bool First = true;
+    for (const auto &[K, M] : V.members()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      Out.push_back('"');
+      escapeTo(Out, K);
+      Out += "\":";
+      serializeTo(Out, M);
+    }
+    Out.push_back('}');
+    break;
+  }
+  }
+}
+
+} // namespace
+
+bool parse(std::string_view Text, Value &Out, std::string &Error) {
+  return Parser(Text, Error).run(Out);
+}
+
+std::string serialize(const Value &V) {
+  std::string Out;
+  serializeTo(Out, V);
+  return Out;
+}
+
+void escapeTo(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+}
+
+} // namespace json
+} // namespace sdsp

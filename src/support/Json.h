@@ -1,0 +1,105 @@
+//===- support/Json.h - Minimal JSON parsing and emission -------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON value type with a recursive-descent
+/// parser and a deterministic emitter, for the sdspd wire protocol
+/// (docs/SERVICE.md).  Scope is deliberately narrow: the protocol's
+/// documents are flat-ish objects of strings, integers and string
+/// arrays, so numbers are stored as int64 when they parse exactly and
+/// as double otherwise, object keys keep insertion order on emission
+/// (requests and responses serialize deterministically), and the parser
+/// enforces a nesting-depth cap instead of recursing unboundedly on
+/// attacker-shaped input.
+///
+/// Emission escapes every control byte, quote and backslash; other
+/// bytes pass through verbatim, so any byte string a compile produced
+/// on the server round-trips exactly to the client — the remote
+/// determinism contract depends on that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_JSON_H
+#define SDSP_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sdsp {
+namespace json {
+
+/// One JSON value.  Arrays and objects own their children; objects are
+/// ordered key/value lists (duplicate keys keep the last occurrence on
+/// lookup, like every practical JSON consumer).
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() : K(Kind::Null) {}
+  static Value null() { return Value(); }
+  static Value boolean(bool B);
+  static Value integer(int64_t I);
+  static Value number(double D);
+  static Value string(std::string S);
+  static Value array();
+  static Value object();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  int64_t asInt() const { return K == Kind::Double ? static_cast<int64_t>(D) : I; }
+  double asDouble() const { return K == Kind::Int ? static_cast<double>(I) : D; }
+  const std::string &asString() const { return S; }
+
+  const std::vector<Value> &items() const { return Items; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *find(std::string_view Key) const;
+
+  /// Appends to an array value.
+  void push(Value V);
+  /// Sets (appends) an object member.
+  void set(std::string Key, Value V);
+
+private:
+  Kind K;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+  std::vector<Value> Items;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parses \p Text into \p Out.  Returns false (and fills \p Error with
+/// a one-line reason) on malformed input, trailing garbage, or nesting
+/// deeper than the internal cap.
+bool parse(std::string_view Text, Value &Out, std::string &Error);
+
+/// Serializes \p V compactly (no whitespace), deterministically.
+std::string serialize(const Value &V);
+
+/// Escapes \p S as the body of a JSON string literal (no quotes).
+void escapeTo(std::string &Out, std::string_view S);
+
+} // namespace json
+} // namespace sdsp
+
+#endif // SDSP_SUPPORT_JSON_H

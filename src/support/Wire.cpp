@@ -1,0 +1,115 @@
+//===- support/Wire.cpp - Length-prefixed frame I/O -----------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Wire.h"
+
+#ifndef _WIN32
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace sdsp {
+
+namespace {
+
+Status ioError(const char *What) {
+  return Status::error(ErrorCode::TransientFault, "wire",
+                       std::string(What) + ": " + std::strerror(errno));
+}
+
+/// Reads exactly \p N bytes.  Returns 1 on success, 0 on EOF at offset
+/// zero (clean close), -1 on error or a torn frame (errno untouched for
+/// the torn case; Err filled either way).
+int readAll(int Fd, char *Buf, size_t N, Status &Err) {
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::read(Fd, Buf + Got, N - Got);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = ioError("read failed");
+      return -1;
+    }
+    if (R == 0) {
+      if (Got == 0)
+        return 0;
+      Err = Status::error(ErrorCode::TransientFault, "wire",
+                          "connection closed mid-frame");
+      return -1;
+    }
+    Got += static_cast<size_t>(R);
+  }
+  return 1;
+}
+
+} // namespace
+
+Status readFrame(int Fd, std::string &Payload, bool &CleanClose) {
+  CleanClose = false;
+  unsigned char Len[4];
+  Status Err;
+  int R = readAll(Fd, reinterpret_cast<char *>(Len), sizeof(Len), Err);
+  if (R == 0) {
+    CleanClose = true;
+    return Status::error(ErrorCode::TransientFault, "wire",
+                         "connection closed");
+  }
+  if (R < 0)
+    return Err;
+  uint32_t N = static_cast<uint32_t>(Len[0]) |
+               (static_cast<uint32_t>(Len[1]) << 8) |
+               (static_cast<uint32_t>(Len[2]) << 16) |
+               (static_cast<uint32_t>(Len[3]) << 24);
+  if (N > MaxWireFrameBytes)
+    return Status::error(ErrorCode::InvalidInput, "wire",
+                         "frame length " + std::to_string(N) +
+                             " exceeds the " +
+                             std::to_string(MaxWireFrameBytes) +
+                             "-byte limit");
+  Payload.resize(N);
+  if (N > 0 && readAll(Fd, Payload.data(), N, Err) <= 0) {
+    if (Err.code() == ErrorCode::Ok)
+      Err = Status::error(ErrorCode::TransientFault, "wire",
+                          "connection closed mid-frame");
+    return Err;
+  }
+  return Status::ok();
+}
+
+Status writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > MaxWireFrameBytes)
+    return Status::error(ErrorCode::InvalidInput, "wire",
+                         "frame payload exceeds the limit");
+  uint32_t N = static_cast<uint32_t>(Payload.size());
+  unsigned char Len[4] = {static_cast<unsigned char>(N),
+                          static_cast<unsigned char>(N >> 8),
+                          static_cast<unsigned char>(N >> 16),
+                          static_cast<unsigned char>(N >> 24)};
+  struct Chunk {
+    const char *Data;
+    size_t Size;
+  } Chunks[2] = {{reinterpret_cast<const char *>(Len), sizeof(Len)},
+                 {Payload.data(), Payload.size()}};
+  for (const Chunk &C : Chunks) {
+    size_t Sent = 0;
+    while (Sent < C.Size) {
+      ssize_t W = ::write(Fd, C.Data + Sent, C.Size - Sent);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        return ioError("write failed");
+      }
+      Sent += static_cast<size_t>(W);
+    }
+  }
+  return Status::ok();
+}
+
+} // namespace sdsp
+
+#endif // _WIN32

@@ -1,0 +1,50 @@
+//===- support/Wire.h - Length-prefixed frame I/O ---------------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sdspd wire framing (docs/SERVICE.md): every message is a 4-byte
+/// little-endian payload length followed by that many payload bytes
+/// (UTF-8 JSON at the protocol layer; this file does not interpret
+/// them).  Reads and writes retry on EINTR and on short transfers, so
+/// callers see whole frames or a clean error.  An upper bound on the
+/// frame length guards the daemon against a hostile or corrupt length
+/// prefix committing it to a multi-gigabyte allocation.
+///
+/// POSIX file descriptors only — the daemon speaks Unix-domain sockets
+/// and is compiled on UNIX hosts (tools/CMakeLists.txt gates it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_SUPPORT_WIRE_H
+#define SDSP_SUPPORT_WIRE_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sdsp {
+
+/// Largest accepted frame payload (64 MiB).  Compile requests are tiny;
+/// responses carry captured stdout plus any JSON file outputs, which
+/// stay far below this for every bundled corpus.
+inline constexpr uint32_t MaxWireFrameBytes = 64u << 20;
+
+/// Reads one frame from \p Fd into \p Payload.  Returns Ok on success;
+/// a Status with stage "wire" on a malformed length, a short read, or
+/// an I/O error.  A clean EOF before any length byte sets
+/// \p CleanClose and returns an error Status — connection teardown
+/// between frames is a normal event the caller distinguishes from a
+/// torn frame.
+Status readFrame(int Fd, std::string &Payload, bool &CleanClose);
+
+/// Writes one frame (length prefix + \p Payload) to \p Fd.
+Status writeFrame(int Fd, const std::string &Payload);
+
+} // namespace sdsp
+
+#endif // SDSP_SUPPORT_WIRE_H

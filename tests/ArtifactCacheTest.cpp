@@ -15,11 +15,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Session.h"
+#include "core/ArtifactStore.h"
+#include "core/SharedArtifactCache.h"
 #include "livermore/Livermore.h"
 
 #include "gtest/gtest.h"
 
 #include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <sstream>
 
 using namespace sdsp;
 
@@ -214,6 +219,55 @@ TEST(ArtifactCacheTest, ValidateIterationsIsPartOfScheduleKey) {
   ASSERT_TRUE(bool(S.deriveSchedule(*Sd, *Pn, *F, 64)));
   EXPECT_EQ(S.passStats(PassKind::Schedule).Invocations, 3u);
   EXPECT_EQ(S.passStats(PassKind::Schedule).CacheHits, 1u);
+}
+
+TEST(ArtifactCacheTest, PersistentStoreHonorsOptionFingerprints) {
+  // The invalidation rules survive the disk tier: an artifact persisted
+  // under one options fingerprint is never served to a request with a
+  // different one, even across "processes" (fresh memory tiers over one
+  // directory; see tests/ArtifactStoreTest.cpp for the store itself).
+  std::random_device RD;
+  std::ostringstream Name;
+  Name << "sdsp-cache-fp-" << std::hex << RD() << RD();
+  std::filesystem::path Dir = std::filesystem::temp_directory_path() / Name.str();
+  std::filesystem::create_directories(Dir);
+
+  PipelineOptions Cap1;
+  PipelineOptions Cap2;
+  Cap2.Capacity = 2;
+
+  auto CompileCold = [&](const PipelineOptions &PO, DiskStore::Counters &C) {
+    MemoryStore Memory;
+    DiskStore Disk(DiskStore::Config{Dir.string(), 0});
+    TieredStore Tiered(Memory, Disk);
+    SessionConfig SC;
+    SC.Store = &Tiered;
+    SC.EnableCache = true;
+    CompilationSession S(SC);
+    auto R = S.compile(kernelSource("loop1"), PO);
+    EXPECT_TRUE(R) << R.status().str();
+    C = Disk.counters();
+  };
+
+  DiskStore::Counters First, Second, Third;
+  CompileCold(Cap1, First);
+  EXPECT_GT(First.Writes, 0u);
+  EXPECT_EQ(First.Hits, 0u);
+
+  // Capacity is part of the sdsp-pass fingerprint: the lowering hits
+  // from disk, but the capacity-dependent chain recomputes and writes
+  // new objects rather than replaying the capacity-1 artifacts.
+  CompileCold(Cap2, Second);
+  EXPECT_GT(Second.Hits, 0u);
+  EXPECT_GT(Second.Writes, 0u);
+
+  // Both fingerprints now coexist; replaying either is all hits.
+  CompileCold(Cap1, Third);
+  EXPECT_EQ(Third.Misses, 0u);
+  EXPECT_EQ(Third.Writes, 0u);
+
+  std::error_code EC;
+  std::filesystem::remove_all(Dir, EC);
 }
 
 } // namespace

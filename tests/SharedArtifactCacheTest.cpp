@@ -265,7 +265,7 @@ TEST(SharedArtifactCacheSessionTest, SecondSessionHitsEveryCachedPass) {
   PO.Verify = true;
 
   SessionConfig SC;
-  SC.SharedCache = &Cache;
+  SC.Store = &Cache;
   SC.EnableCache = true;
 
   CompilationSession S1(SC);
@@ -309,7 +309,7 @@ TEST(SharedArtifactCacheSessionTest, SharedAndPrivateCachesAgree) {
 
   SharedArtifactCache Cache;
   SessionConfig SharedSC;
-  SharedSC.SharedCache = &Cache;
+  SharedSC.Store = &Cache;
   SharedSC.EnableCache = true;
   CompilationSession Cold(SharedSC), Warm(SharedSC);
   std::string FromCold = Summarize(Cold);
@@ -321,9 +321,9 @@ TEST(SharedArtifactCacheSessionTest, SharedAndPrivateCachesAgree) {
 
   SessionConfig OffSC;
   OffSC.EnableCache = false;
-  OffSC.SharedCache = &Cache; // Must be ignored while disabled.
+  OffSC.Store = &Cache; // Must be ignored while disabled.
   CompilationSession Off(OffSC);
-  EXPECT_EQ(Off.sharedCache(), nullptr);
+  EXPECT_EQ(Off.store(), nullptr);
 
   EXPECT_EQ(FromCold, FromWarm);
   EXPECT_EQ(FromCold, Summarize(Private));
@@ -333,7 +333,7 @@ TEST(SharedArtifactCacheSessionTest, SharedAndPrivateCachesAgree) {
 TEST(SharedArtifactCacheSessionTest, FailingSourceDoesNotPoisonTheCache) {
   SharedArtifactCache Cache;
   SessionConfig SC;
-  SC.SharedCache = &Cache;
+  SC.Store = &Cache;
   SC.EnableCache = true;
   PipelineOptions PO;
 
@@ -375,7 +375,7 @@ TEST(SharedArtifactCacheSessionTest, InjectedOwnerDeathAbandonsExactlyOnce) {
 
   FaultContext FC(&*Sched, "victim");
   SessionConfig VictimSC;
-  VictimSC.SharedCache = &Cache;
+  VictimSC.Store = &Cache;
   VictimSC.EnableCache = true;
   VictimSC.Faults = &FC;
   CompilationSession Victim(VictimSC);
@@ -386,7 +386,7 @@ TEST(SharedArtifactCacheSessionTest, InjectedOwnerDeathAbandonsExactlyOnce) {
   EXPECT_EQ(Cache.counters().Inserts, 0u);  // The failure published nothing.
 
   SessionConfig HealthySC;
-  HealthySC.SharedCache = &Cache;
+  HealthySC.Store = &Cache;
   HealthySC.EnableCache = true;
   CompilationSession Healthy(HealthySC);
   auto RH = Healthy.compile(BiquadSource, PO);
@@ -415,7 +415,7 @@ TEST(SharedArtifactCacheSessionTest, ConcurrentSessionsShareWork) {
   for (int I = 0; I < NumThreads; ++I)
     Threads.emplace_back([&, I] {
       SessionConfig SC;
-      SC.SharedCache = &Cache;
+      SC.Store = &Cache;
       SC.EnableCache = true;
       CompilationSession S(SC);
       auto R = S.compile(BiquadSource, PO);

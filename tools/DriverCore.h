@@ -1,0 +1,152 @@
+//===- tools/DriverCore.h - Shared sdspc/sdspd driver core ------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-and-emit driver shared by the local CLI (tools/sdspc.cpp)
+/// and the compile service (tools/sdspd.cpp).  Everything a run can
+/// observe is parameterized:
+///
+///   - stdout/stderr are ostreams (the CLI passes std::cout/std::cerr,
+///     the daemon per-request string streams),
+///   - the source-on-stdin stream is an istream (the daemon substitutes
+///     the request's "stdin" field),
+///   - file outputs (--trace, --metrics-json, --timings-json,
+///     --batch-json) can be captured into a string map instead of
+///     written to disk (the daemon ships them back in the response),
+///   - the artifact store is injected, so daemon requests share one
+///     tiered memory+disk store across their whole lifetime.
+///
+/// Because both binaries execute exactly this code, a remote compile's
+/// stdout/stderr/exit code is byte-identical to the same invocation run
+/// locally — the remote-determinism CI job diffs the two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_TOOLS_DRIVERCORE_H
+#define SDSP_TOOLS_DRIVERCORE_H
+
+#include "core/ArtifactStore.h"
+#include "core/Session.h"
+#include "core/SharedArtifactCache.h"
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+namespace driver {
+
+/// Parsed sdspc command line.  One struct for both binaries: the daemon
+/// parses request argv through the same grammar, then rejects the
+/// host-only flags (--remote, --store-dir) it cannot honor per request.
+struct Options {
+  std::string Emit = "schedule";
+  PipelineOptions Pipe;
+  uint64_t RunIterations = 0;
+  uint64_t Seed = 1;
+  std::string InputPath;
+  std::string KernelId;
+  std::string TimingsJsonPath;
+  std::string TracePath;
+  std::string MetricsJsonPath;
+  bool Timings = false;
+  /// --scp appeared explicitly (so --scp=0 is a rejected machine, not
+  /// "no machine model").
+  bool ScpGiven = false;
+  /// Batch mode (core/BatchCompiler.h).
+  std::string BatchDir;
+  bool BatchKernels = false;
+  uint32_t Jobs = 1;
+  std::string BatchJsonPath;
+  /// Robustness controls (docs/ROBUSTNESS.md).
+  std::string FaultSpec;
+  uint64_t DeadlineMillis = 0;
+  /// --deadline-ms appeared explicitly (so --deadline-ms=0 is an
+  /// already-expired deadline, not "no deadline").
+  bool DeadlineGiven = false;
+  uint32_t Retries = 2;
+  bool KeepGoing = true;
+  /// Persistent artifact store (docs/SERVICE.md): --store-dir, or the
+  /// SDSP_STORE_DIR environment variable when the flag is absent.
+  std::string StoreDir;
+  uint64_t StoreBytes = 0;
+  /// --remote=SOCK: ship this invocation to an sdspd at SOCK instead of
+  /// compiling in-process (tools/sdspc.cpp).
+  std::string RemoteSocket;
+
+  bool batchMode() const { return !BatchDir.empty() || BatchKernels; }
+};
+
+void printUsage(std::ostream &OS);
+
+enum class ParseResult {
+  Ok,
+  /// A diagnostic was printed to Err; the caller prints usage and
+  /// exits 1.
+  Error,
+  /// --help: usage was printed to Out; the caller exits 0.
+  Help,
+};
+
+/// Parses \p Args (argv[1..]) into \p Opts.  Diagnostics go to \p Err,
+/// --help output to \p Out; never exits.
+ParseResult parseArgs(const std::vector<std::string> &Args, Options &Opts,
+                      std::ostream &Out, std::ostream &Err);
+
+/// The tiered storage stack a host builds from --store-dir: a
+/// process-local memory tier over the persistent content-addressed disk
+/// tier.  All-null when no store directory is configured.
+struct StoreStack {
+  std::unique_ptr<DiskStore> Disk;
+  std::unique_ptr<MemoryStore> Memory;
+  std::unique_ptr<TieredStore> Tiered;
+
+  ArtifactStore *store() const { return Tiered.get(); }
+};
+
+/// Builds the stack for \p Opts (creating the directory).  Returns
+/// false (diagnostic on \p Err) when the directory cannot be created.
+/// Leaves \p Stack empty when Opts names no store directory.
+bool makeStoreStack(const Options &Opts, StoreStack &Stack,
+                    std::ostream &Err);
+
+/// Everything environmental a run needs beyond its Options.
+struct Env {
+  /// Source text for "-" / empty-path input; the CLI passes std::cin.
+  std::istream *In = nullptr;
+  /// Shared artifact store, or null for per-run caching only.
+  ArtifactStore *Store = nullptr;
+  /// The store's tiers, for --metrics-json counter flushes (either or
+  /// both may be null).
+  MemoryStore *Memory = nullptr;
+  DiskStore *Disk = nullptr;
+  /// When set, file outputs are captured here (path -> content) instead
+  /// of written to the filesystem — the daemon returns them in the
+  /// response and the remote client writes them client-side.
+  std::map<std::string, std::string> *Files = nullptr;
+};
+
+/// Compiles per \p Opts (single or batch) and returns the process exit
+/// code (docs/ERRORS.md).  Never reads Opts.RemoteSocket — remoting is
+/// the CLI's job.
+int run(const Options &Opts, const Env &E, std::ostream &Out,
+        std::ostream &Err);
+
+/// Flushes disk-tier counters into the global metrics registry as
+/// store.disk.* (docs/OBSERVABILITY.md).
+void flushDiskStoreMetrics(const DiskStore &Disk);
+
+/// Flushes memory-tier counters into the global metrics registry as
+/// cache.* plus per-shard cache.shardNN.* series.
+void flushMemoryStoreMetrics(const MemoryStore &Memory);
+
+} // namespace driver
+} // namespace sdsp
+
+#endif // SDSP_TOOLS_DRIVERCORE_H

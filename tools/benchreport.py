@@ -43,6 +43,14 @@ marked non-gating.
                        exact work counts, so --compare diffs them for
                        equality — any drift means the pipeline is doing
                        different work, not that the machine is slower.
+  BENCH_store.json     store_throughput: the six Livermore kernels
+                       compiled through the persistent tiered artifact
+                       store (core/ArtifactStore.h, docs/SERVICE.md)
+                       over an empty directory (cold fill) vs a
+                       pre-populated one (warm replay, the
+                       restarted-daemon shape), and the warm-over-cold
+                       speedup — the machine-relative ratio --compare
+                       tracks.
 
 Also provides --smoke, which runs every binary under <build>/bench once
 with a short min-time and fails on any crash or benchmark error (the CI
@@ -50,7 +58,8 @@ perf-smoke job's crash detector), and --compare BASELINE_DIR, which
 diffs freshly generated reports against the committed baselines and
 fails on a >25% regression of any machine-relative metric (speedups and
 per-kernel time shares; absolute nanoseconds are machine-specific and
-never compared).
+never compared).  Every schema failure under --compare names the exact
+BENCH_*.json (fresh or baseline) the missing key came from.
 
 Standard library only; works with both old (plain float min-time) and
 new ("0.05s") google-benchmark flag syntax by passing the value through
@@ -68,6 +77,7 @@ FRUSTUM_BENCH = "scaling_frustum"
 PIPELINE_BENCH = "pipeline_verify"
 SESSION_BENCH = "session_sweep"
 BATCH_BENCH = "batch_throughput"
+STORE_BENCH = "store_throughput"
 TRACE_SCHEMA = "sdsp-pipeline-trace-v1"
 GATE_ARG = "682"  # 682 chains -> 2050 transitions, the paper-scale n=2048 point
 GATE_THRESHOLD = 5.0
@@ -393,6 +403,34 @@ def batch_report(report):
     }
 
 
+def store_report(report):
+    """Distills store_throughput (bench/StoreThroughput.cpp) into the
+    BENCH_store.json shape: cold fill vs warm replay of the Livermore
+    kernels through the persistent tiered store, and their ratio."""
+    prov = check_provenance(report, "BENCH_store capture")
+    cold = series_of(report, "benchStoreCold")
+    warm = series_of(report, "benchStoreWarm")
+
+    def only(series, label):
+        if len(series) != 1:
+            raise SystemExit("BENCH_store capture has %d '%s' entries, "
+                             "expected exactly 1" % (len(series), label))
+        return next(iter(series.values()))
+
+    cold_ns = only(cold, "benchStoreCold")["real_time_ns"]
+    warm_ns = only(warm, "benchStoreWarm")["real_time_ns"]
+    warm_speedup = round(cold_ns / warm_ns, 3) if warm_ns > 0 else None
+    return {
+        "benchmark": STORE_BENCH,
+        "generated_by": "tools/benchreport.py",
+        "provenance": prov,
+        "context": report.get("context", {}),
+        "cold_fill": cold,
+        "warm_replay": warm,
+        "warm_speedup": warm_speedup,
+    }
+
+
 def metrics_report(build_dir, out_dir):
     """Runs the deterministic batch workload under --metrics-json and
     keeps the machine-independent counters.  Per-shard series (a
@@ -506,11 +544,21 @@ def compare_ratios(label, fresh_ratios, base_ratios, failures,
                              int(COMPARE_TOLERANCE * 100)))
 
 
-def kernel_shares(report):
+def kernel_shares(report, name):
     """Per-kernel fraction of the summed pipeline time: relative cost
-    structure, stable across machines of different absolute speed."""
-    kernels = report.get("kernels", {})
-    total = sum(v["real_time_ns"] for v in kernels.values())
+    structure, stable across machines of different absolute speed.
+    \p name says which BENCH file the report came from, so a schema
+    mismatch points at the offending file instead of leaving the
+    reader to guess among the committed baselines."""
+    kernels = require(report, "kernels", name)
+    total = 0
+    for kernel, v in kernels.items():
+        if not isinstance(v, dict) or "real_time_ns" not in v:
+            raise SystemExit("--compare: %s kernel '%s' has no "
+                             "'real_time_ns' key -- the report is "
+                             "malformed; regenerate it with "
+                             "tools/benchreport.py" % (name, kernel))
+        total += v["real_time_ns"]
     if total <= 0:
         return {}
     return {n: v["real_time_ns"] / total for n, v in kernels.items()}
@@ -549,8 +597,31 @@ def compare_reports(fresh_dir, base_dir):
                  "rate-engine gate")
 
     fresh, base = load_pair(fresh_dir, base_dir, "BENCH_pipeline.json")
-    compare_ratios("pipeline share", kernel_shares(fresh),
-                   kernel_shares(base), failures, higher_is_better=False)
+    compare_ratios("pipeline share",
+                   kernel_shares(fresh, "fresh BENCH_pipeline.json"),
+                   kernel_shares(base, "baseline BENCH_pipeline.json"),
+                   failures, higher_is_better=False)
+
+    # The store's warm-over-cold ratio is machine-relative (both arms
+    # run on the same host), but its magnitude rides on artifact-decode
+    # vs analysis cost, which swings with host load far more than the
+    # frustum or batch ratios.  So the binding check is the invariant --
+    # a warm replay must never lose to a cold recompute -- and the
+    # baseline delta is reported for the record, not enforced.
+    fresh, base = load_pair(fresh_dir, base_dir, "BENCH_store.json")
+    fresh_speedup = require(fresh, "warm_speedup",
+                            "fresh BENCH_store.json") or 0.0
+    base_speedup = require(base, "warm_speedup",
+                           "baseline BENCH_store.json") or 0.0
+    floor = 1.0 - COMPARE_TOLERANCE
+    verdict = "REGRESSED" if fresh_speedup < floor else "ok"
+    print("[compare] store warm_speedup: baseline %.3f, current %.3f, "
+          "floor %.2f -> %s" % (base_speedup, fresh_speedup, floor,
+                                verdict))
+    if fresh_speedup < floor:
+        failures.append("store warm_speedup %.3f: warm replay lost to "
+                        "cold recompute (floor %.2f)" %
+                        (fresh_speedup, floor))
 
     fresh, base = load_pair(fresh_dir, base_dir, "BENCH_batch.json")
     gate = require(fresh, "gate", "fresh BENCH_batch.json")
@@ -630,6 +701,7 @@ def main():
         (FRUSTUM_BENCH, frustum_report, "BENCH_frustum.json"),
         (PIPELINE_BENCH, pipeline_report, "BENCH_pipeline.json"),
         (BATCH_BENCH, batch_report, "BENCH_batch.json"),
+        (STORE_BENCH, store_report, "BENCH_store.json"),
     ]
     for binary, distill, out_name in jobs:
         path = os.path.join(bench_dir, binary)
@@ -685,6 +757,9 @@ def main():
           (bg["speedup"], bg["threads"], bg["threshold"], bg["num_cpus"],
            "SKIPPED (num_cpus < %s)" % bg["threads"] if bg["skipped"]
            else ("PASS" if bg["pass"] else "FAIL")))
+
+    store = json.load(open(os.path.join(args.out_dir, "BENCH_store.json")))
+    print("store: warm replay %sx over cold fill" % store["warm_speedup"])
 
     if args.compare:
         compare_reports(args.out_dir, args.compare)

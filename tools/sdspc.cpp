@@ -48,6 +48,17 @@
 //   --keep-going         keep compiling after a batch job fails
 //                        (default); --fail-fast cancels the rest of
 //                        the batch on the first failure instead
+//   --store-dir=DIR      persist pass artifacts in a content-addressed
+//                        store under DIR (docs/SERVICE.md); later runs
+//                        serve cacheable passes from disk.  The
+//                        SDSP_STORE_DIR environment variable is the
+//                        flag's default.
+//   --store-bytes=N      disk-store byte budget (LRU eviction; 0 =
+//                        unbounded, default)
+//   --remote=SOCKET      ship this invocation to the sdspd daemon
+//                        listening on the Unix socket; stdout, stderr
+//                        and the exit code are byte-identical to the
+//                        same invocation run locally
 //   --timings            print the per-pass wall-time/cache-hit table
 //                        (PipelineTrace) to stderr before exiting
 //                        (with --batch: the merged batch trace)
@@ -58,8 +69,9 @@
 //                        pass, instants for cache publish/abandon and
 //                        frustum repeats (docs/OBSERVABILITY.md)
 //   --metrics-json=FILE  write the "sdsp-metrics-v1" counter/gauge
-//                        report (engine, state table, cache, executor);
-//                        counters are byte-identical across -j
+//                        report (engine, state table, cache, executor,
+//                        disk store); counters are byte-identical
+//                        across -j
 //   --batch=DIR          compile every *.loop file under DIR (sorted,
 //                        non-recursive), one session per file, sharing
 //                        one cross-session artifact cache
@@ -79,846 +91,148 @@
 //   0  success
 //   1  input diagnostics (bad source, option, graph, or net)
 //   2  resource or budget exhaustion, cancellation, deadline expiry,
-//      or an injected transient fault
+//      an injected transient fault, or a remote-transport failure
 //   3  internal invariant failure (a compiler bug)
 //
 //===----------------------------------------------------------------------===//
 
-#include "codegen/CEmitter.h"
-#include "codegen/Vm.h"
-#include "core/BatchCompiler.h"
-#include "core/Session.h"
-#include "livermore/Livermore.h"
-#include "petri/BehaviorGraph.h"
-#include "support/CancelToken.h"
-#include "support/FaultInjection.h"
-#include "support/Metrics.h"
-#include "support/Random.h"
-#include "support/Trace.h"
+#include "tools/DriverCore.h"
 
-#include <algorithm>
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <sstream>
+
+#ifndef _WIN32
+#include "support/Json.h"
+#include "support/Wire.h"
+
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
 
 using namespace sdsp;
 
 namespace {
 
-struct Options {
-  std::string Emit = "schedule";
-  PipelineOptions Pipe;
-  uint64_t RunIterations = 0;
-  uint64_t Seed = 1;
-  std::string InputPath;
-  std::string KernelId;
-  std::string TimingsJsonPath;
-  std::string TracePath;
-  std::string MetricsJsonPath;
-  bool Timings = false;
-  /// --scp appeared explicitly (so --scp=0 is a rejected machine, not
-  /// "no machine model").
-  bool ScpGiven = false;
-  /// Batch mode (core/BatchCompiler.h).
-  std::string BatchDir;
-  bool BatchKernels = false;
-  uint32_t Jobs = 1;
-  std::string BatchJsonPath;
-  /// Robustness controls (docs/ROBUSTNESS.md).
-  std::string FaultSpec;
-  uint64_t DeadlineMillis = 0;
-  /// --deadline-ms appeared explicitly (so --deadline-ms=0 is an
-  /// already-expired deadline, not "no deadline").
-  bool DeadlineGiven = false;
-  uint32_t Retries = 2;
-  bool KeepGoing = true;
+#ifndef _WIN32
 
-  bool batchMode() const { return !BatchDir.empty() || BatchKernels; }
-};
+/// Ships the invocation to an sdspd (docs/SERVICE.md): one frame out
+/// carrying argv (minus --remote) and any stdin the compile would read,
+/// one frame back carrying exit/stdout/stderr plus file outputs, which
+/// are written client-side so `--remote` composes with --trace,
+/// --metrics-json and friends.
+int runRemote(const driver::Options &Opts,
+              const std::vector<std::string> &Args) {
+  auto Fail = [](const std::string &Msg) {
+    std::cerr << "sdspc: remote: " << Msg << "\n";
+    return 2;
+  };
 
-void printUsage(std::ostream &OS) {
-  OS << "usage: sdspc [options] [file.loop | -k kernel | -]\n"
-        "  --emit=schedule|timeline|rate|program|c|dot-dataflow|dot-pn|"
-        "dot-behavior|storage\n"
-        "  --opt --capacity=N --unroll=U --scp=L --pipelines=K\n"
-        "  --optimize-storage --budget=N --engine=fast|reference\n"
-        "  --rate-engine=auto|howard|enumerate\n"
-        "  --timings --timings-json=FILE --trace=FILE "
-        "--metrics-json=FILE\n"
-        "  --verify --run=N --seed=S\n"
-        "  --deadline-ms=N --fault-spec=SPEC\n"
-        "  --batch=DIR --batch-kernels -j N --batch-json=FILE "
-        "--retries=N --keep-going --fail-fast\n"
-        "  -k <id>   use a bundled kernel (l1 l2 loop1 loop3 loop5 "
-        "loop7 loop9 loop9lcd loop12)\n"
-        "exit codes: 0 ok, 1 input diagnostics, 2 resource/budget, "
-        "3 internal error\n";
-}
-
-/// Strict numeric parsing: digits only, no sign, no trailing junk.
-/// atoi-style silent truncation turned "--unroll=-3" into a 4-billion
-/// unroll request; now it is a diagnostic.
-bool parseUint64(const std::string &V, const char *Flag, uint64_t &Out) {
-  if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos) {
-    std::cerr << "sdspc: invalid value '" << V << "' for " << Flag
-              << " (expected a non-negative integer)\n";
-    return false;
-  }
-  errno = 0;
-  Out = std::strtoull(V.c_str(), nullptr, 10);
-  if (errno == ERANGE) {
-    std::cerr << "sdspc: value '" << V << "' for " << Flag
-              << " is out of range\n";
-    return false;
-  }
-  return true;
-}
-
-bool parseUint32(const std::string &V, const char *Flag, uint32_t &Out) {
-  uint64_t N = 0;
-  if (!parseUint64(V, Flag, N))
-    return false;
-  if (N > UINT32_MAX) {
-    std::cerr << "sdspc: value '" << V << "' for " << Flag
-              << " is out of range\n";
-    return false;
-  }
-  Out = static_cast<uint32_t>(N);
-  return true;
-}
-
-bool parseArgs(int argc, char **argv, Options &Opts) {
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    auto Value = [&](const char *Prefix) -> const char * {
-      size_t Len = std::strlen(Prefix);
-      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len
-                                              : nullptr;
-    };
-    if (const char *V = Value("--emit=")) {
-      Opts.Emit = V;
-    } else if (const char *V = Value("--capacity=")) {
-      if (!parseUint32(V, "--capacity", Opts.Pipe.Capacity))
-        return false;
-    } else if (const char *V = Value("--unroll=")) {
-      if (!parseUint32(V, "--unroll", Opts.Pipe.Unroll))
-        return false;
-    } else if (const char *V = Value("--scp=")) {
-      if (!parseUint32(V, "--scp", Opts.Pipe.ScpDepth))
-        return false;
-      Opts.ScpGiven = true;
-    } else if (const char *V = Value("--pipelines=")) {
-      if (!parseUint32(V, "--pipelines", Opts.Pipe.Pipelines))
-        return false;
-    } else if (const char *V = Value("--budget=")) {
-      if (!parseUint64(V, "--budget", Opts.Pipe.FrustumBudgetSteps))
-        return false;
-    } else if (const char *V = Value("--engine=")) {
-      std::string E = V;
-      if (E == "fast")
-        Opts.Pipe.Engine = FrustumEngine::Fast;
-      else if (E == "reference")
-        Opts.Pipe.Engine = FrustumEngine::Reference;
-      else {
-        std::cerr << "sdspc: invalid value '" << E
-                  << "' for --engine (expected fast or reference)\n";
-        return false;
-      }
-    } else if (const char *V = Value("--rate-engine=")) {
-      std::string E = V;
-      if (E == "auto")
-        Opts.Pipe.Rate = RateEngine::Auto;
-      else if (E == "howard")
-        Opts.Pipe.Rate = RateEngine::Howard;
-      else if (E == "enumerate")
-        Opts.Pipe.Rate = RateEngine::Enumerate;
-      else {
-        std::cerr << "sdspc: invalid value '" << E
-                  << "' for --rate-engine (expected auto, howard or "
-                     "enumerate)\n";
-        return false;
-      }
-    } else if (Arg == "--timings") {
-      Opts.Timings = true;
-    } else if (const char *V = Value("--timings-json=")) {
-      Opts.TimingsJsonPath = V;
-    } else if (const char *V = Value("--trace=")) {
-      Opts.TracePath = V;
-    } else if (const char *V = Value("--metrics-json=")) {
-      Opts.MetricsJsonPath = V;
-    } else if (const char *V = Value("--batch=")) {
-      Opts.BatchDir = V;
-    } else if (Arg == "--batch-kernels") {
-      Opts.BatchKernels = true;
-    } else if (const char *V = Value("--batch-json=")) {
-      Opts.BatchJsonPath = V;
-    } else if (const char *V = Value("--deadline-ms=")) {
-      if (!parseUint64(V, "--deadline-ms", Opts.DeadlineMillis))
-        return false;
-      Opts.DeadlineGiven = true;
-    } else if (const char *V = Value("--fault-spec=")) {
-      Opts.FaultSpec = V;
-    } else if (const char *V = Value("--retries=")) {
-      if (!parseUint32(V, "--retries", Opts.Retries))
-        return false;
-    } else if (Arg == "--keep-going") {
-      Opts.KeepGoing = true;
-    } else if (Arg == "--fail-fast") {
-      Opts.KeepGoing = false;
-    } else if (const char *V = Value("--jobs=")) {
-      if (!parseUint32(V, "--jobs", Opts.Jobs))
-        return false;
-    } else if (Arg == "-j" || (Arg.size() > 2 && Arg.compare(0, 2, "-j") == 0)) {
-      // Both -j8 and -j 8 (make style).
-      std::string V;
-      if (Arg == "-j") {
-        if (++I >= argc) {
-          std::cerr << "sdspc: -j needs a thread count\n";
-          return false;
-        }
-        V = argv[I];
-      } else {
-        V = Arg.substr(2);
-      }
-      if (!parseUint32(V, "-j", Opts.Jobs))
-        return false;
-    } else if (Arg == "--opt") {
-      Opts.Pipe.Optimize = true;
-    } else if (Arg == "--optimize-storage") {
-      Opts.Pipe.OptimizeStorage = true;
-    } else if (Arg == "--verify") {
-      Opts.Pipe.Verify = true;
-    } else if (const char *V = Value("--run=")) {
-      if (!parseUint64(V, "--run", Opts.RunIterations))
-        return false;
-    } else if (const char *V = Value("--seed=")) {
-      if (!parseUint64(V, "--seed", Opts.Seed))
-        return false;
-    } else if (Arg == "-k") {
-      if (++I >= argc) {
-        std::cerr << "sdspc: -k needs a kernel id\n";
-        return false;
-      }
-      Opts.KernelId = argv[I];
-    } else if (Arg == "--help" || Arg == "-h") {
-      printUsage(std::cout);
-      std::exit(0);
-    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
-      std::cerr << "sdspc: unknown option '" << Arg << "'\n";
-      return false;
-    } else {
-      Opts.InputPath = Arg;
-    }
-  }
-  return true;
-}
-
-std::optional<std::string> readSource(const Options &Opts) {
-  if (!Opts.KernelId.empty()) {
-    const LivermoreKernel *K = findKernel(Opts.KernelId);
-    if (!K) {
-      std::cerr << "sdspc: unknown kernel '" << Opts.KernelId << "'\n";
-      return std::nullopt;
-    }
-    return K->Source;
-  }
-  if (Opts.InputPath.empty() || Opts.InputPath == "-") {
+  json::Value Req = json::Value::object();
+  Req.set("schema", json::Value::string("sdsp-request-v1"));
+  json::Value Argv = json::Value::array();
+  for (const std::string &A : Args)
+    if (A.compare(0, 9, "--remote=") != 0)
+      Argv.push(json::Value::string(A));
+  Req.set("argv", std::move(Argv));
+  // A compile that would read stdin locally reads it here and ships the
+  // bytes — the daemon has no access to this process's stdin.
+  if (!Opts.batchMode() && Opts.KernelId.empty() &&
+      (Opts.InputPath.empty() || Opts.InputPath == "-")) {
     std::ostringstream SS;
     SS << std::cin.rdbuf();
-    return SS.str();
+    Req.set("stdin", json::Value::string(SS.str()));
   }
-  std::ifstream File(Opts.InputPath);
-  if (!File) {
-    std::cerr << "sdspc: cannot open '" << Opts.InputPath << "'\n";
-    return std::nullopt;
+
+  // A daemon that drops the connection (shutdown race, injected accept
+  // fault) must surface as a transport diagnostic, not a SIGPIPE death.
+  std::signal(SIGPIPE, SIG_IGN);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Fail("cannot create socket");
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.RemoteSocket.size() >= sizeof(Addr.sun_path)) {
+    ::close(Fd);
+    return Fail("socket path too long: '" + Opts.RemoteSocket + "'");
   }
-  std::ostringstream SS;
-  SS << File.rdbuf();
-  return SS.str();
-}
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s",
+                Opts.RemoteSocket.c_str());
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    ::close(Fd);
+    return Fail("cannot connect to '" + Opts.RemoteSocket + "'");
+  }
 
-/// Reports \p St (frontend failures print their diagnostics verbatim)
-/// and returns the contract exit code plus the error class the batch
-/// retry policy folds on.
-RenderResult reportFailure(const Status &St, const DiagnosticEngine &Diags,
-                           std::ostream &Err) {
-  if (St.stage() == "frontend" && Diags.hasErrors())
-    Diags.print(Err);
-  else
-    Err << "sdspc: " << St.str() << "\n";
-  return {exitCodeFor(St), St.code()};
-}
+  Status St = writeFrame(Fd, json::serialize(Req));
+  if (!St) {
+    ::close(Fd);
+    return Fail(St.str());
+  }
+  std::string Payload;
+  bool CleanClose = false;
+  St = readFrame(Fd, Payload, CleanClose);
+  ::close(Fd);
+  if (!St)
+    return Fail(CleanClose ? "daemon closed the connection (dropped by "
+                             "an injected accept fault?)"
+                           : St.str());
 
-/// Resolves the fault schedule for this invocation: --fault-spec wins,
-/// else the SDSP_FAULT_SPEC environment variable via
-/// FaultSchedule::process().  \p Out may come back null (no spec
-/// anywhere).  A malformed spec from either source is reported and
-/// fails the run with an input diagnostic.
-bool resolveFaultSchedule(const Options &Opts, const FaultSchedule *&Out) {
-  Out = nullptr;
-  if (!Opts.FaultSpec.empty()) {
-    Status St = FaultSchedule::setProcess(Opts.FaultSpec);
-    if (!St) {
-      std::cerr << "sdspc: " << St.str() << "\n";
-      return false;
+  json::Value Resp;
+  std::string Error;
+  if (!json::parse(Payload, Resp, Error))
+    return Fail("malformed response: " + Error);
+  const json::Value *Exit = Resp.find("exit");
+  const json::Value *Out = Resp.find("stdout");
+  const json::Value *Err = Resp.find("stderr");
+  if (!Exit || !Exit->isInt() || !Out || !Out->isString() || !Err ||
+      !Err->isString())
+    return Fail("response is missing exit/stdout/stderr");
+  if (const json::Value *Files = Resp.find("files");
+      Files && Files->isObject())
+    for (const auto &[Path, Content] : Files->members()) {
+      std::ofstream File(Path);
+      if (!File || !(File << Content.asString()))
+        return Fail("cannot write '" + Path + "'");
     }
-  }
-  Expected<const FaultSchedule *> P = FaultSchedule::process();
-  if (!P) {
-    std::cerr << "sdspc: " << P.status().str() << "\n";
-    return false;
-  }
-  Out = *P;
-  return true;
+  std::cout << Out->asString();
+  std::cerr << Err->asString();
+  return static_cast<int>(Exit->asInt());
 }
 
-/// Re-derives the codegen inputs through the session — all cache hits
-/// when the cache is on, since compile() already ran them — and runs
-/// the codegen pass (ideal machine only; the SCP path never reaches
-/// codegen).
-Expected<ArtifactRef<LoopProgram>>
-buildProgram(CompilationSession &Session, const std::string &Source,
-             const PipelineOptions &Pipe) {
-  Expected<ArtifactRef<DataflowGraph>> G = Session.lower(Source);
-  if (!G)
-    return G.status();
-  ArtifactRef<DataflowGraph> Graph = *G;
-  if (Pipe.Optimize || Pipe.Unroll > 1) {
-    Expected<ArtifactRef<TransformedGraph>> T =
-        Session.transform(Graph, Pipe.Optimize, Pipe.Unroll);
-    if (!T)
-      return T.status();
-    Graph = Session.transformedGraph(*T);
-  }
-  Expected<ArtifactRef<SdspArtifact>> S =
-      Session.buildSdsp(Graph, Pipe.Capacity, Pipe.OptimizeStorage);
-  if (!S)
-    return S.status();
-  Expected<ArtifactRef<SdspPn>> Pn = Session.buildPn(*S);
-  if (!Pn)
-    return Pn.status();
-  Expected<ArtifactRef<FrustumInfo>> F = Session.searchFrustum(
-      *Pn, FrustumOptions{Pipe.FrustumBudgetSteps, Pipe.Engine});
-  if (!F)
-    return F.status();
-  Expected<ArtifactRef<SoftwarePipelineSchedule>> Sched =
-      Session.deriveSchedule(*S, *Pn, *F, Pipe.ValidateIterations);
-  if (!Sched)
-    return Sched.status();
-  return Session.generateProgram(*S, *Pn, *Sched);
-}
-
-/// Compiles \p Source through \p Session and emits the requested
-/// artifact to \p Out (diagnostics and notes to \p Err).  Single runs
-/// pass std::cout/std::cerr; batch jobs pass per-job string streams so
-/// results can be replayed in input order whatever thread ran them.
-RenderResult compileAndEmit(CompilationSession &Session, const Options &Opts,
-                            const std::string &SourceText, std::ostream &Out,
-                            std::ostream &Err) {
-  const std::string *Source = &SourceText;
-
-  // An explicit --scp=0 is a machine that can never issue, not a
-  // request for the ideal machine.
-  if (Opts.ScpGiven && Opts.Pipe.ScpDepth == 0)
-    return reportFailure(
-        Status::error(ErrorCode::ResourceConflict, "scp",
-                      "a zero-stage pipeline cannot issue instructions "
-                      "(--scp needs a depth >= 1)"),
-        DiagnosticEngine(), Err);
-
-  PipelineOptions Pipe = Opts.Pipe;
-  bool NeedsRun = Opts.RunIterations > 0;
-  if (Opts.Emit == "dot-dataflow")
-    Pipe.StopAfter = PipelineStage::Frontend;
-  else if (Opts.Emit == "storage")
-    Pipe.StopAfter = PipelineStage::Storage;
-  else if (Opts.Emit == "dot-pn" || Opts.Emit == "rate")
-    Pipe.StopAfter = PipelineStage::Petri;
-  else if (Opts.Emit == "dot-behavior")
-    Pipe.StopAfter = PipelineStage::Frustum;
-  else if (Opts.Emit == "schedule" || Opts.Emit == "timeline" ||
-           Opts.Emit == "c" || Opts.Emit == "program")
-    Pipe.StopAfter = PipelineStage::Schedule;
-  else if (NeedsRun)
-    Pipe.StopAfter = PipelineStage::Schedule;
-  else {
-    Err << "sdspc: unknown --emit mode '" << Opts.Emit << "'\n";
-    return {1, ErrorCode::InvalidInput};
-  }
-  // --verify's headline check is frustum rate vs analytic rate, so it
-  // needs the full pipeline even when the emit mode stops early.
-  if (Pipe.Verify)
-    Pipe.StopAfter = PipelineStage::Schedule;
-
-  DiagnosticEngine Diags;
-  Expected<CompiledLoop> Result = Session.compile(*Source, Pipe, &Diags);
-  if (!Result)
-    return reportFailure(Result.status(), Diags, Err);
-  CompiledLoop &CL = *Result;
-
-  if (Pipe.Optimize && CL.OptStats.changedAnything())
-    Err << "opt: folded " << CL.OptStats.ConstantsFolded
-        << ", merged " << CL.OptStats.SubexpressionsMerged
-        << ", removed " << CL.OptStats.DeadNodesRemoved << " (nodes "
-        << CL.OptStats.NodesBefore << " -> "
-        << CL.OptStats.NodesAfter << ")\n";
-  if (CL.Storage)
-    Err << "storage: " << CL.Storage->Before << " -> "
-        << CL.Storage->After << " locations (rate "
-        << CL.Storage->OptimalRate << ")\n";
-  if (CL.Verified) {
-    Err << "verify: ok";
-    if (CL.Frustum && CL.Rate)
-      Err << " (rate " << CL.Rate->OptimalRate << ", frustum within "
-          << (CL.FrustumWithinEmpiricalBound ? "empirical 2n"
-                                             : "theory")
-          << " bound)";
-    Err << "\n";
-  }
-
-  if (Opts.Emit == "dot-dataflow") {
-    CL.Graph.printDot(Out, "dataflow");
-    return {0, ErrorCode::Ok};
-  }
-
-  if (Opts.Emit == "storage") {
-    const Sdsp &S = *CL.S;
-    Out << "loop body: " << S.loopBodySize()
-        << " operations\nstorage: " << S.storageLocations()
-        << " locations\n";
-    const DataflowGraph &Graph = S.graph();
-    for (const Sdsp::Ack &A : S.acks()) {
-      Out << "  ack " << Graph.node(Graph.arc(A.Path.back()).To).Name
-          << " -> "
-          << Graph.node(Graph.arc(A.Path.front()).From).Name
-          << " covering";
-      for (ArcId Arc : A.Path)
-        Out << " [" << Graph.node(Graph.arc(Arc).From).Name << "->"
-            << Graph.node(Graph.arc(Arc).To).Name << "]";
-      Out << " slots=" << A.Slots << "\n";
-    }
-    return {0, ErrorCode::Ok};
-  }
-  if (Opts.Emit == "dot-pn") {
-    CL.Pn->Net.printDot(Out, "sdsp_pn");
-    return {0, ErrorCode::Ok};
-  }
-  if (Opts.Emit == "rate") {
-    const RateReport &R = *CL.Rate;
-    Out << "operations:        " << CL.Pn->Net.numTransitions()
-        << "\n"
-        << "cycle time alpha*: " << R.CycleTime << "\n"
-        << "optimal rate:      " << R.OptimalRate
-        << " iterations/cycle\n"
-        << "critical ops:      ";
-    for (TransitionId T : R.CriticalTransitions)
-      Out << CL.Pn->Net.transition(T).Name << " ";
-    Out << "\ncritical cycles:   " << R.NumCriticalCycles << "\n";
-    return {0, ErrorCode::Ok};
-  }
-
-  const FrustumInfo &F = *CL.Frustum;
-
-  if (Opts.Emit == "dot-behavior") {
-    const PetriNet &Net = CL.machineNet();
-    if (CL.Policy)
-      CL.Policy->reset();
-    EarliestFiringEngine Engine(Net, CL.Policy.get());
-    BehaviorGraph BG(Net);
-    while (Engine.now() < F.RepeatTime)
-      BG.recordStep(Engine.fireAndAdvance());
-    BG.printDot(Out, "behavior", F.StartTime, F.RepeatTime);
-    return {0, ErrorCode::Ok};
-  }
-
-  if (CL.Scp) {
-    // Schedules on the SCP model: report the measured pattern.
-    const ScpPn &Scp = *CL.Scp;
-    Out << "SCP machine, l = " << Scp.PipelineDepth << ": frustum ["
-        << F.StartTime << ", " << F.RepeatTime << "), rate "
-        << F.computationRate(Scp.SdspTransitions.front())
-        << ", usage " << processorUsage(Scp, F) << "\n";
-    if (Opts.Emit != "schedule")
-      Err << "sdspc: --scp supports --emit=schedule only\n";
-    std::vector<std::string> Names;
-    for (TransitionId T : Scp.Net.transitionIds())
-      Names.push_back(Scp.Net.transition(T).Name);
-    // Print the issue slots of SDSP transitions per kernel cycle.
-    for (TimeStep T = F.StartTime; T < F.RepeatTime; ++T) {
-      Out << "  t+" << (T - F.StartTime) << ":";
-      for (const StepRecord &Rec : F.Trace)
-        if (Rec.Time == T)
-          for (TransitionId Fired : Rec.Fired)
-            if (Scp.IsSdspTransition[Fired.index()])
-              Out << " " << Names[Fired.index()];
-      Out << "\n";
-    }
-    return {0, ErrorCode::Ok};
-  }
-
-  const SdspPn &Pn = *CL.Pn;
-  const SoftwarePipelineSchedule &Sched = *CL.Schedule;
-
-  // One codegen-pass run covers --emit=c/program and --run (the cache
-  // also dedupes across them when both are requested).
-  ArtifactRef<LoopProgram> Program;
-  if (Opts.Emit == "c" || Opts.Emit == "program" || NeedsRun) {
-    Expected<ArtifactRef<LoopProgram>> P =
-        buildProgram(Session, *Source, Pipe);
-    if (!P)
-      return reportFailure(P.status(), Diags, Err);
-    Program = *P;
-  }
-
-  if (Opts.Emit == "schedule" || Opts.Emit == "timeline") {
-    std::vector<std::string> Names;
-    std::vector<uint32_t> Taus;
-    for (TransitionId T : Pn.Net.transitionIds()) {
-      Names.push_back(Pn.Net.transition(T).Name);
-      Taus.push_back(Pn.Net.transition(T).ExecTime);
-    }
-    Sched.print(Out, Names);
-    if (Opts.Emit == "timeline") {
-      Out << "\n";
-      Sched.printTimeline(Out, Names, Taus,
-                          Sched.prologueEnd() + 4 * Sched.kernelLength());
-    }
-  } else if (Opts.Emit == "c") {
-    CEmission E = emitC(*Program, "sdsp_kernel");
-    Out << E.Source;
-  } else if (Opts.Emit == "program") {
-    Program->print(Out);
-  }
-
-  if (NeedsRun) {
-    // Random input streams, deterministic per seed.
-    Rng R(Opts.Seed);
-    StreamMap In;
-    for (NodeId N : CL.Graph.nodeIds())
-      if (CL.Graph.node(N).Kind == OpKind::Input) {
-        std::vector<double> V(Opts.RunIterations);
-        for (double &X : V)
-          X = R.uniform() * 2.0 - 1.0;
-        In[CL.Graph.node(N).Name] = V;
-      }
-    VmResult Result = executeLoopProgram(*Program, In, Opts.RunIterations);
-    Out << "executed " << Opts.RunIterations << " iterations in "
-        << Result.Cycles << " cycles\n";
-    for (const auto &[Name, Values] : Result.Outputs) {
-      Out << Name << ":";
-      for (double V : Values)
-        Out << " " << V;
-      Out << "\n";
-    }
-  }
-  return {0, ErrorCode::Ok};
-}
-
-/// Writes a PipelineTrace (single-session or batch-merged) to \p Path.
-/// Returns the adjusted exit code on failure to open.
-int writeTraceJson(const PipelineTrace &Trace, const std::string &Path,
-                   int Code) {
-  std::ofstream JsonFile(Path);
-  if (!JsonFile) {
-    std::cerr << "sdspc: cannot write '" << Path << "'\n";
-    return Code ? Code : 1;
-  }
-  Trace.writeJson(JsonFile);
-  return Code;
-}
-
-/// Writes the Chrome trace-event capture to \p Path.  Returns the
-/// adjusted exit code on failure to open.
-int writeChromeTrace(const TraceCollector &Collector,
-                     const std::string &Path, int Code) {
-  std::ofstream JsonFile(Path);
-  if (!JsonFile) {
-    std::cerr << "sdspc: cannot write '" << Path << "'\n";
-    return Code ? Code : 1;
-  }
-  Collector.writeJson(JsonFile);
-  return Code;
-}
-
-/// Writes the global metrics registry ("sdsp-metrics-v1") to \p Path.
-int writeMetricsJson(const std::string &Path, int Code) {
-  std::ofstream JsonFile(Path);
-  if (!JsonFile) {
-    std::cerr << "sdspc: cannot write '" << Path << "'\n";
-    return Code ? Code : 1;
-  }
-  MetricsRegistry::writeJson(MetricsRegistry::global().snapshot(),
-                             JsonFile);
-  return Code;
-}
-
-/// Flushes shared-cache counters into the global registry: the
-/// aggregate under cache.*, plus cache.shardNN.* for shards that saw
-/// any traffic.  Shard assignment is a pure function of the key hash,
-/// so every one of these is thread-count-invariant.
-void flushCacheMetrics(SharedArtifactCache &Cache) {
-  MetricsRegistry &MR = MetricsRegistry::global();
-  SharedArtifactCache::CounterSnapshot C = Cache.counters();
-  MR.add("cache.hits", C.Hits);
-  MR.add("cache.misses", C.Misses);
-  MR.add("cache.inserts", C.Inserts);
-  MR.add("cache.evictions", C.Evictions);
-  MR.add("cache.abandons", C.Abandons);
-  MR.add("cache.entries", C.Entries);
-  MR.add("cache.bytes", C.Bytes);
-  std::vector<SharedArtifactCache::CounterSnapshot> Shards =
-      Cache.shardCounters();
-  for (size_t I = 0; I < Shards.size(); ++I) {
-    const SharedArtifactCache::CounterSnapshot &S = Shards[I];
-    if (S.Hits + S.Misses + S.Inserts + S.Evictions + S.Abandons == 0)
-      continue;
-    char Prefix[48];
-    std::snprintf(Prefix, sizeof(Prefix), "cache.shard%02zu.", I);
-    MR.add(std::string(Prefix) + "hits", S.Hits);
-    MR.add(std::string(Prefix) + "misses", S.Misses);
-    MR.add(std::string(Prefix) + "inserts", S.Inserts);
-    MR.add(std::string(Prefix) + "entries", S.Entries);
-    MR.add(std::string(Prefix) + "bytes", S.Bytes);
-  }
-}
-
-int runSingle(const Options &Opts) {
-  std::optional<std::string> Source = readSource(Opts);
-  if (!Source)
-    return 1;
-  const FaultSchedule *Faults = nullptr;
-  if (!resolveFaultSchedule(Opts, Faults))
-    return 1;
-  TraceCollector Collector;
-  SessionConfig Cfg;
-  std::string Scope = !Opts.KernelId.empty() ? "kernel:" + Opts.KernelId
-                      : !Opts.InputPath.empty() ? Opts.InputPath
-                                                : "stdin";
-  if (!Opts.TracePath.empty())
-    Cfg.Trace = &Collector.track(Scope);
-  // The whole single run is one fault scope and one deadline window,
-  // mirroring a batch job.
-  FaultContext FC(Faults, Scope, Cfg.Trace);
-  if (Faults && !Faults->empty())
-    Cfg.Faults = &FC;
-  if (Opts.DeadlineGiven)
-    Cfg.Cancel = CancelSource::withDeadline(
-                     std::chrono::milliseconds(Opts.DeadlineMillis))
-                     .token();
-  CompilationSession Session(Cfg);
-  int Code =
-      compileAndEmit(Session, Opts, *Source, std::cout, std::cerr)
-          .ExitCode;
-  // Timings are reported on failure too: the table shows how far the
-  // pipeline got (failed passes count under "fail", never cached).
-  if (Opts.Timings)
-    Session.trace().printTable(std::cerr);
-  if (!Opts.TimingsJsonPath.empty())
-    Code = writeTraceJson(Session.trace(), Opts.TimingsJsonPath, Code);
-  if (!Opts.TracePath.empty())
-    Code = writeChromeTrace(Collector, Opts.TracePath, Code);
-  if (!Opts.MetricsJsonPath.empty())
-    Code = writeMetricsJson(Opts.MetricsJsonPath, Code);
-  return Code;
-}
-
-//===----------------------------------------------------------------------===//
-// Batch mode
-//===----------------------------------------------------------------------===//
-
-void batchJsonEscape(std::ostream &OS, const std::string &S) {
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      OS << '\\' << C;
-    else if (C == '\n')
-      OS << "\\n";
-    else
-      OS << C;
-  }
-}
-
-/// The deterministic batch report: independent of the thread count, so
-/// the batch-determinism CI job can diff it across -j values.
-void writeBatchJson(std::ostream &OS, const BatchOutcome &Outcome) {
-  size_t Failed = 0;
-  for (const BatchResult &R : Outcome.Results)
-    Failed += R.ExitCode != 0;
-  OS << "{\n"
-     << "  \"schema\": \"sdsp-batch-v1\",\n"
-     << "  \"jobs\": " << Outcome.Results.size() << ",\n"
-     << "  \"failed\": " << Failed << ",\n"
-     << "  \"retries\": " << Outcome.Retries << ",\n"
-     << "  \"exit_code\": " << Outcome.ExitCode << ",\n"
-     << "  \"results\": [\n";
-  bool First = true;
-  for (const BatchResult &R : Outcome.Results) {
-    if (!First)
-      OS << ",\n";
-    First = false;
-    OS << "    {\"name\": \"";
-    batchJsonEscape(OS, R.Name);
-    OS << "\", \"exit_code\": " << R.ExitCode << ", \"attempts\": "
-       << R.Attempts << ", \"ok\": "
-       << (R.ExitCode == 0 ? "true" : "false") << "}";
-  }
-  OS << "\n  ]\n}\n";
-}
-
-/// Gathers batch jobs: every *.loop under --batch=DIR (sorted by path,
-/// non-recursive), then every bundled kernel under --batch-kernels.
-bool collectBatchJobs(const Options &Opts, std::vector<BatchJob> &Jobs) {
-  namespace fs = std::filesystem;
-  if (!Opts.BatchDir.empty()) {
-    std::vector<fs::path> Paths;
-    std::error_code EC;
-    for (fs::directory_iterator It(Opts.BatchDir, EC), End;
-         !EC && It != End; It.increment(EC)) {
-      if (It->is_regular_file() && It->path().extension() == ".loop")
-        Paths.push_back(It->path());
-    }
-    if (EC) {
-      std::cerr << "sdspc: cannot scan '" << Opts.BatchDir
-                << "': " << EC.message() << "\n";
-      return false;
-    }
-    // Directory iteration order is filesystem-dependent; the batch
-    // contract is deterministic input order.
-    std::sort(Paths.begin(), Paths.end());
-    for (const fs::path &P : Paths) {
-      std::ifstream File(P);
-      if (!File) {
-        std::cerr << "sdspc: cannot open '" << P.string() << "'\n";
-        return false;
-      }
-      std::ostringstream SS;
-      SS << File.rdbuf();
-      Jobs.push_back(BatchJob{P.string(), SS.str()});
-    }
-  }
-  if (Opts.BatchKernels)
-    for (const LivermoreKernel &K : livermoreKernels())
-      Jobs.push_back(BatchJob{"kernel:" + K.Id, K.Source});
-
-  // A job's identity in batch output is its basename, so two inputs
-  // reducing to the same stem would collide silently (last wins in any
-  // downstream keyed artifact).  Reject it up front, naming both.
-  std::map<std::string, const BatchJob *> Stems;
-  for (const BatchJob &J : Jobs) {
-    std::string Stem = J.Name.rfind("kernel:", 0) == 0
-                           ? J.Name.substr(7)
-                           : fs::path(J.Name).stem().string();
-    auto [It, Inserted] = Stems.emplace(std::move(Stem), &J);
-    if (!Inserted) {
-      Status St = Status::error(ErrorCode::InvalidInput, "batch",
-                                "duplicate loop basename '" + It->first +
-                                    "': '" + It->second->Name + "' and '" +
-                                    J.Name + "'");
-      std::cerr << "sdspc: " << St.str() << "\n";
-      return false;
-    }
-  }
-  return true;
-}
-
-int runBatch(const Options &Opts) {
-  if (!Opts.InputPath.empty() || !Opts.KernelId.empty()) {
-    std::cerr << "sdspc: --batch cannot be combined with an input file "
-                 "or -k\n";
-    return 1;
-  }
-  std::vector<BatchJob> Jobs;
-  if (!collectBatchJobs(Opts, Jobs))
-    return 1;
-  if (Jobs.empty()) {
-    Status St = Status::error(ErrorCode::InvalidInput, "batch",
-                              "directory '" + Opts.BatchDir +
-                                  "' contains no *.loop files");
-    std::cerr << "sdspc: " << St.str() << "\n";
-    return exitCodeFor(St);
-  }
-
-  const FaultSchedule *Faults = nullptr;
-  if (!resolveFaultSchedule(Opts, Faults))
-    return 1;
-
-  TraceCollector Collector;
-  BatchOptions BO;
-  BO.Threads = Opts.Jobs;
-  if (!Opts.TracePath.empty())
-    BO.Trace = &Collector;
-  BO.MaxRetries = Opts.Retries;
-  BO.KeepGoing = Opts.KeepGoing;
-  BO.JobDeadlineMillis = Opts.DeadlineMillis;
-  // An explicit zero deadline is already expired: cancel the whole
-  // batch up front (the per-job field treats 0 as "none").
-  if (Opts.DeadlineGiven && !Opts.DeadlineMillis)
-    BO.Cancel =
-        CancelSource::withDeadline(std::chrono::milliseconds(0)).token();
-  BO.Faults = Faults;
-  BatchCompiler Batch(BO);
-  BatchOutcome Outcome = Batch.run(
-      Jobs, [&Opts](CompilationSession &Session, const BatchJob &Job,
-                    std::ostream &Out, std::ostream &Err) {
-        return compileAndEmit(Session, Opts, Job.Source, Out, Err);
-      });
-
-  // Replay per-job output in input order: byte-identical whatever the
-  // thread count (the batch-determinism CI job pins this).
-  size_t Failed = 0;
-  for (const BatchResult &R : Outcome.Results) {
-    std::cout << "=== " << R.Name << " ===\n" << R.Out;
-    if (!R.TaskStatus)
-      std::cerr << "=== " << R.Name << " ===\n"
-                << "sdspc: " << R.TaskStatus.str() << "\n";
-    else if (!R.Err.empty())
-      std::cerr << "=== " << R.Name << " ===\n" << R.Err;
-    Failed += R.ExitCode != 0;
-  }
-  std::cout << "batch: " << Outcome.Results.size() << " jobs, " << Failed
-            << " failed";
-  if (Outcome.Retries)
-    std::cout << ", " << Outcome.Retries << " retried";
-  std::cout << "\n";
-
-  int Code = Outcome.ExitCode;
-  if (Opts.Timings)
-    Outcome.MergedTrace.printTable(std::cerr);
-  if (!Opts.TimingsJsonPath.empty())
-    Code = writeTraceJson(Outcome.MergedTrace, Opts.TimingsJsonPath, Code);
-  if (!Opts.TracePath.empty())
-    Code = writeChromeTrace(Collector, Opts.TracePath, Code);
-  if (!Opts.MetricsJsonPath.empty()) {
-    flushCacheMetrics(Batch.cache());
-    Code = writeMetricsJson(Opts.MetricsJsonPath, Code);
-  }
-  if (!Opts.BatchJsonPath.empty()) {
-    std::ofstream JsonFile(Opts.BatchJsonPath);
-    if (!JsonFile) {
-      std::cerr << "sdspc: cannot write '" << Opts.BatchJsonPath << "'\n";
-      return Code ? Code : 1;
-    }
-    writeBatchJson(JsonFile, Outcome);
-  }
-  return Code;
-}
-
-int run(const Options &Opts) {
-  return Opts.batchMode() ? runBatch(Opts) : runSingle(Opts);
-}
+#endif // !_WIN32
 
 } // namespace
 
 int main(int argc, char **argv) {
-  Options Opts;
-  if (!parseArgs(argc, argv, Opts)) {
-    printUsage(std::cerr);
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  driver::Options Opts;
+  switch (driver::parseArgs(Args, Opts, std::cout, std::cerr)) {
+  case driver::ParseResult::Help:
+    return 0;
+  case driver::ParseResult::Error:
+    driver::printUsage(std::cerr);
     return 1;
+  case driver::ParseResult::Ok:
+    break;
   }
-  return run(Opts);
+  if (!Opts.RemoteSocket.empty()) {
+#ifndef _WIN32
+    return runRemote(Opts, Args);
+#else
+    std::cerr << "sdspc: --remote is not supported on this platform\n";
+    return 1;
+#endif
+  }
+  driver::StoreStack Stack;
+  if (!driver::makeStoreStack(Opts, Stack, std::cerr))
+    return 1;
+  driver::Env Env;
+  Env.In = &std::cin;
+  Env.Store = Stack.store();
+  Env.Memory = Stack.Memory.get();
+  Env.Disk = Stack.Disk.get();
+  return driver::run(Opts, Env, std::cout, std::cerr);
 }

@@ -1,0 +1,437 @@
+//===- tools/sdspd.cpp - The SDSP compile service daemon -------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// sdspd: a long-running compile service over a Unix-domain socket
+// (docs/SERVICE.md).  Each connection carries one length-prefixed JSON
+// compile request — an sdspc argv plus optional stdin bytes — and gets
+// back one frame with the exit code, captured stdout/stderr, and any
+// file outputs the invocation produced.  Requests dispatch onto a
+// fixed-size Executor and share one artifact store for the daemon's
+// whole lifetime: a memory tier always, plus the persistent
+// content-addressed disk tier when --store-dir is given, so a restarted
+// daemon serves cacheable passes from disk.
+//
+//   sdspd --socket=PATH [options]
+//
+//   --socket=PATH        Unix-domain socket to listen on (required);
+//                        an existing file at PATH is replaced
+//   --store-dir=DIR      persistent artifact store directory
+//                        (SDSP_STORE_DIR is the default)
+//   --store-bytes=N      disk-store byte budget (0 = unbounded)
+//   -j N, --jobs=N       concurrent requests (default 1)
+//   --deadline-ms=N      default per-request deadline, applied when the
+//                        request itself carries none (0 = none)
+//   --max-requests=N     exit after accepting N connections (tests)
+//   --fault-spec=SPEC    daemon-scoped fault injection; daemon:accept
+//                        drops the matching connection, everything else
+//                        flows into the requests (docs/ROBUSTNESS.md)
+//   --trace=FILE         write a Chrome trace-event capture at exit:
+//                        one track per request with a "request" span
+//   --metrics-json=FILE  write the "sdsp-metrics-v1" report at exit
+//                        (process-lifetime counters, store tiers
+//                        included)
+//
+// SIGTERM / SIGINT drain gracefully: the listener closes, in-flight
+// requests run to completion and answer their clients, then state is
+// flushed and the daemon exits 0.
+//
+// Exit codes: 0 clean shutdown, 1 bad invocation or socket failure.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef _WIN32
+
+#include "tools/DriverCore.h"
+
+#include "core/Executor.h"
+#include "support/FaultInjection.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+#include "support/Wire.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <poll.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace sdsp;
+
+namespace {
+
+struct DaemonOptions {
+  std::string SocketPath;
+  std::string StoreDir;
+  uint64_t StoreBytes = 0;
+  uint32_t Jobs = 1;
+  uint64_t DefaultDeadlineMillis = 0;
+  uint64_t MaxRequests = 0; ///< 0 = unlimited.
+  std::string FaultSpec;
+  std::string TracePath;
+  std::string MetricsJsonPath;
+};
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: sdspd --socket=PATH [options]\n"
+        "  --store-dir=DIR --store-bytes=N\n"
+        "  -j N, --jobs=N --deadline-ms=N --max-requests=N\n"
+        "  --fault-spec=SPEC --trace=FILE --metrics-json=FILE\n";
+}
+
+bool parseUint64(const std::string &V, const char *Flag, uint64_t &Out) {
+  if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "sdspd: invalid value '" << V << "' for " << Flag
+              << " (expected a non-negative integer)\n";
+    return false;
+  }
+  errno = 0;
+  Out = std::strtoull(V.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    std::cerr << "sdspd: value '" << V << "' for " << Flag
+              << " is out of range\n";
+    return false;
+  }
+  return true;
+}
+
+bool parseDaemonArgs(int argc, char **argv, DaemonOptions &Opts) {
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len
+                                              : nullptr;
+    };
+    if (const char *V = Value("--socket=")) {
+      Opts.SocketPath = V;
+    } else if (const char *V = Value("--store-dir=")) {
+      Opts.StoreDir = V;
+    } else if (const char *V = Value("--store-bytes=")) {
+      if (!parseUint64(V, "--store-bytes", Opts.StoreBytes))
+        return false;
+    } else if (const char *V = Value("--deadline-ms=")) {
+      if (!parseUint64(V, "--deadline-ms", Opts.DefaultDeadlineMillis))
+        return false;
+    } else if (const char *V = Value("--max-requests=")) {
+      if (!parseUint64(V, "--max-requests", Opts.MaxRequests))
+        return false;
+    } else if (const char *V = Value("--fault-spec=")) {
+      Opts.FaultSpec = V;
+    } else if (const char *V = Value("--trace=")) {
+      Opts.TracePath = V;
+    } else if (const char *V = Value("--metrics-json=")) {
+      Opts.MetricsJsonPath = V;
+    } else if (const char *V = Value("--jobs=")) {
+      uint64_t N = 0;
+      if (!parseUint64(V, "--jobs", N) || N > UINT32_MAX)
+        return false;
+      Opts.Jobs = static_cast<uint32_t>(N);
+    } else if (Arg == "-j") {
+      if (++I >= argc) {
+        std::cerr << "sdspd: -j needs a thread count\n";
+        return false;
+      }
+      uint64_t N = 0;
+      if (!parseUint64(argv[I], "-j", N) || N > UINT32_MAX)
+        return false;
+      Opts.Jobs = static_cast<uint32_t>(N);
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "sdspd: unknown option '" << Arg << "'\n";
+      return false;
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    std::cerr << "sdspd: --socket is required\n";
+    return false;
+  }
+  return true;
+}
+
+/// The self-pipe a signal handler can write to without taking locks;
+/// poll() watches the read end next to the listener.
+int ShutdownPipe[2] = {-1, -1};
+
+void onShutdownSignal(int) {
+  char B = 1;
+  // Best effort: a full pipe already means a shutdown is pending.
+  [[maybe_unused]] ssize_t N = ::write(ShutdownPipe[1], &B, 1);
+}
+
+/// Serves one connection: read a request frame, run the shared driver
+/// core against the daemon's store, answer with one response frame.
+/// The response always carries exit/stdout/stderr; protocol errors
+/// (torn frame, malformed JSON) just drop the connection — the client
+/// reports the transport failure.
+void serveRequest(int Fd, uint64_t ReqId, const DaemonOptions &DOpts,
+                  const driver::Env &BaseEnv, TraceTrack *Track) {
+  std::string Payload;
+  bool CleanClose = false;
+  if (Status St = readFrame(Fd, Payload, CleanClose); !St) {
+    ::close(Fd);
+    return;
+  }
+
+  json::Value Req;
+  std::string ParseError;
+  std::vector<std::string> Args;
+  std::string StdinText;
+  bool Malformed = !json::parse(Payload, Req, ParseError);
+  if (!Malformed) {
+    const json::Value *Argv = Req.find("argv");
+    if (Argv && Argv->isArray()) {
+      for (const json::Value &A : Argv->items())
+        if (A.isString())
+          Args.push_back(A.asString());
+    } else {
+      Malformed = true;
+      ParseError = "request has no argv array";
+    }
+    if (const json::Value *In = Req.find("stdin"); In && In->isString())
+      StdinText = In->asString();
+  }
+
+  std::ostringstream Out, Err;
+  std::map<std::string, std::string> Files;
+  int Exit = 0;
+  if (Malformed) {
+    Err << "sdspc: malformed request: " << ParseError << "\n";
+    Exit = 1;
+  } else {
+    if (Track)
+      Track->beginSpan("request", "daemon");
+    driver::Options Opts;
+    switch (driver::parseArgs(Args, Opts, Out, Err)) {
+    case driver::ParseResult::Help:
+      Exit = 0;
+      break;
+    case driver::ParseResult::Error:
+      driver::printUsage(Err);
+      Exit = 1;
+      break;
+    case driver::ParseResult::Ok:
+      if (!Opts.RemoteSocket.empty() || !Opts.StoreDir.empty() ||
+          Opts.StoreBytes) {
+        Err << "sdspc: --remote and --store-dir/--store-bytes cannot "
+               "appear in a remote request (the daemon owns the "
+               "store)\n";
+        Exit = 1;
+        break;
+      }
+      if (!Opts.DeadlineGiven && DOpts.DefaultDeadlineMillis) {
+        Opts.DeadlineMillis = DOpts.DefaultDeadlineMillis;
+        Opts.DeadlineGiven = true;
+      }
+      {
+        std::istringstream In(StdinText);
+        driver::Env Env = BaseEnv;
+        Env.In = &In;
+        Env.Files = &Files;
+        Exit = driver::run(Opts, Env, Out, Err);
+      }
+      break;
+    }
+    if (Track) {
+      Track->endSpan();
+      Track->argU64("request_id", ReqId);
+      Track->argU64("exit_code", static_cast<uint64_t>(Exit));
+    }
+  }
+
+  json::Value Resp = json::Value::object();
+  Resp.set("schema", json::Value::string("sdsp-response-v1"));
+  Resp.set("exit", json::Value::integer(Exit));
+  Resp.set("stdout", json::Value::string(Out.str()));
+  Resp.set("stderr", json::Value::string(Err.str()));
+  json::Value FileObj = json::Value::object();
+  for (auto &[Path, Content] : Files)
+    FileObj.set(Path, json::Value::string(std::move(Content)));
+  Resp.set("files", std::move(FileObj));
+  // A client that vanished mid-response is its own problem; the daemon
+  // ignores the write status and keeps serving.
+  [[maybe_unused]] Status St = writeFrame(Fd, json::serialize(Resp));
+  ::close(Fd);
+}
+
+int runDaemon(const DaemonOptions &DOpts) {
+  // The daemon's own fault schedule (daemon:accept and anything it
+  // wants to flow into every request that carries no --fault-spec).
+  const FaultSchedule *Faults = nullptr;
+  FaultSchedule OwnedFaults;
+  if (!DOpts.FaultSpec.empty()) {
+    Expected<FaultSchedule> S = FaultSchedule::parse(DOpts.FaultSpec);
+    if (!S) {
+      std::cerr << "sdspd: " << S.status().str() << "\n";
+      return 1;
+    }
+    OwnedFaults = std::move(*S);
+    Faults = &OwnedFaults;
+  } else {
+    Expected<const FaultSchedule *> P = FaultSchedule::process();
+    if (!P) {
+      std::cerr << "sdspd: " << P.status().str() << "\n";
+      return 1;
+    }
+    Faults = *P;
+  }
+
+  // The lifetime store stack: always a shared memory tier, plus the
+  // persistent disk tier when a store directory is configured.
+  driver::Options StoreOpts;
+  StoreOpts.StoreDir = DOpts.StoreDir;
+  StoreOpts.StoreBytes = DOpts.StoreBytes;
+  driver::StoreStack Stack;
+  if (!driver::makeStoreStack(StoreOpts, Stack, std::cerr))
+    return 1;
+  MemoryStore FallbackMemory;
+  driver::Env BaseEnv;
+  BaseEnv.Store = Stack.store() ? Stack.store()
+                                : static_cast<ArtifactStore *>(&FallbackMemory);
+  BaseEnv.Memory = Stack.Memory ? Stack.Memory.get() : &FallbackMemory;
+  BaseEnv.Disk = Stack.Disk.get();
+
+  if (::pipe(ShutdownPipe) != 0) {
+    std::cerr << "sdspd: cannot create shutdown pipe\n";
+    return 1;
+  }
+  std::signal(SIGTERM, onShutdownSignal);
+  std::signal(SIGINT, onShutdownSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    std::cerr << "sdspd: cannot create socket\n";
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (DOpts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::cerr << "sdspd: socket path too long: '" << DOpts.SocketPath
+              << "'\n";
+    return 1;
+  }
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s",
+                DOpts.SocketPath.c_str());
+  ::unlink(DOpts.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0 ||
+      ::listen(ListenFd, 64) < 0) {
+    std::cerr << "sdspd: cannot listen on '" << DOpts.SocketPath << "'\n";
+    ::close(ListenFd);
+    return 1;
+  }
+  // The readiness line tests and CI poll for before connecting.
+  std::cout << "sdspd: listening on " << DOpts.SocketPath << "\n"
+            << std::flush;
+
+  TraceCollector Collector;
+  FaultContext AcceptFC(Faults, "daemon");
+  uint64_t Accepted = 0, Dropped = 0;
+  {
+    Executor Pool(DOpts.Jobs);
+    for (;;) {
+      if (DOpts.MaxRequests && Accepted >= DOpts.MaxRequests)
+        break;
+      pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {ShutdownPipe[0], POLLIN, 0}};
+      int N = ::poll(Fds, 2, -1);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue; // The signal also wrote the pipe; re-poll sees it.
+        break;
+      }
+      if (Fds[1].revents)
+        break; // SIGTERM/SIGINT: drain and exit.
+      if (!(Fds[0].revents & POLLIN))
+        continue;
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0)
+        continue;
+      ++Accepted;
+      // The accept fault site: an armed failure here drops the
+      // connection (the client sees a clean close and reports the
+      // transport error); the daemon keeps serving.
+      if (Status St = AcceptFC.checkpoint("daemon:accept"); !St) {
+        ::close(Fd);
+        ++Dropped;
+        continue;
+      }
+      uint64_t ReqId = Accepted;
+      TraceTrack *Track =
+          DOpts.TracePath.empty()
+              ? nullptr
+              : &Collector.track("request:" + std::to_string(ReqId));
+      Pool.submit([Fd, ReqId, &DOpts, &BaseEnv, Track]() -> Status {
+        serveRequest(Fd, ReqId, DOpts, BaseEnv, Track);
+        return Status::ok();
+      });
+    }
+    // Stop accepting before draining: clients connecting during the
+    // drain get a connection error, not a hung request.
+    ::close(ListenFd);
+    ::unlink(DOpts.SocketPath.c_str());
+    Pool.wait();
+  } // Pool joins here; every in-flight request has answered.
+
+  MetricsRegistry &MR = MetricsRegistry::global();
+  MR.add("daemon.requests", Accepted);
+  MR.add("daemon.dropped", Dropped);
+  if (!DOpts.MetricsJsonPath.empty()) {
+    driver::flushMemoryStoreMetrics(*BaseEnv.Memory);
+    if (BaseEnv.Disk)
+      driver::flushDiskStoreMetrics(*BaseEnv.Disk);
+    std::ofstream File(DOpts.MetricsJsonPath);
+    if (!File) {
+      std::cerr << "sdspd: cannot write '" << DOpts.MetricsJsonPath
+                << "'\n";
+      return 1;
+    }
+    MetricsRegistry::writeJson(MR.snapshot(), File);
+  }
+  if (!DOpts.TracePath.empty()) {
+    std::ofstream File(DOpts.TracePath);
+    if (!File) {
+      std::cerr << "sdspd: cannot write '" << DOpts.TracePath << "'\n";
+      return 1;
+    }
+    Collector.writeJson(File);
+  }
+  std::cerr << "sdspd: served " << (Accepted - Dropped) << " requests ("
+            << Dropped << " dropped), shutting down\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  DaemonOptions Opts;
+  if (!parseDaemonArgs(argc, argv, Opts)) {
+    printUsage(std::cerr);
+    return 1;
+  }
+  return runDaemon(Opts);
+}
+
+#else // _WIN32
+
+#include <iostream>
+
+int main() {
+  std::cerr << "sdspd: not supported on this platform\n";
+  return 1;
+}
+
+#endif

@@ -12,8 +12,12 @@ message on the first violation:
       an explicit scope on every instant.  "simd-dispatch" instants
       (the fast engine recording which readiness-sweep tier it
       selected, petri/SimdDispatch.h) must additionally carry a known
-      tier name in their args.  Anything Perfetto or chrome://tracing
-      would render wrong fails here first.
+      tier name in their args.  "store-publish" instants (a pass
+      artifact persisted to the content-addressed disk store,
+      docs/SERVICE.md) must name the pass and a nonzero byte count,
+      and "request" spans (one per sdspd request) may only appear on
+      the daemon's "request:N" tracks.  Anything Perfetto or
+      chrome://tracing would render wrong fails here first.
 
   tracecheck.py metrics-diff A B
       Compare the "counters" objects of two `sdspc --metrics-json`
@@ -62,11 +66,12 @@ def check_trace(path):
         fail(f"'{path}': 'traceEvents' must be a non-empty array")
 
     named_tids = set()
+    track_names = {}
     process_named = False
     # Per-tid state: last timestamp and the open-span stack.
     last_ts = {}
     open_spans = {}
-    counts = {"B": 0, "E": 0, "i": 0, "simd": 0}
+    counts = {"B": 0, "E": 0, "i": 0, "simd": 0, "request": 0, "store": 0}
 
     for i, ev in enumerate(events):
         where = f"'{path}' event {i}"
@@ -78,6 +83,8 @@ def check_trace(path):
                 process_named = True
             elif ev.get("name") == "thread_name":
                 named_tids.add(ev.get("tid"))
+                track_names[ev.get("tid")] = \
+                    ev.get("args", {}).get("name", "")
             continue
         if ph not in ("B", "E", "i"):
             fail(f"{where}: unexpected phase {ph!r}")
@@ -107,6 +114,24 @@ def check_trace(path):
                 fail(f"{where}: simd-dispatch instant has tier {tier!r}, "
                      f"expected one of {sorted(SIMD_TIERS)}")
             counts["simd"] += 1
+        if ph == "i" and ev.get("name") == "store-publish":
+            # A pass artifact reached the persistent disk store
+            # (docs/SERVICE.md); the instant must identify the pass and
+            # the serialized object size.
+            args = ev.get("args", {})
+            if not isinstance(args.get("pass"), str) or not args["pass"]:
+                fail(f"{where}: store-publish instant has no 'pass' arg")
+            if not isinstance(args.get("bytes"), int) or args["bytes"] < 1:
+                fail(f"{where}: store-publish instant needs a positive "
+                     f"'bytes' arg, got {args.get('bytes')!r}")
+            counts["store"] += 1
+        if ph == "B" and ev.get("name") == "request":
+            # The sdspd request span lives on a per-request track.
+            if not track_names.get(tid, "").startswith("request:"):
+                fail(f"{where}: 'request' span on track "
+                     f"{track_names.get(tid)!r} (expected a "
+                     "'request:N' daemon track)")
+            counts["request"] += 1
 
     if not process_named:
         fail(f"'{path}': no process_name metadata record")
@@ -118,7 +143,8 @@ def check_trace(path):
         fail(f"'{path}': {counts['B']} 'B' events vs {counts['E']} 'E'")
     print(f"tracecheck: '{path}' ok — {len(named_tids)} track(s), "
           f"{counts['B']} span(s), {counts['i']} instant(s), "
-          f"{counts['simd']} simd-dispatch instant(s)")
+          f"{counts['simd']} simd-dispatch, {counts['request']} "
+          f"request span(s), {counts['store']} store-publish")
 
 
 def load_counters(path):
