@@ -678,6 +678,63 @@ bool decodeRate(ByteReader &R, std::shared_ptr<RateReport> &Out) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// ExternalNet / PnmlText
+//===----------------------------------------------------------------------===//
+
+void encodeExternalNet(const ExternalNet &E, ByteWriter &W) {
+  encodeNet(E.Net, W);
+  W.str(E.NetId);
+  W.u8(E.Class.MarkedGraph ? 1 : 0);
+  W.u8(E.Class.Live ? 1 : 0);
+  W.u8(E.Class.Safe ? 1 : 0);
+  W.u8(E.Class.Persistent ? 1 : 0);
+  W.u8(E.Class.StronglyConnected ? 1 : 0);
+  W.u8(E.Class.Consistent ? 1 : 0);
+}
+
+bool decodeExternalNet(ByteReader &R, std::shared_ptr<ExternalNet> &Out) {
+  auto E = std::make_shared<ExternalNet>();
+  if (!decodeNetImpl(R, E->Net))
+    return false;
+  E->NetId = R.str();
+  uint8_t Bits[6];
+  for (uint8_t &B : Bits) {
+    B = R.u8();
+    if (B > 1)
+      return false;
+  }
+  if (!R.ok() || E->NetId.empty())
+    return false;
+  E->Class.MarkedGraph = Bits[0];
+  E->Class.Live = Bits[1];
+  E->Class.Safe = Bits[2];
+  E->Class.Persistent = Bits[3];
+  E->Class.StronglyConnected = Bits[4];
+  E->Class.Consistent = Bits[5];
+  Out = std::move(E);
+  return true;
+}
+
+void encodePnmlText(const PnmlText &P, ByteWriter &W) {
+  W.str(P.Text);
+  W.str(P.NetId);
+  W.u8(static_cast<uint8_t>(P.Flavor));
+}
+
+bool decodePnmlText(ByteReader &R, std::shared_ptr<PnmlText> &Out) {
+  auto P = std::make_shared<PnmlText>();
+  P->Text = R.str();
+  P->NetId = R.str();
+  uint8_t Flavor = R.u8();
+  if (!R.ok() || Flavor > static_cast<uint8_t>(PnmlFlavor::Frustum) ||
+      P->Text.empty() || P->NetId.empty())
+    return false;
+  P->Flavor = static_cast<PnmlFlavor>(Flavor);
+  Out = std::move(P);
+  return true;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -724,6 +781,12 @@ void sdsp::encodeArtifact(PassKind K, const void *Artifact, ByteWriter &W) {
     return;
   case PassKind::Codegen:
     encodeProgram(*static_cast<const LoopProgram *>(Artifact), W);
+    return;
+  case PassKind::ImportPnml:
+    encodeExternalNet(*static_cast<const ExternalNet *>(Artifact), W);
+    return;
+  case PassKind::ExportPnml:
+    encodePnmlText(*static_cast<const PnmlText *>(Artifact), W);
     return;
   case PassKind::Verify:
     break;
@@ -808,6 +871,18 @@ std::shared_ptr<const void> sdsp::decodeArtifact(PassKind K, ByteReader &R) {
       return nullptr;
     return P;
   }
+  case PassKind::ImportPnml: {
+    std::shared_ptr<ExternalNet> E;
+    if (!decodeExternalNet(R, E))
+      return nullptr;
+    return E;
+  }
+  case PassKind::ExportPnml: {
+    std::shared_ptr<PnmlText> P;
+    if (!decodePnmlText(R, P))
+      return nullptr;
+    return P;
+  }
   case PassKind::Verify:
     break;
   }
@@ -836,6 +911,10 @@ uint64_t sdsp::artifactContentHash(PassKind K, const void *Artifact) {
         *static_cast<const SoftwarePipelineSchedule *>(Artifact));
   case PassKind::Codegen:
     return artifactHash(*static_cast<const LoopProgram *>(Artifact));
+  case PassKind::ImportPnml:
+    return artifactHash(*static_cast<const ExternalNet *>(Artifact));
+  case PassKind::ExportPnml:
+    return artifactHash(*static_cast<const PnmlText *>(Artifact));
   case PassKind::Verify:
     break;
   }

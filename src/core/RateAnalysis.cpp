@@ -26,7 +26,11 @@ const char *sdsp::rateEngineName(RateEngine Engine) {
 }
 
 RateReport sdsp::analyzeRate(const SdspPn &Pn, RateEngine Engine) {
-  MarkedGraphView View(Pn.Net);
+  return analyzeRate(Pn.Net, Engine);
+}
+
+RateReport sdsp::analyzeRate(const PetriNet &Net, RateEngine Engine) {
+  MarkedGraphView View(Net);
   std::optional<CriticalCycleInfo> Info;
   switch (Engine) {
   case RateEngine::Auto:
@@ -45,9 +49,9 @@ RateReport sdsp::analyzeRate(const SdspPn &Pn, RateEngine Engine) {
 
   // Implicit self-loop bound: max execution time.
   Rational SelfLoop(0);
-  for (TransitionId T : Pn.Net.transitionIds())
+  for (TransitionId T : Net.transitionIds())
     SelfLoop = std::max(
-        SelfLoop, Rational(static_cast<int64_t>(Pn.Net.transition(T).ExecTime)));
+        SelfLoop, Rational(static_cast<int64_t>(Net.transition(T).ExecTime)));
 
   RateReport Report;
   if (Info && Info->CycleTime >= SelfLoop) {
@@ -56,8 +60,8 @@ RateReport sdsp::analyzeRate(const SdspPn &Pn, RateEngine Engine) {
     Report.NumCriticalCycles = Info->NumCriticalCycles;
   } else {
     Report.CycleTime = SelfLoop;
-    for (TransitionId T : Pn.Net.transitionIds())
-      if (Rational(static_cast<int64_t>(Pn.Net.transition(T).ExecTime)) ==
+    for (TransitionId T : Net.transitionIds())
+      if (Rational(static_cast<int64_t>(Net.transition(T).ExecTime)) ==
           SelfLoop)
         Report.CriticalTransitions.push_back(T);
     Report.NumCriticalCycles = 0; // Bounded by self-loops, not cycles.

@@ -74,6 +74,12 @@ const char *rateEngineName(RateEngine Engine);
 RateReport analyzeRate(const SdspPn &Pn,
                        RateEngine Engine = RateEngine::Auto);
 
+/// Rate report of a bare timed marked graph — the entry point for
+/// external (PNML-imported) nets, which carry no SDSP structure.
+/// \p Net must satisfy isMarkedGraph(Net).
+RateReport analyzeRate(const PetriNet &Net,
+                       RateEngine Engine = RateEngine::Auto);
+
 /// The balancing ratio M(C)/Omega(C) of one simple cycle (Section 6).
 Rational balancingRatio(const SimpleCycle &C);
 

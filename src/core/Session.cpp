@@ -14,6 +14,9 @@
 #include "dataflow/Unroll.h"
 #include "dataflow/Validate.h"
 #include "loopir/Lowering.h"
+#include "petri/Invariants.h"
+#include "petri/MarkedGraph.h"
+#include "petri/Pnml.h"
 #include "petri/SimdDispatch.h"
 #include "support/FaultInjection.h"
 #include "support/Hashing.h"
@@ -50,6 +53,8 @@ constexpr PassInfo PassTable[NumPassKinds] = {
     {"schedule", "sdsp + sdsp-pn + frustum", "software-pipeline", true},
     {"codegen", "sdsp + sdsp-pn + schedule", "loop-program", true},
     {"verify", "compiled-loop", "(checked)", false},
+    {"import-pnml", "pnml-text", "external-net", true},
+    {"export-pnml", "net [+ frustum]", "pnml-text", true},
 };
 
 /// Same range checks (and messages) the pipeline has always applied.
@@ -151,6 +156,33 @@ uint64_t sdsp::artifactHash(const SdspArtifact &S) {
 
 uint64_t sdsp::artifactSizeBytes(const SdspArtifact &S) {
   return artifactSizeBytes(S.S) + sizeof(StorageOptSummary);
+}
+
+uint64_t sdsp::artifactHash(const ExternalNet &E) {
+  HashStream HS(0x5d5370a0f3ULL);
+  HS.u64(artifactHash(E.Net)).str(E.NetId);
+  HS.u64(E.Class.MarkedGraph)
+      .u64(E.Class.Live)
+      .u64(E.Class.Safe)
+      .u64(E.Class.Persistent)
+      .u64(E.Class.StronglyConnected)
+      .u64(E.Class.Consistent);
+  return HS.hash();
+}
+
+uint64_t sdsp::artifactSizeBytes(const ExternalNet &E) {
+  return artifactSizeBytes(E.Net) + E.NetId.size() +
+         sizeof(NetClassification);
+}
+
+uint64_t sdsp::artifactHash(const PnmlText &P) {
+  HashStream HS(0x5d5370a0f4ULL);
+  HS.str(P.Text).str(P.NetId).u64(static_cast<uint64_t>(P.Flavor));
+  return HS.hash();
+}
+
+uint64_t sdsp::artifactSizeBytes(const PnmlText &P) {
+  return P.Text.size() + P.NetId.size() + sizeof(PnmlFlavor);
 }
 
 //===----------------------------------------------------------------------===//
@@ -624,6 +656,141 @@ Expected<ArtifactRef<LoopProgram>> CompilationSession::generateProgram(
       PassKind::Codegen, Inputs, 0, [&]() -> Expected<LoopProgram> {
         return generateLoopProgram(S->S, *Pn, *Sched);
       });
+}
+
+Expected<ArtifactRef<ExternalNet>>
+CompilationSession::importPnml(const std::string &Text) {
+  return runPass<ExternalNet>(
+      PassKind::ImportPnml, artifactHash(Text), 0,
+      [&]() -> Expected<ExternalNet> {
+        // The parse fault site fires inside the compute: an injected
+        // parse failure is never cached (failures never are), so a
+        // replay with the same schedule re-injects identically at any
+        // concurrency level.
+        if (Faults)
+          if (Status St = Faults->checkpoint("pnml:parse"); !St)
+            return St;
+        Expected<PnmlNet> P = parsePnml(Text);
+        if (!P) {
+          MetricsRegistry::global().add("pnml.rejects", 1);
+          return P.status();
+        }
+        ExternalNet Out;
+        Out.Net = std::move(P->Net);
+        Out.NetId = std::move(P->NetId);
+        NetClassification &C = Out.Class;
+        C.MarkedGraph = isMarkedGraph(Out.Net);
+        if (C.MarkedGraph) {
+          C.Live = isLiveMarkedGraph(Out.Net);
+          if (C.Live)
+            C.Safe = isSafeMarkedGraph(Out.Net);
+          MarkedGraphView View(Out.Net);
+          C.StronglyConnected = stronglyConnectedRoot(View).has_value();
+        }
+        C.Persistent = isStructurallyPersistent(Out.Net);
+        C.Consistent = hasUniformTInvariant(Out.Net);
+        uint64_t Arcs = 0;
+        for (TransitionId T : Out.Net.transitionIds())
+          Arcs += Out.Net.transition(T).InputPlaces.size() +
+                  Out.Net.transition(T).OutputPlaces.size();
+        MetricsRegistry &M = MetricsRegistry::global();
+        M.add("pnml.imports", 1);
+        M.add("pnml.places", Out.Net.numPlaces());
+        M.add("pnml.transitions", Out.Net.numTransitions());
+        M.add("pnml.arcs", Arcs);
+        return Out;
+      });
+}
+
+Expected<ArtifactRef<PnmlText>> CompilationSession::exportPnmlPass(
+    const PetriNet &Net, const std::string &NetId, uint64_t InputsHash,
+    PnmlFlavor Flavor, const FrustumInfo *F) {
+  uint64_t Fp = HashStream(9).u64(static_cast<uint64_t>(Flavor)).hash();
+  return runPass<PnmlText>(
+      PassKind::ExportPnml, InputsHash, Fp, [&]() -> Expected<PnmlText> {
+        PnmlText Out;
+        Out.NetId = NetId;
+        Out.Flavor = Flavor;
+        switch (Flavor) {
+        case PnmlFlavor::Net:
+          Out.Text = pnmlString(Net, NetId);
+          break;
+        case PnmlFlavor::Behavior:
+          Out.Text = pnmlString(
+              behaviorNet(Net, F->Trace, 0, ~static_cast<TimeStep>(0)),
+              NetId);
+          break;
+        case PnmlFlavor::Frustum:
+          Out.Text = pnmlString(
+              behaviorNet(Net, F->Trace, F->StartTime, F->RepeatTime),
+              NetId);
+          break;
+        }
+        MetricsRegistry &M = MetricsRegistry::global();
+        M.add("pnml.exports", 1);
+        M.add("pnml.export.bytes", Out.Text.size());
+        return Out;
+      });
+}
+
+Expected<ArtifactRef<PnmlText>>
+CompilationSession::exportPnml(const ArtifactRef<SdspPn> &Pn) {
+  return exportPnmlPass(Pn->Net, "sdsp_pn", Pn.hash(), PnmlFlavor::Net,
+                        nullptr);
+}
+
+Expected<ArtifactRef<PnmlText>>
+CompilationSession::exportPnml(const ArtifactRef<SdspPn> &Pn,
+                               const ArtifactRef<FrustumInfo> &F,
+                               PnmlFlavor Flavor) {
+  uint64_t Inputs = HashStream(10).u64(Pn.hash()).u64(F.hash()).hash();
+  return exportPnmlPass(
+      Pn->Net, Flavor == PnmlFlavor::Frustum ? "frustum" : "behavior",
+      Inputs, Flavor, F.ptr().get());
+}
+
+Expected<ArtifactRef<PnmlText>>
+CompilationSession::exportPnml(const ArtifactRef<ExternalNet> &Ext) {
+  return exportPnmlPass(Ext->Net, Ext->NetId, Ext.hash(), PnmlFlavor::Net,
+                        nullptr);
+}
+
+Expected<ArtifactRef<PnmlText>>
+CompilationSession::exportPnml(const ArtifactRef<ExternalNet> &Ext,
+                               const ArtifactRef<FrustumInfo> &F,
+                               PnmlFlavor Flavor) {
+  uint64_t Inputs = HashStream(10).u64(Ext.hash()).u64(F.hash()).hash();
+  return exportPnmlPass(
+      Ext->Net, Flavor == PnmlFlavor::Frustum ? "frustum" : "behavior",
+      Inputs, Flavor, F.ptr().get());
+}
+
+Expected<ArtifactRef<RateReport>>
+CompilationSession::computeRate(const ArtifactRef<ExternalNet> &Ext,
+                                RateEngine Engine) {
+  uint64_t Fp = HashStream(8).u64(static_cast<uint64_t>(Engine)).hash();
+  return runPass<RateReport>(
+      PassKind::Rate, Ext.hash(), Fp, [&]() -> Expected<RateReport> {
+        // Rate theory (Appendix A.7) speaks about live marked graphs;
+        // anything else has no well-defined optimal computation rate.
+        if (!Ext->Class.MarkedGraph)
+          return Status::error(ErrorCode::InvalidNet, "petri",
+                               "net '" + Ext->NetId +
+                                   "' is not a marked graph (rate "
+                                   "analysis needs one)");
+        if (!Ext->Class.Live)
+          return Status::error(ErrorCode::InvalidNet, "petri",
+                               "net '" + Ext->NetId +
+                                   "' is not live (a token-free cycle "
+                                   "never fires)");
+        return analyzeRate(Ext->Net, Engine);
+      });
+}
+
+Expected<ArtifactRef<FrustumInfo>>
+CompilationSession::searchFrustum(const ArtifactRef<ExternalNet> &Ext,
+                                  const FrustumOptions &FO) {
+  return frustumPass(Ext->Net, Ext.hash(), nullptr, FO);
 }
 
 Expected<CompiledLoop> CompilationSession::finish(CompiledLoop CL,

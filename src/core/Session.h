@@ -97,10 +97,15 @@ enum class PassKind : unsigned {
   Schedule,  ///< SDSP-PN + frustum -> software pipeline (+ replay check)
   Codegen,   ///< SDSP + SDSP-PN + schedule -> register-transfer program
   Verify,    ///< compiled loop -> cross-stage invariant checks
+  // The PNML interop passes are appended after Verify (not inserted in
+  // pipeline position) so existing PassKind values — which key persisted
+  // disk-store artifacts — keep their meaning.
+  ImportPnml, ///< PNML text -> classified external net
+  ExportPnml, ///< net [+ frustum trace] -> canonical PNML text
 };
 
 inline constexpr size_t NumPassKinds =
-    static_cast<size_t>(PassKind::Verify) + 1;
+    static_cast<size_t>(PassKind::ExportPnml) + 1;
 
 /// Static pass registration record.
 struct PassInfo {
@@ -203,6 +208,52 @@ uint64_t artifactHash(const TransformedGraph &T);
 uint64_t artifactSizeBytes(const TransformedGraph &T);
 uint64_t artifactHash(const SdspArtifact &S);
 uint64_t artifactSizeBytes(const SdspArtifact &S);
+
+/// Which net a PNML export renders (docs/INTEROP.md).
+enum class PnmlFlavor : uint8_t {
+  Net,      ///< The net itself (SDSP-PN or external net).
+  Behavior, ///< Occurrence net of the whole recorded execution.
+  Frustum,  ///< Occurrence net restricted to the cyclic frustum window.
+};
+
+/// Structural classification of an imported net, computed once at
+/// import so every consumer (driver gating, --verify, classify output)
+/// reads the same verdicts.
+struct NetClassification {
+  /// Every place has exactly one producer and one consumer (A.4).
+  bool MarkedGraph = false;
+  /// Live marked graph: every token-free-edge subgraph cycle is marked
+  /// (Thm A.5.1).  Only meaningful when MarkedGraph.
+  bool Live = false;
+  /// Safe under earliest firing (Thm A.5.2); requires Live.
+  bool Safe = false;
+  /// Structurally persistent (no place feeds two transitions).
+  bool Persistent = false;
+  /// The marked-graph view is one strongly connected component.
+  bool StronglyConnected = false;
+  /// Carries the all-ones T-invariant (Thm A.5.3 consistency witness).
+  bool Consistent = false;
+};
+
+/// Output of the import-pnml pass: the parsed net, its document
+/// identity, and its structural classification.
+struct ExternalNet {
+  PetriNet Net;
+  std::string NetId;
+  NetClassification Class;
+};
+
+/// Output of the export-pnml pass: the canonical PNML document.
+struct PnmlText {
+  std::string Text;
+  std::string NetId;
+  PnmlFlavor Flavor = PnmlFlavor::Net;
+};
+
+uint64_t artifactHash(const ExternalNet &E);
+uint64_t artifactSizeBytes(const ExternalNet &E);
+uint64_t artifactHash(const PnmlText &P);
+uint64_t artifactSizeBytes(const PnmlText &P);
 
 /// Options of the frustum pass.  Both fields are part of the pass's
 /// options fingerprint: changing the budget or the engine must miss the
@@ -315,6 +366,49 @@ public:
                   const ArtifactRef<SoftwarePipelineSchedule> &Sched);
 
   //===--------------------------------------------------------------===//
+  // PNML interop (petri/Pnml.h wired through the pass/artifact graph;
+  // docs/INTEROP.md).
+  //===--------------------------------------------------------------===//
+
+  /// Parses \p Text as PNML and classifies the net (marked graph,
+  /// live, safe, persistent, strongly connected, consistent).  Fault
+  /// site "pnml:parse" fires inside the compute, so injected parse
+  /// faults replay deterministically through the cache.
+  Expected<ArtifactRef<ExternalNet>> importPnml(const std::string &Text);
+
+  /// Canonical PNML of the SDSP-PN (net id "sdsp_pn").
+  Expected<ArtifactRef<PnmlText>> exportPnml(const ArtifactRef<SdspPn> &Pn);
+
+  /// Canonical PNML of an execution of \p Pn: the behavior graph's
+  /// occurrence net (PnmlFlavor::Behavior, whole trace, net id
+  /// "behavior") or its restriction to the cyclic frustum window
+  /// (PnmlFlavor::Frustum, net id "frustum").
+  Expected<ArtifactRef<PnmlText>> exportPnml(const ArtifactRef<SdspPn> &Pn,
+                                             const ArtifactRef<FrustumInfo> &F,
+                                             PnmlFlavor Flavor);
+
+  /// Canonical re-export of an imported net (net id preserved) — the
+  /// round-trip gate's second leg.
+  Expected<ArtifactRef<PnmlText>>
+  exportPnml(const ArtifactRef<ExternalNet> &Ext);
+
+  /// Behavior/frustum occurrence net of an imported net's execution.
+  Expected<ArtifactRef<PnmlText>>
+  exportPnml(const ArtifactRef<ExternalNet> &Ext,
+             const ArtifactRef<FrustumInfo> &F, PnmlFlavor Flavor);
+
+  /// Rate analysis of an imported net (requires a live marked graph;
+  /// InvalidNet otherwise).
+  Expected<ArtifactRef<RateReport>>
+  computeRate(const ArtifactRef<ExternalNet> &Ext,
+              RateEngine Engine = RateEngine::Auto);
+
+  /// Earliest-firing frustum search on an imported net.
+  Expected<ArtifactRef<FrustumInfo>>
+  searchFrustum(const ArtifactRef<ExternalNet> &Ext,
+                const FrustumOptions &FO);
+
+  //===--------------------------------------------------------------===//
   // One-call drivers (the runPipeline equivalents; same stage order,
   // error precedence, and --verify semantics as before the refactor).
   //===--------------------------------------------------------------===//
@@ -354,6 +448,12 @@ private:
                                                  uint64_t MachineHash,
                                                  const ScpPn *Scp,
                                                  const FrustumOptions &FO);
+
+  Expected<ArtifactRef<PnmlText>> exportPnmlPass(const PetriNet &Net,
+                                                 const std::string &NetId,
+                                                 uint64_t InputsHash,
+                                                 PnmlFlavor Flavor,
+                                                 const FrustumInfo *F);
 
   Expected<CompiledLoop> compileFromGraph(ArtifactRef<DataflowGraph> G,
                                           const PipelineOptions &Opts);

@@ -1,0 +1,94 @@
+//===- petri/Pnml.h - PNML interchange for timed P/T nets -------*- C++ -*-===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PNML (Petri Net Markup Language) import/export for the
+/// place/transition subset this model can represent — arc multiplicity
+/// 1, integer initial markings, deterministic integer execution times
+/// (docs/INTEROP.md).  PNML is how the wider Petri-net tool ecosystem
+/// exchanges nets, so this is the door third-party timed marked graphs
+/// walk through to reach the frustum/rate pipeline, and how SDSP-PNs,
+/// behavior graphs, and frustums leave it.
+///
+/// The reader is a small dependency-free XML parser hardened against
+/// hostile input (tests/pnml-corpus/): it resolves only the five
+/// predefined entities plus numeric character references (no DOCTYPE,
+/// so no entity-expansion bombs), bounds nesting depth and node count,
+/// and reports every rejection as a structured [InvalidInput] with the
+/// offending line.  Anything the model cannot represent — arc weights
+/// above 1, place-to-place arcs, zero execution times, markings beyond
+/// uint32 — is rejected the same way rather than silently truncated.
+///
+/// The writer emits one canonical byte form (fixed declaration,
+/// indentation, attribute order, and id scheme), chosen so that
+/// export -> import -> export is byte-identical; the pnml-interop CI
+/// gate (tools/CheckPnmlRoundTrip.cmake) pins exactly that over every
+/// example SDSP-PN and corpus net.  Execution times travel in a
+/// <toolspecific tool="sdsp"> annotation; TINA-style <delay> children
+/// are accepted on import as a fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SDSP_PETRI_PNML_H
+#define SDSP_PETRI_PNML_H
+
+#include "petri/EarliestFiring.h"
+#include "petri/PetriNet.h"
+#include "support/Status.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdsp {
+
+/// A net parsed from a PNML document.
+struct PnmlNet {
+  PetriNet Net;
+  /// The <net> element's id attribute ("net" when absent); preserved so
+  /// a re-export keeps the document's identity.
+  std::string NetId;
+};
+
+/// Parses the P/T + timing subset of PNML from \p Text.  The document
+/// must hold exactly one <net>; <page> nesting is flattened.  Element
+/// and attribute names are matched by local name, so namespace-prefixed
+/// documents import too.  Rejections are [InvalidInput] with stage
+/// "pnml" (the catalog is in docs/ERRORS.md).
+Expected<PnmlNet> parsePnml(const std::string &Text);
+
+/// Writes \p Net to \p OS in the canonical PNML form: places then
+/// transitions then arcs, ids p0../t0../a0.. in index order, every node
+/// carrying a <name>, execution times as <toolspecific tool="sdsp">
+/// (omitted when 1), initial markings omitted when 0.  Canonical means
+/// printPnml(parsePnml(printPnml(N)).Net) == printPnml(N) byte for
+/// byte.
+void printPnml(const PetriNet &Net, std::ostream &OS,
+               const std::string &NetId);
+
+/// printPnml into a string.
+std::string pnmlString(const PetriNet &Net, const std::string &NetId);
+
+/// Builds the occurrence net of an earliest-firing execution — the
+/// behavior graph of Section 3.3 materialized as a P/T net, so it can
+/// be exported through printPnml and re-read by any PNML tool.  Each
+/// firing of transition t (occurrence h, start time u) becomes a
+/// transition "t#h@u" keeping t's execution time; each token's
+/// residence in place p (produced at u) becomes a place "p@u" with one
+/// arc from its producing firing and one to its consuming firing.
+/// Restricting to [\p From, \p To) keeps only firings starting in the
+/// window; tokens whose producer falls outside it surface as initial
+/// marking (they are simply present when the window opens).  Pass
+/// From=0, To=~0 for the whole trace; [StartTime, RepeatTime) for the
+/// cyclic frustum.
+PetriNet behaviorNet(const PetriNet &Net,
+                     const std::vector<StepRecord> &Trace, TimeStep From,
+                     TimeStep To);
+
+} // namespace sdsp
+
+#endif // SDSP_PETRI_PNML_H

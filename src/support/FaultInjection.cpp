@@ -26,7 +26,8 @@ namespace {
 constexpr std::string_view KnownSites[] = {
     "pass:lower",     "pass:import",   "pass:transform", "pass:sdsp",
     "pass:sdsp-pn",   "pass:rate",     "pass:scp",       "pass:frustum",
-    "pass:schedule",  "pass:codegen",  "pass:verify",    "cache:lookup",
+    "pass:schedule",  "pass:codegen",  "pass:verify",    "pass:import-pnml",
+    "pass:export-pnml", "pnml:parse",  "cache:lookup",
     "cache:publish",  "executor:dispatch", "frustum:step", "store:read",
     "store:write",    "daemon:accept",
 };

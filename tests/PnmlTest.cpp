@@ -1,0 +1,541 @@
+//===- tests/PnmlTest.cpp - PNML import/export -----------------------------===//
+//
+// Part of the SDSP project: a reproduction of Gao, Wong & Ning,
+// "A Timed Petri-Net Model for Fine-Grain Loop Scheduling", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+//
+// The PNML interop surface (docs/INTEROP.md): the accept matrix (every
+// P/T construct and timing spelling the importer honors), the reject
+// matrix (every malformed or out-of-model document, each with its
+// structured [InvalidInput] diagnostic), canonical-export round-trip
+// byte stability, the behavior-graph occurrence-net encoding, the
+// session passes (caching, rejection, fault injection), and a
+// byte-truncation fuzz sweep that must never crash.
+//
+//===----------------------------------------------------------------------===//
+
+#include "petri/Pnml.h"
+
+#include "core/Session.h"
+#include "petri/EarliestFiring.h"
+#include "petri/MarkedGraph.h"
+#include "support/FaultInjection.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace sdsp;
+
+namespace {
+
+/// Wraps \p Body in the standard document scaffolding.
+std::string doc(const std::string &Body,
+                const std::string &NetAttrs = "id=\"n\"") {
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<pnml><net " +
+         NetAttrs + "><page id=\"p\">" + Body + "</page></net></pnml>";
+}
+
+/// The smallest useful body: one place feeding one transition and back.
+const char *RingBody = "<place id=\"q\">"
+                       "<initialMarking><text>1</text></initialMarking>"
+                       "</place>"
+                       "<transition id=\"u\"/>"
+                       "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+                       "<arc id=\"a1\" source=\"u\" target=\"q\"/>";
+
+PnmlNet parseOk(const std::string &Text) {
+  Expected<PnmlNet> N = parsePnml(Text);
+  EXPECT_TRUE(bool(N)) << (N ? std::string() : N.status().str());
+  return N ? std::move(*N) : PnmlNet{};
+}
+
+/// Asserts \p Text is rejected and the diagnostic contains \p Fragment.
+void expectReject(const std::string &Text, const std::string &Fragment) {
+  Expected<PnmlNet> N = parsePnml(Text);
+  ASSERT_FALSE(bool(N)) << "accepted: " << Text;
+  EXPECT_EQ(N.status().code(), ErrorCode::InvalidInput);
+  EXPECT_EQ(N.status().stage(), "pnml");
+  EXPECT_NE(N.status().str().find(Fragment), std::string::npos)
+      << "diagnostic '" << N.status().str() << "' lacks '" << Fragment
+      << "'";
+}
+
+//===----------------------------------------------------------------------===//
+// Accept matrix
+//===----------------------------------------------------------------------===//
+
+TEST(PnmlImport, MinimalNet) {
+  PnmlNet N = parseOk(doc(RingBody));
+  EXPECT_EQ(N.NetId, "n");
+  ASSERT_EQ(N.Net.numPlaces(), 1u);
+  ASSERT_EQ(N.Net.numTransitions(), 1u);
+  EXPECT_EQ(N.Net.place(PlaceId(0u)).InitialTokens, 1u);
+  EXPECT_EQ(N.Net.transition(TransitionId(0u)).ExecTime, 1u);
+  EXPECT_TRUE(isMarkedGraph(N.Net));
+}
+
+TEST(PnmlImport, NamesFallBackToIds) {
+  PnmlNet N = parseOk(doc(RingBody));
+  EXPECT_EQ(N.Net.place(PlaceId(0u)).Name, "q");
+  EXPECT_EQ(N.Net.transition(TransitionId(0u)).Name, "u");
+}
+
+TEST(PnmlImport, NameLabelsWin) {
+  PnmlNet N = parseOk(
+      doc("<place id=\"q\"><name><text>buffer</text></name></place>"
+          "<transition id=\"u\"><name><text>op</text></name></transition>"
+          "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+          "<arc id=\"a1\" source=\"u\" target=\"q\"/>"));
+  EXPECT_EQ(N.Net.place(PlaceId(0u)).Name, "buffer");
+  EXPECT_EQ(N.Net.transition(TransitionId(0u)).Name, "op");
+}
+
+TEST(PnmlImport, SdspExecTimeAnnotation) {
+  PnmlNet N = parseOk(doc(
+      "<place id=\"q\"/>"
+      "<transition id=\"u\"><toolspecific tool=\"sdsp\">"
+      "<execTime>7</execTime></toolspecific></transition>"
+      "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+      "<arc id=\"a1\" source=\"u\" target=\"q\"/>"));
+  EXPECT_EQ(N.Net.transition(TransitionId(0u)).ExecTime, 7u);
+}
+
+TEST(PnmlImport, TinaDelayFallback) {
+  // Both spellings: a bare child and one nested inside a foreign
+  // tool's toolspecific block.
+  PnmlNet Bare = parseOk(doc(
+      "<place id=\"q\"/>"
+      "<transition id=\"u\"><delay>3</delay></transition>"
+      "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+      "<arc id=\"a1\" source=\"u\" target=\"q\"/>"));
+  EXPECT_EQ(Bare.Net.transition(TransitionId(0u)).ExecTime, 3u);
+  PnmlNet Nested = parseOk(doc(
+      "<place id=\"q\"/>"
+      "<transition id=\"u\"><toolspecific tool=\"tina\">"
+      "<delay>4</delay></toolspecific></transition>"
+      "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+      "<arc id=\"a1\" source=\"u\" target=\"q\"/>"));
+  EXPECT_EQ(Nested.Net.transition(TransitionId(0u)).ExecTime, 4u);
+}
+
+TEST(PnmlImport, SdspAnnotationBeatsDelay) {
+  PnmlNet N = parseOk(doc(
+      "<place id=\"q\"/>"
+      "<transition id=\"u\"><delay>9</delay>"
+      "<toolspecific tool=\"sdsp\"><execTime>2</execTime>"
+      "</toolspecific></transition>"
+      "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+      "<arc id=\"a1\" source=\"u\" target=\"q\"/>"));
+  EXPECT_EQ(N.Net.transition(TransitionId(0u)).ExecTime, 2u);
+}
+
+TEST(PnmlImport, PagesAreFlattened) {
+  PnmlNet N = parseOk(
+      "<pnml><net id=\"n\"><page id=\"p1\"><place id=\"q\"/></page>"
+      "<page id=\"p2\"><page id=\"p3\"><transition id=\"u\"/></page>"
+      "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+      "<arc id=\"a1\" source=\"u\" target=\"q\"/></page></net></pnml>");
+  EXPECT_EQ(N.Net.numPlaces(), 1u);
+  EXPECT_EQ(N.Net.numTransitions(), 1u);
+}
+
+TEST(PnmlImport, NamespacePrefixesAreStripped) {
+  PnmlNet N = parseOk(
+      "<ns:pnml xmlns:ns=\"http://www.pnml.org\"><ns:net id=\"n\">"
+      "<ns:page id=\"p\"><ns:place id=\"q\"/><ns:transition id=\"u\"/>"
+      "<ns:arc id=\"a0\" source=\"q\" target=\"u\"/>"
+      "<ns:arc id=\"a1\" source=\"u\" target=\"q\"/>"
+      "</ns:page></ns:net></ns:pnml>");
+  EXPECT_EQ(N.Net.numTransitions(), 1u);
+}
+
+TEST(PnmlImport, EntitiesAndCharRefs) {
+  PnmlNet N = parseOk(doc(
+      "<place id=\"q\"><name><text>a &lt;&amp;&gt; &#66;&#x43;</text>"
+      "</name><initialMarking><text>&#50;</text></initialMarking>"
+      "</place><transition id=\"u\"/>"
+      "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+      "<arc id=\"a1\" source=\"u\" target=\"q\"/>"));
+  EXPECT_EQ(N.Net.place(PlaceId(0u)).Name, "a <&> BC");
+  EXPECT_EQ(N.Net.place(PlaceId(0u)).InitialTokens, 2u);
+}
+
+TEST(PnmlImport, CommentsPisCdataAndBom) {
+  PnmlNet N = parseOk(
+      "\xEF\xBB\xBF<?xml version=\"1.0\"?><!-- c --><?pi data?>"
+      "<pnml><net id=\"n\"><page id=\"p\">"
+      "<place id=\"q\"><name><text><![CDATA[x <> y]]></text></name>"
+      "</place><!-- mid --><transition id=\"u\"/>"
+      "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+      "<arc id=\"a1\" source=\"u\" target=\"q\"/>"
+      "</page></net></pnml>");
+  EXPECT_EQ(N.Net.place(PlaceId(0u)).Name, "x <> y");
+}
+
+TEST(PnmlImport, InscriptionOneIsAccepted) {
+  PnmlNet N = parseOk(doc(
+      "<place id=\"q\"/>"
+      "<transition id=\"u\"/>"
+      "<arc id=\"a0\" source=\"q\" target=\"u\">"
+      "<inscription><text>1</text></inscription></arc>"
+      "<arc id=\"a1\" source=\"u\" target=\"q\"/>"));
+  EXPECT_EQ(N.Net.transition(TransitionId(0u)).InputPlaces.size(), 1u);
+}
+
+TEST(PnmlImport, UnknownElementsAreIgnored) {
+  PnmlNet N = parseOk(doc(
+      "<place id=\"q\"><graphics><position x=\"1\" y=\"2\"/></graphics>"
+      "</place><transition id=\"u\"/>"
+      "<arc id=\"a0\" source=\"q\" target=\"u\"><graphics/></arc>"
+      "<arc id=\"a1\" source=\"u\" target=\"q\"/>"
+      "<toolspecific tool=\"editor\"><zoom>2</zoom></toolspecific>"));
+  EXPECT_EQ(N.Net.numPlaces(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reject matrix
+//===----------------------------------------------------------------------===//
+
+TEST(PnmlReject, NotXml) { expectReject("hello", "expected '<'"); }
+
+TEST(PnmlReject, Doctype) {
+  expectReject("<!DOCTYPE pnml><pnml/>", "DOCTYPE");
+}
+
+TEST(PnmlReject, Truncated) {
+  expectReject("<pnml><net id=\"n\"><page id=\"p\"><place id=\"q\">",
+               "is never closed");
+}
+
+TEST(PnmlReject, MismatchedEndTag) {
+  expectReject("<pnml><net id=\"n\"></page></net></pnml>",
+               "does not match");
+}
+
+TEST(PnmlReject, RootIsNotPnml) {
+  expectReject("<html><body/></html>", "expected <pnml>");
+}
+
+TEST(PnmlReject, NoNet) {
+  expectReject("<pnml></pnml>", "no <net> element");
+}
+
+TEST(PnmlReject, MultipleNets) {
+  expectReject("<pnml><net id=\"a\"><page id=\"p\"><place id=\"q\"/>"
+               "<transition id=\"u\"/>"
+               "<arc id=\"x\" source=\"q\" target=\"u\"/>"
+               "<arc id=\"y\" source=\"u\" target=\"q\"/></page></net>"
+               "<net id=\"b\"/></pnml>",
+               "multiple <net> elements");
+}
+
+TEST(PnmlReject, EmptyNet) {
+  expectReject("<pnml><net id=\"n\"/></pnml>", "no transitions");
+}
+
+TEST(PnmlReject, DuplicateId) {
+  expectReject(doc("<place id=\"q\"/><transition id=\"q\"/>"),
+               "duplicate id 'q'");
+}
+
+TEST(PnmlReject, PlaceWithoutId) {
+  expectReject(doc("<place/><transition id=\"u\"/>"),
+               "place without an id");
+}
+
+TEST(PnmlReject, UnknownArcEndpoint) {
+  expectReject(doc("<place id=\"q\"/><transition id=\"u\"/>"
+                   "<arc id=\"a0\" source=\"q\" target=\"ghost\"/>"),
+               "unknown node 'ghost'");
+}
+
+TEST(PnmlReject, ArcMissingEndpoint) {
+  expectReject(doc("<place id=\"q\"/><transition id=\"u\"/>"
+                   "<arc id=\"a0\" source=\"q\"/>"),
+               "source and target");
+}
+
+TEST(PnmlReject, PlaceToPlaceArc) {
+  expectReject(doc("<place id=\"q\"/><place id=\"r\"/>"
+                   "<transition id=\"u\"/>"
+                   "<arc id=\"a0\" source=\"q\" target=\"r\"/>"),
+               "connects two places");
+}
+
+TEST(PnmlReject, TransitionToTransitionArc) {
+  expectReject(doc("<place id=\"q\"/><transition id=\"u\"/>"
+                   "<transition id=\"v\"/>"
+                   "<arc id=\"a0\" source=\"u\" target=\"v\"/>"),
+               "connects two transitions");
+}
+
+TEST(PnmlReject, ArcWeightTwo) {
+  expectReject(doc("<place id=\"q\"/><transition id=\"u\"/>"
+                   "<arc id=\"a0\" source=\"q\" target=\"u\">"
+                   "<inscription><text>2</text></inscription></arc>"),
+               "multiplicity is 1");
+}
+
+TEST(PnmlReject, DuplicateArc) {
+  expectReject(doc("<place id=\"q\"/><transition id=\"u\"/>"
+                   "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+                   "<arc id=\"a1\" source=\"q\" target=\"u\"/>"),
+               "duplicate arc");
+}
+
+TEST(PnmlReject, ZeroExecTime) {
+  expectReject(doc("<place id=\"q\"/>"
+                   "<transition id=\"u\"><toolspecific tool=\"sdsp\">"
+                   "<execTime>0</execTime></toolspecific></transition>"),
+               "tau >= 1");
+}
+
+TEST(PnmlReject, SdspAnnotationWithoutExecTime) {
+  expectReject(doc("<place id=\"q\"/>"
+                   "<transition id=\"u\">"
+                   "<toolspecific tool=\"sdsp\"/></transition>"),
+               "has no <execTime>");
+}
+
+TEST(PnmlReject, MarkingOutOfRange) {
+  expectReject(doc("<place id=\"q\"><initialMarking>"
+                   "<text>99999999999999999999</text>"
+                   "</initialMarking></place><transition id=\"u\"/>"),
+               "out of range");
+}
+
+TEST(PnmlReject, MarkingNotANumber) {
+  expectReject(doc("<place id=\"q\"><initialMarking><text>two</text>"
+                   "</initialMarking></place><transition id=\"u\"/>"),
+               "expected a non-negative integer");
+}
+
+TEST(PnmlReject, UnknownEntity) {
+  expectReject(doc("<place id=\"&copy;\"/><transition id=\"u\"/>"),
+               "entity");
+}
+
+TEST(PnmlReject, DepthLimit) {
+  std::string Deep = "<pnml><net id=\"n\">";
+  for (int I = 0; I < 70; ++I)
+    Deep += "<page id=\"g\">";
+  Expected<PnmlNet> N = parsePnml(Deep);
+  ASSERT_FALSE(bool(N));
+  EXPECT_NE(N.status().str().find("depth limit"), std::string::npos);
+}
+
+TEST(PnmlReject, DiagnosticsCarryLineNumbers) {
+  Expected<PnmlNet> N = parsePnml("<pnml>\n<net id=\"n\">\n<page id=\"p\">\n"
+                                  "<place id=\"q\"/>\n<place id=\"q\"/>\n"
+                                  "</page></net></pnml>");
+  ASSERT_FALSE(bool(N));
+  EXPECT_NE(N.status().str().find("line 5"), std::string::npos)
+      << N.status().str();
+}
+
+//===----------------------------------------------------------------------===//
+// Round trip
+//===----------------------------------------------------------------------===//
+
+TEST(PnmlRoundTrip, CanonicalExportIsAFixpoint) {
+  PetriNet Net;
+  TransitionId A = Net.addTransition("load <x>", 2);
+  TransitionId B = Net.addTransition("store \"y\"", 3);
+  PlaceId P = Net.addPlace("a->b", 1);
+  PlaceId Q = Net.addPlace("b->a", 0);
+  Net.addArc(A, P);
+  Net.addArc(P, B);
+  Net.addArc(B, Q);
+  Net.addArc(Q, A);
+  std::string First = pnmlString(Net, "two_stage");
+  PnmlNet Again = parseOk(First);
+  EXPECT_EQ(Again.NetId, "two_stage");
+  EXPECT_EQ(pnmlString(Again.Net, Again.NetId), First);
+}
+
+TEST(PnmlRoundTrip, ImportPreservesStructureExactly) {
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a", 1);
+  TransitionId B = Net.addTransition("b", 5);
+  PlaceId P = Net.addPlace("p", 2);
+  Net.addArc(A, P);
+  Net.addArc(P, B);
+  PnmlNet Again = parseOk(pnmlString(Net, "frag"));
+  ASSERT_EQ(Again.Net.numTransitions(), 2u);
+  EXPECT_EQ(Again.Net.transition(TransitionId(1u)).ExecTime, 5u);
+  EXPECT_EQ(Again.Net.place(PlaceId(0u)).InitialTokens, 2u);
+  EXPECT_EQ(Again.Net.place(PlaceId(0u)).Producers.size(), 1u);
+  EXPECT_EQ(Again.Net.place(PlaceId(0u)).Consumers.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Behavior-graph occurrence nets
+//===----------------------------------------------------------------------===//
+
+TEST(PnmlBehavior, OccurrenceNetOfARing) {
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a", 1);
+  TransitionId B = Net.addTransition("b", 1);
+  PlaceId P = Net.addPlace("p", 1);
+  PlaceId Q = Net.addPlace("q", 0);
+  Net.addArc(A, Q);
+  Net.addArc(Q, B);
+  Net.addArc(B, P);
+  Net.addArc(P, A);
+  EarliestFiringEngine Engine(Net);
+  std::vector<StepRecord> Trace;
+  for (int I = 0; I < 4; ++I)
+    Trace.push_back(Engine.fireAndAdvance());
+  PetriNet Occ = behaviorNet(Net, Trace, 0, 4);
+  // An occurrence net is acyclic and conflict-free: every place has at
+  // most one producer and one consumer.
+  EXPECT_GT(Occ.numTransitions(), 0u);
+  for (PlaceId Pl : Occ.placeIds()) {
+    EXPECT_LE(Occ.place(Pl).Producers.size(), 1u);
+    EXPECT_LE(Occ.place(Pl).Consumers.size(), 1u);
+  }
+  // Occurrence names carry the source transition, occurrence index,
+  // and start time.
+  EXPECT_EQ(Occ.transition(TransitionId(0u)).Name, "a#0@0");
+  // The exported occurrence net is itself valid PNML.
+  PnmlNet Again = parseOk(pnmlString(Occ, "behavior"));
+  EXPECT_EQ(Again.Net.numTransitions(), Occ.numTransitions());
+}
+
+TEST(PnmlBehavior, WindowRestrictionSeedsInitialMarking) {
+  PetriNet Net;
+  TransitionId A = Net.addTransition("a", 1);
+  PlaceId P = Net.addPlace("p", 1);
+  Net.addArc(A, P);
+  Net.addArc(P, A);
+  EarliestFiringEngine Engine(Net);
+  std::vector<StepRecord> Trace;
+  for (int I = 0; I < 6; ++I)
+    Trace.push_back(Engine.fireAndAdvance());
+  // Window [3, 6): tokens produced before step 3 become the initial
+  // marking of the windowed occurrence net.
+  PetriNet Occ = behaviorNet(Net, Trace, 3, 6);
+  uint32_t Initial = 0;
+  for (PlaceId Pl : Occ.placeIds())
+    Initial += Occ.place(Pl).InitialTokens;
+  EXPECT_GE(Initial, 1u);
+  for (TransitionId T : Occ.transitionIds())
+    EXPECT_EQ(Occ.transition(T).Name.find("a#"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Session passes
+//===----------------------------------------------------------------------===//
+
+TEST(PnmlSession, ImportClassifiesAndCaches) {
+  CompilationSession S(SessionConfig{true});
+  std::string Text = doc(RingBody);
+  Expected<ArtifactRef<ExternalNet>> First = S.importPnml(Text);
+  ASSERT_TRUE(bool(First)) << First.status().str();
+  EXPECT_TRUE((*First)->Class.MarkedGraph);
+  EXPECT_TRUE((*First)->Class.Live);
+  EXPECT_TRUE((*First)->Class.Safe);
+  EXPECT_TRUE((*First)->Class.Consistent);
+  size_t Hits = S.trace().totalCacheHits();
+  Expected<ArtifactRef<ExternalNet>> Second = S.importPnml(Text);
+  ASSERT_TRUE(bool(Second));
+  EXPECT_GT(S.trace().totalCacheHits(), Hits);
+  EXPECT_EQ(First->hash(), Second->hash());
+}
+
+TEST(PnmlSession, ExportMatchesFreeFunction) {
+  CompilationSession S(SessionConfig{true});
+  Expected<ArtifactRef<ExternalNet>> Ext = S.importPnml(doc(RingBody));
+  ASSERT_TRUE(bool(Ext));
+  Expected<ArtifactRef<PnmlText>> P = S.exportPnml(*Ext);
+  ASSERT_TRUE(bool(P)) << P.status().str();
+  EXPECT_EQ((*P)->Text, pnmlString((*Ext)->Net, (*Ext)->NetId));
+  EXPECT_EQ((*P)->NetId, "n");
+}
+
+TEST(PnmlSession, RateRejectsNonLiveNets) {
+  CompilationSession S(SessionConfig{true});
+  // A marked graph with a token-free cycle: classification succeeds,
+  // rate analysis refuses (Thm A.5.1).
+  Expected<ArtifactRef<ExternalNet>> Ext = S.importPnml(
+      doc("<place id=\"q\"/><transition id=\"u\"/>"
+          "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+          "<arc id=\"a1\" source=\"u\" target=\"q\"/>"));
+  ASSERT_TRUE(bool(Ext));
+  EXPECT_TRUE((*Ext)->Class.MarkedGraph);
+  EXPECT_FALSE((*Ext)->Class.Live);
+  Expected<ArtifactRef<RateReport>> R = S.computeRate(*Ext);
+  ASSERT_FALSE(bool(R));
+  EXPECT_EQ(R.status().code(), ErrorCode::InvalidNet);
+}
+
+TEST(PnmlSession, FrustumRateMatchesAnalyticRate) {
+  CompilationSession S(SessionConfig{true});
+  Expected<ArtifactRef<ExternalNet>> Ext = S.importPnml(doc(
+      "<place id=\"q\"><initialMarking><text>1</text></initialMarking>"
+      "</place><transition id=\"u\"><delay>5</delay></transition>"
+      "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+      "<arc id=\"a1\" source=\"u\" target=\"q\"/>"));
+  ASSERT_TRUE(bool(Ext));
+  Expected<ArtifactRef<RateReport>> R = S.computeRate(*Ext);
+  ASSERT_TRUE(bool(R)) << R.status().str();
+  EXPECT_EQ((*R)->CycleTime, Rational(5));
+  Expected<ArtifactRef<FrustumInfo>> F =
+      S.searchFrustum(*Ext, FrustumOptions{});
+  ASSERT_TRUE(bool(F)) << F.status().str();
+  EXPECT_EQ((*F)->computationRate(TransitionId(0u)), (*R)->OptimalRate);
+}
+
+TEST(PnmlSession, ParseFaultSiteFiresInsideTheCompute) {
+  FaultSchedule Sched;
+  Expected<FaultSchedule> Parsed = FaultSchedule::parse("pnml:parse:fail@1");
+  ASSERT_TRUE(bool(Parsed));
+  Sched = std::move(*Parsed);
+  FaultContext Ctx(&Sched, "pnml:test");
+  SessionConfig Cfg;
+  Cfg.Faults = &Ctx;
+  CompilationSession S(Cfg);
+  Expected<ArtifactRef<ExternalNet>> First = S.importPnml(doc(RingBody));
+  ASSERT_FALSE(bool(First));
+  EXPECT_EQ(First.status().code(), ErrorCode::TransientFault);
+  // Failures are never cached: the retry recomputes (arrival 2, no
+  // trigger) and succeeds.
+  Expected<ArtifactRef<ExternalNet>> Second = S.importPnml(doc(RingBody));
+  ASSERT_TRUE(bool(Second)) << Second.status().str();
+}
+
+//===----------------------------------------------------------------------===//
+// Truncation fuzz
+//===----------------------------------------------------------------------===//
+
+TEST(PnmlFuzz, EveryPrefixParsesOrRejectsCleanly) {
+  // Every byte-prefix of a valid document must either parse or produce
+  // a structured pnml-stage InvalidInput — never crash or hang.
+  std::string Full = pnmlString([] {
+    PetriNet Net;
+    TransitionId A = Net.addTransition("a", 2);
+    TransitionId B = Net.addTransition("b", 1);
+    PlaceId P = Net.addPlace("p", 1);
+    PlaceId Q = Net.addPlace("q", 0);
+    Net.addArc(A, P);
+    Net.addArc(P, B);
+    Net.addArc(B, Q);
+    Net.addArc(Q, A);
+    return Net;
+  }(), "fuzz");
+  for (size_t Len = 0; Len <= Full.size(); ++Len) {
+    Expected<PnmlNet> N = parsePnml(Full.substr(0, Len));
+    if (!N) {
+      EXPECT_EQ(N.status().code(), ErrorCode::InvalidInput) << Len;
+      EXPECT_EQ(N.status().stage(), "pnml") << Len;
+    } else {
+      // Only prefixes that merely trim trailing whitespace may parse.
+      EXPECT_EQ(Full.find_first_not_of(" \t\r\n", Len), std::string::npos)
+          << Len;
+    }
+  }
+}
+
+} // namespace

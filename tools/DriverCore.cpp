@@ -12,6 +12,7 @@
 #include "core/BatchCompiler.h"
 #include "livermore/Livermore.h"
 #include "petri/BehaviorGraph.h"
+#include "petri/Pnml.h"
 #include "support/CancelToken.h"
 #include "support/FaultInjection.h"
 #include "support/Metrics.h"
@@ -35,7 +36,12 @@ using namespace sdsp::driver;
 void driver::printUsage(std::ostream &OS) {
   OS << "usage: sdspc [options] [file.loop | -k kernel | -]\n"
         "  --emit=schedule|timeline|rate|program|c|dot-dataflow|dot-pn|"
-        "dot-behavior|storage\n"
+        "dot-behavior|storage|\n"
+        "         pnml|pnml-behavior|pnml-frustum\n"
+        "  --pnml=FILE|-  analyze an external PNML net instead of a "
+        "loop\n"
+        "                 (--emit=classify|rate|frustum|dot-pn|pnml|"
+        "pnml-behavior|pnml-frustum)\n"
         "  --opt --capacity=N --unroll=U --scp=L --pipelines=K\n"
         "  --optimize-storage --budget=N --engine=fast|reference\n"
         "  --rate-engine=auto|howard|enumerate\n"
@@ -102,6 +108,13 @@ ParseResult driver::parseArgs(const std::vector<std::string> &Args,
     };
     if (const char *V = Value("--emit=")) {
       Opts.Emit = V;
+      Opts.EmitGiven = true;
+    } else if (const char *V = Value("--pnml=")) {
+      if (!*V) {
+        Err << "sdspc: --pnml needs a file path (or - for stdin)\n";
+        return ParseResult::Error;
+      }
+      Opts.PnmlPath = V;
     } else if (const char *V = Value("--capacity=")) {
       if (!parseUint32(V, "--capacity", Opts.Pipe.Capacity, Err))
         return ParseResult::Error;
@@ -353,6 +366,40 @@ buildProgram(CompilationSession &Session, const std::string &Source,
   return Session.generateProgram(*S, *Pn, *Sched);
 }
 
+/// Re-derives the SDSP-PN ref through the session (all cache hits, as
+/// in buildProgram) and runs the export-pnml pass for \p Flavor.  The
+/// behavior/frustum flavors also re-derive the frustum ref; both are
+/// ideal-machine only (the caller rejects --scp).
+Expected<ArtifactRef<PnmlText>>
+buildPnmlExport(CompilationSession &Session, const std::string &Source,
+                const PipelineOptions &Pipe, PnmlFlavor Flavor) {
+  Expected<ArtifactRef<DataflowGraph>> G = Session.lower(Source);
+  if (!G)
+    return G.status();
+  ArtifactRef<DataflowGraph> Graph = *G;
+  if (Pipe.Optimize || Pipe.Unroll > 1) {
+    Expected<ArtifactRef<TransformedGraph>> T =
+        Session.transform(Graph, Pipe.Optimize, Pipe.Unroll);
+    if (!T)
+      return T.status();
+    Graph = Session.transformedGraph(*T);
+  }
+  Expected<ArtifactRef<SdspArtifact>> S =
+      Session.buildSdsp(Graph, Pipe.Capacity, Pipe.OptimizeStorage);
+  if (!S)
+    return S.status();
+  Expected<ArtifactRef<SdspPn>> Pn = Session.buildPn(*S);
+  if (!Pn)
+    return Pn.status();
+  if (Flavor == PnmlFlavor::Net)
+    return Session.exportPnml(*Pn);
+  Expected<ArtifactRef<FrustumInfo>> F = Session.searchFrustum(
+      *Pn, FrustumOptions{Pipe.FrustumBudgetSteps, Pipe.Engine});
+  if (!F)
+    return F.status();
+  return Session.exportPnml(*Pn, *F, Flavor);
+}
+
 /// Compiles \p Source through \p Session and emits the requested
 /// artifact to \p Out (diagnostics and notes to \p Err).  Single runs
 /// pass the caller's stdout/stderr; batch jobs pass per-job string
@@ -378,9 +425,11 @@ RenderResult compileAndEmit(CompilationSession &Session, const Options &Opts,
     Pipe.StopAfter = PipelineStage::Frontend;
   else if (Opts.Emit == "storage")
     Pipe.StopAfter = PipelineStage::Storage;
-  else if (Opts.Emit == "dot-pn" || Opts.Emit == "rate")
+  else if (Opts.Emit == "dot-pn" || Opts.Emit == "rate" ||
+           Opts.Emit == "pnml")
     Pipe.StopAfter = PipelineStage::Petri;
-  else if (Opts.Emit == "dot-behavior")
+  else if (Opts.Emit == "dot-behavior" || Opts.Emit == "pnml-behavior" ||
+           Opts.Emit == "pnml-frustum")
     Pipe.StopAfter = PipelineStage::Frustum;
   else if (Opts.Emit == "schedule" || Opts.Emit == "timeline" ||
            Opts.Emit == "c" || Opts.Emit == "program")
@@ -462,8 +511,32 @@ RenderResult compileAndEmit(CompilationSession &Session, const Options &Opts,
     Out << "\ncritical cycles:   " << R.NumCriticalCycles << "\n";
     return {0, ErrorCode::Ok};
   }
+  if (Opts.Emit == "pnml") {
+    Expected<ArtifactRef<PnmlText>> P =
+        buildPnmlExport(Session, *Source, Pipe, PnmlFlavor::Net);
+    if (!P)
+      return reportFailure(P.status(), Diags, Err);
+    Out << (*P)->Text;
+    return {0, ErrorCode::Ok};
+  }
 
   const FrustumInfo &F = *CL.Frustum;
+
+  if (Opts.Emit == "pnml-behavior" || Opts.Emit == "pnml-frustum") {
+    if (CL.Scp) {
+      Err << "sdspc: --emit=" << Opts.Emit
+          << " renders the ideal-machine execution only (drop --scp)\n";
+      return {1, ErrorCode::InvalidInput};
+    }
+    Expected<ArtifactRef<PnmlText>> P = buildPnmlExport(
+        Session, *Source, Pipe,
+        Opts.Emit == "pnml-behavior" ? PnmlFlavor::Behavior
+                                     : PnmlFlavor::Frustum);
+    if (!P)
+      return reportFailure(P.status(), Diags, Err);
+    Out << (*P)->Text;
+    return {0, ErrorCode::Ok};
+  }
 
   if (Opts.Emit == "dot-behavior") {
     const PetriNet &Net = CL.machineNet();
@@ -623,33 +696,13 @@ void driver::flushMemoryStoreMetrics(const MemoryStore &Cache) {
 
 namespace {
 
-int runSingle(const Options &Opts, const Env &E, std::ostream &Out,
-              std::ostream &Err) {
-  std::optional<std::string> Source = readSource(Opts, E, Err);
-  if (!Source)
-    return 1;
-  ResolvedFaults Faults;
-  if (!resolveFaultSchedule(Opts, Faults, Err))
-    return 1;
-  TraceCollector Collector;
-  SessionConfig Cfg;
-  Cfg.Store = E.Store;
-  std::string Scope = !Opts.KernelId.empty() ? "kernel:" + Opts.KernelId
-                      : !Opts.InputPath.empty() ? Opts.InputPath
-                                                : "stdin";
-  if (!Opts.TracePath.empty())
-    Cfg.Trace = &Collector.track(Scope);
-  // The whole single run is one fault scope and one deadline window,
-  // mirroring a batch job.
-  FaultContext FC(Faults.Sched, Scope, Cfg.Trace);
-  if (Faults.Sched && !Faults.Sched->empty())
-    Cfg.Faults = &FC;
-  if (Opts.DeadlineGiven)
-    Cfg.Cancel = CancelSource::withDeadline(
-                     std::chrono::milliseconds(Opts.DeadlineMillis))
-                     .token();
-  CompilationSession Session(Cfg);
-  int Code = compileAndEmit(Session, Opts, *Source, Out, Err).ExitCode;
+/// The shared tail of a single (or PNML) run: the --timings table plus
+/// the --timings-json / --trace / --metrics-json file outputs.  Returns
+/// \p Code, bumped to 1 when an output file cannot be written and the
+/// run itself succeeded.
+int finishRunOutputs(const Options &Opts, const Env &E,
+                     CompilationSession &Session, TraceCollector &Collector,
+                     int Code, std::ostream &Err) {
   // Timings are reported on failure too: the table shows how far the
   // pipeline got (failed passes count under "fail", never cached).
   if (Opts.Timings)
@@ -678,6 +731,260 @@ int runSingle(const Options &Opts, const Env &E, std::ostream &Out,
       Code = Code ? Code : 1;
   }
   return Code;
+}
+
+int runSingle(const Options &Opts, const Env &E, std::ostream &Out,
+              std::ostream &Err) {
+  std::optional<std::string> Source = readSource(Opts, E, Err);
+  if (!Source)
+    return 1;
+  ResolvedFaults Faults;
+  if (!resolveFaultSchedule(Opts, Faults, Err))
+    return 1;
+  TraceCollector Collector;
+  SessionConfig Cfg;
+  Cfg.Store = E.Store;
+  std::string Scope = !Opts.KernelId.empty() ? "kernel:" + Opts.KernelId
+                      : !Opts.InputPath.empty() ? Opts.InputPath
+                                                : "stdin";
+  if (!Opts.TracePath.empty())
+    Cfg.Trace = &Collector.track(Scope);
+  // The whole single run is one fault scope and one deadline window,
+  // mirroring a batch job.
+  FaultContext FC(Faults.Sched, Scope, Cfg.Trace);
+  if (Faults.Sched && !Faults.Sched->empty())
+    Cfg.Faults = &FC;
+  if (Opts.DeadlineGiven)
+    Cfg.Cancel = CancelSource::withDeadline(
+                     std::chrono::milliseconds(Opts.DeadlineMillis))
+                     .token();
+  CompilationSession Session(Cfg);
+  int Code = compileAndEmit(Session, Opts, *Source, Out, Err).ExitCode;
+  return finishRunOutputs(Opts, E, Session, Collector, Code, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// External-net (PNML) mode
+//===----------------------------------------------------------------------===//
+
+const char *yesNo(bool B) { return B ? "yes" : "no"; }
+
+/// --verify for an external net: the classification's internal
+/// implications, the canonical export's round-trip byte-stability, and
+/// (for live marked graphs) the frustum's uniform transition count and
+/// its measured rate against the analytic optimal rate (Thm A.5.3 and
+/// Section 3.4).  Any mismatch is an InternalInvariant (exit 3) — these
+/// are theorems, not input properties.
+RenderResult verifyExternalNet(CompilationSession &Session,
+                               const ArtifactRef<ExternalNet> &Ext,
+                               const FrustumOptions &FO, RateEngine Engine,
+                               std::ostream &Err) {
+  auto Broken = [&](const std::string &What) {
+    Status St = Status::error(ErrorCode::InternalInvariant, "pnml-verify",
+                              What + " (net '" + Ext->NetId + "')");
+    Err << "sdspc: " << St.str() << "\n";
+    return RenderResult{exitCodeFor(St), St.code()};
+  };
+
+  const NetClassification &C = Ext->Class;
+  if ((C.Live || C.Safe || C.StronglyConnected) && !C.MarkedGraph)
+    return Broken("liveness/safeness claimed for a non-marked-graph");
+  if (C.Safe && !C.Live)
+    return Broken("safeness claimed for a non-live net");
+  if (C.MarkedGraph && !C.Consistent)
+    return Broken("marked graph without a uniform T-invariant");
+
+  // Round-trip stability: the canonical export must re-import to a net
+  // that exports to the same bytes (the CI gate's in-process leg).
+  Expected<ArtifactRef<PnmlText>> P = Session.exportPnml(Ext);
+  if (!P)
+    return {exitCodeFor(P.status()), P.status().code()};
+  Expected<PnmlNet> Again = parsePnml((*P)->Text);
+  if (!Again)
+    return Broken("canonical export does not re-import: " +
+                  Again.status().str());
+  if (pnmlString(Again->Net, Again->NetId) != (*P)->Text)
+    return Broken("canonical export is not round-trip byte-stable");
+
+  if (!(C.MarkedGraph && C.Live)) {
+    Err << "verify: ok (classification consistent, round-trip stable)\n";
+    return {0, ErrorCode::Ok};
+  }
+
+  Expected<ArtifactRef<RateReport>> R = Session.computeRate(Ext, Engine);
+  if (!R)
+    return {exitCodeFor(R.status()), R.status().code()};
+  Expected<ArtifactRef<FrustumInfo>> F = Session.searchFrustum(Ext, FO);
+  if (!F)
+    return {exitCodeFor(F.status()), F.status().code()};
+  std::vector<TransitionId> Ts;
+  for (TransitionId T : Ext->Net.transitionIds())
+    Ts.push_back(T);
+  if (!(*F)->hasUniformCount(Ts))
+    return Broken("frustum transition counts are not uniform");
+  if ((*F)->computationRate(Ts.front()) != (*R)->OptimalRate)
+    return Broken("frustum rate disagrees with the analytic optimal rate");
+  Err << "verify: ok (rate " << (*R)->OptimalRate
+      << ", frustum uniform, round-trip stable)\n";
+  return {0, ErrorCode::Ok};
+}
+
+/// Emits one external net per the --pnml emit grammar (classify when
+/// --emit is absent).  Import, classification, rate, frustum, and
+/// export all run as session passes, so caching / tracing / fault
+/// injection / metrics behave exactly as in loop mode.
+RenderResult emitExternalNet(CompilationSession &Session, const Options &Opts,
+                             const std::string &Text, std::ostream &Out,
+                             std::ostream &Err) {
+  std::string Emit = Opts.EmitGiven ? Opts.Emit : "classify";
+  if (Emit != "classify" && Emit != "rate" && Emit != "frustum" &&
+      Emit != "dot-pn" && Emit != "pnml" && Emit != "pnml-behavior" &&
+      Emit != "pnml-frustum") {
+    Err << "sdspc: unknown --emit mode '" << Emit
+        << "' for --pnml (classify, rate, frustum, dot-pn, pnml, "
+           "pnml-behavior, pnml-frustum)\n";
+    return {1, ErrorCode::InvalidInput};
+  }
+
+  Expected<ArtifactRef<ExternalNet>> Imported = Session.importPnml(Text);
+  if (!Imported)
+    return reportFailure(Imported.status(), DiagnosticEngine(), Err);
+  ArtifactRef<ExternalNet> Ext = *Imported;
+  const PetriNet &Net = Ext->Net;
+  const NetClassification &C = Ext->Class;
+  FrustumOptions FO{Opts.Pipe.FrustumBudgetSteps, Opts.Pipe.Engine};
+
+  RenderResult RR{0, ErrorCode::Ok};
+  if (Emit == "classify") {
+    size_t Arcs = 0;
+    for (TransitionId T : Net.transitionIds())
+      Arcs += Net.transition(T).InputPlaces.size() +
+              Net.transition(T).OutputPlaces.size();
+    Out << "net: " << Ext->NetId << " (" << Net.numPlaces() << " places, "
+        << Net.numTransitions() << " transitions, " << Arcs << " arcs)\n"
+        << "marked graph:       " << yesNo(C.MarkedGraph) << "\n"
+        << "live:               "
+        << (C.MarkedGraph ? yesNo(C.Live) : "n/a") << "\n"
+        << "safe:               "
+        << (C.MarkedGraph && C.Live ? yesNo(C.Safe) : "n/a") << "\n"
+        << "strongly connected: "
+        << (C.MarkedGraph ? yesNo(C.StronglyConnected) : "n/a") << "\n"
+        << "persistent:         " << yesNo(C.Persistent) << "\n"
+        << "consistent:         " << yesNo(C.Consistent) << "\n";
+    if (C.MarkedGraph && C.Live) {
+      Expected<ArtifactRef<RateReport>> R =
+          Session.computeRate(Ext, Opts.Pipe.Rate);
+      if (!R)
+        return reportFailure(R.status(), DiagnosticEngine(), Err);
+      Out << "cycle time alpha*:  " << (*R)->CycleTime << "\n"
+          << "optimal rate:       " << (*R)->OptimalRate
+          << " iterations/cycle\n";
+      if (C.Safe)
+        Out << "place bound:        1 token (safe)\n";
+    }
+  } else if (Emit == "rate") {
+    Expected<ArtifactRef<RateReport>> R =
+        Session.computeRate(Ext, Opts.Pipe.Rate);
+    if (!R)
+      return reportFailure(R.status(), DiagnosticEngine(), Err);
+    Out << "operations:        " << Net.numTransitions() << "\n"
+        << "cycle time alpha*: " << (*R)->CycleTime << "\n"
+        << "optimal rate:      " << (*R)->OptimalRate
+        << " iterations/cycle\n"
+        << "critical ops:      ";
+    for (TransitionId T : (*R)->CriticalTransitions)
+      Out << Net.transition(T).Name << " ";
+    Out << "\ncritical cycles:   " << (*R)->NumCriticalCycles << "\n";
+  } else if (Emit == "frustum") {
+    Expected<ArtifactRef<FrustumInfo>> F = Session.searchFrustum(Ext, FO);
+    if (!F)
+      return reportFailure(F.status(), DiagnosticEngine(), Err);
+    const FrustumInfo &Frustum = **F;
+    Out << "frustum: [" << Frustum.StartTime << ", " << Frustum.RepeatTime
+        << "), length " << Frustum.length() << "\n";
+    for (TransitionId T : Net.transitionIds())
+      Out << "  " << Net.transition(T).Name << ": "
+          << Frustum.transitionCount(T) << " firings, rate "
+          << Frustum.computationRate(T) << "\n";
+  } else if (Emit == "dot-pn") {
+    Net.printDot(Out, "pnml_net");
+  } else if (Emit == "pnml") {
+    Expected<ArtifactRef<PnmlText>> P = Session.exportPnml(Ext);
+    if (!P)
+      return reportFailure(P.status(), DiagnosticEngine(), Err);
+    Out << (*P)->Text;
+  } else { // pnml-behavior | pnml-frustum
+    Expected<ArtifactRef<FrustumInfo>> F = Session.searchFrustum(Ext, FO);
+    if (!F)
+      return reportFailure(F.status(), DiagnosticEngine(), Err);
+    Expected<ArtifactRef<PnmlText>> P = Session.exportPnml(
+        Ext, *F,
+        Emit == "pnml-behavior" ? PnmlFlavor::Behavior
+                                : PnmlFlavor::Frustum);
+    if (!P)
+      return reportFailure(P.status(), DiagnosticEngine(), Err);
+    Out << (*P)->Text;
+  }
+
+  if (Opts.Pipe.Verify) {
+    RenderResult V =
+        verifyExternalNet(Session, Ext, FO, Opts.Pipe.Rate, Err);
+    if (V.ExitCode)
+      return V;
+  }
+  return RR;
+}
+
+int runPnml(const Options &Opts, const Env &E, std::ostream &Out,
+            std::ostream &Err) {
+  if (Opts.batchMode() || !Opts.KernelId.empty() ||
+      !Opts.InputPath.empty()) {
+    Err << "sdspc: --pnml cannot be combined with --batch, -k, or a "
+           "loop input\n";
+    return 1;
+  }
+  if (Opts.RunIterations > 0 || Opts.ScpGiven) {
+    Err << "sdspc: --pnml analyzes the net itself; --run and --scp "
+           "need a compiled loop\n";
+    return 1;
+  }
+  std::optional<std::string> Text;
+  if (Opts.PnmlPath == "-") {
+    std::ostringstream SS;
+    if (E.In)
+      SS << E.In->rdbuf();
+    Text = SS.str();
+  } else {
+    std::ifstream File(Opts.PnmlPath);
+    if (!File) {
+      Err << "sdspc: cannot open '" << Opts.PnmlPath << "'\n";
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << File.rdbuf();
+    Text = SS.str();
+  }
+  ResolvedFaults Faults;
+  if (!resolveFaultSchedule(Opts, Faults, Err))
+    return 1;
+  TraceCollector Collector;
+  SessionConfig Cfg;
+  Cfg.Store = E.Store;
+  std::string Scope =
+      "pnml:" + (Opts.PnmlPath == "-" ? std::string("stdin")
+                                      : Opts.PnmlPath);
+  if (!Opts.TracePath.empty())
+    Cfg.Trace = &Collector.track(Scope);
+  FaultContext FC(Faults.Sched, Scope, Cfg.Trace);
+  if (Faults.Sched && !Faults.Sched->empty())
+    Cfg.Faults = &FC;
+  if (Opts.DeadlineGiven)
+    Cfg.Cancel = CancelSource::withDeadline(
+                     std::chrono::milliseconds(Opts.DeadlineMillis))
+                     .token();
+  CompilationSession Session(Cfg);
+  int Code = emitExternalNet(Session, Opts, *Text, Out, Err).ExitCode;
+  return finishRunOutputs(Opts, E, Session, Collector, Code, Err);
 }
 
 //===----------------------------------------------------------------------===//
@@ -895,6 +1202,8 @@ void driver::flushDiskStoreMetrics(const DiskStore &Disk) {
 
 int driver::run(const Options &Opts, const Env &E, std::ostream &Out,
                 std::ostream &Err) {
+  if (Opts.pnmlMode())
+    return runPnml(Opts, E, Out, Err);
   return Opts.batchMode() ? runBatch(Opts, E, Out, Err)
                           : runSingle(Opts, E, Out, Err);
 }

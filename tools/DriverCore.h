@@ -47,11 +47,17 @@ namespace driver {
 /// host-only flags (--remote, --store-dir) it cannot honor per request.
 struct Options {
   std::string Emit = "schedule";
+  /// --emit= appeared explicitly (external-net mode defaults to
+  /// "classify" instead of "schedule" when it did not).
+  bool EmitGiven = false;
   PipelineOptions Pipe;
   uint64_t RunIterations = 0;
   uint64_t Seed = 1;
   std::string InputPath;
   std::string KernelId;
+  /// --pnml=FILE|-: compile nothing — import an external PNML net and
+  /// classify/analyze/re-export it (docs/INTEROP.md).
+  std::string PnmlPath;
   std::string TimingsJsonPath;
   std::string TracePath;
   std::string MetricsJsonPath;
@@ -81,6 +87,7 @@ struct Options {
   std::string RemoteSocket;
 
   bool batchMode() const { return !BatchDir.empty() || BatchKernels; }
+  bool pnmlMode() const { return !PnmlPath.empty(); }
 };
 
 void printUsage(std::ostream &OS);

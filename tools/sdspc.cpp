@@ -20,6 +20,19 @@
 //   --emit=dot-pn        Graphviz of the SDSP-PN
 //   --emit=dot-behavior  Graphviz of the behavior graph (frustum shaded)
 //   --emit=storage       acknowledgement/storage report
+//   --emit=pnml          canonical PNML of the SDSP-PN
+//                        (docs/INTEROP.md)
+//   --emit=pnml-behavior canonical PNML of the behavior graph's
+//                        occurrence net (ideal machine)
+//   --emit=pnml-frustum  same, restricted to the cyclic frustum window
+//   --pnml=FILE|-        import an external PNML net instead of
+//                        compiling a loop, classify it (marked graph /
+//                        live / safe / persistent / strongly connected
+//                        / consistent), and emit per --emit=classify
+//                        (default) | rate | frustum | dot-pn | pnml |
+//                        pnml-behavior | pnml-frustum; --verify
+//                        re-checks the classification, round-trip
+//                        byte-stability, and the frustum rate
 //   --opt                run constant folding + CSE + DCE first
 //   --capacity=N         buffer capacity per arc (default 1)
 //   --unroll=U           unroll the loop body U times first
@@ -138,9 +151,12 @@ int runRemote(const driver::Options &Opts,
       Argv.push(json::Value::string(A));
   Req.set("argv", std::move(Argv));
   // A compile that would read stdin locally reads it here and ships the
-  // bytes — the daemon has no access to this process's stdin.
-  if (!Opts.batchMode() && Opts.KernelId.empty() &&
-      (Opts.InputPath.empty() || Opts.InputPath == "-")) {
+  // bytes — the daemon has no access to this process's stdin.  In PNML
+  // mode only --pnml=- reads stdin.
+  if (Opts.pnmlMode()
+          ? Opts.PnmlPath == "-"
+          : !Opts.batchMode() && Opts.KernelId.empty() &&
+                (Opts.InputPath.empty() || Opts.InputPath == "-")) {
     std::ostringstream SS;
     SS << std::cin.rdbuf();
     Req.set("stdin", json::Value::string(SS.str()));

@@ -32,6 +32,16 @@ message on the first violation:
       mapped to '.'), and "cancelled" instants must match the
       cancel.observed gauge.  A mismatch means a fault fired without
       being recorded, or vice versa.
+
+  tracecheck.py pnml TRACE METRICS
+      Cross-check PNML interop observability (docs/INTEROP.md):
+      import-pnml / export-pnml spans must pair B/E per track, every
+      closing record must carry a known "resolved" disposition, and
+      the computed spans must reconcile with the pnml.* counters —
+      computed imports == pnml.imports, computed exports ==
+      pnml.exports, failed imports >= pnml.rejects, and the structural
+      counters (places/transitions/arcs, export bytes) must be
+      consistent with the imports/exports that produced them.
 """
 
 import json
@@ -219,6 +229,76 @@ def check_faults(trace_path, metrics_path):
           f"{len(per_site)} site(s), {cancelled} cancellation(s)")
 
 
+PNML_DISPOSITIONS = {"computed", "hit", "shared-hit", "failed", "cancelled"}
+
+
+def check_pnml(trace_path, metrics_path):
+    doc = load_json(trace_path)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"'{trace_path}': missing top-level 'traceEvents' array")
+
+    # Pair import-pnml/export-pnml B/E spans per track and bucket the
+    # closing records by their "resolved" disposition.
+    open_pnml = {}
+    resolved = {"import-pnml": {}, "export-pnml": {}}
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict):
+            continue
+        name = ev.get("name")
+        if name not in ("import-pnml", "export-pnml"):
+            continue
+        where = f"'{trace_path}' event {i}"
+        tid = ev.get("tid")
+        if ev.get("ph") == "B":
+            if open_pnml.get(tid):
+                fail(f"{where}: nested {name} span on tid {tid}")
+            open_pnml[tid] = name
+        elif ev.get("ph") == "E":
+            if open_pnml.get(tid) != name:
+                fail(f"{where}: 'E' for {name} without a matching 'B' "
+                     f"on tid {tid}")
+            open_pnml[tid] = None
+            how = ev.get("args", {}).get("resolved")
+            if how not in PNML_DISPOSITIONS:
+                fail(f"{where}: {name} resolved {how!r}, expected one "
+                     f"of {sorted(PNML_DISPOSITIONS)}")
+            bucket = resolved[name]
+            bucket[how] = bucket.get(how, 0) + 1
+    for tid, name in open_pnml.items():
+        if name:
+            fail(f"'{trace_path}': tid {tid} ends inside an open "
+                 f"{name} span")
+
+    imports = resolved["import-pnml"]
+    exports = resolved["export-pnml"]
+    if not imports:
+        fail(f"'{trace_path}': no import-pnml spans at all")
+
+    c = load_counters(metrics_path)
+    computed_imports = imports.get("computed", 0)
+    if c.get("pnml.imports", 0) != computed_imports:
+        fail(f"pnml.imports is {c.get('pnml.imports', 0)} but the trace "
+             f"has {computed_imports} computed import-pnml span(s)")
+    computed_exports = exports.get("computed", 0)
+    if c.get("pnml.exports", 0) != computed_exports:
+        fail(f"pnml.exports is {c.get('pnml.exports', 0)} but the trace "
+             f"has {computed_exports} computed export-pnml span(s)")
+    if imports.get("failed", 0) < c.get("pnml.rejects", 0):
+        fail(f"pnml.rejects is {c.get('pnml.rejects', 0)} but only "
+             f"{imports.get('failed', 0)} import-pnml span(s) failed")
+    # Structural counters: every computed import counts at least one
+    # transition and two arcs (a net needs a transition, and arcs come
+    # in producer/consumer pairs for anything cyclic); every computed
+    # export writes bytes.
+    if computed_imports and c.get("pnml.transitions", 0) < computed_imports:
+        fail(f"pnml.transitions is {c.get('pnml.transitions', 0)} for "
+             f"{computed_imports} computed import(s)")
+    if computed_exports and c.get("pnml.export.bytes", 0) < computed_exports:
+        fail(f"pnml.export.bytes is {c.get('pnml.export.bytes', 0)} for "
+             f"{computed_exports} computed export(s)")
+    print(f"tracecheck: pnml ok — imports {imports}, exports {exports}")
+
+
 def main(argv):
     if len(argv) >= 3 and argv[1] == "trace" and len(argv) == 3:
         check_trace(argv[2])
@@ -226,10 +306,13 @@ def main(argv):
         check_metrics_diff(argv[2], argv[3])
     elif len(argv) == 4 and argv[1] == "faults":
         check_faults(argv[2], argv[3])
+    elif len(argv) == 4 and argv[1] == "pnml":
+        check_pnml(argv[2], argv[3])
     else:
         fail("usage: tracecheck.py trace FILE | "
              "tracecheck.py metrics-diff A B | "
-             "tracecheck.py faults TRACE METRICS")
+             "tracecheck.py faults TRACE METRICS | "
+             "tracecheck.py pnml TRACE METRICS")
 
 
 if __name__ == "__main__":
