@@ -79,12 +79,16 @@ enum class PipelineStage {
 
 /// Which frustum detector to run.  Fast is the incremental engine of
 /// petri/EarliestFiring.h; Reference is the retained naive oracle
-/// (petri/ReferenceEngine.h).  Both produce identical FrustumInfo (the
-/// golden-equivalence suite pins this), but they are distinct engines
-/// with distinct costs, so the session cache fingerprints the choice.
+/// (petri/ReferenceEngine.h); Analytic constructs the steady state
+/// directly from critical-cycle analysis when the net qualifies
+/// (petri/AnalyticSteadyState.h) and falls back to Fast otherwise.
+/// All produce identical FrustumInfo (the golden-equivalence suite
+/// pins this), but they are distinct engines with distinct costs, so
+/// the session cache fingerprints the choice.
 enum class FrustumEngine {
   Fast,
   Reference,
+  Analytic,
 };
 
 /// Everything the pipeline can be asked to do.

@@ -91,7 +91,8 @@ std::vector<TransitionId>
 verticesOnTightCycles(const MarkedGraphView &G,
                       const std::vector<int64_t> &Weight,
                       const std::vector<int64_t> &Pi,
-                      const std::vector<uint8_t> *Include = nullptr) {
+                      const std::vector<uint8_t> *Include = nullptr,
+                      TightCycleStructure *StructureOut = nullptr) {
   size_t N = G.numVertices();
   std::vector<std::vector<uint32_t>> TightOut(N);
   for (size_t EI = 0; EI < G.numEdges(); ++EI) {
@@ -164,10 +165,35 @@ verticesOnTightCycles(const MarkedGraphView &G,
     }
   }
 
-  std::vector<TransitionId> Result;
+  // An SCC is nontrivial (contains a cycle) when it has more than one
+  // vertex or a self-loop.
+  std::vector<bool> Nontrivial(SccSize.size(), false);
   for (size_t V = 0; V < N; ++V)
     if (SccSize[SccId[V]] > 1 || HasTightSelfLoop[V])
+      Nontrivial[SccId[V]] = true;
+
+  std::vector<TransitionId> Result;
+  for (size_t V = 0; V < N; ++V)
+    if (Nontrivial[SccId[V]])
       Result.push_back(TransitionId(V));
+
+  if (StructureOut) {
+    TightCycleStructure St;
+    for (size_t Id = 0; Id < SccSize.size(); ++Id)
+      if (Nontrivial[Id]) {
+        ++St.NumNontrivialSccs;
+        St.SccVertices += SccSize[Id];
+      }
+    // Tight edges internal to a nontrivial SCC.  Counting *edges*, not
+    // adjacency, matters: two parallel tight edges between the same
+    // vertex pair are two distinct critical cycles.
+    for (size_t V = 0; V < N; ++V)
+      for (uint32_t EI : TightOut[V])
+        if (SccId[G.edge(EI).To.index()] == SccId[V] &&
+            Nontrivial[SccId[V]])
+          ++St.SccEdges;
+    *StructureOut = St;
+  }
   return Result;
 }
 
@@ -204,8 +230,11 @@ sdsp::criticalCycleByEnumeration(const MarkedGraphView &G) {
   return Info;
 }
 
+namespace {
+
 std::optional<CriticalCycleInfo>
-sdsp::criticalCycleByParametricSearch(const MarkedGraphView &G) {
+parametricSearchImpl(const MarkedGraphView &G,
+                     TightCycleStructure *StructureOut) {
   // Start below every possible ratio so the first probe finds any cycle
   // at all (live nets have M(C) >= 1, so cycle weight Omega + M > 0
   // under lambda = -1).
@@ -232,7 +261,8 @@ sdsp::criticalCycleByParametricSearch(const MarkedGraphView &G) {
       Info.ComputationRate =
           Lambda.isZero() ? Rational(0) : Lambda.reciprocal();
       Info.Witness = *Witness;
-      Info.CriticalTransitions = verticesOnTightCycles(G, Weight, Dist);
+      Info.CriticalTransitions =
+          verticesOnTightCycles(G, Weight, Dist, nullptr, StructureOut);
       return Info;
     }
     SimpleCycle C = makeCycle(G, *Cycle);
@@ -243,8 +273,16 @@ sdsp::criticalCycleByParametricSearch(const MarkedGraphView &G) {
   }
 }
 
+} // namespace
+
 std::optional<CriticalCycleInfo>
-sdsp::maxCycleRatioHoward(const MarkedGraphView &G, uint64_t *IterationsOut) {
+sdsp::criticalCycleByParametricSearch(const MarkedGraphView &G) {
+  return parametricSearchImpl(G, nullptr);
+}
+
+std::optional<CriticalCycleInfo>
+sdsp::maxCycleRatioHoward(const MarkedGraphView &G, uint64_t *IterationsOut,
+                          TightCycleStructure *StructureOut) {
   if (IterationsOut)
     *IterationsOut = 0;
   size_t N = G.numVertices();
@@ -394,7 +432,7 @@ sdsp::maxCycleRatioHoward(const MarkedGraphView &G, uint64_t *IterationsOut) {
     if (Iterations > MaxIterations) {
       if (IterationsOut)
         *IterationsOut = 0;
-      return criticalCycleByParametricSearch(G);
+      return parametricSearchImpl(G, StructureOut);
     }
     bool AnyLam = false;
     for (size_t U = 0; U < N; ++U) {
@@ -488,7 +526,8 @@ sdsp::maxCycleRatioHoward(const MarkedGraphView &G, uint64_t *IterationsOut) {
       Include[V] = 1;
       Pi[V] = -Val[V];
     }
-  Info.CriticalTransitions = verticesOnTightCycles(G, Weight, Pi, &Include);
+  Info.CriticalTransitions =
+      verticesOnTightCycles(G, Weight, Pi, &Include, StructureOut);
   return Info;
 }
 

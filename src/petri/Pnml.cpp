@@ -217,6 +217,20 @@ private:
         if (Code > 0x10FFFF)
           return pnmlError(Start, "character reference out of range");
       }
+      // XML 1.0 Char production: the code point must be an actual XML
+      // character.  NUL, the C0 controls other than tab/LF/CR, the
+      // UTF-16 surrogate range, and the permanent non-characters
+      // 0xFFFE/0xFFFF all fit under 0x10FFFF but are not Chars;
+      // accepting them would bake bytes into the net's labels that no
+      // conforming parser (including this one re-reading its own
+      // canonical export) will take back.
+      bool ValidXmlChar = Code == 0x9 || Code == 0xA || Code == 0xD ||
+                          (Code >= 0x20 && Code <= 0xD7FF) ||
+                          (Code >= 0xE000 && Code <= 0xFFFD) ||
+                          Code >= 0x10000;
+      if (!ValidXmlChar)
+        return pnmlError(Start, "character reference '&" + std::string(Ref) +
+                                    ";' is not a valid XML character");
       appendUtf8(Out, static_cast<uint32_t>(Code));
     } else {
       return pnmlError(Start, "unknown entity '&" + std::string(Ref) +

@@ -317,6 +317,66 @@ TEST(PnmlReject, UnknownEntity) {
                "entity");
 }
 
+TEST(PnmlReject, CharRefBeyondUnicode) {
+  expectReject(doc("<place id=\"q\"><name><text>&#x110000;</text></name>"
+                   "</place><transition id=\"u\"/>"),
+               "out of range");
+}
+
+TEST(PnmlReject, CharRefNul) {
+  // &#x0; fits in 21 bits but NUL is not an XML Char: accepting it
+  // would embed a 0 byte in the place name and poison every downstream
+  // C-string consumer of the label.
+  expectReject(doc("<place id=\"q\"><name><text>&#x0;</text></name>"
+                   "</place><transition id=\"u\"/>"),
+               "not a valid XML character");
+}
+
+TEST(PnmlReject, CharRefC0Control) {
+  // Control characters other than tab/LF/CR are excluded by the XML
+  // 1.0 Char production (0x1B = ESC).
+  expectReject(doc("<place id=\"q\"><name><text>&#27;</text></name>"
+                   "</place><transition id=\"u\"/>"),
+               "not a valid XML character");
+}
+
+TEST(PnmlImport, CharRefTabLfCrAccepted) {
+  // The three whitespace controls ARE XML Chars and must keep working.
+  PnmlNet N = parseOk(doc("<place id=\"q\"><name>"
+                          "<text>a&#x9;b&#xA;c&#xD;d</text></name>"
+                          "</place><transition id=\"u\"/>"
+                          "<arc id=\"a0\" source=\"q\" target=\"u\"/>"
+                          "<arc id=\"a1\" source=\"u\" target=\"q\"/>"));
+  EXPECT_EQ(N.Net.place(PlaceId(0u)).Name, "a\tb\nc\rd");
+}
+
+TEST(PnmlReject, CharRefSurrogate) {
+  // UTF-16 surrogate halves are not characters; encoding one as UTF-8
+  // (CESU-8 style) produces a byte sequence conforming decoders
+  // reject.
+  expectReject(doc("<place id=\"q\"><name><text>&#xD800;</text></name>"
+                   "</place><transition id=\"u\"/>"),
+               "not a valid XML character");
+}
+
+TEST(PnmlReject, CharRefNonCharacter) {
+  expectReject(doc("<place id=\"q\"><name><text>&#xFFFE;</text></name>"
+                   "</place><transition id=\"u\"/>"),
+               "not a valid XML character");
+}
+
+TEST(PnmlReject, CharRefDiagnosticCarriesLine) {
+  Expected<PnmlNet> N = parsePnml("<pnml>\n<net id=\"n\">\n<page id=\"p\">\n"
+                                  "<place id=\"q\">\n"
+                                  "<name><text>&#x0;</text></name>\n"
+                                  "</place>\n<transition id=\"u\"/>\n"
+                                  "</page></net></pnml>");
+  ASSERT_FALSE(bool(N));
+  EXPECT_NE(N.status().str().find("line 5"), std::string::npos)
+      << N.status().str();
+  EXPECT_EQ(N.status().code(), ErrorCode::InvalidInput);
+}
+
 TEST(PnmlReject, DepthLimit) {
   std::string Deep = "<pnml><net id=\"n\">";
   for (int I = 0; I < 70; ++I)

@@ -43,7 +43,8 @@ void driver::printUsage(std::ostream &OS) {
         "                 (--emit=classify|rate|frustum|dot-pn|pnml|"
         "pnml-behavior|pnml-frustum)\n"
         "  --opt --capacity=N --unroll=U --scp=L --pipelines=K\n"
-        "  --optimize-storage --budget=N --engine=fast|reference\n"
+        "  --optimize-storage --budget=N "
+        "--engine=fast|reference|analytic\n"
         "  --rate-engine=auto|howard|enumerate\n"
         "  --timings --timings-json=FILE --trace=FILE "
         "--metrics-json=FILE\n"
@@ -131,15 +132,25 @@ ParseResult driver::parseArgs(const std::vector<std::string> &Args,
     } else if (const char *V = Value("--budget=")) {
       if (!parseUint64(V, "--budget", Opts.Pipe.FrustumBudgetSteps, Err))
         return ParseResult::Error;
+      if (Opts.Pipe.FrustumBudgetSteps == 0) {
+        // 0 is the internal "use the theory bound" sentinel, so an
+        // explicit --budget=0 would silently mean "no budget" — the
+        // opposite of what was asked.  Reject it at the boundary.
+        Err << "sdspc: invalid value '0' for --budget (must be at least "
+               "1 step; omit the flag for the theory bound)\n";
+        return ParseResult::Error;
+      }
     } else if (const char *V = Value("--engine=")) {
       std::string E = V;
       if (E == "fast")
         Opts.Pipe.Engine = FrustumEngine::Fast;
       else if (E == "reference")
         Opts.Pipe.Engine = FrustumEngine::Reference;
+      else if (E == "analytic")
+        Opts.Pipe.Engine = FrustumEngine::Analytic;
       else {
         Err << "sdspc: invalid value '" << E
-            << "' for --engine (expected fast or reference)\n";
+            << "' for --engine (expected fast, reference, or analytic)\n";
         return ParseResult::Error;
       }
     } else if (const char *V = Value("--rate-engine=")) {
